@@ -1,0 +1,84 @@
+//! The `experiments` binary: regenerate any table or figure of the paper.
+//!
+//! ```text
+//! experiments <command> [--quick]
+//!
+//! commands:
+//!   all        every experiment (the EXPERIMENTS.md artifact)
+//!   table1     all six Table 1 rows
+//!   ps|bswe|bge|bne|3bse|bse   a single Table 1 row
+//!   fig1a fig1b fig2 fig3 fig4 fig5 fig6 fig7 fig8
+//!   cycles     Lemma 2.4 (cycle BSE windows)
+//!   prop316    Proposition 3.16
+//!   prop322    Proposition 3.22
+//!   dynamics   the cooperation-ladder simulation
+//!   ablations  design-choice ablations (delta engines, pruning)
+//! ```
+
+use bncg_analysis::{dynamics_exp, figures, propositions, report::Report, run_all, table1};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let command = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map_or("all", String::as_str);
+
+    let render = |r: Report| if json { r.to_json() } else { r.render() };
+    let result = match command {
+        "all" => run_all(quick).map(render),
+        "table1" => table1::full_table(quick).map(render),
+        other => {
+            let mut r = Report::new();
+            let run = match other {
+                "ps" => table1::row_ps(&mut r, quick),
+                "bswe" => table1::row_bswe(&mut r, quick),
+                "bge" => table1::row_bge(&mut r, quick),
+                "bne" => table1::row_bne(&mut r, quick),
+                "3bse" => table1::row_3bse(&mut r, quick),
+                "bse" => table1::row_bse(&mut r, quick),
+                "fig1a" => figures::fig1a(&mut r, quick),
+                "fig1b" => figures::fig1b(&mut r, quick),
+                "fig2" => figures::fig2(&mut r, quick),
+                "fig3" => figures::fig3(&mut r, quick),
+                "fig4" => figures::fig4(&mut r, quick),
+                "fig5" => figures::fig5(&mut r, quick),
+                "fig6" => figures::fig6(&mut r, quick),
+                "fig7" => figures::fig7(&mut r, quick),
+                "fig8" => figures::fig8(&mut r, quick),
+                "cycles" => propositions::cycles_bse(&mut r, quick),
+                "prop316" => propositions::prop_3_16(&mut r, quick),
+                "prop322" => propositions::prop_3_22(&mut r, quick),
+                "dynamics" => dynamics_exp::ladder(&mut r, quick),
+                "structure" => bncg_analysis::structure::bswe_depth(&mut r, quick),
+                "windows" => bncg_analysis::windows_exp::named_windows(&mut r, quick),
+                "curve" => bncg_analysis::exact_curve::curve_report(&mut r, quick),
+                "roundrobin" => dynamics_exp::round_robin_census(&mut r, quick),
+                "treesvgraphs" => dynamics_exp::trees_vs_graphs(&mut r, quick),
+                "ablations" => bncg_analysis::ablations::delta_engines(&mut r, quick)
+                    .and_then(|()| bncg_analysis::ablations::kbse_restriction(&mut r, quick))
+                    .and_then(|()| bncg_analysis::ablations::parallel_scan(&mut r, quick)),
+                _ => {
+                    eprintln!("unknown command: {other}");
+                    eprintln!("try: all, table1, ps, bswe, bge, bne, 3bse, bse, fig1a..fig8, cycles, prop316, prop322, dynamics, roundrobin, treesvgraphs, structure, windows, curve, ablations");
+                    return ExitCode::FAILURE;
+                }
+            };
+            run.map(|()| render(r))
+        }
+    };
+
+    match result {
+        Ok(text) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Empirical Price of Anarchy by exhaustive enumeration: for a given
+//! `(n, α)` and solution concept, the worst social cost ratio over *all*
+//! trees (or all connected graphs) on `n` nodes that are stable under the
+//! concept. This regenerates Table 1's rows at laptop scale — the shape of
+//! the measured curves is what the reproduction compares against the
+//! paper's asymptotic bounds.
+
+use bncg_core::{social_cost_ratio, Alpha, Concept, GameError};
+use bncg_graph::{enumerate, Graph};
+
+/// The outcome of one exhaustive PoA evaluation.
+#[derive(Debug, Clone)]
+pub struct PoaPoint {
+    /// Number of agents.
+    pub n: usize,
+    /// Edge price.
+    pub alpha: Alpha,
+    /// The concept quantified over.
+    pub concept: Concept,
+    /// Worst ρ among stable instances (`None` if no instance is stable).
+    pub max_rho: Option<f64>,
+    /// A worst-case stable instance.
+    pub worst: Option<Graph>,
+    /// How many enumerated instances were stable.
+    pub stable_count: usize,
+    /// How many instances were enumerated.
+    pub total: usize,
+}
+
+/// Exhaustive PoA over all free trees on `n` nodes.
+///
+/// # Errors
+///
+/// Forwards the enumeration guard and checker guards.
+pub fn tree_poa(n: usize, alpha: Alpha, concept: Concept) -> Result<PoaPoint, GameError> {
+    let trees = enumerate::free_trees(n).map_err(GameError::Graph)?;
+    poa_over(trees, n, alpha, concept)
+}
+
+/// Exhaustive PoA over all connected graphs on `n` nodes.
+///
+/// # Errors
+///
+/// Forwards the enumeration guard and checker guards.
+pub fn graph_poa(n: usize, alpha: Alpha, concept: Concept) -> Result<PoaPoint, GameError> {
+    let graphs = enumerate::connected_graphs(n).map_err(GameError::Graph)?;
+    poa_over(graphs, n, alpha, concept)
+}
+
+fn poa_over(
+    instances: Vec<Graph>,
+    n: usize,
+    alpha: Alpha,
+    concept: Concept,
+) -> Result<PoaPoint, GameError> {
+    let total = instances.len();
+    let mut stable_count = 0usize;
+    let mut best: Option<(f64, Graph)> = None;
+    for g in instances {
+        if !concept.is_stable(&g, alpha)? {
+            continue;
+        }
+        stable_count += 1;
+        let rho = social_cost_ratio(&g, alpha)?.as_f64();
+        if best.as_ref().is_none_or(|(b, _)| rho > *b) {
+            best = Some((rho, g));
+        }
+    }
+    let (max_rho, worst) = match best {
+        Some((r, g)) => (Some(r), Some(g)),
+        None => (None, None),
+    };
+    Ok(PoaPoint {
+        n,
+        alpha,
+        concept,
+        max_rho,
+        worst,
+        stable_count,
+        total,
+    })
+}
+
+/// A sweep of [`tree_poa`] over an α grid.
+///
+/// # Errors
+///
+/// Forwards the per-point errors.
+pub fn tree_poa_sweep(
+    n: usize,
+    alphas: &[Alpha],
+    concept: Concept,
+) -> Result<Vec<PoaPoint>, GameError> {
+    alphas
+        .iter()
+        .map(|&alpha| tree_poa(n, alpha, concept))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Alpha {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn star_is_always_among_stable_trees() {
+        // For α ≥ 1 the star is stable under every concept, so max_rho is
+        // always defined and at least 1.
+        for concept in [Concept::Ps, Concept::Bswe, Concept::Bge, Concept::Bne] {
+            let point = tree_poa(7, a("2"), concept).unwrap();
+            assert!(point.stable_count >= 1);
+            assert!(point.max_rho.unwrap() >= 1.0 - 1e-12);
+            assert_eq!(point.total, 11);
+        }
+    }
+
+    #[test]
+    fn poa_is_monotone_in_cooperation() {
+        // More cooperation → fewer stable states → weakly smaller PoA.
+        for alpha in ["3/2", "3", "6"] {
+            let alpha = a(alpha);
+            let ps = tree_poa(8, alpha, Concept::Ps).unwrap().max_rho.unwrap();
+            let bge = tree_poa(8, alpha, Concept::Bge).unwrap().max_rho.unwrap();
+            let bne = tree_poa(8, alpha, Concept::Bne).unwrap().max_rho.unwrap();
+            let kbse = tree_poa(8, alpha, Concept::KBse(3)).unwrap().max_rho.unwrap();
+            assert!(bge <= ps + 1e-12);
+            assert!(bne <= bge + 1e-12);
+            assert!(kbse <= bge + 1e-12);
+        }
+    }
+
+    #[test]
+    fn theorem_3_6_bound_holds_empirically() {
+        for n in 5..=9usize {
+            for alpha in ["1", "2", "4", "8", "16"] {
+                let alpha = a(alpha);
+                let point = tree_poa(n, alpha, Concept::Bswe).unwrap();
+                if let Some(rho) = point.max_rho {
+                    let bound = bncg_core::bounds::theorem_3_6_bound(alpha);
+                    assert!(
+                        rho <= bound + 1e-9,
+                        "Theorem 3.6 violated: ρ = {rho} > {bound} (n={n}, α={alpha})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_3_15_bound_holds_empirically() {
+        for n in 5..=8usize {
+            for alpha in ["1", "3", "9", "27"] {
+                let point = tree_poa(n, a(alpha), Concept::KBse(3)).unwrap();
+                if let Some(rho) = point.max_rho {
+                    assert!(rho <= 25.0, "Theorem 3.15 violated at n={n}, α={alpha}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn graph_poa_runs_on_tiny_instances() {
+        let point = graph_poa(5, a("1/2"), Concept::Bse).unwrap();
+        // For α < 1 only the clique is BSE (Prop 3.16) and it is optimal.
+        assert_eq!(point.stable_count, 1);
+        assert!((point.max_rho.unwrap() - 1.0).abs() < 1e-12);
+    }
+}

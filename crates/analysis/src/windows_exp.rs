@@ -1,0 +1,73 @@
+//! Exact stability windows for named topologies — the α-range statements
+//! scattered through the paper ("C_n is stable for this range of α", "the
+//! star is stable for α ≥ 1", …) computed with exact rational endpoints
+//! instead of grids.
+
+use crate::report::Report;
+use bncg_core::windows::stability_windows;
+use bncg_core::{Concept, GameError};
+use bncg_graph::{generators, Graph};
+
+fn format_windows(w: &[bncg_core::windows::StabilityWindow]) -> String {
+    let fmt_bound = |b: &Option<bncg_core::windows::Threshold>, inf: &str| -> String {
+        b.map_or(inf.to_string(), |t| t.to_string())
+    };
+    w.iter()
+        .filter(|win| win.stable)
+        .map(|win| format!("[{}, {}]", fmt_bound(&win.lo, "0"), fmt_bound(&win.hi, "∞")))
+        .collect::<Vec<_>>()
+        .join(" ∪ ")
+}
+
+/// Prints the exact stable-α regions of named graphs for the polynomial
+/// concepts.
+///
+/// # Errors
+///
+/// Forwards checker guards.
+pub fn named_windows(report: &mut Report, quick: bool) -> Result<(), GameError> {
+    let mut shapes: Vec<(String, Graph)> = vec![
+        ("star(8)".into(), generators::star(8)),
+        ("path(8)".into(), generators::path(8)),
+        ("cycle(6)".into(), generators::cycle(6)),
+        ("cycle(7)".into(), generators::cycle(7)),
+        ("spider(3,3)".into(), generators::spider(3, 3)),
+        ("broom(4,3)".into(), generators::broom(4, 3)),
+    ];
+    if !quick {
+        shapes.push(("cycle(10)".into(), generators::cycle(10)));
+        shapes.push(("wheel(7)".into(), generators::wheel(7)));
+        shapes.push(("complete_bipartite(3,3)".into(), generators::complete_bipartite(3, 3)));
+    }
+    let section = report.section("Exact stability windows in α (polynomial concepts)");
+    section.note("closed rational intervals where the graph is stable; open complements are instability regions");
+    let table = section.table(["graph", "RE", "PS", "BGE"]);
+    for (name, g) in &shapes {
+        let re = stability_windows(g, Concept::Re)?;
+        let ps = stability_windows(g, Concept::Ps)?;
+        let bge = stability_windows(g, Concept::Bge)?;
+        table.row([
+            name.clone(),
+            format_windows(&re),
+            format_windows(&ps),
+            format_windows(&bge),
+        ]);
+    }
+    section.note("cycle RE endpoints are exactly Lemma 2.4's thresholds (even n: n(n−2)/4, odd n: (n−1)²/4)");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_windows_runs_quick() {
+        let mut r = Report::new();
+        named_windows(&mut r, true).unwrap();
+        let text = r.render();
+        assert!(text.contains("stability windows"));
+        // The C6 RE window ends exactly at 6.
+        assert!(text.contains("[0, 6]"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Benchmarks for the graph substrate: the primitives every checker and
+//! experiment kernel is built from.
+
+use bncg_graph::{
+    bfs_distances, enumerate, generators, graph6, iso, DistanceMatrix, RootedTree,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_traversal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/traversal");
+    for n in [100usize, 1000] {
+        let mut rng = bncg_graph::test_rng(1);
+        let g = generators::random_connected(n, 0.01, &mut rng);
+        group.bench_with_input(BenchmarkId::new("bfs", n), &g, |b, g| {
+            let mut out = Vec::new();
+            b.iter(|| bfs_distances(black_box(g), 0, &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("distance_matrix", n), &g, |b, g| {
+            b.iter(|| DistanceMatrix::new(black_box(g)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree_machinery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/tree");
+    for n in [1000usize, 10_000] {
+        let mut rng = bncg_graph::test_rng(2);
+        let g = generators::random_tree(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("root_and_dist_sums", n), &g, |b, g| {
+            b.iter(|| {
+                let t = RootedTree::new(black_box(g), 0).unwrap();
+                black_box(t.dist_sums())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("medians", n), &g, |b, g| {
+            b.iter(|| bncg_graph::tree_medians(black_box(g)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/enumeration");
+    group.sample_size(10);
+    group.bench_function("free_trees_11", |b| {
+        b.iter(|| enumerate::free_trees(black_box(11)).unwrap());
+    });
+    group.bench_function("connected_graphs_6", |b| {
+        b.iter(|| enumerate::connected_graphs(black_box(6)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_isomorphism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/iso");
+    let mut rng = bncg_graph::test_rng(3);
+    let g = generators::random_connected(12, 0.3, &mut rng);
+    let perm = generators::random_permutation(12, &mut rng);
+    let h = g.relabeled(&perm);
+    group.bench_function("are_isomorphic_12", |b| {
+        b.iter(|| assert!(iso::are_isomorphic(black_box(&g), black_box(&h))));
+    });
+    let tree = generators::random_tree(100, &mut rng);
+    group.bench_function("canonical_tree_encoding_100", |b| {
+        b.iter(|| iso::canonical_tree_encoding(black_box(&tree)));
+    });
+    group.finish();
+}
+
+fn bench_graph6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/graph6");
+    let mut rng = bncg_graph::test_rng(4);
+    let g = generators::random_connected(60, 0.2, &mut rng);
+    let enc = graph6::encode(&g).unwrap();
+    group.bench_function("encode_60", |b| {
+        b.iter(|| graph6::encode(black_box(&g)).unwrap());
+    });
+    group.bench_function("decode_60", |b| {
+        b.iter(|| graph6::decode(black_box(&enc)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    substrate,
+    bench_traversal,
+    bench_tree_machinery,
+    bench_enumeration,
+    bench_isomorphism,
+    bench_graph6
+);
+criterion_main!(substrate);

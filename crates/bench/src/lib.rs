@@ -1,0 +1,33 @@
+//! # bncg-bench
+//!
+//! Criterion benchmarks for the BNCG reproduction, organized one bench
+//! target per paper artifact:
+//!
+//! * `table1` — the verification kernel behind each Table 1 row
+//!   (exhaustive tree PoA per concept, lower-bound family certification,
+//!   d-ary regime evaluation);
+//! * `figures` — the kernels behind Figures 1b–8 (witness searches and
+//!   certifications) and Lemma 2.4's cycle windows;
+//! * `substrate` — the graph layer (BFS, distance matrices, rerooted
+//!   sums, enumeration, isomorphism, graph6);
+//! * `dynamics` — improving-move dynamics throughput.
+//!
+//! Run with `cargo bench --workspace`; each group uses reduced sample
+//! counts so a full sweep stays in CI-friendly time.
+
+/// Shared α grid used across bench groups, mirroring the experiments.
+#[must_use]
+pub fn alpha_grid() -> Vec<bncg_core::Alpha> {
+    [1i64, 4, 16, 64]
+        .iter()
+        .map(|&v| bncg_core::Alpha::integer(v).expect("positive"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn grid_is_nonempty() {
+        assert_eq!(super::alpha_grid().len(), 4);
+    }
+}

@@ -1,0 +1,33 @@
+//! # bncg-constructions
+//!
+//! Executable versions of every construction the paper's proofs rely on:
+//!
+//! * [`stretched`] — stretched binary trees and stretched tree stars
+//!   (Figure 3), with the parameterizations of Theorems 3.10 and 3.12 and
+//!   the exact Lemma 3.11 BNE certificate;
+//! * [`figures`] — the witness graphs of Figures 5, 6, 7, and 8;
+//! * [`conjecture`] — the exhaustive search refuting the Corbo–Parkes
+//!   conjecture (Proposition 2.3, Figure 2);
+//! * [`venn`] — witnesses for all eight regions of Figure 1b
+//!   (Proposition A.1).
+//!
+//! # Examples
+//!
+//! ```
+//! use bncg_constructions::figures::figure7;
+//! use bncg_core::delta;
+//!
+//! // The paper's k-BSE-but-not-BNE family at i = 6 rows.
+//! let fig = figure7(6);
+//! let mv = fig.violation.as_ref().expect("figure 7 carries its move");
+//! assert!(delta::move_improves_all(&fig.graph, fig.alpha, mv)?);
+//! # Ok::<(), bncg_core::GameError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod conjecture;
+pub mod figures;
+pub mod stretched;
+pub mod venn;

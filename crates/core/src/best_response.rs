@@ -1,0 +1,217 @@
+//! Best responses in the bilateral game.
+//!
+//! The unilateral NCG has a textbook best response (pick the cheapest
+//! target set); bilaterally an agent cannot force edges, so the natural
+//! notion — used by the round-robin dynamics — is the **best feasible
+//! neighborhood move**: among all moves "remove `R ⊆ S_u`, add `A`" whose
+//! added partners all strictly consent (improve), the one minimizing `u`'s
+//! own cost. This mirrors the BNE move set, so a state where no agent has
+//! a feasible improving neighborhood move is exactly a BNE.
+
+use crate::alpha::Alpha;
+use crate::concepts::CheckBudget;
+use crate::cost::{agent_cost, AgentCost};
+use crate::error::GameError;
+use crate::moves::Move;
+use bncg_graph::Graph;
+
+/// The outcome of a best-response computation for one agent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BestResponse {
+    /// The best feasible improving move, if any exists.
+    pub best: Option<Move>,
+    /// The agent's cost after playing it (equals the current cost when
+    /// `best` is `None`).
+    pub cost: AgentCost,
+}
+
+/// Computes agent `u`'s best feasible neighborhood move by exhaustive
+/// enumeration (`2^{n−1}` candidates), under the default [`CheckBudget`].
+///
+/// # Errors
+///
+/// Returns [`GameError::CheckTooLarge`] when `2^{n−1}` exceeds the budget
+/// and [`GameError::NodeOutOfRange`] for a bad agent id.
+///
+/// # Examples
+///
+/// ```
+/// use bncg_core::{best_response, Alpha, Move};
+/// use bncg_graph::generators;
+///
+/// // On a path the far end rewires towards the middle; its best feasible
+/// // move strictly beats any single greedy change.
+/// let g = generators::path(7);
+/// let alpha = Alpha::integer(2)?;
+/// let br = best_response(&g, alpha, 0)?;
+/// assert!(br.best.is_some());
+/// # Ok::<(), bncg_core::GameError>(())
+/// ```
+pub fn best_response(g: &Graph, alpha: Alpha, u: u32) -> Result<BestResponse, GameError> {
+    best_response_with_budget(g, alpha, u, CheckBudget::default())
+}
+
+/// [`best_response`] with an explicit work budget.
+///
+/// # Errors
+///
+/// Same as [`best_response`].
+pub fn best_response_with_budget(
+    g: &Graph,
+    alpha: Alpha,
+    u: u32,
+    budget: CheckBudget,
+) -> Result<BestResponse, GameError> {
+    let n = g.n();
+    if u as usize >= n {
+        return Err(GameError::NodeOutOfRange { node: u, n });
+    }
+    if n <= 1 {
+        return Ok(BestResponse {
+            best: None,
+            cost: agent_cost(g, u),
+        });
+    }
+    let work = 1u128 << (n - 1);
+    if work > u128::from(budget.max_evals) {
+        return Err(GameError::CheckTooLarge {
+            reason: format!(
+                "best response enumerates 2^{} candidates, budget is {}",
+                n - 1,
+                budget.max_evals
+            ),
+        });
+    }
+    let old: Vec<AgentCost> = (0..n as u32).map(|w| agent_cost(g, w)).collect();
+    let neighbors: Vec<u32> = g.neighbors(u).to_vec();
+    let others: Vec<u32> = (0..n as u32)
+        .filter(|&v| v != u && !g.has_edge(u, v))
+        .collect();
+    let mut scratch = g.clone();
+    let mut best_cost = old[u as usize];
+    let mut best_move: Option<Move> = None;
+    for rem_mask in 0u64..1u64 << neighbors.len() {
+        for add_mask in 0u64..1u64 << others.len() {
+            if rem_mask == 0 && add_mask == 0 {
+                continue;
+            }
+            let mut removed = Vec::new();
+            let mut added = Vec::new();
+            for (i, &v) in neighbors.iter().enumerate() {
+                if rem_mask >> i & 1 == 1 {
+                    scratch.remove_edge(u, v).expect("neighbor edge");
+                    removed.push(v);
+                }
+            }
+            for (i, &v) in others.iter().enumerate() {
+                if add_mask >> i & 1 == 1 {
+                    scratch.add_edge(u, v).expect("non-neighbor pair");
+                    added.push(v);
+                }
+            }
+            let mine = agent_cost(&scratch, u);
+            let feasible = mine.better_than(&best_cost, alpha)
+                && added
+                    .iter()
+                    .all(|&a| agent_cost(&scratch, a).better_than(&old[a as usize], alpha));
+            for &v in &removed {
+                scratch.add_edge(u, v).expect("restore removed");
+            }
+            for &v in &added {
+                scratch.remove_edge(u, v).expect("restore added");
+            }
+            if feasible {
+                best_cost = mine;
+                best_move = Some(Move::Neighborhood {
+                    center: u,
+                    remove: removed,
+                    add: added,
+                });
+            }
+        }
+    }
+    Ok(BestResponse {
+        best: best_move,
+        cost: best_cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concepts;
+    use bncg_graph::generators;
+
+    fn a(s: &str) -> Alpha {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn no_best_response_exactly_when_bne() {
+        let mut rng = bncg_graph::test_rng(55);
+        for _ in 0..15 {
+            let g = generators::random_connected(8, 0.3, &mut rng);
+            for alpha in ["1", "2", "4"] {
+                let alpha = a(alpha);
+                let any_move = (0..8u32)
+                    .any(|u| best_response(&g, alpha, u).unwrap().best.is_some());
+                let bne = concepts::bne::is_stable(&g, alpha).unwrap();
+                assert_eq!(any_move, !bne, "best responses must characterize BNE");
+            }
+        }
+    }
+
+    #[test]
+    fn best_response_dominates_first_violation() {
+        // The best feasible move is at least as good for the mover as the
+        // checker's first-found neighborhood violation.
+        let g = generators::path(8);
+        let alpha = a("2");
+        for u in 0..8u32 {
+            let br = best_response(&g, alpha, u).unwrap();
+            if let Some(mv) = &br.best {
+                let g2 = mv.apply(&g).unwrap();
+                assert_eq!(agent_cost(&g2, u), br.cost);
+                assert!(br.cost.better_than(&agent_cost(&g, u), alpha));
+            }
+        }
+    }
+
+    #[test]
+    fn added_partners_always_consent() {
+        let mut rng = bncg_graph::test_rng(56);
+        for _ in 0..10 {
+            let g = generators::random_tree(9, &mut rng);
+            let alpha = a("3/2");
+            for u in 0..9u32 {
+                if let Some(mv) = best_response(&g, alpha, u).unwrap().best {
+                    assert!(
+                        crate::delta::move_improves_all(&g, alpha, &mv).unwrap(),
+                        "best response must be a legal BNE-style move"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_guard_fires() {
+        let g = generators::path(40);
+        assert!(matches!(
+            best_response(&g, a("1"), 0),
+            Err(GameError::CheckTooLarge { .. })
+        ));
+        assert!(matches!(
+            best_response(&generators::path(3), a("1"), 9),
+            Err(GameError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn stable_star_center_has_no_move() {
+        let g = generators::star(8);
+        let br = best_response(&g, a("2"), 0).unwrap();
+        assert!(br.best.is_none());
+        assert_eq!(br.cost, agent_cost(&g, 0));
+    }
+}

@@ -1,0 +1,370 @@
+//! Bilateral Neighborhood Equilibrium (BNE): no agent `u` can rearrange its
+//! whole neighborhood — removing any subset `R ⊆ S_u` of its edges and
+//! adding edges to any set `A` of new partners — such that `u` *and every
+//! agent in `A`* strictly improve. This is the bilateral analogue of the
+//! Nash equilibrium of the unilateral game (paper, footnote 4).
+//!
+//! The move space is `Θ(n·2^{n−1})`; the exact checker carries a
+//! [`CheckBudget`] guard and a randomized refuter handles larger instances
+//! (it can only ever prove *in*stability).
+
+use crate::alpha::Alpha;
+use crate::concepts::CheckBudget;
+use crate::cost::{agent_cost, AgentCost};
+use crate::error::GameError;
+use crate::moves::Move;
+use bncg_graph::Graph;
+
+/// Minimal RNG abstraction so the sampled refuter does not force a `rand`
+/// dependency onto every caller; implemented for closures and for anything
+/// resembling `rand::Rng` via [`from_rand`].
+mod rand_like {
+    /// Source of uniform `u64`s.
+    pub trait RngLike {
+        /// Next pseudo-random value.
+        fn next_u64(&mut self) -> u64;
+        /// Uniform value in `0..bound` (bound > 0).
+        fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+
+    /// A small xorshift generator, deterministic from a seed — enough for
+    /// refutation sampling (no statistical claims rest on it).
+    #[derive(Debug, Clone)]
+    pub struct SplitMix(pub u64);
+
+    impl RngLike for SplitMix {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub use rand_like::{RngLike, SplitMix};
+
+/// Exact BNE check under the default [`CheckBudget`].
+///
+/// # Errors
+///
+/// Returns [`GameError::CheckTooLarge`] when `n·2^{n−1}` exceeds the
+/// budget (default: up to `n = 21`).
+///
+/// # Examples
+///
+/// ```
+/// use bncg_core::{concepts::bne, Alpha};
+/// use bncg_graph::generators;
+///
+/// let alpha = Alpha::integer(2)?;
+/// assert!(bne::find_violation(&generators::star(7), alpha)?.is_none());
+/// assert!(bne::find_violation(&generators::path(7), alpha)?.is_some());
+/// # Ok::<(), bncg_core::GameError>(())
+/// ```
+pub fn find_violation(g: &Graph, alpha: Alpha) -> Result<Option<Move>, GameError> {
+    find_violation_with_budget(g, alpha, CheckBudget::default())
+}
+
+/// Exact BNE check with an explicit work budget.
+///
+/// # Errors
+///
+/// Returns [`GameError::CheckTooLarge`] if `n·2^{n−1}` exceeds
+/// `budget.max_evals`.
+pub fn find_violation_with_budget(
+    g: &Graph,
+    alpha: Alpha,
+    budget: CheckBudget,
+) -> Result<Option<Move>, GameError> {
+    let n = g.n();
+    if n <= 1 {
+        return Ok(None);
+    }
+    let per_center = 1u128 << (n - 1);
+    let work = per_center * n as u128;
+    if work > u128::from(budget.max_evals) {
+        return Err(GameError::CheckTooLarge {
+            reason: format!(
+                "exact BNE needs {work} move evaluations for n = {n}, budget is {}",
+                budget.max_evals
+            ),
+        });
+    }
+    let old: Vec<AgentCost> = (0..n as u32).map(|u| agent_cost(g, u)).collect();
+    let mut scratch = g.clone();
+    for center in 0..n as u32 {
+        let neighbors: Vec<u32> = g.neighbors(center).to_vec();
+        let others: Vec<u32> = (0..n as u32)
+            .filter(|&v| v != center && !g.has_edge(center, v))
+            .collect();
+        let nb = neighbors.len();
+        let no = others.len();
+        for rem_mask in 0u64..1u64 << nb {
+            for add_mask in 0u64..1u64 << no {
+                if rem_mask == 0 && add_mask == 0 {
+                    continue;
+                }
+                if let Some(mv) = eval_candidate(
+                    &mut scratch,
+                    g,
+                    alpha,
+                    &old,
+                    center,
+                    &neighbors,
+                    rem_mask,
+                    &others,
+                    add_mask,
+                ) {
+                    return Ok(Some(mv));
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Applies a candidate neighborhood move in place, evaluates it, restores
+/// the graph, and returns the move if improving for the center and every
+/// added partner.
+#[allow(clippy::too_many_arguments)]
+fn eval_candidate(
+    scratch: &mut Graph,
+    g: &Graph,
+    alpha: Alpha,
+    old: &[AgentCost],
+    center: u32,
+    neighbors: &[u32],
+    rem_mask: u64,
+    others: &[u32],
+    add_mask: u64,
+) -> Option<Move> {
+    let mut removed = Vec::new();
+    let mut added = Vec::new();
+    for (i, &v) in neighbors.iter().enumerate() {
+        if rem_mask >> i & 1 == 1 {
+            scratch.remove_edge(center, v).expect("neighbor edge");
+            removed.push(v);
+        }
+    }
+    for (i, &v) in others.iter().enumerate() {
+        if add_mask >> i & 1 == 1 {
+            scratch.add_edge(center, v).expect("non-neighbor pair");
+            added.push(v);
+        }
+    }
+    let improving = agent_cost(scratch, center).better_than(&old[center as usize], alpha)
+        && added
+            .iter()
+            .all(|&a| agent_cost(scratch, a).better_than(&old[a as usize], alpha));
+    // Restore.
+    for &v in &removed {
+        scratch.add_edge(center, v).expect("restore removed");
+    }
+    for &v in &added {
+        scratch.remove_edge(center, v).expect("restore added");
+    }
+    debug_assert_eq!(scratch.m(), g.m());
+    if improving {
+        Some(Move::Neighborhood {
+            center,
+            remove: removed,
+            add: added,
+        })
+    } else {
+        None
+    }
+}
+
+/// Randomized refutation search for large graphs: samples `samples`
+/// neighborhood moves biased towards small changes and returns the first
+/// improving one. A `None` result is **not** a stability certificate.
+#[must_use]
+pub fn find_violation_sampled<R: RngLike>(
+    g: &Graph,
+    alpha: Alpha,
+    rng: &mut R,
+    samples: u32,
+) -> Option<Move> {
+    let n = g.n();
+    if n <= 2 {
+        return None;
+    }
+    let old: Vec<AgentCost> = (0..n as u32).map(|u| agent_cost(g, u)).collect();
+    let mut scratch = g.clone();
+    for _ in 0..samples {
+        let center = rng.below(n as u64) as u32;
+        let neighbors: Vec<u32> = g.neighbors(center).to_vec();
+        let others: Vec<u32> = (0..n as u32)
+            .filter(|&v| v != center && !g.has_edge(center, v))
+            .collect();
+        if others.is_empty() && neighbors.is_empty() {
+            continue;
+        }
+        // Geometric-ish sizes: mostly 0–2 removals and 1–3 additions.
+        let n_rem = (rng.below(4)).min(neighbors.len() as u64) as usize;
+        let n_add = (1 + rng.below(3)).min(others.len() as u64) as usize;
+        if n_rem == 0 && n_add == 0 {
+            continue;
+        }
+        // Sample distinct indices directly (candidate sets can be far
+        // larger than 64, so bitmasks are not an option here).
+        let mut removed: Vec<u32> = Vec::with_capacity(n_rem);
+        while removed.len() < n_rem {
+            let v = neighbors[rng.below(neighbors.len() as u64) as usize];
+            if !removed.contains(&v) {
+                removed.push(v);
+            }
+        }
+        let mut added: Vec<u32> = Vec::with_capacity(n_add);
+        while added.len() < n_add {
+            let v = others[rng.below(others.len() as u64) as usize];
+            if !added.contains(&v) {
+                added.push(v);
+            }
+        }
+        if let Some(mv) =
+            eval_candidate_lists(&mut scratch, g, alpha, &old, center, &removed, &added)
+        {
+            return Some(mv);
+        }
+    }
+    None
+}
+
+/// List-based twin of `eval_candidate` for samplers whose candidate sets
+/// exceed 64 entries.
+fn eval_candidate_lists(
+    scratch: &mut Graph,
+    g: &Graph,
+    alpha: Alpha,
+    old: &[AgentCost],
+    center: u32,
+    removed: &[u32],
+    added: &[u32],
+) -> Option<Move> {
+    for &v in removed {
+        scratch.remove_edge(center, v).expect("neighbor edge");
+    }
+    for &v in added {
+        scratch.add_edge(center, v).expect("non-neighbor pair");
+    }
+    let improving = agent_cost(scratch, center).better_than(&old[center as usize], alpha)
+        && added
+            .iter()
+            .all(|&a| agent_cost(scratch, a).better_than(&old[a as usize], alpha));
+    for &v in removed {
+        scratch.add_edge(center, v).expect("restore removed");
+    }
+    for &v in added {
+        scratch.remove_edge(center, v).expect("restore added");
+    }
+    debug_assert_eq!(scratch.m(), g.m());
+    if improving {
+        Some(Move::Neighborhood {
+            center,
+            remove: removed.to_vec(),
+            add: added.to_vec(),
+        })
+    } else {
+        None
+    }
+}
+
+/// Whether `g` is in Bilateral Neighborhood Equilibrium (exact).
+///
+/// # Errors
+///
+/// Same guard as [`find_violation`].
+pub fn is_stable(g: &Graph, alpha: Alpha) -> Result<bool, GameError> {
+    Ok(find_violation(g, alpha)?.is_none())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_graph::generators;
+
+    fn a(s: &str) -> Alpha {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn star_is_in_bne() {
+        for alpha in ["1", "2", "9"] {
+            assert!(is_stable(&generators::star(7), a(alpha)).unwrap());
+        }
+    }
+
+    #[test]
+    fn bne_is_subset_of_bge() {
+        // Proposition A.4 direction: BNE ⊆ BAE ∩ BGE.
+        let mut rng = bncg_graph::test_rng(12);
+        for _ in 0..25 {
+            let g = generators::random_connected(7, 0.3, &mut rng);
+            for alpha in ["1/2", "1", "2", "6"] {
+                let alpha = a(alpha);
+                if is_stable(&g, alpha).unwrap() {
+                    assert!(crate::concepts::bge::is_stable(&g, alpha));
+                    assert!(crate::concepts::bae::is_stable(&g, alpha));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn guard_fires_for_large_instances() {
+        let g = generators::path(40);
+        assert!(matches!(
+            find_violation(&g, a("1")),
+            Err(GameError::CheckTooLarge { .. })
+        ));
+        // An explicit budget can lift the refusal threshold…
+        let tiny = CheckBudget::new(10);
+        assert!(matches!(
+            find_violation_with_budget(&generators::path(8), a("1"), tiny),
+            Err(GameError::CheckTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn witnesses_are_replayable() {
+        let mut rng = bncg_graph::test_rng(13);
+        for _ in 0..10 {
+            let g = generators::random_tree(8, &mut rng);
+            for alpha in ["1/2", "1", "3"] {
+                if let Some(mv) = find_violation(&g, a(alpha)).unwrap() {
+                    assert!(crate::delta::move_improves_all(&g, a(alpha), &mv).unwrap());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_refuter_finds_known_violations() {
+        // The path at α = 2 is not in BNE; the sampler should find some
+        // improving move with a modest sample count.
+        let g = generators::path(9);
+        let mut rng = SplitMix(7);
+        let found = find_violation_sampled(&g, a("2"), &mut rng, 5000);
+        let mv = found.expect("sampler should refute the long path");
+        assert!(crate::delta::move_improves_all(&g, a("2"), &mv).unwrap());
+    }
+
+    #[test]
+    fn sampled_refuter_respects_stability() {
+        // On the star (stable) the sampler must return nothing.
+        let g = generators::star(9);
+        let mut rng = SplitMix(11);
+        assert!(find_violation_sampled(&g, a("2"), &mut rng, 3000).is_none());
+    }
+
+    #[test]
+    fn trivial_graphs_are_stable() {
+        assert!(is_stable(&Graph::new(1), a("1")).unwrap());
+        assert!(is_stable(&generators::path(2), a("1")).unwrap());
+    }
+}

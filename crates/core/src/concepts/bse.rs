@@ -1,0 +1,257 @@
+//! Bilateral Strong Equilibrium (BSE = n-BSE): stability against joint
+//! moves of *arbitrary* coalitions.
+//!
+//! The exact checker enumerates target graphs rather than coalitions: a
+//! move to graph `G'` is an improving coalition move iff the set `I` of
+//! strictly improving agents covers it — both endpoints of every added
+//! edge lie in `I` and every removed edge touches `I` (taking `Γ` to be
+//! exactly those covering agents; adding further members only adds
+//! constraints). This cuts the double exponential to `2^{C(n,2)}` target
+//! graphs, which is feasible for `n ≤ 7`.
+
+use crate::alpha::Alpha;
+use crate::concepts::CheckBudget;
+use crate::cost::{agent_cost, AgentCost};
+use crate::error::GameError;
+use crate::moves::Move;
+use bncg_graph::Graph;
+
+/// Exact BSE check under the default budget (`n ≤ 7`).
+///
+/// # Errors
+///
+/// Returns [`GameError::CheckTooLarge`] when `2^{C(n,2)}` exceeds the
+/// budget.
+///
+/// # Examples
+///
+/// ```
+/// use bncg_core::{concepts::bse, Alpha};
+/// use bncg_graph::generators;
+///
+/// // Proposition 3.16: for α < 1 the clique is the only BSE.
+/// let alpha: Alpha = "1/2".parse()?;
+/// assert!(bse::find_violation(&generators::clique(5), alpha)?.is_none());
+/// assert!(bse::find_violation(&generators::star(5), alpha)?.is_some());
+/// # Ok::<(), bncg_core::GameError>(())
+/// ```
+pub fn find_violation(g: &Graph, alpha: Alpha) -> Result<Option<Move>, GameError> {
+    find_violation_with_budget(g, alpha, CheckBudget::default())
+}
+
+/// Exact BSE check with an explicit work budget.
+///
+/// # Errors
+///
+/// Returns [`GameError::CheckTooLarge`] if `2^{C(n,2)}` exceeds
+/// `budget.max_evals`.
+pub fn find_violation_with_budget(
+    g: &Graph,
+    alpha: Alpha,
+    budget: CheckBudget,
+) -> Result<Option<Move>, GameError> {
+    let n = g.n();
+    if n <= 1 {
+        return Ok(None);
+    }
+    let pairs = n * (n - 1) / 2;
+    if pairs >= 63 || (1u128 << pairs) > u128::from(budget.max_evals) {
+        return Err(GameError::CheckTooLarge {
+            reason: format!(
+                "exact BSE scans 2^{pairs} target graphs for n = {n}, budget is {}",
+                budget.max_evals
+            ),
+        });
+    }
+    let current = g.to_bitmask().expect("n ≤ 11 here");
+    let old: Vec<AgentCost> = (0..n as u32).map(|u| agent_cost(g, u)).collect();
+    let pair_list: Vec<(u32, u32)> = (0..n as u32)
+        .flat_map(|u| (u + 1..n as u32).map(move |v| (u, v)))
+        .collect();
+    for mask in 0u64..1u64 << pairs {
+        if mask == current {
+            continue;
+        }
+        let diff = mask ^ current;
+        let target = Graph::from_bitmask(n, mask).expect("n ≤ 11 here");
+        // Lazily computed improving-agent memo over touched nodes.
+        let mut improving: Vec<Option<bool>> = vec![None; n];
+        let mut improves = |w: u32, target: &Graph| -> bool {
+            let slot = &mut improving[w as usize];
+            if let Some(v) = *slot {
+                return v;
+            }
+            let v = agent_cost(target, w).better_than(&old[w as usize], alpha);
+            *slot = Some(v);
+            v
+        };
+        let mut valid = true;
+        let mut removed = Vec::new();
+        let mut added = Vec::new();
+        for (i, &(u, v)) in pair_list.iter().enumerate() {
+            if diff >> i & 1 == 0 {
+                continue;
+            }
+            if current >> i & 1 == 1 {
+                // removed edge: needs an improving endpoint
+                if !improves(u, &target) && !improves(v, &target) {
+                    valid = false;
+                    break;
+                }
+                removed.push((u, v));
+            } else {
+                // added edge: needs both endpoints improving
+                if !improves(u, &target) || !improves(v, &target) {
+                    valid = false;
+                    break;
+                }
+                added.push((u, v));
+            }
+        }
+        if !valid {
+            continue;
+        }
+        // Assemble the minimal coalition: endpoints of additions plus one
+        // improving endpoint per removal.
+        let mut members: Vec<u32> = Vec::new();
+        for &(u, v) in &added {
+            members.push(u);
+            members.push(v);
+        }
+        for &(u, v) in &removed {
+            if improves(u, &target) {
+                members.push(u);
+            } else {
+                members.push(v);
+            }
+        }
+        members.sort_unstable();
+        members.dedup();
+        return Ok(Some(Move::Coalition {
+            members,
+            remove_edges: removed,
+            add_edges: added,
+        }));
+    }
+    Ok(None)
+}
+
+/// Whether `g` is in Bilateral Strong Equilibrium (exact).
+///
+/// # Errors
+///
+/// Same guard as [`find_violation`].
+pub fn is_stable(g: &Graph, alpha: Alpha) -> Result<bool, GameError> {
+    Ok(find_violation(g, alpha)?.is_none())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_graph::generators;
+
+    fn a(s: &str) -> Alpha {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn bse_equals_n_bse_on_small_graphs() {
+        // Cross-validate the target-graph enumeration against the
+        // coalition-first k-BSE checker with k = n.
+        let mut rng = bncg_graph::test_rng(18);
+        for _ in 0..12 {
+            let g = generators::random_connected(5, 0.4, &mut rng);
+            for alpha in ["1/2", "1", "2", "4"] {
+                let alpha = a(alpha);
+                let by_target = find_violation(&g, alpha).unwrap().is_some();
+                let by_coalition = crate::concepts::kbse::find_violation(&g, alpha, 5)
+                    .unwrap()
+                    .is_some();
+                assert_eq!(by_target, by_coalition, "engines disagree at α = {alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn proposition_3_16_clique_only_bse_below_one() {
+        let alpha = a("1/2");
+        for g in bncg_graph::enumerate::connected_graphs(5).unwrap() {
+            let stable = is_stable(&g, alpha).unwrap();
+            let is_clique = g.m() == 5 * 4 / 2;
+            assert_eq!(stable, is_clique, "only the clique is BSE for α < 1");
+        }
+    }
+
+    #[test]
+    fn proposition_3_16_diameter_two_at_alpha_one() {
+        let alpha = a("1");
+        for g in bncg_graph::enumerate::connected_graphs(5).unwrap() {
+            let stable = is_stable(&g, alpha).unwrap();
+            let diam = bncg_graph::diameter(&g).unwrap();
+            assert_eq!(
+                stable,
+                diam <= 2,
+                "BSE at α = 1 are exactly the diameter ≤ 2 graphs"
+            );
+        }
+    }
+
+    #[test]
+    fn proposition_3_16_star_and_p4_above_one() {
+        assert!(is_stable(&generators::star(6), a("2")).unwrap());
+        // A path of 4 nodes is in BSE for α = 100 (Prop. 3.16).
+        assert!(is_stable(&generators::path(4), a("100")).unwrap());
+        // …but not for small α (ends would link up).
+        assert!(!is_stable(&generators::path(4), a("1")).unwrap());
+    }
+
+    #[test]
+    fn lemma_2_4_cycle_windows() {
+        // C_n is in BSE inside a Θ(n²) window (Lemma 2.4). With the RE
+        // threshold worked out exactly: even n gives
+        // (n²/4 − (n−1), n(n−2)/4], odd n gives
+        // ((n+1)(n−1)/4 − (n−1), (n−1)²/4].
+        // n = 5: window (2, 4]; n = 6: window (4, 6].
+        for (n, inside, outside) in [
+            (5usize, "3", "9/2"),
+            (6, "5", "7"),
+            (5, "7/2", "5"),
+            (6, "23/4", "13/2"),
+        ] {
+            let g = generators::cycle(n);
+            assert!(
+                is_stable(&g, a(inside)).unwrap(),
+                "C{n} must be BSE at α = {inside}"
+            );
+            assert!(
+                !is_stable(&g, a(outside)).unwrap(),
+                "C{n} must not be BSE at α = {outside}"
+            );
+        }
+    }
+
+    #[test]
+    fn guard_fires_for_large_instances() {
+        let g = generators::path(8);
+        assert!(matches!(
+            find_violation(&g, a("1")),
+            Err(GameError::CheckTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn witnesses_are_replayable() {
+        let mut rng = bncg_graph::test_rng(19);
+        for _ in 0..10 {
+            let g = generators::random_connected(5, 0.4, &mut rng);
+            for alpha in ["1/2", "1", "3"] {
+                if let Some(mv) = find_violation(&g, a(alpha)).unwrap() {
+                    assert!(
+                        crate::delta::move_improves_all(&g, a(alpha), &mv).unwrap(),
+                        "witness {mv} must replay"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! Bilateral k-Strong Equilibrium (k-BSE): no coalition `Γ` with `|Γ| ≤ k`
+//! has a joint move — deleting any edges that touch `Γ` and creating any
+//! edges inside `Γ` — from which *every* member strictly benefits.
+//!
+//! The exact checker enumerates coalitions and their full move spaces and
+//! therefore carries a [`CheckBudget`] guard: a coalition touching
+//! high-degree nodes owns `2^{|E_Γ|}` removal subsets. The restricted
+//! checker bounds the number of simultaneous removals instead, trading
+//! completeness for scale (a `None` from it is evidence, not proof).
+
+use crate::alpha::Alpha;
+use crate::combinatorics::{bounded_subsets, combinations};
+use crate::concepts::CheckBudget;
+use crate::cost::{agent_cost, AgentCost};
+use crate::error::GameError;
+use crate::moves::Move;
+use bncg_graph::Graph;
+
+/// Exact k-BSE check under the default [`CheckBudget`].
+///
+/// # Errors
+///
+/// Returns [`GameError::CheckTooLarge`] when the summed move space of all
+/// coalitions exceeds the budget.
+///
+/// # Examples
+///
+/// ```
+/// use bncg_core::{concepts::kbse, Alpha};
+/// use bncg_graph::generators;
+///
+/// let alpha = Alpha::integer(2)?;
+/// // 3-BSE: the star survives, the long path does not.
+/// assert!(kbse::find_violation(&generators::star(7), alpha, 3)?.is_none());
+/// assert!(kbse::find_violation(&generators::path(7), alpha, 3)?.is_some());
+/// # Ok::<(), bncg_core::GameError>(())
+/// ```
+pub fn find_violation(g: &Graph, alpha: Alpha, k: usize) -> Result<Option<Move>, GameError> {
+    find_violation_with_budget(g, alpha, k, CheckBudget::default())
+}
+
+/// Exact k-BSE check with an explicit work budget.
+///
+/// # Errors
+///
+/// Returns [`GameError::CheckTooLarge`] if the total number of candidate
+/// moves exceeds `budget.max_evals`.
+pub fn find_violation_with_budget(
+    g: &Graph,
+    alpha: Alpha,
+    k: usize,
+    budget: CheckBudget,
+) -> Result<Option<Move>, GameError> {
+    let n = g.n();
+    if n <= 1 || k == 0 {
+        return Ok(None);
+    }
+    let k = k.min(n);
+    // Pre-pass: total work.
+    let mut total_work: u128 = 0;
+    for size in 1..=k {
+        for coalition in combinations(n, size) {
+            let (removable, addable) = coalition_move_space(g, &coalition);
+            let bits = removable.len() + addable.len();
+            if bits >= 60 {
+                return Err(GameError::CheckTooLarge {
+                    reason: format!(
+                        "coalition {coalition:?} owns 2^{bits} candidate moves"
+                    ),
+                });
+            }
+            total_work += 1u128 << bits;
+            if total_work > u128::from(budget.max_evals) {
+                return Err(GameError::CheckTooLarge {
+                    reason: format!(
+                        "k-BSE move space exceeds budget {} (n = {n}, k = {k})",
+                        budget.max_evals
+                    ),
+                });
+            }
+        }
+    }
+    let old: Vec<AgentCost> = (0..n as u32).map(|u| agent_cost(g, u)).collect();
+    let mut scratch = g.clone();
+    for size in 1..=k {
+        for coalition in combinations(n, size) {
+            let (removable, addable) = coalition_move_space(g, &coalition);
+            if let Some(mv) = scan_coalition_moves(
+                &mut scratch,
+                alpha,
+                &old,
+                &coalition,
+                &removable,
+                &addable,
+                removable.len(),
+            ) {
+                return Ok(Some(mv));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Restricted k-BSE refuter: only moves deleting at most `max_removals`
+/// edges are scanned (additions inside a size-k coalition are at most
+/// `C(k,2)` and always fully enumerated). `None` means *no violation found
+/// in the restricted space* — it is not a stability certificate.
+#[must_use]
+pub fn find_violation_restricted(
+    g: &Graph,
+    alpha: Alpha,
+    k: usize,
+    max_removals: usize,
+) -> Option<Move> {
+    let n = g.n();
+    if n <= 1 || k == 0 {
+        return None;
+    }
+    let k = k.min(n);
+    let old: Vec<AgentCost> = (0..n as u32).map(|u| agent_cost(g, u)).collect();
+    let mut scratch = g.clone();
+    for size in 1..=k {
+        for coalition in combinations(n, size) {
+            let (removable, addable) = coalition_move_space(g, &coalition);
+            for add in bounded_subsets(&addable, 0, addable.len()) {
+                for rem in bounded_subsets(&removable, 0, max_removals.min(removable.len())) {
+                    if add.is_empty() && rem.is_empty() {
+                        continue;
+                    }
+                    if let Some(mv) =
+                        eval_coalition_move(&mut scratch, alpha, &old, &coalition, &rem, &add)
+                    {
+                        return Some(mv);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Parallel variant of [`find_violation_restricted`]: coalitions are
+/// partitioned across `threads` OS threads (std scoped threads — no extra
+/// dependency), each scanning with its own scratch graph. The stable /
+/// unstable verdict matches the serial scan; when several violations
+/// exist the *witness* returned depends on thread timing (any returned
+/// move is certified improving, as everywhere else).
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+#[must_use]
+pub fn find_violation_restricted_parallel(
+    g: &Graph,
+    alpha: Alpha,
+    k: usize,
+    max_removals: usize,
+    threads: usize,
+) -> Option<Move> {
+    assert!(threads > 0, "need at least one thread");
+    let n = g.n();
+    if n <= 1 || k == 0 {
+        return None;
+    }
+    let k = k.min(n);
+    let coalitions: Vec<Vec<u32>> = (1..=k).flat_map(|size| combinations(n, size)).collect();
+    let old: Vec<AgentCost> = (0..n as u32).map(|u| agent_cost(g, u)).collect();
+    let found = std::sync::atomic::AtomicBool::new(false);
+    let result = std::sync::Mutex::new(None::<Move>);
+    let chunk = coalitions.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for piece in coalitions.chunks(chunk.max(1)) {
+            let found = &found;
+            let result = &result;
+            let old = &old;
+            scope.spawn(move || {
+                let mut scratch = g.clone();
+                for coalition in piece {
+                    if found.load(std::sync::atomic::Ordering::Relaxed) {
+                        return;
+                    }
+                    let (removable, addable) = coalition_move_space(g, coalition);
+                    for add in bounded_subsets(&addable, 0, addable.len()) {
+                        for rem in
+                            bounded_subsets(&removable, 0, max_removals.min(removable.len()))
+                        {
+                            if add.is_empty() && rem.is_empty() {
+                                continue;
+                            }
+                            if let Some(mv) = eval_coalition_move(
+                                &mut scratch,
+                                alpha,
+                                old,
+                                coalition,
+                                &rem,
+                                &add,
+                            ) {
+                                *result.lock().expect("no poisoning") = Some(mv);
+                                found.store(true, std::sync::atomic::Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    result.into_inner().expect("no poisoning")
+}
+
+/// Deletable edges and creatable pairs of a coalition.
+type MoveSpace = (Vec<(u32, u32)>, Vec<(u32, u32)>);
+
+/// The edges a coalition may delete (touching Γ) and the pairs it may
+/// create (inside Γ).
+fn coalition_move_space(g: &Graph, coalition: &[u32]) -> MoveSpace {
+    let in_coalition = |x: u32| coalition.contains(&x);
+    let removable: Vec<(u32, u32)> = g
+        .edges()
+        .filter(|&(u, v)| in_coalition(u) || in_coalition(v))
+        .collect();
+    let mut addable = Vec::new();
+    for (i, &u) in coalition.iter().enumerate() {
+        for &v in &coalition[i + 1..] {
+            if !g.has_edge(u, v) {
+                addable.push((u.min(v), u.max(v)));
+            }
+        }
+    }
+    (removable, addable)
+}
+
+/// Full mask scan over a single coalition's move space.
+fn scan_coalition_moves(
+    scratch: &mut Graph,
+    alpha: Alpha,
+    old: &[AgentCost],
+    coalition: &[u32],
+    removable: &[(u32, u32)],
+    addable: &[(u32, u32)],
+    _r: usize,
+) -> Option<Move> {
+    let rbits = removable.len();
+    let abits = addable.len();
+    for rem_mask in 0u64..1u64 << rbits {
+        for add_mask in 0u64..1u64 << abits {
+            if rem_mask == 0 && add_mask == 0 {
+                continue;
+            }
+            let rem: Vec<(u32, u32)> = (0..rbits)
+                .filter(|&i| rem_mask >> i & 1 == 1)
+                .map(|i| removable[i])
+                .collect();
+            let add: Vec<(u32, u32)> = (0..abits)
+                .filter(|&i| add_mask >> i & 1 == 1)
+                .map(|i| addable[i])
+                .collect();
+            if let Some(mv) = eval_coalition_move(scratch, alpha, old, coalition, &rem, &add) {
+                return Some(mv);
+            }
+        }
+    }
+    None
+}
+
+/// Applies a coalition move in place, checks every member improves, and
+/// restores the graph.
+fn eval_coalition_move(
+    scratch: &mut Graph,
+    alpha: Alpha,
+    old: &[AgentCost],
+    coalition: &[u32],
+    rem: &[(u32, u32)],
+    add: &[(u32, u32)],
+) -> Option<Move> {
+    for &(u, v) in rem {
+        scratch.remove_edge(u, v).expect("removable edge exists");
+    }
+    for &(u, v) in add {
+        scratch.add_edge(u, v).expect("addable pair is a non-edge");
+    }
+    let improving = coalition
+        .iter()
+        .all(|&w| agent_cost(scratch, w).better_than(&old[w as usize], alpha));
+    for &(u, v) in add {
+        scratch.remove_edge(u, v).expect("restore added");
+    }
+    for &(u, v) in rem {
+        scratch.add_edge(u, v).expect("restore removed");
+    }
+    if improving {
+        Some(Move::Coalition {
+            members: coalition.to_vec(),
+            remove_edges: rem.to_vec(),
+            add_edges: add.to_vec(),
+        })
+    } else {
+        None
+    }
+}
+
+/// Whether `g` is in Bilateral k-Strong Equilibrium (exact).
+///
+/// # Errors
+///
+/// Same guard as [`find_violation`].
+pub fn is_stable(g: &Graph, alpha: Alpha, k: usize) -> Result<bool, GameError> {
+    Ok(find_violation(g, alpha, k)?.is_none())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_graph::generators;
+
+    fn a(s: &str) -> Alpha {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn one_bse_handles_multi_removal() {
+        // 1-BSE allows one agent to drop several edges at once (stronger
+        // than RE syntactically; equivalent by the Corbo–Parkes argument,
+        // which this exercises).
+        let mut rng = bncg_graph::test_rng(14);
+        for _ in 0..20 {
+            let g = generators::random_connected(7, 0.35, &mut rng);
+            for alpha in ["1/2", "1", "3"] {
+                let alpha = a(alpha);
+                assert_eq!(
+                    find_violation(&g, alpha, 1).unwrap().is_none(),
+                    crate::concepts::re::is_stable(&g, alpha),
+                    "1-BSE must coincide with RE (Prop. A.2 argument)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kbse_ladder_is_monotone() {
+        // (k+1)-BSE ⊆ k-BSE: more cooperation can only destabilize.
+        let mut rng = bncg_graph::test_rng(15);
+        for _ in 0..15 {
+            let g = generators::random_connected(6, 0.3, &mut rng);
+            for alpha in ["1/2", "1", "2", "5"] {
+                let alpha = a(alpha);
+                let mut prev_stable = true;
+                for k in 1..=6usize {
+                    let stable = is_stable(&g, alpha, k).unwrap();
+                    if !prev_stable {
+                        assert!(!stable, "stability must be antitone in k");
+                    }
+                    prev_stable = stable;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn star_is_3bse_stable() {
+        for alpha in ["1", "2", "20"] {
+            assert!(is_stable(&generators::star(7), a(alpha), 3).unwrap());
+        }
+    }
+
+    #[test]
+    fn witnesses_are_replayable() {
+        let mut rng = bncg_graph::test_rng(16);
+        for _ in 0..10 {
+            let g = generators::random_connected(6, 0.3, &mut rng);
+            for alpha in ["1/2", "2"] {
+                for k in [2usize, 3] {
+                    if let Some(mv) = find_violation(&g, a(alpha), k).unwrap() {
+                        assert!(crate::delta::move_improves_all(&g, a(alpha), &mv).unwrap());
+                        if let Move::Coalition { members, .. } = &mv {
+                            assert!(members.len() <= k);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restricted_matches_exact_when_unrestricted() {
+        let mut rng = bncg_graph::test_rng(17);
+        for _ in 0..10 {
+            let g = generators::random_connected(6, 0.3, &mut rng);
+            for alpha in ["1", "3"] {
+                let alpha = a(alpha);
+                let exact = find_violation(&g, alpha, 2).unwrap().is_some();
+                let restricted = find_violation_restricted(&g, alpha, 2, g.m()).is_some();
+                assert_eq!(exact, restricted);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_restricted_agrees_with_serial() {
+        let mut rng = bncg_graph::test_rng(73);
+        for _ in 0..8 {
+            let g = generators::random_connected(7, 0.3, &mut rng);
+            for alpha in ["1", "3"] {
+                let alpha = a(alpha);
+                let serial = find_violation_restricted(&g, alpha, 2, 2);
+                for threads in [1usize, 4] {
+                    let parallel =
+                        find_violation_restricted_parallel(&g, alpha, 2, 2, threads);
+                    assert_eq!(serial.is_some(), parallel.is_some());
+                    if let Some(mv) = parallel {
+                        assert!(crate::delta::move_improves_all(&g, alpha, &mv).unwrap());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_guard_fires() {
+        // A dense graph with a huge coalition move space.
+        let g = generators::clique(16);
+        assert!(matches!(
+            find_violation_with_budget(&g, a("1"), 3, CheckBudget::new(1000)),
+            Err(GameError::CheckTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn cycle_collapses_under_coalitions_at_low_alpha() {
+        // At α slightly above the RE threshold a cycle is pairwise stable,
+        // but for very low α agents build chords bilaterally; 2-BSE must
+        // catch what BAE catches.
+        let g = generators::cycle(6);
+        let alpha = a("1");
+        assert_eq!(
+            find_violation(&g, alpha, 2).unwrap().is_some(),
+            crate::concepts::bge::find_violation(&g, alpha).is_some()
+                || find_violation_restricted(&g, alpha, 2, 6).is_some()
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! The paper's solution concepts, ordered by increasing cooperation
+//! (Section 1.1):
+//!
+//! | Concept | Stable against | Checker |
+//! |---|---|---|
+//! | [`re`] Remove Equilibrium (= NE, Prop. A.2) | single own-edge removal | exact, polynomial |
+//! | [`bae`] Bilateral Add Equilibrium | bilateral single addition | exact, polynomial |
+//! | [`ps`] Pairwise Stability | RE ∩ BAE | exact, polynomial |
+//! | [`bswe`] Bilateral Swap Equilibrium | consensual edge swap | exact, polynomial |
+//! | [`bge`] Bilateral Greedy Equilibrium | PS ∩ BSwE | exact, polynomial |
+//! | [`bne`] Bilateral Neighborhood Equilibrium | one-agent neighborhood rewiring | exact with size guard + sampled refuter |
+//! | [`kbse`] Bilateral k-Strong Equilibrium | coalitions of size ≤ k | exact with budget guard + restricted refuter |
+//! | [`bse`] Bilateral Strong Equilibrium | arbitrary coalitions | exact for tiny n + sampled refuter |
+//!
+//! Every checker returns the *witness move* on instability, so callers can
+//! replay and re-verify it with the generic engine.
+
+pub mod bae;
+pub mod bge;
+pub mod bne;
+pub mod bse;
+pub mod bswe;
+pub mod kbse;
+pub mod ps;
+pub mod re;
+
+use crate::alpha::Alpha;
+use crate::error::GameError;
+use crate::moves::Move;
+use bncg_graph::Graph;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Work budget for the exponential checkers (BNE, k-BSE, BSE). One unit is
+/// roughly one candidate-move evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckBudget {
+    /// Maximum number of candidate-move evaluations before the checker
+    /// refuses with [`GameError::CheckTooLarge`].
+    pub max_evals: u64,
+}
+
+impl Default for CheckBudget {
+    fn default() -> Self {
+        // Around a second of work in release builds.
+        CheckBudget {
+            max_evals: 40_000_000,
+        }
+    }
+}
+
+impl CheckBudget {
+    /// A budget of `max_evals` candidate evaluations.
+    #[must_use]
+    pub fn new(max_evals: u64) -> Self {
+        CheckBudget { max_evals }
+    }
+}
+
+/// A solution concept of the bilateral game, for uniform dispatch in
+/// experiments and dynamics.
+///
+/// # Examples
+///
+/// ```
+/// use bncg_core::{Alpha, Concept};
+/// use bncg_graph::generators;
+///
+/// let star = generators::star(6);
+/// let alpha = Alpha::integer(3)?;
+/// // The star is in equilibrium for every concept when α ≥ 1 (paper §1.3).
+/// for c in Concept::ALL {
+///     assert!(c.is_stable(&star, alpha)?, "star unstable under {c}");
+/// }
+/// # Ok::<(), bncg_core::GameError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Concept {
+    /// Remove Equilibrium (equals the Pure Nash Equilibrium, Prop. A.2).
+    Re,
+    /// Bilateral Add Equilibrium.
+    Bae,
+    /// Pairwise Stability = RE ∩ BAE.
+    Ps,
+    /// Bilateral Swap Equilibrium.
+    Bswe,
+    /// Bilateral Greedy Equilibrium = PS ∩ BSwE.
+    Bge,
+    /// Bilateral Neighborhood Equilibrium.
+    Bne,
+    /// Bilateral k-Strong Equilibrium for the given coalition bound.
+    KBse(u32),
+    /// Bilateral Strong Equilibrium (= n-BSE).
+    Bse,
+}
+
+impl Concept {
+    /// The concepts of Table 1, with k-BSE instantiated at k ∈ {2, 3}.
+    pub const ALL: [Concept; 9] = [
+        Concept::Re,
+        Concept::Bae,
+        Concept::Ps,
+        Concept::Bswe,
+        Concept::Bge,
+        Concept::Bne,
+        Concept::KBse(2),
+        Concept::KBse(3),
+        Concept::Bse,
+    ];
+
+    /// Finds an improving move the concept forbids, or `None` if stable.
+    ///
+    /// # Errors
+    ///
+    /// The exponential checkers (BNE, k-BSE, BSE) return
+    /// [`GameError::CheckTooLarge`] when the instance exceeds the default
+    /// [`CheckBudget`]; call the per-module `find_violation_with_budget`
+    /// for explicit control.
+    pub fn find_violation(&self, g: &Graph, alpha: Alpha) -> Result<Option<Move>, GameError> {
+        match *self {
+            Concept::Re => Ok(re::find_violation(g, alpha)),
+            Concept::Bae => Ok(bae::find_violation(g, alpha)),
+            Concept::Ps => Ok(ps::find_violation(g, alpha)),
+            Concept::Bswe => Ok(bswe::find_violation(g, alpha)),
+            Concept::Bge => Ok(bge::find_violation(g, alpha)),
+            Concept::Bne => bne::find_violation(g, alpha),
+            Concept::KBse(k) => kbse::find_violation(g, alpha, k as usize),
+            Concept::Bse => bse::find_violation(g, alpha),
+        }
+    }
+
+    /// Whether `g` is stable for this concept at price `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Concept::find_violation`].
+    pub fn is_stable(&self, g: &Graph, alpha: Alpha) -> Result<bool, GameError> {
+        Ok(self.find_violation(g, alpha)?.is_none())
+    }
+}
+
+impl fmt::Display for Concept {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Concept::Re => write!(f, "RE"),
+            Concept::Bae => write!(f, "BAE"),
+            Concept::Ps => write!(f, "PS"),
+            Concept::Bswe => write!(f, "BSwE"),
+            Concept::Bge => write!(f, "BGE"),
+            Concept::Bne => write!(f, "BNE"),
+            Concept::KBse(k) => write!(f, "{k}-BSE"),
+            Concept::Bse => write!(f, "BSE"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_graph::generators;
+
+    #[test]
+    fn star_is_universally_stable_for_alpha_at_least_one() {
+        // Paper footnote 6: for α ≥ 1 a star is an equilibrium for all
+        // considered solution concepts.
+        let star = generators::star(7);
+        for alpha in ["1", "3/2", "10", "100"] {
+            let alpha: Alpha = alpha.parse().unwrap();
+            for c in Concept::ALL {
+                assert!(
+                    c.is_stable(&star, alpha).unwrap(),
+                    "star must be stable under {c} at α = {alpha}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Concept::KBse(3).to_string(), "3-BSE");
+        assert_eq!(Concept::Bswe.to_string(), "BSwE");
+    }
+
+    #[test]
+    fn every_violation_reported_is_truly_improving() {
+        // Cross-check all concept checkers against the generic engine on a
+        // corpus of small graphs and prices.
+        let mut rng = bncg_graph::test_rng(4242);
+        for _ in 0..30 {
+            let g = generators::random_connected(7, 0.3, &mut rng);
+            for alpha in ["1/2", "1", "2", "7/2", "20"] {
+                let alpha: Alpha = alpha.parse().unwrap();
+                for c in Concept::ALL {
+                    if let Some(mv) = c.find_violation(&g, alpha).unwrap() {
+                        assert!(
+                            crate::delta::move_improves_all(&g, alpha, &mv).unwrap(),
+                            "{c} reported a non-improving witness {mv} on α = {alpha}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

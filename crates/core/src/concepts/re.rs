@@ -1,0 +1,158 @@
+//! Remove Equilibrium (RE): no agent improves by dropping a single incident
+//! edge. By Proposition A.2 of the paper, RE coincides with the Pure Nash
+//! Equilibrium of the bilateral game.
+
+use crate::alpha::Alpha;
+use crate::cost::agent_cost;
+use crate::moves::Move;
+use bncg_graph::Graph;
+
+/// Finds a profitable single-edge removal, or `None` if `g` is in RE.
+///
+/// On a *connected tree* every removal disconnects the remover from at
+/// least one node, which is lexicographically worse, so trees are in RE
+/// unconditionally — the checker shortcuts that case (the paper uses this
+/// fact throughout Section 3.2).
+///
+/// # Examples
+///
+/// ```
+/// use bncg_core::{concepts::re, Alpha, Move};
+/// use bncg_graph::generators;
+///
+/// // A clique at high α: every agent wants to drop edges.
+/// let g = generators::clique(4);
+/// let alpha = Alpha::integer(10)?;
+/// assert!(matches!(re::find_violation(&g, alpha), Some(Move::Remove { .. })));
+///
+/// // Any tree is in RE.
+/// assert!(re::find_violation(&generators::path(6), alpha).is_none());
+/// # Ok::<(), bncg_core::GameError>(())
+/// ```
+#[must_use]
+pub fn find_violation(g: &Graph, alpha: Alpha) -> Option<Move> {
+    if g.is_tree() {
+        return None;
+    }
+    // Bridge removals strictly lose reachability — lexicographically worse
+    // for the remover no matter how large α is — so only the edges inside
+    // 2-edge-connected blocks need cost evaluation.
+    let bridges: std::collections::HashSet<(u32, u32)> = bncg_graph::connectivity::analyze(g)
+        .bridges
+        .into_iter()
+        .collect();
+    let old: Vec<_> = (0..g.n() as u32).map(|u| agent_cost(g, u)).collect();
+    let mut scratch = g.clone();
+    for (u, v) in g.edges() {
+        if bridges.contains(&(u, v)) {
+            continue;
+        }
+        scratch
+            .remove_edge(u, v)
+            .expect("iterating existing edges");
+        for agent in [u, v] {
+            // The remover stops paying for one edge; `agent_cost` already
+            // reads the reduced degree from the mutated graph.
+            let after = agent_cost(&scratch, agent);
+            debug_assert_eq!(after.edges, old[agent as usize].edges - 1);
+            if after.better_than(&old[agent as usize], alpha) {
+                return Some(Move::Remove {
+                    agent,
+                    target: if agent == u { v } else { u },
+                });
+            }
+        }
+        scratch.add_edge(u, v).expect("restoring removed edge");
+    }
+    None
+}
+
+/// Whether `g` is in Remove Equilibrium.
+#[must_use]
+pub fn is_stable(g: &Graph, alpha: Alpha) -> bool {
+    find_violation(g, alpha).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_graph::generators;
+
+    fn a(s: &str) -> Alpha {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn trees_are_always_in_re() {
+        let mut rng = bncg_graph::test_rng(1);
+        for _ in 0..20 {
+            let g = generators::random_tree(12, &mut rng);
+            for alpha in ["1/3", "1", "50"] {
+                assert!(is_stable(&g, a(alpha)));
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_re_window_matches_lemma_2_4_arithmetic() {
+        // From the proof of Lemma 2.4: C_n is in RE iff removing an edge
+        // (distance increase) does not pay for α. For even n the distance
+        // cost of a cycle agent is n²/4 and of a path-end agent n(n−1)/2;
+        // removal is improving iff α > n(n−1)/2 − n²/4.
+        for n in [4usize, 6, 8] {
+            let g = generators::cycle(n);
+            let threshold = (n * (n - 1) / 2 - n * n / 4) as i64;
+            assert!(is_stable(&g, Alpha::integer(threshold).unwrap()));
+            assert!(!is_stable(&g, Alpha::integer(threshold + 1).unwrap()));
+        }
+    }
+
+    #[test]
+    fn clique_sheds_edges_at_high_alpha() {
+        let g = generators::clique(5);
+        // Removing one clique edge costs distance +1, saves α.
+        assert!(is_stable(&g, a("1")));
+        assert!(!is_stable(&g, a("2")));
+        // Strictness: at α = 1 the trade is exactly neutral.
+        assert!(is_stable(&g, a("1")));
+    }
+
+    #[test]
+    fn witness_is_replayable() {
+        let g = generators::clique(4);
+        let alpha = a("5");
+        let mv = find_violation(&g, alpha).expect("clique is unstable");
+        assert!(crate::delta::move_improves_all(&g, alpha, &mv).unwrap());
+    }
+
+    #[test]
+    fn disconnected_graphs_are_handled() {
+        // Two disjoint edges: removing either edge increases unreachability.
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(is_stable(&g, a("100")));
+    }
+
+    #[test]
+    fn bridge_pruning_matches_brute_force() {
+        // The optimized checker must agree with an unpruned scan on
+        // graphs mixing bridges and cycles.
+        let mut rng = bncg_graph::test_rng(83);
+        for _ in 0..20 {
+            let g = generators::random_connected(9, 0.15, &mut rng);
+            for alpha in ["1/2", "1", "2", "6"] {
+                let alpha = a(alpha);
+                let brute = g.edges().any(|(u, v)| {
+                    [(u, v), (v, u)].into_iter().any(|(agent, target)| {
+                        crate::delta::move_improves_all(
+                            &g,
+                            alpha,
+                            &crate::moves::Move::Remove { agent, target },
+                        )
+                        .unwrap()
+                    })
+                });
+                assert_eq!(!is_stable(&g, alpha), brute, "pruned RE check diverged");
+            }
+        }
+    }
+}

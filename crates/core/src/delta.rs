@@ -1,0 +1,267 @@
+//! Improvement evaluation: does a move strictly lower an agent's cost?
+//!
+//! Two engines are provided. The **generic engine** applies the move and
+//! recomputes BFS costs — correct on any graph, used as ground truth. The
+//! **fast engine** evaluates single-edge additions from a precomputed
+//! distance matrix and edge swaps on trees from component sums, avoiding
+//! the post-move BFS; property tests assert both engines agree.
+
+use crate::alpha::Alpha;
+use crate::cost::{agent_cost, AgentCost};
+use crate::error::GameError;
+use crate::moves::Move;
+use bncg_graph::{DistanceMatrix, Graph, UNREACHABLE};
+
+/// Ground truth: applies `mv` and reports whether **all** consenting agents
+/// strictly improve.
+///
+/// # Errors
+///
+/// Returns an error if the move does not type-check against `g`.
+pub fn move_improves_all(g: &Graph, alpha: Alpha, mv: &Move) -> Result<bool, GameError> {
+    let g2 = mv.apply(g)?;
+    Ok(mv
+        .consenting_agents()
+        .iter()
+        .all(|&a| agent_cost(&g2, a).better_than(&agent_cost(g, a), alpha)))
+}
+
+/// Like [`move_improves_all`] but with the pre-move costs supplied, so
+/// checkers that scan many candidate moves do not recompute them.
+///
+/// # Errors
+///
+/// Returns an error if the move does not type-check against `g`.
+pub fn move_improves_all_cached(
+    g: &Graph,
+    alpha: Alpha,
+    mv: &Move,
+    old_costs: &[AgentCost],
+) -> Result<bool, GameError> {
+    let g2 = mv.apply(g)?;
+    Ok(mv
+        .consenting_agents()
+        .iter()
+        .all(|&a| agent_cost(&g2, a).better_than(&old_costs[a as usize], alpha)))
+}
+
+/// Fast engine: the cost of agent `u` after the bilateral addition of
+/// `{u, v}`, computed from the *pre-move* distance matrix.
+///
+/// After adding an edge incident to `u`, the new distance from `u` to any
+/// `w` is exactly `min(d(u,w), 1 + d(v,w))`: a shortest path either avoids
+/// the new edge or starts with it.
+#[must_use]
+pub fn cost_after_add(g: &Graph, d: &DistanceMatrix, u: u32, v: u32) -> AgentCost {
+    let row_u = d.row(u);
+    let row_v = d.row(v);
+    let mut dist = 0u64;
+    let mut unreachable = 0u32;
+    for w in 0..g.n() {
+        let du = row_u[w];
+        let dv = row_v[w];
+        let new = match (du, dv) {
+            (UNREACHABLE, UNREACHABLE) => UNREACHABLE,
+            (UNREACHABLE, dv) => dv + 1,
+            (du, UNREACHABLE) => du,
+            (du, dv) => du.min(dv + 1),
+        };
+        if new == UNREACHABLE {
+            unreachable += 1;
+        } else {
+            dist += u64::from(new);
+        }
+    }
+    AgentCost {
+        unreachable,
+        edges: g.degree(u) as u32 + 1,
+        dist,
+    }
+}
+
+/// Fast engine: post-swap costs on a **tree**.
+///
+/// For the swap `agent: old → new` on a tree, removing `{agent, old}`
+/// splits the tree into the component `C` of `old` and the rest; the swap
+/// keeps the graph a tree iff `new ∈ C`. Distances inside each part are
+/// unchanged and cross distances route through the new bridge
+/// `{agent, new}`.
+///
+/// Returns `None` when the swap disconnects the graph (`new ∉ C`), which
+/// can never be improving from a connected state.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `g` is not a tree or `{agent, old}` is not
+/// an edge; call sites guarantee both.
+#[must_use]
+pub fn tree_swap_costs(
+    g: &Graph,
+    d: &DistanceMatrix,
+    agent: u32,
+    old: u32,
+    new: u32,
+) -> Option<(AgentCost, AgentCost)> {
+    debug_assert!(g.is_tree(), "tree_swap_costs requires a tree");
+    debug_assert!(g.has_edge(agent, old), "swap requires the old edge");
+    debug_assert!(
+        !g.has_edge(agent, new) && agent != new,
+        "swap target must be a non-neighbor"
+    );
+    let n = g.n();
+    let row_agent = d.row(agent);
+    let row_old = d.row(old);
+    let row_new = d.row(new);
+    // `new` must sit on the `old` side of the split.
+    if row_old[new as usize] >= row_agent[new as usize] {
+        return None;
+    }
+    let mut c_size = 0u64; // |C|, the old-side component
+    let mut sum_new_c = 0u64; // Σ_{y∈C} d(new, y)
+    let mut sum_agent_rest = 0u64; // Σ_{x∉C} d(agent, x)
+    for w in 0..n {
+        if row_old[w] < row_agent[w] {
+            c_size += 1;
+            sum_new_c += u64::from(row_new[w]);
+        } else {
+            sum_agent_rest += u64::from(row_agent[w]);
+        }
+    }
+    let rest_size = n as u64 - c_size;
+    // Agent: unchanged to its own side, 1 + d(new, y) across the bridge.
+    let agent_dist = sum_agent_rest + c_size + sum_new_c;
+    // New partner: unchanged inside C, 1 + d(agent, x) across the bridge.
+    let new_dist = sum_new_c + rest_size + sum_agent_rest;
+    Some((
+        AgentCost {
+            unreachable: 0,
+            edges: g.degree(agent) as u32,
+            dist: agent_dist,
+        },
+        AgentCost {
+            unreachable: 0,
+            edges: g.degree(new) as u32 + 1,
+            dist: new_dist,
+        },
+    ))
+}
+
+/// The distance-sum gain (old − new, ≥ 0) for `u` when the edge `{u, v}` is
+/// added, for connected graphs; a convenience over [`cost_after_add`].
+#[must_use]
+pub fn add_distance_gain(d: &DistanceMatrix, u: u32, v: u32) -> u64 {
+    let row_u = d.row(u);
+    let row_v = d.row(v);
+    let mut gain = 0u64;
+    for w in 0..row_u.len() {
+        let (du, dv) = (row_u[w], row_v[w]);
+        if du != UNREACHABLE && dv != UNREACHABLE && dv + 1 < du {
+            gain += u64::from(du - dv - 1);
+        }
+    }
+    gain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_graph::generators;
+
+    fn alpha(s: &str) -> Alpha {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn generic_engine_detects_improvement() {
+        // Path 0-1-2-3, α = 1: adding {0,3} saves each endpoint
+        // dist 3→1 plus nothing else... 0's distances: 1,2,3 → 1,2,1:
+        // gain 2 > α = 1.
+        let g = generators::path(4);
+        let mv = Move::BilateralAdd { u: 0, v: 3 };
+        assert!(move_improves_all(&g, alpha("1"), &mv).unwrap());
+        assert!(!move_improves_all(&g, alpha("2"), &mv).unwrap());
+    }
+
+    #[test]
+    fn cached_engine_matches_generic() {
+        let g = generators::path(5);
+        let old: Vec<AgentCost> = (0..5).map(|u| agent_cost(&g, u)).collect();
+        for mv in [
+            Move::BilateralAdd { u: 0, v: 4 },
+            Move::BilateralAdd { u: 0, v: 2 },
+            Move::Remove { agent: 1, target: 2 },
+        ] {
+            assert_eq!(
+                move_improves_all(&g, alpha("3/2"), &mv).unwrap(),
+                move_improves_all_cached(&g, alpha("3/2"), &mv, &old).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn fast_add_matches_generic_on_random_graphs() {
+        let mut rng = bncg_graph::test_rng(42);
+        for _ in 0..20 {
+            let g = generators::random_connected(12, 0.2, &mut rng);
+            let d = DistanceMatrix::new(&g);
+            for (u, v) in g.non_edges() {
+                let fast = cost_after_add(&g, &d, u, v);
+                let g2 = Move::BilateralAdd { u, v }.apply(&g).unwrap();
+                let slow = agent_cost(&g2, u);
+                assert_eq!(fast, slow, "fast add disagrees at ({u}, {v})");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_add_handles_disconnected_components() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let d = DistanceMatrix::new(&g);
+        let c = cost_after_add(&g, &d, 0, 2);
+        assert_eq!(c.unreachable, 0);
+        assert_eq!(c.dist, 1 + 1 + 2); // to 1, 2, 3
+        assert_eq!(c.edges, 2);
+    }
+
+    #[test]
+    fn tree_swap_matches_generic_on_random_trees() {
+        let mut rng = bncg_graph::test_rng(7);
+        for _ in 0..10 {
+            let g = generators::random_tree(14, &mut rng);
+            let d = DistanceMatrix::new(&g);
+            for u in 0..14u32 {
+                for &old in g.neighbors(u) {
+                    for new in 0..14u32 {
+                        if new == u || g.has_edge(u, new) {
+                            continue;
+                        }
+                        let mv = Move::Swap { agent: u, old, new };
+                        let g2 = mv.apply(&g).unwrap();
+                        match tree_swap_costs(&g, &d, u, old, new) {
+                            Some((cu, cn)) => {
+                                assert_eq!(cu, agent_cost(&g2, u));
+                                assert_eq!(cn, agent_cost(&g2, new));
+                            }
+                            None => {
+                                // Disconnecting swap: generic engine must
+                                // report unreachable nodes.
+                                assert!(agent_cost(&g2, u).unreachable > 0);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_distance_gain_matches_cost_delta() {
+        let g = generators::cycle(8);
+        let d = DistanceMatrix::new(&g);
+        for (u, v) in g.non_edges() {
+            let before = agent_cost(&g, u);
+            let after = cost_after_add(&g, &d, u, v);
+            assert_eq!(before.dist - after.dist, add_distance_gain(&d, u, v));
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! # bncg-core
+//!
+//! The primary contribution of *The Impact of Cooperation in Bilateral
+//! Network Creation* (Friedrich, Gawendowicz, Lenzner, Zahn; PODC 2023),
+//! as an executable model:
+//!
+//! * the **Bilateral Network Creation Game**: agents are nodes, an edge
+//!   needs consent and `α` from both endpoints, and
+//!   `cost(u) = α·|S_u| + Σ_v dist(u, v)` with a lexicographic
+//!   disconnection penalty ([`agent_cost`], [`Alpha`], [`Game`]);
+//! * the full ladder of **solution concepts** ordered by cooperation —
+//!   RE, BAE, PS, BSwE, BGE, BNE, k-BSE, BSE — each with a
+//!   witness-producing checker ([`concepts`], [`Concept`]);
+//! * the **unilateral NCG** comparison layer with edge assignments
+//!   ([`unilateral`]), used to disprove the Corbo–Parkes conjecture;
+//! * the paper's **bounds** as executable closed forms and exact lemma
+//!   predicates ([`bounds`]).
+//!
+//! # Examples
+//!
+//! Checkers certify stability or hand back a replayable witness move:
+//!
+//! ```
+//! use bncg_core::{concepts, delta, Alpha};
+//! use bncg_graph::generators;
+//!
+//! let path = generators::path(6);
+//! let alpha = Alpha::integer(2)?;
+//! // Trees are always in Remove Equilibrium …
+//! assert!(concepts::re::is_stable(&path, alpha));
+//! // … but the path's ends profit from a joint edge: not pairwise stable.
+//! let witness = concepts::ps::find_violation(&path, alpha).expect("unstable");
+//! assert!(delta::move_improves_all(&path, alpha, &witness)?);
+//! # Ok::<(), bncg_core::GameError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod alpha;
+mod best_response;
+mod cost;
+mod error;
+mod game;
+mod moves;
+
+pub mod bounds;
+pub mod combinatorics;
+pub mod concepts;
+pub mod delta;
+pub mod unilateral;
+pub mod windows;
+
+pub use alpha::Alpha;
+pub use best_response::{best_response, best_response_with_budget, BestResponse};
+pub use concepts::{CheckBudget, Concept};
+pub use cost::{
+    agent_cost, agent_cost_from_matrix, optimum_cost, social_cost, social_cost_ratio, AgentCost,
+    Ratio,
+};
+pub use error::GameError;
+pub use game::Game;
+pub use moves::Move;

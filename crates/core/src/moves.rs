@@ -1,0 +1,349 @@
+//! Strategy changes (moves) in the bilateral game.
+//!
+//! Every solution concept is defined by the set of moves it must be stable
+//! against; checkers return a concrete [`Move`] as the witness of
+//! instability, and dynamics replay these moves. A move can always be
+//! applied to a graph state, producing the successor state.
+
+use crate::error::GameError;
+use bncg_graph::Graph;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A strategy change in the bilateral game, annotated with the agents that
+/// must consent (i.e. strictly improve) for the corresponding solution
+/// concept.
+///
+/// # Examples
+///
+/// ```
+/// use bncg_core::Move;
+/// use bncg_graph::generators;
+///
+/// let g = generators::path(3);
+/// let m = Move::BilateralAdd { u: 0, v: 2 };
+/// let g2 = m.apply(&g)?;
+/// assert!(g2.has_edge(0, 2));
+/// assert_eq!(m.consenting_agents(), vec![0, 2]);
+/// # Ok::<(), bncg_core::GameError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Move {
+    /// Agent `agent` unilaterally stops paying for `target`; the edge
+    /// disappears (Remove Equilibrium).
+    Remove {
+        /// The agent performing the removal.
+        agent: u32,
+        /// The neighbor whose edge is dropped.
+        target: u32,
+    },
+    /// Agents `u` and `v` jointly create the edge `{u, v}`; both pay `α`
+    /// (Bilateral Add Equilibrium).
+    BilateralAdd {
+        /// First endpoint.
+        u: u32,
+        /// Second endpoint.
+        v: u32,
+    },
+    /// Agent `agent` swaps its edge to `old` for a new edge to `new`; the
+    /// buying cost of `agent` is unchanged, `new` pays for one extra edge
+    /// (Bilateral Swap Equilibrium). `old` is not asked.
+    Swap {
+        /// The swapping agent.
+        agent: u32,
+        /// Current neighbor to drop.
+        old: u32,
+        /// New partner to connect to (must consent).
+        new: u32,
+    },
+    /// A neighborhood change around `center`: simultaneously remove the
+    /// edges to `remove` and create edges to `add`. The center and *all*
+    /// agents in `add` must strictly improve (Bilateral Neighborhood
+    /// Equilibrium).
+    Neighborhood {
+        /// The agent rearranging its neighborhood.
+        center: u32,
+        /// Current neighbors to disconnect from.
+        remove: Vec<u32>,
+        /// New partners to connect to.
+        add: Vec<u32>,
+    },
+    /// A coalitional move by `members` (Bilateral k-Strong Equilibrium):
+    /// delete `remove_edges` (each touching the coalition) and create
+    /// `add_edges` (both endpoints inside the coalition). All members must
+    /// strictly improve.
+    Coalition {
+        /// The coalition Γ.
+        members: Vec<u32>,
+        /// Edges to delete; every edge must have an endpoint in Γ.
+        remove_edges: Vec<(u32, u32)>,
+        /// Edges to create; both endpoints must lie in Γ.
+        add_edges: Vec<(u32, u32)>,
+    },
+}
+
+impl Move {
+    /// The agents whose strict improvement the move requires.
+    #[must_use]
+    pub fn consenting_agents(&self) -> Vec<u32> {
+        match self {
+            Move::Remove { agent, .. } => vec![*agent],
+            Move::BilateralAdd { u, v } => vec![*u, *v],
+            Move::Swap { agent, new, .. } => vec![*agent, *new],
+            Move::Neighborhood { center, add, .. } => {
+                let mut agents = vec![*center];
+                agents.extend_from_slice(add);
+                agents
+            }
+            Move::Coalition { members, .. } => members.clone(),
+        }
+    }
+
+    /// Validates the move against a graph state and returns the successor
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidMove`] if the move does not type-check
+    /// against the state (adding present edges, removing absent ones,
+    /// coalition constraints violated, …).
+    pub fn apply(&self, g: &Graph) -> Result<Graph, GameError> {
+        let n = g.n();
+        let check_node = |x: u32| -> Result<(), GameError> {
+            if (x as usize) < n {
+                Ok(())
+            } else {
+                Err(GameError::NodeOutOfRange { node: x, n })
+            }
+        };
+        let mut out = g.clone();
+        match self {
+            Move::Remove { agent, target } => {
+                check_node(*agent)?;
+                check_node(*target)?;
+                out.remove_edge(*agent, *target)
+                    .map_err(|e| GameError::InvalidMove(e.to_string()))?;
+            }
+            Move::BilateralAdd { u, v } => {
+                check_node(*u)?;
+                check_node(*v)?;
+                out.add_edge(*u, *v)
+                    .map_err(|e| GameError::InvalidMove(e.to_string()))?;
+            }
+            Move::Swap { agent, old, new } => {
+                check_node(*agent)?;
+                check_node(*old)?;
+                check_node(*new)?;
+                if old == new {
+                    return Err(GameError::InvalidMove(
+                        "swap must change the partner".into(),
+                    ));
+                }
+                out.remove_edge(*agent, *old)
+                    .map_err(|e| GameError::InvalidMove(e.to_string()))?;
+                out.add_edge(*agent, *new)
+                    .map_err(|e| GameError::InvalidMove(e.to_string()))?;
+            }
+            Move::Neighborhood {
+                center,
+                remove,
+                add,
+            } => {
+                check_node(*center)?;
+                if remove.is_empty() && add.is_empty() {
+                    return Err(GameError::InvalidMove(
+                        "neighborhood move must change something".into(),
+                    ));
+                }
+                for &r in remove {
+                    check_node(r)?;
+                    out.remove_edge(*center, r)
+                        .map_err(|e| GameError::InvalidMove(e.to_string()))?;
+                }
+                for &a in add {
+                    check_node(a)?;
+                    out.add_edge(*center, a)
+                        .map_err(|e| GameError::InvalidMove(e.to_string()))?;
+                }
+            }
+            Move::Coalition {
+                members,
+                remove_edges,
+                add_edges,
+            } => {
+                if members.is_empty() {
+                    return Err(GameError::InvalidMove("empty coalition".into()));
+                }
+                if remove_edges.is_empty() && add_edges.is_empty() {
+                    return Err(GameError::InvalidMove(
+                        "coalition move must change something".into(),
+                    ));
+                }
+                for &m in members {
+                    check_node(m)?;
+                }
+                let in_coalition = |x: u32| members.contains(&x);
+                for &(u, v) in remove_edges {
+                    if !in_coalition(u) && !in_coalition(v) {
+                        return Err(GameError::InvalidMove(format!(
+                            "removed edge {{{u}, {v}}} does not touch the coalition"
+                        )));
+                    }
+                    out.remove_edge(u, v)
+                        .map_err(|e| GameError::InvalidMove(e.to_string()))?;
+                }
+                for &(u, v) in add_edges {
+                    if !in_coalition(u) || !in_coalition(v) {
+                        return Err(GameError::InvalidMove(format!(
+                            "added edge {{{u}, {v}}} leaves the coalition"
+                        )));
+                    }
+                    out.add_edge(u, v)
+                        .map_err(|e| GameError::InvalidMove(e.to_string()))?;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Move {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Move::Remove { agent, target } => write!(f, "remove: {agent} drops edge to {target}"),
+            Move::BilateralAdd { u, v } => write!(f, "add: {u} and {v} build {{{u}, {v}}}"),
+            Move::Swap { agent, old, new } => {
+                write!(f, "swap: {agent} trades edge to {old} for edge to {new}")
+            }
+            Move::Neighborhood {
+                center,
+                remove,
+                add,
+            } => write!(
+                f,
+                "neighborhood around {center}: remove {remove:?}, add {add:?}"
+            ),
+            Move::Coalition {
+                members,
+                remove_edges,
+                add_edges,
+            } => write!(
+                f,
+                "coalition {members:?}: remove {remove_edges:?}, add {add_edges:?}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_graph::generators;
+
+    #[test]
+    fn apply_remove_and_add() {
+        let g = generators::path(4);
+        let g2 = Move::Remove { agent: 1, target: 2 }.apply(&g).unwrap();
+        assert!(!g2.has_edge(1, 2));
+        let g3 = Move::BilateralAdd { u: 0, v: 3 }.apply(&g).unwrap();
+        assert!(g3.has_edge(0, 3));
+    }
+
+    #[test]
+    fn apply_swap() {
+        let g = generators::star(4); // center 0
+        let m = Move::Swap { agent: 1, old: 0, new: 2 };
+        let g2 = m.apply(&g).unwrap();
+        assert!(!g2.has_edge(1, 0));
+        assert!(g2.has_edge(1, 2));
+        assert_eq!(m.consenting_agents(), vec![1, 2]);
+    }
+
+    #[test]
+    fn apply_neighborhood() {
+        let g = generators::star(5);
+        let m = Move::Neighborhood {
+            center: 0,
+            remove: vec![1, 2],
+            add: vec![],
+        };
+        let g2 = m.apply(&g).unwrap();
+        assert_eq!(g2.degree(0), 2);
+        assert!(Move::Neighborhood { center: 0, remove: vec![], add: vec![] }
+            .apply(&g)
+            .is_err());
+    }
+
+    #[test]
+    fn coalition_constraints() {
+        let g = generators::path(5);
+        // Legal: coalition {0, 4} adds {0, 4} and removes {3, 4}.
+        let m = Move::Coalition {
+            members: vec![0, 4],
+            remove_edges: vec![(3, 4)],
+            add_edges: vec![(0, 4)],
+        };
+        let g2 = m.apply(&g).unwrap();
+        assert!(g2.has_edge(0, 4));
+        assert!(!g2.has_edge(3, 4));
+
+        // Illegal: removed edge does not touch the coalition.
+        let bad = Move::Coalition {
+            members: vec![0],
+            remove_edges: vec![(2, 3)],
+            add_edges: vec![],
+        };
+        assert!(matches!(bad.apply(&g), Err(GameError::InvalidMove(_))));
+
+        // Illegal: added edge leaves the coalition.
+        let bad = Move::Coalition {
+            members: vec![0],
+            remove_edges: vec![],
+            add_edges: vec![(0, 2)],
+        };
+        assert!(matches!(bad.apply(&g), Err(GameError::InvalidMove(_))));
+
+        // Illegal: empty coalition or empty move.
+        assert!(Move::Coalition { members: vec![], remove_edges: vec![], add_edges: vec![(0, 1)] }
+            .apply(&g)
+            .is_err());
+        assert!(Move::Coalition { members: vec![0], remove_edges: vec![], add_edges: vec![] }
+            .apply(&g)
+            .is_err());
+    }
+
+    #[test]
+    fn invalid_moves_are_rejected() {
+        let g = generators::path(3);
+        assert!(Move::Remove { agent: 0, target: 2 }.apply(&g).is_err());
+        assert!(Move::BilateralAdd { u: 0, v: 1 }.apply(&g).is_err());
+        assert!(Move::Swap { agent: 0, old: 1, new: 1 }.apply(&g).is_err());
+        assert!(matches!(
+            Move::Remove { agent: 9, target: 0 }.apply(&g),
+            Err(GameError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn consenting_agents_per_move() {
+        assert_eq!(Move::Remove { agent: 3, target: 1 }.consenting_agents(), vec![3]);
+        assert_eq!(
+            Move::Neighborhood { center: 0, remove: vec![1], add: vec![2, 3] }
+                .consenting_agents(),
+            vec![0, 2, 3]
+        );
+        assert_eq!(
+            Move::Coalition { members: vec![4, 5], remove_edges: vec![], add_edges: vec![] }
+                .consenting_agents(),
+            vec![4, 5]
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let m = Move::Swap { agent: 1, old: 0, new: 2 };
+        let s = m.to_string();
+        assert!(s.contains("swap"));
+        assert!(s.contains('1') && s.contains('0') && s.contains('2'));
+    }
+}

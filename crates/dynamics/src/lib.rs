@@ -1,0 +1,412 @@
+//! # bncg-dynamics
+//!
+//! Improving-move dynamics for the Bilateral Network Creation Game: how do
+//! decentralized agents *reach* the equilibria whose quality the paper
+//! bounds? A run repeatedly finds a move the chosen solution concept
+//! forbids and applies it, until no such move exists (the state is an
+//! equilibrium of that concept) or a step limit fires.
+//!
+//! Three move-selection rules are provided: the deterministic first
+//! violation, a uniformly random improving move, and the "most improving"
+//! move (largest joint cost reduction of the consenting agents). The
+//! trajectory records every step so experiments can analyze convergence
+//! speed and the social-cost path.
+//!
+//! # Examples
+//!
+//! ```
+//! use bncg_core::{Alpha, Concept};
+//! use bncg_dynamics::{run, SelectionRule};
+//! use bncg_graph::generators;
+//!
+//! // A path under greedy dynamics folds into a low-cost tree.
+//! let path = generators::path(12);
+//! let alpha = Alpha::integer(3)?;
+//! let t = run(&path, alpha, Concept::Bge, SelectionRule::First, 10_000)?;
+//! assert!(t.converged);
+//! # Ok::<(), bncg_core::GameError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod round_robin;
+
+use bncg_core::{agent_cost, social_cost, Alpha, Concept, GameError, Move};
+use bncg_graph::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// How the next improving move is chosen among the violations of the
+/// concept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionRule {
+    /// The first violation in the checker's deterministic scan order.
+    First,
+    /// A uniformly random improving move (polynomial concepts only).
+    Random,
+    /// The move with the largest total strict improvement of its
+    /// consenting agents (polynomial concepts only).
+    MostImproving,
+}
+
+/// A recorded dynamics run.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    /// The applied moves, in order.
+    pub steps: Vec<Move>,
+    /// Whether the run reached a stable state (vs. hitting the step cap).
+    pub converged: bool,
+    /// The final graph.
+    pub final_graph: Graph,
+    /// Social cost after every step (including the initial state), as
+    /// `f64` for reporting; `None` entries mark disconnected states.
+    pub cost_trace: Vec<Option<f64>>,
+}
+
+impl Trajectory {
+    /// Number of applied moves.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether no move was applied.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Runs improving dynamics from `start` under `concept` until stable or
+/// `max_steps` moves were applied.
+///
+/// # Errors
+///
+/// Forwards guard errors from the exponential checkers, and
+/// [`GameError::InvalidMove`] if a checker ever emits a non-applicable
+/// move (a bug the dynamics would rather surface than skip).
+pub fn run(
+    start: &Graph,
+    alpha: Alpha,
+    concept: Concept,
+    rule: SelectionRule,
+    max_steps: usize,
+) -> Result<Trajectory, GameError> {
+    let mut rng = bncg_graph::test_rng(0x5eed);
+    run_with_rng(start, alpha, concept, rule, max_steps, &mut rng)
+}
+
+/// [`run`] with a caller-supplied RNG (used by [`SelectionRule::Random`]).
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_with_rng<R: Rng + ?Sized>(
+    start: &Graph,
+    alpha: Alpha,
+    concept: Concept,
+    rule: SelectionRule,
+    max_steps: usize,
+    rng: &mut R,
+) -> Result<Trajectory, GameError> {
+    let mut g = start.clone();
+    let mut steps = Vec::new();
+    let mut cost_trace = vec![social_cost(&g, alpha).ok().map(|c| c.as_f64())];
+    let mut converged = false;
+    for _ in 0..max_steps {
+        let next = match rule {
+            SelectionRule::First => concept.find_violation(&g, alpha)?,
+            SelectionRule::Random => pick_random(&g, alpha, concept, rng)?,
+            SelectionRule::MostImproving => pick_most_improving(&g, alpha, concept)?,
+        };
+        let Some(mv) = next else {
+            converged = true;
+            break;
+        };
+        g = mv.apply(&g)?;
+        cost_trace.push(social_cost(&g, alpha).ok().map(|c| c.as_f64()));
+        steps.push(mv);
+    }
+    if !converged && concept.find_violation(&g, alpha)?.is_none() {
+        converged = true;
+    }
+    Ok(Trajectory {
+        steps,
+        converged,
+        final_graph: g,
+        cost_trace,
+    })
+}
+
+/// Enumerates every violating move of a *polynomial* concept (RE, BAE, PS,
+/// BSwE, BGE). The exponential concepts fall back to the single move the
+/// exact checker reports.
+///
+/// # Errors
+///
+/// Forwards guard errors from the exponential checkers.
+pub fn enumerate_violations(
+    g: &Graph,
+    alpha: Alpha,
+    concept: Concept,
+) -> Result<Vec<Move>, GameError> {
+    let mut out = Vec::new();
+    let old: Vec<_> = (0..g.n() as u32).map(|u| agent_cost(g, u)).collect();
+    let push_if_improving = |mv: Move, out: &mut Vec<Move>| -> Result<(), GameError> {
+        if bncg_core::delta::move_improves_all_cached(g, alpha, &mv, &old)? {
+            out.push(mv);
+        }
+        Ok(())
+    };
+    let wants_removals = matches!(concept, Concept::Re | Concept::Ps | Concept::Bge);
+    let wants_adds = matches!(concept, Concept::Bae | Concept::Ps | Concept::Bge);
+    let wants_swaps = matches!(concept, Concept::Bswe | Concept::Bge);
+    if wants_removals {
+        for (u, v) in g.edges() {
+            push_if_improving(Move::Remove { agent: u, target: v }, &mut out)?;
+            push_if_improving(Move::Remove { agent: v, target: u }, &mut out)?;
+        }
+    }
+    if wants_adds {
+        for (u, v) in g.non_edges() {
+            push_if_improving(Move::BilateralAdd { u, v }, &mut out)?;
+        }
+    }
+    if wants_swaps {
+        for agent in 0..g.n() as u32 {
+            let neighbors: Vec<u32> = g.neighbors(agent).to_vec();
+            for &old_nb in &neighbors {
+                for new in 0..g.n() as u32 {
+                    if new != agent && new != old_nb && !g.has_edge(agent, new) {
+                        push_if_improving(
+                            Move::Swap { agent, old: old_nb, new },
+                            &mut out,
+                        )?;
+                    }
+                }
+            }
+        }
+    }
+    if !(wants_removals || wants_adds || wants_swaps) {
+        // Exponential concept: delegate to its checker.
+        if let Some(mv) = concept.find_violation(g, alpha)? {
+            out.push(mv);
+        }
+    }
+    Ok(out)
+}
+
+fn pick_random<R: Rng + ?Sized>(
+    g: &Graph,
+    alpha: Alpha,
+    concept: Concept,
+    rng: &mut R,
+) -> Result<Option<Move>, GameError> {
+    let all = enumerate_violations(g, alpha, concept)?;
+    Ok(all.choose(rng).cloned())
+}
+
+fn pick_most_improving(
+    g: &Graph,
+    alpha: Alpha,
+    concept: Concept,
+) -> Result<Option<Move>, GameError> {
+    let all = enumerate_violations(g, alpha, concept)?;
+    let old: Vec<_> = (0..g.n() as u32).map(|u| agent_cost(g, u)).collect();
+    let mut best: Option<(i128, Move)> = None;
+    for mv in all {
+        let g2 = mv.apply(g)?;
+        let gain: i128 = mv
+            .consenting_agents()
+            .iter()
+            .map(|&a| {
+                let before = &old[a as usize];
+                let after = agent_cost(&g2, a);
+                alpha.cost_key(before.edges, before.dist) - alpha.cost_key(after.edges, after.dist)
+            })
+            .sum();
+        if best.as_ref().is_none_or(|(b, _)| gain > *b) {
+            best = Some((gain, mv));
+        }
+    }
+    Ok(best.map(|(_, mv)| mv))
+}
+
+/// Convergence statistics over many random starting trees.
+#[derive(Debug, Clone)]
+pub struct ConvergenceReport {
+    /// Runs that reached an equilibrium.
+    pub converged: usize,
+    /// Total runs.
+    pub runs: usize,
+    /// Mean number of moves among converged runs.
+    pub mean_steps: f64,
+    /// Mean social cost ratio ρ of the reached equilibria.
+    pub mean_rho: f64,
+    /// Worst ρ among reached equilibria.
+    pub max_rho: f64,
+}
+
+/// Runs `runs` dynamics from random trees on `n` nodes and aggregates
+/// convergence and equilibrium quality.
+///
+/// # Errors
+///
+/// Forwards checker guard errors.
+pub fn convergence_experiment<R: Rng + ?Sized>(
+    n: usize,
+    alpha: Alpha,
+    concept: Concept,
+    rule: SelectionRule,
+    runs: usize,
+    max_steps: usize,
+    rng: &mut R,
+) -> Result<ConvergenceReport, GameError> {
+    let mut converged = 0usize;
+    let mut steps_sum = 0usize;
+    let mut rho_sum = 0.0f64;
+    let mut rho_max = 0.0f64;
+    for _ in 0..runs {
+        let start = bncg_graph::generators::random_tree(n, rng);
+        let t = run_with_rng(&start, alpha, concept, rule, max_steps, rng)?;
+        if t.converged {
+            converged += 1;
+            steps_sum += t.len();
+            let rho = bncg_core::social_cost_ratio(&t.final_graph, alpha)?.as_f64();
+            rho_sum += rho;
+            rho_max = rho_max.max(rho);
+        }
+    }
+    Ok(ConvergenceReport {
+        converged,
+        runs,
+        mean_steps: if converged > 0 {
+            steps_sum as f64 / converged as f64
+        } else {
+            f64::NAN
+        },
+        mean_rho: if converged > 0 {
+            rho_sum / converged as f64
+        } else {
+            f64::NAN
+        },
+        max_rho: rho_max,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_graph::generators;
+
+    fn a(s: &str) -> Alpha {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn dynamics_reach_stable_states() {
+        let mut rng = bncg_graph::test_rng(31);
+        for concept in [Concept::Ps, Concept::Bge] {
+            for _ in 0..10 {
+                let start = generators::random_tree(10, &mut rng);
+                let t = run(&start, a("2"), concept, SelectionRule::First, 5_000).unwrap();
+                assert!(t.converged, "dynamics must converge on small instances");
+                assert!(concept.is_stable(&t.final_graph, a("2")).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn stable_start_is_a_fixpoint() {
+        let star = generators::star(9);
+        let t = run(&star, a("2"), Concept::Bge, SelectionRule::First, 100).unwrap();
+        assert!(t.converged);
+        assert!(t.is_empty());
+        assert_eq!(t.final_graph, star);
+        assert_eq!(t.cost_trace.len(), 1);
+    }
+
+    #[test]
+    fn all_rules_reach_equilibria() {
+        let mut rng = bncg_graph::test_rng(33);
+        let start = generators::random_tree(9, &mut rng);
+        for rule in [
+            SelectionRule::First,
+            SelectionRule::Random,
+            SelectionRule::MostImproving,
+        ] {
+            let t =
+                run_with_rng(&start, a("3/2"), Concept::Bge, rule, 5_000, &mut rng).unwrap();
+            assert!(t.converged, "rule {rule:?} must converge");
+            assert!(Concept::Bge.is_stable(&t.final_graph, a("3/2")).unwrap());
+        }
+    }
+
+    #[test]
+    fn enumerated_violations_are_exactly_the_improving_moves() {
+        let mut rng = bncg_graph::test_rng(35);
+        for _ in 0..10 {
+            let g = generators::random_connected(7, 0.3, &mut rng);
+            for concept in [Concept::Re, Concept::Bae, Concept::Bswe] {
+                let all = enumerate_violations(&g, a("1"), concept).unwrap();
+                for mv in &all {
+                    assert!(bncg_core::delta::move_improves_all(&g, a("1"), mv).unwrap());
+                }
+                // Consistency with the checker's verdict.
+                assert_eq!(
+                    all.is_empty(),
+                    concept.is_stable(&g, a("1")).unwrap(),
+                    "checker and enumerator disagree under {concept}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trajectory_costs_are_recorded() {
+        let t = run(
+            &generators::path(8),
+            a("1"),
+            Concept::Ps,
+            SelectionRule::First,
+            1_000,
+        )
+        .unwrap();
+        assert_eq!(t.cost_trace.len(), t.len() + 1);
+        assert!(t.cost_trace.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn convergence_experiment_aggregates() {
+        let mut rng = bncg_graph::test_rng(37);
+        let report = convergence_experiment(
+            8,
+            a("2"),
+            Concept::Bge,
+            SelectionRule::Random,
+            12,
+            5_000,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(report.runs, 12);
+        assert!(report.converged > 0);
+        assert!(report.max_rho >= 1.0 - 1e-12);
+        assert!(report.mean_rho >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn bne_dynamics_run_on_small_instances() {
+        let t = run(
+            &generators::path(9),
+            a("2"),
+            Concept::Bne,
+            SelectionRule::First,
+            2_000,
+        )
+        .unwrap();
+        assert!(t.converged);
+        assert!(Concept::Bne.is_stable(&t.final_graph, a("2")).unwrap());
+    }
+}

@@ -1,0 +1,180 @@
+//! Round-robin best-response dynamics: agents are activated in a fixed
+//! cyclic order and each plays its *best feasible neighborhood move*
+//! (partners must consent — the BNE move model). A full silent round means
+//! the state is a Bilateral Neighborhood Equilibrium.
+//!
+//! Improving-move dynamics in network creation games need not converge
+//! (Kawald–Lenzner study this for the unilateral game), so the runner also
+//! detects exact state revisits and reports *cycling* separately from
+//! hitting the round cap.
+
+use bncg_core::{best_response_with_budget, CheckBudget, GameError, Move};
+use bncg_graph::Graph;
+use std::collections::HashSet;
+
+/// Outcome of a round-robin run.
+#[derive(Debug, Clone)]
+pub struct RoundRobinOutcome {
+    /// Completed activation rounds (a round activates every agent once).
+    pub rounds: usize,
+    /// Total moves applied.
+    pub moves: usize,
+    /// The applied moves in order.
+    pub history: Vec<Move>,
+    /// `true` iff a full round passed with no agent moving (BNE reached).
+    pub converged: bool,
+    /// `true` iff a previously seen state recurred (a best-response cycle).
+    pub cycled: bool,
+    /// The final state.
+    pub final_graph: Graph,
+}
+
+/// Runs round-robin best-response dynamics from `start` for at most
+/// `max_rounds` rounds.
+///
+/// # Errors
+///
+/// Forwards [`GameError::CheckTooLarge`] from the per-agent best-response
+/// enumeration (exponential in `n`; keep `n ≲ 20`).
+///
+/// # Examples
+///
+/// ```
+/// use bncg_core::{Alpha, Concept};
+/// use bncg_dynamics::round_robin::run;
+/// use bncg_graph::generators;
+///
+/// let out = run(&generators::path(9), Alpha::integer(2)?, 100)?;
+/// assert!(out.converged);
+/// assert!(Concept::Bne.is_stable(&out.final_graph, Alpha::integer(2)?)?);
+/// # Ok::<(), bncg_core::GameError>(())
+/// ```
+pub fn run(
+    start: &Graph,
+    alpha: bncg_core::Alpha,
+    max_rounds: usize,
+) -> Result<RoundRobinOutcome, GameError> {
+    run_with_budget(start, alpha, max_rounds, CheckBudget::default())
+}
+
+/// [`run`] with an explicit per-activation budget.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_with_budget(
+    start: &Graph,
+    alpha: bncg_core::Alpha,
+    max_rounds: usize,
+    budget: CheckBudget,
+) -> Result<RoundRobinOutcome, GameError> {
+    let mut g = start.clone();
+    let n = g.n() as u32;
+    let mut history = Vec::new();
+    let mut seen: HashSet<Vec<(u32, u32)>> = HashSet::new();
+    seen.insert(g.edges().collect());
+    let mut converged = false;
+    let mut cycled = false;
+    let mut rounds = 0usize;
+    'outer: while rounds < max_rounds {
+        rounds += 1;
+        let mut moved = false;
+        for u in 0..n {
+            let br = best_response_with_budget(&g, alpha, u, budget)?;
+            if let Some(mv) = br.best {
+                g = mv.apply(&g)?;
+                history.push(mv);
+                moved = true;
+                if !seen.insert(g.edges().collect()) {
+                    cycled = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !moved {
+            converged = true;
+            break;
+        }
+    }
+    Ok(RoundRobinOutcome {
+        rounds,
+        moves: history.len(),
+        history,
+        converged,
+        cycled,
+        final_graph: g,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_core::{Alpha, Concept};
+    use bncg_graph::generators;
+
+    fn a(s: &str) -> Alpha {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn converged_states_are_bne() {
+        let mut rng = bncg_graph::test_rng(61);
+        for _ in 0..8 {
+            let start = generators::random_tree(9, &mut rng);
+            for alpha in ["3/2", "3"] {
+                let out = run(&start, a(alpha), 200).unwrap();
+                if out.converged {
+                    assert!(
+                        Concept::Bne.is_stable(&out.final_graph, a(alpha)).unwrap(),
+                        "a silent round must certify BNE"
+                    );
+                }
+                assert_eq!(out.moves, out.history.len());
+            }
+        }
+    }
+
+    #[test]
+    fn stable_start_converges_in_one_round() {
+        let star = generators::star(8);
+        let out = run(&star, a("2"), 10).unwrap();
+        assert!(out.converged);
+        assert_eq!(out.rounds, 1);
+        assert_eq!(out.moves, 0);
+        assert!(!out.cycled);
+        assert_eq!(out.final_graph, star);
+    }
+
+    #[test]
+    fn every_history_move_was_feasible_when_played() {
+        let start = generators::path(8);
+        let alpha = a("2");
+        let out = run(&start, alpha, 100).unwrap();
+        // Replay the history and re-certify each step.
+        let mut g = start.clone();
+        for mv in &out.history {
+            assert!(bncg_core::delta::move_improves_all(&g, alpha, mv).unwrap());
+            g = mv.apply(&g).unwrap();
+        }
+        assert_eq!(g, out.final_graph);
+    }
+
+    #[test]
+    fn cycle_or_cap_is_reported_not_mislabelled() {
+        // Whatever happens on random graphs, the outcome flags must be
+        // consistent: converged and cycled are mutually exclusive, and a
+        // converged state passes the BNE check.
+        let mut rng = bncg_graph::test_rng(62);
+        for _ in 0..6 {
+            let start = generators::random_connected(8, 0.25, &mut rng);
+            let out = run(&start, a("2"), 60).unwrap();
+            assert!(!(out.converged && out.cycled));
+        }
+    }
+
+    #[test]
+    fn budget_guard_propagates() {
+        let big = generators::path(40);
+        assert!(run(&big, a("1"), 5).is_err());
+    }
+}

@@ -1,0 +1,349 @@
+//! Exhaustive enumeration of small trees and graphs.
+//!
+//! The empirical Price-of-Anarchy experiments quantify over *all* trees (or
+//! all connected graphs) with a given number of nodes. Rooted trees are
+//! generated as canonical level sequences with the Beyer–Hedetniemi
+//! successor algorithm; free trees are obtained by centroid-canonical
+//! filtering; small connected graphs by edge-subset iteration with
+//! isomorphism deduplication.
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::iso::{canonical_tree_encoding, CanonicalSet};
+use std::collections::HashSet;
+
+/// Iterator over the canonical level sequences of all rooted trees on `n`
+/// nodes (Beyer–Hedetniemi 1980). Levels start at 1 for the root.
+///
+/// # Examples
+///
+/// ```
+/// use bncg_graph::enumerate::RootedTreeSequences;
+///
+/// // Rooted trees on 5 nodes: 9 of them.
+/// assert_eq!(RootedTreeSequences::new(5).count(), 9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RootedTreeSequences {
+    levels: Vec<u32>,
+    started: bool,
+    done: bool,
+}
+
+impl RootedTreeSequences {
+    /// Starts the enumeration for trees on `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        RootedTreeSequences {
+            levels: (1..=n as u32).collect(),
+            started: false,
+            done: n == 0,
+        }
+    }
+}
+
+impl Iterator for RootedTreeSequences {
+    type Item = Vec<u32>;
+
+    fn next(&mut self) -> Option<Vec<u32>> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some(self.levels.clone());
+        }
+        // Successor: find the rightmost entry > 2, shrink it by repeating
+        // the pattern from its new parent.
+        let n = self.levels.len();
+        let Some(p) = (0..n).rev().find(|&i| self.levels[i] > 2) else {
+            self.done = true;
+            return None;
+        };
+        let target = self.levels[p] - 1;
+        let q = (0..p)
+            .rev()
+            .find(|&i| self.levels[i] == target)
+            .expect("a parent level always exists to the left");
+        for i in p..n {
+            self.levels[i] = self.levels[i - (p - q)];
+        }
+        Some(self.levels.clone())
+    }
+}
+
+/// Builds the rooted tree encoded by a canonical level sequence. Node ids
+/// follow the sequence order; node 0 is the root.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidEncoding`] if the sequence is not a valid
+/// level sequence (must start at 1 and each entry `L[i] ≥ 2` must have a
+/// previous entry at level `L[i] − 1`).
+pub fn tree_from_level_sequence(levels: &[u32]) -> Result<Graph, GraphError> {
+    let n = levels.len();
+    if n == 0 || levels[0] != 1 {
+        return Err(GraphError::InvalidEncoding);
+    }
+    let mut g = Graph::new(n);
+    let mut last_at_level: Vec<u32> = vec![u32::MAX; n + 2];
+    last_at_level[1] = 0;
+    for (i, &level) in levels.iter().enumerate().skip(1) {
+        if level < 2 || level as usize > n {
+            return Err(GraphError::InvalidEncoding);
+        }
+        let parent = last_at_level[level as usize - 1];
+        if parent == u32::MAX {
+            return Err(GraphError::InvalidEncoding);
+        }
+        g.add_edge(parent, i as u32)
+            .map_err(|_| GraphError::InvalidEncoding)?;
+        last_at_level[level as usize] = i as u32;
+    }
+    Ok(g)
+}
+
+/// Maximum `n` supported by [`free_trees`]; the count grows like `2.96^n`
+/// and the centroid-filter pass touches every rooted tree.
+pub const MAX_FREE_TREE_NODES: usize = 18;
+
+/// All free (unlabeled) trees on `n` nodes, one representative per
+/// isomorphism class.
+///
+/// # Errors
+///
+/// Returns [`GraphError::TooLarge`] if `n > MAX_FREE_TREE_NODES`.
+///
+/// # Examples
+///
+/// ```
+/// use bncg_graph::enumerate::free_trees;
+///
+/// assert_eq!(free_trees(7)?.len(), 11);
+/// assert_eq!(free_trees(10)?.len(), 106);
+/// # Ok::<(), bncg_graph::GraphError>(())
+/// ```
+pub fn free_trees(n: usize) -> Result<Vec<Graph>, GraphError> {
+    if n > MAX_FREE_TREE_NODES {
+        return Err(GraphError::TooLarge {
+            requested: n,
+            max: MAX_FREE_TREE_NODES,
+        });
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let mut seen: HashSet<Vec<u8>> = HashSet::new();
+    let mut out = Vec::new();
+    for levels in RootedTreeSequences::new(n) {
+        let g = tree_from_level_sequence(&levels).expect("generated sequences are valid");
+        let code = canonical_tree_encoding(&g);
+        if seen.insert(code) {
+            out.push(g);
+        }
+    }
+    Ok(out)
+}
+
+/// Maximum `n` supported by [`connected_graphs`]: `2^{n(n−1)/2}` edge
+/// subsets are scanned, which is about 2 million at `n = 7`.
+pub const MAX_CONNECTED_GRAPH_NODES: usize = 7;
+
+/// All connected graphs on `n` nodes up to isomorphism.
+///
+/// # Errors
+///
+/// Returns [`GraphError::TooLarge`] if `n > MAX_CONNECTED_GRAPH_NODES`.
+///
+/// # Examples
+///
+/// ```
+/// use bncg_graph::enumerate::connected_graphs;
+///
+/// assert_eq!(connected_graphs(4)?.len(), 6);
+/// assert_eq!(connected_graphs(5)?.len(), 21);
+/// # Ok::<(), bncg_graph::GraphError>(())
+/// ```
+pub fn connected_graphs(n: usize) -> Result<Vec<Graph>, GraphError> {
+    if n > MAX_CONNECTED_GRAPH_NODES {
+        return Err(GraphError::TooLarge {
+            requested: n,
+            max: MAX_CONNECTED_GRAPH_NODES,
+        });
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if n == 1 {
+        return Ok(vec![Graph::new(1)]);
+    }
+    let pairs: Vec<(u32, u32)> = (0..n as u32)
+        .flat_map(|u| (u + 1..n as u32).map(move |v| (u, v)))
+        .collect();
+    let num_pairs = pairs.len();
+    let mut set = CanonicalSet::new();
+    for mask in 0u64..1u64 << num_pairs {
+        if !mask_is_connected(n, &pairs, mask) {
+            continue;
+        }
+        let mut g = Graph::new(n);
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                g.add_edge(u, v).expect("mask edges are simple");
+            }
+        }
+        set.insert(g);
+    }
+    let mut graphs = set.into_graphs();
+    graphs.sort_by_key(|g| (g.m(), g.to_bitmask().expect("n ≤ 7 fits")));
+    Ok(graphs)
+}
+
+/// Connectivity check on an edge-subset mask without materializing a graph.
+fn mask_is_connected(n: usize, pairs: &[(u32, u32)], mask: u64) -> bool {
+    let mut adj = [0u16; 16];
+    for (i, &(u, v)) in pairs.iter().enumerate() {
+        if mask >> i & 1 == 1 {
+            adj[u as usize] |= 1 << v;
+            adj[v as usize] |= 1 << u;
+        }
+    }
+    let full: u16 = if n == 16 { u16::MAX } else { (1 << n) - 1 };
+    let mut reached: u16 = 1;
+    loop {
+        let mut next = reached;
+        let mut bits = reached;
+        while bits != 0 {
+            let u = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            next |= adj[u];
+        }
+        if next == reached {
+            break;
+        }
+        reached = next;
+    }
+    reached == full
+}
+
+/// All connected graphs on `n` nodes with exactly `m` edges, up to
+/// isomorphism.
+///
+/// # Errors
+///
+/// Returns [`GraphError::TooLarge`] if `n > MAX_CONNECTED_GRAPH_NODES`.
+pub fn connected_graphs_with_edges(n: usize, m: usize) -> Result<Vec<Graph>, GraphError> {
+    Ok(connected_graphs(n)?
+        .into_iter()
+        .filter(|g| g.m() == m)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// OEIS A000081: rooted trees on n nodes.
+    const ROOTED_COUNTS: [usize; 11] = [0, 1, 1, 2, 4, 9, 20, 48, 115, 286, 719];
+    /// OEIS A000055: free trees on n nodes.
+    const FREE_COUNTS: [usize; 13] = [0, 1, 1, 1, 2, 3, 6, 11, 23, 47, 106, 235, 551];
+    /// OEIS A001349-style: connected graphs on n nodes (n = 1..6).
+    const CONNECTED_COUNTS: [usize; 7] = [0, 1, 1, 2, 6, 21, 112];
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn rooted_tree_counts_match_oeis() {
+        for n in 1..=10 {
+            assert_eq!(
+                RootedTreeSequences::new(n).count(),
+                ROOTED_COUNTS[n],
+                "rooted count mismatch at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_generated_sequences_are_trees() {
+        for levels in RootedTreeSequences::new(7) {
+            let g = tree_from_level_sequence(&levels).unwrap();
+            assert!(g.is_tree());
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn free_tree_counts_match_oeis() {
+        for n in 1..=12 {
+            assert_eq!(
+                free_trees(n).unwrap().len(),
+                FREE_COUNTS[n],
+                "free tree count mismatch at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn free_trees_are_pairwise_non_isomorphic() {
+        let trees = free_trees(8).unwrap();
+        for (i, a) in trees.iter().enumerate() {
+            assert!(a.is_tree());
+            for b in trees.iter().skip(i + 1) {
+                assert!(!crate::iso::are_isomorphic(a, b));
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn connected_graph_counts_match_oeis() {
+        for n in 1..=6 {
+            assert_eq!(
+                connected_graphs(n).unwrap().len(),
+                CONNECTED_COUNTS[n],
+                "connected graph count mismatch at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn connected_graphs_include_tree_classes() {
+        // Trees are exactly the connected graphs with n − 1 edges.
+        for n in 2..=6 {
+            let trees = connected_graphs_with_edges(n, n - 1).unwrap();
+            assert_eq!(trees.len(), FREE_COUNTS[n]);
+            assert!(trees.iter().all(Graph::is_tree));
+        }
+    }
+
+    #[test]
+    fn size_guards_fire() {
+        assert!(matches!(
+            free_trees(MAX_FREE_TREE_NODES + 1),
+            Err(GraphError::TooLarge { .. })
+        ));
+        assert!(matches!(
+            connected_graphs(MAX_CONNECTED_GRAPH_NODES + 1),
+            Err(GraphError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn level_sequence_validation() {
+        assert!(tree_from_level_sequence(&[]).is_err());
+        assert!(tree_from_level_sequence(&[2]).is_err());
+        assert!(tree_from_level_sequence(&[1, 3]).is_err());
+        assert!(tree_from_level_sequence(&[1, 2, 4]).is_err());
+        let g = tree_from_level_sequence(&[1, 2, 3, 2]).unwrap();
+        assert!(g.is_tree());
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        assert!(free_trees(0).unwrap().is_empty());
+        assert_eq!(free_trees(1).unwrap().len(), 1);
+        assert_eq!(connected_graphs(1).unwrap().len(), 1);
+        assert!(connected_graphs(0).unwrap().is_empty());
+    }
+}

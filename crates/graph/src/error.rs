@@ -1,0 +1,114 @@
+//! Error types for the graph substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by graph construction and mutation.
+///
+/// # Examples
+///
+/// ```
+/// use bncg_graph::{Graph, GraphError};
+///
+/// let mut g = Graph::new(3);
+/// assert_eq!(g.add_edge(0, 0), Err(GraphError::SelfLoop { node: 0 }));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphError {
+    /// A node id was at least the number of nodes in the graph.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// The number of nodes in the graph.
+        n: usize,
+    },
+    /// An edge `{u, u}` was requested; the model only allows simple graphs.
+    SelfLoop {
+        /// The node that would have been connected to itself.
+        node: u32,
+    },
+    /// The edge to add already exists.
+    DuplicateEdge {
+        /// First endpoint.
+        u: u32,
+        /// Second endpoint.
+        v: u32,
+    },
+    /// The edge to remove does not exist.
+    MissingEdge {
+        /// First endpoint.
+        u: u32,
+        /// Second endpoint.
+        v: u32,
+    },
+    /// A tree was required but the graph is not a tree.
+    NotATree,
+    /// A connected graph was required but the graph is disconnected.
+    NotConnected,
+    /// An exhaustive routine was asked for an instance beyond its documented
+    /// size guard.
+    TooLarge {
+        /// The requested size.
+        requested: usize,
+        /// The maximum supported size.
+        max: usize,
+    },
+    /// A byte string could not be parsed as graph6.
+    InvalidGraph6,
+    /// A level sequence, degree sequence, or similar encoding was malformed.
+    InvalidEncoding,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self loop at node {node} not allowed"),
+            GraphError::DuplicateEdge { u, v } => write!(f, "edge {{{u}, {v}}} already present"),
+            GraphError::MissingEdge { u, v } => write!(f, "edge {{{u}, {v}}} not present"),
+            GraphError::NotATree => write!(f, "graph is not a tree"),
+            GraphError::NotConnected => write!(f, "graph is not connected"),
+            GraphError::TooLarge { requested, max } => {
+                write!(f, "instance size {requested} exceeds supported maximum {max}")
+            }
+            GraphError::InvalidGraph6 => write!(f, "invalid graph6 encoding"),
+            GraphError::InvalidEncoding => write!(f, "invalid sequence encoding"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            GraphError::NodeOutOfRange { node: 7, n: 3 },
+            GraphError::SelfLoop { node: 1 },
+            GraphError::DuplicateEdge { u: 0, v: 1 },
+            GraphError::MissingEdge { u: 0, v: 1 },
+            GraphError::NotATree,
+            GraphError::NotConnected,
+            GraphError::TooLarge { requested: 9, max: 7 },
+            GraphError::InvalidGraph6,
+            GraphError::InvalidEncoding,
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,565 @@
+//! The core undirected simple-graph type.
+
+use crate::error::GraphError;
+use serde::{Deserialize, Serialize};
+
+/// An undirected simple graph over nodes `0..n` with sorted adjacency lists.
+///
+/// This is the substrate every game-theoretic structure in the reproduction
+/// is built on. Nodes are dense `u32` ids; edges are unordered pairs of
+/// distinct nodes. The representation keeps each neighbor list sorted so that
+/// adjacency tests are `O(log deg)` and edge iteration is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use bncg_graph::Graph;
+///
+/// let mut g = Graph::new(4);
+/// g.add_edge(0, 1).unwrap();
+/// g.add_edge(1, 2).unwrap();
+/// g.add_edge(2, 3).unwrap();
+/// assert!(g.is_tree());
+/// assert_eq!(g.degree(1), 2);
+/// assert!(g.has_edge(2, 1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(try_from = "GraphRepr", into = "GraphRepr")]
+pub struct Graph {
+    adj: Vec<Vec<u32>>,
+    m: usize,
+}
+
+/// Serialized form of a [`Graph`]: node count plus edge list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct GraphRepr {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl From<Graph> for GraphRepr {
+    fn from(g: Graph) -> Self {
+        GraphRepr {
+            n: g.n(),
+            edges: g.edges().collect(),
+        }
+    }
+}
+
+impl TryFrom<GraphRepr> for Graph {
+    type Error = GraphError;
+
+    fn try_from(repr: GraphRepr) -> Result<Self, GraphError> {
+        Graph::from_edges(repr.n, repr.edges)
+    }
+}
+
+impl Graph {
+    /// Creates an edgeless graph on `n` nodes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bncg_graph::Graph;
+    /// let g = Graph::new(5);
+    /// assert_eq!(g.n(), 5);
+    /// assert_eq!(g.m(), 0);
+    /// ```
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            m: 0,
+        }
+    }
+
+    /// Builds a graph on `n` nodes from an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any endpoint is out of range, an edge is a self
+    /// loop, or an edge appears twice.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bncg_graph::Graph;
+    /// let g = Graph::from_edges(3, [(0, 1), (1, 2)])?;
+    /// assert_eq!(g.m(), 2);
+    /// # Ok::<(), bncg_graph::GraphError>(())
+    /// ```
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (u32, u32)>,
+    {
+        let mut g = Graph::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v)?;
+        }
+        Ok(g)
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Degree of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[must_use]
+    pub fn degree(&self, u: u32) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// The sorted neighbor list of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        &self.adj[u as usize]
+    }
+
+    /// Whether the edge `{u, v}` is present. Returns `false` for `u == v`
+    /// and for out-of-range endpoints.
+    #[must_use]
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        if u == v || u as usize >= self.n() || v as usize >= self.n() {
+            return false;
+        }
+        self.adj[u as usize].binary_search(&v).is_ok()
+    }
+
+    fn check_endpoints(&self, u: u32, v: u32) -> Result<(), GraphError> {
+        let n = self.n();
+        if u as usize >= n {
+            return Err(GraphError::NodeOutOfRange { node: u, n });
+        }
+        if v as usize >= n {
+            return Err(GraphError::NodeOutOfRange { node: v, n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        Ok(())
+    }
+
+    /// Adds the edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on out-of-range endpoints, a self loop, or if the
+    /// edge already exists.
+    pub fn add_edge(&mut self, u: u32, v: u32) -> Result<(), GraphError> {
+        self.check_endpoints(u, v)?;
+        let pos_v = match self.adj[u as usize].binary_search(&v) {
+            Ok(_) => return Err(GraphError::DuplicateEdge { u, v }),
+            Err(pos) => pos,
+        };
+        self.adj[u as usize].insert(pos_v, v);
+        let pos_u = self.adj[v as usize]
+            .binary_search(&u)
+            .expect_err("edge set must stay symmetric");
+        self.adj[v as usize].insert(pos_u, u);
+        self.m += 1;
+        Ok(())
+    }
+
+    /// Removes the edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on out-of-range endpoints, a self loop, or if the
+    /// edge does not exist.
+    pub fn remove_edge(&mut self, u: u32, v: u32) -> Result<(), GraphError> {
+        self.check_endpoints(u, v)?;
+        let pos_v = self.adj[u as usize]
+            .binary_search(&v)
+            .map_err(|_| GraphError::MissingEdge { u, v })?;
+        self.adj[u as usize].remove(pos_v);
+        let pos_u = self.adj[v as usize]
+            .binary_search(&u)
+            .expect("edge set must stay symmetric");
+        self.adj[v as usize].remove(pos_u);
+        self.m -= 1;
+        Ok(())
+    }
+
+    /// Toggles the edge `{u, v}`: adds it if absent, removes it if present.
+    /// Returns `true` if the edge is present after the call.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on out-of-range endpoints or a self loop.
+    pub fn toggle_edge(&mut self, u: u32, v: u32) -> Result<bool, GraphError> {
+        self.check_endpoints(u, v)?;
+        if self.has_edge(u, v) {
+            self.remove_edge(u, v)?;
+            Ok(false)
+        } else {
+            self.add_edge(u, v)?;
+            Ok(true)
+        }
+    }
+
+    /// Iterates over all edges as pairs `(u, v)` with `u < v`, ordered
+    /// lexicographically.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bncg_graph::Graph;
+    /// let g = Graph::from_edges(3, [(2, 1), (0, 2)])?;
+    /// let edges: Vec<_> = g.edges().collect();
+    /// assert_eq!(edges, vec![(0, 2), (1, 2)]);
+    /// # Ok::<(), bncg_graph::GraphError>(())
+    /// ```
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            let u = u as u32;
+            nbrs.iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Iterates over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = u32> {
+        0..self.n() as u32
+    }
+
+    /// Iterates over all unordered non-adjacent pairs `(u, v)` with `u < v`,
+    /// i.e. the edges of the complement graph.
+    pub fn non_edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let n = self.n() as u32;
+        (0..n).flat_map(move |u| {
+            (u + 1..n)
+                .filter(move |&v| !self.has_edge(u, v))
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Whether the graph is connected. The empty graph (`n == 0`) counts as
+    /// connected.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        let n = self.n();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        let mut count = 1usize;
+        while let Some(u) = stack.pop() {
+            for &v in self.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Whether the graph is a tree (connected with `n − 1` edges). The empty
+    /// graph is not a tree; a single node is.
+    #[must_use]
+    pub fn is_tree(&self) -> bool {
+        self.n() >= 1 && self.m == self.n() - 1 && self.is_connected()
+    }
+
+    /// Returns the connected component ids for each node, and the number of
+    /// components. Component ids are assigned in order of their smallest
+    /// node.
+    #[must_use]
+    pub fn components(&self) -> (Vec<u32>, usize) {
+        let n = self.n();
+        let mut comp = vec![u32::MAX; n];
+        let mut next = 0u32;
+        let mut stack = Vec::new();
+        for start in 0..n as u32 {
+            if comp[start as usize] != u32::MAX {
+                continue;
+            }
+            comp[start as usize] = next;
+            stack.push(start);
+            while let Some(u) = stack.pop() {
+                for &v in self.neighbors(u) {
+                    if comp[v as usize] == u32::MAX {
+                        comp[v as usize] = next;
+                        stack.push(v);
+                    }
+                }
+            }
+            next += 1;
+        }
+        (comp, next as usize)
+    }
+
+    /// Relabels the graph by a permutation: node `u` of `self` becomes node
+    /// `perm[u]` of the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..n`.
+    #[must_use]
+    pub fn relabeled(&self, perm: &[u32]) -> Graph {
+        assert_eq!(perm.len(), self.n(), "permutation length must equal n");
+        let mut check = vec![false; self.n()];
+        for &p in perm {
+            assert!(
+                (p as usize) < self.n() && !check[p as usize],
+                "perm must be a permutation of 0..n"
+            );
+            check[p as usize] = true;
+        }
+        let mut g = Graph::new(self.n());
+        for (u, v) in self.edges() {
+            g.add_edge(perm[u as usize], perm[v as usize])
+                .expect("relabeling a simple graph stays simple");
+        }
+        g
+    }
+
+    /// Returns the subgraph induced by `keep` together with the mapping from
+    /// old node ids to new ones (`u32::MAX` for dropped nodes).
+    #[must_use]
+    pub fn induced_subgraph(&self, keep: &[u32]) -> (Graph, Vec<u32>) {
+        let mut map = vec![u32::MAX; self.n()];
+        for (new, &old) in keep.iter().enumerate() {
+            map[old as usize] = new as u32;
+        }
+        let mut g = Graph::new(keep.len());
+        for (u, v) in self.edges() {
+            let (nu, nv) = (map[u as usize], map[v as usize]);
+            if nu != u32::MAX && nv != u32::MAX {
+                g.add_edge(nu, nv).expect("induced subgraph stays simple");
+            }
+        }
+        (g, map)
+    }
+
+    /// The complement graph: same nodes, exactly the non-edges.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bncg_graph::{generators, Graph};
+    /// let g = generators::path(4);
+    /// let c = g.complement();
+    /// assert_eq!(g.m() + c.m(), 4 * 3 / 2);
+    /// assert!(c.has_edge(0, 2));
+    /// assert!(!c.has_edge(0, 1));
+    /// ```
+    #[must_use]
+    pub fn complement(&self) -> Graph {
+        let mut g = Graph::new(self.n());
+        for (u, v) in self.non_edges() {
+            g.add_edge(u, v).expect("non-edges are simple");
+        }
+        g
+    }
+
+    /// The sorted (descending) degree sequence.
+    #[must_use]
+    pub fn degree_sequence(&self) -> Vec<usize> {
+        let mut degrees: Vec<usize> = (0..self.n() as u32).map(|u| self.degree(u)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        degrees
+    }
+
+    /// Packs the upper-triangular adjacency into a bitmask, little-endian in
+    /// lexicographic pair order. Only valid for `n ≤ 11` (55 pairs ≤ 64 bits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::TooLarge`] for `n > 11`.
+    pub fn to_bitmask(&self) -> Result<u64, GraphError> {
+        let n = self.n();
+        if n > 11 {
+            return Err(GraphError::TooLarge {
+                requested: n,
+                max: 11,
+            });
+        }
+        let mut mask = 0u64;
+        for (u, v) in self.edges() {
+            mask |= 1u64 << pair_index(n, u, v);
+        }
+        Ok(mask)
+    }
+
+    /// Rebuilds a graph from a bitmask produced by [`Graph::to_bitmask`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::TooLarge`] for `n > 11`.
+    pub fn from_bitmask(n: usize, mask: u64) -> Result<Graph, GraphError> {
+        if n > 11 {
+            return Err(GraphError::TooLarge {
+                requested: n,
+                max: 11,
+            });
+        }
+        let mut g = Graph::new(n);
+        let mut idx = 0u32;
+        for u in 0..n as u32 {
+            for v in u + 1..n as u32 {
+                if mask >> idx & 1 == 1 {
+                    g.add_edge(u, v).expect("bitmask encodes a simple graph");
+                }
+                idx += 1;
+            }
+        }
+        Ok(g)
+    }
+}
+
+/// Index of the unordered pair `{u, v}` (with `u < v`) in lexicographic
+/// order among all pairs of `0..n`.
+#[must_use]
+pub fn pair_index(n: usize, u: u32, v: u32) -> u32 {
+    let (u, v) = if u < v { (u, v) } else { (v, u) };
+    let (n, u, v) = (n as u64, u as u64, v as u64);
+    (u * (2 * n - u - 1) / 2 + (v - u - 1)) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(3, 1).unwrap();
+        assert_eq!(g.m(), 2);
+        assert!(g.has_edge(1, 3));
+        g.remove_edge(1, 3).unwrap();
+        assert_eq!(g.m(), 1);
+        assert!(!g.has_edge(1, 3));
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        let mut g = Graph::new(3);
+        assert_eq!(g.add_edge(0, 3), Err(GraphError::NodeOutOfRange { node: 3, n: 3 }));
+        assert_eq!(g.add_edge(1, 1), Err(GraphError::SelfLoop { node: 1 }));
+        g.add_edge(0, 1).unwrap();
+        assert_eq!(g.add_edge(1, 0), Err(GraphError::DuplicateEdge { u: 1, v: 0 }));
+        assert_eq!(g.remove_edge(1, 2), Err(GraphError::MissingEdge { u: 1, v: 2 }));
+    }
+
+    #[test]
+    fn toggle_edge_flips_presence() {
+        let mut g = Graph::new(3);
+        assert!(g.toggle_edge(0, 2).unwrap());
+        assert!(g.has_edge(0, 2));
+        assert!(!g.toggle_edge(0, 2).unwrap());
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn connectivity_and_tree_detection() {
+        let path = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(path.is_connected());
+        assert!(path.is_tree());
+
+        let cycle = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert!(cycle.is_connected());
+        assert!(!cycle.is_tree());
+
+        let split = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(!split.is_connected());
+        assert!(!split.is_tree());
+
+        assert!(Graph::new(1).is_tree());
+        assert!(!Graph::new(0).is_tree());
+        assert!(Graph::new(0).is_connected());
+    }
+
+    #[test]
+    fn components_are_labeled_by_smallest_node() {
+        let g = Graph::from_edges(5, [(1, 3), (2, 4)]).unwrap();
+        let (comp, count) = g.components();
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], 0);
+        assert_eq!(comp[1], 1);
+        assert_eq!(comp[3], 1);
+        assert_eq!(comp[2], 2);
+        assert_eq!(comp[4], 2);
+    }
+
+    #[test]
+    fn non_edges_complement_edges() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let non: Vec<_> = g.non_edges().collect();
+        assert_eq!(non, vec![(0, 2), (0, 3), (1, 2), (1, 3)]);
+        let total = g.edges().count() + non.len();
+        assert_eq!(total, 4 * 3 / 2);
+    }
+
+    #[test]
+    fn relabeled_preserves_structure() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let h = g.relabeled(&[2, 0, 1]);
+        assert!(h.has_edge(2, 0));
+        assert!(h.has_edge(0, 1));
+        assert!(!h.has_edge(2, 1));
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let (sub, map) = g.induced_subgraph(&[1, 2, 4]);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.m(), 1);
+        assert!(sub.has_edge(map[1], map[2]));
+        assert_eq!(map[0], u32::MAX);
+    }
+
+    #[test]
+    fn bitmask_roundtrip() {
+        let g = Graph::from_edges(5, [(0, 4), (1, 2), (3, 4)]).unwrap();
+        let mask = g.to_bitmask().unwrap();
+        let h = Graph::from_bitmask(5, mask).unwrap();
+        assert_eq!(g, h);
+        assert!(Graph::new(12).to_bitmask().is_err());
+    }
+
+    #[test]
+    fn pair_index_is_lexicographic() {
+        let n = 5;
+        let mut expected = 0;
+        for u in 0..n as u32 {
+            for v in u + 1..n as u32 {
+                assert_eq!(pair_index(n, u, v), expected);
+                assert_eq!(pair_index(n, v, u), expected);
+                expected += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Graph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+}

@@ -1,0 +1,174 @@
+//! The standard `graph6` text encoding for undirected graphs, used to log
+//! witnesses from experiments in a form other tools (nauty, SageMath,
+//! networkx) can read back.
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+
+/// Encodes a graph in graph6 format (supports `n ≤ 62` directly and
+/// `n ≤ 258047` via the long form).
+///
+/// # Errors
+///
+/// Returns [`GraphError::TooLarge`] for `n > 258047`.
+///
+/// # Examples
+///
+/// ```
+/// use bncg_graph::{generators, graph6};
+///
+/// // K4 is "C~" in graph6.
+/// assert_eq!(graph6::encode(&generators::clique(4))?, "C~");
+/// # Ok::<(), bncg_graph::GraphError>(())
+/// ```
+pub fn encode(g: &Graph) -> Result<String, GraphError> {
+    let n = g.n();
+    let mut bytes = Vec::new();
+    if n <= 62 {
+        bytes.push(n as u8 + 63);
+    } else if n <= 258_047 {
+        bytes.push(126);
+        bytes.push(((n >> 12) & 63) as u8 + 63);
+        bytes.push(((n >> 6) & 63) as u8 + 63);
+        bytes.push((n & 63) as u8 + 63);
+    } else {
+        return Err(GraphError::TooLarge {
+            requested: n,
+            max: 258_047,
+        });
+    }
+    // Column-major upper triangle: bit (u, v) for v = 1..n, u = 0..v.
+    let mut acc = 0u8;
+    let mut nbits = 0u8;
+    for v in 1..n as u32 {
+        for u in 0..v {
+            acc = (acc << 1) | u8::from(g.has_edge(u, v));
+            nbits += 1;
+            if nbits == 6 {
+                bytes.push(acc + 63);
+                acc = 0;
+                nbits = 0;
+            }
+        }
+    }
+    if nbits > 0 {
+        acc <<= 6 - nbits;
+        bytes.push(acc + 63);
+    }
+    Ok(String::from_utf8(bytes).expect("graph6 bytes are printable ASCII"))
+}
+
+/// Decodes a graph6 string.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidGraph6`] on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use bncg_graph::graph6;
+///
+/// let g = graph6::decode("C~")?; // K4
+/// assert_eq!(g.n(), 4);
+/// assert_eq!(g.m(), 6);
+/// # Ok::<(), bncg_graph::GraphError>(())
+/// ```
+pub fn decode(s: &str) -> Result<Graph, GraphError> {
+    let bytes = s.as_bytes();
+    if bytes.is_empty() {
+        return Err(GraphError::InvalidGraph6);
+    }
+    let (n, mut idx) = if bytes[0] == 126 {
+        if bytes.len() < 4 || bytes[1] == 126 {
+            return Err(GraphError::InvalidGraph6);
+        }
+        let mut n = 0usize;
+        for &b in &bytes[1..4] {
+            if !(63..=126).contains(&b) {
+                return Err(GraphError::InvalidGraph6);
+            }
+            n = (n << 6) | (b - 63) as usize;
+        }
+        (n, 4usize)
+    } else {
+        if !(63..=126).contains(&bytes[0]) {
+            return Err(GraphError::InvalidGraph6);
+        }
+        ((bytes[0] - 63) as usize, 1usize)
+    };
+    let num_pairs = n * n.saturating_sub(1) / 2;
+    let needed = num_pairs.div_ceil(6);
+    if bytes.len() != idx + needed {
+        return Err(GraphError::InvalidGraph6);
+    }
+    let mut g = Graph::new(n);
+    let mut bit = 0usize;
+    let mut current = 0u8;
+    let mut remaining = 0u8;
+    for v in 1..n as u32 {
+        for u in 0..v {
+            if remaining == 0 {
+                let b = bytes[idx];
+                if !(63..=126).contains(&b) {
+                    return Err(GraphError::InvalidGraph6);
+                }
+                current = b - 63;
+                remaining = 6;
+                idx += 1;
+            }
+            if current >> (remaining - 1) & 1 == 1 {
+                g.add_edge(u, v).map_err(|_| GraphError::InvalidGraph6)?;
+            }
+            remaining -= 1;
+            bit += 1;
+        }
+    }
+    debug_assert_eq!(bit, num_pairs);
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn known_encodings() {
+        // From the nauty format documentation.
+        assert_eq!(encode(&generators::clique(4)).unwrap(), "C~");
+        assert_eq!(encode(&Graph::new(0)).unwrap(), "?");
+        assert_eq!(encode(&Graph::new(1)).unwrap(), "@");
+        // P4 (path on 4 nodes 0-1-2-3) is "CF" ... verify via roundtrip
+        // rather than a memorized constant:
+        let p4 = generators::path(4);
+        let enc = encode(&p4).unwrap();
+        assert_eq!(decode(&enc).unwrap(), p4);
+    }
+
+    #[test]
+    fn roundtrip_random_graphs() {
+        let mut rng = crate::test_rng(13);
+        for n in [0usize, 1, 2, 5, 12, 40, 63, 80] {
+            let g = generators::gnp(n, 0.3, &mut rng);
+            let enc = encode(&g).unwrap();
+            assert_eq!(decode(&enc).unwrap(), g, "roundtrip failed for n = {n}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode("").is_err());
+        assert!(decode("\u{7f}").is_err());
+        assert!(decode("C").is_err()); // truncated K4-sized body
+        assert!(decode("C~~").is_err()); // trailing junk
+    }
+
+    #[test]
+    fn long_form_roundtrip() {
+        let g = generators::path(100);
+        let enc = encode(&g).unwrap();
+        assert_eq!(enc.as_bytes()[0], 126);
+        assert_eq!(decode(&enc).unwrap(), g);
+    }
+}

@@ -1,0 +1,392 @@
+//! Graph isomorphism, invariant fingerprints, and canonical tree encodings.
+//!
+//! The enumeration experiments need to deduplicate isomorphic graphs and the
+//! witness searches need to report *one* representative per isomorphism
+//! class. For trees we use the linear-time AHU encoding rooted at the
+//! centroid; for general (small) graphs a distance-profile fingerprint
+//! prefilter plus a backtracking isomorphism test.
+
+use crate::graph::Graph;
+use crate::traversal::DistanceMatrix;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// The AHU canonical encoding of a tree rooted at `root`: a balanced-paren
+/// style byte string that two rooted trees share iff they are isomorphic as
+/// rooted trees.
+///
+/// # Panics
+///
+/// Panics if `g` is not a tree or `root` is out of range.
+#[must_use]
+pub fn ahu_encoding(g: &Graph, root: u32) -> Vec<u8> {
+    assert!(g.is_tree(), "AHU encoding requires a tree");
+    // Iterative post-order: children encodings are sorted and concatenated.
+    fn encode(g: &Graph, u: u32, parent: u32) -> Vec<u8> {
+        let mut child_codes: Vec<Vec<u8>> = g
+            .neighbors(u)
+            .iter()
+            .copied()
+            .filter(|&v| v != parent)
+            .map(|v| encode(g, v, u))
+            .collect();
+        child_codes.sort();
+        let mut code = Vec::with_capacity(2 + child_codes.iter().map(Vec::len).sum::<usize>());
+        code.push(b'(');
+        for c in child_codes {
+            code.extend_from_slice(&c);
+        }
+        code.push(b')');
+        code
+    }
+    encode(g, root, root)
+}
+
+/// The centroid(s) of a tree: nodes whose removal leaves components of size
+/// at most `n/2`. Every tree has one or two centroids (two are adjacent).
+/// For trees these coincide with the 1-medians (Jordan), which the tree
+/// module exposes via distance sums; this is the component-size definition
+/// used by the paper.
+///
+/// # Panics
+///
+/// Panics if `g` is not a tree.
+#[must_use]
+pub fn tree_centroids(g: &Graph) -> Vec<u32> {
+    assert!(g.is_tree(), "centroid requires a tree");
+    let n = g.n();
+    if n == 1 {
+        return vec![0];
+    }
+    let t = crate::tree::RootedTree::new(g, 0).expect("validated tree");
+    let mut centroids = Vec::new();
+    for u in 0..n as u32 {
+        let mut max_comp = n as u32 - t.subtree_size(u);
+        for &c in t.children(u) {
+            max_comp = max_comp.max(t.subtree_size(c));
+        }
+        if u64::from(max_comp) * 2 <= n as u64 {
+            centroids.push(u);
+        }
+    }
+    centroids
+}
+
+/// A canonical byte string for a *free* tree: the minimum AHU encoding over
+/// its centroid(s). Two trees are isomorphic iff their canonical encodings
+/// are equal.
+///
+/// # Panics
+///
+/// Panics if `g` is not a tree.
+///
+/// # Examples
+///
+/// ```
+/// use bncg_graph::{generators, iso::canonical_tree_encoding};
+///
+/// let a = generators::path(5);
+/// // The same path with scrambled labels.
+/// let b = a.relabeled(&[4, 2, 0, 1, 3]);
+/// assert_eq!(canonical_tree_encoding(&a), canonical_tree_encoding(&b));
+/// ```
+#[must_use]
+pub fn canonical_tree_encoding(g: &Graph) -> Vec<u8> {
+    let centroids = tree_centroids(g);
+    centroids
+        .iter()
+        .map(|&c| ahu_encoding(g, c))
+        .min()
+        .expect("tree has a centroid")
+}
+
+/// An isomorphism-invariant fingerprint of a connected graph: hash of the
+/// sorted multiset of per-node profiles, where a node's profile is its
+/// sorted distance-frequency vector. Equal fingerprints are necessary but
+/// not sufficient for isomorphism — use [`are_isomorphic`] to confirm.
+#[must_use]
+pub fn invariant_fingerprint(g: &Graph) -> u64 {
+    let d = DistanceMatrix::new(g);
+    let n = g.n();
+    let mut profiles: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for u in 0..n as u32 {
+        let mut freq = vec![0u32; n + 1];
+        for &dist in d.row(u) {
+            let idx = if dist == crate::traversal::UNREACHABLE {
+                n
+            } else {
+                dist as usize
+            };
+            freq[idx] += 1;
+        }
+        profiles.push(freq);
+    }
+    profiles.sort();
+    let mut hasher = DefaultHasher::new();
+    n.hash(&mut hasher);
+    g.m().hash(&mut hasher);
+    profiles.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Exact isomorphism test via backtracking with degree and distance-profile
+/// pruning. Intended for the small graphs of the enumeration experiments
+/// (`n ≲ 12`).
+///
+/// # Examples
+///
+/// ```
+/// use bncg_graph::{generators, iso::are_isomorphic};
+///
+/// let c5 = generators::cycle(5);
+/// let p5 = generators::path(5);
+/// assert!(!are_isomorphic(&c5, &p5));
+/// assert!(are_isomorphic(&c5, &c5.relabeled(&[2, 0, 3, 1, 4])));
+/// ```
+#[must_use]
+pub fn are_isomorphic(a: &Graph, b: &Graph) -> bool {
+    if a.n() != b.n() || a.m() != b.m() {
+        return false;
+    }
+    let n = a.n();
+    if n == 0 {
+        return true;
+    }
+    let da = DistanceMatrix::new(a);
+    let db = DistanceMatrix::new(b);
+    let profile = |d: &DistanceMatrix, u: u32| -> Vec<u32> {
+        let mut freq = vec![0u32; n + 1];
+        for &dist in d.row(u) {
+            let idx = if dist == crate::traversal::UNREACHABLE {
+                n
+            } else {
+                dist as usize
+            };
+            freq[idx] += 1;
+        }
+        freq
+    };
+    let pa: Vec<Vec<u32>> = (0..n as u32).map(|u| profile(&da, u)).collect();
+    let pb: Vec<Vec<u32>> = (0..n as u32).map(|u| profile(&db, u)).collect();
+    {
+        let mut sa = pa.clone();
+        let mut sb = pb.clone();
+        sa.sort();
+        sb.sort();
+        if sa != sb {
+            return false;
+        }
+    }
+
+    // Map nodes of `a` in order of rarest profile first to fail fast.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut rarity = std::collections::HashMap::new();
+    for p in &pa {
+        *rarity.entry(p.clone()).or_insert(0u32) += 1;
+    }
+    order.sort_by_key(|&u| (rarity[&pa[u as usize]], std::cmp::Reverse(a.degree(u))));
+
+    let mut mapping = vec![u32::MAX; n];
+    let mut used = vec![false; n];
+
+    #[allow(clippy::too_many_arguments)]
+    fn backtrack(
+        a: &Graph,
+        b: &Graph,
+        pa: &[Vec<u32>],
+        pb: &[Vec<u32>],
+        order: &[u32],
+        pos: usize,
+        mapping: &mut [u32],
+        used: &mut [bool],
+    ) -> bool {
+        if pos == order.len() {
+            return true;
+        }
+        let u = order[pos];
+        for cand in 0..b.n() as u32 {
+            if used[cand as usize] || pa[u as usize] != pb[cand as usize] {
+                continue;
+            }
+            // All previously mapped neighbors must map consistently.
+            let consistent = order[..pos].iter().all(|&w| {
+                let mw = mapping[w as usize];
+                a.has_edge(u, w) == b.has_edge(cand, mw)
+            });
+            if !consistent {
+                continue;
+            }
+            mapping[u as usize] = cand;
+            used[cand as usize] = true;
+            if backtrack(a, b, pa, pb, order, pos + 1, mapping, used) {
+                return true;
+            }
+            mapping[u as usize] = u32::MAX;
+            used[cand as usize] = false;
+        }
+        false
+    }
+
+    backtrack(a, b, &pa, &pb, &order, 0, &mut mapping, &mut used)
+}
+
+/// A canonical key for small graphs combining the cheap fingerprint with a
+/// full representative check: graphs hash to the same bucket iff they share
+/// the fingerprint, and a [`CanonicalSet`] resolves collisions exactly.
+#[derive(Debug, Default)]
+pub struct CanonicalSet {
+    buckets: std::collections::HashMap<u64, Vec<Graph>>,
+    len: usize,
+}
+
+impl CanonicalSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of isomorphism classes stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `g` if no isomorphic graph is present. Returns `true` if the
+    /// graph was new.
+    pub fn insert(&mut self, g: Graph) -> bool {
+        let key = invariant_fingerprint(&g);
+        let bucket = self.buckets.entry(key).or_default();
+        if bucket.iter().any(|h| are_isomorphic(h, &g)) {
+            return false;
+        }
+        bucket.push(g);
+        self.len += 1;
+        true
+    }
+
+    /// Whether an isomorphic copy of `g` is present.
+    #[must_use]
+    pub fn contains(&self, g: &Graph) -> bool {
+        let key = invariant_fingerprint(g);
+        self.buckets
+            .get(&key)
+            .is_some_and(|bucket| bucket.iter().any(|h| are_isomorphic(h, g)))
+    }
+
+    /// Iterates over one representative per stored isomorphism class.
+    pub fn iter(&self) -> impl Iterator<Item = &Graph> {
+        self.buckets.values().flatten()
+    }
+
+    /// Consumes the set, returning all representatives.
+    #[must_use]
+    pub fn into_graphs(self) -> Vec<Graph> {
+        self.buckets.into_values().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn ahu_distinguishes_rooted_positions() {
+        let g = generators::path(4);
+        // Rooted at an end vs at an inner node: different rooted trees.
+        assert_ne!(ahu_encoding(&g, 0), ahu_encoding(&g, 1));
+        // The two ends are symmetric.
+        assert_eq!(ahu_encoding(&g, 0), ahu_encoding(&g, 3));
+    }
+
+    #[test]
+    fn centroids_match_medians() {
+        let mut rng = crate::test_rng(17);
+        for _ in 0..30 {
+            let g = generators::random_tree(20, &mut rng);
+            let mut centroids = tree_centroids(&g);
+            let mut medians = crate::tree::tree_medians(&g).unwrap();
+            centroids.sort_unstable();
+            medians.sort_unstable();
+            assert_eq!(centroids, medians);
+        }
+    }
+
+    #[test]
+    fn canonical_tree_encoding_is_isomorphism_invariant() {
+        let mut rng = crate::test_rng(23);
+        for _ in 0..25 {
+            let g = generators::random_tree(12, &mut rng);
+            let perm = generators::random_permutation(12, &mut rng);
+            let h = g.relabeled(&perm);
+            assert_eq!(canonical_tree_encoding(&g), canonical_tree_encoding(&h));
+        }
+    }
+
+    #[test]
+    fn canonical_tree_encoding_separates_non_isomorphic() {
+        let star = generators::star(6);
+        let path = generators::path(6);
+        let spider = generators::spider(2, 2); // n = 5, skip
+        assert_ne!(canonical_tree_encoding(&star), canonical_tree_encoding(&path));
+        assert_eq!(spider.n(), 5);
+    }
+
+    #[test]
+    fn isomorphism_respects_relabeling() {
+        let mut rng = crate::test_rng(31);
+        for _ in 0..15 {
+            let g = generators::random_connected(9, 0.3, &mut rng);
+            let perm = generators::random_permutation(9, &mut rng);
+            assert!(are_isomorphic(&g, &g.relabeled(&perm)));
+        }
+    }
+
+    #[test]
+    fn isomorphism_rejects_different_graphs() {
+        assert!(!are_isomorphic(&generators::cycle(6), &generators::path(6)));
+        assert!(!are_isomorphic(&generators::star(5), &generators::path(5)));
+        // Same degree sequence, different graphs: C6 vs two triangles.
+        let c6 = generators::cycle(6);
+        let two_triangles =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap();
+        assert!(!are_isomorphic(&c6, &two_triangles));
+    }
+
+    #[test]
+    fn fingerprint_is_invariant() {
+        let mut rng = crate::test_rng(41);
+        for _ in 0..15 {
+            let g = generators::random_connected(10, 0.25, &mut rng);
+            let perm = generators::random_permutation(10, &mut rng);
+            assert_eq!(invariant_fingerprint(&g), invariant_fingerprint(&g.relabeled(&perm)));
+        }
+    }
+
+    #[test]
+    fn canonical_set_deduplicates() {
+        let mut set = CanonicalSet::new();
+        let g = generators::cycle(5);
+        assert!(set.insert(g.clone()));
+        assert!(!set.insert(g.relabeled(&[3, 1, 4, 0, 2])));
+        assert!(set.insert(generators::path(5)));
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(&generators::cycle(5)));
+        assert!(!set.contains(&generators::star(5)));
+        assert_eq!(set.into_graphs().len(), 2);
+    }
+
+    #[test]
+    fn empty_graphs_are_isomorphic() {
+        assert!(are_isomorphic(&Graph::new(0), &Graph::new(0)));
+        assert!(are_isomorphic(&Graph::new(3), &Graph::new(3)));
+        assert!(!are_isomorphic(&Graph::new(3), &Graph::new(4)));
+    }
+}

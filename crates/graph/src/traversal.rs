@@ -1,0 +1,290 @@
+//! Breadth-first search, distances, and the all-pairs distance matrix.
+//!
+//! Distances are hop counts; `UNREACHABLE` marks disconnected pairs. The
+//! game layer translates `UNREACHABLE` into the paper's `M` constant
+//! (lexicographically dominant disconnection penalty).
+
+use crate::graph::Graph;
+
+/// Sentinel distance for unreachable pairs.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Writes BFS hop distances from `src` into `out` (resized to `n`), using
+/// [`UNREACHABLE`] for nodes in other components. Returns the number of
+/// reachable nodes, including `src` itself.
+///
+/// # Panics
+///
+/// Panics if `src` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use bncg_graph::{bfs_distances, Graph, UNREACHABLE};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2)])?;
+/// let mut dist = Vec::new();
+/// let reached = bfs_distances(&g, 0, &mut dist);
+/// assert_eq!(reached, 3);
+/// assert_eq!(dist, vec![0, 1, 2, UNREACHABLE]);
+/// # Ok::<(), bncg_graph::GraphError>(())
+/// ```
+pub fn bfs_distances(g: &Graph, src: u32, out: &mut Vec<u32>) -> usize {
+    let n = g.n();
+    assert!((src as usize) < n, "source node out of range");
+    out.clear();
+    out.resize(n, UNREACHABLE);
+    out[src as usize] = 0;
+    let mut queue = std::collections::VecDeque::with_capacity(n);
+    queue.push_back(src);
+    let mut reached = 1usize;
+    while let Some(u) = queue.pop_front() {
+        let du = out[u as usize];
+        for &v in g.neighbors(u) {
+            if out[v as usize] == UNREACHABLE {
+                out[v as usize] = du + 1;
+                reached += 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    reached
+}
+
+/// Sum of hop distances from `u` to all nodes, or `None` if some node is
+/// unreachable from `u`.
+///
+/// # Examples
+///
+/// ```
+/// use bncg_graph::{dist_sum_from, Graph};
+///
+/// let path = Graph::from_edges(3, [(0, 1), (1, 2)])?;
+/// assert_eq!(dist_sum_from(&path, 0), Some(3));
+/// assert_eq!(dist_sum_from(&path, 1), Some(2));
+/// # Ok::<(), bncg_graph::GraphError>(())
+/// ```
+#[must_use]
+pub fn dist_sum_from(g: &Graph, u: u32) -> Option<u64> {
+    let mut dist = Vec::new();
+    let reached = bfs_distances(g, u, &mut dist);
+    if reached != g.n() {
+        return None;
+    }
+    Some(dist.iter().map(|&d| u64::from(d)).sum())
+}
+
+/// The all-pairs hop-distance matrix of a graph, stored densely.
+///
+/// Rows are BFS distance vectors; disconnected pairs hold [`UNREACHABLE`].
+///
+/// # Examples
+///
+/// ```
+/// use bncg_graph::{DistanceMatrix, Graph};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)])?;
+/// let d = DistanceMatrix::new(&g);
+/// assert_eq!(d.dist(0, 3), 3);
+/// assert_eq!(d.row_sum(1), Some(4));
+/// assert_eq!(d.diameter(), Some(3));
+/// # Ok::<(), bncg_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistanceMatrix {
+    n: usize,
+    d: Vec<u32>,
+}
+
+impl DistanceMatrix {
+    /// Computes the distance matrix with one BFS per node: `O(n·(n + m))`.
+    #[must_use]
+    pub fn new(g: &Graph) -> Self {
+        let n = g.n();
+        let mut d = vec![UNREACHABLE; n * n];
+        let mut row = Vec::new();
+        for u in 0..n as u32 {
+            bfs_distances(g, u, &mut row);
+            d[u as usize * n..(u as usize + 1) * n].copy_from_slice(&row);
+        }
+        DistanceMatrix { n, d }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Distance between `u` and `v` ([`UNREACHABLE`] if disconnected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    #[must_use]
+    pub fn dist(&self, u: u32, v: u32) -> u32 {
+        self.d[u as usize * self.n + v as usize]
+    }
+
+    /// The full distance row of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[must_use]
+    pub fn row(&self, u: u32) -> &[u32] {
+        &self.d[u as usize * self.n..(u as usize + 1) * self.n]
+    }
+
+    /// Sum of distances from `u` to everyone, or `None` if `u` cannot reach
+    /// some node.
+    #[must_use]
+    pub fn row_sum(&self, u: u32) -> Option<u64> {
+        let mut sum = 0u64;
+        for &d in self.row(u) {
+            if d == UNREACHABLE {
+                return None;
+            }
+            sum += u64::from(d);
+        }
+        Some(sum)
+    }
+
+    /// Eccentricity of `u` (max distance), or `None` if `u` cannot reach
+    /// some node.
+    #[must_use]
+    pub fn eccentricity(&self, u: u32) -> Option<u32> {
+        let mut ecc = 0u32;
+        for &d in self.row(u) {
+            if d == UNREACHABLE {
+                return None;
+            }
+            ecc = ecc.max(d);
+        }
+        Some(ecc)
+    }
+
+    /// Diameter of the graph, or `None` if disconnected. The single-node
+    /// graph has diameter 0.
+    #[must_use]
+    pub fn diameter(&self) -> Option<u32> {
+        let mut diam = 0u32;
+        for u in 0..self.n as u32 {
+            diam = diam.max(self.eccentricity(u)?);
+        }
+        Some(diam)
+    }
+
+    /// Total distance `Σ_u Σ_v dist(u, v)` over ordered pairs, or `None`
+    /// if the graph is disconnected.
+    #[must_use]
+    pub fn total_distance(&self) -> Option<u64> {
+        let mut sum = 0u64;
+        for u in 0..self.n as u32 {
+            sum += self.row_sum(u)?;
+        }
+        Some(sum)
+    }
+}
+
+/// Computes the diameter directly from a graph (`None` if disconnected).
+///
+/// # Examples
+///
+/// ```
+/// use bncg_graph::{diameter, generators};
+///
+/// assert_eq!(diameter(&generators::cycle(6)), Some(3));
+/// assert_eq!(diameter(&generators::star(9)), Some(2));
+/// ```
+#[must_use]
+pub fn diameter(g: &Graph) -> Option<u32> {
+    let mut row = Vec::new();
+    let mut diam = 0u32;
+    for u in 0..g.n() as u32 {
+        if bfs_distances(g, u, &mut row) != g.n() {
+            return None;
+        }
+        diam = diam.max(row.iter().copied().max().unwrap_or(0));
+    }
+    Some(diam)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_on_disconnected_graph_reports_reachable_count() {
+        let g = Graph::from_edges(5, [(0, 1), (2, 3)]).unwrap();
+        let mut dist = Vec::new();
+        assert_eq!(bfs_distances(&g, 2, &mut dist), 2);
+        assert_eq!(dist[3], 1);
+        assert_eq!(dist[0], UNREACHABLE);
+        assert_eq!(dist[4], UNREACHABLE);
+    }
+
+    #[test]
+    fn dist_sum_matches_matrix() {
+        let g = generators::path(6);
+        let d = DistanceMatrix::new(&g);
+        for u in 0..6 {
+            assert_eq!(dist_sum_from(&g, u), d.row_sum(u));
+        }
+    }
+
+    #[test]
+    fn dist_sum_is_none_when_disconnected() {
+        let g = Graph::new(3);
+        assert_eq!(dist_sum_from(&g, 0), None);
+        let d = DistanceMatrix::new(&g);
+        assert_eq!(d.row_sum(0), None);
+        assert_eq!(d.diameter(), None);
+        assert_eq!(d.total_distance(), None);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_zero_diagonal() {
+        let g = generators::cycle(7);
+        let d = DistanceMatrix::new(&g);
+        for u in 0..7u32 {
+            assert_eq!(d.dist(u, u), 0);
+            for v in 0..7u32 {
+                assert_eq!(d.dist(u, v), d.dist(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn path_distances_are_index_differences() {
+        let g = generators::path(5);
+        let d = DistanceMatrix::new(&g);
+        for u in 0..5u32 {
+            for v in 0..5u32 {
+                assert_eq!(d.dist(u, v), u.abs_diff(v));
+            }
+        }
+        assert_eq!(d.diameter(), Some(4));
+    }
+
+    #[test]
+    fn star_total_distance_matches_closed_form() {
+        // Star on n nodes: total over ordered pairs is
+        // 2(n−1) (center↔leaves) + 2(n−1)(n−2) (leaf↔leaf).
+        for n in 2..10u64 {
+            let g = generators::star(n as usize);
+            let d = DistanceMatrix::new(&g);
+            assert_eq!(d.total_distance(), Some(2 * (n - 1) + 2 * (n - 1) * (n - 2)));
+        }
+    }
+
+    #[test]
+    fn single_node_graph_has_zero_diameter() {
+        let g = Graph::new(1);
+        let d = DistanceMatrix::new(&g);
+        assert_eq!(d.diameter(), Some(0));
+        assert_eq!(d.total_distance(), Some(0));
+        assert_eq!(diameter(&g), Some(0));
+    }
+}

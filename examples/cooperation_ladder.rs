@@ -1,0 +1,47 @@
+//! The paper's headline message as a runnable experiment: the worst
+//! equilibrium network improves as agents are allowed to cooperate more.
+//!
+//! For each solution concept the example reports the exhaustive
+//! Price of Anarchy over all trees on `n` nodes for a sweep of edge
+//! prices, plus the paper's bound for that concept.
+//!
+//! Run with `cargo run --release --example cooperation_ladder`.
+
+use bncg::analysis::empirical;
+use bncg::core::{bounds, Alpha, Concept};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 9;
+    let alphas = [1i64, 2, 4, 8, 16, 32, 64];
+    println!("Exhaustive tree PoA on n = {n} agents (rows: α, columns: concept)\n");
+    println!(
+        "{:>5}  {:>8} {:>8} {:>8} {:>8} {:>8}   {:>12} {:>12}",
+        "α", "PS", "BSwE", "BGE", "BNE", "3-BSE", "2+2log₂α", "min{√α,n/√α}"
+    );
+    for v in alphas {
+        let alpha = Alpha::integer(v)?;
+        let mut cells = Vec::new();
+        for concept in [
+            Concept::Ps,
+            Concept::Bswe,
+            Concept::Bge,
+            Concept::Bne,
+            Concept::KBse(3),
+        ] {
+            let point = empirical::tree_poa(n, alpha, concept)?;
+            cells.push(match point.max_rho {
+                Some(rho) => format!("{rho:>8.3}"),
+                None => format!("{:>8}", "–"),
+            });
+        }
+        println!(
+            "{v:>5}  {}   {:>12.2} {:>12.2}",
+            cells.join(" "),
+            bounds::theorem_3_6_bound(alpha),
+            bounds::ps_poa_envelope(alpha, n),
+        );
+    }
+    println!("\nReading: PoA shrinks monotonically along PS → BGE → BNE → 3-BSE,");
+    println!("matching Table 1 of the paper (Θ(min{{√α, n/√α}}) → Θ(log α) → Θ(1)).");
+    Ok(())
+}

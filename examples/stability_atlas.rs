@@ -1,0 +1,48 @@
+//! A stability atlas: for a handful of named topologies, print the exact
+//! rational α-intervals on which each is stable, per solution concept —
+//! the paper's "stable for this range of α" statements as one table.
+//!
+//! Run with `cargo run --release --example stability_atlas`.
+
+use bncg::core::windows::{stability_windows, StabilityWindow};
+use bncg::core::Concept;
+use bncg::graph::generators;
+
+fn stable_part(w: &[StabilityWindow]) -> String {
+    let bound = |b: &Option<bncg::core::windows::Threshold>, inf: &str| {
+        b.map_or(inf.to_string(), |t| t.to_string())
+    };
+    let parts: Vec<String> = w
+        .iter()
+        .filter(|win| win.stable)
+        .map(|win| format!("[{}, {}]", bound(&win.lo, "0"), bound(&win.hi, "∞")))
+        .collect();
+    if parts.is_empty() {
+        "∅".to_string()
+    } else {
+        parts.join(" ∪ ")
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let shapes = [
+        ("star(10)", generators::star(10)),
+        ("path(10)", generators::path(10)),
+        ("cycle(8)", generators::cycle(8)),
+        ("broom(4,3)", generators::broom(4, 3)),
+        ("spider(3,3)", generators::spider(3, 3)),
+        ("wheel(8)", generators::wheel(8)),
+    ];
+    println!("{:<14} {:<12} {:<12} {:<12}", "graph", "RE", "PS", "BGE");
+    for (name, g) in &shapes {
+        let re = stable_part(&stability_windows(g, Concept::Re)?);
+        let ps = stable_part(&stability_windows(g, Concept::Ps)?);
+        let bge = stable_part(&stability_windows(g, Concept::Bge)?);
+        println!("{name:<14} {re:<12} {ps:<12} {bge:<12}");
+    }
+    println!();
+    println!("Reading: a cycle's RE interval ends at Lemma 2.4's threshold (C8: 12);");
+    println!("broom(4,3)'s gap [6, 8) is pairwise stable yet swap-unstable — the");
+    println!("exact α-region where cooperation strictly helps.");
+    Ok(())
+}

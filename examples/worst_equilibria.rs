@@ -1,0 +1,48 @@
+//! Builds the paper's worst-case equilibria — the stretched tree stars of
+//! Theorem 3.10 — certifies them with the exact checkers, and shows how a
+//! single extra unit of cooperation (coalitions of three) dissolves them.
+//!
+//! Run with `cargo run --release --example worst_equilibria`.
+
+use bncg::constructions::stretched::theorem_3_10_instance;
+use bncg::core::{bounds, concepts, social_cost_ratio, Alpha};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Theorem 3.10: stretched tree stars are bad BGE equilibria\n");
+    println!(
+        "{:>6} {:>6} {:>8} {:>14} {:>10}",
+        "α", "n", "ρ(G)", "¼log₂α − 17/8", "in BGE"
+    );
+    for alpha_v in [240usize, 480, 960] {
+        let alpha = Alpha::integer(alpha_v as i64)?;
+        let star = theorem_3_10_instance(alpha_v, alpha_v);
+        let stable = concepts::bge::is_stable(&star.graph, alpha);
+        let rho = social_cost_ratio(&star.graph, alpha)?.as_f64();
+        println!(
+            "{alpha_v:>6} {:>6} {rho:>8.3} {:>14.3} {stable:>10}",
+            star.graph.n(),
+            bounds::theorem_3_10_lower(alpha)
+        );
+    }
+
+    // The family is 2-BSE on trees (Proposition 3.7), so pairwise
+    // cooperation tolerates its Θ(log α) inefficiency; Theorem 3.15 says
+    // three-agent coalitions cap trees at ρ ≤ 25 — the family's ρ only
+    // crosses that line at astronomical α, which is the theorem's point.
+    //
+    // The coalition-size separation is concrete already on ten nodes: the
+    // spider with three legs of length three is in 2-BSE at α = 9 but a
+    // three-agent coalition escapes it.
+    use bncg::graph::generators;
+    let spider = generators::spider(3, 3);
+    let alpha9 = Alpha::integer(9)?;
+    let in_2bse = concepts::kbse::find_violation(&spider, alpha9, 2)?.is_none();
+    let escape = concepts::kbse::find_violation(&spider, alpha9, 3)?
+        .expect("three-agent coalition escapes the spider");
+    println!("\nspider(3 legs × 3) at α = 9: in 2-BSE = {in_2bse}; 3-coalition escape:");
+    println!("  {escape}");
+    assert!(bncg::core::delta::move_improves_all(&spider, alpha9, &escape)?);
+    println!("\nExactly the paper's message: swaps/pairs tolerate Θ(log α) inefficiency,");
+    println!("three-agent cooperation forces Θ(1) (Theorem 3.15).");
+    Ok(())
+}

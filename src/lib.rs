@@ -1,0 +1,37 @@
+//! # bncg — Bilateral Network Creation Games
+//!
+//! A full reproduction of *The Impact of Cooperation in Bilateral Network
+//! Creation* (Friedrich, Gawendowicz, Lenzner, Zahn; PODC 2023) as a Rust
+//! workspace. This facade crate re-exports the member crates:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`graph`] | `bncg-graph` | graph substrate: traversal, rooted trees, generators, isomorphism, enumeration, graph6 |
+//! | [`core`] | `bncg-core` | the game: exact costs, the eight solution concepts, unilateral NCG, theorem bounds |
+//! | [`constructions`] | `bncg-constructions` | stretched trees, figure witnesses, conjecture/Venn searches |
+//! | [`dynamics`] | `bncg-dynamics` | improving-move dynamics and convergence experiments |
+//! | [`analysis`] | `bncg-analysis` | the experiment harness regenerating every table and figure |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bncg::core::{Alpha, Concept, Game};
+//! use bncg::graph::generators;
+//!
+//! let game = Game::new(generators::star(20), Alpha::integer(5)?);
+//! assert!(game.is_stable(Concept::Ps)?);              // pairwise stable
+//! assert_eq!(game.social_cost_ratio()?.as_f64(), 1.0); // and socially optimal
+//! # Ok::<(), bncg::core::GameError>(())
+//! ```
+//!
+//! See `examples/` for runnable scenarios and the `experiments` binary
+//! (`cargo run --release -p bncg-analysis --bin experiments -- all`) for
+//! the paper's tables and figures.
+
+#![warn(missing_docs)]
+
+pub use bncg_analysis as analysis;
+pub use bncg_constructions as constructions;
+pub use bncg_core as core;
+pub use bncg_dynamics as dynamics;
+pub use bncg_graph as graph;

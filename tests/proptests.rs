@@ -1,0 +1,239 @@
+//! Property-based tests (proptest) on the reproduction's core invariants:
+//! the dual delta engines agree, canonical forms are isomorphism
+//! invariants, costs obey the model's algebra, and checkers' witnesses
+//! always replay.
+
+use bncg::core::{agent_cost, concepts, delta, optimum_cost, social_cost, Alpha, Concept, Move};
+use bncg::graph::{generators, graph6, iso, DistanceMatrix, Graph};
+use proptest::prelude::*;
+
+/// A random labeled tree via a Prüfer sequence.
+fn tree_strategy(max_n: usize) -> impl Strategy<Value = Graph> {
+    (3..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(0..n as u32, n - 2)
+            .prop_map(move |seq| generators::tree_from_pruefer(n, &seq))
+    })
+}
+
+/// A random connected graph: tree plus extra edges chosen by mask.
+fn connected_graph_strategy(max_n: usize) -> impl Strategy<Value = Graph> {
+    (tree_strategy(max_n), any::<u64>()).prop_map(|(mut g, mask)| {
+        let non_edges: Vec<(u32, u32)> = g.non_edges().collect();
+        for (i, (u, v)) in non_edges.into_iter().enumerate().take(60) {
+            if mask >> (i % 64) & 1 == 1 && i % 3 == 0 {
+                g.add_edge(u, v).expect("non-edge");
+            }
+        }
+        g
+    })
+}
+
+fn alpha_strategy() -> impl Strategy<Value = Alpha> {
+    (1i64..=400, 1i64..=4).prop_map(|(num, den)| Alpha::from_ratio(num, den).expect("positive"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fast_add_engine_matches_generic(g in connected_graph_strategy(12), alpha in alpha_strategy()) {
+        let d = DistanceMatrix::new(&g);
+        for (u, v) in g.non_edges().take(20) {
+            let fast = delta::cost_after_add(&g, &d, u, v);
+            let g2 = Move::BilateralAdd { u, v }.apply(&g).unwrap();
+            prop_assert_eq!(fast, agent_cost(&g2, u));
+            // And the improvement predicate agrees under any α.
+            let old = agent_cost(&g, u);
+            prop_assert_eq!(
+                fast.better_than(&old, alpha),
+                agent_cost(&g2, u).better_than(&old, alpha)
+            );
+        }
+    }
+
+    #[test]
+    fn tree_swap_engine_matches_generic(g in tree_strategy(12)) {
+        let d = DistanceMatrix::new(&g);
+        for agent in 0..g.n() as u32 {
+            for &old in g.neighbors(agent) {
+                for new in 0..g.n() as u32 {
+                    if new == agent || g.has_edge(agent, new) {
+                        continue;
+                    }
+                    let mv = Move::Swap { agent, old, new };
+                    let g2 = mv.apply(&g).unwrap();
+                    match delta::tree_swap_costs(&g, &d, agent, old, new) {
+                        Some((ca, cn)) => {
+                            prop_assert_eq!(ca, agent_cost(&g2, agent));
+                            prop_assert_eq!(cn, agent_cost(&g2, new));
+                        }
+                        None => prop_assert!(agent_cost(&g2, agent).unreachable > 0),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_tree_encoding_is_invariant(g in tree_strategy(12), seed in any::<u64>()) {
+        let mut rng = bncg::graph::test_rng(seed);
+        let perm = generators::random_permutation(g.n(), &mut rng);
+        let h = g.relabeled(&perm);
+        prop_assert_eq!(
+            iso::canonical_tree_encoding(&g),
+            iso::canonical_tree_encoding(&h)
+        );
+        prop_assert!(iso::are_isomorphic(&g, &h));
+    }
+
+    #[test]
+    fn graph6_roundtrips(g in connected_graph_strategy(14)) {
+        let enc = graph6::encode(&g).unwrap();
+        prop_assert_eq!(graph6::decode(&enc).unwrap(), g);
+    }
+
+    #[test]
+    fn social_optimum_formula_is_a_true_minimum(
+        g in connected_graph_strategy(9),
+        alpha in alpha_strategy()
+    ) {
+        let cost = social_cost(&g, alpha).unwrap();
+        prop_assert!(cost >= optimum_cost(g.n(), alpha));
+    }
+
+    #[test]
+    fn checker_witnesses_always_replay(
+        g in connected_graph_strategy(8),
+        alpha in alpha_strategy()
+    ) {
+        for concept in [Concept::Re, Concept::Bae, Concept::Ps, Concept::Bswe, Concept::Bge] {
+            if let Some(mv) = concept.find_violation(&g, alpha).unwrap() {
+                prop_assert!(
+                    delta::move_improves_all(&g, alpha, &mv).unwrap(),
+                    "non-improving witness from {} on {:?}", concept, g
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lattice_subsets_hold_on_random_instances(
+        g in connected_graph_strategy(7),
+        alpha in alpha_strategy()
+    ) {
+        let ps = concepts::ps::is_stable(&g, alpha);
+        let re = concepts::re::is_stable(&g, alpha);
+        let bae = concepts::bae::is_stable(&g, alpha);
+        let bge = concepts::bge::is_stable(&g, alpha);
+        let bswe = concepts::bswe::is_stable(&g, alpha);
+        prop_assert_eq!(ps, re && bae);
+        prop_assert_eq!(bge, ps && bswe);
+        if Concept::Bne.is_stable(&g, alpha).unwrap() {
+            prop_assert!(bge && bae);
+        }
+        if Concept::KBse(3).is_stable(&g, alpha).unwrap() {
+            prop_assert!(Concept::KBse(2).is_stable(&g, alpha).unwrap());
+        }
+        if Concept::KBse(2).is_stable(&g, alpha).unwrap() {
+            prop_assert!(bge);
+        }
+    }
+
+    #[test]
+    fn removing_then_adding_is_identity(g in tree_strategy(10)) {
+        let (u, v) = g.edges().next().unwrap();
+        let removed = Move::Remove { agent: u, target: v }.apply(&g).unwrap();
+        let restored = Move::BilateralAdd { u, v }.apply(&removed).unwrap();
+        prop_assert_eq!(restored, g);
+    }
+
+    #[test]
+    fn tree_cost_identities(g in tree_strategy(14), alpha in alpha_strategy()) {
+        // Σ_u dist(u) from the rerooting engine equals the matrix total,
+        // and social cost = α·2m + total distance.
+        let t = bncg::graph::RootedTree::new(&g, 0).unwrap();
+        let total: u64 = t.dist_sums().iter().sum();
+        let d = DistanceMatrix::new(&g);
+        prop_assert_eq!(total, d.total_distance().unwrap());
+        let cost = social_cost(&g, alpha).unwrap();
+        let expected_num = i128::from(alpha.num()) * (2 * g.m() as i128)
+            + i128::from(alpha.den()) * i128::from(total);
+        prop_assert_eq!(
+            cost,
+            bncg::core::Ratio::new(expected_num, i128::from(alpha.den()))
+        );
+    }
+
+    #[test]
+    fn graph6_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..40)) {
+        // Arbitrary input must be rejected gracefully, never crash.
+        if let Ok(s) = std::str::from_utf8(&bytes) {
+            let _ = graph6::decode(s);
+        }
+    }
+
+    #[test]
+    fn alpha_ordering_is_total_and_consistent(
+        a in (1i64..10_000, 1i64..100),
+        b in (1i64..10_000, 1i64..100)
+    ) {
+        let x = Alpha::from_ratio(a.0, a.1).unwrap();
+        let y = Alpha::from_ratio(b.0, b.1).unwrap();
+        // Ordering agrees with exact cross multiplication.
+        let lhs = i128::from(x.num()) * i128::from(y.den());
+        let rhs = i128::from(y.num()) * i128::from(x.den());
+        prop_assert_eq!(x.cmp(&y), lhs.cmp(&rhs));
+        // Display → parse roundtrip.
+        let reparsed: Alpha = x.to_string().parse().unwrap();
+        prop_assert_eq!(x, reparsed);
+        // cost_key is monotone in both coordinates.
+        prop_assert!(x.cost_key(2, 10) > x.cost_key(1, 10));
+        prop_assert!(x.cost_key(1, 11) > x.cost_key(1, 10));
+    }
+
+    #[test]
+    fn bilateral_re_iff_unilateral_re_for_all_assignments(
+        g in connected_graph_strategy(6),
+        alpha in alpha_strategy()
+    ) {
+        // Proposition 2.2 as a property.
+        let bilateral = concepts::re::is_stable(&g, alpha);
+        let unilateral_all = bncg::core::unilateral::UnilateralState::all_assignments(&g)
+            .unwrap()
+            .iter()
+            .all(|s| s.is_remove_stable(alpha));
+        prop_assert_eq!(bilateral, unilateral_all);
+    }
+
+    #[test]
+    fn bridges_never_yield_re_violations(
+        g in connected_graph_strategy(10),
+        alpha in alpha_strategy()
+    ) {
+        // The optimization behind the RE checker: removing a bridge is
+        // never improving (reachability is lexicographically first).
+        for (u, v) in bncg::graph::connectivity::analyze(&g).bridges {
+            for (agent, target) in [(u, v), (v, u)] {
+                let mv = Move::Remove { agent, target };
+                prop_assert!(!delta::move_improves_all(&g, alpha, &mv).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn one_median_minimizes_and_splits(g in tree_strategy(14)) {
+        // The 1-median minimizes the distance sum AND leaves components of
+        // size ≤ n/2 (the paper uses both characterizations).
+        let medians = bncg::graph::tree_medians(&g).unwrap();
+        let t = bncg::graph::RootedTree::new(&g, 0).unwrap();
+        let sums = t.dist_sums();
+        let min = *sums.iter().min().unwrap();
+        for &m in &medians {
+            prop_assert_eq!(sums[m as usize], min);
+            let rooted = bncg::graph::RootedTree::new(&g, m).unwrap();
+            for &c in rooted.children(m) {
+                prop_assert!(rooted.subtree_size(c) as usize * 2 <= g.n());
+            }
+        }
+    }
+}

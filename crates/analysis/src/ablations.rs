@@ -6,7 +6,9 @@
 //! exists).
 
 use crate::report::{fnum, Report};
-use bncg_core::{agent_cost, concepts, delta, Alpha, GameError, Move};
+use bncg_core::{
+    agent_cost, agent_cost_from_matrix, concepts, delta, Alpha, GameError, GameState, Move,
+};
 use bncg_graph::{generators, DistanceMatrix};
 use std::time::Instant;
 
@@ -17,10 +19,20 @@ use std::time::Instant;
 ///
 /// Forwards move-application errors (none expected).
 pub fn delta_engines(report: &mut Report, quick: bool) -> Result<(), GameError> {
-    let ns: Vec<usize> = if quick { vec![60, 120] } else { vec![60, 120, 240] };
+    let ns: Vec<usize> = if quick {
+        vec![60, 120]
+    } else {
+        vec![60, 120, 240]
+    };
     let section = report.section("Ablation: fast delta engines vs generic apply+BFS");
     section.note("every candidate move evaluated by both engines; agreement asserted; time per full BAE+BSwE scan");
-    let table = section.table(["n", "candidates", "fast scan (ms)", "generic scan (ms)", "speedup"]);
+    let table = section.table([
+        "n",
+        "candidates",
+        "fast scan (ms)",
+        "generic scan (ms)",
+        "speedup",
+    ]);
     let alpha = Alpha::integer(50).expect("α");
     for n in ns {
         let mut rng = bncg_graph::test_rng(n as u64);
@@ -72,7 +84,11 @@ pub fn delta_engines(report: &mut Report, quick: bool) -> Result<(), GameError> 
             }
         }
         for &(u, v, w) in &swaps {
-            let mv = Move::Swap { agent: u, old: v, new: w };
+            let mv = Move::Swap {
+                agent: u,
+                old: v,
+                new: w,
+            };
             if delta::move_improves_all_cached(&tree, alpha, &mv, &old)? {
                 generic_improving += 1;
             }
@@ -116,7 +132,12 @@ pub fn kbse_restriction(report: &mut Report, quick: bool) -> Result<(), GameErro
         "Ablation: restricted k-BSE refuter vs exact checker (corpus n = {n}, k = 3)"
     ));
     section.note("agreement = identical stable/unstable verdict; the restricted refuter may only miss violations");
-    let table = section.table(["removal budget", "agreements", "missed violations", "agreement rate"]);
+    let table = section.table([
+        "removal budget",
+        "agreements",
+        "missed violations",
+        "agreement rate",
+    ]);
     for max_removals in [0usize, 1, 2, 3] {
         let mut agree = 0usize;
         let mut missed = 0usize;
@@ -156,9 +177,16 @@ pub fn kbse_restriction(report: &mut Report, quick: bool) -> Result<(), GameErro
 ///
 /// Never fails; matches the runner signature.
 pub fn parallel_scan(report: &mut Report, quick: bool) -> Result<(), GameError> {
-    let rows = if quick { vec![8usize, 12] } else { vec![8, 12, 16] };
-    let section = report.section("Ablation: serial vs parallel restricted 2-BSE scan (Figure 7 family)");
-    section.note("identical stable verdicts asserted; wall time for the full coalition scan (≤ 2 removals)");
+    let rows = if quick {
+        vec![8usize, 12]
+    } else {
+        vec![8, 12, 16]
+    };
+    let section =
+        report.section("Ablation: serial vs parallel restricted 2-BSE scan (Figure 7 family)");
+    section.note(
+        "identical stable verdicts asserted; wall time for the full coalition scan (≤ 2 removals)",
+    );
     let table = section.table(["i", "n", "serial (ms)", "parallel ×4 (ms)", "speedup"]);
     for i in rows {
         let fig = bncg_constructions::figures::figure7(i);
@@ -185,9 +213,108 @@ pub fn parallel_scan(report: &mut Report, quick: bool) -> Result<(), GameError> 
     Ok(())
 }
 
+/// Ablation 4: the incremental `GameState` engine vs. the scratch path
+/// that rebuilds a full distance matrix per candidate — exact agreement on
+/// every candidate move, with measured speedup, plus the engine's parallel
+/// batch evaluator.
+///
+/// # Errors
+///
+/// Forwards move-evaluation errors (none expected).
+pub fn incremental_engine(report: &mut Report, quick: bool) -> Result<(), GameError> {
+    let ns: Vec<usize> = if quick {
+        vec![12, 16]
+    } else {
+        vec![12, 16, 24]
+    };
+    let section = report.section("Ablation: incremental GameState engine vs scratch recomputation");
+    section.note("every single-edge candidate priced by both paths; agreement asserted; engine also shown with the parallel batch evaluator");
+    let table = section.table([
+        "n",
+        "candidates",
+        "engine (ms)",
+        "engine ×4 threads (ms)",
+        "scratch (ms)",
+        "speedup",
+    ]);
+    let alpha = Alpha::integer(3).expect("α");
+    for n in ns {
+        let mut rng = bncg_graph::test_rng(0xEC0 + n as u64);
+        let g = generators::random_connected(n, 0.2, &mut rng);
+        let moves: Vec<Move> = g
+            .non_edges()
+            .map(|(u, v)| Move::BilateralAdd { u, v })
+            .chain(g.edges().map(|(u, v)| Move::Remove {
+                agent: u,
+                target: v,
+            }))
+            .collect();
+        let state = GameState::new(g.clone(), alpha);
+
+        // Engine pass: cached matrix + consenting-agent evaluation.
+        let t0 = Instant::now();
+        let mut ev = state.evaluator();
+        let engine_improving = moves
+            .iter()
+            .filter(|mv| ev.improves_all(mv).expect("valid candidate"))
+            .count();
+        let engine_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // Engine pass, batched over 4 worker threads.
+        let t1 = Instant::now();
+        let parallel_improving = state
+            .evaluate_moves_parallel(&moves, 4)?
+            .iter()
+            .filter(|d| d.improving_all)
+            .count();
+        let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        // Scratch pass: full matrix rebuild per candidate.
+        let t2 = Instant::now();
+        let mut scratch_improving = 0usize;
+        for mv in &moves {
+            let g2 = mv.apply(&g)?;
+            let d = DistanceMatrix::new(&g2);
+            if mv
+                .consenting_agents()
+                .iter()
+                .all(|&a| agent_cost_from_matrix(&g2, &d, a).better_than(&state.cost(a), alpha))
+            {
+                scratch_improving += 1;
+            }
+        }
+        let scratch_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+        assert_eq!(
+            engine_improving, scratch_improving,
+            "engines disagree at n = {n}"
+        );
+        assert_eq!(
+            engine_improving, parallel_improving,
+            "parallel batch disagrees at n = {n}"
+        );
+        table.row([
+            n.to_string(),
+            moves.len().to_string(),
+            fnum(engine_ms),
+            fnum(parallel_ms),
+            fnum(scratch_ms),
+            fnum(scratch_ms / engine_ms.max(1e-9)),
+        ]);
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn incremental_engine_ablation_runs_and_agrees() {
+        let mut r = Report::new();
+        incremental_engine(&mut r, true).unwrap();
+        assert!(r.render().contains("incremental GameState engine"));
+    }
 
     #[test]
     fn parallel_scan_ablation_runs() {

@@ -22,12 +22,18 @@ pub fn ladder(report: &mut Report, quick: bool) -> Result<(), GameError> {
     let section = report.section(format!(
         "Dynamics: cooperation ladder (random trees, n = {n}, {runs} runs each)"
     ));
-    section.note("random improving moves until the concept's checker is satisfied; ρ of reached equilibria");
+    section.note(
+        "random improving moves until the concept's checker is satisfied; ρ of reached equilibria",
+    );
     let table = section.table(["concept", "α", "converged", "mean steps", "mean ρ", "max ρ"]);
     let mut rng = bncg_graph::test_rng(0xD15C0);
     for concept in concepts {
         // BNE checking is exponential; keep its instances smaller.
-        let n_c = if concept == Concept::Bne { n.min(12) } else { n };
+        let n_c = if concept == Concept::Bne {
+            n.min(12)
+        } else {
+            n
+        };
         for &alpha in &alphas {
             let rule = if concept == Concept::Bne {
                 SelectionRule::First
@@ -69,7 +75,14 @@ pub fn round_robin_census(report: &mut Report, quick: bool) -> Result<(), GameEr
         "Dynamics: round-robin best responses (n = {n}, {runs} starts per cell)"
     ));
     section.note("each agent in turn plays its best feasible neighborhood move; silent round = certified BNE");
-    let table = section.table(["start family", "α", "converged", "cycled", "capped", "mean moves"]);
+    let table = section.table([
+        "start family",
+        "α",
+        "converged",
+        "cycled",
+        "capped",
+        "mean moves",
+    ]);
     let mut rng = bncg_graph::test_rng(0xC1C1E);
     for family in ["random trees", "random graphs"] {
         for &alpha in &alphas {

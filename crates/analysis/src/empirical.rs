@@ -5,7 +5,7 @@
 //! the measured curves is what the reproduction compares against the
 //! paper's asymptotic bounds.
 
-use bncg_core::{social_cost_ratio, Alpha, Concept, GameError};
+use bncg_core::{Alpha, Concept, GameError, GameState};
 use bncg_graph::{enumerate, Graph};
 
 /// The outcome of one exhaustive PoA evaluation.
@@ -57,13 +57,16 @@ fn poa_over(
     let mut stable_count = 0usize;
     let mut best: Option<(f64, Graph)> = None;
     for g in instances {
-        if !concept.is_stable(&g, alpha)? {
+        // One engine state per instance serves the (possibly composite)
+        // checker and the social-cost evaluation alike.
+        let state = GameState::new(g, alpha);
+        if !concept.is_stable_in(&state)? {
             continue;
         }
         stable_count += 1;
-        let rho = social_cost_ratio(&g, alpha)?.as_f64();
+        let rho = state.social_cost_ratio()?.as_f64();
         if best.as_ref().is_none_or(|(b, _)| rho > *b) {
-            best = Some((rho, g));
+            best = Some((rho, state.graph().clone()));
         }
     }
     let (max_rho, worst) = match best {
@@ -125,7 +128,10 @@ mod tests {
             let ps = tree_poa(8, alpha, Concept::Ps).unwrap().max_rho.unwrap();
             let bge = tree_poa(8, alpha, Concept::Bge).unwrap().max_rho.unwrap();
             let bne = tree_poa(8, alpha, Concept::Bne).unwrap().max_rho.unwrap();
-            let kbse = tree_poa(8, alpha, Concept::KBse(3)).unwrap().max_rho.unwrap();
+            let kbse = tree_poa(8, alpha, Concept::KBse(3))
+                .unwrap()
+                .max_rho
+                .unwrap();
             assert!(bge <= ps + 1e-12);
             assert!(bne <= bge + 1e-12);
             assert!(kbse <= bge + 1e-12);

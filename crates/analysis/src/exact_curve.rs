@@ -99,9 +99,7 @@ pub fn exact_tree_poa_curve(n: usize, concept: Concept) -> Result<Vec<CurveSegme
     for (lo, hi, rep) in eval_points {
         let mut best: Option<(u64, &Graph)> = None;
         for (tree, total, windows) in &data {
-            if windows_contain(windows, rep, true)
-                && best.as_ref().is_none_or(|(b, _)| total > b)
-            {
+            if windows_contain(windows, rep, true) && best.as_ref().is_none_or(|(b, _)| total > b) {
                 best = Some((*total, tree));
             }
         }
@@ -139,7 +137,13 @@ pub fn curve_report(report: &mut Report, quick: bool) -> Result<(), GameError> {
             segments.len()
         ));
         section.note("on each segment the SAME tree is worst (PoA ordering on fixed-n trees is α-free); ρ evaluated at segment endpoints");
-        let table = section.table(["segment", "worst D", "worst tree (graph6)", "ρ at left", "ρ slope"]);
+        let table = section.table([
+            "segment",
+            "worst D",
+            "worst tree (graph6)",
+            "ρ at left",
+            "ρ slope",
+        ]);
         for seg in &segments {
             let span = format!(
                 "[{}, {}]",
@@ -161,7 +165,9 @@ pub fn curve_report(report: &mut Report, quick: bool) -> Result<(), GameError> {
                     .map_or(Ok("–".into()), graph6::encode)
                     .map_err(GameError::Graph)?,
                 at_left.map_or("–".into(), fnum),
-                decreasing.map_or("–".into(), |d| if d { "falling" } else { "rising" }.into()),
+                decreasing.map_or("–".into(), |d| {
+                    if d { "falling" } else { "rising" }.into()
+                }),
             ]);
         }
     }
@@ -196,7 +202,10 @@ mod tests {
                     .fold(None::<f64>, |acc, r| Some(acc.map_or(r, |a| a.max(r))));
                 match (grid.max_rho, curve_rho) {
                     (Some(g), Some(c)) => {
-                        assert!((g - c).abs() < 1e-9, "curve ≠ grid at α = {alpha} ({concept})")
+                        assert!(
+                            (g - c).abs() < 1e-9,
+                            "curve ≠ grid at α = {alpha} ({concept})"
+                        )
                     }
                     (None, None) => {}
                     other => panic!("stability disagreement at α = {alpha}: {other:?}"),

@@ -68,7 +68,11 @@ pub fn fig1a(report: &mut Report, quick: bool) -> Result<(), GameError> {
             counterexamples, 0,
             "lattice arrow {sub} ⊆ {sup} violated on the corpus"
         );
-        let mut witness_note = if proper { "corpus".to_string() } else { String::new() };
+        let mut witness_note = if proper {
+            "corpus".to_string()
+        } else {
+            String::new()
+        };
         if !proper {
             // Curated witnesses found by larger searches (see the probe
             // experiments): each is re-certified here.
@@ -79,7 +83,10 @@ pub fn fig1a(report: &mut Report, quick: bool) -> Result<(), GameError> {
                 witness_note = format!("curated (n = {}, α = {alpha})", g.n());
             }
         }
-        assert!(proper, "lattice arrow {sub} ⊂ {sup} lacks a properness witness");
+        assert!(
+            proper,
+            "lattice arrow {sub} ⊂ {sup} lacks a properness witness"
+        );
         table.row([
             format!("{sub} ⊆ {sup}"),
             counterexamples.to_string(),
@@ -174,7 +181,12 @@ pub fn fig1b(report: &mut Report, quick: bool) -> Result<(), GameError> {
                 ]);
             }
             None => {
-                table.row([region.to_string(), "NOT FOUND".into(), "–".into(), "–".into()]);
+                table.row([
+                    region.to_string(),
+                    "NOT FOUND".into(),
+                    "–".into(),
+                    "–".into(),
+                ]);
             }
         }
     }
@@ -194,7 +206,8 @@ pub fn fig2(report: &mut Report, _quick: bool) -> Result<(), GameError> {
         .collect();
     let witness = conjecture::find_ne_not_ps(5, &alphas)?
         .expect("Proposition 2.3 witness must exist among n ≤ 5");
-    let section = report.section("Figure 2 / Proposition 2.3: unilateral NE that is not pairwise stable");
+    let section =
+        report.section("Figure 2 / Proposition 2.3: unilateral NE that is not pairwise stable");
     section.note(format!(
         "graph6 = {}, α = {}",
         graph6::encode(witness.state.graph()).map_err(GameError::Graph)?,
@@ -209,7 +222,10 @@ pub fn fig2(report: &mut Report, _quick: bool) -> Result<(), GameError> {
     let table = section.table(["edge", "owner"]);
     let g = witness.state.graph().clone();
     for (u, v) in g.edges() {
-        table.row([format!("{{{u}, {v}}}"), witness.state.owner(u, v).to_string()]);
+        table.row([
+            format!("{{{u}, {v}}}"),
+            witness.state.owner(u, v).to_string(),
+        ]);
     }
     Ok(())
 }
@@ -226,16 +242,29 @@ pub fn fig3(report: &mut Report, quick: bool) -> Result<(), GameError> {
     } else {
         vec![(2, 1), (2, 2), (2, 3), (3, 1), (3, 2), (4, 1)]
     };
-    let section = report.section("Figure 3: stretched binary trees — measured BGE frontier vs Prop 3.8");
-    section.note("min integer α with the tree in BGE (monotone on trees: partner payments rise with α)");
-    let table = section.table(["d", "k", "n", "min α (measured)", "α*/(kn)", "paper sufficient 7kn"]);
+    let section =
+        report.section("Figure 3: stretched binary trees — measured BGE frontier vs Prop 3.8");
+    section.note(
+        "min integer α with the tree in BGE (monotone on trees: partner payments rise with α)",
+    );
+    let table = section.table([
+        "d",
+        "k",
+        "n",
+        "min α (measured)",
+        "α*/(kn)",
+        "paper sufficient 7kn",
+    ]);
     for (d, k) in shapes {
         let tree = StretchedBinaryTree::build(d, k);
         let n = tree.graph.n();
         // Binary search the frontier on integers in [1, 7kn].
         let mut lo = 1i64;
         let mut hi = (7 * k * n) as i64;
-        debug_assert!(concepts::bge::is_stable(&tree.graph, Alpha::integer(hi).expect("α"),));
+        debug_assert!(concepts::bge::is_stable(
+            &tree.graph,
+            Alpha::integer(hi).expect("α"),
+        ));
         while lo < hi {
             let mid = (lo + hi) / 2;
             if concepts::bge::is_stable(&tree.graph, Alpha::integer(mid).expect("α")) {
@@ -307,13 +336,17 @@ pub fn fig4(report: &mut Report, quick: bool) -> Result<(), GameError> {
 /// Forwards checker guards.
 pub fn fig5(report: &mut Report, _quick: bool) -> Result<(), GameError> {
     let fig = figure5();
-    let section = report.section("Figure 5 / Proposition A.4: in BAE ∩ BGE, not in BNE (α = 104.5)");
+    let section =
+        report.section("Figure 5 / Proposition A.4: in BAE ∩ BGE, not in BNE (α = 104.5)");
     let bae = concepts::bae::is_stable(&fig.graph, fig.alpha);
     let bge = concepts::bge::is_stable(&fig.graph, fig.alpha);
     let mv = fig.violation.as_ref().expect("figure move");
     let improving = delta::move_improves_all(&fig.graph, fig.alpha, mv)?;
     assert!(bae && bge && improving);
-    section.note(format!("n = {}, in BAE: {bae}, in BGE: {bge}", fig.graph.n()));
+    section.note(format!(
+        "n = {}, in BAE: {bae}, in BGE: {bge}",
+        fig.graph.n()
+    ));
     section.note(format!("improving neighborhood move (⇒ not BNE): {mv}"));
     Ok(())
 }
@@ -325,7 +358,8 @@ pub fn fig5(report: &mut Report, _quick: bool) -> Result<(), GameError> {
 /// Forwards checker guards.
 pub fn fig6(report: &mut Report, _quick: bool) -> Result<(), GameError> {
     let fig = figure6();
-    let section = report.section("Figure 6 / Proposition A.5: in BNE, not in 2-BSE (α = 7, n = 10)");
+    let section =
+        report.section("Figure 6 / Proposition A.5: in BNE, not in 2-BSE (α = 7, n = 10)");
     let bne = concepts::bne::is_stable(&fig.graph, fig.alpha)?;
     let two_bse_violation = concepts::kbse::find_violation(&fig.graph, fig.alpha, 2)?;
     assert!(bne && two_bse_violation.is_some());
@@ -358,7 +392,8 @@ pub fn fig7(report: &mut Report, quick: bool) -> Result<(), GameError> {
         "the center's full rewire improves it and every c_j (⇒ not BNE): {} agents move",
         mv.consenting_agents().len()
     ));
-    let refuted = concepts::kbse::find_violation_restricted_parallel(&fig.graph, fig.alpha, 2, 2, 4);
+    let refuted =
+        concepts::kbse::find_violation_restricted_parallel(&fig.graph, fig.alpha, 2, 2, 4);
     section.note(format!(
         "restricted 2-BSE refuter (≤ 2 removals): {}",
         refuted.map_or("no improving coalition move".to_string(), |m| m.to_string())

@@ -80,5 +80,6 @@ pub fn run_all(quick: bool) -> Result<Report, GameError> {
     ablations::delta_engines(&mut r, quick)?;
     ablations::kbse_restriction(&mut r, quick)?;
     ablations::parallel_scan(&mut r, quick)?;
+    ablations::incremental_engine(&mut r, quick)?;
     Ok(r)
 }

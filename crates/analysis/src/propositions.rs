@@ -15,7 +15,11 @@ use bncg_graph::{diameter, generators, RootedTree};
 ///
 /// Forwards checker guards.
 pub fn cycles_bse(report: &mut Report, quick: bool) -> Result<(), GameError> {
-    let ns: Vec<usize> = if quick { vec![4, 5, 6] } else { vec![4, 5, 6, 7] };
+    let ns: Vec<usize> = if quick {
+        vec![4, 5, 6]
+    } else {
+        vec![4, 5, 6, 7]
+    };
     let section = report.section("Lemma 2.4: cycles in BSE for α ∈ Θ(n²)");
     section.note("measured = exact BSE over a quarter-integer α grid; window = formula from the lemma's proof");
     let table = section.table(["n", "measured stable α range", "formula window", "agrees"]);
@@ -99,10 +103,14 @@ pub fn prop_3_16(report: &mut Report, quick: bool) -> Result<(), GameError> {
         }
     }
     assert!(clique_only && diam2_exact);
-    let star_stable = concepts::bse::is_stable(&generators::star(n), Alpha::integer(2).expect("α"))?;
-    let p4_stable = concepts::bse::is_stable(&generators::path(4), Alpha::integer(100).expect("α"))?;
+    let star_stable =
+        concepts::bse::is_stable(&generators::star(n), Alpha::integer(2).expect("α"))?;
+    let p4_stable =
+        concepts::bse::is_stable(&generators::path(4), Alpha::integer(100).expect("α"))?;
     assert!(star_stable && p4_stable);
-    let section = report.section(format!("Proposition 3.16: the BSE landscape (exhaustive, n = {n})"));
+    let section = report.section(format!(
+        "Proposition 3.16: the BSE landscape (exhaustive, n = {n})"
+    ));
     let table = section.table(["claim", "verified"]);
     table
         .row(["α < 1: clique is the only BSE", &clique_only.to_string()])
@@ -126,21 +134,23 @@ pub fn prop_3_22(report: &mut Report, quick: bool) -> Result<(), GameError> {
         vec![64, 256, 1024, 4096, 16384]
     };
     let section = report.section("Proposition 3.22: no evenly-spread constant cost at α = n");
-    section.note("minimum over candidate families of max-agent cost/(α+n−1); growth ⇒ no constant p exists");
-    let table = section.table(["n", "star", "binary tree", "8-ary tree", "min over families"]);
+    section.note(
+        "minimum over candidate families of max-agent cost/(α+n−1); growth ⇒ no constant p exists",
+    );
+    let table = section.table([
+        "n",
+        "star",
+        "binary tree",
+        "8-ary tree",
+        "min over families",
+    ]);
     for n in ns {
         let alpha = Alpha::integer(n as i64).expect("α");
         let star = worst_normalized(&generators::star(n), alpha);
         let bin = worst_normalized(&generators::almost_complete_dary_tree(2, n), alpha);
         let oct = worst_normalized(&generators::almost_complete_dary_tree(8, n), alpha);
         let min = star.min(bin).min(oct);
-        table.row([
-            n.to_string(),
-            fnum(star),
-            fnum(bin),
-            fnum(oct),
-            fnum(min),
-        ]);
+        table.row([n.to_string(), fnum(star), fnum(bin), fnum(oct), fnum(min)]);
     }
     Ok(())
 }

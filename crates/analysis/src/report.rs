@@ -1,17 +1,16 @@
 //! Minimal plain-text report builder for the experiment harness: aligned
 //! tables with a caption, rendered the way the paper's tables read.
 
-use serde::Serialize;
 use std::fmt::Write as _;
 
 /// A text report consisting of titled sections with notes and tables.
-#[derive(Debug, Default, Clone, Serialize)]
+#[derive(Debug, Default, Clone)]
 pub struct Report {
     sections: Vec<Section>,
 }
 
 /// One titled block of a [`Report`].
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Section {
     title: String,
     notes: Vec<String>,
@@ -19,7 +18,7 @@ pub struct Section {
 }
 
 /// An aligned text table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     headers: Vec<String>,
     rows: Vec<Vec<String>>,
@@ -45,12 +44,49 @@ impl Report {
     /// Serializes the report as pretty-printed JSON (the machine-readable
     /// twin of [`Report::render`], selected by `experiments --json`).
     ///
-    /// # Panics
-    ///
-    /// Never: the report structure is always serializable.
+    /// Hand-rolled: the offline build cannot depend on `serde_json`, and
+    /// the report structure is three fixed levels of strings.
     #[must_use]
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serializes")
+        let mut out = String::from("{\n  \"sections\": [");
+        for (i, s) in self.sections.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n      \"title\": ");
+            out.push_str(&json_string(&s.title));
+            out.push_str(",\n      \"notes\": ");
+            json_string_array(&mut out, &s.notes);
+            out.push_str(",\n      \"tables\": [");
+            for (j, t) in s.tables.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n        {\n          \"headers\": ");
+                json_string_array(&mut out, &t.headers);
+                out.push_str(",\n          \"rows\": [");
+                for (k, r) in t.rows.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("\n            ");
+                    json_string_array(&mut out, r);
+                }
+                if !t.rows.is_empty() {
+                    out.push_str("\n          ");
+                }
+                out.push_str("]\n        }");
+            }
+            if !s.tables.is_empty() {
+                out.push_str("\n      ");
+            }
+            out.push_str("]\n    }");
+        }
+        if !self.sections.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}");
+        out
     }
 
     /// Renders the whole report.
@@ -140,6 +176,39 @@ impl Table {
     }
 }
 
+/// Escapes a string into a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Writes `["a", "b", …]` into `out`.
+fn json_string_array(out: &mut String, items: &[String]) {
+    out.push('[');
+    for (i, s) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_string(s));
+    }
+    out.push(']');
+}
+
 /// Formats an `f64` compactly for report cells.
 #[must_use]
 pub fn fnum(x: f64) -> String {
@@ -161,7 +230,9 @@ mod tests {
         let mut r = Report::new();
         let s = r.section("Demo");
         s.note("a note");
-        s.table(["alpha", "rho"]).row(["1", "1.25"]).row(["128", "3"]);
+        s.table(["alpha", "rho"])
+            .row(["1", "1.25"])
+            .row(["128", "3"]);
         let text = r.render();
         assert!(text.contains("== Demo =="));
         assert!(text.contains("a note"));
@@ -179,5 +250,64 @@ mod tests {
         assert_eq!(fnum(3.0), "3");
         assert_eq!(fnum(1.23456), "1.235");
         assert_eq!(fnum(f64::NAN), "–");
+    }
+
+    /// Minimal structural JSON validator: walks the text tracking string /
+    /// escape state and bracket depth, rejecting unbalanced nesting or
+    /// unescaped control characters. (The offline build has no serde_json
+    /// to parse with, so the emitter's well-formedness is checked by hand.)
+    fn assert_well_formed_json(s: &str) {
+        let mut depth: i64 = 0;
+        let mut in_string = false;
+        let mut escaped = false;
+        for c in s.chars() {
+            if in_string {
+                if escaped {
+                    assert!(
+                        matches!(c, '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' | 'u'),
+                        "invalid escape \\{c}"
+                    );
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_string = false;
+                } else {
+                    assert!((c as u32) >= 0x20, "unescaped control char {:#x}", c as u32);
+                }
+                continue;
+            }
+            match c {
+                '"' => in_string = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    depth -= 1;
+                    assert!(depth >= 0, "unbalanced closing bracket");
+                }
+                _ => {}
+            }
+        }
+        assert!(!in_string, "unterminated string");
+        assert_eq!(depth, 0, "unbalanced brackets");
+    }
+
+    #[test]
+    fn to_json_escapes_and_stays_well_formed() {
+        let mut r = Report::new();
+        assert_well_formed_json(&r.to_json()); // empty report
+
+        let s = r.section("Quote \" backslash \\ and\nnewline");
+        s.note("tab\there, control \u{1} char");
+        s.table(["h \"1\"", "h2"])
+            .row(["cell \"quoted\"", "back\\slash"])
+            .row(["", "∆ unicode"]);
+        r.section("Empty section");
+        let json = r.to_json();
+        assert_well_formed_json(&json);
+        assert!(json.contains(r#""Quote \" backslash \\ and\nnewline""#));
+        assert!(json.contains(r#""tab\there, control \u0001 char""#));
+        assert!(json.contains(r#""cell \"quoted\"", "back\\slash""#));
+        assert!(json.contains("\"sections\""));
+        assert!(json.contains("∆ unicode"));
     }
 }

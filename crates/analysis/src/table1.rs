@@ -35,7 +35,13 @@ pub fn row_ps(report: &mut Report, quick: bool) -> Result<(), GameError> {
     let alphas: Vec<i64> = vec![1, 2, 4, 8, 16, 32, 64, 128];
     let section = report.section(format!("Table 1 / PS on trees (exhaustive, n = {n})"));
     section.note("paper: PoA = Θ(min{√α, n/√α}); the measured curve should rise then fall with the crossover near α ≈ n²ish scale");
-    let table = section.table(["α", "PoA(PS)", "envelope", "stable trees", "worst tree (graph6)"]);
+    let table = section.table([
+        "α",
+        "PoA(PS)",
+        "envelope",
+        "stable trees",
+        "worst tree (graph6)",
+    ]);
     for v in alphas {
         let alpha = alpha_int(v);
         let point = empirical::tree_poa(n, alpha, Concept::Ps)?;
@@ -65,7 +71,8 @@ pub fn row_bswe(report: &mut Report, quick: bool) -> Result<(), GameError> {
     let n = if quick { 9 } else { 10 };
     let alphas: Vec<i64> = vec![1, 2, 4, 8, 16, 32, 64, 128];
     let section = report.section(format!("Table 1 / BSwE on trees (exhaustive, n = {n})"));
-    section.note("paper: PoA = Θ(log α); Theorem 3.6 upper bound 2 + 2·log₂ α checked on every point");
+    section
+        .note("paper: PoA = Θ(log α); Theorem 3.6 upper bound 2 + 2·log₂ α checked on every point");
     let table = section.table(["α", "PoA(BSwE)", "2 + 2log₂α", "stable trees"]);
     for v in alphas {
         let alpha = alpha_int(v);
@@ -96,8 +103,11 @@ pub fn row_bge(report: &mut Report, quick: bool) -> Result<(), GameError> {
         vec![240, 480, 960]
     };
     let section = report.section("Table 1 / BGE on trees (Theorem 3.10 lower bound family)");
-    section.note("stretched tree star with k = 1, t = α/15, η = α; BGE certified by the exact checkers");
-    section.note("paper: ρ ≥ ¼·log₂ α − 17/8 for sufficiently large α (the constant is asymptotic)");
+    section.note(
+        "stretched tree star with k = 1, t = α/15, η = α; BGE certified by the exact checkers",
+    );
+    section
+        .note("paper: ρ ≥ ¼·log₂ α − 17/8 for sufficiently large α (the constant is asymptotic)");
     let table = section.table(["α", "n", "ρ(G)", "¼log₂α − 17/8", "BGE certified"]);
     for v in alphas {
         let alpha = alpha_int(v);
@@ -131,9 +141,19 @@ pub fn row_bne(report: &mut Report, quick: bool) -> Result<(), GameError> {
         vec![1 << 12, 1 << 14, 1 << 16]
     };
     let section = report.section("Table 1 / BNE on trees, α ≥ n^{1/2+ε} (Theorem 3.12(i) family)");
-    section.note("stretched tree star with α = 9η, ε = 1; BNE certified via the exact Lemma 3.11 inequality");
+    section.note(
+        "stretched tree star with α = 9η, ε = 1; BNE certified via the exact Lemma 3.11 inequality",
+    );
     section.note("sampled neighborhood-move refuter additionally found no improving move (evidence, not proof)");
-    let table = section.table(["η", "α", "n", "ρ(G)", "(ε/168)log₂α − 3/28", "Lemma 3.11", "sampled refuter"]);
+    let table = section.table([
+        "η",
+        "α",
+        "n",
+        "ρ(G)",
+        "(ε/168)log₂α − 3/28",
+        "Lemma 3.11",
+        "sampled refuter",
+    ]);
     for eta in etas {
         let alpha_v = 9 * eta as i64;
         let alpha = alpha_int(alpha_v);
@@ -166,8 +186,11 @@ pub fn row_bne(report: &mut Report, quick: bool) -> Result<(), GameError> {
     // Part (b): Theorem 3.13 — trees in BNE at α ≤ √n have ρ ≤ 4.
     let n = 16usize;
     let samples = if quick { 15 } else { 60 };
-    let section = report.section("Table 1 / BNE on trees, α ≤ √n (Theorem 3.13 spot check, n = 16)");
-    section.note("sampled trees plus named shapes; exact BNE check; every stable tree must satisfy ρ ≤ 4");
+    let section =
+        report.section("Table 1 / BNE on trees, α ≤ √n (Theorem 3.13 spot check, n = 16)");
+    section.note(
+        "sampled trees plus named shapes; exact BNE check; every stable tree must satisfy ρ ≤ 4",
+    );
     let table = section.table(["α", "trees checked", "in BNE", "max ρ among BNE", "bound"]);
     for alpha_v in [2i64, 3, 4] {
         let alpha = alpha_int(alpha_v);
@@ -280,11 +303,25 @@ pub fn row_bse(report: &mut Report, quick: bool) -> Result<(), GameError> {
         let log2n = (n as f64).log2();
         // Regime 1: α = n·log₂ n, d = 2 (Theorem 3.19: ρ ≤ 5).
         let alpha1 = alpha_int((n as f64 * log2n) as i64);
-        push_dary_row(table, n, "α = n·log n", 2, alpha1, bounds::theorem_3_19_bound());
+        push_dary_row(
+            table,
+            n,
+            "α = n·log n",
+            2,
+            alpha1,
+            bounds::theorem_3_19_bound(),
+        );
         // Regime 2: α = n^{1−ε} with ε = 1/2, d = ⌈n^ε⌉ (Thm 3.20: 3 + 2/ε).
         let alpha2 = alpha_int((n as f64).sqrt() as i64);
         let d2 = (n as f64).sqrt().ceil() as usize;
-        push_dary_row(table, n, "α = √n", d2, alpha2, bounds::theorem_3_20_bound(0.5));
+        push_dary_row(
+            table,
+            n,
+            "α = √n",
+            d2,
+            alpha2,
+            bounds::theorem_3_20_bound(0.5),
+        );
         // Regime 3: α = n, d = ⌈log₂ log₂ n⌉ (Theorem 3.21 envelope).
         let alpha3 = alpha_int(n as i64);
         let d3 = (log2n.log2().ceil() as usize).max(2);

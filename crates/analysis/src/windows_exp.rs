@@ -37,7 +37,10 @@ pub fn named_windows(report: &mut Report, quick: bool) -> Result<(), GameError> 
     if !quick {
         shapes.push(("cycle(10)".into(), generators::cycle(10)));
         shapes.push(("wheel(7)".into(), generators::wheel(7)));
-        shapes.push(("complete_bipartite(3,3)".into(), generators::complete_bipartite(3, 3)));
+        shapes.push((
+            "complete_bipartite(3,3)".into(),
+            generators::complete_bipartite(3, 3),
+        ));
     }
     let section = report.section("Exact stability windows in α (polynomial concepts)");
     section.note("closed rational intervals where the graph is stable; open complements are instability regions");
@@ -53,7 +56,9 @@ pub fn named_windows(report: &mut Report, quick: bool) -> Result<(), GameError> 
             format_windows(&bge),
         ]);
     }
-    section.note("cycle RE endpoints are exactly Lemma 2.4's thresholds (even n: n(n−2)/4, odd n: (n−1)²/4)");
+    section.note(
+        "cycle RE endpoints are exactly Lemma 2.4's thresholds (even n: n(n−2)/4, odd n: (n−1)²/4)",
+    );
     Ok(())
 }
 

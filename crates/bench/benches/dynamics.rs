@@ -35,8 +35,14 @@ fn bench_full_runs(c: &mut Criterion) {
         let start = generators::random_tree(n, &mut rng);
         group.bench_with_input(BenchmarkId::new("bge_first", n), &start, |b, g| {
             b.iter(|| {
-                let t = run(black_box(g), alpha(3), Concept::Bge, SelectionRule::First, 50_000)
-                    .unwrap();
+                let t = run(
+                    black_box(g),
+                    alpha(3),
+                    Concept::Bge,
+                    SelectionRule::First,
+                    50_000,
+                )
+                .unwrap();
                 assert!(t.converged);
             });
         });

@@ -1,9 +1,7 @@
 //! Benchmarks for the graph substrate: the primitives every checker and
 //! experiment kernel is built from.
 
-use bncg_graph::{
-    bfs_distances, enumerate, generators, graph6, iso, DistanceMatrix, RootedTree,
-};
+use bncg_graph::{bfs_distances, enumerate, generators, graph6, iso, DistanceMatrix, RootedTree};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 

@@ -88,15 +88,25 @@ fn check_graph(g: &Graph, alpha: Alpha) -> Result<Option<ConjectureWitness>, Gam
     }
     // Pairwise stability must fail; with BAE enforced below this means a
     // bilateral removal must be profitable.
-    let Some(removal) = wants_drop.iter().zip(&edges).find_map(|(&(uw, vw), &(u, v))| {
-        if uw {
-            Some(Move::Remove { agent: u, target: v })
-        } else if vw {
-            Some(Move::Remove { agent: v, target: u })
-        } else {
-            None
-        }
-    }) else {
+    let Some(removal) = wants_drop
+        .iter()
+        .zip(&edges)
+        .find_map(|(&(uw, vw), &(u, v))| {
+            if uw {
+                Some(Move::Remove {
+                    agent: u,
+                    target: v,
+                })
+            } else if vw {
+                Some(Move::Remove {
+                    agent: v,
+                    target: u,
+                })
+            } else {
+                None
+            }
+        })
+    else {
         return Ok(None);
     };
     // NE ⟹ BAE (Prop. 2.1): skip graphs that fail BAE.
@@ -179,7 +189,10 @@ mod tests {
             &witness.removal
         )
         .unwrap());
-        assert!(!concepts::ps::is_stable(witness.state.graph(), witness.alpha));
+        assert!(!concepts::ps::is_stable(
+            witness.state.graph(),
+            witness.alpha
+        ));
     }
 
     #[test]

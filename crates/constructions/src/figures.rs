@@ -221,8 +221,14 @@ mod tests {
     fn figure5_is_in_bae_and_bge_but_not_bne() {
         let fig = figure5();
         let (g, alpha) = (&fig.graph, fig.alpha);
-        assert!(concepts::bae::is_stable(g, alpha), "Figure 5 must be in BAE");
-        assert!(concepts::bge::is_stable(g, alpha), "Figure 5 must be in BGE");
+        assert!(
+            concepts::bae::is_stable(g, alpha),
+            "Figure 5 must be in BAE"
+        );
+        assert!(
+            concepts::bge::is_stable(g, alpha),
+            "Figure 5 must be in BGE"
+        );
         let mv = fig.violation.as_ref().unwrap();
         assert!(
             delta::move_improves_all(g, alpha, mv).unwrap(),
@@ -235,7 +241,11 @@ mod tests {
         // The single swap a: b1 → c1 helps a but gives c1 only 104 < α.
         let fig = figure5();
         let g = &fig.graph;
-        let single = Move::Swap { agent: 0, old: 1, new: 3 };
+        let single = Move::Swap {
+            agent: 0,
+            old: 1,
+            new: 3,
+        };
         let g2 = single.apply(g).unwrap();
         let c1_gain = agent_cost(g, 3).dist - agent_cost(&g2, 3).dist;
         assert_eq!(c1_gain, 104);
@@ -336,7 +346,10 @@ mod tests {
     fn figure8_separates_bae_from_unilateral_add() {
         let fig = figure8_witness();
         let (g, alpha) = (&fig.graph, fig.alpha);
-        assert!(concepts::bae::is_stable(g, alpha), "double star must be in BAE");
+        assert!(
+            concepts::bae::is_stable(g, alpha),
+            "double star must be in BAE"
+        );
         // Unilateral add instability holds for every assignment; check all.
         for state in UnilateralState::all_assignments(g).unwrap() {
             assert!(

@@ -74,7 +74,12 @@ impl StretchedBinaryTree {
             }
         }
         debug_assert_eq!(next as usize, n);
-        StretchedBinaryTree { graph, d, k, b_nodes }
+        StretchedBinaryTree {
+            graph,
+            d,
+            k,
+            b_nodes,
+        }
     }
 
     /// Largest stretched tree with parameter `k` and at most `t` nodes
@@ -282,7 +287,10 @@ mod tests {
             let star = StretchedTreeStar::build(k, t, eta);
             let n = star.graph.n();
             assert!(n >= eta, "n ≥ η violated: n = {n}, η = {eta}");
-            assert!(n <= 3 * eta / 2 + 1, "n ≤ 3η/2 violated: n = {n}, η = {eta}");
+            assert!(
+                n <= 3 * eta / 2 + 1,
+                "n ≤ 3η/2 violated: n = {n}, η = {eta}"
+            );
             let depth_bound = 2.0 * k as f64 * (t as f64).log2();
             assert!(f64::from(star.depth()) <= depth_bound + 1.0);
             assert!(star.graph.is_tree());
@@ -371,6 +379,9 @@ mod tests {
         );
         // With n ≈ 2.3e18, depth 33, |T| = 65536, α = 2^48:
         // LHS ≈ 3·2.3e18·33/2.8e14 ≈ 8.1e5; RHS ≈ 2.8e14/(3·65536·33) ≈ 4.3e7.
-        assert!(ok, "Lemma 3.11 certificate must hold at Theorem 3.12(ii) scale");
+        assert!(
+            ok,
+            "Lemma 3.11 certificate must hold at Theorem 3.12(ii) scale"
+        );
     }
 }

@@ -26,7 +26,11 @@ impl VennRegion {
     /// All eight regions, ordered like a 3-bit counter (RE, BAE, BSwE).
     #[must_use]
     pub fn all() -> [VennRegion; 8] {
-        let mut out = [VennRegion { re: false, bae: false, bswe: false }; 8];
+        let mut out = [VennRegion {
+            re: false,
+            bae: false,
+            bswe: false,
+        }; 8];
         for (i, slot) in out.iter_mut().enumerate() {
             *slot = VennRegion {
                 re: i & 4 != 0,
@@ -70,10 +74,12 @@ pub struct VennWitness {
 /// Never — all constants are valid prices.
 #[must_use]
 pub fn default_alpha_grid() -> Vec<Alpha> {
-    ["1/2", "1", "3/2", "2", "5/2", "3", "4", "5", "6", "7", "9", "12"]
-        .iter()
-        .map(|s| s.parse().expect("valid grid entry"))
-        .collect()
+    [
+        "1/2", "1", "3/2", "2", "5/2", "3", "4", "5", "6", "7", "9", "12",
+    ]
+    .iter()
+    .map(|s| s.parse().expect("valid grid entry"))
+    .collect()
 }
 
 /// Finds one witness per realized region by scanning all connected graphs
@@ -160,7 +166,11 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let r = VennRegion { re: true, bae: false, bswe: true };
+        let r = VennRegion {
+            re: true,
+            bae: false,
+            bswe: true,
+        };
         let s = r.to_string();
         assert!(s.contains("RE") && s.contains("BAE") && s.contains("BSwE"));
     }

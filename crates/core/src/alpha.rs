@@ -7,7 +7,6 @@
 //! is carried out in `i128` after multiplying through the denominator.
 
 use crate::error::GameError;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::str::FromStr;
@@ -26,7 +25,7 @@ use std::str::FromStr;
 /// assert!(a < Alpha::integer(105)?);
 /// # Ok::<(), bncg_core::GameError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Alpha {
     num: i64,
     den: i64,
@@ -266,13 +265,5 @@ mod tests {
         assert_eq!(a.cmp_ratio(7, 2), Ordering::Equal);
         assert_eq!(a.cmp_ratio(4, 1), Ordering::Less);
         assert_eq!(a.cmp_ratio(3, 1), Ordering::Greater);
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let a = Alpha::from_ratio(209, 2).unwrap();
-        let json = serde_json::to_string(&a).unwrap();
-        let b: Alpha = serde_json::from_str(&json).unwrap();
-        assert_eq!(a, b);
     }
 }

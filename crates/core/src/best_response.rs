@@ -10,9 +10,10 @@
 
 use crate::alpha::Alpha;
 use crate::concepts::CheckBudget;
-use crate::cost::{agent_cost, AgentCost};
+use crate::cost::{agent_cost_with_buf, AgentCost};
 use crate::error::GameError;
 use crate::moves::Move;
+use crate::state::GameState;
 use bncg_graph::Graph;
 
 /// The outcome of a best-response computation for one agent.
@@ -66,11 +67,15 @@ pub fn best_response_with_budget(
     if u as usize >= n {
         return Err(GameError::NodeOutOfRange { node: u, n });
     }
+    check_enumeration_budget(n, budget)?;
+    best_response_in(&GameState::new(g.clone(), alpha), u, budget)
+}
+
+/// The guard shared by the wrapper and the engine path: `2^{n−1}`
+/// candidates must fit the budget before any heavy work starts.
+fn check_enumeration_budget(n: usize, budget: CheckBudget) -> Result<(), GameError> {
     if n <= 1 {
-        return Ok(BestResponse {
-            best: None,
-            cost: agent_cost(g, u),
-        });
+        return Ok(());
     }
     let work = 1u128 << (n - 1);
     if work > u128::from(budget.max_evals) {
@@ -82,12 +87,45 @@ pub fn best_response_with_budget(
             ),
         });
     }
-    let old: Vec<AgentCost> = (0..n as u32).map(|w| agent_cost(g, w)).collect();
+    Ok(())
+}
+
+/// Engine-backed best response: the caller's persistent [`GameState`]
+/// supplies the pre-move costs of every agent for free, so one activation
+/// costs only the candidate evaluations themselves (round-robin dynamics
+/// reuses one state across all activations and rounds).
+///
+/// # Errors
+///
+/// Returns [`GameError::CheckTooLarge`] when `2^{n−1}` exceeds the budget
+/// and [`GameError::NodeOutOfRange`] for a bad agent id.
+pub fn best_response_in(
+    state: &GameState,
+    u: u32,
+    budget: CheckBudget,
+) -> Result<BestResponse, GameError> {
+    let g = state.graph();
+    let n = g.n();
+    if u as usize >= n {
+        return Err(GameError::NodeOutOfRange { node: u, n });
+    }
+    if n <= 1 {
+        return Ok(BestResponse {
+            best: None,
+            cost: state.cost(u),
+        });
+    }
+    check_enumeration_budget(n, budget)?;
+    let alpha = state.alpha();
+    let old = state.costs();
     let neighbors: Vec<u32> = g.neighbors(u).to_vec();
     let others: Vec<u32> = (0..n as u32)
         .filter(|&v| v != u && !g.has_edge(u, v))
         .collect();
     let mut scratch = g.clone();
+    let mut buf = Vec::new();
+    let mut removed: Vec<u32> = Vec::new();
+    let mut added: Vec<u32> = Vec::new();
     let mut best_cost = old[u as usize];
     let mut best_move: Option<Move> = None;
     for rem_mask in 0u64..1u64 << neighbors.len() {
@@ -95,8 +133,8 @@ pub fn best_response_with_budget(
             if rem_mask == 0 && add_mask == 0 {
                 continue;
             }
-            let mut removed = Vec::new();
-            let mut added = Vec::new();
+            removed.clear();
+            added.clear();
             for (i, &v) in neighbors.iter().enumerate() {
                 if rem_mask >> i & 1 == 1 {
                     scratch.remove_edge(u, v).expect("neighbor edge");
@@ -109,11 +147,11 @@ pub fn best_response_with_budget(
                     added.push(v);
                 }
             }
-            let mine = agent_cost(&scratch, u);
+            let mine = agent_cost_with_buf(&scratch, u, &mut buf);
             let feasible = mine.better_than(&best_cost, alpha)
-                && added
-                    .iter()
-                    .all(|&a| agent_cost(&scratch, a).better_than(&old[a as usize], alpha));
+                && added.iter().all(|&a| {
+                    agent_cost_with_buf(&scratch, a, &mut buf).better_than(&old[a as usize], alpha)
+                });
             for &v in &removed {
                 scratch.add_edge(u, v).expect("restore removed");
             }
@@ -124,8 +162,8 @@ pub fn best_response_with_budget(
                 best_cost = mine;
                 best_move = Some(Move::Neighborhood {
                     center: u,
-                    remove: removed,
-                    add: added,
+                    remove: removed.clone(),
+                    add: added.clone(),
                 });
             }
         }
@@ -140,6 +178,7 @@ pub fn best_response_with_budget(
 mod tests {
     use super::*;
     use crate::concepts;
+    use crate::cost::agent_cost;
     use bncg_graph::generators;
 
     fn a(s: &str) -> Alpha {
@@ -153,8 +192,8 @@ mod tests {
             let g = generators::random_connected(8, 0.3, &mut rng);
             for alpha in ["1", "2", "4"] {
                 let alpha = a(alpha);
-                let any_move = (0..8u32)
-                    .any(|u| best_response(&g, alpha, u).unwrap().best.is_some());
+                let any_move =
+                    (0..8u32).any(|u| best_response(&g, alpha, u).unwrap().best.is_some());
                 let bne = concepts::bne::is_stable(&g, alpha).unwrap();
                 assert_eq!(any_move, !bne, "best responses must characterize BNE");
             }

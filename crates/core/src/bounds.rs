@@ -17,10 +17,7 @@ use bncg_graph::{Graph, RootedTree};
 pub fn proposition_3_1_bound(alpha: Alpha, n: usize, dist_u: u64) -> Ratio {
     let num = i128::from(alpha.num());
     let den = i128::from(alpha.den());
-    Ratio::new(
-        num + den * i128::from(dist_u),
-        num + den * (n as i128 - 1),
-    )
+    Ratio::new(num + den * i128::from(dist_u), num + den * (n as i128 - 1))
 }
 
 /// Corollary 3.2: `ρ(G) ≤ 1 + n²/α` for connected RE graphs.
@@ -237,8 +234,7 @@ mod tests {
                     let alpha = a(alpha);
                     let rho = social_cost_ratio(&tree, alpha).unwrap();
                     for u in 0..n as u32 {
-                        let bound =
-                            proposition_3_1_bound(alpha, n, agent_cost(&tree, u).dist);
+                        let bound = proposition_3_1_bound(alpha, n, agent_cost(&tree, u).dist);
                         assert!(rho <= bound, "Prop 3.1 violated (n={n}, α={alpha}, u={u})");
                     }
                 }

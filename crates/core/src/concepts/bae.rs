@@ -2,9 +2,9 @@
 //! from jointly creating a single new edge, each paying `α`.
 
 use crate::alpha::Alpha;
-use crate::cost::{agent_cost_from_matrix, AgentCost};
 use crate::delta::cost_after_add;
 use crate::moves::Move;
+use crate::state::GameState;
 use bncg_graph::{DistanceMatrix, Graph};
 
 /// Finds a mutually profitable edge addition, or `None` if `g` is in BAE.
@@ -29,17 +29,15 @@ use bncg_graph::{DistanceMatrix, Graph};
 /// ```
 #[must_use]
 pub fn find_violation(g: &Graph, alpha: Alpha) -> Option<Move> {
-    let d = DistanceMatrix::new(g);
-    find_violation_with_matrix(g, alpha, &d)
+    find_violation_in(&GameState::new(g.clone(), alpha))
 }
 
-/// [`find_violation`] with a caller-supplied distance matrix, for callers
-/// that already paid for it.
+/// [`find_violation`] against a caller-maintained [`GameState`], reusing
+/// its cached matrix and pre-move costs (no recomputation at all).
 #[must_use]
-pub fn find_violation_with_matrix(g: &Graph, alpha: Alpha, d: &DistanceMatrix) -> Option<Move> {
-    let old: Vec<AgentCost> = (0..g.n() as u32)
-        .map(|u| agent_cost_from_matrix(g, d, u))
-        .collect();
+pub fn find_violation_in(state: &GameState) -> Option<Move> {
+    let (g, alpha, d) = (state.graph(), state.alpha(), state.distances());
+    let old = state.costs();
     for (u, v) in g.non_edges() {
         let cu = cost_after_add(g, d, u, v);
         if !cu.better_than(&old[u as usize], alpha) {
@@ -51,6 +49,13 @@ pub fn find_violation_with_matrix(g: &Graph, alpha: Alpha, d: &DistanceMatrix) -
         }
     }
     None
+}
+
+/// [`find_violation`] with a caller-supplied distance matrix, for callers
+/// that already paid for it.
+#[must_use]
+pub fn find_violation_with_matrix(g: &Graph, alpha: Alpha, d: &DistanceMatrix) -> Option<Move> {
+    find_violation_in(&GameState::with_matrix(g.clone(), alpha, d.clone()))
 }
 
 /// Whether `g` is in Bilateral Add Equilibrium.

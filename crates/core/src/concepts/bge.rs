@@ -6,6 +6,7 @@
 use crate::alpha::Alpha;
 use crate::concepts::{bae, bswe, re};
 use crate::moves::Move;
+use crate::state::GameState;
 use bncg_graph::Graph;
 
 /// Finds a profitable greedy change (removal, mutual addition, or swap),
@@ -23,9 +24,17 @@ use bncg_graph::Graph;
 /// ```
 #[must_use]
 pub fn find_violation(g: &Graph, alpha: Alpha) -> Option<Move> {
-    re::find_violation(g, alpha)
-        .or_else(|| bae::find_violation(g, alpha))
-        .or_else(|| bswe::find_violation(g, alpha))
+    find_violation_in(&GameState::new(g.clone(), alpha))
+}
+
+/// [`find_violation`] against a caller-maintained [`GameState`]: all three
+/// sub-checkers share one cached matrix and cost vector (previously each
+/// rebuilt its own).
+#[must_use]
+pub fn find_violation_in(state: &GameState) -> Option<Move> {
+    re::find_violation_in(state)
+        .or_else(|| bae::find_violation_in(state))
+        .or_else(|| bswe::find_violation_in(state))
 }
 
 /// Whether `g` is in Bilateral Greedy Equilibrium.

@@ -10,9 +10,10 @@
 
 use crate::alpha::Alpha;
 use crate::concepts::CheckBudget;
-use crate::cost::{agent_cost, AgentCost};
+use crate::cost::{agent_cost, agent_cost_with_buf, AgentCost};
 use crate::error::GameError;
 use crate::moves::Move;
+use crate::state::GameState;
 use bncg_graph::Graph;
 
 /// Minimal RNG abstraction so the sampled refuter does not force a `rand`
@@ -80,9 +81,13 @@ pub fn find_violation_with_budget(
     alpha: Alpha,
     budget: CheckBudget,
 ) -> Result<Option<Move>, GameError> {
-    let n = g.n();
+    check_budget(g.n(), budget)?;
+    find_violation_in_with_budget(&GameState::new(g.clone(), alpha), budget)
+}
+
+fn check_budget(n: usize, budget: CheckBudget) -> Result<(), GameError> {
     if n <= 1 {
-        return Ok(None);
+        return Ok(());
     }
     let per_center = 1u128 << (n - 1);
     let work = per_center * n as u128;
@@ -94,8 +99,32 @@ pub fn find_violation_with_budget(
             ),
         });
     }
-    let old: Vec<AgentCost> = (0..n as u32).map(|u| agent_cost(g, u)).collect();
+    Ok(())
+}
+
+/// Exact BNE check against a caller-maintained [`GameState`]: pre-move
+/// costs come from the state's cache, and each candidate costs only the
+/// consenting agents' BFS runs — never a distance-matrix rebuild.
+///
+/// # Errors
+///
+/// Same guard as [`find_violation_with_budget`].
+pub fn find_violation_in_with_budget(
+    state: &GameState,
+    budget: CheckBudget,
+) -> Result<Option<Move>, GameError> {
+    let g = state.graph();
+    let n = g.n();
+    if n <= 1 {
+        return Ok(None);
+    }
+    check_budget(n, budget)?;
+    let alpha = state.alpha();
+    let old = state.costs();
     let mut scratch = g.clone();
+    let mut buf = Vec::new();
+    let mut removed = Vec::new();
+    let mut added = Vec::new();
     for center in 0..n as u32 {
         let neighbors: Vec<u32> = g.neighbors(center).to_vec();
         let others: Vec<u32> = (0..n as u32)
@@ -112,12 +141,15 @@ pub fn find_violation_with_budget(
                     &mut scratch,
                     g,
                     alpha,
-                    &old,
+                    old,
                     center,
                     &neighbors,
                     rem_mask,
                     &others,
                     add_mask,
+                    &mut buf,
+                    &mut removed,
+                    &mut added,
                 ) {
                     return Ok(Some(mv));
                 }
@@ -141,9 +173,12 @@ fn eval_candidate(
     rem_mask: u64,
     others: &[u32],
     add_mask: u64,
+    buf: &mut Vec<u32>,
+    removed: &mut Vec<u32>,
+    added: &mut Vec<u32>,
 ) -> Option<Move> {
-    let mut removed = Vec::new();
-    let mut added = Vec::new();
+    removed.clear();
+    added.clear();
     for (i, &v) in neighbors.iter().enumerate() {
         if rem_mask >> i & 1 == 1 {
             scratch.remove_edge(center, v).expect("neighbor edge");
@@ -156,23 +191,24 @@ fn eval_candidate(
             added.push(v);
         }
     }
-    let improving = agent_cost(scratch, center).better_than(&old[center as usize], alpha)
+    let improving = agent_cost_with_buf(scratch, center, buf)
+        .better_than(&old[center as usize], alpha)
         && added
             .iter()
-            .all(|&a| agent_cost(scratch, a).better_than(&old[a as usize], alpha));
+            .all(|&a| agent_cost_with_buf(scratch, a, buf).better_than(&old[a as usize], alpha));
     // Restore.
-    for &v in &removed {
+    for &v in removed.iter() {
         scratch.add_edge(center, v).expect("restore removed");
     }
-    for &v in &added {
+    for &v in added.iter() {
         scratch.remove_edge(center, v).expect("restore added");
     }
     debug_assert_eq!(scratch.m(), g.m());
     if improving {
         Some(Move::Neighborhood {
             center,
-            remove: removed,
-            add: added,
+            remove: removed.clone(),
+            add: added.clone(),
         })
     } else {
         None

@@ -11,9 +11,10 @@
 
 use crate::alpha::Alpha;
 use crate::concepts::CheckBudget;
-use crate::cost::{agent_cost, AgentCost};
+use crate::cost::agent_cost;
 use crate::error::GameError;
 use crate::moves::Move;
+use crate::state::GameState;
 use bncg_graph::Graph;
 
 /// Exact BSE check under the default budget (`n ≤ 7`).
@@ -50,10 +51,14 @@ pub fn find_violation_with_budget(
     alpha: Alpha,
     budget: CheckBudget,
 ) -> Result<Option<Move>, GameError> {
-    let n = g.n();
-    if n <= 1 {
+    if g.n() <= 1 {
         return Ok(None);
     }
+    check_budget(g.n(), budget)?;
+    find_violation_in_with_budget(&GameState::new(g.clone(), alpha), budget)
+}
+
+fn check_budget(n: usize, budget: CheckBudget) -> Result<(), GameError> {
     let pairs = n * (n - 1) / 2;
     if pairs >= 63 || (1u128 << pairs) > u128::from(budget.max_evals) {
         return Err(GameError::CheckTooLarge {
@@ -63,8 +68,30 @@ pub fn find_violation_with_budget(
             ),
         });
     }
+    Ok(())
+}
+
+/// Exact BSE check against a caller-maintained [`GameState`]: pre-move
+/// costs come from the state's cache; per target graph only the agents a
+/// candidate move actually touches are costed (lazily, one BFS each).
+///
+/// # Errors
+///
+/// Same guard as [`find_violation_with_budget`].
+pub fn find_violation_in_with_budget(
+    state: &GameState,
+    budget: CheckBudget,
+) -> Result<Option<Move>, GameError> {
+    let g = state.graph();
+    let alpha = state.alpha();
+    let n = g.n();
+    if n <= 1 {
+        return Ok(None);
+    }
+    check_budget(n, budget)?;
+    let pairs = n * (n - 1) / 2;
     let current = g.to_bitmask().expect("n ≤ 11 here");
-    let old: Vec<AgentCost> = (0..n as u32).map(|u| agent_cost(g, u)).collect();
+    let old = state.costs();
     let pair_list: Vec<(u32, u32)> = (0..n as u32)
         .flat_map(|u| (u + 1..n as u32).map(move |v| (u, v)))
         .collect();

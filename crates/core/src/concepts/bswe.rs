@@ -4,9 +4,9 @@
 //! pays for one new edge, `v` is not asked (Section 1.1).
 
 use crate::alpha::Alpha;
-use crate::cost::{agent_cost, agent_cost_from_matrix, AgentCost};
 use crate::delta::tree_swap_costs;
 use crate::moves::Move;
+use crate::state::GameState;
 use bncg_graph::{DistanceMatrix, Graph};
 
 /// Finds a mutually profitable swap, or `None` if `g` is in BSwE.
@@ -33,17 +33,18 @@ use bncg_graph::{DistanceMatrix, Graph};
 /// ```
 #[must_use]
 pub fn find_violation(g: &Graph, alpha: Alpha) -> Option<Move> {
-    let d = DistanceMatrix::new(g);
-    find_violation_with_matrix(g, alpha, &d)
+    find_violation_in(&GameState::new(g.clone(), alpha))
 }
 
-/// [`find_violation`] with a caller-supplied distance matrix.
+/// [`find_violation`] against a caller-maintained [`GameState`]: the tree
+/// fast path reads the cached matrix; the general fallback BFS-es only the
+/// two consenting agents through the state's evaluator.
 #[must_use]
-pub fn find_violation_with_matrix(g: &Graph, alpha: Alpha, d: &DistanceMatrix) -> Option<Move> {
+pub fn find_violation_in(state: &GameState) -> Option<Move> {
+    let (g, alpha) = (state.graph(), state.alpha());
     let n = g.n() as u32;
-    let old: Vec<AgentCost> = (0..n).map(|u| agent_cost_from_matrix(g, d, u)).collect();
-    let tree = g.is_tree();
-    let mut scratch = g.clone();
+    let old = state.costs();
+    let mut ev = state.evaluator();
     for agent in 0..n {
         let neighbors: Vec<u32> = g.neighbors(agent).to_vec();
         for &dropped in &neighbors {
@@ -51,10 +52,13 @@ pub fn find_violation_with_matrix(g: &Graph, alpha: Alpha, d: &DistanceMatrix) -
                 if new == agent || g.has_edge(agent, new) {
                     continue;
                 }
-                if tree {
-                    let Some((c_agent, c_new)) = tree_swap_costs(g, d, agent, dropped, new)
+                if state.is_tree() {
+                    // `O(n)` component sums; `None` marks a disconnecting
+                    // swap, which is never improving from a tree.
+                    let Some((c_agent, c_new)) =
+                        tree_swap_costs(g, state.distances(), agent, dropped, new)
                     else {
-                        continue; // disconnecting swap, never improving
+                        continue;
                     };
                     if c_agent.better_than(&old[agent as usize], alpha)
                         && c_new.better_than(&old[new as usize], alpha)
@@ -66,31 +70,26 @@ pub fn find_violation_with_matrix(g: &Graph, alpha: Alpha, d: &DistanceMatrix) -
                         });
                     }
                 } else {
-                    scratch
-                        .remove_edge(agent, dropped)
-                        .expect("dropped is a neighbor");
-                    scratch.add_edge(agent, new).expect("new is a non-neighbor");
-                    let improving = {
-                        let c_agent = agent_cost(&scratch, agent);
-                        c_agent.better_than(&old[agent as usize], alpha) && {
-                            let c_new = agent_cost(&scratch, new);
-                            c_new.better_than(&old[new as usize], alpha)
-                        }
+                    let mv = Move::Swap {
+                        agent,
+                        old: dropped,
+                        new,
                     };
-                    scratch.remove_edge(agent, new).expect("restoring");
-                    scratch.add_edge(agent, dropped).expect("restoring");
-                    if improving {
-                        return Some(Move::Swap {
-                            agent,
-                            old: dropped,
-                            new,
-                        });
+                    if ev.improves_all(&mv).expect("swap candidate is valid") {
+                        return Some(mv);
                     }
                 }
             }
         }
     }
     None
+}
+
+/// [`find_violation`] with a caller-supplied distance matrix (pre-engine
+/// entry point, kept for callers that own a bare matrix).
+#[must_use]
+pub fn find_violation_with_matrix(g: &Graph, alpha: Alpha, d: &DistanceMatrix) -> Option<Move> {
+    find_violation_in(&GameState::with_matrix(g.clone(), alpha, d.clone()))
 }
 
 /// Whether `g` is in Bilateral Swap Equilibrium.

@@ -11,9 +11,10 @@
 use crate::alpha::Alpha;
 use crate::combinatorics::{bounded_subsets, combinations};
 use crate::concepts::CheckBudget;
-use crate::cost::{agent_cost, AgentCost};
+use crate::cost::{agent_cost_with_buf, AgentCost};
 use crate::error::GameError;
 use crate::moves::Move;
+use crate::state::GameState;
 use bncg_graph::Graph;
 
 /// Exact k-BSE check under the default [`CheckBudget`].
@@ -51,12 +52,18 @@ pub fn find_violation_with_budget(
     k: usize,
     budget: CheckBudget,
 ) -> Result<Option<Move>, GameError> {
-    let n = g.n();
-    if n <= 1 || k == 0 {
+    if g.n() <= 1 || k == 0 {
         return Ok(None);
     }
+    check_budget(g, k, budget)?;
+    find_violation_in_with_budget(&GameState::new(g.clone(), alpha), k, budget)
+}
+
+/// Pre-pass sizing the summed move space of all coalitions against the
+/// budget before any cost evaluation starts.
+fn check_budget(g: &Graph, k: usize, budget: CheckBudget) -> Result<(), GameError> {
+    let n = g.n();
     let k = k.min(n);
-    // Pre-pass: total work.
     let mut total_work: u128 = 0;
     for size in 1..=k {
         for coalition in combinations(n, size) {
@@ -64,9 +71,7 @@ pub fn find_violation_with_budget(
             let bits = removable.len() + addable.len();
             if bits >= 60 {
                 return Err(GameError::CheckTooLarge {
-                    reason: format!(
-                        "coalition {coalition:?} owns 2^{bits} candidate moves"
-                    ),
+                    reason: format!("coalition {coalition:?} owns 2^{bits} candidate moves"),
                 });
             }
             total_work += 1u128 << bits;
@@ -80,19 +85,43 @@ pub fn find_violation_with_budget(
             }
         }
     }
-    let old: Vec<AgentCost> = (0..n as u32).map(|u| agent_cost(g, u)).collect();
+    Ok(())
+}
+
+/// Exact k-BSE check against a caller-maintained [`GameState`]: pre-move
+/// costs come from the state's cache, and each candidate coalition move
+/// BFS-es only the coalition members.
+///
+/// # Errors
+///
+/// Same guard as [`find_violation_with_budget`].
+pub fn find_violation_in_with_budget(
+    state: &GameState,
+    k: usize,
+    budget: CheckBudget,
+) -> Result<Option<Move>, GameError> {
+    let g = state.graph();
+    let n = g.n();
+    if n <= 1 || k == 0 {
+        return Ok(None);
+    }
+    check_budget(g, k, budget)?;
+    let k = k.min(n);
+    let alpha = state.alpha();
+    let old = state.costs();
     let mut scratch = g.clone();
+    let mut buf = Vec::new();
     for size in 1..=k {
         for coalition in combinations(n, size) {
             let (removable, addable) = coalition_move_space(g, &coalition);
             if let Some(mv) = scan_coalition_moves(
                 &mut scratch,
                 alpha,
-                &old,
+                old,
                 &coalition,
                 &removable,
                 &addable,
-                removable.len(),
+                &mut buf,
             ) {
                 return Ok(Some(mv));
             }
@@ -117,8 +146,13 @@ pub fn find_violation_restricted(
         return None;
     }
     let k = k.min(n);
-    let old: Vec<AgentCost> = (0..n as u32).map(|u| agent_cost(g, u)).collect();
+    // Plain BFS costs: the scan below never reads a distance matrix, so a
+    // full GameState build would be wasted work here.
+    let old: Vec<AgentCost> = (0..n as u32)
+        .map(|u| crate::cost::agent_cost(g, u))
+        .collect();
     let mut scratch = g.clone();
+    let mut buf = Vec::new();
     for size in 1..=k {
         for coalition in combinations(n, size) {
             let (removable, addable) = coalition_move_space(g, &coalition);
@@ -127,9 +161,15 @@ pub fn find_violation_restricted(
                     if add.is_empty() && rem.is_empty() {
                         continue;
                     }
-                    if let Some(mv) =
-                        eval_coalition_move(&mut scratch, alpha, &old, &coalition, &rem, &add)
-                    {
+                    if let Some(mv) = eval_coalition_move(
+                        &mut scratch,
+                        alpha,
+                        &old,
+                        &coalition,
+                        &rem,
+                        &add,
+                        &mut buf,
+                    ) {
                         return Some(mv);
                     }
                 }
@@ -164,7 +204,11 @@ pub fn find_violation_restricted_parallel(
     }
     let k = k.min(n);
     let coalitions: Vec<Vec<u32>> = (1..=k).flat_map(|size| combinations(n, size)).collect();
-    let old: Vec<AgentCost> = (0..n as u32).map(|u| agent_cost(g, u)).collect();
+    // Plain BFS costs, as in the serial refuter: no matrix is read here.
+    let old: Vec<AgentCost> = (0..n as u32)
+        .map(|u| crate::cost::agent_cost(g, u))
+        .collect();
+    let old = &old;
     let found = std::sync::atomic::AtomicBool::new(false);
     let result = std::sync::Mutex::new(None::<Move>);
     let chunk = coalitions.len().div_ceil(threads);
@@ -172,17 +216,16 @@ pub fn find_violation_restricted_parallel(
         for piece in coalitions.chunks(chunk.max(1)) {
             let found = &found;
             let result = &result;
-            let old = &old;
             scope.spawn(move || {
                 let mut scratch = g.clone();
+                let mut buf = Vec::new();
                 for coalition in piece {
                     if found.load(std::sync::atomic::Ordering::Relaxed) {
                         return;
                     }
                     let (removable, addable) = coalition_move_space(g, coalition);
                     for add in bounded_subsets(&addable, 0, addable.len()) {
-                        for rem in
-                            bounded_subsets(&removable, 0, max_removals.min(removable.len()))
+                        for rem in bounded_subsets(&removable, 0, max_removals.min(removable.len()))
                         {
                             if add.is_empty() && rem.is_empty() {
                                 continue;
@@ -194,6 +237,7 @@ pub fn find_violation_restricted_parallel(
                                 coalition,
                                 &rem,
                                 &add,
+                                &mut buf,
                             ) {
                                 *result.lock().expect("no poisoning") = Some(mv);
                                 found.store(true, std::sync::atomic::Ordering::Relaxed);
@@ -238,7 +282,7 @@ fn scan_coalition_moves(
     coalition: &[u32],
     removable: &[(u32, u32)],
     addable: &[(u32, u32)],
-    _r: usize,
+    buf: &mut Vec<u32>,
 ) -> Option<Move> {
     let rbits = removable.len();
     let abits = addable.len();
@@ -255,7 +299,7 @@ fn scan_coalition_moves(
                 .filter(|&i| add_mask >> i & 1 == 1)
                 .map(|i| addable[i])
                 .collect();
-            if let Some(mv) = eval_coalition_move(scratch, alpha, old, coalition, &rem, &add) {
+            if let Some(mv) = eval_coalition_move(scratch, alpha, old, coalition, &rem, &add, buf) {
                 return Some(mv);
             }
         }
@@ -272,6 +316,7 @@ fn eval_coalition_move(
     coalition: &[u32],
     rem: &[(u32, u32)],
     add: &[(u32, u32)],
+    buf: &mut Vec<u32>,
 ) -> Option<Move> {
     for &(u, v) in rem {
         scratch.remove_edge(u, v).expect("removable edge exists");
@@ -281,7 +326,7 @@ fn eval_coalition_move(
     }
     let improving = coalition
         .iter()
-        .all(|&w| agent_cost(scratch, w).better_than(&old[w as usize], alpha));
+        .all(|&w| agent_cost_with_buf(scratch, w, buf).better_than(&old[w as usize], alpha));
     for &(u, v) in add {
         scratch.remove_edge(u, v).expect("restore added");
     }
@@ -404,8 +449,7 @@ mod tests {
                 let alpha = a(alpha);
                 let serial = find_violation_restricted(&g, alpha, 2, 2);
                 for threads in [1usize, 4] {
-                    let parallel =
-                        find_violation_restricted_parallel(&g, alpha, 2, 2, threads);
+                    let parallel = find_violation_restricted_parallel(&g, alpha, 2, 2, threads);
                     assert_eq!(serial.is_some(), parallel.is_some());
                     if let Some(mv) = parallel {
                         assert!(crate::delta::move_improves_all(&g, alpha, &mv).unwrap());

@@ -27,13 +27,13 @@ pub mod re;
 use crate::alpha::Alpha;
 use crate::error::GameError;
 use crate::moves::Move;
+use crate::state::GameState;
 use bncg_graph::Graph;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Work budget for the exponential checkers (BNE, k-BSE, BSE). One unit is
 /// roughly one candidate-move evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CheckBudget {
     /// Maximum number of candidate-move evaluations before the checker
     /// refuses with [`GameError::CheckTooLarge`].
@@ -74,7 +74,7 @@ impl CheckBudget {
 /// }
 /// # Ok::<(), bncg_core::GameError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Concept {
     /// Remove Equilibrium (equals the Pure Nash Equilibrium, Prop. A.2).
     Re,
@@ -117,15 +117,34 @@ impl Concept {
     /// [`CheckBudget`]; call the per-module `find_violation_with_budget`
     /// for explicit control.
     pub fn find_violation(&self, g: &Graph, alpha: Alpha) -> Result<Option<Move>, GameError> {
+        // Cheap structural shortcut: trees are in RE unconditionally, so
+        // the RE checker never needs the engine's caches built.
+        if *self == Concept::Re && g.is_tree() {
+            return Ok(None);
+        }
+        self.find_violation_in(&GameState::new(g.clone(), alpha))
+    }
+
+    /// [`Concept::find_violation`] against a caller-maintained
+    /// [`GameState`]: every checker reuses the state's cached distance
+    /// matrix and pre-move costs, and no checker rebuilds a full
+    /// [`bncg_graph::DistanceMatrix`] per candidate move.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Concept::find_violation`].
+    pub fn find_violation_in(&self, state: &GameState) -> Result<Option<Move>, GameError> {
         match *self {
-            Concept::Re => Ok(re::find_violation(g, alpha)),
-            Concept::Bae => Ok(bae::find_violation(g, alpha)),
-            Concept::Ps => Ok(ps::find_violation(g, alpha)),
-            Concept::Bswe => Ok(bswe::find_violation(g, alpha)),
-            Concept::Bge => Ok(bge::find_violation(g, alpha)),
-            Concept::Bne => bne::find_violation(g, alpha),
-            Concept::KBse(k) => kbse::find_violation(g, alpha, k as usize),
-            Concept::Bse => bse::find_violation(g, alpha),
+            Concept::Re => Ok(re::find_violation_in(state)),
+            Concept::Bae => Ok(bae::find_violation_in(state)),
+            Concept::Ps => Ok(ps::find_violation_in(state)),
+            Concept::Bswe => Ok(bswe::find_violation_in(state)),
+            Concept::Bge => Ok(bge::find_violation_in(state)),
+            Concept::Bne => bne::find_violation_in_with_budget(state, CheckBudget::default()),
+            Concept::KBse(k) => {
+                kbse::find_violation_in_with_budget(state, k as usize, CheckBudget::default())
+            }
+            Concept::Bse => bse::find_violation_in_with_budget(state, CheckBudget::default()),
         }
     }
 
@@ -136,6 +155,15 @@ impl Concept {
     /// Same as [`Concept::find_violation`].
     pub fn is_stable(&self, g: &Graph, alpha: Alpha) -> Result<bool, GameError> {
         Ok(self.find_violation(g, alpha)?.is_none())
+    }
+
+    /// Whether the state is stable for this concept.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Concept::find_violation`].
+    pub fn is_stable_in(&self, state: &GameState) -> Result<bool, GameError> {
+        Ok(self.find_violation_in(state)?.is_none())
     }
 }
 

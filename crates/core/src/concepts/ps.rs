@@ -5,6 +5,7 @@
 use crate::alpha::Alpha;
 use crate::concepts::{bae, re};
 use crate::moves::Move;
+use crate::state::GameState;
 use bncg_graph::Graph;
 
 /// Finds a profitable removal or mutual addition, or `None` if `g` is
@@ -23,7 +24,14 @@ use bncg_graph::Graph;
 /// ```
 #[must_use]
 pub fn find_violation(g: &Graph, alpha: Alpha) -> Option<Move> {
-    re::find_violation(g, alpha).or_else(|| bae::find_violation(g, alpha))
+    find_violation_in(&GameState::new(g.clone(), alpha))
+}
+
+/// [`find_violation`] against a caller-maintained [`GameState`]: both
+/// sub-checkers share one cached matrix and cost vector.
+#[must_use]
+pub fn find_violation_in(state: &GameState) -> Option<Move> {
+    re::find_violation_in(state).or_else(|| bae::find_violation_in(state))
 }
 
 /// Whether `g` is pairwise stable.

@@ -3,8 +3,8 @@
 //! Equilibrium of the bilateral game.
 
 use crate::alpha::Alpha;
-use crate::cost::agent_cost;
 use crate::moves::Move;
+use crate::state::GameState;
 use bncg_graph::Graph;
 
 /// Finds a profitable single-edge removal, or `None` if `g` is in RE.
@@ -34,6 +34,17 @@ pub fn find_violation(g: &Graph, alpha: Alpha) -> Option<Move> {
     if g.is_tree() {
         return None;
     }
+    find_violation_in(&GameState::new(g.clone(), alpha))
+}
+
+/// [`find_violation`] against a caller-maintained [`GameState`], reusing
+/// its cached pre-move costs.
+#[must_use]
+pub fn find_violation_in(state: &GameState) -> Option<Move> {
+    let g = state.graph();
+    if state.is_tree() {
+        return None;
+    }
     // Bridge removals strictly lose reachability — lexicographically worse
     // for the remover no matter how large α is — so only the edges inside
     // 2-edge-connected blocks need cost evaluation.
@@ -41,28 +52,23 @@ pub fn find_violation(g: &Graph, alpha: Alpha) -> Option<Move> {
         .bridges
         .into_iter()
         .collect();
-    let old: Vec<_> = (0..g.n() as u32).map(|u| agent_cost(g, u)).collect();
-    let mut scratch = g.clone();
+    let mut ev = state.evaluator();
     for (u, v) in g.edges() {
         if bridges.contains(&(u, v)) {
             continue;
         }
-        scratch
-            .remove_edge(u, v)
-            .expect("iterating existing edges");
         for agent in [u, v] {
-            // The remover stops paying for one edge; `agent_cost` already
-            // reads the reduced degree from the mutated graph.
-            let after = agent_cost(&scratch, agent);
-            debug_assert_eq!(after.edges, old[agent as usize].edges - 1);
-            if after.better_than(&old[agent as usize], alpha) {
-                return Some(Move::Remove {
-                    agent,
-                    target: if agent == u { v } else { u },
-                });
+            let target = if agent == u { v } else { u };
+            let mv = Move::Remove { agent, target };
+            let delta = ev.evaluate(&mv).expect("removal of an existing edge");
+            debug_assert_eq!(
+                delta.agents[0].after.edges,
+                delta.agents[0].before.edges - 1
+            );
+            if delta.improving_all {
+                return Some(mv);
             }
         }
-        scratch.add_edge(u, v).expect("restoring removed edge");
     }
     None
 }

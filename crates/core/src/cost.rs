@@ -9,7 +9,6 @@
 use crate::alpha::Alpha;
 use crate::error::GameError;
 use bncg_graph::{bfs_distances, DistanceMatrix, Graph, UNREACHABLE};
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 
 /// The cost of a single agent, kept in unevaluated form so comparisons can
@@ -31,7 +30,7 @@ use std::cmp::Ordering;
 /// assert!(leaf.better_than(&center, alpha));
 /// # Ok::<(), bncg_core::GameError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AgentCost {
     /// Number of nodes the agent cannot reach (each priced at `M`).
     pub unreachable: u32,
@@ -47,9 +46,11 @@ impl AgentCost {
     /// lexicographically by unreachable count, then by `α·edges + dist`.
     #[must_use]
     pub fn compare(&self, other: &AgentCost, alpha: Alpha) -> Ordering {
-        self.unreachable
-            .cmp(&other.unreachable)
-            .then_with(|| alpha.cost_key(self.edges, self.dist).cmp(&alpha.cost_key(other.edges, other.dist)))
+        self.unreachable.cmp(&other.unreachable).then_with(|| {
+            alpha
+                .cost_key(self.edges, self.dist)
+                .cmp(&alpha.cost_key(other.edges, other.dist))
+        })
     }
 
     /// Whether this cost is *strictly* lower than `other` — the improvement
@@ -63,7 +64,10 @@ impl AgentCost {
     /// `alpha.den()`. Meaningful on its own only when `unreachable == 0`.
     #[must_use]
     pub fn finite_value(&self, alpha: Alpha) -> Ratio {
-        Ratio::new(alpha.cost_key(self.edges, self.dist), i128::from(alpha.den()))
+        Ratio::new(
+            alpha.cost_key(self.edges, self.dist),
+            i128::from(alpha.den()),
+        )
     }
 }
 
@@ -78,7 +82,7 @@ impl AgentCost {
 /// assert_eq!(r.as_f64(), 1.5);
 /// assert!(r > Ratio::new(1, 1));
 /// ```
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Ratio {
     num: i128,
     den: i128,
@@ -166,9 +170,20 @@ impl std::fmt::Display for Ratio {
 /// Panics if `u` is out of range.
 #[must_use]
 pub fn agent_cost(g: &Graph, u: u32) -> AgentCost {
-    let mut dist = Vec::new();
-    let reached = bfs_distances(g, u, &mut dist);
-    let dist_sum = dist
+    agent_cost_with_buf(g, u, &mut Vec::new())
+}
+
+/// Like [`agent_cost`] but reusing a caller-owned BFS buffer — the hot
+/// candidate-evaluation paths run millions of BFS passes and per-call
+/// allocation would dominate.
+///
+/// # Panics
+///
+/// Panics if `u` is out of range.
+#[must_use]
+pub fn agent_cost_with_buf(g: &Graph, u: u32, buf: &mut Vec<u32>) -> AgentCost {
+    let reached = bfs_distances(g, u, buf);
+    let dist_sum = buf
         .iter()
         .filter(|&&d| d != UNREACHABLE)
         .map(|&d| u64::from(d))
@@ -261,13 +276,18 @@ pub fn optimum_cost(n: usize, alpha: Alpha) -> Ratio {
 ///
 /// Returns [`GameError::Disconnected`] for disconnected graphs.
 pub fn social_cost_ratio(g: &Graph, alpha: Alpha) -> Result<Ratio, GameError> {
-    let cost = social_cost(g, alpha)?;
-    let opt = optimum_cost(g.n(), alpha);
+    Ok(ratio_against_optimum(social_cost(g, alpha)?, g.n(), alpha))
+}
+
+/// The single definition of `ρ = cost / cost(OPT)`, shared by the
+/// graph-based and the engine-based entry points.
+pub(crate) fn ratio_against_optimum(cost: Ratio, n: usize, alpha: Alpha) -> Ratio {
+    let opt = optimum_cost(n, alpha);
     if opt.num() == 0 {
         // n ≤ 1: a single agent is trivially optimal.
-        return Ok(Ratio::new(1, 1));
+        return Ratio::new(1, 1);
     }
-    Ok(cost.div(&opt))
+    cost.div(&opt)
 }
 
 #[cfg(test)]
@@ -336,8 +356,16 @@ mod tests {
     fn lexicographic_preference_for_reachability() {
         let alpha = a("1");
         // Reaching one more node beats any finite saving.
-        let more_reach = AgentCost { unreachable: 0, edges: 50, dist: 10_000 };
-        let less_reach = AgentCost { unreachable: 1, edges: 0, dist: 0 };
+        let more_reach = AgentCost {
+            unreachable: 0,
+            edges: 50,
+            dist: 10_000,
+        };
+        let less_reach = AgentCost {
+            unreachable: 1,
+            edges: 0,
+            dist: 0,
+        };
         assert!(more_reach.better_than(&less_reach, alpha));
         assert!(!less_reach.better_than(&more_reach, alpha));
     }
@@ -347,10 +375,22 @@ mod tests {
         // α = 1/2: one extra edge for a distance saving of 1 is strictly
         // improving; a saving of exactly α·2 = 1 for 2 edges is not.
         let alpha = a("1/2");
-        let before = AgentCost { unreachable: 0, edges: 1, dist: 10 };
-        let after = AgentCost { unreachable: 0, edges: 2, dist: 9 };
+        let before = AgentCost {
+            unreachable: 0,
+            edges: 1,
+            dist: 10,
+        };
+        let after = AgentCost {
+            unreachable: 0,
+            edges: 2,
+            dist: 9,
+        };
         assert!(after.better_than(&before, alpha));
-        let after_tie = AgentCost { unreachable: 0, edges: 3, dist: 9 };
+        let after_tie = AgentCost {
+            unreachable: 0,
+            edges: 3,
+            dist: 9,
+        };
         assert!(!after_tie.better_than(&before, alpha));
         assert_eq!(after_tie.compare(&before, alpha), Ordering::Equal);
     }

@@ -189,7 +189,10 @@ mod tests {
         for mv in [
             Move::BilateralAdd { u: 0, v: 4 },
             Move::BilateralAdd { u: 0, v: 2 },
-            Move::Remove { agent: 1, target: 2 },
+            Move::Remove {
+                agent: 1,
+                target: 2,
+            },
         ] {
             assert_eq!(
                 move_improves_all(&g, alpha("3/2"), &mv).unwrap(),

@@ -6,7 +6,6 @@ use crate::cost::{agent_cost, social_cost, social_cost_ratio, AgentCost, Ratio};
 use crate::error::GameError;
 use crate::moves::Move;
 use bncg_graph::Graph;
-use serde::{Deserialize, Serialize};
 
 /// A Bilateral Network Creation Game state: the created graph together with
 /// the edge price `α`.
@@ -25,7 +24,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(game.social_cost_ratio()?.as_f64(), 1.0); // the optimum
 /// # Ok::<(), bncg_core::GameError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Game {
     graph: Graph,
     alpha: Alpha,
@@ -112,6 +111,14 @@ impl Game {
             graph: mv.apply(&self.graph)?,
             alpha: self.alpha,
         })
+    }
+
+    /// Builds the incremental [`GameState`](crate::GameState) engine for
+    /// this game — the entry point for repeated checking, best responses,
+    /// and dynamics on one evolving state.
+    #[must_use]
+    pub fn state(&self) -> crate::GameState {
+        crate::GameState::new(self.graph.clone(), self.alpha)
     }
 }
 

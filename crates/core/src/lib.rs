@@ -8,6 +8,10 @@
 //!   needs consent and `α` from both endpoints, and
 //!   `cost(u) = α·|S_u| + Σ_v dist(u, v)` with a lexicographic
 //!   disconnection penalty ([`agent_cost`], [`Alpha`], [`Game`]);
+//! * the incremental **`GameState` evaluation engine** every checker and
+//!   dynamics loop routes through: cached distance matrix and agent costs,
+//!   exact per-move deltas without full recomputation ([`state`],
+//!   [`GameState`]);
 //! * the full ladder of **solution concepts** ordered by cooperation —
 //!   RE, BAE, PS, BSwE, BGE, BNE, k-BSE, BSE — each with a
 //!   witness-producing checker ([`concepts`], [`Concept`]);
@@ -48,11 +52,12 @@ pub mod bounds;
 pub mod combinatorics;
 pub mod concepts;
 pub mod delta;
+pub mod state;
 pub mod unilateral;
 pub mod windows;
 
 pub use alpha::Alpha;
-pub use best_response::{best_response, best_response_with_budget, BestResponse};
+pub use best_response::{best_response, best_response_in, best_response_with_budget, BestResponse};
 pub use concepts::{CheckBudget, Concept};
 pub use cost::{
     agent_cost, agent_cost_from_matrix, optimum_cost, social_cost, social_cost_ratio, AgentCost,
@@ -60,4 +65,5 @@ pub use cost::{
 };
 pub use error::GameError;
 pub use game::Game;
-pub use moves::Move;
+pub use moves::{AppliedMove, Move};
+pub use state::{AgentDelta, GameState, MoveDelta, MoveEvaluator};

@@ -7,7 +7,6 @@
 
 use crate::error::GameError;
 use bncg_graph::Graph;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A strategy change in the bilateral game, annotated with the agents that
@@ -27,7 +26,7 @@ use std::fmt;
 /// assert_eq!(m.consenting_agents(), vec![0, 2]);
 /// # Ok::<(), bncg_core::GameError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Move {
     /// Agent `agent` unilaterally stops paying for `target`; the edge
     /// disappears (Remove Equilibrium).
@@ -108,6 +107,23 @@ impl Move {
     /// against the state (adding present edges, removing absent ones,
     /// coalition constraints violated, …).
     pub fn apply(&self, g: &Graph) -> Result<Graph, GameError> {
+        let mut out = g.clone();
+        self.apply_in_place(&mut out)?;
+        Ok(out)
+    }
+
+    /// Validates the move and applies it to `g` **in place**, returning the
+    /// edge toggles performed so the caller can replay or undo them (the
+    /// incremental [`GameState`](crate::GameState) engine updates its
+    /// distance cache one toggle at a time).
+    ///
+    /// On error the graph is left exactly as it was: toggles applied before
+    /// the failing step are rolled back.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Move::apply`].
+    pub fn apply_in_place(&self, g: &mut Graph) -> Result<AppliedMove, GameError> {
         let n = g.n();
         let check_node = |x: u32| -> Result<(), GameError> {
             if (x as usize) < n {
@@ -116,94 +132,141 @@ impl Move {
                 Err(GameError::NodeOutOfRange { node: x, n })
             }
         };
-        let mut out = g.clone();
-        match self {
-            Move::Remove { agent, target } => {
-                check_node(*agent)?;
-                check_node(*target)?;
-                out.remove_edge(*agent, *target)
-                    .map_err(|e| GameError::InvalidMove(e.to_string()))?;
-            }
-            Move::BilateralAdd { u, v } => {
-                check_node(*u)?;
-                check_node(*v)?;
-                out.add_edge(*u, *v)
-                    .map_err(|e| GameError::InvalidMove(e.to_string()))?;
-            }
-            Move::Swap { agent, old, new } => {
-                check_node(*agent)?;
-                check_node(*old)?;
-                check_node(*new)?;
-                if old == new {
-                    return Err(GameError::InvalidMove(
-                        "swap must change the partner".into(),
-                    ));
+        let mut applied = AppliedMove {
+            toggles: Vec::new(),
+        };
+        let result = (|| -> Result<(), GameError> {
+            match self {
+                Move::Remove { agent, target } => {
+                    check_node(*agent)?;
+                    check_node(*target)?;
+                    applied.remove(g, *agent, *target)?;
                 }
-                out.remove_edge(*agent, *old)
-                    .map_err(|e| GameError::InvalidMove(e.to_string()))?;
-                out.add_edge(*agent, *new)
-                    .map_err(|e| GameError::InvalidMove(e.to_string()))?;
-            }
-            Move::Neighborhood {
-                center,
-                remove,
-                add,
-            } => {
-                check_node(*center)?;
-                if remove.is_empty() && add.is_empty() {
-                    return Err(GameError::InvalidMove(
-                        "neighborhood move must change something".into(),
-                    ));
+                Move::BilateralAdd { u, v } => {
+                    check_node(*u)?;
+                    check_node(*v)?;
+                    applied.add(g, *u, *v)?;
                 }
-                for &r in remove {
-                    check_node(r)?;
-                    out.remove_edge(*center, r)
-                        .map_err(|e| GameError::InvalidMove(e.to_string()))?;
-                }
-                for &a in add {
-                    check_node(a)?;
-                    out.add_edge(*center, a)
-                        .map_err(|e| GameError::InvalidMove(e.to_string()))?;
-                }
-            }
-            Move::Coalition {
-                members,
-                remove_edges,
-                add_edges,
-            } => {
-                if members.is_empty() {
-                    return Err(GameError::InvalidMove("empty coalition".into()));
-                }
-                if remove_edges.is_empty() && add_edges.is_empty() {
-                    return Err(GameError::InvalidMove(
-                        "coalition move must change something".into(),
-                    ));
-                }
-                for &m in members {
-                    check_node(m)?;
-                }
-                let in_coalition = |x: u32| members.contains(&x);
-                for &(u, v) in remove_edges {
-                    if !in_coalition(u) && !in_coalition(v) {
-                        return Err(GameError::InvalidMove(format!(
-                            "removed edge {{{u}, {v}}} does not touch the coalition"
-                        )));
+                Move::Swap { agent, old, new } => {
+                    check_node(*agent)?;
+                    check_node(*old)?;
+                    check_node(*new)?;
+                    if old == new {
+                        return Err(GameError::InvalidMove(
+                            "swap must change the partner".into(),
+                        ));
                     }
-                    out.remove_edge(u, v)
-                        .map_err(|e| GameError::InvalidMove(e.to_string()))?;
+                    applied.remove(g, *agent, *old)?;
+                    applied.add(g, *agent, *new)?;
                 }
-                for &(u, v) in add_edges {
-                    if !in_coalition(u) || !in_coalition(v) {
-                        return Err(GameError::InvalidMove(format!(
-                            "added edge {{{u}, {v}}} leaves the coalition"
-                        )));
+                Move::Neighborhood {
+                    center,
+                    remove,
+                    add,
+                } => {
+                    check_node(*center)?;
+                    if remove.is_empty() && add.is_empty() {
+                        return Err(GameError::InvalidMove(
+                            "neighborhood move must change something".into(),
+                        ));
                     }
-                    out.add_edge(u, v)
-                        .map_err(|e| GameError::InvalidMove(e.to_string()))?;
+                    for &r in remove {
+                        check_node(r)?;
+                        applied.remove(g, *center, r)?;
+                    }
+                    for &a in add {
+                        check_node(a)?;
+                        applied.add(g, *center, a)?;
+                    }
                 }
+                Move::Coalition {
+                    members,
+                    remove_edges,
+                    add_edges,
+                } => {
+                    if members.is_empty() {
+                        return Err(GameError::InvalidMove("empty coalition".into()));
+                    }
+                    if remove_edges.is_empty() && add_edges.is_empty() {
+                        return Err(GameError::InvalidMove(
+                            "coalition move must change something".into(),
+                        ));
+                    }
+                    for &m in members {
+                        check_node(m)?;
+                    }
+                    let in_coalition = |x: u32| members.contains(&x);
+                    for &(u, v) in remove_edges {
+                        if !in_coalition(u) && !in_coalition(v) {
+                            return Err(GameError::InvalidMove(format!(
+                                "removed edge {{{u}, {v}}} does not touch the coalition"
+                            )));
+                        }
+                        applied.remove(g, u, v)?;
+                    }
+                    for &(u, v) in add_edges {
+                        if !in_coalition(u) || !in_coalition(v) {
+                            return Err(GameError::InvalidMove(format!(
+                                "added edge {{{u}, {v}}} leaves the coalition"
+                            )));
+                        }
+                        applied.add(g, u, v)?;
+                    }
+                }
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => Ok(applied),
+            Err(e) => {
+                applied.undo(g);
+                Err(e)
             }
         }
-        Ok(out)
+    }
+}
+
+/// The record of a [`Move`] applied in place: the edge toggles performed,
+/// in application order (`true` marks an addition).
+#[derive(Debug, Clone)]
+pub struct AppliedMove {
+    toggles: Vec<(u32, u32, bool)>,
+}
+
+impl AppliedMove {
+    /// The performed toggles `(u, v, added)` in application order.
+    #[must_use]
+    pub fn toggles(&self) -> &[(u32, u32, bool)] {
+        &self.toggles
+    }
+
+    /// Reverts every recorded toggle, restoring the pre-move graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not the graph the toggles were applied to.
+    pub fn undo(&self, g: &mut Graph) {
+        for &(u, v, added) in self.toggles.iter().rev() {
+            if added {
+                g.remove_edge(u, v).expect("undoing a recorded addition");
+            } else {
+                g.add_edge(u, v).expect("undoing a recorded removal");
+            }
+        }
+    }
+
+    fn add(&mut self, g: &mut Graph, u: u32, v: u32) -> Result<(), GameError> {
+        g.add_edge(u, v)
+            .map_err(|e| GameError::InvalidMove(e.to_string()))?;
+        self.toggles.push((u, v, true));
+        Ok(())
+    }
+
+    fn remove(&mut self, g: &mut Graph, u: u32, v: u32) -> Result<(), GameError> {
+        g.remove_edge(u, v)
+            .map_err(|e| GameError::InvalidMove(e.to_string()))?;
+        self.toggles.push((u, v, false));
+        Ok(())
     }
 }
 
@@ -243,7 +306,12 @@ mod tests {
     #[test]
     fn apply_remove_and_add() {
         let g = generators::path(4);
-        let g2 = Move::Remove { agent: 1, target: 2 }.apply(&g).unwrap();
+        let g2 = Move::Remove {
+            agent: 1,
+            target: 2,
+        }
+        .apply(&g)
+        .unwrap();
         assert!(!g2.has_edge(1, 2));
         let g3 = Move::BilateralAdd { u: 0, v: 3 }.apply(&g).unwrap();
         assert!(g3.has_edge(0, 3));
@@ -252,7 +320,11 @@ mod tests {
     #[test]
     fn apply_swap() {
         let g = generators::star(4); // center 0
-        let m = Move::Swap { agent: 1, old: 0, new: 2 };
+        let m = Move::Swap {
+            agent: 1,
+            old: 0,
+            new: 2,
+        };
         let g2 = m.apply(&g).unwrap();
         assert!(!g2.has_edge(1, 0));
         assert!(g2.has_edge(1, 2));
@@ -269,9 +341,13 @@ mod tests {
         };
         let g2 = m.apply(&g).unwrap();
         assert_eq!(g2.degree(0), 2);
-        assert!(Move::Neighborhood { center: 0, remove: vec![], add: vec![] }
-            .apply(&g)
-            .is_err());
+        assert!(Move::Neighborhood {
+            center: 0,
+            remove: vec![],
+            add: vec![]
+        }
+        .apply(&g)
+        .is_err());
     }
 
     #[test]
@@ -304,44 +380,116 @@ mod tests {
         assert!(matches!(bad.apply(&g), Err(GameError::InvalidMove(_))));
 
         // Illegal: empty coalition or empty move.
-        assert!(Move::Coalition { members: vec![], remove_edges: vec![], add_edges: vec![(0, 1)] }
-            .apply(&g)
-            .is_err());
-        assert!(Move::Coalition { members: vec![0], remove_edges: vec![], add_edges: vec![] }
-            .apply(&g)
-            .is_err());
+        assert!(Move::Coalition {
+            members: vec![],
+            remove_edges: vec![],
+            add_edges: vec![(0, 1)]
+        }
+        .apply(&g)
+        .is_err());
+        assert!(Move::Coalition {
+            members: vec![0],
+            remove_edges: vec![],
+            add_edges: vec![]
+        }
+        .apply(&g)
+        .is_err());
     }
 
     #[test]
     fn invalid_moves_are_rejected() {
         let g = generators::path(3);
-        assert!(Move::Remove { agent: 0, target: 2 }.apply(&g).is_err());
+        assert!(Move::Remove {
+            agent: 0,
+            target: 2
+        }
+        .apply(&g)
+        .is_err());
         assert!(Move::BilateralAdd { u: 0, v: 1 }.apply(&g).is_err());
-        assert!(Move::Swap { agent: 0, old: 1, new: 1 }.apply(&g).is_err());
+        assert!(Move::Swap {
+            agent: 0,
+            old: 1,
+            new: 1
+        }
+        .apply(&g)
+        .is_err());
         assert!(matches!(
-            Move::Remove { agent: 9, target: 0 }.apply(&g),
+            Move::Remove {
+                agent: 9,
+                target: 0
+            }
+            .apply(&g),
             Err(GameError::NodeOutOfRange { .. })
         ));
     }
 
     #[test]
     fn consenting_agents_per_move() {
-        assert_eq!(Move::Remove { agent: 3, target: 1 }.consenting_agents(), vec![3]);
         assert_eq!(
-            Move::Neighborhood { center: 0, remove: vec![1], add: vec![2, 3] }
-                .consenting_agents(),
+            Move::Remove {
+                agent: 3,
+                target: 1
+            }
+            .consenting_agents(),
+            vec![3]
+        );
+        assert_eq!(
+            Move::Neighborhood {
+                center: 0,
+                remove: vec![1],
+                add: vec![2, 3]
+            }
+            .consenting_agents(),
             vec![0, 2, 3]
         );
         assert_eq!(
-            Move::Coalition { members: vec![4, 5], remove_edges: vec![], add_edges: vec![] }
-                .consenting_agents(),
+            Move::Coalition {
+                members: vec![4, 5],
+                remove_edges: vec![],
+                add_edges: vec![]
+            }
+            .consenting_agents(),
             vec![4, 5]
         );
     }
 
     #[test]
+    fn apply_in_place_rolls_back_on_error() {
+        let g0 = generators::path(5);
+        let mut g = g0.clone();
+        // The second removal fails (edge {0, 2} does not exist); the first
+        // removal must be rolled back.
+        let bad = Move::Coalition {
+            members: vec![0, 1, 2],
+            remove_edges: vec![(0, 1), (0, 2)],
+            add_edges: vec![],
+        };
+        assert!(bad.apply_in_place(&mut g).is_err());
+        assert_eq!(g, g0, "failed move must leave the graph untouched");
+
+        // A successful application records its toggles and undoes cleanly.
+        let good = Move::Neighborhood {
+            center: 0,
+            remove: vec![1],
+            add: vec![3, 4],
+        };
+        let applied = good.apply_in_place(&mut g).unwrap();
+        assert_eq!(
+            applied.toggles(),
+            &[(0, 1, false), (0, 3, true), (0, 4, true)]
+        );
+        assert!(g.has_edge(0, 4) && !g.has_edge(0, 1));
+        applied.undo(&mut g);
+        assert_eq!(g, g0);
+    }
+
+    #[test]
     fn display_is_informative() {
-        let m = Move::Swap { agent: 1, old: 0, new: 2 };
+        let m = Move::Swap {
+            agent: 1,
+            old: 0,
+            new: 2,
+        };
         let s = m.to_string();
         assert!(s.contains("swap"));
         assert!(s.contains('1') && s.contains('0') && s.contains('2'));

@@ -12,7 +12,6 @@ use crate::alpha::Alpha;
 use crate::cost::AgentCost;
 use crate::error::GameError;
 use bncg_graph::{bfs_distances, Graph, UNREACHABLE};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A unilateral NCG state: graph plus edge ownership.
@@ -31,7 +30,7 @@ use std::collections::BTreeMap;
 /// assert_eq!(s.owned_count(0), 1);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UnilateralState {
     graph: Graph,
     /// Owner per edge, keyed by the normalized pair `(min, max)`.
@@ -39,7 +38,7 @@ pub struct UnilateralState {
 }
 
 /// A single-agent deviation in the unilateral game, reported as a witness.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum UnilateralMove {
     /// Drop an owned edge.
     Drop {
@@ -282,11 +281,7 @@ impl UnilateralState {
                         .copied()
                         .filter(|t| !current.contains(t))
                         .collect();
-                    return Ok(Some(UnilateralMove::Rewire {
-                        agent,
-                        drops,
-                        buys,
-                    }));
+                    return Ok(Some(UnilateralMove::Rewire { agent, drops, buys }));
                 }
             }
         }
@@ -470,7 +465,10 @@ mod tests {
                     .unwrap()
                     .iter()
                     .all(|s| s.is_remove_stable(alpha));
-                assert_eq!(bilateral, unilateral_all, "Prop 2.2 violated at α = {alpha}");
+                assert_eq!(
+                    bilateral, unilateral_all,
+                    "Prop 2.2 violated at α = {alpha}"
+                );
             }
         }
     }
@@ -503,7 +501,11 @@ mod tests {
             let g = generators::random_connected(6, 0.3, &mut rng);
             for alpha in ["1", "2", "4"] {
                 let alpha = a(alpha);
-                for s in UnilateralState::all_assignments(&g).unwrap().iter().take(12) {
+                for s in UnilateralState::all_assignments(&g)
+                    .unwrap()
+                    .iter()
+                    .take(12)
+                {
                     if s.is_ne(alpha).unwrap() {
                         assert!(s.is_greedy_stable(alpha), "NE state failed GE");
                     }

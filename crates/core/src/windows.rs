@@ -141,7 +141,9 @@ pub fn stability_windows(g: &Graph, concept: Concept) -> Result<Vec<StabilityWin
     let wants_swaps = matches!(concept, Concept::Bswe | Concept::Bge);
     if !(wants_removals || wants_adds || wants_swaps) {
         return Err(GameError::CheckTooLarge {
-            reason: format!("stability windows are only enumerable for polynomial concepts, not {concept}"),
+            reason: format!(
+                "stability windows are only enumerable for polynomial concepts, not {concept}"
+            ),
         });
     }
     let n = g.n() as u32;
@@ -156,8 +158,14 @@ pub fn stability_windows(g: &Graph, concept: Concept) -> Result<Vec<StabilityWin
     };
     if wants_removals {
         for (u, v) in g.edges() {
-            push_move(Move::Remove { agent: u, target: v })?;
-            push_move(Move::Remove { agent: v, target: u })?;
+            push_move(Move::Remove {
+                agent: u,
+                target: v,
+            })?;
+            push_move(Move::Remove {
+                agent: v,
+                target: u,
+            })?;
         }
     }
     if wants_adds {
@@ -171,7 +179,11 @@ pub fn stability_windows(g: &Graph, concept: Concept) -> Result<Vec<StabilityWin
             for &dropped in &neighbors {
                 for new in 0..n {
                     if new != agent && new != dropped && !g.has_edge(agent, new) {
-                        push_move(Move::Swap { agent, old: dropped, new })?;
+                        push_move(Move::Swap {
+                            agent,
+                            old: dropped,
+                            new,
+                        })?;
                     }
                 }
             }
@@ -243,7 +255,11 @@ fn move_interval(g2: &Graph, mv: &Move, old: &[AgentCost]) -> Option<OpenInterva
 /// Merges open instability intervals and returns the alternating windows.
 fn windows_from_intervals(intervals: Vec<OpenInterval>) -> Vec<StabilityWindow> {
     if intervals.is_empty() {
-        return vec![StabilityWindow { lo: None, hi: None, stable: true }];
+        return vec![StabilityWindow {
+            lo: None,
+            hi: None,
+            stable: true,
+        }];
     }
     // Collect all endpoints as breakpoints; evaluate stability on each
     // elementary piece using a representative price (midpoints / mediants).
@@ -282,7 +298,7 @@ fn windows_from_intervals(intervals: Vec<OpenInterval>) -> Vec<StabilityWindow> 
     for (i, &p) in points.iter().enumerate() {
         // Open piece before p.
         let rep = match prev {
-            None => (p.num, p.den * 2), // p/2
+            None => (p.num, p.den * 2),                                    // p/2
             Some(q) => (p.num * q.den + q.num * p.den, 2 * p.den * q.den), // midpoint
         };
         verdicts.push((prev, Some(p), !unstable_at(rep.0, rep.1)));
@@ -335,7 +351,14 @@ mod tests {
     #[test]
     fn trees_are_re_stable_everywhere() {
         let w = stability_windows(&generators::path(6), Concept::Re).unwrap();
-        assert_eq!(w, vec![StabilityWindow { lo: None, hi: None, stable: true }]);
+        assert_eq!(
+            w,
+            vec![StabilityWindow {
+                lo: None,
+                hi: None,
+                stable: true
+            }]
+        );
     }
 
     #[test]
@@ -354,7 +377,13 @@ mod tests {
         let mut rng = bncg_graph::test_rng(95);
         for _ in 0..10 {
             let g = generators::random_connected(7, 0.3, &mut rng);
-            for concept in [Concept::Re, Concept::Bae, Concept::Bswe, Concept::Ps, Concept::Bge] {
+            for concept in [
+                Concept::Re,
+                Concept::Bae,
+                Concept::Bswe,
+                Concept::Ps,
+                Concept::Bge,
+            ] {
                 let w = stability_windows(&g, concept).unwrap();
                 for alpha in ["1/3", "1/2", "1", "3/2", "2", "3", "9/2", "7", "12", "100"] {
                     let alpha = a(alpha);
@@ -379,7 +408,8 @@ mod tests {
                 let w = stability_windows(&g, concept).unwrap();
                 for win in &w {
                     for bound in [win.lo, win.hi].into_iter().flatten() {
-                        if bound.num() > 0 && bound.num() < i128::from(i64::MAX)
+                        if bound.num() > 0
+                            && bound.num() < i128::from(i64::MAX)
                             && bound.den() < i128::from(i64::MAX)
                         {
                             let alpha =

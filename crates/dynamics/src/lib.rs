@@ -32,7 +32,7 @@
 
 pub mod round_robin;
 
-use bncg_core::{agent_cost, social_cost, Alpha, Concept, GameError, Move};
+use bncg_core::{Alpha, Concept, GameError, GameState, Move};
 use bncg_graph::Graph;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -110,31 +110,33 @@ pub fn run_with_rng<R: Rng + ?Sized>(
     max_steps: usize,
     rng: &mut R,
 ) -> Result<Trajectory, GameError> {
-    let mut g = start.clone();
+    let mut state = GameState::new(start.clone(), alpha);
     let mut steps = Vec::new();
-    let mut cost_trace = vec![social_cost(&g, alpha).ok().map(|c| c.as_f64())];
+    let mut cost_trace = vec![state.social_cost().ok().map(|c| c.as_f64())];
     let mut converged = false;
     for _ in 0..max_steps {
         let next = match rule {
-            SelectionRule::First => concept.find_violation(&g, alpha)?,
-            SelectionRule::Random => pick_random(&g, alpha, concept, rng)?,
-            SelectionRule::MostImproving => pick_most_improving(&g, alpha, concept)?,
+            SelectionRule::First => concept.find_violation_in(&state)?,
+            SelectionRule::Random => enumerate_violations_in(&state, concept)?
+                .choose(rng)
+                .cloned(),
+            SelectionRule::MostImproving => pick_most_improving(&state, concept)?,
         };
         let Some(mv) = next else {
             converged = true;
             break;
         };
-        g = mv.apply(&g)?;
-        cost_trace.push(social_cost(&g, alpha).ok().map(|c| c.as_f64()));
+        state.apply_move(&mv)?;
+        cost_trace.push(state.social_cost().ok().map(|c| c.as_f64()));
         steps.push(mv);
     }
-    if !converged && concept.find_violation(&g, alpha)?.is_none() {
+    if !converged && concept.find_violation_in(&state)?.is_none() {
         converged = true;
     }
     Ok(Trajectory {
         steps,
         converged,
-        final_graph: g,
+        final_graph: state.graph().clone(),
         cost_trace,
     })
 }
@@ -151,10 +153,25 @@ pub fn enumerate_violations(
     alpha: Alpha,
     concept: Concept,
 ) -> Result<Vec<Move>, GameError> {
+    enumerate_violations_in(&GameState::new(g.clone(), alpha), concept)
+}
+
+/// [`enumerate_violations`] against a caller-maintained [`GameState`]:
+/// each candidate is priced by the engine (matrix fast path for additions,
+/// consenting-agent BFS otherwise) against the cached pre-move costs.
+///
+/// # Errors
+///
+/// Forwards guard errors from the exponential checkers.
+pub fn enumerate_violations_in(
+    state: &GameState,
+    concept: Concept,
+) -> Result<Vec<Move>, GameError> {
+    let g = state.graph();
     let mut out = Vec::new();
-    let old: Vec<_> = (0..g.n() as u32).map(|u| agent_cost(g, u)).collect();
-    let push_if_improving = |mv: Move, out: &mut Vec<Move>| -> Result<(), GameError> {
-        if bncg_core::delta::move_improves_all_cached(g, alpha, &mv, &old)? {
+    let mut ev = state.evaluator();
+    let mut push_if_improving = |mv: Move, out: &mut Vec<Move>| -> Result<(), GameError> {
+        if ev.improves_all(&mv)? {
             out.push(mv);
         }
         Ok(())
@@ -164,8 +181,20 @@ pub fn enumerate_violations(
     let wants_swaps = matches!(concept, Concept::Bswe | Concept::Bge);
     if wants_removals {
         for (u, v) in g.edges() {
-            push_if_improving(Move::Remove { agent: u, target: v }, &mut out)?;
-            push_if_improving(Move::Remove { agent: v, target: u }, &mut out)?;
+            push_if_improving(
+                Move::Remove {
+                    agent: u,
+                    target: v,
+                },
+                &mut out,
+            )?;
+            push_if_improving(
+                Move::Remove {
+                    agent: v,
+                    target: u,
+                },
+                &mut out,
+            )?;
         }
     }
     if wants_adds {
@@ -180,7 +209,11 @@ pub fn enumerate_violations(
                 for new in 0..g.n() as u32 {
                     if new != agent && new != old_nb && !g.has_edge(agent, new) {
                         push_if_improving(
-                            Move::Swap { agent, old: old_nb, new },
+                            Move::Swap {
+                                agent,
+                                old: old_nb,
+                                new,
+                            },
                             &mut out,
                         )?;
                     }
@@ -190,40 +223,26 @@ pub fn enumerate_violations(
     }
     if !(wants_removals || wants_adds || wants_swaps) {
         // Exponential concept: delegate to its checker.
-        if let Some(mv) = concept.find_violation(g, alpha)? {
+        if let Some(mv) = concept.find_violation_in(state)? {
             out.push(mv);
         }
     }
     Ok(out)
 }
 
-fn pick_random<R: Rng + ?Sized>(
-    g: &Graph,
-    alpha: Alpha,
-    concept: Concept,
-    rng: &mut R,
-) -> Result<Option<Move>, GameError> {
-    let all = enumerate_violations(g, alpha, concept)?;
-    Ok(all.choose(rng).cloned())
-}
-
-fn pick_most_improving(
-    g: &Graph,
-    alpha: Alpha,
-    concept: Concept,
-) -> Result<Option<Move>, GameError> {
-    let all = enumerate_violations(g, alpha, concept)?;
-    let old: Vec<_> = (0..g.n() as u32).map(|u| agent_cost(g, u)).collect();
+fn pick_most_improving(state: &GameState, concept: Concept) -> Result<Option<Move>, GameError> {
+    let alpha = state.alpha();
+    let all = enumerate_violations_in(state, concept)?;
+    let mut ev = state.evaluator();
     let mut best: Option<(i128, Move)> = None;
     for mv in all {
-        let g2 = mv.apply(g)?;
-        let gain: i128 = mv
-            .consenting_agents()
+        let delta = ev.evaluate(&mv)?;
+        let gain: i128 = delta
+            .agents
             .iter()
-            .map(|&a| {
-                let before = &old[a as usize];
-                let after = agent_cost(&g2, a);
-                alpha.cost_key(before.edges, before.dist) - alpha.cost_key(after.edges, after.dist)
+            .map(|d| {
+                alpha.cost_key(d.before.edges, d.before.dist)
+                    - alpha.cost_key(d.after.edges, d.after.dist)
             })
             .sum();
         if best.as_ref().is_none_or(|(b, _)| gain > *b) {
@@ -336,8 +355,7 @@ mod tests {
             SelectionRule::Random,
             SelectionRule::MostImproving,
         ] {
-            let t =
-                run_with_rng(&start, a("3/2"), Concept::Bge, rule, 5_000, &mut rng).unwrap();
+            let t = run_with_rng(&start, a("3/2"), Concept::Bge, rule, 5_000, &mut rng).unwrap();
             assert!(t.converged, "rule {rule:?} must converge");
             assert!(Concept::Bge.is_stable(&t.final_graph, a("3/2")).unwrap());
         }

@@ -3,14 +3,22 @@
 //! (partners must consent — the BNE move model). A full silent round means
 //! the state is a Bilateral Neighborhood Equilibrium.
 //!
+//! One persistent [`GameState`] is threaded through the whole run: each
+//! activation reads the previous round's cached distance matrix and agent
+//! costs, and every applied move updates them incrementally instead of
+//! recomputing from scratch.
+//!
 //! Improving-move dynamics in network creation games need not converge
 //! (Kawald–Lenzner study this for the unilateral game), so the runner also
 //! detects exact state revisits and reports *cycling* separately from
-//! hitting the round cap.
+//! hitting the round cap. Visited states are remembered as 64-bit hashes
+//! of the canonical edge list (not full graph clones), so long runs stay
+//! in `O(1)` memory per state.
 
-use bncg_core::{best_response_with_budget, CheckBudget, GameError, Move};
+use bncg_core::{best_response_in, CheckBudget, GameError, GameState, Move};
 use bncg_graph::Graph;
 use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
 
 /// Outcome of a round-robin run.
 #[derive(Debug, Clone)]
@@ -68,11 +76,11 @@ pub fn run_with_budget(
     max_rounds: usize,
     budget: CheckBudget,
 ) -> Result<RoundRobinOutcome, GameError> {
-    let mut g = start.clone();
-    let n = g.n() as u32;
+    let mut state = GameState::new(start.clone(), alpha);
+    let n = start.n() as u32;
     let mut history = Vec::new();
-    let mut seen: HashSet<Vec<(u32, u32)>> = HashSet::new();
-    seen.insert(g.edges().collect());
+    let mut seen: HashSet<u64> = HashSet::new();
+    seen.insert(graph_fingerprint(state.graph()));
     let mut converged = false;
     let mut cycled = false;
     let mut rounds = 0usize;
@@ -80,12 +88,12 @@ pub fn run_with_budget(
         rounds += 1;
         let mut moved = false;
         for u in 0..n {
-            let br = best_response_with_budget(&g, alpha, u, budget)?;
+            let br = best_response_in(&state, u, budget)?;
             if let Some(mv) = br.best {
-                g = mv.apply(&g)?;
+                state.apply_move(&mv)?;
                 history.push(mv);
                 moved = true;
-                if !seen.insert(g.edges().collect()) {
+                if !seen.insert(graph_fingerprint(state.graph())) {
                     cycled = true;
                     break 'outer;
                 }
@@ -102,8 +110,22 @@ pub fn run_with_budget(
         history,
         converged,
         cycled,
-        final_graph: g,
+        final_graph: state.graph().clone(),
     })
+}
+
+/// A 64-bit fingerprint of the canonical (sorted) edge list plus the node
+/// count. Collisions would falsely flag a cycle; with 64-bit hashes over
+/// the few thousand states a run can visit, the collision probability is
+/// below 10⁻¹² — and the previous exact representation held every visited
+/// edge list in memory, which dominated long runs.
+fn graph_fingerprint(g: &Graph) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    g.n().hash(&mut h);
+    for (u, v) in g.edges() {
+        (u, v).hash(&mut h);
+    }
+    h.finish()
 }
 
 #[cfg(test)]

@@ -164,11 +164,8 @@ mod tests {
     fn barbell_structure() {
         // Two triangles joined by one edge: that edge is the only bridge,
         // its endpoints are the articulation points.
-        let g = Graph::from_edges(
-            6,
-            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]).unwrap();
         let c = analyze(&g);
         assert_eq!(c.bridges, vec![(2, 3)]);
         assert_eq!(c.articulation_points, vec![2, 3]);

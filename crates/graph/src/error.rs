@@ -71,7 +71,10 @@ impl fmt::Display for GraphError {
             GraphError::NotATree => write!(f, "graph is not a tree"),
             GraphError::NotConnected => write!(f, "graph is not connected"),
             GraphError::TooLarge { requested, max } => {
-                write!(f, "instance size {requested} exceeds supported maximum {max}")
+                write!(
+                    f,
+                    "instance size {requested} exceeds supported maximum {max}"
+                )
             }
             GraphError::InvalidGraph6 => write!(f, "invalid graph6 encoding"),
             GraphError::InvalidEncoding => write!(f, "invalid sequence encoding"),
@@ -94,7 +97,10 @@ mod tests {
             GraphError::MissingEdge { u: 0, v: 1 },
             GraphError::NotATree,
             GraphError::NotConnected,
-            GraphError::TooLarge { requested: 9, max: 7 },
+            GraphError::TooLarge {
+                requested: 9,
+                max: 7,
+            },
             GraphError::InvalidGraph6,
             GraphError::InvalidEncoding,
         ];

@@ -418,7 +418,10 @@ mod tests {
         assert!(g.has_edge(0, 2));
         assert_eq!(diameter(&g), Some(2));
         // K_{1,b} is the star.
-        assert!(crate::iso::are_isomorphic(&complete_bipartite(1, 4), &star(5)));
+        assert!(crate::iso::are_isomorphic(
+            &complete_bipartite(1, 4),
+            &star(5)
+        ));
     }
 
     #[test]

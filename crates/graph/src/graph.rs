@@ -1,7 +1,6 @@
 //! The core undirected simple-graph type.
 
 use crate::error::GraphError;
-use serde::{Deserialize, Serialize};
 
 /// An undirected simple graph over nodes `0..n` with sorted adjacency lists.
 ///
@@ -23,35 +22,10 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(g.degree(1), 2);
 /// assert!(g.has_edge(2, 1));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(try_from = "GraphRepr", into = "GraphRepr")]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Graph {
     adj: Vec<Vec<u32>>,
     m: usize,
-}
-
-/// Serialized form of a [`Graph`]: node count plus edge list.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct GraphRepr {
-    n: usize,
-    edges: Vec<(u32, u32)>,
-}
-
-impl From<Graph> for GraphRepr {
-    fn from(g: Graph) -> Self {
-        GraphRepr {
-            n: g.n(),
-            edges: g.edges().collect(),
-        }
-    }
-}
-
-impl TryFrom<GraphRepr> for Graph {
-    type Error = GraphError;
-
-    fn try_from(repr: GraphRepr) -> Result<Self, GraphError> {
-        Graph::from_edges(repr.n, repr.edges)
-    }
 }
 
 impl Graph {
@@ -458,11 +432,20 @@ mod tests {
     #[test]
     fn rejects_bad_edges() {
         let mut g = Graph::new(3);
-        assert_eq!(g.add_edge(0, 3), Err(GraphError::NodeOutOfRange { node: 3, n: 3 }));
+        assert_eq!(
+            g.add_edge(0, 3),
+            Err(GraphError::NodeOutOfRange { node: 3, n: 3 })
+        );
         assert_eq!(g.add_edge(1, 1), Err(GraphError::SelfLoop { node: 1 }));
         g.add_edge(0, 1).unwrap();
-        assert_eq!(g.add_edge(1, 0), Err(GraphError::DuplicateEdge { u: 1, v: 0 }));
-        assert_eq!(g.remove_edge(1, 2), Err(GraphError::MissingEdge { u: 1, v: 2 }));
+        assert_eq!(
+            g.add_edge(1, 0),
+            Err(GraphError::DuplicateEdge { u: 1, v: 0 })
+        );
+        assert_eq!(
+            g.remove_edge(1, 2),
+            Err(GraphError::MissingEdge { u: 1, v: 2 })
+        );
     }
 
     #[test]
@@ -553,13 +536,5 @@ mod tests {
                 expected += 1;
             }
         }
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
-        let json = serde_json::to_string(&g).unwrap();
-        let back: Graph = serde_json::from_str(&json).unwrap();
-        assert_eq!(g, back);
     }
 }

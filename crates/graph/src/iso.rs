@@ -335,7 +335,10 @@ mod tests {
         let star = generators::star(6);
         let path = generators::path(6);
         let spider = generators::spider(2, 2); // n = 5, skip
-        assert_ne!(canonical_tree_encoding(&star), canonical_tree_encoding(&path));
+        assert_ne!(
+            canonical_tree_encoding(&star),
+            canonical_tree_encoding(&path)
+        );
         assert_eq!(spider.n(), 5);
     }
 
@@ -366,7 +369,10 @@ mod tests {
         for _ in 0..15 {
             let g = generators::random_connected(10, 0.25, &mut rng);
             let perm = generators::random_permutation(10, &mut rng);
-            assert_eq!(invariant_fingerprint(&g), invariant_fingerprint(&g.relabeled(&perm)));
+            assert_eq!(
+                invariant_fingerprint(&g),
+                invariant_fingerprint(&g.relabeled(&perm))
+            );
         }
     }
 

@@ -187,6 +187,133 @@ impl DistanceMatrix {
     }
 }
 
+impl DistanceMatrix {
+    /// Sources whose distance row can change when the edge `{u, v}` is
+    /// **removed**: exactly those `s` with `|d(s,u) − d(s,v)| == 1`, since
+    /// along any shortest path consecutive distances-from-`s` differ by
+    /// exactly one, so no other source routes a shortest path through the
+    /// edge. Sources that reach neither endpoint are unaffected too (if `s`
+    /// reaches one endpoint of an existing edge it reaches both).
+    #[must_use]
+    pub fn removal_affected_sources(&self, u: u32, v: u32) -> Vec<u32> {
+        let row_u = self.row(u);
+        let row_v = self.row(v);
+        (0..self.n as u32)
+            .filter(|&s| {
+                let (du, dv) = (row_u[s as usize], row_v[s as usize]);
+                du != UNREACHABLE && dv != UNREACHABLE && du.abs_diff(dv) == 1
+            })
+            .collect()
+    }
+
+    /// Sources whose distance row can change when the edge `{u, v}` is
+    /// **added**: exactly those `s` with `|d(s,u) − d(s,v)| ≥ 2` (including
+    /// the case where `s` reaches one endpoint but not the other). If the
+    /// endpoint distances differ by at most one, the new edge shortens no
+    /// path from `s` by the triangle inequality.
+    #[must_use]
+    pub fn addition_affected_sources(&self, u: u32, v: u32) -> Vec<u32> {
+        let row_u = self.row(u);
+        let row_v = self.row(v);
+        (0..self.n as u32)
+            .filter(|&s| {
+                let (du, dv) = (row_u[s as usize], row_v[s as usize]);
+                match (du == UNREACHABLE, dv == UNREACHABLE) {
+                    (true, true) => false,
+                    (true, false) | (false, true) => true,
+                    (false, false) => du.abs_diff(dv) >= 2,
+                }
+            })
+            .collect()
+    }
+
+    /// Incrementally updates the matrix after the single edge `{u, v}` was
+    /// toggled; `g` must be the **post-toggle** graph. Returns the sources
+    /// whose rows were recomputed (a superset of those that changed is never
+    /// returned — only genuinely affected sources are re-expanded).
+    ///
+    /// * **Addition** — affected rows are rewritten in `O(n)` each via the
+    ///   exact shortcut formula `d'(s,w) = min(d(s,w), d(s,u)+1+d(v,w),
+    ///   d(s,v)+1+d(u,w))` (a shortest path uses a new positive-weight edge
+    ///   at most once).
+    /// * **Removal** — a delta-BFS: only sources with
+    ///   `|d(s,u) − d(s,v)| == 1` can route shortest paths through the
+    ///   edge; exactly those are re-expanded with a fresh BFS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range, or if `g`'s node count differs
+    /// from the matrix dimension.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bncg_graph::{DistanceMatrix, Graph};
+    ///
+    /// let mut g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)])?;
+    /// let mut d = DistanceMatrix::new(&g);
+    /// g.add_edge(0, 3)?;
+    /// let affected = d.apply_edge_toggle(&g, 0, 3);
+    /// assert_eq!(d, DistanceMatrix::new(&g));
+    /// assert!(affected.contains(&0) && affected.contains(&3));
+    /// g.remove_edge(1, 2)?;
+    /// d.apply_edge_toggle(&g, 1, 2);
+    /// assert_eq!(d, DistanceMatrix::new(&g));
+    /// # Ok::<(), bncg_graph::GraphError>(())
+    /// ```
+    pub fn apply_edge_toggle(&mut self, g: &Graph, u: u32, v: u32) -> Vec<u32> {
+        assert_eq!(g.n(), self.n, "graph/matrix dimension mismatch");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "endpoint out of range"
+        );
+        if g.has_edge(u, v) {
+            self.apply_edge_addition(u, v)
+        } else {
+            self.apply_edge_removal(g, u, v)
+        }
+    }
+
+    fn apply_edge_addition(&mut self, u: u32, v: u32) -> Vec<u32> {
+        let affected = self.addition_affected_sources(u, v);
+        if affected.is_empty() {
+            return affected;
+        }
+        // The shortcut formula only reads pre-toggle distances to/from the
+        // endpoints, so snapshot those two rows before rewriting anything.
+        let row_u = self.row(u).to_vec();
+        let row_v = self.row(v).to_vec();
+        let via = |a: u32, b: u32| -> u32 {
+            if a == UNREACHABLE || b == UNREACHABLE {
+                UNREACHABLE
+            } else {
+                a + 1 + b
+            }
+        };
+        for &s in &affected {
+            let du = row_u[s as usize];
+            let dv = row_v[s as usize];
+            let base = s as usize * self.n;
+            for w in 0..self.n {
+                let old = self.d[base + w];
+                let new = old.min(via(du, row_v[w])).min(via(dv, row_u[w]));
+                self.d[base + w] = new;
+            }
+        }
+        affected
+    }
+
+    fn apply_edge_removal(&mut self, g: &Graph, u: u32, v: u32) -> Vec<u32> {
+        let affected = self.removal_affected_sources(u, v);
+        let mut row = Vec::new();
+        for &s in &affected {
+            bfs_distances(g, s, &mut row);
+            self.d[s as usize * self.n..(s as usize + 1) * self.n].copy_from_slice(&row);
+        }
+        affected
+    }
+}
+
 /// Computes the diameter directly from a graph (`None` if disconnected).
 ///
 /// # Examples
@@ -275,8 +402,95 @@ mod tests {
         for n in 2..10u64 {
             let g = generators::star(n as usize);
             let d = DistanceMatrix::new(&g);
-            assert_eq!(d.total_distance(), Some(2 * (n - 1) + 2 * (n - 1) * (n - 2)));
+            assert_eq!(
+                d.total_distance(),
+                Some(2 * (n - 1) + 2 * (n - 1) * (n - 2))
+            );
         }
+    }
+
+    #[test]
+    fn edge_toggle_matches_rebuild_on_random_graphs() {
+        let mut rng = crate::test_rng(4242);
+        for _ in 0..30 {
+            let mut g = generators::gnp(14, 0.25, &mut rng);
+            let mut d = DistanceMatrix::new(&g);
+            for step in 0..20 {
+                // Alternate random toggles over all pairs.
+                let u = step % 14;
+                let v = (step * 5 + 3) % 14;
+                if u == v {
+                    continue;
+                }
+                g.toggle_edge(u as u32, v as u32).unwrap();
+                d.apply_edge_toggle(&g, u as u32, v as u32);
+                assert_eq!(
+                    d,
+                    DistanceMatrix::new(&g),
+                    "drift after toggling {{{u}, {v}}}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn affected_sources_are_sound_and_tight_on_removal() {
+        // Soundness: every row that actually changes is listed. The listed
+        // set may include rows that end up unchanged (multiple shortest
+        // paths), which the update handles by re-BFS.
+        let mut rng = crate::test_rng(7);
+        for _ in 0..20 {
+            let g = generators::random_connected(12, 0.3, &mut rng);
+            let d = DistanceMatrix::new(&g);
+            for (u, v) in g.edges() {
+                let mut g2 = g.clone();
+                g2.remove_edge(u, v).unwrap();
+                let d2 = DistanceMatrix::new(&g2);
+                let affected: std::collections::HashSet<u32> =
+                    d.removal_affected_sources(u, v).into_iter().collect();
+                for s in 0..12u32 {
+                    if d.row(s) != d2.row(s) {
+                        assert!(affected.contains(&s), "changed row {s} not predicted");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn affected_sources_are_sound_on_addition() {
+        let mut rng = crate::test_rng(8);
+        for _ in 0..20 {
+            let g = generators::gnp(12, 0.2, &mut rng);
+            let d = DistanceMatrix::new(&g);
+            for (u, v) in g.non_edges() {
+                let mut g2 = g.clone();
+                g2.add_edge(u, v).unwrap();
+                let d2 = DistanceMatrix::new(&g2);
+                let affected: std::collections::HashSet<u32> =
+                    d.addition_affected_sources(u, v).into_iter().collect();
+                for s in 0..12u32 {
+                    if d.row(s) != d2.row(s) {
+                        assert!(affected.contains(&s), "changed row {s} not predicted");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn toggle_handles_component_merges_and_splits() {
+        // Merging two components and splitting them again.
+        let mut g = Graph::from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap();
+        let mut d = DistanceMatrix::new(&g);
+        g.add_edge(2, 3).unwrap();
+        d.apply_edge_toggle(&g, 2, 3);
+        assert_eq!(d, DistanceMatrix::new(&g));
+        assert_eq!(d.dist(0, 5), 5);
+        g.remove_edge(2, 3).unwrap();
+        d.apply_edge_toggle(&g, 2, 3);
+        assert_eq!(d, DistanceMatrix::new(&g));
+        assert_eq!(d.dist(0, 5), UNREACHABLE);
     }
 
     #[test]

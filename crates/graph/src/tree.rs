@@ -178,7 +178,8 @@ impl RootedTree {
     /// Euler intervals — `O(1)`.
     #[must_use]
     pub fn is_in_subtree(&self, v: u32, u: u32) -> bool {
-        self.tin[u as usize] <= self.tin[v as usize] && self.tout[v as usize] <= self.tout[u as usize]
+        self.tin[u as usize] <= self.tin[v as usize]
+            && self.tout[v as usize] <= self.tout[u as usize]
     }
 
     /// Collects the nodes of the subtree `T_u` in BFS order.

@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
         let g = &trajectory.final_graph;
         let after = social_cost_ratio(g, alpha)?.as_f64();
-        println!("α = {alpha_s:>4}: {} improving moves, converged = {}", trajectory.len(), trajectory.converged);
+        println!(
+            "α = {alpha_s:>4}: {} improving moves, converged = {}",
+            trajectory.len(),
+            trajectory.converged
+        );
         println!(
             "         ρ {before:.3} → {after:.3}; diameter {:?} → {:?}; edges {} → {}",
             diameter(&start),

@@ -41,7 +41,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .expect("three-agent coalition escapes the spider");
     println!("\nspider(3 legs × 3) at α = 9: in 2-BSE = {in_2bse}; 3-coalition escape:");
     println!("  {escape}");
-    assert!(bncg::core::delta::move_improves_all(&spider, alpha9, &escape)?);
+    assert!(bncg::core::delta::move_improves_all(
+        &spider, alpha9, &escape
+    )?);
     println!("\nExactly the paper's message: swaps/pairs tolerate Θ(log α) inefficiency,");
     println!("three-agent cooperation forces Θ(1) (Theorem 3.15).");
     Ok(())

@@ -6,11 +6,35 @@
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
-//! | [`graph`] | `bncg-graph` | graph substrate: traversal, rooted trees, generators, isomorphism, enumeration, graph6 |
-//! | [`core`] | `bncg-core` | the game: exact costs, the eight solution concepts, unilateral NCG, theorem bounds |
+//! | [`graph`] | `bncg-graph` | graph substrate: traversal, incremental distance matrices ([`graph::DistanceMatrix::apply_edge_toggle`]), rooted trees, generators, isomorphism, enumeration, graph6 |
+//! | [`core`] | `bncg-core` | the game: exact costs, the incremental [`core::GameState`] evaluation engine, the eight solution concepts, unilateral NCG, theorem bounds |
 //! | [`constructions`] | `bncg-constructions` | stretched trees, figure witnesses, conjecture/Venn searches |
-//! | [`dynamics`] | `bncg-dynamics` | improving-move dynamics and convergence experiments |
+//! | [`dynamics`] | `bncg-dynamics` | improving-move and round-robin dynamics running on one persistent engine state |
 //! | [`analysis`] | `bncg-analysis` | the experiment harness regenerating every table and figure |
+//!
+//! # The evaluation engine
+//!
+//! All stability checking routes through [`core::GameState`]: it caches the
+//! all-pairs distance matrix and per-agent costs, prices candidate moves
+//! exactly without full recomputation ([`core::GameState::evaluate_move`],
+//! returning a [`core::MoveDelta`]), evaluates batches across threads, and
+//! applies accepted moves with per-toggle delta-BFS updates
+//! ([`core::GameState::apply_move`]). Checkers accept a state via the
+//! `find_violation_in` entry points ([`core::Concept::find_violation_in`]);
+//! the graph-based signatures remain as one-shot wrappers.
+//!
+//! ```
+//! use bncg::core::{Alpha, Concept, GameState, Move};
+//! use bncg::graph::generators;
+//!
+//! let mut state = GameState::new(generators::path(8), Alpha::integer(2)?);
+//! // Drive the state to a pairwise-stable network, reusing every cache.
+//! while let Some(mv) = Concept::Ps.find_violation_in(&state)? {
+//!     state.apply_move(&mv)?;
+//! }
+//! assert!(Concept::Ps.is_stable_in(&state)?);
+//! # Ok::<(), bncg::core::GameError>(())
+//! ```
 //!
 //! # Quickstart
 //!

@@ -305,9 +305,105 @@ pub fn incremental_engine(report: &mut Report, quick: bool) -> Result<(), GameEr
     Ok(())
 }
 
+/// Ablation 5: the candidate-space pruning layer vs. the raw engine-era
+/// scans — verdict agreement asserted on every instance, with the skipped
+/// fraction of the raw candidate space and the wall-clock effect per
+/// exponential checker (the PR 2 pruning-stats section).
+///
+/// # Errors
+///
+/// Forwards checker guards (none expected at these sizes).
+pub fn pruning(report: &mut Report, quick: bool) -> Result<(), GameError> {
+    use bncg_core::CheckBudget;
+    let n = if quick { 10 } else { 12 };
+    let section = report.section("Ablation: candidate-space pruning vs raw enumeration");
+    section.note("pruned checkers must return the raw scans' verdict; skipped = (pruned + deduplicated) / raw candidates; reference = the engine path without the candidates layer");
+    let table = section.table([
+        "instance",
+        "concept",
+        "stable",
+        "raw candidates",
+        "skipped",
+        "pruned (ms)",
+        "reference (ms)",
+        "speedup",
+    ]);
+    let mut rng = bncg_graph::test_rng(0xAB1A);
+    let instances: Vec<(String, bncg_graph::Graph, Alpha)> = vec![
+        (
+            format!("star{n}"),
+            generators::star(n),
+            Alpha::integer(2).expect("α"),
+        ),
+        (
+            format!("cycle{n} (BSE window)"),
+            generators::cycle(n),
+            // Inside Lemma 2.4's window: n(n−2)/4 for even n.
+            Alpha::from_ratio((n * (n - 2) / 4) as i64, 1).expect("α"),
+        ),
+        (
+            format!("gnp{n}"),
+            generators::random_connected(n, 0.3, &mut rng),
+            Alpha::integer(1).expect("α"),
+        ),
+    ];
+    let budget = CheckBudget::new(4_000_000_000);
+    for (name, g, alpha) in instances {
+        let state = GameState::new(g.clone(), alpha);
+        // BNE row.
+        let t0 = Instant::now();
+        let (pruned, stats) = concepts::bne::find_violation_in_with_stats(&state, budget)?;
+        let pruned_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let reference = concepts::bne::find_violation_in_reference(&state, budget)?;
+        let reference_ms = t1.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(pruned, reference, "BNE pruning changed the witness");
+        table.row([
+            name.clone(),
+            "BNE".into(),
+            pruned.is_none().to_string(),
+            stats.generated.to_string(),
+            format!("{:.1}%", 100.0 * stats.skipped_fraction()),
+            fnum(pruned_ms),
+            fnum(reference_ms),
+            fnum(reference_ms / pruned_ms.max(1e-9)),
+        ]);
+        // k-BSE row (k = 2 keeps the raw reference tractable here).
+        let t2 = Instant::now();
+        let (kp, kstats) = concepts::kbse::find_violation_in_with_stats(&state, 2, budget)?;
+        let kp_ms = t2.elapsed().as_secs_f64() * 1e3;
+        let t3 = Instant::now();
+        let kr = concepts::kbse::find_violation_in_reference(&state, 2, budget)?;
+        let kr_ms = t3.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            kp.is_some(),
+            kr.is_some(),
+            "2-BSE pruning changed the verdict"
+        );
+        table.row([
+            name,
+            "2-BSE".into(),
+            kp.is_none().to_string(),
+            kstats.generated.to_string(),
+            format!("{:.1}%", 100.0 * kstats.skipped_fraction()),
+            fnum(kp_ms),
+            fnum(kr_ms),
+            fnum(kr_ms / kp_ms.max(1e-9)),
+        ]);
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pruning_ablation_runs_and_agrees() {
+        let mut r = Report::new();
+        pruning(&mut r, true).unwrap();
+        assert!(r.render().contains("candidate-space pruning"));
+    }
 
     #[test]
     fn incremental_engine_ablation_runs_and_agrees() {

@@ -61,7 +61,8 @@ fn main() -> ExitCode {
                 "ablations" => bncg_analysis::ablations::delta_engines(&mut r, quick)
                     .and_then(|()| bncg_analysis::ablations::kbse_restriction(&mut r, quick))
                     .and_then(|()| bncg_analysis::ablations::parallel_scan(&mut r, quick))
-                    .and_then(|()| bncg_analysis::ablations::incremental_engine(&mut r, quick)),
+                    .and_then(|()| bncg_analysis::ablations::incremental_engine(&mut r, quick))
+                    .and_then(|()| bncg_analysis::ablations::pruning(&mut r, quick)),
                 _ => {
                     eprintln!("unknown command: {other}");
                     eprintln!("try: all, table1, ps, bswe, bge, bne, 3bse, bse, fig1a..fig8, cycles, prop316, prop322, dynamics, roundrobin, treesvgraphs, structure, windows, curve, ablations");

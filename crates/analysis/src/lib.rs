@@ -81,5 +81,6 @@ pub fn run_all(quick: bool) -> Result<Report, GameError> {
     ablations::kbse_restriction(&mut r, quick)?;
     ablations::parallel_scan(&mut r, quick)?;
     ablations::incremental_engine(&mut r, quick)?;
+    ablations::pruning(&mut r, quick)?;
     Ok(r)
 }

@@ -1,0 +1,236 @@
+//! The CI perf-regression gate (the `perf-gate` job in
+//! `.github/workflows/ci.yml`).
+//!
+//! Runs pinned-seed kernels from the `engine_vs_naive` and `pruning`
+//! bench suites at n = 16, writes the measurements to `BENCH_ci.json`
+//! (uploaded as a workflow artifact), and fails when
+//!
+//! * a pruned checker disagrees with its raw reference (exactness),
+//! * a pruning speedup drops below the 3× floor the PR 2 acceptance
+//!   criteria demand (machine-independent: both sides run on the same
+//!   host), or
+//! * a kernel's wall-clock regresses more than `BENCH_CI_TOLERANCE`
+//!   (default 0.25 = 25%) against the checked-in
+//!   `crates/bench/BENCH_baseline.json`, after scaling the baseline by a
+//!   substrate **calibration kernel** (pure BFS distance-matrix builds,
+//!   untouched by checker changes) so a slower or faster CI host moves
+//!   every budget proportionally instead of failing spuriously.
+//!
+//! Regenerate the baseline on a quiet machine with
+//! `cargo run --release -p bncg-bench --bin ci_gate -- --write-baseline`.
+
+use bncg_bench::pruning_kernels::{budget, instances};
+use bncg_core::{concepts, Alpha, GameState};
+use bncg_graph::{generators, DistanceMatrix};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SPEEDUP_FLOOR: f64 = 3.0;
+const CALIBRATION_KEY: &str = "calibration/substrate_bfs";
+
+/// The machine-speed yardstick: ~100 ms of all-pairs BFS matrix builds on
+/// a pinned G(64, 0.1). Deliberately substrate-only — it shares no code
+/// with the checkers under test, so a checker regression cannot inflate
+/// the calibration and mask itself. Long enough (and preceded by a
+/// warm-up run in `main`) that turbo/cache state cannot swing it.
+fn calibration_kernel() {
+    let mut rng = bncg_graph::test_rng(0xCA11B);
+    let g = generators::random_connected(64, 0.1, &mut rng);
+    for _ in 0..8_000 {
+        black_box(DistanceMatrix::new(black_box(&g)));
+    }
+}
+
+/// Median wall-clock of `samples` runs of `f`.
+fn median_secs(samples: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+struct Gate {
+    results: Vec<(String, f64)>,
+    failures: Vec<String>,
+}
+
+impl Gate {
+    fn record(&mut self, name: &str, secs: f64) {
+        println!("{name}: {:.4} s", secs);
+        self.results.push((name.to_string(), secs));
+    }
+
+    fn check_speedup(&mut self, name: &str, reference: f64, pruned: f64) {
+        let speedup = reference / pruned.max(1e-12);
+        println!("{name}: {speedup:.1}x");
+        self.results.push((name.to_string(), speedup));
+        if speedup < SPEEDUP_FLOOR {
+            self.failures.push(format!(
+                "{name}: speedup {speedup:.2}x is below the {SPEEDUP_FLOOR}x floor"
+            ));
+        }
+    }
+}
+
+fn main() -> std::process::ExitCode {
+    let write_baseline = std::env::args().any(|a| a == "--write-baseline");
+    let tolerance: f64 = std::env::var("BENCH_CI_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    let mut gate = Gate {
+        results: Vec::new(),
+        failures: Vec::new(),
+    };
+
+    // Machine yardstick first; one discarded warm-up run settles CPU
+    // frequency and caches before the timed samples.
+    calibration_kernel();
+    let calibration = median_secs(5, calibration_kernel);
+    gate.record(CALIBRATION_KEY, calibration);
+
+    // The pruning-suite instances (stable ⇒ full scans), shared with
+    // `benches/pruning.rs` via `pruning_kernels::instances()`.
+    let states: Vec<(&'static str, GameState)> = instances()
+        .into_iter()
+        .map(|(name, g, alpha)| (name, GameState::new(g, alpha)))
+        .collect();
+    let gnp = &states.last().expect("two instances").1;
+
+    for (name, state) in states.iter().map(|(n, s)| (*n, s)) {
+        // Exactness before any timing.
+        let pruned_mv = concepts::bne::find_violation_in_with_budget(state, budget()).unwrap();
+        let reference_mv = concepts::bne::find_violation_in_reference(state, budget()).unwrap();
+        assert_eq!(pruned_mv, reference_mv, "BNE witness diverged on {name}");
+        assert!(pruned_mv.is_none(), "{name} must scan to completion");
+        let pruned = median_secs(5, || {
+            concepts::bne::find_violation_in_with_budget(state, budget()).unwrap();
+        });
+        let reference = median_secs(3, || {
+            concepts::bne::find_violation_in_reference(state, budget()).unwrap();
+        });
+        gate.record(&format!("bne_pruned/{name}"), pruned);
+        gate.record(&format!("bne_reference/{name}"), reference);
+        gate.check_speedup(&format!("bne_speedup/{name}"), reference, pruned);
+
+        let kp = concepts::kbse::find_violation_in_with_budget(state, 2, budget()).unwrap();
+        let kr = concepts::kbse::find_violation_in_reference(state, 2, budget()).unwrap();
+        assert_eq!(
+            kp.is_some(),
+            kr.is_some(),
+            "2-BSE verdict diverged on {name}"
+        );
+        let pruned = median_secs(5, || {
+            concepts::kbse::find_violation_in_with_budget(state, 2, budget()).unwrap();
+        });
+        let reference = median_secs(3, || {
+            concepts::kbse::find_violation_in_reference(state, 2, budget()).unwrap();
+        });
+        gate.record(&format!("kbse2_pruned/{name}"), pruned);
+        gate.record(&format!("kbse2_reference/{name}"), reference);
+        gate.check_speedup(&format!("kbse2_speedup/{name}"), reference, pruned);
+    }
+
+    // The 3-BSE scan only the pruned checker can afford (raw space ~1.2e9).
+    let pruned_k3 = median_secs(5, || {
+        concepts::kbse::find_violation_in_with_budget(gnp, 3, budget()).unwrap();
+    });
+    gate.record("kbse3_pruned/gnp16_diam2", pruned_k3);
+
+    // The engine_vs_naive representative: 50 rounds of engine-backed
+    // round-robin dynamics on path16 (the PR 1 headline kernel).
+    let path = generators::path(16);
+    let alpha2 = Alpha::integer(2).expect("α");
+    let rr = median_secs(3, || {
+        bncg_dynamics::round_robin::run(&path, alpha2, 50).unwrap();
+    });
+    gate.record("round_robin50/path16", rr);
+
+    // Serialize BENCH_ci.json.
+    let mut json = String::from("{\n");
+    for (i, (name, value)) in gate.results.iter().enumerate() {
+        let comma = if i + 1 == gate.results.len() { "" } else { "," };
+        writeln!(json, "  \"{name}\": {value:.6}{comma}").expect("string write");
+    }
+    json.push_str("}\n");
+    std::fs::write("BENCH_ci.json", &json).expect("write BENCH_ci.json");
+    println!("wrote BENCH_ci.json");
+
+    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_baseline.json");
+    if write_baseline {
+        std::fs::write(baseline_path, &json).expect("write baseline");
+        println!("wrote {baseline_path}");
+        return std::process::ExitCode::SUCCESS;
+    }
+
+    // Compare wall-clock kernels (not speedups) against the baseline,
+    // rescaled by the calibration ratio so a slower/faster host shifts
+    // every budget proportionally instead of failing the gate outright.
+    match std::fs::read_to_string(baseline_path) {
+        Ok(baseline) => {
+            // Clamped at 1: a slower host inflates every budget
+            // proportionally, but an apparently-faster one never
+            // *shrinks* them (that direction is where calibration noise
+            // would turn into spurious failures).
+            let machine_factor = parse_json_number(&baseline, CALIBRATION_KEY)
+                .map_or(1.0, |base_cal| (calibration / base_cal.max(1e-12)).max(1.0));
+            println!("machine calibration factor vs baseline: {machine_factor:.2}x");
+            for (name, value) in &gate.results {
+                if name.contains("_speedup/") || name == CALIBRATION_KEY {
+                    continue;
+                }
+                let Some(base) = parse_json_number(&baseline, name) else {
+                    println!("note: kernel {name} missing from baseline (skipped)");
+                    continue;
+                };
+                // 1 ms of absolute slack on top of the relative budget:
+                // the microsecond-scale pruned kernels sit inside
+                // scheduler/allocator noise that no relative tolerance
+                // can absorb, and a genuine algorithmic regression on
+                // them dwarfs a millisecond anyway.
+                let limit = base * machine_factor * (1.0 + tolerance) + 1e-3;
+                if *value > limit {
+                    gate.failures.push(format!(
+                        "{name}: {value:.4}s regressed >{:.0}% over scaled baseline {:.4}s",
+                        tolerance * 100.0,
+                        base * machine_factor
+                    ));
+                } else {
+                    println!("{name}: {value:.4}s within {limit:.4}s budget");
+                }
+            }
+        }
+        Err(e) => {
+            gate.failures
+                .push(format!("cannot read baseline {baseline_path}: {e}"));
+        }
+    }
+
+    if gate.failures.is_empty() {
+        println!("perf gate: PASS");
+        std::process::ExitCode::SUCCESS
+    } else {
+        for f in &gate.failures {
+            eprintln!("perf gate FAILURE: {f}");
+        }
+        std::process::ExitCode::FAILURE
+    }
+}
+
+/// Minimal `"key": number` extractor for the gate's flat JSON files (the
+/// workspace is offline — no serde).
+fn parse_json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}

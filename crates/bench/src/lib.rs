@@ -24,6 +24,43 @@ pub fn alpha_grid() -> Vec<bncg_core::Alpha> {
         .collect()
 }
 
+/// The pinned kernels shared by the `pruning` bench and the `ci_gate`
+/// perf-regression binary — one definition so the gate always measures
+/// exactly the instances the recorded numbers describe.
+pub mod pruning_kernels {
+    use bncg_core::{Alpha, CheckBudget};
+    use bncg_graph::{generators, Graph};
+
+    /// A large explicit budget: the diameter-2 instance's raw 3-BSE space
+    /// is ~1.2·10⁹ candidates, beyond the default guard — the pruned scan
+    /// prices almost none of them, which is the point of the measurement.
+    #[must_use]
+    pub fn budget() -> CheckBudget {
+        CheckBudget::new(8_000_000_000)
+    }
+
+    /// `(name, graph, α)` instances whose full scans are stable: the star
+    /// at α = 2, and a pinned-seed G(16, 0.35) draw verified to have
+    /// diameter 2, which Proposition 3.16 makes BSE-stable (hence BNE-
+    /// and k-BSE-stable) at α = 1.
+    #[must_use]
+    pub fn instances() -> Vec<(&'static str, Graph, Alpha)> {
+        let mut rng = bncg_graph::test_rng(0xE16 ^ (9 * 0x9E37));
+        vec![
+            (
+                "star16",
+                generators::star(16),
+                Alpha::integer(2).expect("α"),
+            ),
+            (
+                "gnp16_diam2",
+                generators::random_connected(16, 0.35, &mut rng),
+                Alpha::integer(1).expect("α"),
+            ),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

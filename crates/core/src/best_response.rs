@@ -9,6 +9,7 @@
 //! a feasible improving neighborhood move is exactly a BNE.
 
 use crate::alpha::Alpha;
+use crate::candidates::{CenterCapCache, NeighborhoodPruner};
 use crate::concepts::CheckBudget;
 use crate::cost::{agent_cost_with_buf, AgentCost};
 use crate::error::GameError;
@@ -119,9 +120,16 @@ pub fn best_response_in(
     let alpha = state.alpha();
     let old = state.costs();
     let neighbors: Vec<u32> = g.neighbors(u).to_vec();
-    let others: Vec<u32> = (0..n as u32)
-        .filter(|&v| v != u && !g.has_edge(u, v))
-        .collect();
+    // The candidate layer's filters are all order-preserving and only skip
+    // candidates proven no better than the *current* cost — hence no
+    // better than any evolving best — so the chosen move (including tie
+    // breaks, which dynamics trajectories depend on) matches the raw scan.
+    let pruner = NeighborhoodPruner::new(state);
+    let (others, _) = pruner.filtered_partners(state, u);
+    let removal_only_prunable = pruner.removal_only_prunable();
+    let bounds_active = pruner.active();
+    let mut caps = CenterCapCache::default();
+    caps.reset(others.len());
     let mut scratch = g.clone();
     let mut buf = Vec::new();
     let mut removed: Vec<u32> = Vec::new();
@@ -132,6 +140,20 @@ pub fn best_response_in(
         for add_mask in 0u64..1u64 << others.len() {
             if rem_mask == 0 && add_mask == 0 {
                 continue;
+            }
+            if add_mask == 0 {
+                if removal_only_prunable {
+                    continue;
+                }
+            } else if bounds_active {
+                let save_a = caps.get(&pruner, state, u, &others, add_mask);
+                if pruner.center_class_prunable(
+                    rem_mask.count_ones(),
+                    add_mask.count_ones(),
+                    save_a,
+                ) {
+                    continue;
+                }
             }
             removed.clear();
             added.clear();

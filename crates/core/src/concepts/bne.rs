@@ -7,14 +7,26 @@
 //! The move space is `Θ(n·2^{n−1})`; the exact checker carries a
 //! [`CheckBudget`] guard and a randomized refuter handles larger instances
 //! (it can only ever prove *in*stability).
+//!
+//! The default checker routes through the
+//! [`candidates`](crate::candidates) pruning layer: partners that provably
+//! cannot consent are dropped from the add space (shrinking it
+//! exponentially), per-add-set saving caps prune removal masks wholesale,
+//! and pure-removal candidates are skipped when `α ≤ 1` or the state is a
+//! tree. Every filter is exactness-preserving, so the verdict — and, since
+//! enumeration order is preserved, the witness — equals the raw scan
+//! retained as [`find_violation_in_reference`].
 
 use crate::alpha::Alpha;
+use crate::candidates::{CandidateStats, CenterCapCache, NeighborhoodPruner};
 use crate::concepts::CheckBudget;
 use crate::cost::{agent_cost, agent_cost_with_buf, AgentCost};
 use crate::error::GameError;
 use crate::moves::Move;
 use crate::state::GameState;
 use bncg_graph::Graph;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
 
 /// Minimal RNG abstraction so the sampled refuter does not force a `rand`
 /// dependency onto every caller; implemented for closures and for anything
@@ -102,14 +114,216 @@ fn check_budget(n: usize, budget: CheckBudget) -> Result<(), GameError> {
     Ok(())
 }
 
-/// Exact BNE check against a caller-maintained [`GameState`]: pre-move
-/// costs come from the state's cache, and each candidate costs only the
-/// consenting agents' BFS runs — never a distance-matrix rebuild.
+/// Exact BNE check against a caller-maintained [`GameState`], through the
+/// candidate-pruning layer (see the [module docs](self)).
 ///
 /// # Errors
 ///
 /// Same guard as [`find_violation_with_budget`].
 pub fn find_violation_in_with_budget(
+    state: &GameState,
+    budget: CheckBudget,
+) -> Result<Option<Move>, GameError> {
+    Ok(find_violation_in_with_stats(state, budget)?.0)
+}
+
+/// [`find_violation_in_with_budget`] reporting how much of the raw
+/// candidate space the pruning layer skipped.
+///
+/// # Errors
+///
+/// Same guard as [`find_violation_with_budget`].
+pub fn find_violation_in_with_stats(
+    state: &GameState,
+    budget: CheckBudget,
+) -> Result<(Option<Move>, CandidateStats), GameError> {
+    let n = state.n();
+    let mut stats = CandidateStats::default();
+    if n <= 1 {
+        return Ok((None, stats));
+    }
+    check_budget(n, budget)?;
+    let pruner = NeighborhoodPruner::new(state);
+    let mut ws = CenterScanSpace::new(state.graph());
+    for center in 0..n as u32 {
+        if let Some(mv) = scan_center(state, &pruner, center, &mut ws, &mut stats, None) {
+            return Ok((Some(mv), stats));
+        }
+    }
+    Ok((None, stats))
+}
+
+/// Parallel exact BNE check: centers are sharded across `threads` std
+/// scoped threads over the same pruned candidate stream, with an atomic
+/// first-violation index propagating early exit. The verdict **and** the
+/// witness equal the sequential scan's (the lowest-center, first-in-order
+/// violation wins).
+///
+/// # Errors
+///
+/// Same guard as [`find_violation_with_budget`].
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn find_violation_in_parallel(
+    state: &GameState,
+    budget: CheckBudget,
+    threads: usize,
+) -> Result<Option<Move>, GameError> {
+    assert!(threads > 0, "need at least one worker thread");
+    let n = state.n();
+    if n <= 1 {
+        return Ok(None);
+    }
+    check_budget(n, budget)?;
+    if threads == 1 {
+        return find_violation_in_with_budget(state, budget);
+    }
+    let pruner = NeighborhoodPruner::new(state);
+    let pruner = &pruner;
+    let best_center = AtomicU32::new(u32::MAX);
+    let best: Mutex<Option<Move>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let best_center = &best_center;
+            let best = &best;
+            scope.spawn(move || {
+                let mut ws = CenterScanSpace::new(state.graph());
+                let mut stats = CandidateStats::default();
+                let mut center = t as u32;
+                while (center as usize) < n {
+                    if best_center.load(Ordering::Relaxed) < center {
+                        return;
+                    }
+                    if let Some(mv) = scan_center(
+                        state,
+                        pruner,
+                        center,
+                        &mut ws,
+                        &mut stats,
+                        Some(best_center),
+                    ) {
+                        let mut guard = best.lock().expect("no poisoning");
+                        if center < best_center.load(Ordering::Relaxed) {
+                            best_center.store(center, Ordering::Relaxed);
+                            *guard = Some(mv);
+                        }
+                        return;
+                    }
+                    center += threads as u32;
+                }
+            });
+        }
+    });
+    Ok(best.into_inner().expect("no poisoning"))
+}
+
+/// Reusable scratch for one center's candidate scan.
+struct CenterScanSpace {
+    scratch: Graph,
+    buf: Vec<u32>,
+    removed: Vec<u32>,
+    added: Vec<u32>,
+    /// Lazily filled per-add-mask saving caps (inequality 3 memo).
+    caps: CenterCapCache,
+}
+
+impl CenterScanSpace {
+    fn new(g: &Graph) -> Self {
+        CenterScanSpace {
+            scratch: g.clone(),
+            buf: Vec::new(),
+            removed: Vec::new(),
+            added: Vec::new(),
+            caps: CenterCapCache::default(),
+        }
+    }
+}
+
+/// Scans one center's pruned candidate space in raw enumeration order
+/// (removal-mask major); returns the first improving move. `stop` carries
+/// the parallel scan's first-violation center index: once it falls below
+/// `center` this scan cannot win and aborts.
+fn scan_center(
+    state: &GameState,
+    pruner: &NeighborhoodPruner,
+    center: u32,
+    ws: &mut CenterScanSpace,
+    stats: &mut CandidateStats,
+    stop: Option<&AtomicU32>,
+) -> Option<Move> {
+    let g = state.graph();
+    let alpha = state.alpha();
+    let old = state.costs();
+    let neighbors: Vec<u32> = g.neighbors(center).to_vec();
+    let (partners, dropped) = pruner.filtered_partners(state, center);
+    let nb = neighbors.len();
+    let no = partners.len();
+    let raw = (1u64 << nb) * (1u64 << (no + dropped)) - 1;
+    let surviving = (1u64 << nb) * (1u64 << no) - 1;
+    stats.generated += raw;
+    stats.pruned += raw - surviving;
+    ws.caps.reset(no);
+    let removal_only_prunable = pruner.removal_only_prunable();
+    let bounds_active = pruner.active();
+    for rem_mask in 0u64..1u64 << nb {
+        if let Some(flag) = stop {
+            if flag.load(Ordering::Relaxed) < center {
+                return None;
+            }
+        }
+        for add_mask in 0u64..1u64 << no {
+            if rem_mask == 0 && add_mask == 0 {
+                continue;
+            }
+            if add_mask == 0 {
+                if removal_only_prunable {
+                    stats.pruned += 1;
+                    continue;
+                }
+            } else if bounds_active {
+                let save_a = ws.caps.get(pruner, state, center, &partners, add_mask);
+                if pruner.center_class_prunable(
+                    rem_mask.count_ones(),
+                    add_mask.count_ones(),
+                    save_a,
+                ) {
+                    stats.pruned += 1;
+                    continue;
+                }
+            }
+            stats.evaluated += 1;
+            if let Some(mv) = eval_candidate(
+                &mut ws.scratch,
+                g,
+                alpha,
+                old,
+                center,
+                &neighbors,
+                rem_mask,
+                &partners,
+                add_mask,
+                &mut ws.buf,
+                &mut ws.removed,
+                &mut ws.added,
+            ) {
+                return Some(mv);
+            }
+        }
+    }
+    None
+}
+
+/// The raw (unpruned) scan, retained as ground truth: identical
+/// enumeration order to the pruned checker, no filters. Property tests
+/// and the `pruning` bench compare against this path — it is exactly the
+/// PR 1 engine-era BNE scan.
+///
+/// # Errors
+///
+/// Same guard as [`find_violation_with_budget`].
+pub fn find_violation_in_reference(
     state: &GameState,
     budget: CheckBudget,
 ) -> Result<Option<Move>, GameError> {
@@ -377,6 +591,56 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The pruned default and the raw reference scan return the *same*
+    /// witness, not just the same verdict (pruned candidates are all
+    /// non-improving and the enumeration order is shared).
+    #[test]
+    fn pruned_scan_matches_reference_witness_exactly() {
+        let mut rng = bncg_graph::test_rng(0xB14E);
+        for case in 0..18 {
+            let g = if case % 3 == 0 {
+                generators::random_tree(9, &mut rng)
+            } else {
+                generators::random_connected(9, 0.3, &mut rng)
+            };
+            for alpha in ["1/2", "1", "2", "9"] {
+                let state = GameState::new(g.clone(), a(alpha));
+                let budget = CheckBudget::default();
+                let pruned = find_violation_in_with_budget(&state, budget).unwrap();
+                let reference = find_violation_in_reference(&state, budget).unwrap();
+                assert_eq!(pruned, reference, "witness mismatch at α = {alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential_witness_exactly() {
+        let mut rng = bncg_graph::test_rng(0xB14F);
+        for _ in 0..10 {
+            let g = generators::random_connected(9, 0.3, &mut rng);
+            for alpha in ["1", "3"] {
+                let state = GameState::new(g.clone(), a(alpha));
+                let budget = CheckBudget::default();
+                let seq = find_violation_in_with_budget(&state, budget).unwrap();
+                for threads in [1usize, 2, 4] {
+                    let par = find_violation_in_parallel(&state, budget, threads).unwrap();
+                    assert_eq!(seq, par, "threads = {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_skips_most_of_a_stable_star_scan() {
+        // On a star at α ≥ 1 the partner filter and the tree pure-removal
+        // rule eliminate the entire candidate space.
+        let state = GameState::new(generators::star(16), a("2"));
+        let (mv, stats) = find_violation_in_with_stats(&state, CheckBudget::default()).unwrap();
+        assert!(mv.is_none());
+        assert_eq!(stats.evaluated, 0, "star scan should be fully pruned");
+        assert_eq!(stats.skipped(), stats.generated);
     }
 
     #[test]

@@ -8,14 +8,25 @@
 //! exactly those covering agents; adding further members only adds
 //! constraints). This cuts the double exponential to `2^{C(n,2)}` target
 //! graphs, which is feasible for `n ≤ 7`.
+//!
+//! The default scan filters each target graph's edit set through the
+//! [`EditSetPruner`] inequalities (see [`crate::candidates`]) before any
+//! BFS is paid: masks whose added edges touch an agent that provably
+//! cannot improve, whose removed edges have no viable endpoint, or that
+//! are pure removals at `α ≤ 1` (or on a tree) are skipped. The filters
+//! are exactness-preserving and order-preserving, so verdict and witness
+//! equal the raw scan retained as [`find_violation_in_reference`].
 
 use crate::alpha::Alpha;
+use crate::candidates::{CandidateStats, EditSetPruner};
 use crate::concepts::CheckBudget;
 use crate::cost::agent_cost;
 use crate::error::GameError;
 use crate::moves::Move;
 use crate::state::GameState;
 use bncg_graph::Graph;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Exact BSE check under the default budget (`n ≤ 7`).
 ///
@@ -71,14 +82,238 @@ fn check_budget(n: usize, budget: CheckBudget) -> Result<(), GameError> {
     Ok(())
 }
 
-/// Exact BSE check against a caller-maintained [`GameState`]: pre-move
-/// costs come from the state's cache; per target graph only the agents a
-/// candidate move actually touches are costed (lazily, one BFS each).
+/// Exact BSE check against a caller-maintained [`GameState`], through the
+/// edit-set pruning layer (see the [module docs](self)).
 ///
 /// # Errors
 ///
 /// Same guard as [`find_violation_with_budget`].
 pub fn find_violation_in_with_budget(
+    state: &GameState,
+    budget: CheckBudget,
+) -> Result<Option<Move>, GameError> {
+    Ok(find_violation_in_with_stats(state, budget)?.0)
+}
+
+/// [`find_violation_in_with_budget`] reporting how much of the target
+/// space the pruning layer skipped.
+///
+/// # Errors
+///
+/// Same guard as [`find_violation_with_budget`].
+pub fn find_violation_in_with_stats(
+    state: &GameState,
+    budget: CheckBudget,
+) -> Result<(Option<Move>, CandidateStats), GameError> {
+    let n = state.n();
+    let mut stats = CandidateStats::default();
+    if n <= 1 {
+        return Ok((None, stats));
+    }
+    check_budget(n, budget)?;
+    let pairs = n * (n - 1) / 2;
+    let mut ws = TargetScan::new(state);
+    let mv = ws.scan_range(state, 0, 1u64 << pairs, &mut stats, None);
+    Ok((mv, stats))
+}
+
+/// Parallel exact BSE check: the target-graph mask space is split into
+/// `threads` contiguous shards scanned by std scoped threads, with an
+/// atomic lowest-violating-mask race for deterministic early exit.
+/// Verdict **and** witness equal the sequential scan's.
+///
+/// # Errors
+///
+/// Same guard as [`find_violation_with_budget`].
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn find_violation_in_parallel(
+    state: &GameState,
+    budget: CheckBudget,
+    threads: usize,
+) -> Result<Option<Move>, GameError> {
+    assert!(threads > 0, "need at least one worker thread");
+    let n = state.n();
+    if n <= 1 {
+        return Ok(None);
+    }
+    check_budget(n, budget)?;
+    if threads == 1 {
+        return find_violation_in_with_budget(state, budget);
+    }
+    let pairs = n * (n - 1) / 2;
+    let total = 1u64 << pairs;
+    let chunk = total.div_ceil(threads as u64);
+    let best_mask = AtomicU64::new(u64::MAX);
+    let best: Mutex<Option<Move>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for t in 0..threads as u64 {
+            let best_mask = &best_mask;
+            let best = &best;
+            scope.spawn(move || {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(total);
+                if lo >= hi || best_mask.load(Ordering::Relaxed) < lo {
+                    return;
+                }
+                let mut ws = TargetScan::new(state);
+                let mut stats = CandidateStats::default();
+                if let Some((mask, mv)) =
+                    ws.scan_range_indexed(state, lo, hi, &mut stats, Some(best_mask))
+                {
+                    let mut guard = best.lock().expect("no poisoning");
+                    if mask < best_mask.load(Ordering::Relaxed) {
+                        best_mask.store(mask, Ordering::Relaxed);
+                        *guard = Some(mv);
+                    }
+                }
+            });
+        }
+    });
+    Ok(best.into_inner().expect("no poisoning"))
+}
+
+/// Scratch for one thread's target-graph scan.
+struct TargetScan {
+    current: u64,
+    pair_list: Vec<(u32, u32)>,
+    pruner: EditSetPruner,
+    rem: Vec<(u32, u32)>,
+    add: Vec<(u32, u32)>,
+}
+
+impl TargetScan {
+    fn new(state: &GameState) -> Self {
+        let n = state.n();
+        TargetScan {
+            current: state.graph().to_bitmask().expect("n ≤ 11 here"),
+            pair_list: (0..n as u32)
+                .flat_map(|u| (u + 1..n as u32).map(move |v| (u, v)))
+                .collect(),
+            pruner: EditSetPruner::from_state(state),
+            rem: Vec::new(),
+            add: Vec::new(),
+        }
+    }
+
+    fn scan_range(
+        &mut self,
+        state: &GameState,
+        lo: u64,
+        hi: u64,
+        stats: &mut CandidateStats,
+        stop: Option<&AtomicU64>,
+    ) -> Option<Move> {
+        self.scan_range_indexed(state, lo, hi, stats, stop)
+            .map(|(_, mv)| mv)
+    }
+
+    /// Scans masks `lo..hi` in ascending order; returns the first
+    /// violating mask and its witness. `stop` carries the parallel scan's
+    /// lowest violating mask: once it undercuts this shard, abort.
+    fn scan_range_indexed(
+        &mut self,
+        state: &GameState,
+        lo: u64,
+        hi: u64,
+        stats: &mut CandidateStats,
+        stop: Option<&AtomicU64>,
+    ) -> Option<(u64, Move)> {
+        let n = state.n();
+        let alpha = state.alpha();
+        let old = state.costs();
+        for mask in lo..hi {
+            if mask == self.current {
+                continue;
+            }
+            // Poll the shared first-violation index every 1024 masks: if a
+            // lower shard already won, nothing here can beat it.
+            if let Some(flag) = stop {
+                if mask & 1023 == 0 && flag.load(Ordering::Relaxed) < lo {
+                    return None;
+                }
+            }
+            stats.generated += 1;
+            let diff = mask ^ self.current;
+            self.rem.clear();
+            self.add.clear();
+            for (i, &(u, v)) in self.pair_list.iter().enumerate() {
+                if diff >> i & 1 == 0 {
+                    continue;
+                }
+                if self.current >> i & 1 == 1 {
+                    self.rem.push((u, v));
+                } else {
+                    self.add.push((u, v));
+                }
+            }
+            if self.pruner.prunable(&self.rem, &self.add) {
+                stats.pruned += 1;
+                continue;
+            }
+            stats.evaluated += 1;
+            let target = Graph::from_bitmask(n, mask).expect("n ≤ 11 here");
+            // Lazily computed improving-agent memo over touched nodes.
+            let mut improving: Vec<Option<bool>> = vec![None; n];
+            let mut improves = |w: u32, target: &Graph| -> bool {
+                let slot = &mut improving[w as usize];
+                if let Some(v) = *slot {
+                    return v;
+                }
+                let v = agent_cost(target, w).better_than(&old[w as usize], alpha);
+                *slot = Some(v);
+                v
+            };
+            let valid = self
+                .add
+                .iter()
+                .all(|&(u, v)| improves(u, &target) && improves(v, &target))
+                && self
+                    .rem
+                    .iter()
+                    .all(|&(u, v)| improves(u, &target) || improves(v, &target));
+            if !valid {
+                continue;
+            }
+            // Assemble the minimal coalition: endpoints of additions plus
+            // one improving endpoint per removal.
+            let mut members: Vec<u32> = Vec::new();
+            for &(u, v) in &self.add {
+                members.push(u);
+                members.push(v);
+            }
+            for &(u, v) in &self.rem {
+                if improves(u, &target) {
+                    members.push(u);
+                } else {
+                    members.push(v);
+                }
+            }
+            members.sort_unstable();
+            members.dedup();
+            return Some((
+                mask,
+                Move::Coalition {
+                    members,
+                    remove_edges: self.rem.clone(),
+                    add_edges: self.add.clone(),
+                },
+            ));
+        }
+        None
+    }
+}
+
+/// The raw (unpruned) target-graph scan, retained as ground truth:
+/// identical enumeration order, no filters — exactly the PR 1 engine-era
+/// checker. Property tests and the `pruning` bench compare against it.
+///
+/// # Errors
+///
+/// Same guard as [`find_violation_with_budget`].
+pub fn find_violation_in_reference(
     state: &GameState,
     budget: CheckBudget,
 ) -> Result<Option<Move>, GameError> {
@@ -101,7 +336,6 @@ pub fn find_violation_in_with_budget(
         }
         let diff = mask ^ current;
         let target = Graph::from_bitmask(n, mask).expect("n ≤ 11 here");
-        // Lazily computed improving-agent memo over touched nodes.
         let mut improving: Vec<Option<bool>> = vec![None; n];
         let mut improves = |w: u32, target: &Graph| -> bool {
             let slot = &mut improving[w as usize];
@@ -138,8 +372,6 @@ pub fn find_violation_in_with_budget(
         if !valid {
             continue;
         }
-        // Assemble the minimal coalition: endpoints of additions plus one
-        // improving endpoint per removal.
         let mut members: Vec<u32> = Vec::new();
         for &(u, v) in &added {
             members.push(u);
@@ -254,6 +486,44 @@ mod tests {
                 !is_stable(&g, a(outside)).unwrap(),
                 "C{n} must not be BSE at α = {outside}"
             );
+        }
+    }
+
+    /// Pruned and reference scans return identical witnesses (filters are
+    /// order-preserving and only ever skip non-violations).
+    #[test]
+    fn pruned_scan_matches_reference_witness_exactly() {
+        let mut rng = bncg_graph::test_rng(0xB5E);
+        for case in 0..10 {
+            let g = if case % 3 == 0 {
+                generators::random_tree(6, &mut rng)
+            } else {
+                generators::random_connected(6, 0.4, &mut rng)
+            };
+            for alpha in ["1/2", "1", "2", "8"] {
+                let state = GameState::new(g.clone(), a(alpha));
+                let budget = CheckBudget::default();
+                let pruned = find_violation_in_with_budget(&state, budget).unwrap();
+                let reference = find_violation_in_reference(&state, budget).unwrap();
+                assert_eq!(pruned, reference, "witness mismatch at α = {alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential_witness_exactly() {
+        let mut rng = bncg_graph::test_rng(0xB5F);
+        for _ in 0..6 {
+            let g = generators::random_connected(6, 0.35, &mut rng);
+            for alpha in ["1/2", "2"] {
+                let state = GameState::new(g.clone(), a(alpha));
+                let budget = CheckBudget::default();
+                let seq = find_violation_in_with_budget(&state, budget).unwrap();
+                for threads in [2usize, 4] {
+                    let par = find_violation_in_parallel(&state, budget, threads).unwrap();
+                    assert_eq!(seq, par, "threads = {threads}");
+                }
+            }
         }
     }
 

@@ -7,15 +7,42 @@
 //! high-degree nodes owns `2^{|E_Γ|}` removal subsets. The restricted
 //! checker bounds the number of simultaneous removals instead, trading
 //! completeness for scale (a `None` from it is evidence, not proof).
+//!
+//! All scans — exact, restricted, sequential, and parallel — now share
+//! **one candidate iterator** over the
+//! [`candidates`](crate::candidates) layer. Two observations make that
+//! layer bite hard here:
+//!
+//! 1. An edit set is a k-BSE violation **iff** its strictly improving
+//!    endpoints admit a covering coalition of size ≤ k (both endpoints of
+//!    every added edge improve, every removed edge has an improving
+//!    endpoint, and a ≤ k cover of those exists) — the same covering
+//!    argument the BSE target-graph checker uses, bounded by `k`. The
+//!    verdict is therefore *coalition-independent*, so
+//! 2. each canonical edit set needs to be evaluated **once**, even though
+//!    the coalition enumeration regenerates it for every covering
+//!    coalition. The scan deduplicates by canonical fingerprint
+//!    ([`crate::candidates::edit_fingerprint`]) and prunes candidates the
+//!    [`EditSetPruner`] inequalities prove non-improving.
+//!
+//! The pre-dedup scan is retained as [`find_violation_in_reference`] for
+//! the property suite and the `pruning` bench.
 
 use crate::alpha::Alpha;
+use crate::candidates::{
+    add_endpoint_requirement, coalition_member_cap, coalition_min_rows, edit_fingerprint, edit_key,
+    CandidateStats, EditSetPruner, EndpointRequirement,
+};
 use crate::combinatorics::{bounded_subsets, combinations};
 use crate::concepts::CheckBudget;
 use crate::cost::{agent_cost_with_buf, AgentCost};
 use crate::error::GameError;
 use crate::moves::Move;
 use crate::state::GameState;
-use bncg_graph::Graph;
+use bncg_graph::{DistanceMatrix, Graph};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
 
 /// Exact k-BSE check under the default [`CheckBudget`].
 ///
@@ -60,7 +87,8 @@ pub fn find_violation_with_budget(
 }
 
 /// Pre-pass sizing the summed move space of all coalitions against the
-/// budget before any cost evaluation starts.
+/// budget before any cost evaluation starts (the raw space — pruning and
+/// dedup only ever shrink the work below this bound).
 fn check_budget(g: &Graph, k: usize, budget: CheckBudget) -> Result<(), GameError> {
     let n = g.n();
     let k = k.min(n);
@@ -88,14 +116,554 @@ fn check_budget(g: &Graph, k: usize, budget: CheckBudget) -> Result<(), GameErro
     Ok(())
 }
 
-/// Exact k-BSE check against a caller-maintained [`GameState`]: pre-move
-/// costs come from the state's cache, and each candidate coalition move
-/// BFS-es only the coalition members.
+/// Exact k-BSE check against a caller-maintained [`GameState`], through
+/// the shared pruned candidate iterator (see the [module docs](self)).
 ///
 /// # Errors
 ///
 /// Same guard as [`find_violation_with_budget`].
 pub fn find_violation_in_with_budget(
+    state: &GameState,
+    k: usize,
+    budget: CheckBudget,
+) -> Result<Option<Move>, GameError> {
+    Ok(find_violation_in_with_stats(state, k, budget)?.0)
+}
+
+/// [`find_violation_in_with_budget`] reporting how much of the raw
+/// candidate space was pruned or deduplicated away.
+///
+/// # Errors
+///
+/// Same guard as [`find_violation_with_budget`].
+pub fn find_violation_in_with_stats(
+    state: &GameState,
+    k: usize,
+    budget: CheckBudget,
+) -> Result<(Option<Move>, CandidateStats), GameError> {
+    let g = state.graph();
+    let n = g.n();
+    let mut stats = CandidateStats::default();
+    if n <= 1 || k == 0 {
+        return Ok((None, stats));
+    }
+    check_budget(g, k, budget)?;
+    let k = k.min(n);
+    let mut scan = CoalitionScan::new(
+        g,
+        state.alpha(),
+        state.costs(),
+        state.is_tree(),
+        k,
+        Some(state.distances()),
+    );
+    for size in 1..=k {
+        for coalition in combinations(n, size) {
+            if let Some(mv) = scan.scan_coalition(&coalition, usize::MAX, &mut stats) {
+                return Ok((Some(mv), stats));
+            }
+        }
+    }
+    Ok((None, stats))
+}
+
+/// Parallel exact k-BSE check: coalitions are sharded across `threads`
+/// std scoped threads, each scanning the shared pruned candidate stream
+/// with its own scratch state, with an atomic first-violation index
+/// propagating early exit. Verdict **and** witness equal the sequential
+/// scan's.
+///
+/// # Errors
+///
+/// Same guard as [`find_violation_with_budget`].
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn find_violation_in_parallel(
+    state: &GameState,
+    k: usize,
+    budget: CheckBudget,
+    threads: usize,
+) -> Result<Option<Move>, GameError> {
+    assert!(threads > 0, "need at least one worker thread");
+    let g = state.graph();
+    let n = g.n();
+    if n <= 1 || k == 0 {
+        return Ok(None);
+    }
+    check_budget(g, k, budget)?;
+    let k = k.min(n);
+    let coalitions: Vec<Vec<u32>> = (1..=k).flat_map(|size| combinations(n, size)).collect();
+    Ok(parallel_coalition_scan(
+        g,
+        state.alpha(),
+        state.costs(),
+        state.is_tree(),
+        Some(state.distances()),
+        &coalitions,
+        k,
+        usize::MAX,
+        threads,
+    ))
+}
+
+/// Restricted k-BSE refuter: only moves deleting at most `max_removals`
+/// edges are scanned (additions inside a size-k coalition are at most
+/// `C(k,2)` and always fully enumerated). `None` means *no violation found
+/// in the restricted space* — it is not a stability certificate.
+#[must_use]
+pub fn find_violation_restricted(
+    g: &Graph,
+    alpha: Alpha,
+    k: usize,
+    max_removals: usize,
+) -> Option<Move> {
+    let n = g.n();
+    if n <= 1 || k == 0 {
+        return None;
+    }
+    let k = k.min(n);
+    let old = plain_costs(g);
+    let mut scan = CoalitionScan::new(g, alpha, &old, g.is_tree(), k, None);
+    let mut stats = CandidateStats::default();
+    for size in 1..=k {
+        for coalition in combinations(n, size) {
+            if let Some(mv) = scan.scan_coalition(&coalition, max_removals, &mut stats) {
+                return Some(mv);
+            }
+        }
+    }
+    None
+}
+
+/// Parallel variant of [`find_violation_restricted`], sharing the exact
+/// same candidate iterator: coalitions are partitioned across `threads`
+/// OS threads (std scoped threads — no extra dependency), the first
+/// violation in sequential candidate order wins via an atomic
+/// lowest-coalition-index race, and the returned witness is **identical**
+/// to the sequential scan's.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+#[must_use]
+pub fn find_violation_restricted_parallel(
+    g: &Graph,
+    alpha: Alpha,
+    k: usize,
+    max_removals: usize,
+    threads: usize,
+) -> Option<Move> {
+    assert!(threads > 0, "need at least one thread");
+    let n = g.n();
+    if n <= 1 || k == 0 {
+        return None;
+    }
+    let k = k.min(n);
+    let coalitions: Vec<Vec<u32>> = (1..=k).flat_map(|size| combinations(n, size)).collect();
+    let old = plain_costs(g);
+    parallel_coalition_scan(
+        g,
+        alpha,
+        &old,
+        g.is_tree(),
+        None,
+        &coalitions,
+        k,
+        max_removals,
+        threads,
+    )
+}
+
+/// Pre-move costs by plain BFS (the restricted paths deliberately never
+/// build a distance matrix).
+fn plain_costs(g: &Graph) -> Vec<AgentCost> {
+    let mut buf = Vec::new();
+    (0..g.n() as u32)
+        .map(|u| agent_cost_with_buf(g, u, &mut buf))
+        .collect()
+}
+
+/// The shared sharded scan behind both parallel entry points: strided
+/// coalition assignment, per-thread scratch and dedup sets, and a
+/// deterministic lowest-index winner so the witness matches the
+/// sequential scan.
+#[allow(clippy::too_many_arguments)]
+fn parallel_coalition_scan(
+    g: &Graph,
+    alpha: Alpha,
+    old: &[AgentCost],
+    is_tree: bool,
+    dist: Option<&DistanceMatrix>,
+    coalitions: &[Vec<u32>],
+    k: usize,
+    max_removals: usize,
+    threads: usize,
+) -> Option<Move> {
+    if threads == 1 || coalitions.len() < 2 {
+        let mut scan = CoalitionScan::new(g, alpha, old, is_tree, k, dist);
+        let mut stats = CandidateStats::default();
+        for coalition in coalitions {
+            if let Some(mv) = scan.scan_coalition(coalition, max_removals, &mut stats) {
+                return Some(mv);
+            }
+        }
+        return None;
+    }
+    let best_idx = AtomicU32::new(u32::MAX);
+    let best: Mutex<Option<Move>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let best_idx = &best_idx;
+            let best = &best;
+            scope.spawn(move || {
+                let mut scan = CoalitionScan::new(g, alpha, old, is_tree, k, dist);
+                let mut stats = CandidateStats::default();
+                let mut i = t;
+                while i < coalitions.len() {
+                    if (best_idx.load(Ordering::Relaxed) as usize) < i {
+                        return;
+                    }
+                    if let Some(mv) = scan.scan_coalition(&coalitions[i], max_removals, &mut stats)
+                    {
+                        let mut guard = best.lock().expect("no poisoning");
+                        if (i as u32) < best_idx.load(Ordering::Relaxed) {
+                            best_idx.store(i as u32, Ordering::Relaxed);
+                            *guard = Some(mv);
+                        }
+                        return;
+                    }
+                    i += threads;
+                }
+            });
+        }
+    });
+    best.into_inner().expect("no poisoning")
+}
+
+/// The unified candidate iterator state: one per scanning thread. Holds
+/// the scratch graph, the dedup set, and the pruner; `scan_coalition`
+/// walks one coalition's (possibly removal-restricted) move space in the
+/// canonical order every entry point shares and funnels every candidate
+/// through the same dedup → prune → judge pipeline.
+///
+/// Two enumeration strategies back the shared pipeline. With the state's
+/// distance matrix at hand and an unrestricted removal budget (the exact
+/// checkers), removal subsets are walked as masks so inequality 6 can
+/// discard whole subspaces with one popcount; without a matrix or with a
+/// removal cap (the restricted refuters, whose removable sets may exceed
+/// 64 edges), size-bounded subset iteration is used instead.
+struct CoalitionScan<'a> {
+    g: &'a Graph,
+    alpha: Alpha,
+    old: &'a [AgentCost],
+    k: usize,
+    dist: Option<&'a DistanceMatrix>,
+    scratch: Graph,
+    buf: Vec<u32>,
+    pruner: EditSetPruner,
+    seen: HashSet<u128>,
+    /// Inequality 6 scratch: the coalition distance profile.
+    min_gamma: Vec<u32>,
+    rem_list: Vec<(u32, u32)>,
+}
+
+impl<'a> CoalitionScan<'a> {
+    fn new(
+        g: &'a Graph,
+        alpha: Alpha,
+        old: &'a [AgentCost],
+        is_tree: bool,
+        k: usize,
+        dist: Option<&'a DistanceMatrix>,
+    ) -> Self {
+        CoalitionScan {
+            g,
+            alpha,
+            old,
+            k,
+            dist,
+            scratch: g.clone(),
+            buf: Vec::new(),
+            pruner: EditSetPruner::new(alpha, old, is_tree),
+            seen: HashSet::new(),
+            min_gamma: Vec::new(),
+            rem_list: Vec::new(),
+        }
+    }
+
+    /// Scans one coalition's candidate edit sets: removal subsets of the
+    /// edges touching Γ (at most `max_removals` at once), crossed with
+    /// addition subsets of the non-edges inside Γ. Each canonical edit
+    /// set is fingerprint-deduplicated, filtered by the pruning
+    /// inequalities, and — when it survives — judged
+    /// coalition-independently by the ≤ k covering argument.
+    fn scan_coalition(
+        &mut self,
+        coalition: &[u32],
+        max_removals: usize,
+        stats: &mut CandidateStats,
+    ) -> Option<Move> {
+        let (removable, addable) = coalition_move_space(self.g, coalition);
+        if let Some(dist) = self.dist {
+            if max_removals >= removable.len() && removable.len() < 60 && addable.len() <= 20 {
+                return self.scan_coalition_masks(dist, &removable, &addable, stats);
+            }
+        }
+        let rcap = max_removals.min(removable.len());
+        for rem in bounded_subsets(&removable, 0, rcap) {
+            for add in bounded_subsets(&addable, 0, addable.len()) {
+                if rem.is_empty() && add.is_empty() {
+                    continue;
+                }
+                stats.generated += 1;
+                if self.pruner.prunable(&rem, &add) {
+                    stats.pruned += 1;
+                    continue;
+                }
+                let fp = edit_fingerprint(&rem, &add);
+                if !self.seen.insert(fp) {
+                    stats.deduped += 1;
+                    continue;
+                }
+                stats.evaluated += 1;
+                if let Some(mv) = self.judge_edit_set(&rem, &add) {
+                    return Some(mv);
+                }
+            }
+        }
+        None
+    }
+
+    /// Mask-based exact scan of one coalition (addition masks outer,
+    /// removal masks inner), with class-level pruning: pure-removal
+    /// subspaces are skipped arithmetically, and inequality 6 turns each
+    /// added set into per-endpoint own-removal-count constraints that
+    /// discard removal masks with one popcount — or the whole subspace
+    /// when an endpoint's constraint is unmeetable.
+    fn scan_coalition_masks(
+        &mut self,
+        dist: &DistanceMatrix,
+        removable: &[(u32, u32)],
+        addable: &[(u32, u32)],
+        stats: &mut CandidateStats,
+    ) -> Option<Move> {
+        let rbits = removable.len();
+        let rspace = 1u64 << rbits;
+        let bounds_active = self.pruner.active();
+        let removal_only_prunable = self.pruner.removal_only_prunable();
+        // Per-edge Zobrist keys (rem role), computed once per coalition.
+        let rem_keys: Vec<u128> = removable
+            .iter()
+            .map(|&(u, v)| edit_key(u, v, false))
+            .collect();
+        let mut endpoints: Vec<u32> = Vec::new();
+        // (own-incident removable mask, min count, max count) per endpoint.
+        let mut reqs: Vec<(u64, u32, u32)> = Vec::new();
+        for add_mask in 0u64..1u64 << addable.len() {
+            if add_mask == 0 && removal_only_prunable {
+                // Pure-removal subspace: one arithmetic skip when the
+                // rules apply (the 2^r − 1 nonempty removal subsets).
+                stats.generated += rspace - 1;
+                stats.pruned += rspace - 1;
+                continue;
+            }
+            let mut add: Vec<(u32, u32)> = Vec::new();
+            let mut fp_add = 0u128;
+            for (i, &(u, v)) in addable.iter().enumerate() {
+                if add_mask >> i & 1 == 1 {
+                    add.push((u, v));
+                    fp_add ^= edit_key(u, v, true);
+                }
+            }
+            // Inequality 6 against this added set's endpoint profile.
+            reqs.clear();
+            let mut class_dead = false;
+            if bounds_active && !add.is_empty() {
+                endpoints.clear();
+                endpoints.extend(add.iter().flat_map(|&(u, v)| [u, v]));
+                endpoints.sort_unstable();
+                endpoints.dedup();
+                coalition_min_rows(dist, &endpoints, &mut self.min_gamma);
+                for &u in &endpoints {
+                    let gained = add.iter().filter(|&&(a, b)| a == u || b == u).count() as u32;
+                    let cap = coalition_member_cap(dist, u, &self.min_gamma);
+                    let mut inc = 0u64;
+                    for (i, &(a, b)) in removable.iter().enumerate() {
+                        if a == u || b == u {
+                            inc |= 1u64 << i;
+                        }
+                    }
+                    match add_endpoint_requirement(self.alpha, gained, cap, inc.count_ones()) {
+                        EndpointRequirement::Dead => {
+                            class_dead = true;
+                            break;
+                        }
+                        EndpointRequirement::MinIncident(l) => reqs.push((inc, l, u32::MAX)),
+                        EndpointRequirement::MaxIncident(l) => reqs.push((inc, 0, l)),
+                        EndpointRequirement::Free => {}
+                    }
+                }
+            }
+            if class_dead {
+                stats.generated += rspace;
+                stats.pruned += rspace;
+                continue;
+            }
+            for rem_mask in 0u64..rspace {
+                if add_mask == 0 && rem_mask == 0 {
+                    continue;
+                }
+                stats.generated += 1;
+                if !reqs.iter().all(|&(inc, lo, hi)| {
+                    let l = (rem_mask & inc).count_ones();
+                    l >= lo && l <= hi
+                }) {
+                    stats.pruned += 1;
+                    continue;
+                }
+                let mut fp = fp_add;
+                let mut bits = rem_mask;
+                while bits != 0 {
+                    fp ^= rem_keys[bits.trailing_zeros() as usize];
+                    bits &= bits - 1;
+                }
+                if !self.seen.insert(fp) {
+                    stats.deduped += 1;
+                    continue;
+                }
+                self.rem_list.clear();
+                for (i, &e) in removable.iter().enumerate() {
+                    if rem_mask >> i & 1 == 1 {
+                        self.rem_list.push(e);
+                    }
+                }
+                let rem = std::mem::take(&mut self.rem_list);
+                if self.pruner.prunable(&rem, &add) {
+                    stats.pruned += 1;
+                    self.rem_list = rem;
+                    continue;
+                }
+                stats.evaluated += 1;
+                let verdict = self.judge_edit_set(&rem, &add);
+                self.rem_list = rem;
+                if verdict.is_some() {
+                    return verdict;
+                }
+            }
+        }
+        None
+    }
+
+    /// The coalition-independent verdict: applies the edit set, computes
+    /// which endpoints strictly improve (lazily, one BFS each), and looks
+    /// for a covering coalition of size ≤ k made of improving endpoints.
+    fn judge_edit_set(&mut self, rem: &[(u32, u32)], add: &[(u32, u32)]) -> Option<Move> {
+        for &(u, v) in rem {
+            self.scratch.remove_edge(u, v).expect("removable edge");
+        }
+        for &(u, v) in add {
+            self.scratch.add_edge(u, v).expect("addable non-edge");
+        }
+        let mut memo: Vec<(u32, bool)> = Vec::new();
+        let mut improves = |x: u32, scratch: &Graph, buf: &mut Vec<u32>| -> bool {
+            if let Some(&(_, s)) = memo.iter().find(|&&(y, _)| y == x) {
+                return s;
+            }
+            let s =
+                agent_cost_with_buf(scratch, x, buf).better_than(&self.old[x as usize], self.alpha);
+            memo.push((x, s));
+            s
+        };
+        // Both endpoints of every added edge must improve; every removed
+        // edge needs at least one improving endpoint.
+        let mut feasible = add.iter().all(|&(u, v)| {
+            improves(u, &self.scratch, &mut self.buf) && improves(v, &self.scratch, &mut self.buf)
+        });
+        if feasible {
+            feasible = rem.iter().all(|&(u, v)| {
+                improves(u, &self.scratch, &mut self.buf)
+                    || improves(v, &self.scratch, &mut self.buf)
+            });
+        }
+        let witness = if feasible {
+            let mut members: Vec<u32> = add.iter().flat_map(|&(u, v)| [u, v]).collect();
+            members.sort_unstable();
+            members.dedup();
+            if members.len() <= self.k {
+                let uncovered: Vec<(u32, u32)> = rem
+                    .iter()
+                    .copied()
+                    .filter(|&(u, v)| !members.contains(&u) && !members.contains(&v))
+                    .collect();
+                let mut imp = |x: u32| improves(x, &self.scratch, &mut self.buf);
+                if cover_removals(&mut members, &uncovered, self.k, &mut imp) {
+                    members.sort_unstable();
+                    Some(Move::Coalition {
+                        members,
+                        remove_edges: rem.to_vec(),
+                        add_edges: add.to_vec(),
+                    })
+                } else {
+                    None
+                }
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        for &(u, v) in add {
+            self.scratch.remove_edge(u, v).expect("restore added");
+        }
+        for &(u, v) in rem {
+            self.scratch.add_edge(u, v).expect("restore removed");
+        }
+        witness
+    }
+}
+
+/// Exhaustive bounded search for a ≤ `k` covering extension: every edge in
+/// `uncovered` must gain an improving endpoint in `members`. Deterministic
+/// (edges in order, lower endpoint tried first), so witnesses are stable
+/// across entry points.
+fn cover_removals(
+    members: &mut Vec<u32>,
+    uncovered: &[(u32, u32)],
+    k: usize,
+    improves: &mut impl FnMut(u32) -> bool,
+) -> bool {
+    if members.len() > k {
+        return false;
+    }
+    let Some(&(u, v)) = uncovered.first() else {
+        return true;
+    };
+    if members.contains(&u) || members.contains(&v) {
+        return cover_removals(members, &uncovered[1..], k, improves);
+    }
+    for x in [u, v] {
+        if improves(x) {
+            members.push(x);
+            if members.len() <= k && cover_removals(members, &uncovered[1..], k, improves) {
+                return true;
+            }
+            members.pop();
+        }
+    }
+    false
+}
+
+/// The raw pre-dedup scan, retained as ground truth: per-coalition mask
+/// enumeration requiring *every coalition member* to improve, exactly the
+/// PR 1 engine-era checker. Property tests and the `pruning` bench
+/// compare against this path.
+///
+/// # Errors
+///
+/// Same guard as [`find_violation_with_budget`].
+pub fn find_violation_in_reference(
     state: &GameState,
     k: usize,
     budget: CheckBudget,
@@ -130,128 +698,6 @@ pub fn find_violation_in_with_budget(
     Ok(None)
 }
 
-/// Restricted k-BSE refuter: only moves deleting at most `max_removals`
-/// edges are scanned (additions inside a size-k coalition are at most
-/// `C(k,2)` and always fully enumerated). `None` means *no violation found
-/// in the restricted space* — it is not a stability certificate.
-#[must_use]
-pub fn find_violation_restricted(
-    g: &Graph,
-    alpha: Alpha,
-    k: usize,
-    max_removals: usize,
-) -> Option<Move> {
-    let n = g.n();
-    if n <= 1 || k == 0 {
-        return None;
-    }
-    let k = k.min(n);
-    // Plain BFS costs: the scan below never reads a distance matrix, so a
-    // full GameState build would be wasted work here.
-    let old: Vec<AgentCost> = (0..n as u32)
-        .map(|u| crate::cost::agent_cost(g, u))
-        .collect();
-    let mut scratch = g.clone();
-    let mut buf = Vec::new();
-    for size in 1..=k {
-        for coalition in combinations(n, size) {
-            let (removable, addable) = coalition_move_space(g, &coalition);
-            for add in bounded_subsets(&addable, 0, addable.len()) {
-                for rem in bounded_subsets(&removable, 0, max_removals.min(removable.len())) {
-                    if add.is_empty() && rem.is_empty() {
-                        continue;
-                    }
-                    if let Some(mv) = eval_coalition_move(
-                        &mut scratch,
-                        alpha,
-                        &old,
-                        &coalition,
-                        &rem,
-                        &add,
-                        &mut buf,
-                    ) {
-                        return Some(mv);
-                    }
-                }
-            }
-        }
-    }
-    None
-}
-
-/// Parallel variant of [`find_violation_restricted`]: coalitions are
-/// partitioned across `threads` OS threads (std scoped threads — no extra
-/// dependency), each scanning with its own scratch graph. The stable /
-/// unstable verdict matches the serial scan; when several violations
-/// exist the *witness* returned depends on thread timing (any returned
-/// move is certified improving, as everywhere else).
-///
-/// # Panics
-///
-/// Panics if `threads == 0`.
-#[must_use]
-pub fn find_violation_restricted_parallel(
-    g: &Graph,
-    alpha: Alpha,
-    k: usize,
-    max_removals: usize,
-    threads: usize,
-) -> Option<Move> {
-    assert!(threads > 0, "need at least one thread");
-    let n = g.n();
-    if n <= 1 || k == 0 {
-        return None;
-    }
-    let k = k.min(n);
-    let coalitions: Vec<Vec<u32>> = (1..=k).flat_map(|size| combinations(n, size)).collect();
-    // Plain BFS costs, as in the serial refuter: no matrix is read here.
-    let old: Vec<AgentCost> = (0..n as u32)
-        .map(|u| crate::cost::agent_cost(g, u))
-        .collect();
-    let old = &old;
-    let found = std::sync::atomic::AtomicBool::new(false);
-    let result = std::sync::Mutex::new(None::<Move>);
-    let chunk = coalitions.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        for piece in coalitions.chunks(chunk.max(1)) {
-            let found = &found;
-            let result = &result;
-            scope.spawn(move || {
-                let mut scratch = g.clone();
-                let mut buf = Vec::new();
-                for coalition in piece {
-                    if found.load(std::sync::atomic::Ordering::Relaxed) {
-                        return;
-                    }
-                    let (removable, addable) = coalition_move_space(g, coalition);
-                    for add in bounded_subsets(&addable, 0, addable.len()) {
-                        for rem in bounded_subsets(&removable, 0, max_removals.min(removable.len()))
-                        {
-                            if add.is_empty() && rem.is_empty() {
-                                continue;
-                            }
-                            if let Some(mv) = eval_coalition_move(
-                                &mut scratch,
-                                alpha,
-                                old,
-                                coalition,
-                                &rem,
-                                &add,
-                                &mut buf,
-                            ) {
-                                *result.lock().expect("no poisoning") = Some(mv);
-                                found.store(true, std::sync::atomic::Ordering::Relaxed);
-                                return;
-                            }
-                        }
-                    }
-                }
-            });
-        }
-    });
-    result.into_inner().expect("no poisoning")
-}
-
 /// Deletable edges and creatable pairs of a coalition.
 type MoveSpace = (Vec<(u32, u32)>, Vec<(u32, u32)>);
 
@@ -274,7 +720,7 @@ fn coalition_move_space(g: &Graph, coalition: &[u32]) -> MoveSpace {
     (removable, addable)
 }
 
-/// Full mask scan over a single coalition's move space.
+/// Full mask scan over a single coalition's move space (reference path).
 fn scan_coalition_moves(
     scratch: &mut Graph,
     alpha: Alpha,
@@ -308,7 +754,7 @@ fn scan_coalition_moves(
 }
 
 /// Applies a coalition move in place, checks every member improves, and
-/// restores the graph.
+/// restores the graph (reference path).
 fn eval_coalition_move(
     scratch: &mut Graph,
     alpha: Alpha,
@@ -426,6 +872,36 @@ mod tests {
         }
     }
 
+    /// The pruned+deduped scan and the raw reference coalition scan agree
+    /// on the stability verdict everywhere, and both witnesses replay.
+    #[test]
+    fn pruned_scan_matches_reference_verdict() {
+        let mut rng = bncg_graph::test_rng(0xCBE);
+        for case in 0..14 {
+            let g = if case % 3 == 0 {
+                generators::random_tree(7, &mut rng)
+            } else {
+                generators::random_connected(7, 0.3, &mut rng)
+            };
+            for alpha in ["1/2", "1", "2", "7"] {
+                let state = GameState::new(g.clone(), a(alpha));
+                for k in [1usize, 2, 3] {
+                    let budget = CheckBudget::default();
+                    let pruned = find_violation_in_with_budget(&state, k, budget).unwrap();
+                    let reference = find_violation_in_reference(&state, k, budget).unwrap();
+                    assert_eq!(
+                        pruned.is_some(),
+                        reference.is_some(),
+                        "verdict mismatch at α = {alpha}, k = {k}"
+                    );
+                    if let Some(mv) = pruned {
+                        assert!(crate::delta::move_improves_all(&g, a(alpha), &mv).unwrap());
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn restricted_matches_exact_when_unrestricted() {
         let mut rng = bncg_graph::test_rng(17);
@@ -440,23 +916,70 @@ mod tests {
         }
     }
 
+    /// The satellite guarantee: serial and parallel restricted scans run
+    /// the same candidate iterator and return **identical** witnesses.
     #[test]
-    fn parallel_restricted_agrees_with_serial() {
+    fn parallel_restricted_returns_identical_witness() {
         let mut rng = bncg_graph::test_rng(73);
         for _ in 0..8 {
             let g = generators::random_connected(7, 0.3, &mut rng);
             for alpha in ["1", "3"] {
                 let alpha = a(alpha);
                 let serial = find_violation_restricted(&g, alpha, 2, 2);
-                for threads in [1usize, 4] {
+                for threads in [1usize, 2, 4] {
                     let parallel = find_violation_restricted_parallel(&g, alpha, 2, 2, threads);
-                    assert_eq!(serial.is_some(), parallel.is_some());
-                    if let Some(mv) = parallel {
-                        assert!(crate::delta::move_improves_all(&g, alpha, &mv).unwrap());
-                    }
+                    assert_eq!(serial, parallel, "witness diverged at {threads} threads");
+                }
+                if let Some(mv) = serial {
+                    assert!(crate::delta::move_improves_all(&g, alpha, &mv).unwrap());
                 }
             }
         }
+    }
+
+    #[test]
+    fn parallel_exact_matches_sequential_witness() {
+        let mut rng = bncg_graph::test_rng(74);
+        for _ in 0..6 {
+            let g = generators::random_connected(6, 0.35, &mut rng);
+            for alpha in ["1", "4"] {
+                let state = GameState::new(g.clone(), a(alpha));
+                let budget = CheckBudget::default();
+                let seq = find_violation_in_with_budget(&state, 3, budget).unwrap();
+                for threads in [2usize, 4] {
+                    let par = find_violation_in_parallel(&state, 3, budget, threads).unwrap();
+                    assert_eq!(seq, par);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_skips_regenerated_edit_sets() {
+        // Overlapping coalitions regenerate each other's edit sets; the
+        // scan must evaluate each canonical set at most once. The cycle
+        // inside its BSE window keeps pure-removal subsets alive (α > 1,
+        // not a tree), and neighboring coalitions share those edges.
+        let g = generators::cycle(8);
+        let state = GameState::new(g, a("10"));
+        let (mv, stats) = find_violation_in_with_stats(&state, 3, CheckBudget::default()).unwrap();
+        assert!(mv.is_none(), "C8 is in its BSE window at α = 10");
+        assert!(stats.deduped > 0, "cycle coalitions must overlap");
+        assert!(
+            stats.evaluated + stats.pruned + stats.deduped == stats.generated,
+            "counters must partition the space"
+        );
+    }
+
+    #[test]
+    fn star_scan_is_fully_pruned() {
+        // Inequality 6 with removal penalties kills every add class on a
+        // star at α ≥ 1 and the tree rule kills every pure removal: the
+        // exact 3-BSE scan prices nothing at all.
+        let state = GameState::new(generators::star(8), a("2"));
+        let (mv, stats) = find_violation_in_with_stats(&state, 3, CheckBudget::default()).unwrap();
+        assert!(mv.is_none());
+        assert_eq!(stats.evaluated, 0, "star scan should be fully pruned");
     }
 
     #[test]

@@ -148,6 +148,35 @@ impl Concept {
         }
     }
 
+    /// [`Concept::find_violation_in`] with the exponential checkers' scan
+    /// sharded over `threads` std scoped threads (centers for BNE,
+    /// coalitions for k-BSE, target-graph ranges for BSE) over the pruned
+    /// candidate stream, with first-violation early exit through an atomic
+    /// index. Verdict and witness equal the sequential scan; polynomial
+    /// concepts run sequentially (their scans are too cheap to shard).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Concept::find_violation`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn find_violation_in_parallel(
+        &self,
+        state: &GameState,
+        threads: usize,
+    ) -> Result<Option<Move>, GameError> {
+        match *self {
+            Concept::Bne => bne::find_violation_in_parallel(state, CheckBudget::default(), threads),
+            Concept::KBse(k) => {
+                kbse::find_violation_in_parallel(state, k as usize, CheckBudget::default(), threads)
+            }
+            Concept::Bse => bse::find_violation_in_parallel(state, CheckBudget::default(), threads),
+            _ => self.find_violation_in(state),
+        }
+    }
+
     /// Whether `g` is stable for this concept at price `alpha`.
     ///
     /// # Errors

@@ -15,6 +15,10 @@
 //! * the full ladder of **solution concepts** ordered by cooperation —
 //!   RE, BAE, PS, BSwE, BGE, BNE, k-BSE, BSE — each with a
 //!   witness-producing checker ([`concepts`], [`Concept`]);
+//! * the **candidate-pruning layer** the exponential checkers and
+//!   [`best_response`] route through: sound cost-threshold and locality
+//!   filters plus canonical-fingerprint dedup that skip provably
+//!   non-improving moves without pricing them ([`candidates`]);
 //! * the **unilateral NCG** comparison layer with edge assignments
 //!   ([`unilateral`]), used to disprove the Corbo–Parkes conjecture;
 //! * the paper's **bounds** as executable closed forms and exact lemma
@@ -49,6 +53,7 @@ mod game;
 mod moves;
 
 pub mod bounds;
+pub mod candidates;
 pub mod combinatorics;
 pub mod concepts;
 pub mod delta;
@@ -58,6 +63,7 @@ pub mod windows;
 
 pub use alpha::Alpha;
 pub use best_response::{best_response, best_response_in, best_response_with_budget, BestResponse};
+pub use candidates::CandidateStats;
 pub use concepts::{CheckBudget, Concept};
 pub use cost::{
     agent_cost, agent_cost_from_matrix, optimum_cost, social_cost, social_cost_ratio, AgentCost,

@@ -1,0 +1,212 @@
+//! Property tests for the candidate-pruning layer (PR 2): every pruned
+//! checker must be **exactness-preserving** against the raw `*_reference`
+//! enumeration it replaced — same stability verdict on every instance,
+//! and (where the scans share enumeration order: BNE, BSE) the *same
+//! first violation*, which makes the first-violation cost delta equal by
+//! construction. The k-BSE scan reorders candidates across coalitions, so
+//! there the verdict is compared and both witnesses must replay as
+//! strictly improving moves of ≤ k members.
+//!
+//! Seeded-case harness as in `proptests.rs` (the container is offline, so
+//! no `proptest` crate): failures reproduce from the printed seed.
+
+use bncg::core::{concepts, delta, Alpha, CheckBudget, GameState, Move};
+use bncg::graph::generators;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: u64 = 24;
+
+fn prop(name: &str, mut f: impl FnMut(&mut SmallRng)) {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x9121_u64 ^ (seed * 0x9E37_79B9));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+        assert!(result.is_ok(), "property `{name}` failed at seed {seed}");
+    }
+}
+
+/// The ISSUE's α grid: below 1, above 1, and at the scale of n.
+fn alpha_grid(n: usize) -> Vec<Alpha> {
+    vec![
+        Alpha::from_ratio(1, 2).unwrap(),
+        Alpha::integer(2).unwrap(),
+        Alpha::integer(n as i64).unwrap(),
+    ]
+}
+
+fn random_instance(max_n: usize, rng: &mut SmallRng) -> bncg::graph::Graph {
+    let n = rng.gen_range(4..=max_n);
+    if rng.gen_bool(0.4) {
+        generators::random_tree(n, rng)
+    } else {
+        generators::random_connected(n, 0.3, rng)
+    }
+}
+
+#[test]
+fn bne_pruned_equals_unpruned_with_identical_witness() {
+    let budget = CheckBudget::default();
+    prop("bne pruned == unpruned", |rng| {
+        let g = random_instance(14, rng);
+        for alpha in alpha_grid(g.n()) {
+            let state = GameState::new(g.clone(), alpha);
+            let pruned = concepts::bne::find_violation_in_with_budget(&state, budget).unwrap();
+            let raw = concepts::bne::find_violation_in_reference(&state, budget).unwrap();
+            // Shared enumeration order + sound filters ⇒ identical first
+            // violation, hence identical first-violation cost delta.
+            assert_eq!(pruned, raw, "BNE witness diverged at α = {alpha}");
+            if let Some(mv) = pruned {
+                assert!(delta::move_improves_all(&g, alpha, &mv).unwrap());
+            }
+        }
+    });
+}
+
+#[test]
+fn bse_pruned_equals_unpruned_with_identical_witness() {
+    let budget = CheckBudget::default();
+    prop("bse pruned == unpruned", |rng| {
+        let g = random_instance(6, rng);
+        for alpha in alpha_grid(g.n()) {
+            let state = GameState::new(g.clone(), alpha);
+            let pruned = concepts::bse::find_violation_in_with_budget(&state, budget).unwrap();
+            let raw = concepts::bse::find_violation_in_reference(&state, budget).unwrap();
+            assert_eq!(pruned, raw, "BSE witness diverged at α = {alpha}");
+            if let Some(mv) = pruned {
+                assert!(delta::move_improves_all(&g, alpha, &mv).unwrap());
+            }
+        }
+    });
+}
+
+#[test]
+fn kbse_pruned_equals_unpruned_verdict_and_both_witnesses_replay() {
+    let budget = CheckBudget::default();
+    prop("kbse pruned == unpruned", |rng| {
+        let g = random_instance(8, rng);
+        for alpha in alpha_grid(g.n()) {
+            let state = GameState::new(g.clone(), alpha);
+            for k in [2usize, 3] {
+                let pruned =
+                    concepts::kbse::find_violation_in_with_budget(&state, k, budget).unwrap();
+                let raw = concepts::kbse::find_violation_in_reference(&state, k, budget).unwrap();
+                assert_eq!(
+                    pruned.is_some(),
+                    raw.is_some(),
+                    "k-BSE verdict diverged at α = {alpha}, k = {k}"
+                );
+                for mv in [&pruned, &raw].into_iter().flatten() {
+                    assert!(
+                        delta::move_improves_all(&g, alpha, mv).unwrap(),
+                        "witness {mv} does not replay"
+                    );
+                    if let Move::Coalition { members, .. } = mv {
+                        assert!(members.len() <= k, "coalition exceeds k");
+                    }
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn parallel_scans_match_sequential_witnesses() {
+    let budget = CheckBudget::default();
+    prop("parallel == sequential", |rng| {
+        let g = random_instance(8, rng);
+        let alpha = Alpha::integer(2).unwrap();
+        let state = GameState::new(g.clone(), alpha);
+        let bne = concepts::bne::find_violation_in_with_budget(&state, budget).unwrap();
+        let kbse = concepts::kbse::find_violation_in_with_budget(&state, 3, budget).unwrap();
+        for threads in [2usize, 3] {
+            assert_eq!(
+                bne,
+                concepts::bne::find_violation_in_parallel(&state, budget, threads).unwrap()
+            );
+            assert_eq!(
+                kbse,
+                concepts::kbse::find_violation_in_parallel(&state, 3, budget, threads).unwrap()
+            );
+        }
+        if g.n() <= 6 {
+            let bse = concepts::bse::find_violation_in_with_budget(&state, budget).unwrap();
+            assert_eq!(
+                bse,
+                concepts::bse::find_violation_in_parallel(&state, budget, 4).unwrap()
+            );
+        }
+    });
+}
+
+#[test]
+fn restricted_kbse_serial_and_parallel_share_one_iterator() {
+    prop("restricted serial == parallel", |rng| {
+        let g = random_instance(9, rng);
+        for alpha in alpha_grid(g.n()) {
+            let serial = concepts::kbse::find_violation_restricted(&g, alpha, 2, 2);
+            for threads in [1usize, 2, 4] {
+                let parallel =
+                    concepts::kbse::find_violation_restricted_parallel(&g, alpha, 2, 2, threads);
+                assert_eq!(
+                    serial, parallel,
+                    "restricted witness diverged at α = {alpha}"
+                );
+            }
+        }
+    });
+}
+
+/// The pruned best response must still find the *optimal* feasible move:
+/// cross-check against a from-scratch unpruned enumeration.
+#[test]
+fn best_response_pruning_preserves_the_optimum() {
+    use bncg::core::{agent_cost, best_response, AgentCost};
+    prop("best response optimal", |rng| {
+        let g = random_instance(8, rng);
+        let n = g.n() as u32;
+        for alpha in alpha_grid(g.n()) {
+            for u in 0..n {
+                let br = best_response(&g, alpha, u).unwrap();
+                // Naive scan: every (removal set, addition set) pair.
+                let neighbors: Vec<u32> = g.neighbors(u).to_vec();
+                let others: Vec<u32> = (0..n).filter(|&v| v != u && !g.has_edge(u, v)).collect();
+                let old: Vec<AgentCost> = (0..n).map(|w| agent_cost(&g, w)).collect();
+                let mut best: AgentCost = old[u as usize];
+                for rem_mask in 0u64..1 << neighbors.len() {
+                    for add_mask in 0u64..1 << others.len() {
+                        if rem_mask == 0 && add_mask == 0 {
+                            continue;
+                        }
+                        let remove: Vec<u32> = neighbors
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| rem_mask >> i & 1 == 1)
+                            .map(|(_, &v)| v)
+                            .collect();
+                        let add: Vec<u32> = others
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| add_mask >> i & 1 == 1)
+                            .map(|(_, &v)| v)
+                            .collect();
+                        let mv = Move::Neighborhood {
+                            center: u,
+                            remove,
+                            add: add.clone(),
+                        };
+                        let g2 = mv.apply(&g).unwrap();
+                        let mine = agent_cost(&g2, u);
+                        let feasible = mine.better_than(&best, alpha)
+                            && add
+                                .iter()
+                                .all(|&a| agent_cost(&g2, a).better_than(&old[a as usize], alpha));
+                        if feasible {
+                            best = mine;
+                        }
+                    }
+                }
+                assert_eq!(br.cost, best, "pruned best response is suboptimal for {u}");
+            }
+        }
+    });
+}

@@ -1,7 +1,9 @@
-//! The `experiments` binary: regenerate any table or figure of the paper.
+//! The `experiments` binary: regenerate any table or figure of the paper,
+//! or run a one-off stability query through the unified solver.
 //!
 //! ```text
-//! experiments <command> [--quick]
+//! experiments <command> [--quick] [--json]
+//!             [--threads N] [--budget EVALS] [--deadline-ms MS]
 //!
 //! commands:
 //!   all        every experiment (the EXPERIMENTS.md artifact)
@@ -12,34 +14,245 @@
 //!   prop316    Proposition 3.16
 //!   prop322    Proposition 3.22
 //!   dynamics   the cooperation-ladder simulation
+//!   roundrobin round-robin best-response census (converge/cycle/cap)
+//!   treesvgraphs  tree vs general-graph equilibria at tiny n
+//!   structure  BSwE tree-depth structure scan
+//!   windows    named-family stability windows
+//!   curve      exact stability-probability curve
 //!   ablations  design-choice ablations (delta engines, pruning)
+//!   check      one stability query through the solver:
+//!              --concept re|bae|ps|bswe|bge|bne|kbse<k>|bse
+//!              --alpha A (rational, e.g. 3/2)   --n N
+//!              --family star|path|cycle|clique|tree|gnp [--p P] [--seed S]
+//!              [--resume '<frontier json>'] to continue an exhausted scan
+//!
+//! flags:
+//!   --quick        reduced instance sizes/samples for every report
+//!   --json         emit reports as JSON instead of plain text
+//!   --threads N    solver worker threads per query batch (sweep commands
+//!                  and check; roundrobin is inherently sequential)
+//!   --budget E     solver eval budget per query (anytime: exhaust, not
+//!                  fail); roundrobin maps it onto the per-activation
+//!                  best-response size guard — runs whose agents exceed
+//!                  it count as exhausted without partial work
+//!   --deadline-ms M  solver wall-clock allowance per query
+//!
+//! The solver flags apply to the commands that execute stability
+//! queries: `check`, the Table 1 enumeration sweeps (via
+//! `Solver::check_many`), and `roundrobin` (per-activation budget,
+//! per-run deadline/cancel). Budgets and deadlines only ever bite on
+//! the exponential concepts — the polynomial ps/bswe rows complete
+//! eagerly, so for them `--threads` is the only flag with any effect.
+//! The remaining reports certify fixed constructions and ignore the
+//! solver flags entirely.
 //! ```
 
 use bncg_analysis::{dynamics_exp, figures, propositions, report::Report, run_all, table1};
+use bncg_core::solver::{ExecPolicy, Frontier, Solver, StabilityQuery, Verdict};
+use bncg_core::{Alpha, Concept, GameError};
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// Flags that consume the following argument (needed to tell the command
+/// token apart from a flag value).
+const VALUE_FLAGS: [&str; 10] = [
+    "--threads",
+    "--budget",
+    "--deadline-ms",
+    "--concept",
+    "--alpha",
+    "--n",
+    "--family",
+    "--p",
+    "--seed",
+    "--resume",
+];
+
+/// `flag_value` with strict parsing: a present-but-unparsable or
+/// present-but-valueless flag is an error, never a silent fallback to
+/// defaults (a dropped `--budget` would otherwise run an unbounded scan
+/// the user believes is capped).
+fn parsed_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, GameError> {
+    match flag_value(args, name) {
+        None if args.iter().any(|a| a == name) => Err(GameError::Unsupported {
+            reason: format!("missing value for {name}"),
+        }),
+        None => Ok(None),
+        Some(v) => v
+            .parse::<T>()
+            .map(Some)
+            .map_err(|_| GameError::Unsupported {
+                reason: format!("invalid value {v:?} for {name}"),
+            }),
+    }
+}
+
+/// Strict string-flag accessor: present-without-value is an error, same
+/// contract as `parsed_flag` (a `--resume` whose token was eaten by
+/// shell quoting must not silently restart the scan from zero).
+fn string_flag(args: &[String], name: &str) -> Result<Option<String>, GameError> {
+    match flag_value(args, name) {
+        None if args.iter().any(|a| a == name) => Err(GameError::Unsupported {
+            reason: format!("missing value for {name}"),
+        }),
+        v => Ok(v),
+    }
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    let prefixed = format!("{name}=");
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&prefixed) {
+            return Some(v.to_string());
+        }
+        if a == name {
+            return args.get(i + 1).cloned();
+        }
+    }
+    None
+}
+
+fn command_token(args: &[String]) -> Option<String> {
+    let mut skip_next = false;
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip_next = VALUE_FLAGS.contains(&a.as_str()) && !a.contains('=');
+            continue;
+        }
+        return Some(a.clone());
+    }
+    None
+}
+
+fn usage() -> &'static str {
+    "try: all, table1, ps, bswe, bge, bne, 3bse, bse, fig1a..fig8, cycles, \
+     prop316, prop322, dynamics, roundrobin, treesvgraphs, structure, \
+     windows, curve, ablations, check\n\
+     flags: --quick, --json; --budget EVALS and --deadline-ms MS bound the \
+     exponential-concept queries (check, the 3bse/bse rows of table1/all, \
+     roundrobin); --threads N parallelizes those plus the ps/bswe sweeps \
+     (polynomial rows complete eagerly and cannot exhaust); `check` adds \
+     --concept, --alpha, --n, --family, --p, --seed, --resume"
+}
+
+/// Builds the instance graph for the `check` command.
+fn build_graph(family: &str, n: usize, p: f64, seed: u64) -> Result<bncg_graph::Graph, GameError> {
+    use bncg_graph::generators;
+    Ok(match family {
+        "star" => generators::star(n),
+        "path" => generators::path(n),
+        "cycle" => generators::cycle(n),
+        "clique" => generators::clique(n),
+        "tree" => generators::random_tree(n, &mut bncg_graph::test_rng(seed)),
+        "gnp" => generators::random_connected(n, p, &mut bncg_graph::test_rng(seed)),
+        other => {
+            return Err(GameError::Unsupported {
+                reason: format!(
+                    "unknown graph family {other:?}; expected star, path, \
+                     cycle, clique, tree, or gnp"
+                ),
+            })
+        }
+    })
+}
+
+/// The `check` command: one solver query, printable end to end — the
+/// service-shaped surface (budget in, verdict or resume token out).
+fn run_check(args: &[String], policy: &ExecPolicy) -> Result<String, GameError> {
+    let concept: Concept = string_flag(args, "--concept")?
+        .unwrap_or_else(|| "bne".into())
+        .parse()?;
+    let alpha: Alpha = string_flag(args, "--alpha")?
+        .unwrap_or_else(|| "2".into())
+        .parse()?;
+    let n: usize = parsed_flag(args, "--n")?.unwrap_or(16);
+    let p: f64 = parsed_flag(args, "--p")?.unwrap_or(0.3);
+    let seed: u64 = parsed_flag(args, "--seed")?.unwrap_or(0xB2C6);
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GameError::Unsupported {
+            reason: format!("--p must be a probability in [0, 1], got {p}"),
+        });
+    }
+    let family = string_flag(args, "--family")?.unwrap_or_else(|| "gnp".into());
+    let g = build_graph(&family, n, p, seed)?;
+
+    let mut query = StabilityQuery::new(concept, &g, alpha);
+    if let Some(token) = string_flag(args, "--resume")? {
+        let frontier: Frontier = token.parse()?;
+        query = query.resume(frontier);
+    }
+    let verdict = Solver::new(policy.clone()).check(&query)?;
+    let head = format!(
+        "check {concept} on {family} (n = {n}, α = {alpha}, {} edges)",
+        g.m()
+    );
+    Ok(match verdict {
+        Verdict::Stable {
+            evals,
+            pruned,
+            elapsed,
+        } => format!(
+            "{head}\nverdict: stable\nevals: {evals}\npruned: {pruned}\nelapsed: {elapsed:?}"
+        ),
+        Verdict::Unstable {
+            witness,
+            evals,
+            elapsed,
+        } => format!(
+            "{head}\nverdict: unstable\nwitness: {witness}\nevals: {evals}\nelapsed: {elapsed:?}"
+        ),
+        Verdict::Exhausted { frontier, progress } => format!(
+            "{head}\nverdict: exhausted ({}/{} units, {} evals, {:?})\n\
+             frontier: {frontier}\nresume with: --resume '{frontier}'",
+            progress.units_done, progress.units_total, progress.evals_total, progress.elapsed
+        ),
+    })
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
-    let command = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map_or("all", String::as_str);
+    let mut policy = ExecPolicy::default();
+    match (
+        parsed_flag::<usize>(&args, "--threads"),
+        parsed_flag::<u64>(&args, "--budget"),
+        parsed_flag::<u64>(&args, "--deadline-ms"),
+    ) {
+        (Ok(threads), Ok(budget), Ok(deadline_ms)) => {
+            if let Some(t) = threads {
+                policy.threads = t;
+            }
+            policy.eval_budget = budget;
+            policy.deadline = deadline_ms.map(Duration::from_millis);
+        }
+        (t, b, d) => {
+            for e in [t.err(), b.err(), d.err()].into_iter().flatten() {
+                eprintln!("{e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    let command = command_token(&args).unwrap_or_else(|| "all".into());
 
     let render = |r: Report| if json { r.to_json() } else { r.render() };
-    let result = match command {
-        "all" => run_all(quick).map(render),
-        "table1" => table1::full_table(quick).map(render),
+    let result = match command.as_str() {
+        "all" => run_all(quick, &policy).map(render),
+        "table1" => table1::full_table(quick, &policy).map(render),
+        "check" => run_check(&args, &policy),
         other => {
             let mut r = Report::new();
             let run = match other {
-                "ps" => table1::row_ps(&mut r, quick),
-                "bswe" => table1::row_bswe(&mut r, quick),
+                "ps" => table1::row_ps(&mut r, quick, &policy),
+                "bswe" => table1::row_bswe(&mut r, quick, &policy),
                 "bge" => table1::row_bge(&mut r, quick),
                 "bne" => table1::row_bne(&mut r, quick),
-                "3bse" => table1::row_3bse(&mut r, quick),
-                "bse" => table1::row_bse(&mut r, quick),
+                "3bse" => table1::row_3bse(&mut r, quick, &policy),
+                "bse" => table1::row_bse(&mut r, quick, &policy),
                 "fig1a" => figures::fig1a(&mut r, quick),
                 "fig1b" => figures::fig1b(&mut r, quick),
                 "fig2" => figures::fig2(&mut r, quick),
@@ -56,7 +269,7 @@ fn main() -> ExitCode {
                 "structure" => bncg_analysis::structure::bswe_depth(&mut r, quick),
                 "windows" => bncg_analysis::windows_exp::named_windows(&mut r, quick),
                 "curve" => bncg_analysis::exact_curve::curve_report(&mut r, quick),
-                "roundrobin" => dynamics_exp::round_robin_census(&mut r, quick),
+                "roundrobin" => dynamics_exp::round_robin_census(&mut r, quick, &policy),
                 "treesvgraphs" => dynamics_exp::trees_vs_graphs(&mut r, quick),
                 "ablations" => bncg_analysis::ablations::delta_engines(&mut r, quick)
                     .and_then(|()| bncg_analysis::ablations::kbse_restriction(&mut r, quick))
@@ -65,7 +278,7 @@ fn main() -> ExitCode {
                     .and_then(|()| bncg_analysis::ablations::pruning(&mut r, quick)),
                 _ => {
                     eprintln!("unknown command: {other}");
-                    eprintln!("try: all, table1, ps, bswe, bge, bne, 3bse, bse, fig1a..fig8, cycles, prop316, prop322, dynamics, roundrobin, treesvgraphs, structure, windows, curve, ablations");
+                    eprintln!("{}", usage());
                     return ExitCode::FAILURE;
                 }
             };

@@ -4,6 +4,7 @@
 //! empirical cooperation ladder behind Table 1.
 
 use crate::report::{fnum, Report};
+use bncg_core::solver::ExecPolicy;
 use bncg_core::{Alpha, Concept, GameError};
 use bncg_dynamics::{convergence_experiment, SelectionRule};
 
@@ -60,12 +61,18 @@ pub fn ladder(report: &mut Report, quick: bool) -> Result<(), GameError> {
 /// general (Kawald–Lenzner show unilateral cycling); this experiment
 /// measures how often round-robin *bilateral* best responses converge,
 /// cycle (exact state revisit), or time out, from random trees and random
-/// connected graphs.
+/// connected graphs. Each run executes under the caller's [`ExecPolicy`]
+/// (budget per activation, deadline/cancel per run), so a bounded policy
+/// reports exhausted runs instead of hanging the census.
 ///
 /// # Errors
 ///
 /// Forwards checker guards.
-pub fn round_robin_census(report: &mut Report, quick: bool) -> Result<(), GameError> {
+pub fn round_robin_census(
+    report: &mut Report,
+    quick: bool,
+    policy: &ExecPolicy,
+) -> Result<(), GameError> {
     let (n, runs) = if quick { (9usize, 12usize) } else { (11, 40) };
     let alphas: Vec<Alpha> = ["3/2", "3", "8"]
         .iter()
@@ -81,6 +88,7 @@ pub fn round_robin_census(report: &mut Report, quick: bool) -> Result<(), GameEr
         "converged",
         "cycled",
         "capped",
+        "exhausted",
         "mean moves",
     ]);
     let mut rng = bncg_graph::test_rng(0xC1C1E);
@@ -89,6 +97,7 @@ pub fn round_robin_census(report: &mut Report, quick: bool) -> Result<(), GameEr
             let mut converged = 0usize;
             let mut cycled = 0usize;
             let mut capped = 0usize;
+            let mut exhausted = 0usize;
             let mut moves = 0usize;
             for _ in 0..runs {
                 let start = if family == "random trees" {
@@ -96,12 +105,14 @@ pub fn round_robin_census(report: &mut Report, quick: bool) -> Result<(), GameEr
                 } else {
                     bncg_graph::generators::random_connected(n, 0.2, &mut rng)
                 };
-                let out = bncg_dynamics::round_robin::run(&start, alpha, 400)?;
+                let out = bncg_dynamics::round_robin::run_with_policy(&start, alpha, 400, policy)?;
                 moves += out.moves;
                 if out.converged {
                     converged += 1;
                 } else if out.cycled {
                     cycled += 1;
+                } else if out.exhausted {
+                    exhausted += 1;
                 } else {
                     capped += 1;
                 }
@@ -112,6 +123,7 @@ pub fn round_robin_census(report: &mut Report, quick: bool) -> Result<(), GameEr
                 format!("{converged}/{runs}"),
                 cycled.to_string(),
                 capped.to_string(),
+                exhausted.to_string(),
                 crate::report::fnum(moves as f64 / runs as f64),
             ]);
         }
@@ -177,7 +189,7 @@ mod tests {
     #[test]
     fn round_robin_census_runs_quick() {
         let mut r = Report::new();
-        round_robin_census(&mut r, true).unwrap();
+        round_robin_census(&mut r, true, &ExecPolicy::default()).unwrap();
         assert!(r.render().contains("round-robin"));
     }
 

@@ -4,7 +4,15 @@
 //! concept. This regenerates Table 1's rows at laptop scale — the shape of
 //! the measured curves is what the reproduction compares against the
 //! paper's asymptotic bounds.
+//!
+//! Every instance's stability check routes through one
+//! [`Solver::check_many`] batch: with `threads > 1` in the
+//! [`ExecPolicy`] the enumeration sweep itself parallelizes (one query
+//! per instance on one scoped pool), and budgeted or deadlined policies
+//! degrade per instance into an `exhausted` count instead of aborting
+//! the whole sweep.
 
+use bncg_core::solver::{ExecPolicy, Solver, StabilityQuery, Verdict};
 use bncg_core::{Alpha, Concept, GameError, GameState};
 use bncg_graph::{enumerate, Graph};
 
@@ -25,6 +33,9 @@ pub struct PoaPoint {
     pub stable_count: usize,
     /// How many instances were enumerated.
     pub total: usize,
+    /// Instances whose check exhausted the execution policy (excluded
+    /// from `max_rho`; always 0 under an unbounded policy).
+    pub exhausted: usize,
 }
 
 /// Exhaustive PoA over all free trees on `n` nodes.
@@ -33,8 +44,22 @@ pub struct PoaPoint {
 ///
 /// Forwards the enumeration guard and checker guards.
 pub fn tree_poa(n: usize, alpha: Alpha, concept: Concept) -> Result<PoaPoint, GameError> {
+    tree_poa_with(n, alpha, concept, &ExecPolicy::default())
+}
+
+/// [`tree_poa`] under an explicit [`ExecPolicy`].
+///
+/// # Errors
+///
+/// Forwards the enumeration guard and solver errors.
+pub fn tree_poa_with(
+    n: usize,
+    alpha: Alpha,
+    concept: Concept,
+    policy: &ExecPolicy,
+) -> Result<PoaPoint, GameError> {
     let trees = enumerate::free_trees(n).map_err(GameError::Graph)?;
-    poa_over(trees, n, alpha, concept)
+    poa_over(trees, n, alpha, concept, policy)
 }
 
 /// Exhaustive PoA over all connected graphs on `n` nodes.
@@ -43,8 +68,22 @@ pub fn tree_poa(n: usize, alpha: Alpha, concept: Concept) -> Result<PoaPoint, Ga
 ///
 /// Forwards the enumeration guard and checker guards.
 pub fn graph_poa(n: usize, alpha: Alpha, concept: Concept) -> Result<PoaPoint, GameError> {
+    graph_poa_with(n, alpha, concept, &ExecPolicy::default())
+}
+
+/// [`graph_poa`] under an explicit [`ExecPolicy`].
+///
+/// # Errors
+///
+/// Forwards the enumeration guard and solver errors.
+pub fn graph_poa_with(
+    n: usize,
+    alpha: Alpha,
+    concept: Concept,
+    policy: &ExecPolicy,
+) -> Result<PoaPoint, GameError> {
     let graphs = enumerate::connected_graphs(n).map_err(GameError::Graph)?;
-    poa_over(graphs, n, alpha, concept)
+    poa_over(graphs, n, alpha, concept, policy)
 }
 
 fn poa_over(
@@ -52,21 +91,45 @@ fn poa_over(
     n: usize,
     alpha: Alpha,
     concept: Concept,
+    policy: &ExecPolicy,
 ) -> Result<PoaPoint, GameError> {
     let total = instances.len();
+    // One engine state per instance serves the checker and the
+    // social-cost evaluation alike; each batch shares one thread pool.
+    // States are built per chunk, not for the whole enumeration —
+    // connected_graphs(9) is ~261k instances, and an n² distance matrix
+    // per instance held for the whole sweep would dwarf the enumeration
+    // itself. Chunks of threads·16 keep every worker saturated while
+    // bounding the resident set.
+    let solver = Solver::new(policy.clone());
+    let chunk_size = (policy.threads.max(1) * 16).max(64);
     let mut stable_count = 0usize;
+    let mut exhausted = 0usize;
     let mut best: Option<(f64, Graph)> = None;
-    for g in instances {
-        // One engine state per instance serves the (possibly composite)
-        // checker and the social-cost evaluation alike.
-        let state = GameState::new(g, alpha);
-        if !concept.is_stable_in(&state)? {
-            continue;
-        }
-        stable_count += 1;
-        let rho = state.social_cost_ratio()?.as_f64();
-        if best.as_ref().is_none_or(|(b, _)| rho > *b) {
-            best = Some((rho, state.graph().clone()));
+    for chunk in instances.chunks(chunk_size) {
+        let states: Vec<GameState> = chunk
+            .iter()
+            .map(|g| GameState::new(g.clone(), alpha))
+            .collect();
+        let queries: Vec<StabilityQuery> = states
+            .iter()
+            .map(|s| StabilityQuery::on(concept, s))
+            .collect();
+        let verdicts = solver.check_many(&queries);
+        for (state, verdict) in states.iter().zip(verdicts) {
+            match verdict? {
+                Verdict::Unstable { .. } => continue,
+                Verdict::Exhausted { .. } => {
+                    exhausted += 1;
+                    continue;
+                }
+                Verdict::Stable { .. } => {}
+            }
+            stable_count += 1;
+            let rho = state.social_cost_ratio()?.as_f64();
+            if best.as_ref().is_none_or(|(b, _)| rho > *b) {
+                best = Some((rho, state.graph().clone()));
+            }
         }
     }
     let (max_rho, worst) = match best {
@@ -81,6 +144,7 @@ fn poa_over(
         worst,
         stable_count,
         total,
+        exhausted,
     })
 }
 
@@ -165,6 +229,31 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn threaded_sweep_matches_serial_point_exactly() {
+        // check_many shards instances across the pool; verdicts, counts,
+        // and the worst witness are deterministic regardless.
+        let serial = tree_poa(8, a("2"), Concept::Bne).unwrap();
+        let policy = ExecPolicy::default().with_threads(4);
+        let pooled = tree_poa_with(8, a("2"), Concept::Bne, &policy).unwrap();
+        assert_eq!(serial.max_rho, pooled.max_rho);
+        assert_eq!(serial.stable_count, pooled.stable_count);
+        assert_eq!(serial.worst, pooled.worst);
+        assert_eq!(serial.exhausted, 0);
+        assert_eq!(pooled.exhausted, 0);
+    }
+
+    #[test]
+    fn exhausted_instances_are_counted_not_fatal() {
+        // A zero deadline stops every scan large enough to reach its
+        // first poll; small fully-pruned instances still complete, so
+        // the sweep reports a mix instead of erroring out.
+        let policy = ExecPolicy::default().with_deadline(std::time::Duration::ZERO);
+        let point = tree_poa_with(10, a("2"), Concept::Bne, &policy).unwrap();
+        assert!(point.exhausted > 0, "some scans must exhaust");
+        assert_eq!(point.total, 106);
     }
 
     #[test]

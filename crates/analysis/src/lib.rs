@@ -42,23 +42,25 @@ pub mod structure;
 pub mod table1;
 pub mod windows_exp;
 
+use bncg_core::solver::ExecPolicy;
 use bncg_core::GameError;
 use report::Report;
 
 /// Runs the complete experiment suite into one report (the artifact behind
-/// `EXPERIMENTS.md`).
+/// `EXPERIMENTS.md`). The [`ExecPolicy`] governs every solver-routed
+/// stability sweep (thread count per enumeration batch).
 ///
 /// # Errors
 ///
 /// Forwards the first failing runner's error.
-pub fn run_all(quick: bool) -> Result<Report, GameError> {
+pub fn run_all(quick: bool, policy: &ExecPolicy) -> Result<Report, GameError> {
     let mut r = Report::new();
-    table1::row_ps(&mut r, quick)?;
-    table1::row_bswe(&mut r, quick)?;
+    table1::row_ps(&mut r, quick, policy)?;
+    table1::row_bswe(&mut r, quick, policy)?;
     table1::row_bge(&mut r, quick)?;
     table1::row_bne(&mut r, quick)?;
-    table1::row_3bse(&mut r, quick)?;
-    table1::row_bse(&mut r, quick)?;
+    table1::row_3bse(&mut r, quick, policy)?;
+    table1::row_bse(&mut r, quick, policy)?;
     figures::fig1a(&mut r, quick)?;
     figures::fig1b(&mut r, quick)?;
     figures::fig2(&mut r, quick)?;
@@ -72,7 +74,7 @@ pub fn run_all(quick: bool) -> Result<Report, GameError> {
     propositions::prop_3_16(&mut r, quick)?;
     propositions::prop_3_22(&mut r, quick)?;
     dynamics_exp::ladder(&mut r, quick)?;
-    dynamics_exp::round_robin_census(&mut r, quick)?;
+    dynamics_exp::round_robin_census(&mut r, quick, policy)?;
     dynamics_exp::trees_vs_graphs(&mut r, quick)?;
     structure::bswe_depth(&mut r, quick)?;
     windows_exp::named_windows(&mut r, quick)?;

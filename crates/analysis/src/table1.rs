@@ -18,6 +18,7 @@ use bncg_constructions::stretched::{
     lemma_3_11_certificate, theorem_3_10_instance, theorem_3_12_i_instance,
 };
 use bncg_core::concepts::bne::SplitMix;
+use bncg_core::solver::ExecPolicy;
 use bncg_core::{bounds, concepts, social_cost_ratio, Alpha, Concept, GameError};
 use bncg_graph::{generators, Graph, RootedTree};
 
@@ -25,12 +26,38 @@ fn alpha_int(v: i64) -> Alpha {
     Alpha::integer(v).expect("positive α")
 }
 
+/// Renders a PoA point's stable-count cell, flagging instances whose
+/// checks exhausted the execution policy — those verdicts are unknown,
+/// so the row is explicitly partial rather than silently exact.
+fn stable_cell(point: &empirical::PoaPoint) -> String {
+    if point.exhausted > 0 {
+        format!(
+            "{}/{} ({} exhausted)",
+            point.stable_count, point.total, point.exhausted
+        )
+    } else {
+        format!("{}/{}", point.stable_count, point.total)
+    }
+}
+
+/// Renders a PoA value cell, marking it partial when exhausted checks
+/// were excluded (the true worst case can only be at least this, or is
+/// entirely unknown when nothing certified as stable).
+fn rho_cell(point: &empirical::PoaPoint) -> String {
+    match (point.max_rho, point.exhausted) {
+        (Some(rho), 0) => fnum(rho),
+        (Some(rho), _) => format!("≥ {} (partial)", fnum(rho)),
+        (None, 0) => "–".into(),
+        (None, e) => format!("? ({e} exhausted)"),
+    }
+}
+
 /// PS row: exhaustive tree PoA vs. the `min{√α, n/√α}` envelope.
 ///
 /// # Errors
 ///
 /// Forwards enumeration/checker guards.
-pub fn row_ps(report: &mut Report, quick: bool) -> Result<(), GameError> {
+pub fn row_ps(report: &mut Report, quick: bool, policy: &ExecPolicy) -> Result<(), GameError> {
     let n = if quick { 9 } else { 10 };
     let alphas: Vec<i64> = vec![1, 2, 4, 8, 16, 32, 64, 128];
     let section = report.section(format!("Table 1 / PS on trees (exhaustive, n = {n})"));
@@ -44,7 +71,7 @@ pub fn row_ps(report: &mut Report, quick: bool) -> Result<(), GameError> {
     ]);
     for v in alphas {
         let alpha = alpha_int(v);
-        let point = empirical::tree_poa(n, alpha, Concept::Ps)?;
+        let point = empirical::tree_poa_with(n, alpha, Concept::Ps, policy)?;
         let witness = point
             .worst
             .as_ref()
@@ -52,9 +79,9 @@ pub fn row_ps(report: &mut Report, quick: bool) -> Result<(), GameError> {
             .unwrap_or("–".into());
         table.row([
             alpha.to_string(),
-            point.max_rho.map(fnum).unwrap_or("–".into()),
+            rho_cell(&point),
             fnum(bounds::ps_poa_envelope(alpha, n)),
-            format!("{}/{}", point.stable_count, point.total),
+            stable_cell(&point),
             witness,
         ]);
     }
@@ -67,7 +94,7 @@ pub fn row_ps(report: &mut Report, quick: bool) -> Result<(), GameError> {
 ///
 /// Forwards enumeration/checker guards; fails loudly if the theorem's
 /// bound were violated.
-pub fn row_bswe(report: &mut Report, quick: bool) -> Result<(), GameError> {
+pub fn row_bswe(report: &mut Report, quick: bool, policy: &ExecPolicy) -> Result<(), GameError> {
     let n = if quick { 9 } else { 10 };
     let alphas: Vec<i64> = vec![1, 2, 4, 8, 16, 32, 64, 128];
     let section = report.section(format!("Table 1 / BSwE on trees (exhaustive, n = {n})"));
@@ -76,16 +103,16 @@ pub fn row_bswe(report: &mut Report, quick: bool) -> Result<(), GameError> {
     let table = section.table(["α", "PoA(BSwE)", "2 + 2log₂α", "stable trees"]);
     for v in alphas {
         let alpha = alpha_int(v);
-        let point = empirical::tree_poa(n, alpha, Concept::Bswe)?;
+        let point = empirical::tree_poa_with(n, alpha, Concept::Bswe, policy)?;
         let bound = bounds::theorem_3_6_bound(alpha);
         if let Some(rho) = point.max_rho {
             assert!(rho <= bound + 1e-9, "Theorem 3.6 violated at α = {alpha}");
         }
         table.row([
             alpha.to_string(),
-            point.max_rho.map(fnum).unwrap_or("–".into()),
+            rho_cell(&point),
             fnum(bound),
-            format!("{}/{}", point.stable_count, point.total),
+            stable_cell(&point),
         ]);
     }
     Ok(())
@@ -237,7 +264,7 @@ pub fn row_bne(report: &mut Report, quick: bool) -> Result<(), GameError> {
 /// # Errors
 ///
 /// Forwards enumeration/checker guards.
-pub fn row_3bse(report: &mut Report, quick: bool) -> Result<(), GameError> {
+pub fn row_3bse(report: &mut Report, quick: bool, policy: &ExecPolicy) -> Result<(), GameError> {
     let n = if quick { 8 } else { 9 };
     let alphas: Vec<i64> = vec![1, 2, 4, 8, 16, 32];
     let section = report.section(format!("Table 1 / 3-BSE on trees (exhaustive, n = {n})"));
@@ -245,15 +272,15 @@ pub fn row_3bse(report: &mut Report, quick: bool) -> Result<(), GameError> {
     let table = section.table(["α", "PoA(3-BSE)", "PoA(2-BSE)", "bound(3-BSE)"]);
     for v in alphas {
         let alpha = alpha_int(v);
-        let three = empirical::tree_poa(n, alpha, Concept::KBse(3))?;
-        let two = empirical::tree_poa(n, alpha, Concept::KBse(2))?;
+        let three = empirical::tree_poa_with(n, alpha, Concept::KBse(3), policy)?;
+        let two = empirical::tree_poa_with(n, alpha, Concept::KBse(2), policy)?;
         if let Some(rho) = three.max_rho {
             assert!(rho <= 25.0 + 1e-9, "Theorem 3.15 violated at α = {v}");
         }
         table.row([
             alpha.to_string(),
-            three.max_rho.map(fnum).unwrap_or("–".into()),
-            two.max_rho.map(fnum).unwrap_or("–".into()),
+            rho_cell(&three),
+            rho_cell(&two),
             fnum(bounds::theorem_3_15_bound()),
         ]);
     }
@@ -266,7 +293,7 @@ pub fn row_3bse(report: &mut Report, quick: bool) -> Result<(), GameError> {
 /// # Errors
 ///
 /// Forwards enumeration/checker guards.
-pub fn row_bse(report: &mut Report, quick: bool) -> Result<(), GameError> {
+pub fn row_bse(report: &mut Report, quick: bool, policy: &ExecPolicy) -> Result<(), GameError> {
     // (a) Exact general-graph BSE PoA at tiny n.
     let n = if quick { 5 } else { 6 };
     let section = report.section(format!("Table 1 / BSE on general graphs (exact, n = {n})"));
@@ -274,12 +301,8 @@ pub fn row_bse(report: &mut Report, quick: bool) -> Result<(), GameError> {
     let table = section.table(["α", "PoA(BSE)", "stable graphs"]);
     for s in ["1/2", "1", "3/2", "2", "4", "8", "16"] {
         let alpha: Alpha = s.parse().expect("grid α");
-        let point = empirical::graph_poa(n, alpha, Concept::Bse)?;
-        table.row([
-            alpha.to_string(),
-            point.max_rho.map(fnum).unwrap_or("–".into()),
-            format!("{}/{}", point.stable_count, point.total),
-        ]);
+        let point = empirical::graph_poa_with(n, alpha, Concept::Bse, policy)?;
+        table.row([alpha.to_string(), rho_cell(&point), stable_cell(&point)]);
     }
 
     // (b) Lemma 3.18 regimes: worst-agent normalized cost of almost
@@ -366,14 +389,14 @@ fn push_dary_row(
 /// # Errors
 ///
 /// Forwards the per-row errors.
-pub fn full_table(quick: bool) -> Result<Report, GameError> {
+pub fn full_table(quick: bool, policy: &ExecPolicy) -> Result<Report, GameError> {
     let mut report = Report::new();
-    row_ps(&mut report, quick)?;
-    row_bswe(&mut report, quick)?;
+    row_ps(&mut report, quick, policy)?;
+    row_bswe(&mut report, quick, policy)?;
     row_bge(&mut report, quick)?;
     row_bne(&mut report, quick)?;
-    row_3bse(&mut report, quick)?;
-    row_bse(&mut report, quick)?;
+    row_3bse(&mut report, quick, policy)?;
+    row_bse(&mut report, quick, policy)?;
     Ok(report)
 }
 
@@ -384,8 +407,9 @@ mod tests {
     #[test]
     fn ps_and_bswe_rows_render() {
         let mut r = Report::new();
-        row_ps(&mut r, true).unwrap();
-        row_bswe(&mut r, true).unwrap();
+        let policy = ExecPolicy::default().with_threads(2);
+        row_ps(&mut r, true, &policy).unwrap();
+        row_bswe(&mut r, true, &policy).unwrap();
         let text = r.render();
         assert!(text.contains("PS on trees"));
         assert!(text.contains("BSwE on trees"));
@@ -401,7 +425,7 @@ mod tests {
     #[test]
     fn bse_regime_rows_respect_bounds() {
         let mut r = Report::new();
-        row_bse(&mut r, true).unwrap();
+        row_bse(&mut r, true, &ExecPolicy::default()).unwrap();
         let text = r.render();
         assert!(text.contains("Lemma 3.18"));
         assert!(text.contains("α = n·log n"));

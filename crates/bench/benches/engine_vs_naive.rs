@@ -168,8 +168,7 @@ fn bench_bne_check(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("engine", name), &g, |b, g| {
             b.iter(|| {
                 let state = GameState::new(black_box(g).clone(), a);
-                concepts::bne::find_violation_in_with_budget(&state, CheckBudget::default())
-                    .unwrap()
+                concepts::bne::find_violation_in_with_stats(&state, CheckBudget::default()).unwrap()
             });
         });
         group.bench_with_input(BenchmarkId::new("naive", name), &g, |b, g| {

@@ -33,9 +33,7 @@ fn bench_bne_full_scan(c: &mut Criterion) {
             100.0 * stats.skipped_fraction()
         );
         group.bench_with_input(BenchmarkId::new("pruned", name), &state, |b, s| {
-            b.iter(|| {
-                concepts::bne::find_violation_in_with_budget(black_box(s), budget()).unwrap()
-            });
+            b.iter(|| concepts::bne::find_violation_in_with_stats(black_box(s), budget()).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("reference", name), &state, |b, s| {
             b.iter(|| concepts::bne::find_violation_in_reference(black_box(s), budget()).unwrap());
@@ -73,8 +71,7 @@ fn bench_kbse_full_scan(c: &mut Criterion) {
             &state,
             |b, s| {
                 b.iter(|| {
-                    concepts::kbse::find_violation_in_with_budget(black_box(s), k, budget())
-                        .unwrap()
+                    concepts::kbse::find_violation_in_with_stats(black_box(s), k, budget()).unwrap()
                 });
             },
         );
@@ -100,9 +97,7 @@ fn bench_kbse_full_scan(c: &mut Criterion) {
         100.0 * stats.skipped_fraction()
     );
     group.bench_with_input(BenchmarkId::new("pruned_k3", name), &state, |b, s| {
-        b.iter(|| {
-            concepts::kbse::find_violation_in_with_budget(black_box(s), 3, budget()).unwrap()
-        });
+        b.iter(|| concepts::kbse::find_violation_in_with_stats(black_box(s), 3, budget()).unwrap());
     });
     group.finish();
 }

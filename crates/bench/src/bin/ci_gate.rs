@@ -8,7 +8,14 @@
 //! * a pruned checker disagrees with its raw reference (exactness),
 //! * a pruning speedup drops below the 3× floor the PR 2 acceptance
 //!   criteria demand (machine-independent: both sides run on the same
-//!   host), or
+//!   host),
+//! * the unified `Solver` facade adds more than 5% overhead over the
+//!   direct pruned scans it drives (machine-independent ratio, batched
+//!   so each sample is tens of milliseconds),
+//! * the documented [`CheckBudget::default`] wall-clock meaning drifts
+//!   outside sanity (the gate derives `budget_default_seconds` from the
+//!   measured raw-reference evaluation rate — this is the calibration
+//!   the `CheckBudget` rustdoc cites), or
 //! * a kernel's wall-clock regresses more than `BENCH_CI_TOLERANCE`
 //!   (default 0.25 = 25%) against the checked-in
 //!   `crates/bench/BENCH_baseline.json`, after scaling the baseline by a
@@ -20,13 +27,16 @@
 //! `cargo run --release -p bncg-bench --bin ci_gate -- --write-baseline`.
 
 use bncg_bench::pruning_kernels::{budget, instances};
-use bncg_core::{concepts, Alpha, GameState};
+use bncg_core::solver::{Solver, StabilityQuery, Verdict};
+use bncg_core::{concepts, Alpha, CheckBudget, Concept, GameState};
 use bncg_graph::{generators, DistanceMatrix};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
 const SPEEDUP_FLOOR: f64 = 3.0;
+/// The solver facade may cost at most this factor over the direct scan.
+const SOLVER_OVERHEAD_CEILING: f64 = 1.05;
 const CALIBRATION_KEY: &str = "calibration/substrate_bfs";
 
 /// The machine-speed yardstick: ~100 ms of all-pairs BFS matrix builds on
@@ -103,14 +113,17 @@ fn main() -> std::process::ExitCode {
         .collect();
     let gnp = &states.last().expect("two instances").1;
 
+    let mut bne_reference_star16 = f64::NAN;
     for (name, state) in states.iter().map(|(n, s)| (*n, s)) {
         // Exactness before any timing.
-        let pruned_mv = concepts::bne::find_violation_in_with_budget(state, budget()).unwrap();
+        let pruned_mv = concepts::bne::find_violation_in_with_stats(state, budget())
+            .unwrap()
+            .0;
         let reference_mv = concepts::bne::find_violation_in_reference(state, budget()).unwrap();
         assert_eq!(pruned_mv, reference_mv, "BNE witness diverged on {name}");
         assert!(pruned_mv.is_none(), "{name} must scan to completion");
         let pruned = median_secs(5, || {
-            concepts::bne::find_violation_in_with_budget(state, budget()).unwrap();
+            concepts::bne::find_violation_in_with_stats(state, budget()).unwrap();
         });
         let reference = median_secs(3, || {
             concepts::bne::find_violation_in_reference(state, budget()).unwrap();
@@ -118,8 +131,13 @@ fn main() -> std::process::ExitCode {
         gate.record(&format!("bne_pruned/{name}"), pruned);
         gate.record(&format!("bne_reference/{name}"), reference);
         gate.check_speedup(&format!("bne_speedup/{name}"), reference, pruned);
+        if name == "star16" {
+            bne_reference_star16 = reference;
+        }
 
-        let kp = concepts::kbse::find_violation_in_with_budget(state, 2, budget()).unwrap();
+        let kp = concepts::kbse::find_violation_in_with_stats(state, 2, budget())
+            .unwrap()
+            .0;
         let kr = concepts::kbse::find_violation_in_reference(state, 2, budget()).unwrap();
         assert_eq!(
             kp.is_some(),
@@ -127,7 +145,7 @@ fn main() -> std::process::ExitCode {
             "2-BSE verdict diverged on {name}"
         );
         let pruned = median_secs(5, || {
-            concepts::kbse::find_violation_in_with_budget(state, 2, budget()).unwrap();
+            concepts::kbse::find_violation_in_with_stats(state, 2, budget()).unwrap();
         });
         let reference = median_secs(3, || {
             concepts::kbse::find_violation_in_reference(state, 2, budget()).unwrap();
@@ -139,9 +157,79 @@ fn main() -> std::process::ExitCode {
 
     // The 3-BSE scan only the pruned checker can afford (raw space ~1.2e9).
     let pruned_k3 = median_secs(5, || {
-        concepts::kbse::find_violation_in_with_budget(gnp, 3, budget()).unwrap();
+        concepts::kbse::find_violation_in_with_stats(gnp, 3, budget()).unwrap();
     });
     gate.record("kbse3_pruned/gnp16_diam2", pruned_k3);
+
+    // CheckBudget::default() calibration: the rustdoc's wall-clock claim
+    // is derived here, not assumed. The star16 raw BNE reference prices
+    // exactly 16·(2^15 − 1) candidates; the measured rate converts the
+    // default guard into seconds of raw scanning on this host.
+    let star16_raw_evals = 16.0 * ((1u64 << 15) - 1) as f64;
+    let eval_rate = star16_raw_evals / bne_reference_star16.max(1e-12);
+    let budget_default_secs = CheckBudget::DEFAULT_MAX_EVALS as f64 / eval_rate;
+    gate.record("budget_default_seconds", budget_default_secs);
+    if !(0.5..=500.0).contains(&budget_default_secs) {
+        gate.failures.push(format!(
+            "budget_default_seconds = {budget_default_secs:.1}s drifted outside \
+             [0.5, 500] — update the CheckBudget::default() rustdoc and the \
+             default guard"
+        ));
+    }
+
+    // Solver-facade overhead: the unified query surface must stay within
+    // 5% of the direct pruned scans it drives. Batched so each sample is
+    // tens of milliseconds (the pruned kernels alone are µs-scale).
+    let star16 = &states[0].1;
+    let solver = Solver::default();
+    for (key, iters, direct, facade) in [
+        (
+            "solver_overhead/bne_star16",
+            256usize,
+            &(|| {
+                concepts::bne::find_violation_in_with_stats(black_box(star16), budget()).unwrap();
+            }) as &dyn Fn(),
+            &(|| {
+                let v = solver
+                    .check(&StabilityQuery::on(Concept::Bne, black_box(star16)))
+                    .unwrap();
+                assert!(matches!(v, Verdict::Stable { .. }));
+            }) as &dyn Fn(),
+        ),
+        (
+            "solver_overhead/kbse3_gnp16",
+            16usize,
+            &(|| {
+                concepts::kbse::find_violation_in_with_stats(black_box(gnp), 3, budget()).unwrap();
+            }) as &dyn Fn(),
+            &(|| {
+                let v = solver
+                    .check(&StabilityQuery::on(Concept::KBse(3), black_box(gnp)))
+                    .unwrap();
+                assert!(matches!(v, Verdict::Stable { .. }));
+            }) as &dyn Fn(),
+        ),
+    ] {
+        let direct_batch = median_secs(5, || {
+            for _ in 0..iters {
+                direct();
+            }
+        });
+        let facade_batch = median_secs(5, || {
+            for _ in 0..iters {
+                facade();
+            }
+        });
+        let overhead = facade_batch / direct_batch.max(1e-12);
+        println!("{key}: {overhead:.3}x (direct {direct_batch:.4}s, facade {facade_batch:.4}s)");
+        gate.results.push((key.to_string(), overhead));
+        if overhead > SOLVER_OVERHEAD_CEILING {
+            gate.failures.push(format!(
+                "{key}: solver facade overhead {overhead:.3}x exceeds the \
+                 {SOLVER_OVERHEAD_CEILING}x ceiling"
+            ));
+        }
+    }
 
     // The engine_vs_naive representative: 50 rounds of engine-backed
     // round-robin dynamics on path16 (the PR 1 headline kernel).
@@ -182,7 +270,14 @@ fn main() -> std::process::ExitCode {
                 .map_or(1.0, |base_cal| (calibration / base_cal.max(1e-12)).max(1.0));
             println!("machine calibration factor vs baseline: {machine_factor:.2}x");
             for (name, value) in &gate.results {
-                if name.contains("_speedup/") || name == CALIBRATION_KEY {
+                // Ratios and derived values are asserted directly above
+                // (machine-independent); only wall-clock kernels budget
+                // against the baseline.
+                if name.contains("_speedup/")
+                    || name.starts_with("solver_overhead/")
+                    || name == "budget_default_seconds"
+                    || name == CALIBRATION_KEY
+                {
                     continue;
                 }
                 let Some(base) = parse_json_number(&baseline, name) else {

@@ -7,6 +7,12 @@
 //! added partners all strictly consent (improve), the one minimizing `u`'s
 //! own cost. This mirrors the BNE move set, so a state where no agent has
 //! a feasible improving neighborhood move is exactly a BNE.
+//!
+//! Best responses are *optimization* queries (argmin over a move space),
+//! not stability queries, so they keep their own entry points rather
+//! than the [`crate::solver`] surface; the round-robin dynamics maps a
+//! solver `ExecPolicy`'s eval budget onto the [`CheckBudget`] guard here
+//! and polls the policy's deadline/cancel between activations.
 
 use crate::alpha::Alpha;
 use crate::candidates::{CenterCapCache, NeighborhoodPruner};

@@ -92,7 +92,10 @@
 //!
 //! The [`CandidateStats`] counters make the effect measurable: the
 //! `pruning` bench and the analysis ablation record the skipped fraction
-//! per instance.
+//! per instance, and every [`crate::solver::Verdict`] carries the
+//! evaluated/pruned split of the scan that produced it (the solver
+//! drives exactly these pruned scans — budgets meter the *evaluated*
+//! candidates, never the pruned ones).
 
 use crate::alpha::Alpha;
 use crate::cost::AgentCost;

@@ -4,9 +4,12 @@
 //! agent in `A`* strictly improve. This is the bilateral analogue of the
 //! Nash equilibrium of the unilateral game (paper, footnote 4).
 //!
-//! The move space is `Θ(n·2^{n−1})`; the exact checker carries a
-//! [`CheckBudget`] guard and a randomized refuter handles larger instances
-//! (it can only ever prove *in*stability).
+//! The move space is `Θ(n·2^{n−1})`; the legacy exact entry points carry
+//! a [`CheckBudget`] guard and a randomized refuter handles larger
+//! instances (it can only ever prove *in*stability). The
+//! [`crate::solver`] surface scans the same pruned space *anytime*-style
+//! instead: budgets and deadlines exhaust into a resumable frontier
+//! (one unit per center) rather than erroring.
 //!
 //! The default checker routes through the
 //! [`candidates`](crate::candidates) pruning layer: partners that provably
@@ -19,14 +22,15 @@
 
 use crate::alpha::Alpha;
 use crate::candidates::{CandidateStats, CenterCapCache, NeighborhoodPruner};
-use crate::concepts::CheckBudget;
+use crate::concepts::{CheckBudget, Concept};
 use crate::cost::{agent_cost, agent_cost_with_buf, AgentCost};
 use crate::error::GameError;
 use crate::moves::Move;
+use crate::scan::{CtlLocal, ScanCtl, UnitOutcome, UnitScanner};
+use crate::solver::{legacy_guard, solve_to_completion, ExecPolicy, Solver, StabilityQuery};
 use crate::state::GameState;
 use bncg_graph::Graph;
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Minimal RNG abstraction so the sampled refuter does not force a `rand`
 /// dependency onto every caller; implemented for closures and for anything
@@ -79,7 +83,8 @@ pub use rand_like::{RngLike, SplitMix};
 /// # Ok::<(), bncg_core::GameError>(())
 /// ```
 pub fn find_violation(g: &Graph, alpha: Alpha) -> Result<Option<Move>, GameError> {
-    find_violation_with_budget(g, alpha, CheckBudget::default())
+    check_budget(g.n(), CheckBudget::default())?;
+    solve_to_completion(Concept::Bne, &GameState::new(g.clone(), alpha))
 }
 
 /// Exact BNE check with an explicit work budget.
@@ -88,16 +93,24 @@ pub fn find_violation(g: &Graph, alpha: Alpha) -> Result<Option<Move>, GameError
 ///
 /// Returns [`GameError::CheckTooLarge`] if `n·2^{n−1}` exceeds
 /// `budget.max_evals`.
+#[deprecated(
+    since = "0.2.0",
+    note = "route through `bncg_core::solver::Solver` with an `ExecPolicy` \
+            eval budget; budget overruns become `Verdict::Exhausted` there"
+)]
 pub fn find_violation_with_budget(
     g: &Graph,
     alpha: Alpha,
     budget: CheckBudget,
 ) -> Result<Option<Move>, GameError> {
     check_budget(g.n(), budget)?;
-    find_violation_in_with_budget(&GameState::new(g.clone(), alpha), budget)
+    solve_to_completion(Concept::Bne, &GameState::new(g.clone(), alpha))
 }
 
-fn check_budget(n: usize, budget: CheckBudget) -> Result<(), GameError> {
+/// The legacy size guard: refuses instances whose **raw** move space
+/// exceeds the budget before any work starts (the solver path has no
+/// such guard — it scans anytime-style and exhausts instead).
+pub(crate) fn check_budget(n: usize, budget: CheckBudget) -> Result<(), GameError> {
     if n <= 1 {
         return Ok(());
     }
@@ -120,15 +133,25 @@ fn check_budget(n: usize, budget: CheckBudget) -> Result<(), GameError> {
 /// # Errors
 ///
 /// Same guard as [`find_violation_with_budget`].
+#[deprecated(
+    since = "0.2.0",
+    note = "route through `bncg_core::solver::Solver` with a \
+            `StabilityQuery::on(Concept::Bne, state)` query"
+)]
 pub fn find_violation_in_with_budget(
     state: &GameState,
     budget: CheckBudget,
 ) -> Result<Option<Move>, GameError> {
-    Ok(find_violation_in_with_stats(state, budget)?.0)
+    if legacy_guard(Concept::Bne, state, budget)? {
+        return Ok(None);
+    }
+    solve_to_completion(Concept::Bne, state)
 }
 
-/// [`find_violation_in_with_budget`] reporting how much of the raw
-/// candidate space the pruning layer skipped.
+/// The direct engine-path full scan, reporting how much of the raw
+/// candidate space the pruning layer skipped. This is the sequential
+/// scan the solver drives; the perf gate measures it as the
+/// facade-overhead reference.
 ///
 /// # Errors
 ///
@@ -145,9 +168,15 @@ pub fn find_violation_in_with_stats(
     check_budget(n, budget)?;
     let pruner = NeighborhoodPruner::new(state);
     let mut ws = CenterScanSpace::new(state.graph());
+    let ctl = ScanCtl::unbounded();
+    let mut cl = CtlLocal::new(&ctl);
     for center in 0..n as u32 {
-        if let Some(mv) = scan_center(state, &pruner, center, &mut ws, &mut stats, None) {
-            return Ok((Some(mv), stats));
+        match scan_center(
+            state, &pruner, center, &mut ws, &mut stats, None, &ctl, &mut cl, 0,
+        ) {
+            UnitOutcome::Found(mv) => return Ok((Some(mv), stats)),
+            UnitOutcome::Done => {}
+            UnitOutcome::Stopped(_) => unreachable!("unbounded controls never stop"),
         }
     }
     Ok((None, stats))
@@ -166,61 +195,78 @@ pub fn find_violation_in_with_stats(
 /// # Panics
 ///
 /// Panics if `threads == 0`.
+#[deprecated(
+    since = "0.2.0",
+    note = "route through `bncg_core::solver::Solver` with \
+            `ExecPolicy::default().with_threads(n)`"
+)]
 pub fn find_violation_in_parallel(
     state: &GameState,
     budget: CheckBudget,
     threads: usize,
 ) -> Result<Option<Move>, GameError> {
     assert!(threads > 0, "need at least one worker thread");
-    let n = state.n();
-    if n <= 1 {
+    if legacy_guard(Concept::Bne, state, budget)? {
         return Ok(None);
     }
-    check_budget(n, budget)?;
-    if threads == 1 {
-        return find_violation_in_with_budget(state, budget);
-    }
-    let pruner = NeighborhoodPruner::new(state);
-    let pruner = &pruner;
-    let best_center = AtomicU32::new(u32::MAX);
-    let best: Mutex<Option<Move>> = Mutex::new(None);
-    std::thread::scope(|scope| {
-        for t in 0..threads {
-            let best_center = &best_center;
-            let best = &best;
-            scope.spawn(move || {
-                let mut ws = CenterScanSpace::new(state.graph());
-                let mut stats = CandidateStats::default();
-                let mut center = t as u32;
-                while (center as usize) < n {
-                    if best_center.load(Ordering::Relaxed) < center {
-                        return;
-                    }
-                    if let Some(mv) = scan_center(
-                        state,
-                        pruner,
-                        center,
-                        &mut ws,
-                        &mut stats,
-                        Some(best_center),
-                    ) {
-                        let mut guard = best.lock().expect("no poisoning");
-                        if center < best_center.load(Ordering::Relaxed) {
-                            best_center.store(center, Ordering::Relaxed);
-                            *guard = Some(mv);
-                        }
-                        return;
-                    }
-                    center += threads as u32;
-                }
-            });
+    Solver::new(ExecPolicy::default().with_threads(threads))
+        .check(&StabilityQuery::on(Concept::Bne, state))?
+        .into_violation()
+}
+
+/// The solver's BNE unit scanner: one unit per center, positions in
+/// `(removal mask, addition mask)` raw enumeration order.
+pub(crate) struct SolverScan<'a> {
+    state: &'a GameState,
+    pruner: NeighborhoodPruner,
+}
+
+impl<'a> SolverScan<'a> {
+    pub(crate) fn new(state: &'a GameState) -> Self {
+        SolverScan {
+            state,
+            pruner: NeighborhoodPruner::new(state),
         }
-    });
-    Ok(best.into_inner().expect("no poisoning"))
+    }
+}
+
+impl UnitScanner for SolverScan<'_> {
+    type Ws = CenterScanSpace;
+
+    fn units(&self) -> u64 {
+        self.state.n() as u64
+    }
+
+    fn workspace(&self) -> CenterScanSpace {
+        CenterScanSpace::new(self.state.graph())
+    }
+
+    fn scan_unit(
+        &self,
+        ws: &mut CenterScanSpace,
+        stats: &mut CandidateStats,
+        unit: u64,
+        start: u64,
+        ctl: &ScanCtl,
+        cl: &mut CtlLocal,
+        racing: Option<&AtomicU64>,
+    ) -> UnitOutcome {
+        scan_center(
+            self.state,
+            &self.pruner,
+            unit as u32,
+            ws,
+            stats,
+            racing,
+            ctl,
+            cl,
+            start,
+        )
+    }
 }
 
 /// Reusable scratch for one center's candidate scan.
-struct CenterScanSpace {
+pub(crate) struct CenterScanSpace {
     scratch: Graph,
     buf: Vec<u32>,
     removed: Vec<u32>,
@@ -242,17 +288,23 @@ impl CenterScanSpace {
 }
 
 /// Scans one center's pruned candidate space in raw enumeration order
-/// (removal-mask major); returns the first improving move. `stop` carries
-/// the parallel scan's first-violation center index: once it falls below
-/// `center` this scan cannot win and aborts.
+/// (removal-mask major) from position `start`, returning the first
+/// improving move at or after it. `racing` carries the parallel drive's
+/// first-violation center index: once it falls below `center` this scan
+/// cannot win and abandons. `ctl`/`cl` stop the scan anytime-style at an
+/// exact resumable position.
+#[allow(clippy::too_many_arguments)]
 fn scan_center(
     state: &GameState,
     pruner: &NeighborhoodPruner,
     center: u32,
     ws: &mut CenterScanSpace,
     stats: &mut CandidateStats,
-    stop: Option<&AtomicU32>,
-) -> Option<Move> {
+    racing: Option<&AtomicU64>,
+    ctl: &ScanCtl,
+    cl: &mut CtlLocal,
+    start: u64,
+) -> UnitOutcome {
     let g = state.graph();
     let alpha = state.alpha();
     let old = state.costs();
@@ -260,26 +312,40 @@ fn scan_center(
     let (partners, dropped) = pruner.filtered_partners(state, center);
     let nb = neighbors.len();
     let no = partners.len();
-    let raw = (1u64 << nb) * (1u64 << (no + dropped)) - 1;
-    let surviving = (1u64 << nb) * (1u64 << no) - 1;
-    stats.generated += raw;
-    stats.pruned += raw - surviving;
+    if start >> no >= 1u64 << nb {
+        return UnitOutcome::Done;
+    }
+    if start == 0 {
+        // Raw-space accounting happens once per center; resumed slices
+        // only add their per-candidate counters.
+        let raw = (1u64 << nb) * (1u64 << (no + dropped)) - 1;
+        let surviving = (1u64 << nb) * (1u64 << no) - 1;
+        stats.generated += raw;
+        stats.pruned += raw - surviving;
+    }
     ws.caps.reset(no);
     let removal_only_prunable = pruner.removal_only_prunable();
     let bounds_active = pruner.active();
-    for rem_mask in 0u64..1u64 << nb {
-        if let Some(flag) = stop {
-            if flag.load(Ordering::Relaxed) < center {
-                return None;
+    let rem0 = start >> no;
+    let add0 = start & ((1u64 << no) - 1);
+    for rem_mask in rem0..1u64 << nb {
+        if let Some(flag) = racing {
+            if flag.load(Ordering::Relaxed) < u64::from(center) {
+                return UnitOutcome::Done;
             }
         }
-        for add_mask in 0u64..1u64 << no {
+        let add_from = if rem_mask == rem0 { add0 } else { 0 };
+        for add_mask in add_from..1u64 << no {
             if rem_mask == 0 && add_mask == 0 {
                 continue;
             }
+            let pos = (rem_mask << no) | add_mask;
             if add_mask == 0 {
                 if removal_only_prunable {
                     stats.pruned += 1;
+                    if cl.tick_skipped(ctl, 1) {
+                        return UnitOutcome::Stopped(pos + 1);
+                    }
                     continue;
                 }
             } else if bounds_active {
@@ -290,6 +356,9 @@ fn scan_center(
                     save_a,
                 ) {
                     stats.pruned += 1;
+                    if cl.tick_skipped(ctl, 1) {
+                        return UnitOutcome::Stopped(pos + 1);
+                    }
                     continue;
                 }
             }
@@ -308,11 +377,14 @@ fn scan_center(
                 &mut ws.removed,
                 &mut ws.added,
             ) {
-                return Some(mv);
+                return UnitOutcome::Found(mv);
+            }
+            if cl.tick_eval(ctl) {
+                return UnitOutcome::Stopped(pos + 1);
             }
         }
     }
-    None
+    UnitOutcome::Done
 }
 
 /// The raw (unpruned) scan, retained as ground truth: identical
@@ -566,6 +638,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the compat wrapper must keep the legacy guard
     fn guard_fires_for_large_instances() {
         let g = generators::path(40);
         assert!(matches!(
@@ -597,6 +670,7 @@ mod tests {
     /// witness, not just the same verdict (pruned candidates are all
     /// non-improving and the enumeration order is shared).
     #[test]
+    #[allow(deprecated)] // reference test for the compat wrapper
     fn pruned_scan_matches_reference_witness_exactly() {
         let mut rng = bncg_graph::test_rng(0xB14E);
         for case in 0..18 {
@@ -616,6 +690,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // reference test for the compat wrappers
     fn parallel_scan_matches_sequential_witness_exactly() {
         let mut rng = bncg_graph::test_rng(0xB14F);
         for _ in 0..10 {

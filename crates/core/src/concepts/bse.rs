@@ -15,18 +15,21 @@
 //! cannot improve, whose removed edges have no viable endpoint, or that
 //! are pure removals at `α ≤ 1` (or on a tree) are skipped. The filters
 //! are exactness-preserving and order-preserving, so verdict and witness
-//! equal the raw scan retained as [`find_violation_in_reference`].
+//! equal the raw scan retained as [`find_violation_in_reference`]. The
+//! [`crate::solver`] surface drives the same scan anytime-style over
+//! fixed-size mask chunks (4096-mask units).
 
 use crate::alpha::Alpha;
 use crate::candidates::{CandidateStats, EditSetPruner};
-use crate::concepts::CheckBudget;
+use crate::concepts::{CheckBudget, Concept};
 use crate::cost::agent_cost;
 use crate::error::GameError;
 use crate::moves::Move;
+use crate::scan::{CtlLocal, ScanCtl, UnitOutcome, UnitScanner};
+use crate::solver::{legacy_guard, solve_to_completion, ExecPolicy, Solver, StabilityQuery};
 use crate::state::GameState;
 use bncg_graph::Graph;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// Exact BSE check under the default budget (`n ≤ 7`).
 ///
@@ -48,7 +51,11 @@ use std::sync::Mutex;
 /// # Ok::<(), bncg_core::GameError>(())
 /// ```
 pub fn find_violation(g: &Graph, alpha: Alpha) -> Result<Option<Move>, GameError> {
-    find_violation_with_budget(g, alpha, CheckBudget::default())
+    if g.n() <= 1 {
+        return Ok(None);
+    }
+    check_budget(g.n(), CheckBudget::default())?;
+    solve_to_completion(Concept::Bse, &GameState::new(g.clone(), alpha))
 }
 
 /// Exact BSE check with an explicit work budget.
@@ -57,6 +64,11 @@ pub fn find_violation(g: &Graph, alpha: Alpha) -> Result<Option<Move>, GameError
 ///
 /// Returns [`GameError::CheckTooLarge`] if `2^{C(n,2)}` exceeds
 /// `budget.max_evals`.
+#[deprecated(
+    since = "0.2.0",
+    note = "route through `bncg_core::solver::Solver` with an `ExecPolicy` \
+            eval budget; budget overruns become `Verdict::Exhausted` there"
+)]
 pub fn find_violation_with_budget(
     g: &Graph,
     alpha: Alpha,
@@ -66,10 +78,11 @@ pub fn find_violation_with_budget(
         return Ok(None);
     }
     check_budget(g.n(), budget)?;
-    find_violation_in_with_budget(&GameState::new(g.clone(), alpha), budget)
+    solve_to_completion(Concept::Bse, &GameState::new(g.clone(), alpha))
 }
 
-fn check_budget(n: usize, budget: CheckBudget) -> Result<(), GameError> {
+/// The legacy size guard (the solver path exhausts instead).
+pub(crate) fn check_budget(n: usize, budget: CheckBudget) -> Result<(), GameError> {
     let pairs = n * (n - 1) / 2;
     if pairs >= 63 || (1u128 << pairs) > u128::from(budget.max_evals) {
         return Err(GameError::CheckTooLarge {
@@ -88,15 +101,25 @@ fn check_budget(n: usize, budget: CheckBudget) -> Result<(), GameError> {
 /// # Errors
 ///
 /// Same guard as [`find_violation_with_budget`].
+#[deprecated(
+    since = "0.2.0",
+    note = "route through `bncg_core::solver::Solver` with a \
+            `StabilityQuery::on(Concept::Bse, state)` query"
+)]
 pub fn find_violation_in_with_budget(
     state: &GameState,
     budget: CheckBudget,
 ) -> Result<Option<Move>, GameError> {
-    Ok(find_violation_in_with_stats(state, budget)?.0)
+    if legacy_guard(Concept::Bse, state, budget)? {
+        return Ok(None);
+    }
+    solve_to_completion(Concept::Bse, state)
 }
 
-/// [`find_violation_in_with_budget`] reporting how much of the target
-/// space the pruning layer skipped.
+/// The direct engine-path full scan, reporting how much of the target
+/// space the pruning layer skipped. This is the sequential scan the
+/// solver drives; the perf gate measures it as the facade-overhead
+/// reference.
 ///
 /// # Errors
 ///
@@ -112,14 +135,23 @@ pub fn find_violation_in_with_stats(
     }
     check_budget(n, budget)?;
     let pairs = n * (n - 1) / 2;
+    let units = (1u64 << pairs).div_ceil(BSE_CHUNK);
     let mut ws = TargetScan::new(state);
-    let mv = ws.scan_range(state, 0, 1u64 << pairs, &mut stats, None);
-    Ok((mv, stats))
+    let ctl = ScanCtl::unbounded();
+    let mut cl = CtlLocal::new(&ctl);
+    for unit in 0..units {
+        match ws.scan_chunk(state, unit, 0, &mut stats, &ctl, &mut cl, None) {
+            UnitOutcome::Found(mv) => return Ok((Some(mv), stats)),
+            UnitOutcome::Done => {}
+            UnitOutcome::Stopped(_) => unreachable!("unbounded controls never stop"),
+        }
+    }
+    Ok((None, stats))
 }
 
-/// Parallel exact BSE check: the target-graph mask space is split into
-/// `threads` contiguous shards scanned by std scoped threads, with an
-/// atomic lowest-violating-mask race for deterministic early exit.
+/// Parallel exact BSE check: the target-graph mask space is sharded in
+/// fixed-size chunks across `threads` std scoped threads, with an
+/// atomic lowest-violating-chunk race for deterministic early exit.
 /// Verdict **and** witness equal the sequential scan's.
 ///
 /// # Errors
@@ -129,54 +161,74 @@ pub fn find_violation_in_with_stats(
 /// # Panics
 ///
 /// Panics if `threads == 0`.
+#[deprecated(
+    since = "0.2.0",
+    note = "route through `bncg_core::solver::Solver` with \
+            `ExecPolicy::default().with_threads(n)`"
+)]
 pub fn find_violation_in_parallel(
     state: &GameState,
     budget: CheckBudget,
     threads: usize,
 ) -> Result<Option<Move>, GameError> {
     assert!(threads > 0, "need at least one worker thread");
-    let n = state.n();
-    if n <= 1 {
+    if legacy_guard(Concept::Bse, state, budget)? {
         return Ok(None);
     }
-    check_budget(n, budget)?;
-    if threads == 1 {
-        return find_violation_in_with_budget(state, budget);
+    Solver::new(ExecPolicy::default().with_threads(threads))
+        .check(&StabilityQuery::on(Concept::Bse, state))?
+        .into_violation()
+}
+
+/// Fixed shard size of the target-mask space: frontier positions stay
+/// meaningful across thread counts, and at `n = 7` (2²¹ masks) the scan
+/// still splits into 512 units for parallel drive.
+pub(crate) const BSE_CHUNK: u64 = 1 << 12;
+
+/// The solver's BSE unit scanner: units are contiguous [`BSE_CHUNK`]
+/// ranges of the target-graph mask space, positions are mask offsets.
+pub(crate) struct SolverScan<'a> {
+    state: &'a GameState,
+}
+
+impl<'a> SolverScan<'a> {
+    pub(crate) fn new(state: &'a GameState) -> Self {
+        SolverScan { state }
     }
-    let pairs = n * (n - 1) / 2;
-    let total = 1u64 << pairs;
-    let chunk = total.div_ceil(threads as u64);
-    let best_mask = AtomicU64::new(u64::MAX);
-    let best: Mutex<Option<Move>> = Mutex::new(None);
-    std::thread::scope(|scope| {
-        for t in 0..threads as u64 {
-            let best_mask = &best_mask;
-            let best = &best;
-            scope.spawn(move || {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(total);
-                if lo >= hi || best_mask.load(Ordering::Relaxed) < lo {
-                    return;
-                }
-                let mut ws = TargetScan::new(state);
-                let mut stats = CandidateStats::default();
-                if let Some((mask, mv)) =
-                    ws.scan_range_indexed(state, lo, hi, &mut stats, Some(best_mask))
-                {
-                    let mut guard = best.lock().expect("no poisoning");
-                    if mask < best_mask.load(Ordering::Relaxed) {
-                        best_mask.store(mask, Ordering::Relaxed);
-                        *guard = Some(mv);
-                    }
-                }
-            });
+}
+
+impl UnitScanner for SolverScan<'_> {
+    type Ws = TargetScan;
+
+    fn units(&self) -> u64 {
+        let n = self.state.n();
+        if n <= 1 {
+            return 0;
         }
-    });
-    Ok(best.into_inner().expect("no poisoning"))
+        let pairs = n * (n - 1) / 2;
+        (1u64 << pairs).div_ceil(BSE_CHUNK)
+    }
+
+    fn workspace(&self) -> TargetScan {
+        TargetScan::new(self.state)
+    }
+
+    fn scan_unit(
+        &self,
+        ws: &mut TargetScan,
+        stats: &mut CandidateStats,
+        unit: u64,
+        start: u64,
+        ctl: &ScanCtl,
+        cl: &mut CtlLocal,
+        racing: Option<&AtomicU64>,
+    ) -> UnitOutcome {
+        ws.scan_chunk(self.state, unit, start, stats, ctl, cl, racing)
+    }
 }
 
 /// Scratch for one thread's target-graph scan.
-struct TargetScan {
+pub(crate) struct TargetScan {
     current: u64,
     pair_list: Vec<(u32, u32)>,
     pruner: EditSetPruner,
@@ -198,41 +250,43 @@ impl TargetScan {
         }
     }
 
-    fn scan_range(
+    /// Scans positions `start..` of chunk `unit` (masks
+    /// `unit·BSE_CHUNK + start ..`) in ascending order. `racing` carries
+    /// the parallel drive's lowest violating chunk: once it undercuts
+    /// this one, nothing here can beat it and the scan abandons.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_chunk(
         &mut self,
         state: &GameState,
-        lo: u64,
-        hi: u64,
+        unit: u64,
+        start: u64,
         stats: &mut CandidateStats,
-        stop: Option<&AtomicU64>,
-    ) -> Option<Move> {
-        self.scan_range_indexed(state, lo, hi, stats, stop)
-            .map(|(_, mv)| mv)
-    }
-
-    /// Scans masks `lo..hi` in ascending order; returns the first
-    /// violating mask and its witness. `stop` carries the parallel scan's
-    /// lowest violating mask: once it undercuts this shard, abort.
-    fn scan_range_indexed(
-        &mut self,
-        state: &GameState,
-        lo: u64,
-        hi: u64,
-        stats: &mut CandidateStats,
-        stop: Option<&AtomicU64>,
-    ) -> Option<(u64, Move)> {
+        ctl: &ScanCtl,
+        cl: &mut CtlLocal,
+        racing: Option<&AtomicU64>,
+    ) -> UnitOutcome {
         let n = state.n();
         let alpha = state.alpha();
         let old = state.costs();
+        let pairs = n * (n - 1) / 2;
+        let total = 1u64 << pairs;
+        let base = unit * BSE_CHUNK;
+        let lo = base + start;
+        let hi = (base + BSE_CHUNK).min(total);
+        if lo >= hi {
+            return UnitOutcome::Done;
+        }
         for mask in lo..hi {
             if mask == self.current {
+                if cl.tick_skipped(ctl, 1) {
+                    return UnitOutcome::Stopped(mask + 1 - base);
+                }
                 continue;
             }
-            // Poll the shared first-violation index every 1024 masks: if a
-            // lower shard already won, nothing here can beat it.
-            if let Some(flag) = stop {
-                if mask & 1023 == 0 && flag.load(Ordering::Relaxed) < lo {
-                    return None;
+            // Poll the shared first-violation chunk every 1024 masks.
+            if let Some(flag) = racing {
+                if mask & 1023 == 0 && flag.load(Ordering::Relaxed) < unit {
+                    return UnitOutcome::Done;
                 }
             }
             stats.generated += 1;
@@ -251,6 +305,9 @@ impl TargetScan {
             }
             if self.pruner.prunable(&self.rem, &self.add) {
                 stats.pruned += 1;
+                if cl.tick_skipped(ctl, 1) {
+                    return UnitOutcome::Stopped(mask + 1 - base);
+                }
                 continue;
             }
             stats.evaluated += 1;
@@ -275,6 +332,9 @@ impl TargetScan {
                     .iter()
                     .all(|&(u, v)| improves(u, &target) || improves(v, &target));
             if !valid {
+                if cl.tick_eval(ctl) {
+                    return UnitOutcome::Stopped(mask + 1 - base);
+                }
                 continue;
             }
             // Assemble the minimal coalition: endpoints of additions plus
@@ -293,16 +353,13 @@ impl TargetScan {
             }
             members.sort_unstable();
             members.dedup();
-            return Some((
-                mask,
-                Move::Coalition {
-                    members,
-                    remove_edges: self.rem.clone(),
-                    add_edges: self.add.clone(),
-                },
-            ));
+            return UnitOutcome::Found(Move::Coalition {
+                members,
+                remove_edges: self.rem.clone(),
+                add_edges: self.add.clone(),
+            });
         }
-        None
+        UnitOutcome::Done
     }
 }
 
@@ -492,6 +549,7 @@ mod tests {
     /// Pruned and reference scans return identical witnesses (filters are
     /// order-preserving and only ever skip non-violations).
     #[test]
+    #[allow(deprecated)] // reference test for the compat wrapper
     fn pruned_scan_matches_reference_witness_exactly() {
         let mut rng = bncg_graph::test_rng(0xB5E);
         for case in 0..10 {
@@ -511,6 +569,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // reference test for the compat wrappers
     fn parallel_scan_matches_sequential_witness_exactly() {
         let mut rng = bncg_graph::test_rng(0xB5F);
         for _ in 0..6 {

@@ -26,7 +26,9 @@
 //!    [`EditSetPruner`] inequalities prove non-improving.
 //!
 //! The pre-dedup scan is retained as [`find_violation_in_reference`] for
-//! the property suite and the `pruning` bench.
+//! the property suite and the `pruning` bench. The [`crate::solver`]
+//! surface drives the same shared candidate iterator anytime-style, one
+//! unit per coalition in size-major order.
 
 use crate::alpha::Alpha;
 use crate::candidates::{
@@ -34,14 +36,16 @@ use crate::candidates::{
     CandidateStats, EditSetPruner, EndpointRequirement,
 };
 use crate::combinatorics::{bounded_subsets, combinations};
-use crate::concepts::CheckBudget;
+use crate::concepts::{CheckBudget, Concept};
 use crate::cost::{agent_cost_with_buf, AgentCost};
 use crate::error::GameError;
 use crate::moves::Move;
+use crate::scan::{CtlLocal, ScanCtl, UnitOutcome, UnitScanner};
+use crate::solver::{legacy_guard, solve_to_completion, ExecPolicy, Solver, StabilityQuery};
 use crate::state::GameState;
 use bncg_graph::{DistanceMatrix, Graph};
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Exact k-BSE check under the default [`CheckBudget`].
@@ -64,7 +68,14 @@ use std::sync::Mutex;
 /// # Ok::<(), bncg_core::GameError>(())
 /// ```
 pub fn find_violation(g: &Graph, alpha: Alpha, k: usize) -> Result<Option<Move>, GameError> {
-    find_violation_with_budget(g, alpha, k, CheckBudget::default())
+    if g.n() <= 1 || k == 0 {
+        return Ok(None);
+    }
+    check_budget(g, k, CheckBudget::default())?;
+    solve_to_completion(
+        Concept::KBse(k.min(u32::MAX as usize) as u32),
+        &GameState::new(g.clone(), alpha),
+    )
 }
 
 /// Exact k-BSE check with an explicit work budget.
@@ -73,6 +84,11 @@ pub fn find_violation(g: &Graph, alpha: Alpha, k: usize) -> Result<Option<Move>,
 ///
 /// Returns [`GameError::CheckTooLarge`] if the total number of candidate
 /// moves exceeds `budget.max_evals`.
+#[deprecated(
+    since = "0.2.0",
+    note = "route through `bncg_core::solver::Solver` with an `ExecPolicy` \
+            eval budget; budget overruns become `Verdict::Exhausted` there"
+)]
 pub fn find_violation_with_budget(
     g: &Graph,
     alpha: Alpha,
@@ -83,13 +99,17 @@ pub fn find_violation_with_budget(
         return Ok(None);
     }
     check_budget(g, k, budget)?;
-    find_violation_in_with_budget(&GameState::new(g.clone(), alpha), k, budget)
+    solve_to_completion(
+        Concept::KBse(k.min(u32::MAX as usize) as u32),
+        &GameState::new(g.clone(), alpha),
+    )
 }
 
-/// Pre-pass sizing the summed move space of all coalitions against the
-/// budget before any cost evaluation starts (the raw space — pruning and
-/// dedup only ever shrink the work below this bound).
-fn check_budget(g: &Graph, k: usize, budget: CheckBudget) -> Result<(), GameError> {
+/// The legacy size guard: sizes the summed move space of all coalitions
+/// against the budget before any cost evaluation starts (the raw space —
+/// pruning and dedup only ever shrink the work below this bound). The
+/// solver path has no such guard; it scans anytime-style and exhausts.
+pub(crate) fn check_budget(g: &Graph, k: usize, budget: CheckBudget) -> Result<(), GameError> {
     let n = g.n();
     let k = k.min(n);
     let mut total_work: u128 = 0;
@@ -122,16 +142,27 @@ fn check_budget(g: &Graph, k: usize, budget: CheckBudget) -> Result<(), GameErro
 /// # Errors
 ///
 /// Same guard as [`find_violation_with_budget`].
+#[deprecated(
+    since = "0.2.0",
+    note = "route through `bncg_core::solver::Solver` with a \
+            `StabilityQuery::on(Concept::KBse(k), state)` query"
+)]
 pub fn find_violation_in_with_budget(
     state: &GameState,
     k: usize,
     budget: CheckBudget,
 ) -> Result<Option<Move>, GameError> {
-    Ok(find_violation_in_with_stats(state, k, budget)?.0)
+    let concept = Concept::KBse(k.min(u32::MAX as usize) as u32);
+    if legacy_guard(concept, state, budget)? {
+        return Ok(None);
+    }
+    solve_to_completion(concept, state)
 }
 
-/// [`find_violation_in_with_budget`] reporting how much of the raw
-/// candidate space was pruned or deduplicated away.
+/// The direct engine-path full scan, reporting how much of the raw
+/// candidate space was pruned or deduplicated away. This is the
+/// sequential scan the solver drives; the perf gate measures it as the
+/// facade-overhead reference.
 ///
 /// # Errors
 ///
@@ -157,10 +188,14 @@ pub fn find_violation_in_with_stats(
         k,
         Some(state.distances()),
     );
+    let ctl = ScanCtl::unbounded();
+    let mut cl = CtlLocal::new(&ctl);
     for size in 1..=k {
         for coalition in combinations(n, size) {
-            if let Some(mv) = scan.scan_coalition(&coalition, usize::MAX, &mut stats) {
-                return Ok((Some(mv), stats));
+            match scan.scan_coalition(&coalition, usize::MAX, &mut stats, &ctl, &mut cl, 0) {
+                UnitOutcome::Found(mv) => return Ok((Some(mv), stats)),
+                UnitOutcome::Done => {}
+                UnitOutcome::Stopped(_) => unreachable!("unbounded controls never stop"),
             }
         }
     }
@@ -180,6 +215,11 @@ pub fn find_violation_in_with_stats(
 /// # Panics
 ///
 /// Panics if `threads == 0`.
+#[deprecated(
+    since = "0.2.0",
+    note = "route through `bncg_core::solver::Solver` with \
+            `ExecPolicy::default().with_threads(n)`"
+)]
 pub fn find_violation_in_parallel(
     state: &GameState,
     k: usize,
@@ -187,25 +227,82 @@ pub fn find_violation_in_parallel(
     threads: usize,
 ) -> Result<Option<Move>, GameError> {
     assert!(threads > 0, "need at least one worker thread");
-    let g = state.graph();
-    let n = g.n();
-    if n <= 1 || k == 0 {
+    let concept = Concept::KBse(k.min(u32::MAX as usize) as u32);
+    if legacy_guard(concept, state, budget)? {
         return Ok(None);
     }
-    check_budget(g, k, budget)?;
-    let k = k.min(n);
-    let coalitions: Vec<Vec<u32>> = (1..=k).flat_map(|size| combinations(n, size)).collect();
-    Ok(parallel_coalition_scan(
-        g,
-        state.alpha(),
-        state.costs(),
-        state.is_tree(),
-        Some(state.distances()),
-        &coalitions,
-        k,
-        usize::MAX,
-        threads,
-    ))
+    Solver::new(ExecPolicy::default().with_threads(threads))
+        .check(&StabilityQuery::on(concept, state))?
+        .into_violation()
+}
+
+/// The solver's k-BSE unit scanner: one unit per coalition in the
+/// canonical size-major order, positions in each coalition's raw edit
+/// enumeration order (mask-based where the move space fits 63 bits,
+/// size-bounded subset order otherwise). Dedup sets are per workspace,
+/// so a resumed or parallel scan may re-evaluate edit sets an
+/// uninterrupted run deduplicated — wasted work, never a wrong verdict
+/// (a deduplicated set is always a previously judged non-violation).
+pub(crate) struct SolverScan<'a> {
+    state: &'a GameState,
+    k: usize,
+    coalitions: Vec<Vec<u32>>,
+}
+
+impl<'a> SolverScan<'a> {
+    pub(crate) fn new(state: &'a GameState, k: usize) -> Self {
+        let n = state.n();
+        let k = k.min(n);
+        let coalitions: Vec<Vec<u32>> = if n <= 1 || k == 0 {
+            Vec::new()
+        } else {
+            (1..=k).flat_map(|size| combinations(n, size)).collect()
+        };
+        SolverScan {
+            state,
+            k,
+            coalitions,
+        }
+    }
+}
+
+impl<'a> UnitScanner for SolverScan<'a> {
+    type Ws = CoalitionScan<'a>;
+
+    fn units(&self) -> u64 {
+        self.coalitions.len() as u64
+    }
+
+    fn workspace(&self) -> CoalitionScan<'a> {
+        CoalitionScan::new(
+            self.state.graph(),
+            self.state.alpha(),
+            self.state.costs(),
+            self.state.is_tree(),
+            self.k,
+            Some(self.state.distances()),
+        )
+    }
+
+    fn scan_unit(
+        &self,
+        ws: &mut CoalitionScan<'a>,
+        stats: &mut CandidateStats,
+        unit: u64,
+        start: u64,
+        ctl: &ScanCtl,
+        cl: &mut CtlLocal,
+        _racing: Option<&AtomicU64>,
+    ) -> UnitOutcome {
+        ws.scan_coalition(
+            &self.coalitions[unit as usize],
+            usize::MAX,
+            stats,
+            ctl,
+            cl,
+            start,
+        )
+    }
 }
 
 /// Restricted k-BSE refuter: only moves deleting at most `max_removals`
@@ -227,10 +324,14 @@ pub fn find_violation_restricted(
     let old = plain_costs(g);
     let mut scan = CoalitionScan::new(g, alpha, &old, g.is_tree(), k, None);
     let mut stats = CandidateStats::default();
+    let ctl = ScanCtl::unbounded();
+    let mut cl = CtlLocal::new(&ctl);
     for size in 1..=k {
         for coalition in combinations(n, size) {
-            if let Some(mv) = scan.scan_coalition(&coalition, max_removals, &mut stats) {
-                return Some(mv);
+            match scan.scan_coalition(&coalition, max_removals, &mut stats, &ctl, &mut cl, 0) {
+                UnitOutcome::Found(mv) => return Some(mv),
+                UnitOutcome::Done => {}
+                UnitOutcome::Stopped(_) => unreachable!("unbounded controls never stop"),
             }
         }
     }
@@ -304,9 +405,13 @@ fn parallel_coalition_scan(
     if threads == 1 || coalitions.len() < 2 {
         let mut scan = CoalitionScan::new(g, alpha, old, is_tree, k, dist);
         let mut stats = CandidateStats::default();
+        let ctl = ScanCtl::unbounded();
+        let mut cl = CtlLocal::new(&ctl);
         for coalition in coalitions {
-            if let Some(mv) = scan.scan_coalition(coalition, max_removals, &mut stats) {
-                return Some(mv);
+            match scan.scan_coalition(coalition, max_removals, &mut stats, &ctl, &mut cl, 0) {
+                UnitOutcome::Found(mv) => return Some(mv),
+                UnitOutcome::Done => {}
+                UnitOutcome::Stopped(_) => unreachable!("unbounded controls never stop"),
             }
         }
         return None;
@@ -320,19 +425,31 @@ fn parallel_coalition_scan(
             scope.spawn(move || {
                 let mut scan = CoalitionScan::new(g, alpha, old, is_tree, k, dist);
                 let mut stats = CandidateStats::default();
+                let ctl = ScanCtl::unbounded();
+                let mut cl = CtlLocal::new(&ctl);
                 let mut i = t;
                 while i < coalitions.len() {
                     if (best_idx.load(Ordering::Relaxed) as usize) < i {
                         return;
                     }
-                    if let Some(mv) = scan.scan_coalition(&coalitions[i], max_removals, &mut stats)
-                    {
-                        let mut guard = best.lock().expect("no poisoning");
-                        if (i as u32) < best_idx.load(Ordering::Relaxed) {
-                            best_idx.store(i as u32, Ordering::Relaxed);
-                            *guard = Some(mv);
+                    match scan.scan_coalition(
+                        &coalitions[i],
+                        max_removals,
+                        &mut stats,
+                        &ctl,
+                        &mut cl,
+                        0,
+                    ) {
+                        UnitOutcome::Found(mv) => {
+                            let mut guard = best.lock().expect("no poisoning");
+                            if (i as u32) < best_idx.load(Ordering::Relaxed) {
+                                best_idx.store(i as u32, Ordering::Relaxed);
+                                *guard = Some(mv);
+                            }
+                            return;
                         }
-                        return;
+                        UnitOutcome::Done => {}
+                        UnitOutcome::Stopped(_) => unreachable!("unbounded controls never stop"),
                     }
                     i += threads;
                 }
@@ -354,7 +471,7 @@ fn parallel_coalition_scan(
 /// discard whole subspaces with one popcount; without a matrix or with a
 /// removal cap (the restricted refuters, whose removable sets may exceed
 /// 64 edges), size-bounded subset iteration is used instead.
-struct CoalitionScan<'a> {
+pub(crate) struct CoalitionScan<'a> {
     g: &'a Graph,
     alpha: Alpha,
     old: &'a [AgentCost],
@@ -393,47 +510,77 @@ impl<'a> CoalitionScan<'a> {
         }
     }
 
-    /// Scans one coalition's candidate edit sets: removal subsets of the
-    /// edges touching Γ (at most `max_removals` at once), crossed with
-    /// addition subsets of the non-edges inside Γ. Each canonical edit
-    /// set is fingerprint-deduplicated, filtered by the pruning
-    /// inequalities, and — when it survives — judged
-    /// coalition-independently by the ≤ k covering argument.
+    /// Scans one coalition's candidate edit sets from position `start`:
+    /// removal subsets of the edges touching Γ (at most `max_removals`
+    /// at once), crossed with addition subsets of the non-edges inside
+    /// Γ. Each canonical edit set is fingerprint-deduplicated, filtered
+    /// by the pruning inequalities, and — when it survives — judged
+    /// coalition-independently by the ≤ k covering argument. `ctl`/`cl`
+    /// stop the scan anytime-style at an exact resumable position.
     fn scan_coalition(
         &mut self,
         coalition: &[u32],
         max_removals: usize,
         stats: &mut CandidateStats,
-    ) -> Option<Move> {
+        ctl: &ScanCtl,
+        cl: &mut CtlLocal,
+        start: u64,
+    ) -> UnitOutcome {
         let (removable, addable) = coalition_move_space(self.g, coalition);
         if let Some(dist) = self.dist {
-            if max_removals >= removable.len() && removable.len() < 60 && addable.len() <= 20 {
-                return self.scan_coalition_masks(dist, &removable, &addable, stats);
+            // The mask strategy additionally needs positions to fit one
+            // u64 (`add_mask · 2^r + rem_mask`); coalitions past 63 total
+            // bits fall back to subset order, whose ordinal positions
+            // index only what a scan could ever actually visit.
+            if max_removals >= removable.len()
+                && removable.len() < 60
+                && addable.len() <= 20
+                && removable.len() + addable.len() <= 63
+            {
+                return self
+                    .scan_coalition_masks(dist, &removable, &addable, stats, ctl, cl, start);
             }
         }
         let rcap = max_removals.min(removable.len());
+        let mut idx: u64 = 0;
         for rem in bounded_subsets(&removable, 0, rcap) {
             for add in bounded_subsets(&addable, 0, addable.len()) {
+                let pos = idx;
+                idx += 1;
                 if rem.is_empty() && add.is_empty() {
+                    continue;
+                }
+                if pos < start {
+                    // Resume seek: regeneration is cheap next to the
+                    // evaluations the prior run already paid for.
                     continue;
                 }
                 stats.generated += 1;
                 if self.pruner.prunable(&rem, &add) {
                     stats.pruned += 1;
+                    if cl.tick_skipped(ctl, 1) {
+                        return UnitOutcome::Stopped(pos + 1);
+                    }
                     continue;
                 }
                 let fp = edit_fingerprint(&rem, &add);
                 if !self.seen.insert(fp) {
                     stats.deduped += 1;
+                    if cl.tick_skipped(ctl, 1) {
+                        return UnitOutcome::Stopped(pos + 1);
+                    }
                     continue;
                 }
                 stats.evaluated += 1;
                 if let Some(mv) = self.judge_edit_set(&rem, &add) {
-                    return Some(mv);
+                    return UnitOutcome::Found(mv);
+                }
+                if cl.tick_eval(ctl) {
+                    return UnitOutcome::Stopped(pos + 1);
                 }
             }
         }
-        None
+        UnitOutcome::Done
     }
 
     /// Mask-based exact scan of one coalition (addition masks outer,
@@ -442,15 +589,22 @@ impl<'a> CoalitionScan<'a> {
     /// added set into per-endpoint own-removal-count constraints that
     /// discard removal masks with one popcount — or the whole subspace
     /// when an endpoint's constraint is unmeetable.
+    #[allow(clippy::too_many_arguments)]
     fn scan_coalition_masks(
         &mut self,
         dist: &DistanceMatrix,
         removable: &[(u32, u32)],
         addable: &[(u32, u32)],
         stats: &mut CandidateStats,
-    ) -> Option<Move> {
+        ctl: &ScanCtl,
+        cl: &mut CtlLocal,
+        start: u64,
+    ) -> UnitOutcome {
         let rbits = removable.len();
         let rspace = 1u64 << rbits;
+        if start >> rbits >= 1u64 << addable.len() {
+            return UnitOutcome::Done;
+        }
         let bounds_active = self.pruner.active();
         let removal_only_prunable = self.pruner.removal_only_prunable();
         // Per-edge Zobrist keys (rem role), computed once per coalition.
@@ -461,12 +615,18 @@ impl<'a> CoalitionScan<'a> {
         let mut endpoints: Vec<u32> = Vec::new();
         // (own-incident removable mask, min count, max count) per endpoint.
         let mut reqs: Vec<(u64, u32, u32)> = Vec::new();
-        for add_mask in 0u64..1u64 << addable.len() {
+        let add0 = start / rspace;
+        let rem0 = start % rspace;
+        for add_mask in add0..1u64 << addable.len() {
+            let base = add_mask * rspace;
             if add_mask == 0 && removal_only_prunable {
                 // Pure-removal subspace: one arithmetic skip when the
                 // rules apply (the 2^r − 1 nonempty removal subsets).
                 stats.generated += rspace - 1;
                 stats.pruned += rspace - 1;
+                if cl.tick_skipped(ctl, rspace - 1) {
+                    return UnitOutcome::Stopped(base + rspace);
+                }
                 continue;
             }
             let mut add: Vec<(u32, u32)> = Vec::new();
@@ -509,18 +669,26 @@ impl<'a> CoalitionScan<'a> {
             if class_dead {
                 stats.generated += rspace;
                 stats.pruned += rspace;
+                if cl.tick_skipped(ctl, rspace) {
+                    return UnitOutcome::Stopped(base + rspace);
+                }
                 continue;
             }
-            for rem_mask in 0u64..rspace {
+            let rem_from = if add_mask == add0 { rem0 } else { 0 };
+            for rem_mask in rem_from..rspace {
                 if add_mask == 0 && rem_mask == 0 {
                     continue;
                 }
+                let pos = base + rem_mask;
                 stats.generated += 1;
                 if !reqs.iter().all(|&(inc, lo, hi)| {
                     let l = (rem_mask & inc).count_ones();
                     l >= lo && l <= hi
                 }) {
                     stats.pruned += 1;
+                    if cl.tick_skipped(ctl, 1) {
+                        return UnitOutcome::Stopped(pos + 1);
+                    }
                     continue;
                 }
                 let mut fp = fp_add;
@@ -531,6 +699,9 @@ impl<'a> CoalitionScan<'a> {
                 }
                 if !self.seen.insert(fp) {
                     stats.deduped += 1;
+                    if cl.tick_skipped(ctl, 1) {
+                        return UnitOutcome::Stopped(pos + 1);
+                    }
                     continue;
                 }
                 self.rem_list.clear();
@@ -543,17 +714,23 @@ impl<'a> CoalitionScan<'a> {
                 if self.pruner.prunable(&rem, &add) {
                     stats.pruned += 1;
                     self.rem_list = rem;
+                    if cl.tick_skipped(ctl, 1) {
+                        return UnitOutcome::Stopped(pos + 1);
+                    }
                     continue;
                 }
                 stats.evaluated += 1;
                 let verdict = self.judge_edit_set(&rem, &add);
                 self.rem_list = rem;
-                if verdict.is_some() {
-                    return verdict;
+                if let Some(mv) = verdict {
+                    return UnitOutcome::Found(mv);
+                }
+                if cl.tick_eval(ctl) {
+                    return UnitOutcome::Stopped(pos + 1);
                 }
             }
         }
-        None
+        UnitOutcome::Done
     }
 
     /// The coalition-independent verdict: applies the edit set, computes
@@ -875,6 +1052,7 @@ mod tests {
     /// The pruned+deduped scan and the raw reference coalition scan agree
     /// on the stability verdict everywhere, and both witnesses replay.
     #[test]
+    #[allow(deprecated)] // reference test for the compat wrapper
     fn pruned_scan_matches_reference_verdict() {
         let mut rng = bncg_graph::test_rng(0xCBE);
         for case in 0..14 {
@@ -938,6 +1116,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // reference test for the compat wrappers
     fn parallel_exact_matches_sequential_witness() {
         let mut rng = bncg_graph::test_rng(74);
         for _ in 0..6 {
@@ -983,6 +1162,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the compat wrapper must keep the legacy guard
     fn budget_guard_fires() {
         // A dense graph with a huge coalition move space.
         let g = generators::clique(16);

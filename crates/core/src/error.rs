@@ -21,9 +21,19 @@ pub enum GameError {
     /// or was otherwise structurally invalid.
     InvalidMove(String),
     /// An exact checker was asked for an instance beyond its documented
-    /// guard (the check would be super-polynomially large).
+    /// guard (the check would be super-polynomially large). The legacy
+    /// refusal path — [`crate::solver::Solver`] queries degrade to
+    /// [`crate::solver::Verdict::Exhausted`] instead.
     CheckTooLarge {
         /// Human-readable description of the exceeded guard.
+        reason: String,
+    },
+    /// The request itself cannot be executed: a malformed or mismatched
+    /// solver resume token, an unknown concept name, or an instance past
+    /// a structural representation limit (not a budget — budgets
+    /// exhaust, they do not error).
+    Unsupported {
+        /// Human-readable description of what was rejected.
         reason: String,
     },
     /// The operation requires a connected graph.
@@ -44,6 +54,9 @@ impl fmt::Display for GameError {
             GameError::InvalidMove(why) => write!(f, "invalid move: {why}"),
             GameError::CheckTooLarge { reason } => {
                 write!(f, "exact check exceeds its size guard: {reason}")
+            }
+            GameError::Unsupported { reason } => {
+                write!(f, "unsupported request: {reason}")
             }
             GameError::Disconnected => write!(f, "operation requires a connected graph"),
             GameError::NotATree => write!(f, "operation requires a tree"),

@@ -21,24 +21,52 @@
 //!   non-improving moves without pricing them ([`candidates`]);
 //! * the **unilateral NCG** comparison layer with edge assignments
 //!   ([`unilateral`]), used to disprove the Corbo–Parkes conjecture;
+//! * the unified **[`solver`] query surface** every stability check
+//!   routes through: a [`StabilityQuery`] executed under an
+//!   [`ExecPolicy`] (threads, evaluation budget, deadline, cancel
+//!   token) returns a structured [`Verdict`] — stable, unstable with a
+//!   witness, or *exhausted* with a serializable resume [`Frontier`];
 //! * the paper's **bounds** as executable closed forms and exact lemma
 //!   predicates ([`bounds`]).
 //!
 //! # Examples
 //!
-//! Checkers certify stability or hand back a replayable witness move:
+//! One query surface for the whole cooperation ladder — budgeted,
+//! anytime, resumable:
 //!
 //! ```
-//! use bncg_core::{concepts, delta, Alpha};
+//! use bncg_core::solver::{ExecPolicy, Solver, StabilityQuery, Verdict};
+//! use bncg_core::{delta, Alpha, Concept};
 //! use bncg_graph::generators;
 //!
 //! let path = generators::path(6);
 //! let alpha = Alpha::integer(2)?;
+//! let solver = Solver::new(ExecPolicy::default().with_threads(2));
+//!
 //! // Trees are always in Remove Equilibrium …
-//! assert!(concepts::re::is_stable(&path, alpha));
-//! // … but the path's ends profit from a joint edge: not pairwise stable.
-//! let witness = concepts::ps::find_violation(&path, alpha).expect("unstable");
+//! let q = StabilityQuery::new(Concept::Re, &path, alpha);
+//! assert!(matches!(solver.check(&q)?, Verdict::Stable { .. }));
+//!
+//! // … but the path's ends profit from a joint edge: not pairwise
+//! // stable, and the verdict carries a replayable witness move.
+//! let q = StabilityQuery::new(Concept::Ps, &path, alpha);
+//! let Verdict::Unstable { witness, .. } = solver.check(&q)? else {
+//!     panic!("the path is not pairwise stable")
+//! };
 //! assert!(delta::move_improves_all(&path, alpha, &witness)?);
+//!
+//! // Exponential concepts degrade gracefully instead of erroring: a
+//! // deadline (or eval budget) turns into an `Exhausted` verdict whose
+//! // frontier resumes the scan exactly where it stopped.
+//! let star = generators::star(16);
+//! let tight = Solver::new(ExecPolicy::default().with_deadline(std::time::Duration::ZERO));
+//! let Verdict::Exhausted { frontier, .. } =
+//!     tight.check(&StabilityQuery::new(Concept::Bne, &star, alpha))?
+//! else {
+//!     panic!("a zero deadline must exhaust the BNE scan")
+//! };
+//! let resumed = StabilityQuery::new(Concept::Bne, &star, alpha).resume(frontier);
+//! assert!(matches!(solver.check(&resumed)?, Verdict::Stable { .. }));
 //! # Ok::<(), bncg_core::GameError>(())
 //! ```
 
@@ -51,12 +79,14 @@ mod cost;
 mod error;
 mod game;
 mod moves;
+mod scan;
 
 pub mod bounds;
 pub mod candidates;
 pub mod combinatorics;
 pub mod concepts;
 pub mod delta;
+pub mod solver;
 pub mod state;
 pub mod unilateral;
 pub mod windows;
@@ -72,4 +102,5 @@ pub use cost::{
 pub use error::GameError;
 pub use game::Game;
 pub use moves::{AppliedMove, Move};
+pub use solver::{ExecPolicy, Frontier, Progress, Solver, StabilityQuery, Verdict};
 pub use state::{AgentDelta, GameState, MoveDelta, MoveEvaluator};

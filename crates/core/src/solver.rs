@@ -1,0 +1,750 @@
+//! The unified stability-query surface: **one way to ask "is this state
+//! stable?"** for every solution concept, under an explicit execution
+//! policy with budgets, deadlines, cancellation, and threads — returning
+//! a structured [`Verdict`] instead of a zoo of per-concept entry
+//! points.
+//!
+//! A [`StabilityQuery`] names the concept and the instance (a graph plus
+//! α, or a borrowed [`GameState`] whose caches are reused). A [`Solver`]
+//! executes queries under its [`ExecPolicy`]:
+//!
+//! * **Budgeted** — `eval_budget` caps the number of candidate-move
+//!   evaluations (the same unit the legacy [`CheckBudget`] counted);
+//! * **anytime** — a query stopped by budget, deadline, or cancellation
+//!   returns [`Verdict::Exhausted`] with the work done so far instead of
+//!   the old hard [`GameError::CheckTooLarge`] refusal;
+//! * **resumable** — the exhausted verdict carries a serializable
+//!   [`Frontier`]; a follow-up query built with
+//!   [`StabilityQuery::resume`] continues the scan exactly where it
+//!   stopped. Enumeration order is deterministic, so a chain of budgeted
+//!   queries returns the **identical witness** an uninterrupted run
+//!   would (property-tested in `tests/solver.rs`).
+//!
+//! The polynomial concepts (RE, BAE, PS, BSwE, BGE) complete in
+//! microseconds and are executed eagerly — they never exhaust and their
+//! evaluation counts are not metered. The exponential concepts (BNE,
+//! k-BSE, BSE) run through the PR 2 pruned scans, sharded across
+//! `threads` std scoped threads with the deterministic
+//! lowest-unit-wins witness protocol.
+//!
+//! # Examples
+//!
+//! ```
+//! use bncg_core::solver::{ExecPolicy, Solver, StabilityQuery, Verdict};
+//! use bncg_core::{Alpha, Concept};
+//! use bncg_graph::generators;
+//!
+//! let alpha = Alpha::integer(2)?;
+//! let solver = Solver::new(ExecPolicy::default().with_threads(2));
+//! // The star is a Bilateral Neighborhood Equilibrium at α ≥ 1 …
+//! let q = StabilityQuery::new(Concept::Bne, &generators::star(12), alpha);
+//! assert!(matches!(solver.check(&q)?, Verdict::Stable { .. }));
+//! // … the path is not, and the verdict carries the witness move.
+//! let q = StabilityQuery::new(Concept::Bne, &generators::path(12), alpha);
+//! assert!(matches!(solver.check(&q)?, Verdict::Unstable { .. }));
+//! # Ok::<(), bncg_core::GameError>(())
+//! ```
+//!
+//! Anytime + resume: drain a too-large check in budgeted slices.
+//!
+//! ```
+//! use bncg_core::solver::{ExecPolicy, Solver, StabilityQuery, Verdict};
+//! use bncg_core::{Alpha, Concept, GameState};
+//! use bncg_graph::generators;
+//!
+//! let state = GameState::new(generators::path(12), Alpha::integer(2)?);
+//! let solver = Solver::new(ExecPolicy::default().with_eval_budget(50));
+//! let mut query = StabilityQuery::on(Concept::Bne, &state);
+//! let witness = loop {
+//!     match solver.check(&query)? {
+//!         Verdict::Unstable { witness, .. } => break Some(witness),
+//!         Verdict::Stable { .. } => break None,
+//!         Verdict::Exhausted { frontier, .. } => {
+//!             query = StabilityQuery::on(Concept::Bne, &state).resume(frontier);
+//!         }
+//!     }
+//! };
+//! assert!(witness.is_some());
+//! # Ok::<(), bncg_core::GameError>(())
+//! ```
+
+use crate::alpha::Alpha;
+use crate::candidates::CandidateStats;
+use crate::concepts::{bae, bge, bne, bse, bswe, kbse, ps, re, CheckBudget, Concept};
+use crate::error::GameError;
+use crate::moves::Move;
+use crate::scan::{drive, DriveOutcome, ScanCtl, UnitScanner};
+use crate::state::GameState;
+use bncg_graph::Graph;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How a [`Solver`] executes queries: thread count and stop conditions.
+///
+/// The default policy is sequential and unbounded — semantically the
+/// exhaustive scan, minus the legacy size guards (an oversized query
+/// simply runs until a stop condition fires, so pair unbounded policies
+/// with instances you know terminate, or set a budget or deadline).
+#[derive(Debug, Clone)]
+pub struct ExecPolicy {
+    /// Worker threads for the exponential scans and for
+    /// [`Solver::check_many`] batches. `0` is treated as `1`.
+    pub threads: usize,
+    /// Maximum candidate-move evaluations per query (the unit
+    /// [`CheckBudget`] counted). Enforced within a poll quantum of at
+    /// most 1024 evaluations per thread.
+    pub eval_budget: Option<u64>,
+    /// Wall-clock allowance per query, measured from the start of each
+    /// [`Solver::check`] call (batch sweeps therefore grant it per
+    /// instance). Run-level consumers — `dynamics::run_with_policy`,
+    /// `round_robin::run_with_policy` — anchor it once per run and pass
+    /// the remainder down, so there it bounds the whole run.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation: raise the flag and every running query
+    /// of this policy returns [`Verdict::Exhausted`] at its next poll.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        ExecPolicy {
+            threads: 1,
+            eval_budget: None,
+            deadline: None,
+            cancel: None,
+        }
+    }
+}
+
+impl ExecPolicy {
+    /// Sets the worker-thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Caps candidate evaluations per query.
+    #[must_use]
+    pub fn with_eval_budget(mut self, evals: u64) -> Self {
+        self.eval_budget = Some(evals);
+        self
+    }
+
+    /// Caps wall-clock time per query.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, token: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+}
+
+/// The frontier layout version: positions are meaningful only under the
+/// exact enumeration layout of the build that issued them (BSE chunk
+/// size, pruning-derived partner lists, k-BSE strategy thresholds).
+/// Bump this whenever any of those change so stale cross-build tokens
+/// are rejected instead of silently reinterpreted.
+const FRONTIER_LAYOUT: u64 = 1;
+
+/// A serializable resume point for an exhausted exponential scan.
+///
+/// The frontier certifies that every candidate strictly before
+/// `(unit, pos)` in the concept's deterministic enumeration order is
+/// non-improving; resuming continues from exactly there. It is bound to
+/// the concept and to a fingerprint of the instance (graph + α), so
+/// resuming against a different query is rejected instead of silently
+/// producing garbage.
+///
+/// Serialization is a flat JSON object (`to_json`/`FromStr`) carrying
+/// an enumeration-layout version, so frontiers can cross process
+/// boundaries — a service can hand the token to the client and continue
+/// the scan on any replica *of the same build* (the instance
+/// fingerprint is toolchain-stable FNV-1a; tokens from a build with a
+/// different layout version are rejected on parse).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frontier {
+    concept: Concept,
+    instance: u64,
+    unit: u64,
+    pos: u64,
+    evals: u64,
+}
+
+impl Frontier {
+    /// The concept this frontier belongs to.
+    #[must_use]
+    pub fn concept(&self) -> Concept {
+        self.concept
+    }
+
+    /// Cumulative candidate evaluations across all runs so far.
+    #[must_use]
+    pub fn evals(&self) -> u64 {
+        self.evals
+    }
+
+    /// Serializes the frontier as a flat JSON object (including the
+    /// enumeration-layout version, checked on parse).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"v\":{FRONTIER_LAYOUT},\"concept\":\"{}\",\"instance\":{},\
+             \"unit\":{},\"pos\":{},\"evals\":{}}}",
+            self.concept.token(),
+            self.instance,
+            self.unit,
+            self.pos,
+            self.evals
+        )
+    }
+}
+
+impl fmt::Display for Frontier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+impl FromStr for Frontier {
+    type Err = GameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let concept: Concept = json_str(s, "concept")
+            .ok_or_else(|| bad_frontier("missing \"concept\""))?
+            .parse()?;
+        let field = |key: &str| json_u64(s, key).ok_or_else(|| bad_frontier(key));
+        let layout = field("v")?;
+        if layout != FRONTIER_LAYOUT {
+            return Err(GameError::Unsupported {
+                reason: format!(
+                    "frontier token has enumeration-layout version {layout}, \
+                     this build speaks version {FRONTIER_LAYOUT} — restart the \
+                     scan instead of resuming"
+                ),
+            });
+        }
+        Ok(Frontier {
+            concept,
+            instance: field("instance")?,
+            unit: field("unit")?,
+            pos: field("pos")?,
+            evals: field("evals")?,
+        })
+    }
+}
+
+fn bad_frontier(what: &str) -> GameError {
+    GameError::Unsupported {
+        reason: format!("malformed frontier token: missing or invalid {what}"),
+    }
+}
+
+/// Minimal `"key": <u64>` extractor (the workspace is offline — no serde).
+fn json_u64(json: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Minimal `"key": "<str>"` extractor.
+fn json_str<'j>(json: &'j str, key: &str) -> Option<&'j str> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start().strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// How far an exhausted scan got (attached to [`Verdict::Exhausted`]).
+#[derive(Debug, Clone)]
+pub struct Progress {
+    /// Candidate counters for **this run** (a resumed query reports the
+    /// slice it scanned, not the cumulative totals).
+    pub stats: CandidateStats,
+    /// Cumulative candidate evaluations across all runs of this query
+    /// chain (equals the frontier's [`Frontier::evals`]).
+    pub evals_total: u64,
+    /// Fully certified leading units (the frontier's unit index).
+    pub units_done: u64,
+    /// Total units in the scan (centers, coalitions, or mask chunks).
+    pub units_total: u64,
+    /// Wall-clock time of this run.
+    pub elapsed: Duration,
+}
+
+/// The structured result of a stability query.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// The full candidate space was certified non-improving.
+    Stable {
+        /// Candidate evaluations performed across the whole resume
+        /// chain (0 for polynomial concepts, whose scans are not
+        /// metered).
+        evals: u64,
+        /// Candidates skipped by the pruning layer without evaluation
+        /// in **this run's slice** (bulk raw-space accounting happens
+        /// once per unit, so a resumed slice reports only what it
+        /// scanned).
+        pruned: u64,
+        /// Wall-clock time of this check call.
+        elapsed: Duration,
+    },
+    /// An improving move the concept forbids — the same witness the
+    /// sequential exhaustive scan returns.
+    Unstable {
+        /// The violating move (replayable via [`crate::delta`]).
+        witness: Move,
+        /// Candidate evaluations performed across the whole resume
+        /// chain.
+        evals: u64,
+        /// Wall-clock time of this check call.
+        elapsed: Duration,
+    },
+    /// The execution policy stopped the scan first: everything before
+    /// `frontier` is certified, the rest is unknown. Resume with
+    /// [`StabilityQuery::resume`].
+    Exhausted {
+        /// Resume token.
+        frontier: Frontier,
+        /// Work accounting for this run.
+        progress: Progress,
+    },
+}
+
+impl Verdict {
+    /// `Some(true)`/`Some(false)` for conclusive verdicts, `None` when
+    /// exhausted.
+    #[must_use]
+    pub fn is_stable(&self) -> Option<bool> {
+        match self {
+            Verdict::Stable { .. } => Some(true),
+            Verdict::Unstable { .. } => Some(false),
+            Verdict::Exhausted { .. } => None,
+        }
+    }
+
+    /// The witness move, if the verdict is `Unstable`.
+    #[must_use]
+    pub fn witness(&self) -> Option<&Move> {
+        match self {
+            Verdict::Unstable { witness, .. } => Some(witness),
+            _ => None,
+        }
+    }
+
+    /// The resume token, if the verdict is `Exhausted`.
+    #[must_use]
+    pub fn frontier(&self) -> Option<&Frontier> {
+        match self {
+            Verdict::Exhausted { frontier, .. } => Some(frontier),
+            _ => None,
+        }
+    }
+
+    /// Collapses to the legacy `find_violation` signature: `Unstable`
+    /// yields the witness, `Stable` yields `None`, and `Exhausted` maps
+    /// to the legacy [`GameError::CheckTooLarge`] (the deprecated
+    /// wrappers use this for drop-in compatibility).
+    ///
+    /// # Errors
+    ///
+    /// [`GameError::CheckTooLarge`] when the verdict is `Exhausted`.
+    pub fn into_violation(self) -> Result<Option<Move>, GameError> {
+        match self {
+            Verdict::Stable { .. } => Ok(None),
+            Verdict::Unstable { witness, .. } => Ok(Some(witness)),
+            Verdict::Exhausted { frontier, progress } => Err(GameError::CheckTooLarge {
+                reason: format!(
+                    "query exhausted its execution policy after {} evaluations \
+                     ({}/{} units); resume from frontier {}",
+                    progress.evals_total, progress.units_done, progress.units_total, frontier
+                ),
+            }),
+        }
+    }
+}
+
+/// One stability question: a concept applied to an instance, optionally
+/// resuming from a prior [`Frontier`].
+///
+/// Build with [`StabilityQuery::new`] (owns a fresh [`GameState`]) or
+/// [`StabilityQuery::on`] (borrows a caller-maintained state and reuses
+/// its cached distance matrix and costs — the right choice inside
+/// dynamics loops and sweeps).
+#[derive(Debug, Clone)]
+pub struct StabilityQuery<'a> {
+    concept: Concept,
+    state: QueryState<'a>,
+    resume: Option<Frontier>,
+}
+
+#[derive(Debug, Clone)]
+enum QueryState<'a> {
+    Owned(Box<GameState>),
+    Borrowed(&'a GameState),
+}
+
+impl StabilityQuery<'static> {
+    /// A query owning its evaluation state, built from a graph and α.
+    #[must_use]
+    pub fn new(concept: Concept, g: &Graph, alpha: Alpha) -> StabilityQuery<'static> {
+        StabilityQuery {
+            concept,
+            state: QueryState::Owned(Box::new(GameState::new(g.clone(), alpha))),
+            resume: None,
+        }
+    }
+}
+
+impl<'a> StabilityQuery<'a> {
+    /// A query borrowing a caller-maintained state (no cache rebuild).
+    #[must_use]
+    pub fn on(concept: Concept, state: &'a GameState) -> StabilityQuery<'a> {
+        StabilityQuery {
+            concept,
+            state: QueryState::Borrowed(state),
+            resume: None,
+        }
+    }
+
+    /// Continues a scan from a prior run's frontier. The frontier must
+    /// come from the same concept and instance, or
+    /// [`Solver::check`] rejects the query.
+    #[must_use]
+    pub fn resume(mut self, frontier: Frontier) -> Self {
+        self.resume = Some(frontier);
+        self
+    }
+
+    /// The queried concept.
+    #[must_use]
+    pub fn concept(&self) -> Concept {
+        self.concept
+    }
+
+    fn state(&self) -> &GameState {
+        match &self.state {
+            QueryState::Owned(s) => s,
+            QueryState::Borrowed(s) => s,
+        }
+    }
+}
+
+/// Executes [`StabilityQuery`]s under one [`ExecPolicy`].
+#[derive(Debug, Clone, Default)]
+pub struct Solver {
+    policy: ExecPolicy,
+}
+
+impl Solver {
+    /// A solver with the given execution policy.
+    #[must_use]
+    pub fn new(policy: ExecPolicy) -> Self {
+        Solver { policy }
+    }
+
+    /// The solver's execution policy.
+    #[must_use]
+    pub fn policy(&self) -> &ExecPolicy {
+        &self.policy
+    }
+
+    /// Executes one query.
+    ///
+    /// # Errors
+    ///
+    /// [`GameError::Unsupported`] when a resume frontier does not match
+    /// the query (different concept or instance) or the instance exceeds
+    /// a structural representation limit (BNE needs `n ≤ 64` and BSE
+    /// `n ≤ 11` for their 64-bit masks; k-BSE caps its materialized
+    /// coalition index at 2²⁰ units). Never
+    /// [`GameError::CheckTooLarge`]: running out of budget is a
+    /// [`Verdict::Exhausted`], not an error.
+    pub fn check(&self, query: &StabilityQuery) -> Result<Verdict, GameError> {
+        self.check_with_threads(query, self.policy.threads)
+    }
+
+    /// Executes a batch of queries on one scoped thread pool, returning
+    /// results in input order regardless of completion order. Each query
+    /// runs sequentially on one worker (the pool parallelizes *across*
+    /// queries); stop conditions apply per query, with deadlines
+    /// measured from each query's own start.
+    pub fn check_many(&self, queries: &[StabilityQuery]) -> Vec<Result<Verdict, GameError>> {
+        let workers = self.policy.threads.max(1).min(queries.len());
+        if workers <= 1 {
+            return queries.iter().map(|q| self.check(q)).collect();
+        }
+        let next = AtomicU64::new(0);
+        let collected: Mutex<Vec<(usize, Result<Verdict, GameError>)>> =
+            Mutex::new(Vec::with_capacity(queries.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let next = &next;
+                let collected = &collected;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+                        if i >= queries.len() {
+                            break;
+                        }
+                        local.push((i, self.check_with_threads(&queries[i], 1)));
+                    }
+                    collected.lock().expect("no poisoning").extend(local);
+                });
+            }
+        });
+        let mut results = collected.into_inner().expect("no poisoning");
+        results.sort_by_key(|(i, _)| *i);
+        results.into_iter().map(|(_, r)| r).collect()
+    }
+
+    fn check_with_threads(
+        &self,
+        query: &StabilityQuery,
+        threads: usize,
+    ) -> Result<Verdict, GameError> {
+        let state = query.state();
+        let started = Instant::now();
+
+        // Resume validation first — a mismatched token is a caller bug
+        // that must surface even on queries that would complete eagerly.
+        // The frontier must name this concept (which also rules out the
+        // polynomial concepts: they never exhaust, so there is nothing
+        // to resume) and this exact instance.
+        let (start_unit, start_pos, prior_evals) = match &query.resume {
+            Some(f) => {
+                if f.concept != query.concept {
+                    return Err(GameError::Unsupported {
+                        reason: format!(
+                            "frontier belongs to {} but the query asks for {}",
+                            f.concept, query.concept
+                        ),
+                    });
+                }
+                if !query.concept.is_exponential() {
+                    return Err(GameError::Unsupported {
+                        reason: format!(
+                            "{} completes eagerly and never exhausts; a resume \
+                             frontier for it cannot be genuine",
+                            query.concept
+                        ),
+                    });
+                }
+                if f.instance != state.fingerprint() {
+                    return Err(GameError::Unsupported {
+                        reason: "frontier was issued for a different instance \
+                                 (graph or α differ)"
+                            .into(),
+                    });
+                }
+                (f.unit, f.pos, f.evals)
+            }
+            None => (0, 0, 0),
+        };
+
+        // Polynomial concepts complete eagerly; they never exhaust.
+        let poly = match query.concept {
+            Concept::Re => Some(re::find_violation_in(state)),
+            Concept::Bae => Some(bae::find_violation_in(state)),
+            Concept::Ps => Some(ps::find_violation_in(state)),
+            Concept::Bswe => Some(bswe::find_violation_in(state)),
+            Concept::Bge => Some(bge::find_violation_in(state)),
+            _ => None,
+        };
+        if let Some(found) = poly {
+            return Ok(match found {
+                Some(witness) => Verdict::Unstable {
+                    witness,
+                    evals: 0,
+                    elapsed: started.elapsed(),
+                },
+                None => Verdict::Stable {
+                    evals: 0,
+                    pruned: 0,
+                    elapsed: started.elapsed(),
+                },
+            });
+        }
+
+        let threads = threads.max(1);
+        let shared_evals = AtomicU64::new(0);
+        let deadline = self.policy.deadline.map(|d| started + d);
+        let cancel = self.policy.cancel.as_deref();
+        let ctl = ScanCtl::new(&shared_evals, self.policy.eval_budget, deadline, cancel);
+
+        let ((outcome, stats), units_total) = match query.concept {
+            Concept::Bne => {
+                if state.n() > 64 {
+                    return Err(unsupported_size("BNE", state.n(), 64));
+                }
+                let scanner = bne::SolverScan::new(state);
+                let u = scanner.units();
+                (drive(&scanner, threads, start_unit, start_pos, &ctl), u)
+            }
+            Concept::KBse(k) => {
+                // The coalition list is materialized for unit indexing;
+                // cap it before allocation so an absurd (n, k) errors
+                // structurally instead of exhausting memory.
+                let units = kbse_unit_count(state.n(), k as usize);
+                if units > u128::from(KBSE_MAX_UNITS) {
+                    return Err(GameError::Unsupported {
+                        reason: format!(
+                            "the exact {k}-BSE scan indexes its coalitions as \
+                             materialized units and supports at most \
+                             {KBSE_MAX_UNITS} of them; n = {} with k = {k} \
+                             yields more (use the restricted refuter for \
+                             instances of this size)",
+                            state.n()
+                        ),
+                    });
+                }
+                let scanner = kbse::SolverScan::new(state, k as usize);
+                let u = scanner.units();
+                (drive(&scanner, threads, start_unit, start_pos, &ctl), u)
+            }
+            Concept::Bse => {
+                if state.n() > 11 {
+                    return Err(unsupported_size("BSE", state.n(), 11));
+                }
+                let scanner = bse::SolverScan::new(state);
+                let u = scanner.units();
+                (drive(&scanner, threads, start_unit, start_pos, &ctl), u)
+            }
+            _ => unreachable!("polynomial concepts returned above"),
+        };
+
+        let elapsed = started.elapsed();
+        Ok(match outcome {
+            DriveOutcome::Completed(None) => Verdict::Stable {
+                evals: prior_evals + stats.evaluated,
+                pruned: stats.skipped(),
+                elapsed,
+            },
+            DriveOutcome::Completed(Some(witness)) => Verdict::Unstable {
+                witness,
+                evals: prior_evals + stats.evaluated,
+                elapsed,
+            },
+            DriveOutcome::Stopped { unit, pos } => {
+                let evals_total = prior_evals + stats.evaluated;
+                Verdict::Exhausted {
+                    frontier: Frontier {
+                        concept: query.concept,
+                        instance: state.fingerprint(),
+                        unit,
+                        pos,
+                        evals: evals_total,
+                    },
+                    progress: Progress {
+                        stats,
+                        evals_total,
+                        units_done: unit,
+                        units_total,
+                        elapsed,
+                    },
+                }
+            }
+        })
+    }
+}
+
+/// Hard cap on materialized k-BSE coalition units (≈ 50 MB of small
+/// vectors at the limit; every instance the exact scan could ever drain
+/// sits far below it).
+const KBSE_MAX_UNITS: u64 = 1 << 20;
+
+/// `Σ_{i=1..k} C(n, i)`, saturating early once past [`KBSE_MAX_UNITS`]
+/// (the caller only needs "over the cap", so intermediate binomials
+/// never overflow: each term is checked before it can grow past the cap
+/// times `n`).
+fn kbse_unit_count(n: usize, k: usize) -> u128 {
+    let k = k.min(n);
+    let mut total: u128 = 0;
+    let mut c: u128 = 1;
+    for i in 1..=k {
+        c = c * (n - i + 1) as u128 / i as u128;
+        total = total.saturating_add(c);
+        if total > u128::from(KBSE_MAX_UNITS) {
+            return total;
+        }
+    }
+    total
+}
+
+fn unsupported_size(what: &str, n: usize, max: usize) -> GameError {
+    GameError::Unsupported {
+        reason: format!(
+            "the exact {what} scan represents candidates as 64-bit masks and \
+             supports n ≤ {max}; got n = {n} (use the sampled/restricted \
+             refuters for larger instances)"
+        ),
+    }
+}
+
+/// Runs `concept` to completion on `state` through the solver, with the
+/// default sequential unbounded policy. Shared by the deprecated
+/// per-concept wrappers (which apply their legacy size guards first).
+pub(crate) fn solve_to_completion(
+    concept: Concept,
+    state: &GameState,
+) -> Result<Option<Move>, GameError> {
+    Solver::default()
+        .check(&StabilityQuery::on(concept, state))?
+        .into_violation()
+}
+
+/// The one shared implementation of the legacy pre-scan size guards,
+/// used by every guarded `Concept` entry point and deprecated wrapper
+/// so the refusal semantics cannot drift between call sites. `Ok(true)`
+/// means the instance is trivially stable (`n ≤ 1`, or `k = 0` for
+/// k-BSE) and needs no scan at all; polynomial concepts are never
+/// guarded.
+///
+/// # Errors
+///
+/// [`GameError::CheckTooLarge`] when the concept's raw move space
+/// exceeds `budget` — the refusal the solver path replaces with
+/// [`Verdict::Exhausted`].
+pub(crate) fn legacy_guard(
+    concept: Concept,
+    state: &GameState,
+    budget: CheckBudget,
+) -> Result<bool, GameError> {
+    match concept {
+        Concept::Bne => {
+            if state.n() <= 1 {
+                return Ok(true);
+            }
+            bne::check_budget(state.n(), budget)?;
+        }
+        Concept::KBse(k) => {
+            if state.n() <= 1 || k == 0 {
+                return Ok(true);
+            }
+            kbse::check_budget(state.graph(), k as usize, budget)?;
+        }
+        Concept::Bse => {
+            if state.n() <= 1 {
+                return Ok(true);
+            }
+            bse::check_budget(state.n(), budget)?;
+        }
+        _ => {}
+    }
+    Ok(false)
+}

@@ -205,6 +205,19 @@ impl GameState {
         self.is_tree
     }
 
+    /// A 64-bit fingerprint of the *instance* — the labelled graph plus
+    /// α — binding a [`crate::solver::Frontier`] resume token to the
+    /// exact state it was issued for. Applied moves change the graph and
+    /// therefore the fingerprint, so stale tokens are rejected instead
+    /// of resuming into a different instance. Built on the stable
+    /// [`bncg_graph::fnv1a_u64`] primitive, so serialized tokens resolve
+    /// across processes, platforms, and toolchains.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let h = bncg_graph::fnv1a_u64(self.g.fingerprint(), self.alpha.num() as u64);
+        bncg_graph::fnv1a_u64(h, self.alpha.den() as u64)
+    }
+
     /// Social cost of the state from the cached matrix, without any BFS.
     ///
     /// # Errors

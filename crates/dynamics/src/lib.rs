@@ -32,6 +32,7 @@
 
 pub mod round_robin;
 
+use bncg_core::solver::{ExecPolicy, Solver, StabilityQuery, Verdict};
 use bncg_core::{Alpha, Concept, GameError, GameState, Move};
 use bncg_graph::Graph;
 use rand::seq::SliceRandom;
@@ -57,6 +58,11 @@ pub struct Trajectory {
     pub steps: Vec<Move>,
     /// Whether the run reached a stable state (vs. hitting the step cap).
     pub converged: bool,
+    /// Whether a stability check exhausted its [`ExecPolicy`] (budget,
+    /// deadline, or cancellation) before the run could converge — only
+    /// reachable through [`run_with_policy`]. Mutually exclusive with
+    /// `converged`.
+    pub exhausted: bool,
     /// The final graph.
     pub final_graph: Graph,
     /// Social cost after every step (including the initial state), as
@@ -110,13 +116,111 @@ pub fn run_with_rng<R: Rng + ?Sized>(
     max_steps: usize,
     rng: &mut R,
 ) -> Result<Trajectory, GameError> {
+    run_impl(start, alpha, concept, rule, max_steps, rng, None)
+}
+
+/// [`run`] under an explicit [`ExecPolicy`]: every per-step
+/// exponential-concept stability check goes through one [`Solver`]
+/// (threads shard the scans, and this holds for **all** selection rules
+/// — for BNE/k-BSE/BSE the enumerating rules degrade to the checker's
+/// single deterministic violation, exactly as [`enumerate_violations`]
+/// does). The policy's deadline is anchored once and bounds the **whole
+/// run** (each step's check receives the remaining slice, matching
+/// [`round_robin::run_with_policy`]); the eval budget applies per step.
+/// A step stopped by the policy ends the run with `exhausted = true`
+/// instead of erroring — the anytime contract of the solver surface,
+/// lifted to dynamics.
+/// Polynomial-concept steps complete eagerly (the solver does not meter
+/// them), so those runs are bounded by `max_steps`, not the policy.
+///
+/// # Errors
+///
+/// Forwards [`GameError::InvalidMove`] if a checker emits a
+/// non-applicable move; unlike [`run`], oversized instances do not error
+/// with [`GameError::CheckTooLarge`] — bound them via the policy.
+pub fn run_with_policy(
+    start: &Graph,
+    alpha: Alpha,
+    concept: Concept,
+    rule: SelectionRule,
+    max_steps: usize,
+    policy: &ExecPolicy,
+) -> Result<Trajectory, GameError> {
+    let mut rng = bncg_graph::test_rng(0x5eed);
+    run_impl(
+        start,
+        alpha,
+        concept,
+        rule,
+        max_steps,
+        &mut rng,
+        Some(policy),
+    )
+}
+
+fn run_impl<R: Rng + ?Sized>(
+    start: &Graph,
+    alpha: Alpha,
+    concept: Concept,
+    rule: SelectionRule,
+    max_steps: usize,
+    rng: &mut R,
+    policy: Option<&ExecPolicy>,
+) -> Result<Trajectory, GameError> {
+    // The policy deadline bounds the *run*, not each step: it is
+    // anchored once here and each per-step check receives only the
+    // remaining slice (the same run-level anchoring the round-robin
+    // dynamics uses, so `deadline` means one thing across both APIs).
+    let run_deadline = policy
+        .and_then(|p| p.deadline)
+        .map(|d| std::time::Instant::now() + d);
+    // Resolves the next deterministic first-violation move: through the
+    // solver when a policy is given (anytime semantics), through the
+    // guarded legacy entry point otherwise.
+    let next_first = |state: &GameState| -> Result<Result<Option<Move>, ()>, GameError> {
+        match policy {
+            Some(p) => {
+                let mut step_policy = p.clone();
+                if let Some(at) = run_deadline {
+                    match at.checked_duration_since(std::time::Instant::now()) {
+                        // Run deadline already passed: exhausted.
+                        None => return Ok(Err(())),
+                        Some(remaining) => step_policy.deadline = Some(remaining),
+                    }
+                }
+                match Solver::new(step_policy).check(&StabilityQuery::on(concept, state))? {
+                    Verdict::Stable { .. } => Ok(Ok(None)),
+                    Verdict::Unstable { witness, .. } => Ok(Ok(Some(witness))),
+                    Verdict::Exhausted { .. } => Ok(Err(())),
+                }
+            }
+            None => Ok(Ok(concept.find_violation_in(state)?)),
+        }
+    };
     let mut state = GameState::new(start.clone(), alpha);
     let mut steps = Vec::new();
     let mut cost_trace = vec![state.social_cost().ok().map(|c| c.as_f64())];
     let mut converged = false;
+    let mut exhausted = false;
+    // For exponential concepts every rule reduces to the checker's
+    // single deterministic violation (enumerate_violations_in falls back
+    // to it), so the solver-routed path covers Random/MostImproving too
+    // — without it they would hit the legacy guard the policy is meant
+    // to replace.
+    let effective_rule = if concept.is_exponential() {
+        SelectionRule::First
+    } else {
+        rule
+    };
     for _ in 0..max_steps {
-        let next = match rule {
-            SelectionRule::First => concept.find_violation_in(&state)?,
+        let next = match effective_rule {
+            SelectionRule::First => match next_first(&state)? {
+                Ok(next) => next,
+                Err(()) => {
+                    exhausted = true;
+                    break;
+                }
+            },
             SelectionRule::Random => enumerate_violations_in(&state, concept)?
                 .choose(rng)
                 .cloned(),
@@ -130,12 +234,17 @@ pub fn run_with_rng<R: Rng + ?Sized>(
         cost_trace.push(state.social_cost().ok().map(|c| c.as_f64()));
         steps.push(mv);
     }
-    if !converged && concept.find_violation_in(&state)?.is_none() {
-        converged = true;
+    if !converged && !exhausted {
+        match next_first(&state)? {
+            Ok(None) => converged = true,
+            Ok(Some(_)) => {}
+            Err(()) => exhausted = true,
+        }
     }
     Ok(Trajectory {
         steps,
         converged,
+        exhausted,
         final_graph: state.graph().clone(),
         cost_trace,
     })
@@ -379,6 +488,48 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn policy_runs_match_default_runs() {
+        // The solver-routed policy path replays the exact trajectory of
+        // the legacy path, threads notwithstanding (witness determinism).
+        let start = generators::path(9);
+        let t1 = run(&start, a("2"), Concept::Bge, SelectionRule::First, 5_000).unwrap();
+        let policy = ExecPolicy::default().with_threads(2);
+        let t2 = run_with_policy(
+            &start,
+            a("2"),
+            Concept::Bge,
+            SelectionRule::First,
+            5_000,
+            &policy,
+        )
+        .unwrap();
+        assert_eq!(t1.steps, t2.steps);
+        assert_eq!(t1.final_graph, t2.final_graph);
+        assert!(t2.converged);
+        assert!(!t2.exhausted);
+    }
+
+    #[test]
+    fn exhausted_policy_stops_dynamics_gracefully() {
+        // A zero deadline exhausts the first exponential check mid-scan
+        // (the star's BNE space is large, so the scan cannot finish
+        // before the first poll) instead of erroring.
+        let policy = ExecPolicy::default().with_deadline(std::time::Duration::ZERO);
+        let t = run_with_policy(
+            &generators::star(16),
+            a("2"),
+            Concept::Bne,
+            SelectionRule::First,
+            100,
+            &policy,
+        )
+        .unwrap();
+        assert!(t.exhausted);
+        assert!(!t.converged);
+        assert!(t.is_empty());
     }
 
     #[test]

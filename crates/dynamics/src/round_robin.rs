@@ -15,10 +15,12 @@
 //! of the canonical edge list (not full graph clones), so long runs stay
 //! in `O(1)` memory per state.
 
+use bncg_core::solver::ExecPolicy;
 use bncg_core::{best_response_in, CheckBudget, GameError, GameState, Move};
 use bncg_graph::Graph;
 use std::collections::HashSet;
-use std::hash::{Hash, Hasher};
+use std::sync::atomic::Ordering;
+use std::time::Instant;
 
 /// Outcome of a round-robin run.
 #[derive(Debug, Clone)]
@@ -33,6 +35,10 @@ pub struct RoundRobinOutcome {
     pub converged: bool,
     /// `true` iff a previously seen state recurred (a best-response cycle).
     pub cycled: bool,
+    /// `true` iff the run stopped because the [`ExecPolicy`] deadline
+    /// passed or its cancel token was raised (only reachable through
+    /// [`run_with_policy`]).
+    pub exhausted: bool,
     /// The final state.
     pub final_graph: Graph,
 }
@@ -76,24 +82,91 @@ pub fn run_with_budget(
     max_rounds: usize,
     budget: CheckBudget,
 ) -> Result<RoundRobinOutcome, GameError> {
+    run_inner(start, alpha, max_rounds, budget, None, &None, false)
+}
+
+/// [`run`] under a solver [`ExecPolicy`]: the eval budget bounds each
+/// agent's best-response enumeration (defaulting to [`CheckBudget`]'s
+/// guard) **with anytime semantics** — an instance whose enumeration
+/// exceeds the budget ends the run with `exhausted = true` instead of
+/// the legacy [`GameError::CheckTooLarge`] — and the deadline and cancel
+/// token are polled between activations, so a run that outlives them
+/// stops instead of spinning. `threads` is ignored: activations are
+/// inherently sequential (each move changes the state the next agent
+/// sees).
+///
+/// # Errors
+///
+/// Same as [`run`], minus the budget guard (see above).
+pub fn run_with_policy(
+    start: &Graph,
+    alpha: bncg_core::Alpha,
+    max_rounds: usize,
+    policy: &ExecPolicy,
+) -> Result<RoundRobinOutcome, GameError> {
+    let budget = policy
+        .eval_budget
+        .map_or_else(CheckBudget::default, CheckBudget::new);
+    let deadline = policy.deadline.map(|d| Instant::now() + d);
+    run_inner(
+        start,
+        alpha,
+        max_rounds,
+        budget,
+        deadline,
+        &policy.cancel,
+        true,
+    )
+}
+
+/// The shared loop. `anytime` selects the budget-guard contract: the
+/// policy path converts [`GameError::CheckTooLarge`] from an activation
+/// into an exhausted outcome, the legacy path propagates it.
+fn run_inner(
+    start: &Graph,
+    alpha: bncg_core::Alpha,
+    max_rounds: usize,
+    budget: CheckBudget,
+    deadline: Option<Instant>,
+    cancel: &Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    anytime: bool,
+) -> Result<RoundRobinOutcome, GameError> {
+    let stop_requested = || {
+        deadline.is_some_and(|d| Instant::now() >= d)
+            || cancel.as_ref().is_some_and(|c| c.load(Ordering::Relaxed))
+    };
     let mut state = GameState::new(start.clone(), alpha);
     let n = start.n() as u32;
     let mut history = Vec::new();
+    // A 64-bit fingerprint per visited state instead of full graph
+    // clones: collisions would falsely flag a cycle, but at < 10⁻¹² over
+    // the few thousand states a run visits, O(1) memory per state wins.
     let mut seen: HashSet<u64> = HashSet::new();
-    seen.insert(graph_fingerprint(state.graph()));
+    seen.insert(state.graph().fingerprint());
     let mut converged = false;
     let mut cycled = false;
+    let mut exhausted = false;
     let mut rounds = 0usize;
     'outer: while rounds < max_rounds {
         rounds += 1;
         let mut moved = false;
         for u in 0..n {
-            let br = best_response_in(&state, u, budget)?;
+            if stop_requested() {
+                exhausted = true;
+                break 'outer;
+            }
+            let br = match best_response_in(&state, u, budget) {
+                Err(GameError::CheckTooLarge { .. }) if anytime => {
+                    exhausted = true;
+                    break 'outer;
+                }
+                other => other?,
+            };
             if let Some(mv) = br.best {
                 state.apply_move(&mv)?;
                 history.push(mv);
                 moved = true;
-                if !seen.insert(graph_fingerprint(state.graph())) {
+                if !seen.insert(state.graph().fingerprint()) {
                     cycled = true;
                     break 'outer;
                 }
@@ -110,22 +183,9 @@ pub fn run_with_budget(
         history,
         converged,
         cycled,
+        exhausted,
         final_graph: state.graph().clone(),
     })
-}
-
-/// A 64-bit fingerprint of the canonical (sorted) edge list plus the node
-/// count. Collisions would falsely flag a cycle; with 64-bit hashes over
-/// the few thousand states a run can visit, the collision probability is
-/// below 10⁻¹² — and the previous exact representation held every visited
-/// edge list in memory, which dominated long runs.
-fn graph_fingerprint(g: &Graph) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    g.n().hash(&mut h);
-    for (u, v) in g.edges() {
-        (u, v).hash(&mut h);
-    }
-    h.finish()
 }
 
 #[cfg(test)]
@@ -198,5 +258,34 @@ mod tests {
     fn budget_guard_propagates() {
         let big = generators::path(40);
         assert!(run(&big, a("1"), 5).is_err());
+    }
+
+    #[test]
+    fn policy_deadline_marks_exhausted() {
+        let policy = ExecPolicy::default().with_deadline(std::time::Duration::ZERO);
+        let out = run_with_policy(&generators::path(12), a("2"), 100, &policy).unwrap();
+        assert!(out.exhausted);
+        assert!(!out.converged && !out.cycled);
+        assert_eq!(out.moves, 0);
+    }
+
+    #[test]
+    fn policy_budget_exhausts_where_the_legacy_budget_errors() {
+        let tight = ExecPolicy::default().with_eval_budget(10);
+        let out = run_with_policy(&generators::path(12), a("2"), 50, &tight).unwrap();
+        assert!(out.exhausted, "anytime contract: exhaust, not fail");
+        assert_eq!(out.moves, 0);
+        assert!(run_with_budget(&generators::path(12), a("2"), 50, CheckBudget::new(10)).is_err());
+    }
+
+    #[test]
+    fn policy_cancel_token_stops_the_run() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let token = Arc::new(AtomicBool::new(true));
+        let policy = ExecPolicy::default().with_cancel(token);
+        let out = run_with_policy(&generators::path(12), a("2"), 100, &policy).unwrap();
+        assert!(out.exhausted);
+        assert_eq!(out.moves, 0);
     }
 }

@@ -28,6 +28,22 @@ pub struct Graph {
     m: usize,
 }
 
+/// FNV-1a offset basis for the stable fingerprints.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One FNV-1a step over the little-endian bytes of `v` — the stable
+/// 64-bit hash primitive behind [`Graph::fingerprint`] (and the game
+/// layer's instance binding). Deterministic across platforms, processes,
+/// and compiler versions, unlike `std`'s `DefaultHasher`.
+#[must_use]
+pub fn fnv1a_u64(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 impl Graph {
     /// Creates an edgeless graph on `n` nodes.
     ///
@@ -83,6 +99,24 @@ impl Graph {
     #[must_use]
     pub fn m(&self) -> usize {
         self.m
+    }
+
+    /// A 64-bit fingerprint of the node count and the canonical (sorted)
+    /// edge list — the labelled graph's identity in `O(1)` memory, for
+    /// visited-state sets (round-robin cycle detection) and for binding
+    /// resume tokens to the instance they were issued for. FNV-1a, so
+    /// the value is **stable across platforms, processes, and Rust
+    /// toolchains** (unlike `DefaultHasher`) — serialized tokens keep
+    /// resolving on any replica. Two graphs collide with probability
+    /// ≈ 2⁻⁶⁴; isomorphic but differently labelled graphs are *not*
+    /// identified.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fnv1a_u64(FNV_OFFSET, self.n() as u64);
+        for (u, v) in self.edges() {
+            h = fnv1a_u64(h, u64::from(u) << 32 | u64::from(v));
+        }
+        h
     }
 
     /// Degree of node `u`.
@@ -415,6 +449,25 @@ pub fn pair_index(n: usize, u: u32, v: u32) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The fingerprint is a documented-stable value: resume tokens
+    /// serialized by one process must resolve in another, so the hash
+    /// may never drift with toolchain or platform. P5's value is pinned.
+    #[test]
+    fn fingerprint_is_stable_and_edge_order_independent() {
+        let mut a = Graph::new(5);
+        let mut b = Graph::new(5);
+        for &(u, v) in &[(0u32, 1u32), (1, 2), (2, 3), (3, 4)] {
+            a.add_edge(u, v).unwrap();
+        }
+        for &(u, v) in &[(3u32, 4u32), (1, 2), (0, 1), (2, 3)] {
+            b.add_edge(u, v).unwrap();
+        }
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), 14972715144986967940);
+        b.remove_edge(3, 4).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
 
     #[test]
     fn add_remove_roundtrip() {

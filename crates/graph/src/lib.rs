@@ -46,7 +46,7 @@ pub mod graph6;
 pub mod iso;
 
 pub use error::GraphError;
-pub use graph::{pair_index, Graph};
+pub use graph::{fnv1a_u64, pair_index, Graph};
 pub use traversal::{bfs_distances, diameter, dist_sum_from, DistanceMatrix, UNREACHABLE};
 pub use tree::{root_at_median, tree_medians, RootedTree};
 

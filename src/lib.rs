@@ -12,24 +12,33 @@
 //! | [`dynamics`] | `bncg-dynamics` | improving-move and round-robin dynamics running on one persistent engine state |
 //! | [`analysis`] | `bncg-analysis` | the experiment harness regenerating every table and figure |
 //!
-//! # The evaluation engine
+//! # The solver surface
 //!
-//! All stability checking routes through [`core::GameState`]: it caches the
-//! all-pairs distance matrix and per-agent costs, prices candidate moves
-//! exactly without full recomputation ([`core::GameState::evaluate_move`],
-//! returning a [`core::MoveDelta`]), evaluates batches across threads, and
-//! applies accepted moves with per-toggle delta-BFS updates
-//! ([`core::GameState::apply_move`]). Checkers accept a state via the
-//! `find_violation_in` entry points ([`core::Concept::find_violation_in`]);
-//! the graph-based signatures remain as one-shot wrappers.
+//! All stability checking routes through [`core::solver`]: a
+//! [`core::StabilityQuery`] (concept + instance) executed by a
+//! [`core::Solver`] under an [`core::ExecPolicy`] — threads, evaluation
+//! budget, deadline, cancel token — returns a structured
+//! [`core::Verdict`]: stable, unstable with a replayable witness, or
+//! *exhausted* with a serializable frontier that resumes the scan. The
+//! engine underneath is [`core::GameState`]: cached all-pairs distances
+//! and per-agent costs, exact per-move deltas
+//! ([`core::GameState::evaluate_move`]), and per-toggle delta-BFS
+//! application ([`core::GameState::apply_move`]). The legacy
+//! `find_violation_in` entry points ([`core::Concept::find_violation_in`])
+//! remain as thin wrappers over the solver.
 //!
 //! ```
-//! use bncg::core::{Alpha, Concept, GameState, Move};
+//! use bncg::core::{Alpha, Concept, GameState, Move, Solver, StabilityQuery};
 //! use bncg::graph::generators;
 //!
+//! let solver = Solver::default();
 //! let mut state = GameState::new(generators::path(8), Alpha::integer(2)?);
 //! // Drive the state to a pairwise-stable network, reusing every cache.
-//! while let Some(mv) = Concept::Ps.find_violation_in(&state)? {
+//! while let Some(mv) = solver
+//!     .check(&StabilityQuery::on(Concept::Ps, &state))?
+//!     .witness()
+//!     .cloned()
+//! {
 //!     state.apply_move(&mv)?;
 //! }
 //! assert!(Concept::Ps.is_stable_in(&state)?);

@@ -142,8 +142,11 @@ fn exhaustive_small_world_sanity() {
 #[test]
 fn experiments_quick_suite_is_reproducible() {
     // The full quick suite must run clean through the public API and
-    // contain every section (this is the EXPERIMENTS.md generator).
-    let report = bncg::analysis::run_all(true).unwrap().render();
+    // contain every section (this is the EXPERIMENTS.md generator). The
+    // solver policy threads the enumeration sweeps without changing any
+    // verdict (witness determinism).
+    let policy = bncg::core::solver::ExecPolicy::default().with_threads(2);
+    let report = bncg::analysis::run_all(true, &policy).unwrap().render();
     for needle in [
         "Table 1 / PS",
         "Table 1 / BSwE",

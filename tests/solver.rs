@@ -1,0 +1,324 @@
+//! Property suite for the unified `Solver` query surface (ISSUE 3): the
+//! anytime/resumable contract. A query stopped at an eval budget B and
+//! resumed from its frontier — any number of times, at any B, at any
+//! thread count — must return the **identical witness** (same
+//! enumeration order) as one uninterrupted run, and
+//! `GameError::CheckTooLarge` must be unreachable from the solver path.
+//!
+//! Seeded-case harness as in `proptests.rs` (the container is offline,
+//! so no `proptest` crate): failures reproduce from the printed seed.
+
+use bncg::core::solver::{ExecPolicy, Frontier, Solver, StabilityQuery, Verdict};
+use bncg::core::{Alpha, Concept, GameError, GameState, Move};
+use bncg::graph::generators;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+const CASES: u64 = 12;
+
+fn prop(name: &str, mut f: impl FnMut(&mut SmallRng)) {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x50_1E_u64 ^ (seed * 0x9E37_79B9));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+        assert!(result.is_ok(), "property `{name}` failed at seed {seed}");
+    }
+}
+
+/// The ISSUE's α grid: below 1, above 1, and at the scale of n.
+fn alpha_grid(n: usize) -> Vec<Alpha> {
+    vec![
+        Alpha::from_ratio(1, 2).unwrap(),
+        Alpha::integer(2).unwrap(),
+        Alpha::integer(n as i64).unwrap(),
+    ]
+}
+
+fn random_instance(max_n: usize, rng: &mut SmallRng) -> bncg::graph::Graph {
+    let n = rng.gen_range(4..=max_n);
+    if rng.gen_bool(0.4) {
+        generators::random_tree(n, rng)
+    } else {
+        generators::random_connected(n, 0.3, rng)
+    }
+}
+
+/// Drains a budgeted query to a conclusive verdict through resume
+/// frontiers, asserting forward progress and JSON round-trips along the
+/// way.
+fn resolve_with_resume(solver: &Solver, concept: Concept, state: &GameState) -> Option<Move> {
+    let mut query = StabilityQuery::on(concept, state);
+    let mut previous: Option<Frontier> = None;
+    let mut rounds = 0u32;
+    loop {
+        match solver.check(&query).unwrap() {
+            Verdict::Stable { .. } => return None,
+            Verdict::Unstable { witness, .. } => return Some(witness),
+            Verdict::Exhausted { frontier, .. } => {
+                // The frontier serializes and parses back bit-identically.
+                let round_trip: Frontier = frontier.to_json().parse().unwrap();
+                assert_eq!(round_trip, frontier, "frontier JSON round trip");
+                // Every resumed slice must advance the frontier.
+                assert_ne!(previous, Some(frontier), "resume made no progress");
+                previous = Some(frontier);
+                query = StabilityQuery::on(concept, state).resume(round_trip);
+                rounds += 1;
+                assert!(rounds < 100_000, "resume loop failed to terminate");
+            }
+        }
+    }
+}
+
+#[test]
+fn budgeted_resume_chain_returns_the_uninterrupted_witness() {
+    prop("resume determinism", |rng| {
+        let concepts = [
+            (Concept::Bne, 9usize),
+            (Concept::KBse(2), 7),
+            (Concept::Bse, 6),
+        ];
+        for (concept, max_n) in concepts {
+            let g = random_instance(max_n, rng);
+            for alpha in alpha_grid(g.n()) {
+                let state = GameState::new(g.clone(), alpha);
+                let uninterrupted = Solver::default()
+                    .check(&StabilityQuery::on(concept, &state))
+                    .unwrap();
+                let canonical = uninterrupted.witness().cloned();
+                for budget in [1u64, 17] {
+                    for threads in [1usize, 2] {
+                        let solver = Solver::new(
+                            ExecPolicy::default()
+                                .with_eval_budget(budget)
+                                .with_threads(threads),
+                        );
+                        let resolved = resolve_with_resume(&solver, concept, &state);
+                        assert_eq!(
+                            resolved,
+                            canonical,
+                            "witness diverged under {concept}, budget {budget}, \
+                             {threads} threads, α = {}",
+                            state.alpha()
+                        );
+                    }
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn parallel_unbudgeted_checks_match_sequential_witnesses() {
+    prop("parallel == sequential", |rng| {
+        let g = random_instance(8, rng);
+        let alpha = Alpha::integer(2).unwrap();
+        let state = GameState::new(g, alpha);
+        for concept in [Concept::Bne, Concept::KBse(3)] {
+            let seq = Solver::default()
+                .check(&StabilityQuery::on(concept, &state))
+                .unwrap();
+            for threads in [2usize, 3] {
+                let par = Solver::new(ExecPolicy::default().with_threads(threads))
+                    .check(&StabilityQuery::on(concept, &state))
+                    .unwrap();
+                assert_eq!(
+                    par.witness(),
+                    seq.witness(),
+                    "{concept} witness diverged at {threads} threads"
+                );
+                assert_eq!(par.is_stable(), seq.is_stable());
+            }
+        }
+    });
+}
+
+#[test]
+fn check_too_large_is_unreachable_from_the_solver_path() {
+    // (a) An instance the legacy n ≤ 21 guard refuses outright — C40
+    // inside its Lemma 2.4 stability window — is simply *solved* by the
+    // solver: the pruning layer collapses the 40·2³⁹ raw space to a few
+    // hundred candidates.
+    let cycle = generators::cycle(40);
+    let alpha = Alpha::integer(370).unwrap();
+    assert!(matches!(
+        bncg::core::concepts::bne::find_violation(&cycle, alpha),
+        Err(GameError::CheckTooLarge { .. })
+    ));
+    let v = Solver::default()
+        .check(&StabilityQuery::new(Concept::Bne, &cycle, alpha))
+        .unwrap();
+    assert_eq!(v.is_stable(), Some(true), "C40 is BNE-stable in its window");
+
+    // (b) The same oversized instance under a 1-eval budget: the cycle's
+    // pure-removal candidates are genuinely evaluated (α > 1, not a
+    // tree), so the budget trips mid-scan with a frontier, and the
+    // resume chain still certifies stability.
+    let state = GameState::new(cycle, alpha);
+    let solver = Solver::new(ExecPolicy::default().with_eval_budget(1));
+    match solver
+        .check(&StabilityQuery::on(Concept::Bne, &state))
+        .unwrap()
+    {
+        Verdict::Exhausted { frontier, progress } => {
+            assert!(progress.evals_total >= 1, "budget stops only after work");
+            assert_eq!(frontier.concept(), Concept::Bne);
+            assert!(progress.units_done < progress.units_total);
+        }
+        v => panic!("expected exhaustion under a 1-eval budget, got {v:?}"),
+    }
+    assert_eq!(resolve_with_resume(&solver, Concept::Bne, &state), None);
+}
+
+#[test]
+fn zero_deadline_exhausts_and_resumes_to_stability() {
+    let star = generators::star(16);
+    let alpha = Alpha::integer(2).unwrap();
+    let state = GameState::new(star, alpha);
+    let tight = Solver::new(ExecPolicy::default().with_deadline(Duration::ZERO));
+    let Verdict::Exhausted { frontier, .. } = tight
+        .check(&StabilityQuery::on(Concept::Bne, &state))
+        .unwrap()
+    else {
+        panic!("a zero deadline must exhaust the star16 BNE scan")
+    };
+    let done = Solver::default()
+        .check(&StabilityQuery::on(Concept::Bne, &state).resume(frontier))
+        .unwrap();
+    assert_eq!(done.is_stable(), Some(true));
+}
+
+#[test]
+fn raised_cancel_token_exhausts_exponential_checks() {
+    let token = Arc::new(AtomicBool::new(true));
+    let solver = Solver::new(ExecPolicy::default().with_cancel(token));
+    let state = GameState::new(generators::star(16), Alpha::integer(2).unwrap());
+    let v = solver
+        .check(&StabilityQuery::on(Concept::Bne, &state))
+        .unwrap();
+    assert!(matches!(v, Verdict::Exhausted { .. }));
+    // Polynomial concepts complete eagerly regardless.
+    let v = solver
+        .check(&StabilityQuery::on(Concept::Ps, &state))
+        .unwrap();
+    assert_eq!(v.is_stable(), Some(true));
+}
+
+#[test]
+fn check_many_returns_input_order_and_matches_individual_checks() {
+    let alpha = Alpha::integer(2).unwrap();
+    let mut rng = bncg::graph::test_rng(0xBA7C);
+    let states: Vec<GameState> = (0..12)
+        .map(|_| GameState::new(generators::random_connected(8, 0.3, &mut rng), alpha))
+        .collect();
+    let queries: Vec<StabilityQuery> = states
+        .iter()
+        .map(|s| StabilityQuery::on(Concept::Bne, s))
+        .collect();
+    let solo = Solver::default();
+    let pooled = Solver::new(ExecPolicy::default().with_threads(4));
+    let batch = pooled.check_many(&queries);
+    assert_eq!(batch.len(), queries.len());
+    for (i, (state, verdict)) in states.iter().zip(batch).enumerate() {
+        let expected = solo
+            .check(&StabilityQuery::on(Concept::Bne, state))
+            .unwrap();
+        let got = verdict.unwrap();
+        assert_eq!(
+            got.witness(),
+            expected.witness(),
+            "batch slot {i} diverged from the individual check"
+        );
+        assert_eq!(got.is_stable(), expected.is_stable());
+    }
+}
+
+#[test]
+fn mismatched_frontiers_are_rejected_not_misapplied() {
+    let alpha = Alpha::integer(2).unwrap();
+    let state = GameState::new(generators::star(16), alpha);
+    let tight = Solver::new(ExecPolicy::default().with_deadline(Duration::ZERO));
+    let Verdict::Exhausted { frontier, .. } = tight
+        .check(&StabilityQuery::on(Concept::Bne, &state))
+        .unwrap()
+    else {
+        panic!("expected exhaustion")
+    };
+    let solver = Solver::default();
+    // Wrong concept.
+    let wrong = StabilityQuery::on(Concept::KBse(2), &state).resume(frontier);
+    assert!(matches!(
+        solver.check(&wrong),
+        Err(GameError::Unsupported { .. })
+    ));
+    // Wrong instance (different α ⇒ different fingerprint).
+    let other = GameState::new(generators::star(16), Alpha::integer(3).unwrap());
+    let wrong = StabilityQuery::on(Concept::Bne, &other).resume(frontier);
+    assert!(matches!(
+        solver.check(&wrong),
+        Err(GameError::Unsupported { .. })
+    ));
+    // A token forged for a polynomial concept is rejected outright —
+    // those checks complete eagerly, so no genuine frontier names them.
+    let forged: Frontier =
+        "{\"v\":1,\"concept\":\"ps\",\"instance\":1,\"unit\":0,\"pos\":0,\"evals\":0}"
+            .parse()
+            .unwrap();
+    let wrong = StabilityQuery::on(Concept::Ps, &state).resume(forged);
+    assert!(matches!(
+        solver.check(&wrong),
+        Err(GameError::Unsupported { .. })
+    ));
+    // Malformed tokens fail to parse instead of resuming garbage.
+    assert!("{\"concept\":\"bne\"}".parse::<Frontier>().is_err());
+    assert!("nonsense".parse::<Frontier>().is_err());
+    // A layout-version mismatch is rejected at parse time.
+    assert!(
+        "{\"v\":9,\"concept\":\"bne\",\"instance\":1,\"unit\":0,\"pos\":0,\"evals\":0}"
+            .parse::<Frontier>()
+            .is_err()
+    );
+}
+
+#[test]
+fn structural_limits_error_as_unsupported_not_too_large() {
+    // BSE's 64-bit target-graph masks cap at n = 11: a representational
+    // limit, reported as such (not as a budget refusal).
+    let g = generators::path(12);
+    let q = StabilityQuery::new(Concept::Bse, &g, Alpha::integer(1).unwrap());
+    assert!(matches!(
+        Solver::default().check(&q),
+        Err(GameError::Unsupported { .. })
+    ));
+    // k-BSE caps its materialized coalition index (C(50,1..10) ≈ 1e10
+    // units would exhaust memory before any stop condition could fire).
+    let g = generators::path(50);
+    let q = StabilityQuery::new(Concept::KBse(10), &g, Alpha::integer(1).unwrap());
+    assert!(matches!(
+        Solver::default().check(&q),
+        Err(GameError::Unsupported { .. })
+    ));
+}
+
+#[test]
+fn verdicts_carry_work_accounting() {
+    let state = GameState::new(generators::path(10), Alpha::integer(2).unwrap());
+    match Solver::default()
+        .check(&StabilityQuery::on(Concept::Bne, &state))
+        .unwrap()
+    {
+        Verdict::Unstable { evals, .. } => assert!(evals > 0, "the scan priced candidates"),
+        v => panic!("P10 is not in BNE at α = 2, got {v:?}"),
+    }
+    let stable = GameState::new(generators::star(10), Alpha::integer(2).unwrap());
+    match Solver::default()
+        .check(&StabilityQuery::on(Concept::Bne, &stable))
+        .unwrap()
+    {
+        Verdict::Stable { pruned, .. } => {
+            assert!(pruned > 0, "the star scan is pruned, not evaluated");
+        }
+        v => panic!("the star is in BNE at α = 2, got {v:?}"),
+    }
+}

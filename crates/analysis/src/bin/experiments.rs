@@ -4,6 +4,7 @@
 //! ```text
 //! experiments <command> [--quick] [--json]
 //!             [--threads N] [--budget EVALS] [--deadline-ms MS]
+//!             [--batch-budget EVALS]
 //!
 //! commands:
 //!   all        every experiment (the EXPERIMENTS.md artifact)
@@ -13,7 +14,14 @@
 //!   cycles     Lemma 2.4 (cycle BSE windows)
 //!   prop316    Proposition 3.16
 //!   prop322    Proposition 3.22
-//!   dynamics   the cooperation-ladder simulation
+//!   dynamics   the cooperation-ladder simulation; with any of the
+//!              instance flags below it instead runs ONE anytime
+//!              round-robin trajectory:
+//!              --alpha A  --n N  --rounds R
+//!              --family star|path|cycle|clique|tree|gnp [--p P] [--seed S]
+//!              --graph6 G6 (exact start state, overrides --family)
+//!              [--resume '<checkpoint json>'] continues an exhausted
+//!              trajectory (pair it with the printed --graph6 token)
 //!   roundrobin round-robin best-response census (converge/cycle/cap)
 //!   treesvgraphs  tree vs general-graph equilibria at tiny n
 //!   structure  BSwE tree-depth structure scan
@@ -30,35 +38,41 @@
 //!   --quick        reduced instance sizes/samples for every report
 //!   --json         emit reports as JSON instead of plain text
 //!   --threads N    solver worker threads per query batch (sweep commands
-//!                  and check; roundrobin is inherently sequential)
+//!                  and check; round-robin runs are inherently sequential)
 //!   --budget E     solver eval budget per query (anytime: exhaust, not
-//!                  fail); roundrobin maps it onto the per-activation
-//!                  best-response size guard — runs whose agents exceed
-//!                  it count as exhausted without partial work
-//!   --deadline-ms M  solver wall-clock allowance per query
+//!                  fail); for round-robin trajectories it is the
+//!                  run-level pool every metered activation drains —
+//!                  partial work survives in the checkpoint
+//!   --deadline-ms M  solver wall-clock allowance per query (per run for
+//!                  round-robin trajectories)
+//!   --batch-budget E  one shared eval pool for a whole enumeration
+//!                  sweep (Table 1 rows, `all`): instances past the
+//!                  drained pool are load-shed into the exhausted count
 //!
 //! The solver flags apply to the commands that execute stability
 //! queries: `check`, the Table 1 enumeration sweeps (via
-//! `Solver::check_many`), and `roundrobin` (per-activation budget,
-//! per-run deadline/cancel). Budgets and deadlines only ever bite on
-//! the exponential concepts — the polynomial ps/bswe rows complete
-//! eagerly, so for them `--threads` is the only flag with any effect.
-//! The remaining reports certify fixed constructions and ignore the
-//! solver flags entirely.
+//! `Solver::check_many`), `roundrobin`, and single `dynamics`
+//! trajectories (metered best-response activations). Budgets and
+//! deadlines only ever bite on the exponential concepts — the
+//! polynomial ps/bswe rows complete eagerly, so for them `--threads`
+//! is the only flag with any effect. The remaining reports certify
+//! fixed constructions and ignore the solver flags entirely.
 //! ```
 
 use bncg_analysis::{dynamics_exp, figures, propositions, report::Report, run_all, table1};
 use bncg_core::solver::{ExecPolicy, Frontier, Solver, StabilityQuery, Verdict};
 use bncg_core::{Alpha, Concept, GameError};
+use bncg_dynamics::round_robin;
 use std::process::ExitCode;
 use std::time::Duration;
 
 /// Flags that consume the following argument (needed to tell the command
 /// token apart from a flag value).
-const VALUE_FLAGS: [&str; 10] = [
+const VALUE_FLAGS: [&str; 13] = [
     "--threads",
     "--budget",
     "--deadline-ms",
+    "--batch-budget",
     "--concept",
     "--alpha",
     "--n",
@@ -66,6 +80,8 @@ const VALUE_FLAGS: [&str; 10] = [
     "--p",
     "--seed",
     "--resume",
+    "--rounds",
+    "--graph6",
 ];
 
 /// `flag_value` with strict parsing: a present-but-unparsable or
@@ -134,9 +150,12 @@ fn usage() -> &'static str {
      windows, curve, ablations, check\n\
      flags: --quick, --json; --budget EVALS and --deadline-ms MS bound the \
      exponential-concept queries (check, the 3bse/bse rows of table1/all, \
-     roundrobin); --threads N parallelizes those plus the ps/bswe sweeps \
-     (polynomial rows complete eagerly and cannot exhaust); `check` adds \
-     --concept, --alpha, --n, --family, --p, --seed, --resume"
+     roundrobin, single dynamics trajectories); --batch-budget EVALS pools \
+     one eval budget across a whole enumeration sweep; --threads N \
+     parallelizes the sweeps (polynomial rows complete eagerly and cannot \
+     exhaust); `check` adds --concept, --alpha, --n, --family, --p, \
+     --seed, --resume; `dynamics` with --family/--graph6/--n/--rounds/\
+     --resume runs one anytime round-robin trajectory"
 }
 
 /// Builds the instance graph for the `check` command.
@@ -213,6 +232,66 @@ fn run_check(args: &[String], policy: &ExecPolicy) -> Result<String, GameError> 
     })
 }
 
+/// The single-trajectory `dynamics` mode: one anytime round-robin run —
+/// budget in, partial trajectory plus a resumable checkpoint out. On
+/// exhaustion the final state is printed as graph6 so the follow-up
+/// `--resume` invocation can name the exact interrupted state (the
+/// checkpoint's fingerprint validation rejects anything else).
+fn run_trajectory(args: &[String], policy: &ExecPolicy) -> Result<String, GameError> {
+    let alpha: Alpha = string_flag(args, "--alpha")?
+        .unwrap_or_else(|| "2".into())
+        .parse()?;
+    let n: usize = parsed_flag(args, "--n")?.unwrap_or(12);
+    let p: f64 = parsed_flag(args, "--p")?.unwrap_or(0.3);
+    let seed: u64 = parsed_flag(args, "--seed")?.unwrap_or(0xB2C6);
+    let rounds: usize = parsed_flag(args, "--rounds")?.unwrap_or(400);
+    let (g, from) = match string_flag(args, "--graph6")? {
+        Some(code) => {
+            let g = bncg_graph::graph6::decode(&code).map_err(|e| GameError::Unsupported {
+                reason: format!("invalid --graph6 token: {e}"),
+            })?;
+            (g, format!("graph6 {code}"))
+        }
+        None => {
+            let family = string_flag(args, "--family")?.unwrap_or_else(|| "tree".into());
+            (build_graph(&family, n, p, seed)?, family)
+        }
+    };
+    let out = match string_flag(args, "--resume")? {
+        Some(token) => {
+            let checkpoint: round_robin::Checkpoint = token.parse()?;
+            round_robin::resume(&g, alpha, rounds, policy, &checkpoint)?
+        }
+        None => round_robin::run_with_policy(&g, alpha, rounds, policy)?,
+    };
+    let status = if out.converged {
+        "converged (BNE reached)"
+    } else if out.cycled {
+        "cycled (state revisited)"
+    } else if out.exhausted {
+        "exhausted (budget/deadline/cancel)"
+    } else {
+        "round cap reached"
+    };
+    let mut text = format!(
+        "dynamics trajectory on {from} (n = {}, α = {alpha})\n\
+         status: {status}\nrounds: {}\nmoves: {} ({} this slice)\nevals: {}",
+        g.n(),
+        out.rounds,
+        out.moves,
+        out.history.len(),
+        out.evals
+    );
+    if let Some(checkpoint) = &out.checkpoint {
+        let g6 = bncg_graph::graph6::encode(&out.final_graph).map_err(GameError::Graph)?;
+        text.push_str(&format!(
+            "\ncheckpoint: {checkpoint}\nresume with: dynamics --alpha {alpha} \
+             --rounds {rounds} --graph6 '{g6}' --resume '{checkpoint}'"
+        ));
+    }
+    Ok(text)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -222,16 +301,18 @@ fn main() -> ExitCode {
         parsed_flag::<usize>(&args, "--threads"),
         parsed_flag::<u64>(&args, "--budget"),
         parsed_flag::<u64>(&args, "--deadline-ms"),
+        parsed_flag::<u64>(&args, "--batch-budget"),
     ) {
-        (Ok(threads), Ok(budget), Ok(deadline_ms)) => {
+        (Ok(threads), Ok(budget), Ok(deadline_ms), Ok(batch)) => {
             if let Some(t) = threads {
                 policy.threads = t;
             }
             policy.eval_budget = budget;
             policy.deadline = deadline_ms.map(Duration::from_millis);
+            policy.batch_budget = batch;
         }
-        (t, b, d) => {
-            for e in [t.err(), b.err(), d.err()].into_iter().flatten() {
+        (t, b, d, p) => {
+            for e in [t.err(), b.err(), d.err(), p.err()].into_iter().flatten() {
                 eprintln!("{e}");
             }
             return ExitCode::FAILURE;
@@ -239,11 +320,22 @@ fn main() -> ExitCode {
     }
     let command = command_token(&args).unwrap_or_else(|| "all".into());
 
+    // `dynamics` doubles as the single-trajectory anytime runner when
+    // any instance-selecting flag is present; bare `dynamics` keeps its
+    // ladder-report meaning.
+    let trajectory_mode = ["--family", "--graph6", "--n", "--rounds", "--resume"]
+        .iter()
+        .any(|f| {
+            let prefixed = format!("{f}=");
+            args.iter().any(|a| a == f || a.starts_with(&prefixed))
+        });
+
     let render = |r: Report| if json { r.to_json() } else { r.render() };
     let result = match command.as_str() {
         "all" => run_all(quick, &policy).map(render),
         "table1" => table1::full_table(quick, &policy).map(render),
         "check" => run_check(&args, &policy),
+        "dynamics" if trajectory_mode => run_trajectory(&args, &policy),
         other => {
             let mut r = Report::new();
             let run = match other {

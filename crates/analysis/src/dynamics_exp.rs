@@ -62,8 +62,9 @@ pub fn ladder(report: &mut Report, quick: bool) -> Result<(), GameError> {
 /// measures how often round-robin *bilateral* best responses converge,
 /// cycle (exact state revisit), or time out, from random trees and random
 /// connected graphs. Each run executes under the caller's [`ExecPolicy`]
-/// (budget per activation, deadline/cancel per run), so a bounded policy
-/// reports exhausted runs instead of hanging the census.
+/// (a run-level eval pool drained by metered activations, deadline and
+/// cancel per run), so a bounded policy reports exhausted runs — with
+/// their partial trajectories intact — instead of hanging the census.
 ///
 /// # Errors
 ///

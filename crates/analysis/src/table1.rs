@@ -26,6 +26,22 @@ fn alpha_int(v: i64) -> Alpha {
     Alpha::integer(v).expect("positive α")
 }
 
+/// Notes a sweep section's shared batch budget, if the policy carries
+/// one — the per-α exhausted counts in the `stable` column then read as
+/// load shedding against this pool, not per-instance budget stops.
+/// Attached only to the **exponential** rows (3-BSE, BSE): polynomial
+/// checks complete eagerly before the pool logic and can never be shed,
+/// so the note would be false on the PS/BSwE rows.
+fn note_batch_budget(section: &mut crate::report::Section, policy: &ExecPolicy) {
+    if let Some(b) = policy.batch_budget {
+        section.note(format!(
+            "batch budget: each α sweep drains one shared pool of {b} \
+             candidate evaluations; instances past the pool are counted \
+             as exhausted (load shedding), not checked"
+        ));
+    }
+}
+
 /// Renders a PoA point's stable-count cell, flagging instances whose
 /// checks exhausted the execution policy — those verdicts are unknown,
 /// so the row is explicitly partial rather than silently exact.
@@ -269,6 +285,7 @@ pub fn row_3bse(report: &mut Report, quick: bool, policy: &ExecPolicy) -> Result
     let alphas: Vec<i64> = vec![1, 2, 4, 8, 16, 32];
     let section = report.section(format!("Table 1 / 3-BSE on trees (exhaustive, n = {n})"));
     section.note("paper: PoA ≤ 25 (Theorem 3.15); 2-BSE column shows the strictly weaker concept (Ω(log α) via Prop 3.7 + Theorem 3.10)");
+    note_batch_budget(section, policy);
     let table = section.table(["α", "PoA(3-BSE)", "PoA(2-BSE)", "bound(3-BSE)"]);
     for v in alphas {
         let alpha = alpha_int(v);
@@ -298,6 +315,7 @@ pub fn row_bse(report: &mut Report, quick: bool, policy: &ExecPolicy) -> Result<
     let n = if quick { 5 } else { 6 };
     let section = report.section(format!("Table 1 / BSE on general graphs (exact, n = {n})"));
     section.note("paper: Θ(1) for α ≤ n^{1−ε} and α ≥ n·log n; the exact tiny-n PoA stays near 1 across the grid");
+    note_batch_budget(section, policy);
     let table = section.table(["α", "PoA(BSE)", "stable graphs"]);
     for s in ["1/2", "1", "3/2", "2", "4", "8", "16"] {
         let alpha: Alpha = s.parse().expect("grid α");
@@ -413,6 +431,21 @@ mod tests {
         let text = r.render();
         assert!(text.contains("PS on trees"));
         assert!(text.contains("BSwE on trees"));
+    }
+
+    #[test]
+    fn batch_budget_note_renders_on_exponential_rows_only() {
+        // A pooled policy flags the exponential sweep sections so
+        // partial rows read as load shedding; the polynomial PS row
+        // completes eagerly before the pool logic, so it must NOT carry
+        // the (false-there) note.
+        let mut r = Report::new();
+        let policy = ExecPolicy::default().with_batch_budget(100_000);
+        row_3bse(&mut r, true, &policy).unwrap();
+        assert!(r.render().contains("batch budget"));
+        let mut r = Report::new();
+        row_ps(&mut r, true, &policy).unwrap();
+        assert!(!r.render().contains("batch budget"));
     }
 
     #[test]

@@ -12,6 +12,12 @@
 //! * the unified `Solver` facade adds more than 5% overhead over the
 //!   direct pruned scans it drives (machine-independent ratio, batched
 //!   so each sample is tens of milliseconds),
+//! * the metered anytime best-response scan adds more than 5% overhead
+//!   over the direct `best_response_in` path it wraps, or a sliced
+//!   checkpoint-resume round-robin chain costs more than 10% wall clock
+//!   over the uninterrupted run (both exactness-checked first: the
+//!   metered scan must return the identical response, the chain the
+//!   identical final state),
 //! * the documented [`CheckBudget::default`] wall-clock meaning drifts
 //!   outside sanity (the gate derives `budget_default_seconds` from the
 //!   measured raw-reference evaluation rate — this is the calibration
@@ -23,12 +29,21 @@
 //!   untouched by checker changes) so a slower or faster CI host moves
 //!   every budget proportionally instead of failing spuriously.
 //!
+//! When running under GitHub Actions the gate also appends a markdown
+//! kernel table (baseline, measured, ratio, pass/fail) to
+//! `$GITHUB_STEP_SUMMARY`, so a regression is readable from the PR
+//! checks page without downloading the `BENCH_ci` artifact.
+//!
 //! Regenerate the baseline on a quiet machine with
 //! `cargo run --release -p bncg-bench --bin ci_gate -- --write-baseline`.
 
 use bncg_bench::pruning_kernels::{budget, instances};
-use bncg_core::solver::{Solver, StabilityQuery, Verdict};
-use bncg_core::{concepts, Alpha, CheckBudget, Concept, GameState};
+use bncg_core::solver::{ExecPolicy, Solver, StabilityQuery, Verdict};
+use bncg_core::{
+    best_response_in, best_response_with_policy, concepts, Alpha, BestResponseVerdict, CheckBudget,
+    Concept, GameState,
+};
+use bncg_dynamics::round_robin;
 use bncg_graph::{generators, DistanceMatrix};
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -37,6 +52,12 @@ use std::time::Instant;
 const SPEEDUP_FLOOR: f64 = 3.0;
 /// The solver facade may cost at most this factor over the direct scan.
 const SOLVER_OVERHEAD_CEILING: f64 = 1.05;
+/// The metered best-response scan may cost at most this factor over the
+/// direct unmetered path.
+const METERED_BR_OVERHEAD_CEILING: f64 = 1.05;
+/// A sliced checkpoint-resume round-robin chain may cost at most this
+/// factor over the uninterrupted policy run.
+const RR_RESUME_OVERHEAD_CEILING: f64 = 1.10;
 const CALIBRATION_KEY: &str = "calibration/substrate_bfs";
 
 /// The machine-speed yardstick: ~100 ms of all-pairs BFS matrix builds on
@@ -65,6 +86,31 @@ fn median_secs(samples: usize, mut f: impl FnMut()) -> f64 {
     times[times.len() / 2]
 }
 
+/// Median of per-pair `other/reference` wall-clock ratios across 7
+/// samples of `iters` iterations each. Both sides are timed back to
+/// back inside every sample, so slow frequency drift across the
+/// measurement window cancels out of the ratio instead of landing
+/// entirely on one side of a ~1.00 value judged against a tight
+/// ceiling — the shared methodology of every overhead kernel.
+fn paired_overhead(iters: usize, reference: &dyn Fn(), other: &dyn Fn()) -> f64 {
+    let mut ratios: Vec<f64> = (0..7)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                reference();
+            }
+            let reference_batch = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            for _ in 0..iters {
+                other();
+            }
+            t.elapsed().as_secs_f64() / reference_batch.max(1e-12)
+        })
+        .collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    ratios[ratios.len() / 2]
+}
+
 struct Gate {
     results: Vec<(String, f64)>,
     failures: Vec<String>,
@@ -83,6 +129,19 @@ impl Gate {
         if speedup < SPEEDUP_FLOOR {
             self.failures.push(format!(
                 "{name}: speedup {speedup:.2}x is below the {SPEEDUP_FLOOR}x floor"
+            ));
+        }
+    }
+
+    /// Records a paired-sampling overhead ratio and fails the gate when
+    /// it exceeds its ceiling — the one record/check/report path every
+    /// overhead kernel shares.
+    fn check_overhead(&mut self, name: &str, overhead: f64, ceiling: f64) {
+        println!("{name}: {overhead:.3}x (median of paired samples)");
+        self.results.push((name.to_string(), overhead));
+        if overhead > ceiling {
+            self.failures.push(format!(
+                "{name}: overhead {overhead:.3}x exceeds the {ceiling}x ceiling"
             ));
         }
     }
@@ -210,25 +269,8 @@ fn main() -> std::process::ExitCode {
             }) as &dyn Fn(),
         ),
     ] {
-        let direct_batch = median_secs(5, || {
-            for _ in 0..iters {
-                direct();
-            }
-        });
-        let facade_batch = median_secs(5, || {
-            for _ in 0..iters {
-                facade();
-            }
-        });
-        let overhead = facade_batch / direct_batch.max(1e-12);
-        println!("{key}: {overhead:.3}x (direct {direct_batch:.4}s, facade {facade_batch:.4}s)");
-        gate.results.push((key.to_string(), overhead));
-        if overhead > SOLVER_OVERHEAD_CEILING {
-            gate.failures.push(format!(
-                "{key}: solver facade overhead {overhead:.3}x exceeds the \
-                 {SOLVER_OVERHEAD_CEILING}x ceiling"
-            ));
-        }
+        let overhead = paired_overhead(iters, direct, facade);
+        gate.check_overhead(key, overhead, SOLVER_OVERHEAD_CEILING);
     }
 
     // The engine_vs_naive representative: 50 rounds of engine-backed
@@ -236,9 +278,79 @@ fn main() -> std::process::ExitCode {
     let path = generators::path(16);
     let alpha2 = Alpha::integer(2).expect("α");
     let rr = median_secs(3, || {
-        bncg_dynamics::round_robin::run(&path, alpha2, 50).unwrap();
+        round_robin::run(&path, alpha2, 50).unwrap();
     });
     gate.record("round_robin50/path16", rr);
+
+    // Metered best-response overhead: the ScanCtl-driven anytime scan
+    // must stay within 5% of the direct unmetered path (it is now the
+    // activation engine of every policy-driven round-robin run). The
+    // path16 endpoint has a genuinely evaluated candidate space, so the
+    // per-candidate poll is exercised, and the metering is *active* (a
+    // finite budget, never reached) rather than the inert unbounded
+    // control.
+    let path_state = GameState::new(path.clone(), alpha2);
+    let metered_policy = ExecPolicy::default().with_eval_budget(1 << 40);
+    let direct_br = best_response_in(&path_state, 0, budget()).unwrap();
+    match best_response_with_policy(&path_state, 0, &metered_policy).unwrap() {
+        BestResponseVerdict::Optimal { response, .. } => {
+            assert_eq!(response, direct_br, "metered best response diverged");
+        }
+        v => panic!("an unreachable budget must complete the scan, got {v:?}"),
+    }
+    let overhead = paired_overhead(
+        8,
+        &|| {
+            best_response_in(black_box(&path_state), 0, budget()).unwrap();
+        },
+        &|| {
+            best_response_with_policy(black_box(&path_state), 0, &metered_policy).unwrap();
+        },
+    );
+    gate.check_overhead(
+        "metered_br_overhead/path16",
+        overhead,
+        METERED_BR_OVERHEAD_CEILING,
+    );
+
+    // Anytime resume-chain overhead: slicing the same 50-round run into
+    // ~20 budgeted checkpoint→resume slices must stay within 10% of the
+    // uninterrupted policy run — the cost of true anytime trajectories
+    // is bounded re-hydration, not re-scanning. Exactness first: the
+    // chain must land on the identical final state.
+    let unbounded = ExecPolicy::default();
+    let reference_run = round_robin::run_with_policy(&path, alpha2, 50, &unbounded).unwrap();
+    let slice_budget = (reference_run.evals / 20).max(1_000);
+    let slice_policy = ExecPolicy::default().with_eval_budget(slice_budget);
+    let chain = |policy: &ExecPolicy| {
+        let mut out = round_robin::run_with_policy(&path, alpha2, 50, policy).unwrap();
+        while let Some(checkpoint) = out.checkpoint.take() {
+            out = round_robin::resume(&out.final_graph, alpha2, 50, policy, &checkpoint).unwrap();
+        }
+        out
+    };
+    let chained = chain(&slice_policy);
+    assert_eq!(
+        chained.final_graph.fingerprint(),
+        reference_run.final_graph.fingerprint(),
+        "checkpoint-resume chain diverged from the uninterrupted run"
+    );
+    assert_eq!(chained.moves, reference_run.moves, "move counts diverged");
+    let overhead = paired_overhead(
+        1,
+        &|| {
+            round_robin::run_with_policy(&path, alpha2, 50, &unbounded).unwrap();
+        },
+        &|| {
+            chain(&slice_policy);
+        },
+    );
+    println!("rr_resume chain: {slice_budget}-eval slices");
+    gate.check_overhead(
+        "rr_resume_overhead/path16",
+        overhead,
+        RR_RESUME_OVERHEAD_CEILING,
+    );
 
     // Serialize BENCH_ci.json.
     let mut json = String::from("{\n");
@@ -260,6 +372,10 @@ fn main() -> std::process::ExitCode {
     // Compare wall-clock kernels (not speedups) against the baseline,
     // rescaled by the calibration ratio so a slower/faster host shifts
     // every budget proportionally instead of failing the gate outright.
+    // Every kernel — compared or limit-checked — also becomes a row of
+    // the step-summary markdown table.
+    let mut summary: Vec<[String; 5]> = Vec::new();
+    let status = |ok: bool| if ok { "pass" } else { "**FAIL**" }.to_string();
     match std::fs::read_to_string(baseline_path) {
         Ok(baseline) => {
             // Clamped at 1: a slower host inflates every budget
@@ -270,35 +386,90 @@ fn main() -> std::process::ExitCode {
                 .map_or(1.0, |base_cal| (calibration / base_cal.max(1e-12)).max(1.0));
             println!("machine calibration factor vs baseline: {machine_factor:.2}x");
             for (name, value) in &gate.results {
-                // Ratios and derived values are asserted directly above
+                // Ratios and derived values were asserted directly above
                 // (machine-independent); only wall-clock kernels budget
-                // against the baseline.
-                if name.contains("_speedup/")
-                    || name.starts_with("solver_overhead/")
-                    || name == "budget_default_seconds"
-                    || name == CALIBRATION_KEY
-                {
-                    continue;
-                }
-                let Some(base) = parse_json_number(&baseline, name) else {
-                    println!("note: kernel {name} missing from baseline (skipped)");
-                    continue;
-                };
-                // 1 ms of absolute slack on top of the relative budget:
-                // the microsecond-scale pruned kernels sit inside
-                // scheduler/allocator noise that no relative tolerance
-                // can absorb, and a genuine algorithmic regression on
-                // them dwarfs a millisecond anyway.
-                let limit = base * machine_factor * (1.0 + tolerance) + 1e-3;
-                if *value > limit {
-                    gate.failures.push(format!(
-                        "{name}: {value:.4}s regressed >{:.0}% over scaled baseline {:.4}s",
-                        tolerance * 100.0,
-                        base * machine_factor
-                    ));
+                // against the baseline. Everything gets a summary row.
+                let row = if name.contains("_speedup/") {
+                    [
+                        name.clone(),
+                        format!("≥ {SPEEDUP_FLOOR:.0}x floor"),
+                        format!("{value:.1}x"),
+                        format!("{:.2}", value / SPEEDUP_FLOOR),
+                        status(*value >= SPEEDUP_FLOOR),
+                    ]
+                } else if name.contains("_overhead/") {
+                    let ceiling = if name.starts_with("rr_resume_overhead/") {
+                        RR_RESUME_OVERHEAD_CEILING
+                    } else if name.starts_with("metered_br_overhead/") {
+                        METERED_BR_OVERHEAD_CEILING
+                    } else {
+                        SOLVER_OVERHEAD_CEILING
+                    };
+                    [
+                        name.clone(),
+                        format!("≤ {ceiling:.2}x ceiling"),
+                        format!("{value:.3}x"),
+                        format!("{:.2}", value / ceiling),
+                        status(*value <= ceiling),
+                    ]
+                } else if name == "budget_default_seconds" {
+                    [
+                        name.clone(),
+                        "[0.5, 500] s".into(),
+                        format!("{value:.1} s"),
+                        "–".into(),
+                        status((0.5..=500.0).contains(value)),
+                    ]
+                } else if name == CALIBRATION_KEY {
+                    [
+                        name.clone(),
+                        parse_json_number(&baseline, name)
+                            .map_or("n/a".into(), |b| format!("{b:.4} s")),
+                        format!("{value:.4} s"),
+                        format!("{machine_factor:.2}x host"),
+                        "info".into(),
+                    ]
                 } else {
-                    println!("{name}: {value:.4}s within {limit:.4}s budget");
-                }
+                    match parse_json_number(&baseline, name) {
+                        None => {
+                            println!("note: kernel {name} missing from baseline (skipped)");
+                            [
+                                name.clone(),
+                                "n/a (new kernel)".into(),
+                                format!("{value:.4} s"),
+                                "–".into(),
+                                "info".into(),
+                            ]
+                        }
+                        Some(base) => {
+                            // 1 ms of absolute slack on top of the
+                            // relative budget: the microsecond-scale
+                            // pruned kernels sit inside
+                            // scheduler/allocator noise that no relative
+                            // tolerance can absorb, and a genuine
+                            // algorithmic regression on them dwarfs a
+                            // millisecond anyway.
+                            let scaled = base * machine_factor;
+                            let limit = scaled * (1.0 + tolerance) + 1e-3;
+                            if *value > limit {
+                                gate.failures.push(format!(
+                                    "{name}: {value:.4}s regressed >{:.0}% over scaled baseline {scaled:.4}s",
+                                    tolerance * 100.0,
+                                ));
+                            } else {
+                                println!("{name}: {value:.4}s within {limit:.4}s budget");
+                            }
+                            [
+                                name.clone(),
+                                format!("{scaled:.4} s"),
+                                format!("{value:.4} s"),
+                                format!("{:.2}", value / scaled.max(1e-12)),
+                                status(*value <= limit),
+                            ]
+                        }
+                    }
+                };
+                summary.push(row);
             }
         }
         Err(e) => {
@@ -306,6 +477,7 @@ fn main() -> std::process::ExitCode {
                 .push(format!("cannot read baseline {baseline_path}: {e}"));
         }
     }
+    write_step_summary(&summary, &gate.failures);
 
     if gate.failures.is_empty() {
         println!("perf gate: PASS");
@@ -315,6 +487,51 @@ fn main() -> std::process::ExitCode {
             eprintln!("perf gate FAILURE: {f}");
         }
         std::process::ExitCode::FAILURE
+    }
+}
+
+/// Appends the kernel table to `$GITHUB_STEP_SUMMARY` (markdown shown on
+/// the PR checks page) when running under GitHub Actions; does nothing
+/// elsewhere. Written best-effort — a summary write failure must never
+/// flip the gate's verdict.
+fn write_step_summary(rows: &[[String; 5]], failures: &[String]) {
+    let Some(path) = std::env::var_os("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    let mut md = String::from(
+        "## Perf-regression gate\n\n\
+         | kernel | baseline / limit | measured | ratio | status |\n\
+         |---|---|---|---|---|\n",
+    );
+    for row in rows {
+        writeln!(
+            md,
+            "| `{}` | {} | {} | {} | {} |",
+            row[0], row[1], row[2], row[3], row[4]
+        )
+        .expect("string write");
+    }
+    md.push('\n');
+    if failures.is_empty() {
+        md.push_str("**Perf gate: PASS**\n");
+    } else {
+        md.push_str("**Perf gate: FAIL**\n\n");
+        for f in failures {
+            writeln!(md, "- {f}").expect("string write");
+        }
+    }
+    use std::io::Write as _;
+    match std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(&path)
+    {
+        Ok(mut file) => {
+            if let Err(e) = file.write_all(md.as_bytes()) {
+                eprintln!("cannot write step summary: {e}");
+            }
+        }
+        Err(e) => eprintln!("cannot open step summary {path:?}: {e}"),
     }
 }
 

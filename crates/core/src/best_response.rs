@@ -9,19 +9,35 @@
 //! a feasible improving neighborhood move is exactly a BNE.
 //!
 //! Best responses are *optimization* queries (argmin over a move space),
-//! not stability queries, so they keep their own entry points rather
-//! than the [`crate::solver`] surface; the round-robin dynamics maps a
-//! solver `ExecPolicy`'s eval budget onto the [`CheckBudget`] guard here
-//! and polls the policy's deadline/cancel between activations.
+//! not stability queries, so they keep their own entry points rather than
+//! the [`crate::solver`] surface — but since this PR they speak the same
+//! execution-policy dialect: [`best_response_with_policy`] runs the scan
+//! through the [`crate::scan`] poll protocol, so an [`ExecPolicy`]'s
+//! eval budget, deadline, and cancel token stop it **anytime**-style. A
+//! stopped scan returns a [`BestResponseVerdict`] carrying the best move
+//! found so far and a serializable [`BestResponseFrontier`];
+//! [`best_response_resume`] continues from exactly there, and a chain of
+//! budgeted slices returns the **identical** move an uninterrupted scan
+//! would (enumeration order, pruning decisions, and tie-breaks are all
+//! deterministic functions of the state — property-tested in
+//! `tests/solver.rs`). This is what gives round-robin dynamics true
+//! anytime budgets instead of the legacy per-activation size guard.
 
 use crate::alpha::Alpha;
-use crate::candidates::{CenterCapCache, NeighborhoodPruner};
+use crate::candidates::NeighborhoodPruner;
 use crate::concepts::CheckBudget;
 use crate::cost::{agent_cost_with_buf, AgentCost};
 use crate::error::GameError;
+use crate::jsonio;
 use crate::moves::Move;
+use crate::scan::{CtlLocal, ScanCtl};
+use crate::solver::ExecPolicy;
 use crate::state::GameState;
 use bncg_graph::Graph;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::AtomicU64;
+use std::time::{Duration, Instant};
 
 /// The outcome of a best-response computation for one agent.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +47,223 @@ pub struct BestResponse {
     /// The agent's cost after playing it (equals the current cost when
     /// `best` is `None`).
     pub cost: AgentCost,
+}
+
+/// The frontier layout version: positions index the raw
+/// addition-mask-major `(addition mask, removal mask)` enumeration over
+/// the pruning layer's filtered partner list, so they are meaningful
+/// only under the exact layout of the build that issued them. Bump on
+/// any layout change so stale cross-build tokens are rejected instead
+/// of reinterpreted.
+const BR_FRONTIER_LAYOUT: u64 = 1;
+
+/// A serializable resume point for a stopped best-response scan.
+///
+/// The frontier certifies that every candidate strictly before `pos` in
+/// the agent's deterministic enumeration order has been priced against
+/// the carried best-so-far move, and it is bound to a fingerprint of the
+/// instance (graph + α), so resuming against a different state is
+/// rejected instead of silently producing garbage. Unlike the solver's
+/// stability [`crate::solver::Frontier`], an *optimization* frontier must
+/// also carry the evolving argmin — the best feasible move found so far —
+/// or a resumed slice would restart the comparison from the agent's
+/// current cost and could return a different (later, equally-improving)
+/// move than the uninterrupted scan.
+///
+/// Serialization is a flat JSON object (`to_json`/`FromStr`) with an
+/// enumeration-layout version, so frontiers can cross process boundaries
+/// like the solver's; the round-robin trajectory checkpoint embeds one
+/// verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BestResponseFrontier {
+    agent: u32,
+    instance: u64,
+    pos: u64,
+    evals: u64,
+    /// Best feasible move over the certified prefix (always
+    /// [`Move::Neighborhood`] centered on `agent`).
+    best: Option<Move>,
+}
+
+impl BestResponseFrontier {
+    /// The agent whose scan this frontier belongs to.
+    #[must_use]
+    pub fn agent(&self) -> u32 {
+        self.agent
+    }
+
+    /// Cumulative candidate evaluations across all slices so far.
+    #[must_use]
+    pub fn evals(&self) -> u64 {
+        self.evals
+    }
+
+    /// The best feasible move over the certified prefix, if one exists.
+    #[must_use]
+    pub fn best(&self) -> Option<&Move> {
+        self.best.as_ref()
+    }
+
+    /// Serializes the frontier as a flat JSON object (including the
+    /// enumeration-layout version, checked on parse).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let best = match &self.best {
+            Some(Move::Neighborhood { remove, add, .. }) => {
+                let rem: Vec<u64> = remove.iter().map(|&v| u64::from(v)).collect();
+                let add: Vec<u64> = add.iter().map(|&v| u64::from(v)).collect();
+                format!(
+                    ",\"best\":1,\"rem\":{},\"add\":{}",
+                    jsonio::render_u64_list(&rem),
+                    jsonio::render_u64_list(&add)
+                )
+            }
+            Some(_) => unreachable!("best responses are neighborhood moves"),
+            None => ",\"best\":0".to_string(),
+        };
+        format!(
+            "{{\"v\":{BR_FRONTIER_LAYOUT},\"agent\":{},\"instance\":{},\
+             \"pos\":{},\"evals\":{}{best}}}",
+            self.agent, self.instance, self.pos, self.evals
+        )
+    }
+}
+
+impl fmt::Display for BestResponseFrontier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+impl FromStr for BestResponseFrontier {
+    type Err = GameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let field = |key: &str| {
+            jsonio::u64_field(s, key).ok_or_else(|| GameError::Unsupported {
+                reason: format!("malformed best-response frontier: missing or invalid {key:?}"),
+            })
+        };
+        let layout = field("v")?;
+        if layout != BR_FRONTIER_LAYOUT {
+            return Err(GameError::Unsupported {
+                reason: format!(
+                    "best-response frontier has enumeration-layout version \
+                     {layout}, this build speaks version {BR_FRONTIER_LAYOUT} \
+                     — restart the scan instead of resuming"
+                ),
+            });
+        }
+        let agent = u32::try_from(field("agent")?).map_err(|_| GameError::Unsupported {
+            reason: "malformed best-response frontier: agent overflows u32".into(),
+        })?;
+        let best = match field("best")? {
+            0 => None,
+            1 => {
+                let list = |key: &str| -> Result<Vec<u32>, GameError> {
+                    jsonio::u64_list_field(s, key)
+                        .and_then(|xs| {
+                            xs.into_iter()
+                                .map(u32::try_from)
+                                .collect::<Result<_, _>>()
+                                .ok()
+                        })
+                        .ok_or_else(|| GameError::Unsupported {
+                            reason: format!(
+                                "malformed best-response frontier: missing or invalid {key:?}"
+                            ),
+                        })
+                };
+                Some(Move::Neighborhood {
+                    center: agent,
+                    remove: list("rem")?,
+                    add: list("add")?,
+                })
+            }
+            other => {
+                return Err(GameError::Unsupported {
+                    reason: format!(
+                        "malformed best-response frontier: \"best\" must be 0 or 1, got {other}"
+                    ),
+                })
+            }
+        };
+        Ok(BestResponseFrontier {
+            agent,
+            instance: field("instance")?,
+            pos: field("pos")?,
+            evals: field("evals")?,
+            best,
+        })
+    }
+}
+
+/// The structured result of a metered best-response scan.
+#[derive(Debug, Clone)]
+pub enum BestResponseVerdict {
+    /// The full candidate space was priced: `response` is the true
+    /// argmin (or the no-move response if nothing improves).
+    Optimal {
+        /// The certified best response.
+        response: BestResponse,
+        /// Candidate evaluations across the whole resume chain.
+        evals: u64,
+        /// Wall-clock time of this call.
+        elapsed: Duration,
+    },
+    /// The execution policy stopped the scan after it had already found
+    /// an improving feasible move: `response` is the best over the
+    /// certified prefix — usable as-is by load-shedding dynamics — and
+    /// the frontier resumes toward the true optimum.
+    ImprovedSoFar {
+        /// The best response over the certified prefix.
+        response: BestResponse,
+        /// Resume token (carries the same best-so-far move).
+        frontier: BestResponseFrontier,
+        /// Wall-clock time of this call.
+        elapsed: Duration,
+    },
+    /// The execution policy stopped the scan before any improving move
+    /// surfaced; everything before the frontier is certified
+    /// non-improving (relative to the agent's current cost).
+    Exhausted {
+        /// Resume token.
+        frontier: BestResponseFrontier,
+        /// Wall-clock time of this call.
+        elapsed: Duration,
+    },
+}
+
+impl BestResponseVerdict {
+    /// The resume token, unless the scan completed.
+    #[must_use]
+    pub fn frontier(&self) -> Option<&BestResponseFrontier> {
+        match self {
+            BestResponseVerdict::Optimal { .. } => None,
+            BestResponseVerdict::ImprovedSoFar { frontier, .. }
+            | BestResponseVerdict::Exhausted { frontier, .. } => Some(frontier),
+        }
+    }
+
+    /// The best move in hand (certified optimal only for `Optimal`).
+    #[must_use]
+    pub fn best(&self) -> Option<&Move> {
+        match self {
+            BestResponseVerdict::Optimal { response, .. }
+            | BestResponseVerdict::ImprovedSoFar { response, .. } => response.best.as_ref(),
+            BestResponseVerdict::Exhausted { .. } => None,
+        }
+    }
+
+    /// Cumulative candidate evaluations across the resume chain.
+    #[must_use]
+    pub fn evals(&self) -> u64 {
+        match self {
+            BestResponseVerdict::Optimal { evals, .. } => *evals,
+            BestResponseVerdict::ImprovedSoFar { frontier, .. }
+            | BestResponseVerdict::Exhausted { frontier, .. } => frontier.evals,
+        }
+    }
 }
 
 /// Computes agent `u`'s best feasible neighborhood move by exhaustive
@@ -56,7 +289,12 @@ pub struct BestResponse {
 /// # Ok::<(), bncg_core::GameError>(())
 /// ```
 pub fn best_response(g: &Graph, alpha: Alpha, u: u32) -> Result<BestResponse, GameError> {
-    best_response_with_budget(g, alpha, u, CheckBudget::default())
+    let n = g.n();
+    if u as usize >= n {
+        return Err(GameError::NodeOutOfRange { node: u, n });
+    }
+    check_enumeration_budget(n, CheckBudget::default())?;
+    best_response_in(&GameState::new(g.clone(), alpha), u, CheckBudget::default())
 }
 
 /// [`best_response`] with an explicit work budget.
@@ -64,6 +302,12 @@ pub fn best_response(g: &Graph, alpha: Alpha, u: u32) -> Result<BestResponse, Ga
 /// # Errors
 ///
 /// Same as [`best_response`].
+#[deprecated(
+    since = "0.2.0",
+    note = "route through `best_response_with_policy` with an `ExecPolicy` \
+            eval budget; budget overruns become a resumable \
+            `BestResponseVerdict` there instead of erroring"
+)]
 pub fn best_response_with_budget(
     g: &Graph,
     alpha: Alpha,
@@ -78,8 +322,10 @@ pub fn best_response_with_budget(
     best_response_in(&GameState::new(g.clone(), alpha), u, budget)
 }
 
-/// The guard shared by the wrapper and the engine path: `2^{n−1}`
-/// candidates must fit the budget before any heavy work starts.
+/// The legacy size guard shared by the wrapper and the engine path:
+/// `2^{n−1}` candidates must fit the budget before any heavy work starts
+/// (the metered path has no such guard — it scans anytime-style and
+/// returns a resumable verdict instead).
 fn check_enumeration_budget(n: usize, budget: CheckBudget) -> Result<(), GameError> {
     if n <= 1 {
         return Ok(());
@@ -97,22 +343,43 @@ fn check_enumeration_budget(n: usize, budget: CheckBudget) -> Result<(), GameErr
     Ok(())
 }
 
+/// The structural representation limit shared by the direct and metered
+/// scans: a position packs the `(addition mask, removal mask)` pair into
+/// one `u64`, so the `n − 1` mask bits must fit — the same shape as the
+/// solver's BNE limit. Without this check an oversized instance would
+/// overflow the mask shifts instead of erroring.
+fn check_mask_width(n: usize) -> Result<(), GameError> {
+    if n > 64 {
+        return Err(GameError::Unsupported {
+            reason: format!(
+                "best-response scans represent candidates as a packed \
+                 64-bit (addition, removal) mask pair and support n ≤ 64; \
+                 got n = {n} (use the sampled refuter for larger instances)"
+            ),
+        });
+    }
+    Ok(())
+}
+
 /// Engine-backed best response: the caller's persistent [`GameState`]
 /// supplies the pre-move costs of every agent for free, so one activation
-/// costs only the candidate evaluations themselves (round-robin dynamics
-/// reuses one state across all activations and rounds).
+/// costs only the candidate evaluations themselves. This is the direct
+/// unmetered path the perf gate measures as the metering-overhead
+/// reference; the anytime surface ([`best_response_with_policy`]) drives
+/// the identical scan under an active control.
 ///
 /// # Errors
 ///
-/// Returns [`GameError::CheckTooLarge`] when `2^{n−1}` exceeds the budget
-/// and [`GameError::NodeOutOfRange`] for a bad agent id.
+/// Returns [`GameError::CheckTooLarge`] when `2^{n−1}` exceeds the
+/// budget, [`GameError::Unsupported`] past the structural `n ≤ 64` mask
+/// limit (reachable only with explicit budgets above `2⁶³`), and
+/// [`GameError::NodeOutOfRange`] for a bad agent id.
 pub fn best_response_in(
     state: &GameState,
     u: u32,
     budget: CheckBudget,
 ) -> Result<BestResponse, GameError> {
-    let g = state.graph();
-    let n = g.n();
+    let n = state.n();
     if u as usize >= n {
         return Err(GameError::NodeOutOfRange { node: u, n });
     }
@@ -123,58 +390,283 @@ pub fn best_response_in(
         });
     }
     check_enumeration_budget(n, budget)?;
+    check_mask_width(n)?;
+    let ctl = ScanCtl::unbounded();
+    let mut cl = CtlLocal::new(&ctl);
+    let mut best = None;
+    let (stopped, _) = scan_best_response(state, u, 0, &mut best, &ctl, &mut cl);
+    debug_assert!(stopped.is_none(), "unbounded controls never stop");
+    Ok(into_response(state, u, best))
+}
+
+/// Metered best response under an [`ExecPolicy`]: the scan runs through
+/// the same poll protocol as the solver's stability checkers, so the
+/// policy's eval budget, deadline (anchored at call time), and cancel
+/// token stop it anytime-style with a resumable
+/// [`BestResponseFrontier`]. `threads` is ignored — the scan is a single
+/// enumeration unit whose argmin tie-break ("first in enumeration order
+/// among equal minima") the dynamics trajectories depend on.
+///
+/// There is no *budget* guard on this path: an oversized agent scan
+/// does partial work up to the policy's stop conditions instead of
+/// refusing outright, which is exactly what
+/// `round_robin::run_with_policy` needs for true anytime activations.
+/// The structural `n ≤ 64` mask limit still applies (the same shape as
+/// the solver's BNE limit).
+///
+/// # Errors
+///
+/// [`GameError::NodeOutOfRange`] for a bad agent id and
+/// [`GameError::Unsupported`] for `n > 64`. Never
+/// [`GameError::CheckTooLarge`].
+pub fn best_response_with_policy(
+    state: &GameState,
+    u: u32,
+    policy: &ExecPolicy,
+) -> Result<BestResponseVerdict, GameError> {
+    metered(state, u, policy, 0, None, 0)
+}
+
+/// Continues a stopped best-response scan from its frontier under
+/// `policy`. The policy's stop conditions are granted afresh to this
+/// slice (each call gets its own budget and deadline, like
+/// [`crate::solver::StabilityQuery::resume`]); the returned verdict's
+/// eval counts stay cumulative across the chain. A chain of resumed
+/// slices returns the identical final move an uninterrupted
+/// [`best_response_with_policy`] call would.
+///
+/// # Errors
+///
+/// [`GameError::Unsupported`] when the frontier was issued for a
+/// different instance (graph or α differ), names an out-of-range agent,
+/// or carries a best-so-far move that does not apply to the state.
+pub fn best_response_resume(
+    state: &GameState,
+    policy: &ExecPolicy,
+    frontier: &BestResponseFrontier,
+) -> Result<BestResponseVerdict, GameError> {
+    if frontier.instance != state.fingerprint() {
+        return Err(GameError::Unsupported {
+            reason: "best-response frontier was issued for a different \
+                     instance (graph or α differ)"
+                .into(),
+        });
+    }
+    let u = frontier.agent;
+    if u as usize >= state.n() {
+        return Err(GameError::NodeOutOfRange {
+            node: u,
+            n: state.n(),
+        });
+    }
+    // Re-price the carried best-so-far move so the resumed slice
+    // compares candidates against exactly the cost the issuing slice
+    // did (deterministic recomputation, not serialized state).
+    let best = match &frontier.best {
+        None => None,
+        Some(mv) => {
+            let g2 = mv
+                .apply(state.graph())
+                .map_err(|_| GameError::Unsupported {
+                    reason: "best-response frontier carries a move that does \
+                         not apply to this state"
+                        .into(),
+                })?;
+            let mut buf = Vec::new();
+            let cost = agent_cost_with_buf(&g2, u, &mut buf);
+            Some((mv.clone(), cost))
+        }
+    };
+    metered(state, u, policy, frontier.pos, best, frontier.evals)
+}
+
+/// The shared metered driver behind the policy/resume entry points.
+fn metered(
+    state: &GameState,
+    u: u32,
+    policy: &ExecPolicy,
+    start: u64,
+    prior_best: Option<(Move, AgentCost)>,
+    prior_evals: u64,
+) -> Result<BestResponseVerdict, GameError> {
+    let n = state.n();
+    if u as usize >= n {
+        return Err(GameError::NodeOutOfRange { node: u, n });
+    }
+    let started = Instant::now();
+    if n <= 1 {
+        return Ok(BestResponseVerdict::Optimal {
+            response: BestResponse {
+                best: None,
+                cost: state.cost(u),
+            },
+            evals: prior_evals,
+            elapsed: started.elapsed(),
+        });
+    }
+    check_mask_width(n)?;
+    let shared = AtomicU64::new(0);
+    let deadline = policy.deadline.map(|d| started + d);
+    let ctl = ScanCtl::new(
+        &shared,
+        policy.eval_budget,
+        deadline,
+        policy.cancel.as_deref(),
+    );
+    let mut cl = CtlLocal::new(&ctl);
+    let mut best = prior_best;
+    let (stopped, evals) = scan_best_response(state, u, start, &mut best, &ctl, &mut cl);
+    let evals = prior_evals + evals;
+    let elapsed = started.elapsed();
+    Ok(match stopped {
+        None => BestResponseVerdict::Optimal {
+            response: into_response(state, u, best),
+            evals,
+            elapsed,
+        },
+        Some(pos) => {
+            let frontier = BestResponseFrontier {
+                agent: u,
+                instance: state.fingerprint(),
+                pos,
+                evals,
+                best: best.as_ref().map(|(mv, _)| mv.clone()),
+            };
+            match best {
+                Some((mv, cost)) => BestResponseVerdict::ImprovedSoFar {
+                    response: BestResponse {
+                        best: Some(mv),
+                        cost,
+                    },
+                    frontier,
+                    elapsed,
+                },
+                None => BestResponseVerdict::Exhausted { frontier, elapsed },
+            }
+        }
+    })
+}
+
+fn into_response(state: &GameState, u: u32, best: Option<(Move, AgentCost)>) -> BestResponse {
+    match best {
+        Some((mv, cost)) => BestResponse {
+            best: Some(mv),
+            cost,
+        },
+        None => BestResponse {
+            best: None,
+            cost: state.cost(u),
+        },
+    }
+}
+
+/// Scans agent `u`'s pruned candidate space in **addition-mask-major**
+/// enumeration order (`pos = (add_mask << nb) | rem_mask`) from position
+/// `start`, tracking the evolving argmin in `best` and polling `ctl`
+/// anytime-style. Returns `(Some(next_pos), evals)` when the control
+/// stopped the scan — every position strictly before `next_pos` has been
+/// priced against `best` — or `(None, evals)` when the space is
+/// complete.
+///
+/// Addition-major order (unlike the BNE checker's removal-major order —
+/// irrelevant here, since an argmin has no "first violation" to agree
+/// on) makes the inequality-3 saving cap a *streaming* computation: each
+/// add set's cap is needed for exactly one run of consecutive positions,
+/// so an interrupted-and-resumed activation recomputes at most the one
+/// in-progress cap instead of rematerializing the whole
+/// [`CenterCapCache`] a prior slice had filled — which is what keeps the
+/// checkpoint-resume overhead of anytime round-robin runs within the
+/// perf gate's ceiling.
+///
+/// The candidate layer's filters are order-preserving and only skip
+/// candidates proven no better than the agent's *current* cost — hence
+/// no better than any evolving best — and depend only on the state,
+/// never on `best`, so a stopped-and-resumed chain replays the identical
+/// candidate stream (including tie-breaks, which dynamics trajectories
+/// depend on).
+fn scan_best_response(
+    state: &GameState,
+    u: u32,
+    start: u64,
+    best: &mut Option<(Move, AgentCost)>,
+    ctl: &ScanCtl,
+    cl: &mut CtlLocal,
+) -> (Option<u64>, u64) {
+    let g = state.graph();
     let alpha = state.alpha();
     let old = state.costs();
     let neighbors: Vec<u32> = g.neighbors(u).to_vec();
-    // The candidate layer's filters are all order-preserving and only skip
-    // candidates proven no better than the *current* cost — hence no
-    // better than any evolving best — so the chosen move (including tie
-    // breaks, which dynamics trajectories depend on) matches the raw scan.
     let pruner = NeighborhoodPruner::new(state);
     let (others, _) = pruner.filtered_partners(state, u);
+    let nb = neighbors.len();
+    let no = others.len();
+    if start >> nb >= 1u64 << no {
+        return (None, 0);
+    }
     let removal_only_prunable = pruner.removal_only_prunable();
     let bounds_active = pruner.active();
-    let mut caps = CenterCapCache::default();
-    caps.reset(others.len());
     let mut scratch = g.clone();
     let mut buf = Vec::new();
     let mut removed: Vec<u32> = Vec::new();
     let mut added: Vec<u32> = Vec::new();
-    let mut best_cost = old[u as usize];
-    let mut best_move: Option<Move> = None;
-    for rem_mask in 0u64..1u64 << neighbors.len() {
-        for add_mask in 0u64..1u64 << others.len() {
+    let mut best_cost = best.as_ref().map_or(old[u as usize], |(_, c)| *c);
+    let mut evals = 0u64;
+    let add0 = start >> nb;
+    let rem0 = start & ((1u64 << nb) - 1);
+    for add_mask in add0..1u64 << no {
+        // Per-add-set work hoisted out of the removal loop: the added
+        // partner list, their edges on the scratch graph, and the
+        // inequality-3 saving cap are all functions of the add mask
+        // alone. Addition-major order visits each mask exactly once, so
+        // the cap is a one-shot streaming computation — no
+        // `CenterCapCache` memo to fill or rematerialize on a resumed
+        // slice. (The early returns below may leave `scratch` with the
+        // add edges still applied; it is function-local and dropped.)
+        added.clear();
+        for (i, &v) in others.iter().enumerate() {
+            if add_mask >> i & 1 == 1 {
+                scratch.add_edge(u, v).expect("non-neighbor pair");
+                added.push(v);
+            }
+        }
+        let save_a = if add_mask != 0 && bounds_active {
+            pruner.center_add_cap(state, u, &added)
+        } else {
+            0
+        };
+        let rem_from = if add_mask == add0 { rem0 } else { 0 };
+        for rem_mask in rem_from..1u64 << nb {
             if rem_mask == 0 && add_mask == 0 {
                 continue;
             }
+            let pos = (add_mask << nb) | rem_mask;
             if add_mask == 0 {
                 if removal_only_prunable {
+                    if cl.tick_skipped(ctl, 1) {
+                        return (Some(pos + 1), evals);
+                    }
                     continue;
                 }
-            } else if bounds_active {
-                let save_a = caps.get(&pruner, state, u, &others, add_mask);
-                if pruner.center_class_prunable(
+            } else if bounds_active
+                && pruner.center_class_prunable(
                     rem_mask.count_ones(),
                     add_mask.count_ones(),
                     save_a,
-                ) {
-                    continue;
+                )
+            {
+                if cl.tick_skipped(ctl, 1) {
+                    return (Some(pos + 1), evals);
                 }
+                continue;
             }
             removed.clear();
-            added.clear();
             for (i, &v) in neighbors.iter().enumerate() {
                 if rem_mask >> i & 1 == 1 {
                     scratch.remove_edge(u, v).expect("neighbor edge");
                     removed.push(v);
                 }
             }
-            for (i, &v) in others.iter().enumerate() {
-                if add_mask >> i & 1 == 1 {
-                    scratch.add_edge(u, v).expect("non-neighbor pair");
-                    added.push(v);
-                }
-            }
+            evals += 1;
             let mine = agent_cost_with_buf(&scratch, u, &mut buf);
             let feasible = mine.better_than(&best_cost, alpha)
                 && added.iter().all(|&a| {
@@ -183,23 +675,26 @@ pub fn best_response_in(
             for &v in &removed {
                 scratch.add_edge(u, v).expect("restore removed");
             }
-            for &v in &added {
-                scratch.remove_edge(u, v).expect("restore added");
-            }
             if feasible {
                 best_cost = mine;
-                best_move = Some(Move::Neighborhood {
-                    center: u,
-                    remove: removed.clone(),
-                    add: added.clone(),
-                });
+                *best = Some((
+                    Move::Neighborhood {
+                        center: u,
+                        remove: removed.clone(),
+                        add: added.clone(),
+                    },
+                    mine,
+                ));
+            }
+            if cl.tick_eval(ctl) {
+                return (Some(pos + 1), evals);
             }
         }
+        for &v in &added {
+            scratch.remove_edge(u, v).expect("restore added");
+        }
     }
-    Ok(BestResponse {
-        best: best_move,
-        cost: best_cost,
-    })
+    (None, evals)
 }
 
 #[cfg(test)]
@@ -262,10 +757,15 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the compat wrapper must keep the legacy guard
     fn budget_guard_fires() {
         let g = generators::path(40);
         assert!(matches!(
             best_response(&g, a("1"), 0),
+            Err(GameError::CheckTooLarge { .. })
+        ));
+        assert!(matches!(
+            best_response_with_budget(&generators::path(8), a("1"), 0, CheckBudget::new(10)),
             Err(GameError::CheckTooLarge { .. })
         ));
         assert!(matches!(
@@ -280,5 +780,126 @@ mod tests {
         let br = best_response(&g, a("2"), 0).unwrap();
         assert!(br.best.is_none());
         assert_eq!(br.cost, agent_cost(&g, 0));
+    }
+
+    #[test]
+    fn metered_unbounded_matches_direct_path() {
+        let mut rng = bncg_graph::test_rng(57);
+        for _ in 0..8 {
+            let g = generators::random_connected(9, 0.3, &mut rng);
+            for alpha in ["1/2", "2", "9"] {
+                let state = GameState::new(g.clone(), a(alpha));
+                for u in 0..9u32 {
+                    let direct = best_response_in(&state, u, CheckBudget::default()).unwrap();
+                    let metered =
+                        best_response_with_policy(&state, u, &ExecPolicy::default()).unwrap();
+                    let BestResponseVerdict::Optimal { response, .. } = metered else {
+                        panic!("an unbounded policy must complete the scan")
+                    };
+                    assert_eq!(response, direct, "u = {u}, α = {alpha}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_resume_chain_reaches_the_uninterrupted_move() {
+        let g = generators::path(12);
+        let alpha = a("2");
+        let state = GameState::new(g, alpha);
+        let uninterrupted = best_response_in(&state, 0, CheckBudget::default()).unwrap();
+        let tight = ExecPolicy::default().with_eval_budget(1);
+        let mut verdict = best_response_with_policy(&state, 0, &tight).unwrap();
+        let mut slices = 1u32;
+        let response = loop {
+            match verdict {
+                BestResponseVerdict::Optimal { response, .. } => break response,
+                BestResponseVerdict::ImprovedSoFar { ref frontier, .. }
+                | BestResponseVerdict::Exhausted { ref frontier, .. } => {
+                    // JSON round-trip must be lossless mid-chain.
+                    let parsed: BestResponseFrontier = frontier.to_json().parse().unwrap();
+                    assert_eq!(&parsed, frontier);
+                    verdict = best_response_resume(&state, &tight, &parsed).unwrap();
+                    slices += 1;
+                    assert!(slices < 100_000, "resume chain failed to terminate");
+                }
+            }
+        };
+        assert!(slices > 1, "a 1-eval budget must interrupt the P12 scan");
+        assert_eq!(response, uninterrupted);
+    }
+
+    #[test]
+    fn zero_deadline_stops_and_resumes_to_the_optimum() {
+        // The star-16 center's scan walks 2¹⁵ − 1 positions (all pruned
+        // on a tree, but pruned candidates still poll the clock), so a
+        // zero deadline is guaranteed to trip before completion; the
+        // resumed slice certifies the no-move optimum.
+        let state = GameState::new(generators::star(16), a("2"));
+        let tight = ExecPolicy::default().with_deadline(Duration::ZERO);
+        let verdict = best_response_with_policy(&state, 0, &tight).unwrap();
+        let frontier = verdict
+            .frontier()
+            .expect("a zero deadline must stop the star-center scan")
+            .clone();
+        assert!(frontier.best().is_none(), "the star center has no move");
+        match best_response_resume(&state, &ExecPolicy::default(), &frontier).unwrap() {
+            BestResponseVerdict::Optimal { response, .. } => assert!(response.best.is_none()),
+            v => panic!("an unbounded resume must complete, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_frontiers_are_rejected() {
+        let state = GameState::new(generators::star(16), a("2"));
+        let tight = ExecPolicy::default().with_deadline(Duration::ZERO);
+        let verdict = best_response_with_policy(&state, 0, &tight).unwrap();
+        let frontier = verdict.frontier().expect("zero deadline exhausts").clone();
+        // Different α ⇒ different instance fingerprint.
+        let other = GameState::new(generators::star(16), a("3"));
+        assert!(matches!(
+            best_response_resume(&other, &tight, &frontier),
+            Err(GameError::Unsupported { .. })
+        ));
+        // Malformed tokens fail to parse instead of resuming garbage.
+        assert!("{\"v\":1,\"agent\":0}"
+            .parse::<BestResponseFrontier>()
+            .is_err());
+        assert!("nonsense".parse::<BestResponseFrontier>().is_err());
+        // Layout-version mismatches are rejected at parse time.
+        assert!(
+            "{\"v\":9,\"agent\":0,\"instance\":1,\"pos\":0,\"evals\":0,\"best\":0}"
+                .parse::<BestResponseFrontier>()
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn oversized_instances_error_structurally_not_by_overflow() {
+        // n > 64 would overflow the packed 64-bit position masks; the
+        // metered path (which has no budget guard) must refuse
+        // structurally instead of panicking or wrapping the scan.
+        let state = GameState::new(generators::path(70), a("2"));
+        assert!(matches!(
+            best_response_with_policy(&state, 0, &ExecPolicy::default()),
+            Err(GameError::Unsupported { .. })
+        ));
+        // On the direct path the u128 budget guard already rejects every
+        // n > 64 (2^{n−1} exceeds any u64 budget), even the maximal one.
+        assert!(matches!(
+            best_response_in(&state, 0, CheckBudget::new(u64::MAX)),
+            Err(GameError::CheckTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn cancel_token_stops_the_scan() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let state = GameState::new(generators::star(16), a("2"));
+        let token = Arc::new(AtomicBool::new(true));
+        let policy = ExecPolicy::default().with_cancel(token);
+        let verdict = best_response_with_policy(&state, 0, &policy).unwrap();
+        assert!(verdict.frontier().is_some(), "raised token must stop work");
     }
 }

@@ -24,8 +24,12 @@
 //! * the unified **[`solver`] query surface** every stability check
 //!   routes through: a [`StabilityQuery`] executed under an
 //!   [`ExecPolicy`] (threads, evaluation budget, deadline, cancel
-//!   token) returns a structured [`Verdict`] — stable, unstable with a
-//!   witness, or *exhausted* with a serializable resume [`Frontier`];
+//!   token, shared batch pool) returns a structured [`Verdict`] —
+//!   stable, unstable with a witness, or *exhausted* with a
+//!   serializable resume [`Frontier`]. Best responses speak the same
+//!   policy dialect: [`best_response_with_policy`] meters the scan
+//!   anytime-style and [`best_response_resume`] continues a
+//!   [`BestResponseFrontier`] to the identical argmin;
 //! * the paper's **bounds** as executable closed forms and exact lemma
 //!   predicates ([`bounds`]).
 //!
@@ -86,13 +90,19 @@ pub mod candidates;
 pub mod combinatorics;
 pub mod concepts;
 pub mod delta;
+pub mod jsonio;
 pub mod solver;
 pub mod state;
 pub mod unilateral;
 pub mod windows;
 
 pub use alpha::Alpha;
-pub use best_response::{best_response, best_response_in, best_response_with_budget, BestResponse};
+#[allow(deprecated)]
+pub use best_response::best_response_with_budget;
+pub use best_response::{
+    best_response, best_response_in, best_response_resume, best_response_with_policy, BestResponse,
+    BestResponseFrontier, BestResponseVerdict,
+};
 pub use candidates::CandidateStats;
 pub use concepts::{CheckBudget, Concept};
 pub use cost::{

@@ -138,6 +138,20 @@ impl CtlLocal {
         self.flush(ctl, shared)
     }
 
+    /// Flushes any unreported evaluations to the shared counter
+    /// *without* evaluating stop conditions — called when a drive
+    /// worker finishes so a counter that outlives the query (the
+    /// [`crate::solver`] batch budget pool) observes every evaluation,
+    /// not just those past a poll boundary.
+    pub(crate) fn finish(&mut self, ctl: &ScanCtl) {
+        if let Some(shared) = ctl.shared_evals {
+            if self.pending > 0 {
+                shared.fetch_add(self.pending, Ordering::Relaxed);
+                self.pending = 0;
+            }
+        }
+    }
+
     #[cold]
     fn flush(&mut self, ctl: &ScanCtl, shared: &AtomicU64) -> bool {
         self.countdown = ctl.poll;
@@ -234,15 +248,23 @@ pub(crate) fn drive<S: UnitScanner>(
         let mut cl = CtlLocal::new(ctl);
         let mut stats = CandidateStats::default();
         let mut unit = start_unit;
+        let mut outcome = DriveOutcome::Completed(None);
         while unit < units {
             let s = if unit == start_unit { start_pos } else { 0 };
             match scanner.scan_unit(&mut ws, &mut stats, unit, s, ctl, &mut cl, None) {
                 UnitOutcome::Done => unit += 1,
-                UnitOutcome::Found(mv) => return (DriveOutcome::Completed(Some(mv)), stats),
-                UnitOutcome::Stopped(pos) => return (DriveOutcome::Stopped { unit, pos }, stats),
+                UnitOutcome::Found(mv) => {
+                    outcome = DriveOutcome::Completed(Some(mv));
+                    break;
+                }
+                UnitOutcome::Stopped(pos) => {
+                    outcome = DriveOutcome::Stopped { unit, pos };
+                    break;
+                }
             }
         }
-        return (DriveOutcome::Completed(None), stats);
+        cl.finish(ctl);
+        return (outcome, stats);
     }
 
     let best_unit = AtomicU64::new(u64::MAX);
@@ -289,6 +311,7 @@ pub(crate) fn drive<S: UnitScanner>(
                         }
                     }
                 }
+                cl.finish(ctl);
                 total.lock().expect("no poisoning").merge(&stats);
             });
         }

@@ -18,7 +18,14 @@
 //!   [`StabilityQuery::resume`] continues the scan exactly where it
 //!   stopped. Enumeration order is deterministic, so a chain of budgeted
 //!   queries returns the **identical witness** an uninterrupted run
-//!   would (property-tested in `tests/solver.rs`).
+//!   would (property-tested in `tests/solver.rs`);
+//! * **poolable** — [`Solver::check_many`] executes a batch on one
+//!   scoped thread pool with deterministic (input-order) results, and
+//!   an [`ExecPolicy::batch_budget`] makes the whole batch drain one
+//!   shared atomic eval pool first-come: queries past the drained pool
+//!   load-shed into zero-work exhausted verdicts instead of running
+//!   ([`Solver::check_many_pooled`] spans one pool across chunked
+//!   sweeps).
 //!
 //! The polynomial concepts (RE, BAE, PS, BSwE, BGE) complete in
 //! microseconds and are executed eagerly — they never exhaust and their
@@ -72,6 +79,7 @@ use crate::alpha::Alpha;
 use crate::candidates::CandidateStats;
 use crate::concepts::{bae, bge, bne, bse, bswe, kbse, ps, re, CheckBudget, Concept};
 use crate::error::GameError;
+use crate::jsonio;
 use crate::moves::Move;
 use crate::scan::{drive, DriveOutcome, ScanCtl, UnitScanner};
 use crate::state::GameState;
@@ -106,6 +114,19 @@ pub struct ExecPolicy {
     /// Cooperative cancellation: raise the flag and every running query
     /// of this policy returns [`Verdict::Exhausted`] at its next poll.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Shared evaluation budget for a **whole batch**: when set,
+    /// [`Solver::check_many`] drains this many candidate evaluations
+    /// from one atomic pool across all its queries (first-come
+    /// draining), instead of granting `eval_budget` to each query
+    /// individually. Queries that find the pool already drained return
+    /// [`Verdict::Exhausted`] immediately with a zero-work frontier, so
+    /// an over-budget batch sheds load instead of overrunning — the
+    /// service primitive behind budgeted empirical-PoA sweeps. In a
+    /// batch, `batch_budget` takes precedence over `eval_budget`;
+    /// single [`Solver::check`] calls ignore it. Enforcement shares the
+    /// scan poll quantum, so the pool can overshoot by at most
+    /// `threads · 1024` evaluations.
+    pub batch_budget: Option<u64>,
 }
 
 impl Default for ExecPolicy {
@@ -115,6 +136,7 @@ impl Default for ExecPolicy {
             eval_budget: None,
             deadline: None,
             cancel: None,
+            batch_budget: None,
         }
     }
 }
@@ -145,6 +167,14 @@ impl ExecPolicy {
     #[must_use]
     pub fn with_cancel(mut self, token: Arc<AtomicBool>) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Caps candidate evaluations for a whole [`Solver::check_many`]
+    /// batch via one shared pool (see [`ExecPolicy::batch_budget`]).
+    #[must_use]
+    pub fn with_batch_budget(mut self, evals: u64) -> Self {
+        self.batch_budget = Some(evals);
         self
     }
 }
@@ -219,10 +249,10 @@ impl FromStr for Frontier {
     type Err = GameError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let concept: Concept = json_str(s, "concept")
+        let concept: Concept = jsonio::str_field(s, "concept")
             .ok_or_else(|| bad_frontier("missing \"concept\""))?
             .parse()?;
-        let field = |key: &str| json_u64(s, key).ok_or_else(|| bad_frontier(key));
+        let field = |key: &str| jsonio::u64_field(s, key).ok_or_else(|| bad_frontier(key));
         let layout = field("v")?;
         if layout != FRONTIER_LAYOUT {
             return Err(GameError::Unsupported {
@@ -247,26 +277,6 @@ fn bad_frontier(what: &str) -> GameError {
     GameError::Unsupported {
         reason: format!("malformed frontier token: missing or invalid {what}"),
     }
-}
-
-/// Minimal `"key": <u64>` extractor (the workspace is offline — no serde).
-fn json_u64(json: &str, key: &str) -> Option<u64> {
-    let needle = format!("\"{key}\":");
-    let at = json.find(&needle)? + needle.len();
-    let rest = json[at..].trim_start();
-    let end = rest
-        .find(|c: char| !c.is_ascii_digit())
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
-/// Minimal `"key": "<str>"` extractor.
-fn json_str<'j>(json: &'j str, key: &str) -> Option<&'j str> {
-    let needle = format!("\"{key}\":");
-    let at = json.find(&needle)? + needle.len();
-    let rest = json[at..].trim_start().strip_prefix('"')?;
-    let end = rest.find('"')?;
-    Some(&rest[..end])
 }
 
 /// How far an exhausted scan got (attached to [`Verdict::Exhausted`]).
@@ -475,18 +485,59 @@ impl Solver {
     /// [`GameError::CheckTooLarge`]: running out of budget is a
     /// [`Verdict::Exhausted`], not an error.
     pub fn check(&self, query: &StabilityQuery) -> Result<Verdict, GameError> {
-        self.check_with_threads(query, self.policy.threads)
+        self.check_with_threads(query, self.policy.threads, None)
     }
 
     /// Executes a batch of queries on one scoped thread pool, returning
     /// results in input order regardless of completion order. Each query
     /// runs sequentially on one worker (the pool parallelizes *across*
     /// queries); stop conditions apply per query, with deadlines
-    /// measured from each query's own start.
+    /// measured from each query's own start — except when the policy
+    /// sets a [`ExecPolicy::batch_budget`], in which case all queries
+    /// drain **one shared eval pool** (first-come; result order is
+    /// still the input order, but which queries exhaust depends on
+    /// completion timing under multiple threads).
     pub fn check_many(&self, queries: &[StabilityQuery]) -> Vec<Result<Verdict, GameError>> {
+        match self.policy.batch_budget {
+            Some(_) => {
+                let pool = AtomicU64::new(0);
+                self.check_many_in(queries, Some(&pool))
+            }
+            None => self.check_many_in(queries, None),
+        }
+    }
+
+    /// [`Solver::check_many`] against a **caller-owned** budget pool:
+    /// the counter accumulates evaluations across calls, so a sweep
+    /// that batches its instances in chunks (to bound resident state)
+    /// can still drain one global budget over the whole sweep — the
+    /// load-shedding shape behind `empirical::poa_over`. Requires
+    /// [`ExecPolicy::batch_budget`] to be set; without it the pool is
+    /// ignored and this is exactly [`Solver::check_many`].
+    pub fn check_many_pooled(
+        &self,
+        queries: &[StabilityQuery],
+        pool: &AtomicU64,
+    ) -> Vec<Result<Verdict, GameError>> {
+        let pool = self.policy.batch_budget.map(|_| pool);
+        self.check_many_in(queries, pool)
+    }
+
+    fn check_many_in(
+        &self,
+        queries: &[StabilityQuery],
+        pool: Option<&AtomicU64>,
+    ) -> Vec<Result<Verdict, GameError>> {
         let workers = self.policy.threads.max(1).min(queries.len());
         if workers <= 1 {
-            return queries.iter().map(|q| self.check(q)).collect();
+            // A single worker (one query, or a sequential policy) keeps
+            // the policy's full thread count *inside* each query — the
+            // pool parallelizes across queries only when there are
+            // enough of them to shard.
+            return queries
+                .iter()
+                .map(|q| self.check_with_threads(q, self.policy.threads, pool))
+                .collect();
         }
         let next = AtomicU64::new(0);
         let collected: Mutex<Vec<(usize, Result<Verdict, GameError>)>> =
@@ -502,7 +553,7 @@ impl Solver {
                         if i >= queries.len() {
                             break;
                         }
-                        local.push((i, self.check_with_threads(&queries[i], 1)));
+                        local.push((i, self.check_with_threads(&queries[i], 1, pool)));
                     }
                     collected.lock().expect("no poisoning").extend(local);
                 });
@@ -517,6 +568,7 @@ impl Solver {
         &self,
         query: &StabilityQuery,
         threads: usize,
+        pool: Option<&AtomicU64>,
     ) -> Result<Verdict, GameError> {
         let state = query.state();
         let started = Instant::now();
@@ -585,7 +637,17 @@ impl Solver {
         let shared_evals = AtomicU64::new(0);
         let deadline = self.policy.deadline.map(|d| started + d);
         let cancel = self.policy.cancel.as_deref();
-        let ctl = ScanCtl::new(&shared_evals, self.policy.eval_budget, deadline, cancel);
+        // A batch pool replaces the per-query counter: every query of
+        // the batch flushes into the caller's atomic, and the batch
+        // budget caps the shared total. A query that finds the pool
+        // already drained sheds immediately with a zero-work frontier
+        // instead of burning a poll quantum discovering it.
+        let (counter, budget) = match (pool, self.policy.batch_budget) {
+            (Some(p), Some(b)) => (p, Some(b)),
+            _ => (&shared_evals, self.policy.eval_budget),
+        };
+        let shed = pool.is_some() && budget.is_some_and(|b| counter.load(Ordering::Relaxed) >= b);
+        let ctl = ScanCtl::new(counter, budget, deadline, cancel);
 
         let ((outcome, stats), units_total) = match query.concept {
             Concept::Bne => {
@@ -593,8 +655,10 @@ impl Solver {
                     return Err(unsupported_size("BNE", state.n(), 64));
                 }
                 let scanner = bne::SolverScan::new(state);
-                let u = scanner.units();
-                (drive(&scanner, threads, start_unit, start_pos, &ctl), u)
+                (
+                    drive_or_shed(&scanner, threads, start_unit, start_pos, &ctl, shed),
+                    scanner.units(),
+                )
             }
             Concept::KBse(k) => {
                 // The coalition list is materialized for unit indexing;
@@ -614,16 +678,20 @@ impl Solver {
                     });
                 }
                 let scanner = kbse::SolverScan::new(state, k as usize);
-                let u = scanner.units();
-                (drive(&scanner, threads, start_unit, start_pos, &ctl), u)
+                (
+                    drive_or_shed(&scanner, threads, start_unit, start_pos, &ctl, shed),
+                    scanner.units(),
+                )
             }
             Concept::Bse => {
                 if state.n() > 11 {
                     return Err(unsupported_size("BSE", state.n(), 11));
                 }
                 let scanner = bse::SolverScan::new(state);
-                let u = scanner.units();
-                (drive(&scanner, threads, start_unit, start_pos, &ctl), u)
+                (
+                    drive_or_shed(&scanner, threads, start_unit, start_pos, &ctl, shed),
+                    scanner.units(),
+                )
             }
             _ => unreachable!("polynomial concepts returned above"),
         };
@@ -660,6 +728,31 @@ impl Solver {
                 }
             }
         })
+    }
+}
+
+/// [`drive`], unless the batch pool is already drained (`shed`): then
+/// the query is load-shed with a zero-work stop at its resume start —
+/// everything strictly before it was certified by prior slices, so the
+/// frontier stays sound.
+fn drive_or_shed<S: UnitScanner>(
+    scanner: &S,
+    threads: usize,
+    start_unit: u64,
+    start_pos: u64,
+    ctl: &ScanCtl,
+    shed: bool,
+) -> (DriveOutcome, CandidateStats) {
+    if shed {
+        (
+            DriveOutcome::Stopped {
+                unit: start_unit,
+                pos: start_pos,
+            },
+            CandidateStats::default(),
+        )
+    } else {
+        drive(scanner, threads, start_unit, start_pos, ctl)
     }
 }
 

@@ -162,7 +162,10 @@ fn restricted_kbse_serial_and_parallel_share_one_iterator() {
 }
 
 /// The pruned best response must still find the *optimal* feasible move:
-/// cross-check against a from-scratch unpruned enumeration.
+/// cross-check against a from-scratch unpruned enumeration in the
+/// scan's documented addition-mask-major order, so ties (distinct moves
+/// with equal cost keys) resolve to the identical `(edges, dist)` pair
+/// the metered scan commits to.
 #[test]
 fn best_response_pruning_preserves_the_optimum() {
     use bncg::core::{agent_cost, best_response, AgentCost};
@@ -172,13 +175,13 @@ fn best_response_pruning_preserves_the_optimum() {
         for alpha in alpha_grid(g.n()) {
             for u in 0..n {
                 let br = best_response(&g, alpha, u).unwrap();
-                // Naive scan: every (removal set, addition set) pair.
+                // Naive scan: every (addition set, removal set) pair.
                 let neighbors: Vec<u32> = g.neighbors(u).to_vec();
                 let others: Vec<u32> = (0..n).filter(|&v| v != u && !g.has_edge(u, v)).collect();
                 let old: Vec<AgentCost> = (0..n).map(|w| agent_cost(&g, w)).collect();
                 let mut best: AgentCost = old[u as usize];
-                for rem_mask in 0u64..1 << neighbors.len() {
-                    for add_mask in 0u64..1 << others.len() {
+                for add_mask in 0u64..1 << others.len() {
+                    for rem_mask in 0u64..1 << neighbors.len() {
                         if rem_mask == 0 && add_mask == 0 {
                             continue;
                         }

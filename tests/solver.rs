@@ -5,11 +5,23 @@
 //! enumeration order) as one uninterrupted run, and
 //! `GameError::CheckTooLarge` must be unreachable from the solver path.
 //!
+//! Extended for the metered dynamics surface (ISSUE 4) with the resume
+//! laws of the two new anytime shapes: a chain of budgeted
+//! **best-response** slices must return the identical move an
+//! uninterrupted scan returns, a **checkpointed round-robin trajectory**
+//! must resume to the identical move/fingerprint sequence and final
+//! state, and a `check_many` batch draining one shared **budget pool**
+//! must keep input order and resume cleanly to the unbudgeted verdicts.
+//!
 //! Seeded-case harness as in `proptests.rs` (the container is offline,
 //! so no `proptest` crate): failures reproduce from the printed seed.
 
 use bncg::core::solver::{ExecPolicy, Frontier, Solver, StabilityQuery, Verdict};
-use bncg::core::{Alpha, Concept, GameError, GameState, Move};
+use bncg::core::{
+    best_response_in, best_response_resume, best_response_with_policy, Alpha, BestResponseFrontier,
+    BestResponseVerdict, CheckBudget, Concept, GameError, GameState, Move,
+};
+use bncg::dynamics::round_robin;
 use bncg::graph::generators;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -299,6 +311,149 @@ fn structural_limits_error_as_unsupported_not_too_large() {
         Solver::default().check(&q),
         Err(GameError::Unsupported { .. })
     ));
+}
+
+/// The best-response resume law: any chain of budgeted slices returns
+/// the identical move (and post-move cost) the uninterrupted scan
+/// returns — for every agent, across the α grid, at interrupt-happy
+/// budgets.
+#[test]
+fn budgeted_best_response_chain_returns_the_uninterrupted_move() {
+    prop("best-response resume determinism", |rng| {
+        let g = random_instance(9, rng);
+        for alpha in alpha_grid(g.n()) {
+            let state = GameState::new(g.clone(), alpha);
+            for u in 0..g.n() as u32 {
+                let uninterrupted = best_response_in(&state, u, CheckBudget::default()).unwrap();
+                for budget in [1u64, 17] {
+                    let policy = ExecPolicy::default().with_eval_budget(budget);
+                    let mut verdict = best_response_with_policy(&state, u, &policy).unwrap();
+                    let mut slices = 0u32;
+                    let resolved = loop {
+                        match verdict {
+                            BestResponseVerdict::Optimal { response, .. } => break response,
+                            BestResponseVerdict::ImprovedSoFar { ref frontier, .. }
+                            | BestResponseVerdict::Exhausted { ref frontier, .. } => {
+                                // Tokens round-trip through JSON mid-chain.
+                                let parsed: BestResponseFrontier =
+                                    frontier.to_json().parse().unwrap();
+                                assert_eq!(&parsed, frontier, "frontier JSON round trip");
+                                verdict = best_response_resume(&state, &policy, &parsed).unwrap();
+                                slices += 1;
+                                assert!(slices < 100_000, "resume chain failed to terminate");
+                            }
+                        }
+                    };
+                    assert_eq!(
+                        resolved,
+                        uninterrupted,
+                        "best response diverged for u = {u}, budget {budget}, α = {}",
+                        state.alpha()
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// The trajectory resume law: a round-robin run interrupted by its
+/// eval-budget pool at arbitrary activations and resumed from its
+/// checkpoints replays the identical move sequence — hence the
+/// identical state-fingerprint sequence — and reaches the identical
+/// final state and verdict an uninterrupted run reaches.
+#[test]
+fn checkpointed_round_robin_resumes_the_identical_trajectory() {
+    prop("round-robin checkpoint determinism", |rng| {
+        let g = random_instance(9, rng);
+        for alpha in alpha_grid(g.n()) {
+            let uninterrupted =
+                round_robin::run_with_policy(&g, alpha, 60, &ExecPolicy::default()).unwrap();
+            for budget in [25u64, 150] {
+                let policy = ExecPolicy::default().with_eval_budget(budget);
+                let mut out = round_robin::run_with_policy(&g, alpha, 60, &policy).unwrap();
+                let mut history = out.history.clone();
+                let mut slices = 1u32;
+                while let Some(checkpoint) = out.checkpoint.take() {
+                    let parsed: round_robin::Checkpoint = checkpoint.to_json().parse().unwrap();
+                    assert_eq!(parsed, checkpoint, "checkpoint JSON round trip");
+                    out =
+                        round_robin::resume(&out.final_graph, alpha, 60, &policy, &parsed).unwrap();
+                    history.extend(out.history.iter().cloned());
+                    slices += 1;
+                    assert!(slices < 100_000, "resume chain failed to terminate");
+                }
+                assert_eq!(
+                    history, uninterrupted.history,
+                    "move sequence diverged at budget {budget}, α = {alpha}"
+                );
+                assert_eq!(out.converged, uninterrupted.converged);
+                assert_eq!(out.cycled, uninterrupted.cycled);
+                assert_eq!(out.rounds, uninterrupted.rounds);
+                assert_eq!(out.moves, uninterrupted.moves);
+                assert_eq!(
+                    out.final_graph.fingerprint(),
+                    uninterrupted.final_graph.fingerprint()
+                );
+            }
+        }
+    });
+}
+
+/// The batch pool: a `check_many` whose queries drain one shared eval
+/// budget keeps its input-order results, sheds the tail once the pool
+/// drains, and every shed frontier resumes to the exact verdict the
+/// unbudgeted batch returns.
+#[test]
+fn batch_budget_pool_sheds_and_resumes_in_order() {
+    let alpha = Alpha::integer(2).unwrap();
+    let mut rng = bncg::graph::test_rng(0xB001);
+    let states: Vec<GameState> = (0..10)
+        .map(|_| GameState::new(generators::random_connected(9, 0.3, &mut rng), alpha))
+        .collect();
+    let queries: Vec<StabilityQuery> = states
+        .iter()
+        .map(|s| StabilityQuery::on(Concept::Bne, s))
+        .collect();
+    let reference: Vec<Verdict> = queries
+        .iter()
+        .map(|q| Solver::default().check(q).unwrap())
+        .collect();
+
+    // A 5-eval pool: the first queries drain it, the rest load-shed.
+    let pooled = Solver::new(ExecPolicy::default().with_batch_budget(5));
+    let verdicts = pooled.check_many(&queries);
+    assert_eq!(verdicts.len(), queries.len());
+    let mut shed = 0usize;
+    for (i, verdict) in verdicts.into_iter().enumerate() {
+        match verdict.unwrap() {
+            Verdict::Exhausted { frontier, .. } => {
+                shed += 1;
+                let done = Solver::default()
+                    .check(&StabilityQuery::on(Concept::Bne, &states[i]).resume(frontier))
+                    .unwrap();
+                assert_eq!(done.witness(), reference[i].witness(), "slot {i} resumed");
+                assert_eq!(done.is_stable(), reference[i].is_stable());
+            }
+            conclusive => {
+                assert_eq!(conclusive.witness(), reference[i].witness(), "slot {i}");
+                assert_eq!(conclusive.is_stable(), reference[i].is_stable());
+            }
+        }
+    }
+    assert!(shed > 0, "a 5-eval pool must shed part of the batch");
+
+    // A roomy pool completes every query with the reference verdicts,
+    // threads notwithstanding (order is the input order by contract).
+    let roomy = Solver::new(
+        ExecPolicy::default()
+            .with_batch_budget(100_000_000)
+            .with_threads(3),
+    );
+    for (i, verdict) in roomy.check_many(&queries).into_iter().enumerate() {
+        let verdict = verdict.unwrap();
+        assert_eq!(verdict.witness(), reference[i].witness(), "slot {i}");
+        assert_eq!(verdict.is_stable(), reference[i].is_stable());
+    }
 }
 
 #[test]

@@ -84,5 +84,6 @@ pub fn run_all(quick: bool, policy: &ExecPolicy) -> Result<Report, GameError> {
     ablations::parallel_scan(&mut r, quick)?;
     ablations::incremental_engine(&mut r, quick)?;
     ablations::pruning(&mut r, quick)?;
+    ablations::generator(&mut r, quick)?;
     Ok(r)
 }

@@ -1,7 +1,9 @@
-//! The headline benchmark for the candidate-pruning layer (PR 2): exact
-//! BNE and k-BSE **full scans** at n = 16, pruned checkers vs. the PR 1
-//! engine path retained as `*_reference`. Instances are chosen so the
-//! scans certify stability (no early exit): the star at α = 2, and a
+//! The headline benchmark for the candidate-pruning layer (PR 2) and
+//! the branch-and-bound generator (PR 5): exact BNE and k-BSE **full
+//! scans** at n = 16 — the generated scans vs. the PR 2 dense mask
+//! loop retained as `bne::find_violation_in_dense` vs. the PR 1 engine
+//! path retained as `*_reference`. Instances are chosen so the scans
+//! certify stability (no early exit): the star at α = 2, and a
 //! pinned-seed diameter-2 G(n, p) at α = 1, which Proposition 3.16 makes
 //! BSE-stable (hence BNE- and k-BSE-stable).
 //!
@@ -22,18 +24,31 @@ fn bench_bne_full_scan(c: &mut Criterion) {
         let (pruned, stats) =
             concepts::bne::find_violation_in_with_stats(&state, budget()).unwrap();
         let reference = concepts::bne::find_violation_in_reference(&state, budget()).unwrap();
+        let (dense, dense_stats) =
+            concepts::bne::find_violation_in_dense(&state, budget()).unwrap();
         assert_eq!(
             pruned, reference,
             "pruning changed the BNE witness on {name}"
         );
+        assert_eq!(
+            (pruned.clone(), stats.evaluated),
+            (dense, dense_stats.evaluated),
+            "the generator diverged from the dense loop on {name}"
+        );
         assert!(pruned.is_none(), "{name} must be a full (stable) scan");
         println!(
-            "pruning/bne_full_scan/{name}: {} raw candidates, {:.2}% skipped",
+            "pruning/bne_full_scan/{name}: {} raw candidates, {:.2}% skipped, \
+             {} generator steps ({:.4}% of the space)",
             stats.generated,
-            100.0 * stats.skipped_fraction()
+            100.0 * stats.skipped_fraction(),
+            stats.visited,
+            100.0 * stats.visited as f64 / stats.generated.max(1) as f64
         );
-        group.bench_with_input(BenchmarkId::new("pruned", name), &state, |b, s| {
+        group.bench_with_input(BenchmarkId::new("generated", name), &state, |b, s| {
             b.iter(|| concepts::bne::find_violation_in_with_stats(black_box(s), budget()).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("dense_pr2", name), &state, |b, s| {
+            b.iter(|| concepts::bne::find_violation_in_dense(black_box(s), budget()).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("reference", name), &state, |b, s| {
             b.iter(|| concepts::bne::find_violation_in_reference(black_box(s), budget()).unwrap());

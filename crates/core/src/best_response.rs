@@ -28,6 +28,7 @@ use crate::candidates::NeighborhoodPruner;
 use crate::concepts::CheckBudget;
 use crate::cost::{agent_cost_with_buf, AgentCost};
 use crate::error::GameError;
+use crate::generator::{BranchScan, NeighborhoodOracle, Step};
 use crate::jsonio;
 use crate::moves::Move;
 use crate::scan::{CtlLocal, ScanCtl};
@@ -568,22 +569,30 @@ fn into_response(state: &GameState, u: u32, best: Option<(Move, AgentCost)>) -> 
 /// priced against `best` — or `(None, evals)` when the space is
 /// complete.
 ///
+/// Positions are *generated* by a [`BranchScan`], not iterated: the
+/// [`NeighborhoodOracle`] skips whole mask subtrees the pruning
+/// inequalities kill — with the addition field in the high bits, an
+/// entire addition class whose exact saving cap cannot pay for its
+/// edges even at the friendliest removal count dies in **one probe**
+/// instead of `2^{nb}` per-mask tests, which is what the round-robin
+/// dynamics' activation loop spends most of its time on.
+///
 /// Addition-major order (unlike the BNE checker's removal-major order —
 /// irrelevant here, since an argmin has no "first violation" to agree
-/// on) makes the inequality-3 saving cap a *streaming* computation: each
-/// add set's cap is needed for exactly one run of consecutive positions,
+/// on) keeps the inequality-3 saving cap a *streaming* computation: each
+/// add set's cap is needed for exactly one run of consecutive leaves,
 /// so an interrupted-and-resumed activation recomputes at most the one
 /// in-progress cap instead of rematerializing the whole
-/// [`CenterCapCache`] a prior slice had filled — which is what keeps the
-/// checkpoint-resume overhead of anytime round-robin runs within the
-/// perf gate's ceiling.
+/// [`CenterCapCache`](crate::candidates::CenterCapCache) a prior slice
+/// had filled — which is what keeps the checkpoint-resume overhead of
+/// anytime round-robin runs within the perf gate's ceiling.
 ///
-/// The candidate layer's filters are order-preserving and only skip
-/// candidates proven no better than the agent's *current* cost — hence
-/// no better than any evolving best — and depend only on the state,
-/// never on `best`, so a stopped-and-resumed chain replays the identical
-/// candidate stream (including tie-breaks, which dynamics trajectories
-/// depend on).
+/// The candidate layer's filters (leaf-level and subtree-level alike)
+/// are order-preserving and only skip candidates proven no better than
+/// the agent's *current* cost — hence no better than any evolving best —
+/// and depend only on the state, never on `best`, so a
+/// stopped-and-resumed chain replays the identical candidate stream
+/// (including tie-breaks, which dynamics trajectories depend on).
 fn scan_best_response(
     state: &GameState,
     u: u32,
@@ -600,7 +609,8 @@ fn scan_best_response(
     let (others, _) = pruner.filtered_partners(state, u);
     let nb = neighbors.len();
     let no = others.len();
-    if start >> nb >= 1u64 << no {
+    let total = 1u64 << (nb + no);
+    if start >= total {
         return (None, 0);
     }
     let removal_only_prunable = pruner.removal_only_prunable();
@@ -611,87 +621,98 @@ fn scan_best_response(
     let mut added: Vec<u32> = Vec::new();
     let mut best_cost = best.as_ref().map_or(old[u as usize], |(_, c)| *c);
     let mut evals = 0u64;
-    let add0 = start >> nb;
-    let rem0 = start & ((1u64 << nb) - 1);
-    for add_mask in add0..1u64 << no {
-        // Per-add-set work hoisted out of the removal loop: the added
-        // partner list, their edges on the scratch graph, and the
-        // inequality-3 saving cap are all functions of the add mask
-        // alone. Addition-major order visits each mask exactly once, so
-        // the cap is a one-shot streaming computation — no
-        // `CenterCapCache` memo to fill or rematerialize on a resumed
-        // slice. (The early returns below may leave `scratch` with the
-        // add edges still applied; it is function-local and dropped.)
-        added.clear();
-        for (i, &v) in others.iter().enumerate() {
-            if add_mask >> i & 1 == 1 {
-                scratch.add_edge(u, v).expect("non-neighbor pair");
-                added.push(v);
+    let mut oracle = NeighborhoodOracle::new(state, &pruner, u, &others, nb as u32, 0, nb as u32);
+    let mut scan = BranchScan::new(start, total);
+    // The addition class currently applied to the scratch graph, with
+    // its streaming inequality-3 cap. (Early returns may leave the add
+    // edges applied; `scratch` is function-local and dropped.)
+    let mut cur_add = u64::MAX;
+    let mut save_a = 0u64;
+    loop {
+        match scan.next(&mut oracle) {
+            Step::Done => break,
+            Step::Skipped { base, count } => {
+                // The identity (position 0) was never a candidate.
+                let skipped = count - u64::from(base == 0);
+                if cl.tick_skipped(ctl, skipped) {
+                    return (Some(scan.cursor()), evals);
+                }
             }
-        }
-        let save_a = if add_mask != 0 && bounds_active {
-            pruner.center_add_cap(state, u, &added)
-        } else {
-            0
-        };
-        let rem_from = if add_mask == add0 { rem0 } else { 0 };
-        for rem_mask in rem_from..1u64 << nb {
-            if rem_mask == 0 && add_mask == 0 {
-                continue;
-            }
-            let pos = (add_mask << nb) | rem_mask;
-            if add_mask == 0 {
-                if removal_only_prunable {
+            Step::Leaf(pos) => {
+                if pos == 0 {
+                    continue;
+                }
+                let add_mask = pos >> nb;
+                let rem_mask = pos & ((1u64 << nb) - 1);
+                if add_mask != cur_add {
+                    for &v in &added {
+                        scratch.remove_edge(u, v).expect("restore added");
+                    }
+                    added.clear();
+                    for (i, &v) in others.iter().enumerate() {
+                        if add_mask >> i & 1 == 1 {
+                            scratch.add_edge(u, v).expect("non-neighbor pair");
+                            added.push(v);
+                        }
+                    }
+                    save_a = if add_mask != 0 && bounds_active {
+                        oracle.class_cap(add_mask)
+                    } else {
+                        0
+                    };
+                    cur_add = add_mask;
+                }
+                if add_mask == 0 {
+                    if removal_only_prunable {
+                        if cl.tick_skipped(ctl, 1) {
+                            return (Some(pos + 1), evals);
+                        }
+                        continue;
+                    }
+                } else if bounds_active
+                    && pruner.center_class_prunable(
+                        rem_mask.count_ones(),
+                        add_mask.count_ones(),
+                        save_a,
+                    )
+                {
                     if cl.tick_skipped(ctl, 1) {
                         return (Some(pos + 1), evals);
                     }
                     continue;
                 }
-            } else if bounds_active
-                && pruner.center_class_prunable(
-                    rem_mask.count_ones(),
-                    add_mask.count_ones(),
-                    save_a,
-                )
-            {
-                if cl.tick_skipped(ctl, 1) {
+                removed.clear();
+                for (i, &v) in neighbors.iter().enumerate() {
+                    if rem_mask >> i & 1 == 1 {
+                        scratch.remove_edge(u, v).expect("neighbor edge");
+                        removed.push(v);
+                    }
+                }
+                evals += 1;
+                let mine = agent_cost_with_buf(&scratch, u, &mut buf);
+                let feasible = mine.better_than(&best_cost, alpha)
+                    && added.iter().all(|&a| {
+                        agent_cost_with_buf(&scratch, a, &mut buf)
+                            .better_than(&old[a as usize], alpha)
+                    });
+                for &v in &removed {
+                    scratch.add_edge(u, v).expect("restore removed");
+                }
+                if feasible {
+                    best_cost = mine;
+                    *best = Some((
+                        Move::Neighborhood {
+                            center: u,
+                            remove: removed.clone(),
+                            add: added.clone(),
+                        },
+                        mine,
+                    ));
+                }
+                if cl.tick_eval(ctl) {
                     return (Some(pos + 1), evals);
                 }
-                continue;
             }
-            removed.clear();
-            for (i, &v) in neighbors.iter().enumerate() {
-                if rem_mask >> i & 1 == 1 {
-                    scratch.remove_edge(u, v).expect("neighbor edge");
-                    removed.push(v);
-                }
-            }
-            evals += 1;
-            let mine = agent_cost_with_buf(&scratch, u, &mut buf);
-            let feasible = mine.better_than(&best_cost, alpha)
-                && added.iter().all(|&a| {
-                    agent_cost_with_buf(&scratch, a, &mut buf).better_than(&old[a as usize], alpha)
-                });
-            for &v in &removed {
-                scratch.add_edge(u, v).expect("restore removed");
-            }
-            if feasible {
-                best_cost = mine;
-                *best = Some((
-                    Move::Neighborhood {
-                        center: u,
-                        remove: removed.clone(),
-                        add: added.clone(),
-                    },
-                    mine,
-                ));
-            }
-            if cl.tick_eval(ctl) {
-                return (Some(pos + 1), evals);
-            }
-        }
-        for &v in &added {
-            scratch.remove_edge(u, v).expect("restore added");
         }
     }
     (None, evals)

@@ -90,12 +90,30 @@
 //!    constraint. At `α = 1` the `l` term vanishes and `g ≥ cap_u` kills
 //!    the entire class, which fully prunes diameter-2 instances.
 //!
+//! # From enumeration-bound to evaluation-bound
+//!
+//! When this layer landed (PR 2) the exact scans were left
+//! *enumeration-bound*: the inequalities rejected ~100% of the
+//! candidates on stable instances, but the scan loops still iterated
+//! every surviving mask to apply the per-candidate tests — a star hub
+//! alone owns `2^{n−1}` pure-removal masks, all skipped one by one.
+//! The branch-and-bound [`generator`](crate::generator) removed that
+//! bound: the same inequalities, relaxed to subtree worst cases (caps
+//! are monotone in the added set; removal counts take the
+//! least-prunable end of their range), kill whole aligned mask ranges
+//! in `O(1)` before they are materialized, and only surviving leaves
+//! reach the exact per-candidate tests below. That is what lifted the
+//! exact BNE path from the old `n ≤ 21` enumeration guard to the
+//! structural `n ≤ 64` mask limit — past it, cost is governed by the
+//! *evaluated* candidates, which the solver's budgets meter.
+//!
 //! The [`CandidateStats`] counters make the effect measurable: the
-//! `pruning` bench and the analysis ablation record the skipped fraction
-//! per instance, and every [`crate::solver::Verdict`] carries the
-//! evaluated/pruned split of the scan that produced it (the solver
-//! drives exactly these pruned scans — budgets meter the *evaluated*
-//! candidates, never the pruned ones).
+//! `pruning` bench and the analysis ablations record the skipped
+//! fraction and the generator's visited fraction per instance, and
+//! every [`crate::solver::Verdict`] carries the evaluated/pruned split
+//! of the scan that produced it (the solver drives exactly these
+//! pruned scans — budgets meter the *evaluated* candidates, never the
+//! pruned ones).
 
 use crate::alpha::Alpha;
 use crate::cost::AgentCost;
@@ -115,6 +133,14 @@ pub struct CandidateStats {
     pub deduped: u64,
     /// Candidates actually priced by the engine.
     pub evaluated: u64,
+    /// Enumeration steps the branch-and-bound
+    /// [`generator`](crate::generator) took: surviving leaves emitted
+    /// plus dead subtrees skipped whole. On a dense (non-generated)
+    /// scan this stays 0; on a generated scan,
+    /// `visited / generated` is the fraction of the raw mask space the
+    /// scan actually had to touch — the `ci_gate` `generator_vs_dense`
+    /// kernel bounds it at 1% on the pinned stable instances.
+    pub visited: u64,
 }
 
 impl CandidateStats {
@@ -140,6 +166,7 @@ impl CandidateStats {
         self.pruned += other.pruned;
         self.deduped += other.deduped;
         self.evaluated += other.evaluated;
+        self.visited += other.visited;
     }
 }
 
@@ -392,8 +419,15 @@ impl EditSetPruner {
         self.connected && (self.alpha_le_one || self.is_tree)
     }
 
-    /// Inequality 1 for one agent, given its net edge delta.
-    fn agent_cannot_improve(&self, x: u32, gained: u32, lost: u32) -> bool {
+    /// Inequality 1 for one agent, given its net edge delta: `true` is
+    /// a proof the agent cannot strictly improve under any move with
+    /// that delta; `false` is no claim. Public so the generator's
+    /// subtree oracles share **this** decision (applied to their
+    /// worst-case deltas) instead of re-implementing the arithmetic —
+    /// the oracle kills must stay a subset of this filter's skips, and
+    /// one implementation cannot drift from itself.
+    #[must_use]
+    pub fn agent_cannot_improve(&self, x: u32, gained: u32, lost: u32) -> bool {
         gained > lost
             && !self
                 .alpha
@@ -598,6 +632,7 @@ mod tests {
             pruned: 30,
             deduped: 20,
             evaluated: 50,
+            visited: 60,
         };
         assert_eq!(s.skipped(), 50);
         assert!((s.skipped_fraction() - 0.5).abs() < 1e-12);

@@ -17,13 +17,17 @@
 //! are exactness-preserving and order-preserving, so verdict and witness
 //! equal the raw scan retained as [`find_violation_in_reference`]. The
 //! [`crate::solver`] surface drives the same scan anytime-style over
-//! fixed-size mask chunks (4096-mask units).
+//! fixed-size mask chunks (4096-mask units), and within each chunk the
+//! masks are generated branch-and-bound style ([`crate::generator`]):
+//! aligned mask ranges whose fixed edits already violate the filters
+//! are skipped whole instead of being iterated.
 
 use crate::alpha::Alpha;
 use crate::candidates::{CandidateStats, EditSetPruner};
 use crate::concepts::{CheckBudget, Concept};
 use crate::cost::agent_cost;
 use crate::error::GameError;
+use crate::generator::{BranchScan, EditOracle, Step};
 use crate::moves::Move;
 use crate::scan::{CtlLocal, ScanCtl, UnitOutcome, UnitScanner};
 use crate::solver::{legacy_guard, solve_to_completion, ExecPolicy, Solver, StabilityQuery};
@@ -232,6 +236,7 @@ pub(crate) struct TargetScan {
     current: u64,
     pair_list: Vec<(u32, u32)>,
     pruner: EditSetPruner,
+    oracle: EditOracle,
     rem: Vec<(u32, u32)>,
     add: Vec<(u32, u32)>,
 }
@@ -239,11 +244,14 @@ pub(crate) struct TargetScan {
 impl TargetScan {
     fn new(state: &GameState) -> Self {
         let n = state.n();
+        let current = state.graph().to_bitmask().expect("n ≤ 11 here");
+        let pair_list: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|u| (u + 1..n as u32).map(move |v| (u, v)))
+            .collect();
         TargetScan {
-            current: state.graph().to_bitmask().expect("n ≤ 11 here"),
-            pair_list: (0..n as u32)
-                .flat_map(|u| (u + 1..n as u32).map(move |v| (u, v)))
-                .collect(),
+            current,
+            oracle: EditOracle::new(state, current, &pair_list),
+            pair_list,
             pruner: EditSetPruner::from_state(state),
             rem: Vec::new(),
             add: Vec::new(),
@@ -276,19 +284,40 @@ impl TargetScan {
         if lo >= hi {
             return UnitOutcome::Done;
         }
-        for mask in lo..hi {
+        // Target masks are generated branch-and-bound style: the
+        // [`EditOracle`] kills aligned mask ranges whose fixed edits
+        // already violate the distance-floor or pure-removal rules;
+        // surviving leaves run the exact per-mask pipeline below.
+        let mut scan = BranchScan::new(lo, hi);
+        let mut steps = 0u64;
+        loop {
+            // Poll the shared first-violation chunk every 64 steps.
+            if let Some(flag) = racing {
+                if steps & 63 == 0 && flag.load(Ordering::Relaxed) < unit {
+                    return UnitOutcome::Done;
+                }
+            }
+            steps += 1;
+            let mask = match scan.next(&mut self.oracle) {
+                Step::Done => break,
+                Step::Skipped { base: _, count } => {
+                    stats.visited += 1;
+                    stats.generated += count;
+                    stats.pruned += count;
+                    if cl.tick_skipped(ctl, count) {
+                        return UnitOutcome::Stopped(scan.cursor() - base);
+                    }
+                    continue;
+                }
+                Step::Leaf(mask) => mask,
+            };
             if mask == self.current {
                 if cl.tick_skipped(ctl, 1) {
                     return UnitOutcome::Stopped(mask + 1 - base);
                 }
                 continue;
             }
-            // Poll the shared first-violation chunk every 1024 masks.
-            if let Some(flag) = racing {
-                if mask & 1023 == 0 && flag.load(Ordering::Relaxed) < unit {
-                    return UnitOutcome::Done;
-                }
-            }
+            stats.visited += 1;
             stats.generated += 1;
             let diff = mask ^ self.current;
             self.rem.clear();

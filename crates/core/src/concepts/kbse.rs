@@ -37,8 +37,9 @@ use crate::candidates::{
 };
 use crate::combinatorics::{bounded_subsets, combinations};
 use crate::concepts::{CheckBudget, Concept};
-use crate::cost::{agent_cost_with_buf, AgentCost};
+use crate::cost::{agent_cost_from_matrix, agent_cost_with_buf, AgentCost};
 use crate::error::GameError;
+use crate::generator::{BranchScan, IncidentInterval, RemovalIntervalOracle, Step};
 use crate::moves::Move;
 use crate::scan::{CtlLocal, ScanCtl, UnitOutcome, UnitScanner};
 use crate::solver::{legacy_guard, solve_to_completion, ExecPolicy, Solver, StabilityQuery};
@@ -309,6 +310,16 @@ impl<'a> UnitScanner for SolverScan<'a> {
 /// edges are scanned (additions inside a size-k coalition are at most
 /// `C(k,2)` and always fully enumerated). `None` means *no violation found
 /// in the restricted space* — it is not a stability certificate.
+///
+/// The refuter now builds one all-pairs distance matrix up front
+/// (`O(n·m)` — the same work its per-agent BFS costs already paid) and
+/// feeds the **inequality-6 saving caps** to the removal-restricted
+/// subset scan: each addition subset's endpoint caps are memoized once
+/// per coalition, and any candidate whose own-removal count cannot pay
+/// for an added endpoint's edges is pruned before the covering search.
+/// The caps are exactness-preserving, so the restricted verdict is
+/// unchanged — tested against the unrestricted exact path on instances
+/// where the removal cap does not bind (`tests/pruning.rs`).
 #[must_use]
 pub fn find_violation_restricted(
     g: &Graph,
@@ -321,8 +332,11 @@ pub fn find_violation_restricted(
         return None;
     }
     let k = k.min(n);
-    let old = plain_costs(g);
-    let mut scan = CoalitionScan::new(g, alpha, &old, g.is_tree(), k, None);
+    let dist = DistanceMatrix::new(g);
+    let old: Vec<AgentCost> = (0..n as u32)
+        .map(|u| agent_cost_from_matrix(g, &dist, u))
+        .collect();
+    let mut scan = CoalitionScan::new(g, alpha, &old, g.is_tree(), k, Some(&dist));
     let mut stats = CandidateStats::default();
     let ctl = ScanCtl::unbounded();
     let mut cl = CtlLocal::new(&ctl);
@@ -363,27 +377,21 @@ pub fn find_violation_restricted_parallel(
     }
     let k = k.min(n);
     let coalitions: Vec<Vec<u32>> = (1..=k).flat_map(|size| combinations(n, size)).collect();
-    let old = plain_costs(g);
+    let dist = DistanceMatrix::new(g);
+    let old: Vec<AgentCost> = (0..n as u32)
+        .map(|u| agent_cost_from_matrix(g, &dist, u))
+        .collect();
     parallel_coalition_scan(
         g,
         alpha,
         &old,
         g.is_tree(),
-        None,
+        Some(&dist),
         &coalitions,
         k,
         max_removals,
         threads,
     )
-}
-
-/// Pre-move costs by plain BFS (the restricted paths deliberately never
-/// build a distance matrix).
-fn plain_costs(g: &Graph) -> Vec<AgentCost> {
-    let mut buf = Vec::new();
-    (0..g.n() as u32)
-        .map(|u| agent_cost_with_buf(g, u, &mut buf))
-        .collect()
 }
 
 /// The shared sharded scan behind both parallel entry points: strided
@@ -465,12 +473,16 @@ fn parallel_coalition_scan(
 /// canonical order every entry point shares and funnels every candidate
 /// through the same dedup → prune → judge pipeline.
 ///
-/// Two enumeration strategies back the shared pipeline. With the state's
-/// distance matrix at hand and an unrestricted removal budget (the exact
-/// checkers), removal subsets are walked as masks so inequality 6 can
-/// discard whole subspaces with one popcount; without a matrix or with a
-/// removal cap (the restricted refuters, whose removable sets may exceed
-/// 64 edges), size-bounded subset iteration is used instead.
+/// Two enumeration strategies back the shared pipeline, and both carry
+/// the inequality-6 saving caps now that every entry point (including
+/// the restricted refuters) supplies a distance matrix. With an
+/// unrestricted removal budget, removal subsets are walked as
+/// branch-and-bound generated masks ([`crate::generator`]) so
+/// inequality 6 discards whole subspaces — per class up front, and per
+/// removal subtree through the interval oracle; with a removal cap (or
+/// removable sets past 64 edges), size-bounded subset iteration is used
+/// instead, with the same caps memoized per addition subset and applied
+/// per candidate.
 pub(crate) struct CoalitionScan<'a> {
     g: &'a Graph,
     alpha: Alpha,
@@ -483,6 +495,14 @@ pub(crate) struct CoalitionScan<'a> {
     seen: HashSet<u128>,
     /// Inequality 6 scratch: the coalition distance profile.
     min_gamma: Vec<u32>,
+    /// Inequality 6 requirements for the subset strategy, memoized per
+    /// addition subset ordinal of the current coalition: `(endpoint,
+    /// requirement)` pairs computed on first touch — through the same
+    /// [`endpoint_caps`](Self::endpoint_caps) +
+    /// [`add_endpoint_requirement`] pipeline the mask strategy uses —
+    /// and reused across every removal subset (the addition subsets
+    /// repeat identically inside each removal iteration).
+    add_caps: Vec<Option<Vec<(u32, EndpointRequirement)>>>,
     rem_list: Vec<(u32, u32)>,
 }
 
@@ -506,6 +526,7 @@ impl<'a> CoalitionScan<'a> {
             pruner: EditSetPruner::new(alpha, old, is_tree),
             seen: HashSet::new(),
             min_gamma: Vec::new(),
+            add_caps: Vec::new(),
             rem_list: Vec::new(),
         }
     }
@@ -527,7 +548,7 @@ impl<'a> CoalitionScan<'a> {
         start: u64,
     ) -> UnitOutcome {
         let (removable, addable) = coalition_move_space(self.g, coalition);
-        if let Some(dist) = self.dist {
+        if self.dist.is_some() {
             // The mask strategy additionally needs positions to fit one
             // u64 (`add_mask · 2^r + rem_mask`); coalitions past 63 total
             // bits fall back to subset order, whose ordinal positions
@@ -537,14 +558,18 @@ impl<'a> CoalitionScan<'a> {
                 && addable.len() <= 20
                 && removable.len() + addable.len() <= 63
             {
-                return self
-                    .scan_coalition_masks(dist, &removable, &addable, stats, ctl, cl, start);
+                return self.scan_coalition_masks(&removable, &addable, stats, ctl, cl, start);
             }
         }
         let rcap = max_removals.min(removable.len());
+        // Inequality 6 for the subset strategy (the restricted refuter's
+        // path, now that it carries a distance matrix): requirements are
+        // memoized per addition subset and applied per candidate.
+        let use_caps = self.dist.is_some() && self.pruner.active();
+        self.add_caps.clear();
         let mut idx: u64 = 0;
         for rem in bounded_subsets(&removable, 0, rcap) {
-            for add in bounded_subsets(&addable, 0, addable.len()) {
+            for (cur_add, add) in bounded_subsets(&addable, 0, addable.len()).enumerate() {
                 let pos = idx;
                 idx += 1;
                 if rem.is_empty() && add.is_empty() {
@@ -562,6 +587,44 @@ impl<'a> CoalitionScan<'a> {
                         return UnitOutcome::Stopped(pos + 1);
                     }
                     continue;
+                }
+                if use_caps && !add.is_empty() {
+                    if cur_add >= self.add_caps.len() {
+                        self.add_caps.resize(cur_add + 1, None);
+                    }
+                    if self.add_caps[cur_add].is_none() {
+                        let reqs = self
+                            .endpoint_caps(&add)
+                            .into_iter()
+                            .map(|(u, gained, cap)| {
+                                let inc =
+                                    removable.iter().filter(|&&(a, b)| a == u || b == u).count()
+                                        as u32;
+                                (u, add_endpoint_requirement(self.alpha, gained, cap, inc))
+                            })
+                            .collect();
+                        self.add_caps[cur_add] = Some(reqs);
+                    }
+                    let reqs = self.add_caps[cur_add].as_ref().expect("just filled");
+                    // The same per-endpoint requirement the mask
+                    // strategy applies, resolved against this
+                    // candidate's own-incident removal count.
+                    let blocked = reqs.iter().any(|&(u, req)| {
+                        let l = rem.iter().filter(|&&(a, b)| a == u || b == u).count() as u32;
+                        match req {
+                            EndpointRequirement::Dead => true,
+                            EndpointRequirement::MinIncident(lo) => l < lo,
+                            EndpointRequirement::MaxIncident(hi) => l > hi,
+                            EndpointRequirement::Free => false,
+                        }
+                    });
+                    if blocked {
+                        stats.pruned += 1;
+                        if cl.tick_skipped(ctl, 1) {
+                            return UnitOutcome::Stopped(pos + 1);
+                        }
+                        continue;
+                    }
                 }
                 let fp = edit_fingerprint(&rem, &add);
                 if !self.seen.insert(fp) {
@@ -588,11 +651,13 @@ impl<'a> CoalitionScan<'a> {
     /// subspaces are skipped arithmetically, and inequality 6 turns each
     /// added set into per-endpoint own-removal-count constraints that
     /// discard removal masks with one popcount — or the whole subspace
-    /// when an endpoint's constraint is unmeetable.
-    #[allow(clippy::too_many_arguments)]
+    /// when an endpoint's constraint is unmeetable. Within a class the
+    /// removal masks are generated branch-and-bound style
+    /// ([`crate::generator`]): the same constraints kill unreachable
+    /// removal *subtrees* whole instead of testing their masks one by
+    /// one.
     fn scan_coalition_masks(
         &mut self,
-        dist: &DistanceMatrix,
         removable: &[(u32, u32)],
         addable: &[(u32, u32)],
         stats: &mut CandidateStats,
@@ -612,9 +677,10 @@ impl<'a> CoalitionScan<'a> {
             .iter()
             .map(|&(u, v)| edit_key(u, v, false))
             .collect();
-        let mut endpoints: Vec<u32> = Vec::new();
-        // (own-incident removable mask, min count, max count) per endpoint.
-        let mut reqs: Vec<(u64, u32, u32)> = Vec::new();
+        // Inequality 6's own-incident removal-count requirement per
+        // added-set endpoint — the same intervals double as the
+        // generator's subtree bounds over the removal space.
+        let mut reqs: Vec<IncidentInterval> = Vec::new();
         let add0 = start / rspace;
         let rem0 = start % rspace;
         for add_mask in add0..1u64 << addable.len() {
@@ -637,18 +703,12 @@ impl<'a> CoalitionScan<'a> {
                     fp_add ^= edit_key(u, v, true);
                 }
             }
-            // Inequality 6 against this added set's endpoint profile.
+            // Inequality 6 against this added set's endpoint profile
+            // (shared with the subset strategy via `endpoint_caps`).
             reqs.clear();
             let mut class_dead = false;
             if bounds_active && !add.is_empty() {
-                endpoints.clear();
-                endpoints.extend(add.iter().flat_map(|&(u, v)| [u, v]));
-                endpoints.sort_unstable();
-                endpoints.dedup();
-                coalition_min_rows(dist, &endpoints, &mut self.min_gamma);
-                for &u in &endpoints {
-                    let gained = add.iter().filter(|&&(a, b)| a == u || b == u).count() as u32;
-                    let cap = coalition_member_cap(dist, u, &self.min_gamma);
+                for (u, gained, cap) in self.endpoint_caps(&add) {
                     let mut inc = 0u64;
                     for (i, &(a, b)) in removable.iter().enumerate() {
                         if a == u || b == u {
@@ -660,8 +720,16 @@ impl<'a> CoalitionScan<'a> {
                             class_dead = true;
                             break;
                         }
-                        EndpointRequirement::MinIncident(l) => reqs.push((inc, l, u32::MAX)),
-                        EndpointRequirement::MaxIncident(l) => reqs.push((inc, 0, l)),
+                        EndpointRequirement::MinIncident(l) => reqs.push(IncidentInterval {
+                            incident: inc,
+                            lo: l,
+                            hi: u32::MAX,
+                        }),
+                        EndpointRequirement::MaxIncident(l) => reqs.push(IncidentInterval {
+                            incident: inc,
+                            lo: 0,
+                            hi: l,
+                        }),
                         EndpointRequirement::Free => {}
                     }
                 }
@@ -675,62 +743,103 @@ impl<'a> CoalitionScan<'a> {
                 continue;
             }
             let rem_from = if add_mask == add0 { rem0 } else { 0 };
-            for rem_mask in rem_from..rspace {
-                if add_mask == 0 && rem_mask == 0 {
-                    continue;
-                }
-                let pos = base + rem_mask;
-                stats.generated += 1;
-                if !reqs.iter().all(|&(inc, lo, hi)| {
-                    let l = (rem_mask & inc).count_ones();
-                    l >= lo && l <= hi
-                }) {
-                    stats.pruned += 1;
-                    if cl.tick_skipped(ctl, 1) {
-                        return UnitOutcome::Stopped(pos + 1);
+            // The removal space is *generated*, not iterated: the
+            // requirement intervals double as subtree bounds, so a
+            // removal range that cannot reach some endpoint's required
+            // own-removal count dies whole. Leaves keep the exact
+            // per-candidate pipeline (reqs → dedup → pruner → judge).
+            let mut oracle = RemovalIntervalOracle { reqs: &reqs };
+            let mut scan = BranchScan::new(rem_from, rspace);
+            loop {
+                match scan.next(&mut oracle) {
+                    Step::Done => break,
+                    Step::Skipped { base: _, count } => {
+                        stats.visited += 1;
+                        stats.generated += count;
+                        stats.pruned += count;
+                        if cl.tick_skipped(ctl, count) {
+                            return UnitOutcome::Stopped(base + scan.cursor());
+                        }
                     }
-                    continue;
-                }
-                let mut fp = fp_add;
-                let mut bits = rem_mask;
-                while bits != 0 {
-                    fp ^= rem_keys[bits.trailing_zeros() as usize];
-                    bits &= bits - 1;
-                }
-                if !self.seen.insert(fp) {
-                    stats.deduped += 1;
-                    if cl.tick_skipped(ctl, 1) {
-                        return UnitOutcome::Stopped(pos + 1);
+                    Step::Leaf(rem_mask) => {
+                        if add_mask == 0 && rem_mask == 0 {
+                            continue;
+                        }
+                        stats.visited += 1;
+                        let pos = base + rem_mask;
+                        stats.generated += 1;
+                        if !reqs.iter().all(|r| {
+                            let l = (rem_mask & r.incident).count_ones();
+                            l >= r.lo && l <= r.hi
+                        }) {
+                            stats.pruned += 1;
+                            if cl.tick_skipped(ctl, 1) {
+                                return UnitOutcome::Stopped(pos + 1);
+                            }
+                            continue;
+                        }
+                        let mut fp = fp_add;
+                        let mut bits = rem_mask;
+                        while bits != 0 {
+                            fp ^= rem_keys[bits.trailing_zeros() as usize];
+                            bits &= bits - 1;
+                        }
+                        if !self.seen.insert(fp) {
+                            stats.deduped += 1;
+                            if cl.tick_skipped(ctl, 1) {
+                                return UnitOutcome::Stopped(pos + 1);
+                            }
+                            continue;
+                        }
+                        self.rem_list.clear();
+                        for (i, &e) in removable.iter().enumerate() {
+                            if rem_mask >> i & 1 == 1 {
+                                self.rem_list.push(e);
+                            }
+                        }
+                        let rem = std::mem::take(&mut self.rem_list);
+                        if self.pruner.prunable(&rem, &add) {
+                            stats.pruned += 1;
+                            self.rem_list = rem;
+                            if cl.tick_skipped(ctl, 1) {
+                                return UnitOutcome::Stopped(pos + 1);
+                            }
+                            continue;
+                        }
+                        stats.evaluated += 1;
+                        let verdict = self.judge_edit_set(&rem, &add);
+                        self.rem_list = rem;
+                        if let Some(mv) = verdict {
+                            return UnitOutcome::Found(mv);
+                        }
+                        if cl.tick_eval(ctl) {
+                            return UnitOutcome::Stopped(pos + 1);
+                        }
                     }
-                    continue;
-                }
-                self.rem_list.clear();
-                for (i, &e) in removable.iter().enumerate() {
-                    if rem_mask >> i & 1 == 1 {
-                        self.rem_list.push(e);
-                    }
-                }
-                let rem = std::mem::take(&mut self.rem_list);
-                if self.pruner.prunable(&rem, &add) {
-                    stats.pruned += 1;
-                    self.rem_list = rem;
-                    if cl.tick_skipped(ctl, 1) {
-                        return UnitOutcome::Stopped(pos + 1);
-                    }
-                    continue;
-                }
-                stats.evaluated += 1;
-                let verdict = self.judge_edit_set(&rem, &add);
-                self.rem_list = rem;
-                if let Some(mv) = verdict {
-                    return UnitOutcome::Found(mv);
-                }
-                if cl.tick_eval(ctl) {
-                    return UnitOutcome::Stopped(pos + 1);
                 }
             }
         }
         UnitOutcome::Done
+    }
+
+    /// Inequality 6's endpoint profile of one added set: per distinct
+    /// added-edge endpoint, its gained-edge count and its
+    /// removal-independent saving cap — the one computation both
+    /// enumeration strategies feed to [`add_endpoint_requirement`], so
+    /// the two paths cannot drift on which candidates the caps prune.
+    fn endpoint_caps(&mut self, add: &[(u32, u32)]) -> Vec<(u32, u32, u64)> {
+        let dist = self.dist.expect("callers gate on a distance matrix");
+        let mut endpoints: Vec<u32> = add.iter().flat_map(|&(u, v)| [u, v]).collect();
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        coalition_min_rows(dist, &endpoints, &mut self.min_gamma);
+        endpoints
+            .iter()
+            .map(|&u| {
+                let gained = add.iter().filter(|&&(a, b)| a == u || b == u).count() as u32;
+                (u, gained, coalition_member_cap(dist, u, &self.min_gamma))
+            })
+            .collect()
     }
 
     /// The coalition-independent verdict: applies the edit set, computes

@@ -8,7 +8,7 @@
 //! | [`ps`] Pairwise Stability | RE ∩ BAE | exact, polynomial |
 //! | [`bswe`] Bilateral Swap Equilibrium | consensual edge swap | exact, polynomial |
 //! | [`bge`] Bilateral Greedy Equilibrium | PS ∩ BSwE | exact, polynomial |
-//! | [`bne`] Bilateral Neighborhood Equilibrium | one-agent neighborhood rewiring | exact with size guard + sampled refuter |
+//! | [`bne`] Bilateral Neighborhood Equilibrium | one-agent neighborhood rewiring | exact to `n ≤ 64` (branch-and-bound generator, evaluation-budgeted) + sampled refuter |
 //! | [`kbse`] Bilateral k-Strong Equilibrium | coalitions of size ≤ k | exact with budget guard + restricted refuter |
 //! | [`bse`] Bilateral Strong Equilibrium | arbitrary coalitions | exact for tiny n + sampled refuter |
 //!
@@ -166,6 +166,11 @@ impl Concept {
             Concept::Ps => Ok(ps::find_violation_in(state)),
             Concept::Bswe => Ok(bswe::find_violation_in(state)),
             Concept::Bge => Ok(bge::find_violation_in(state)),
+            // BNE is evaluation-bound since the branch-and-bound
+            // generator: no raw-space pre-guard — the default budget is
+            // spent as an anytime evaluation cap up to the structural
+            // n ≤ 64 mask limit.
+            Concept::Bne => bne::find_violation_in(state),
             _ => {
                 if legacy_guard(*self, state, CheckBudget::default())? {
                     return Ok(None);

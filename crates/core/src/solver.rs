@@ -192,8 +192,17 @@ const FRONTIER_LAYOUT: u64 = 1;
 /// `(unit, pos)` in the concept's deterministic enumeration order is
 /// non-improving; resuming continues from exactly there. It is bound to
 /// the concept and to a fingerprint of the instance (graph + α), so
-/// resuming against a different query is rejected instead of silently
-/// producing garbage.
+/// resuming against a different query — or with a unit cursor outside
+/// the scan — is rejected instead of silently producing garbage.
+///
+/// Since the branch-and-bound [`crate::generator`] landed, `pos` is the
+/// generator's **branch stack in packed form**: the path from the root
+/// of the mask tree to the next unvisited leaf, one bit per branching
+/// level (bit `i` is the branch taken at depth `width − i`), which is
+/// numerically identical to the flat lexicographic cursor the dense
+/// scans used. Resuming re-derives the subtree-kill decisions along
+/// that path in `O(width)` probes, so nothing beyond the cursor needs
+/// to be serialized and old tokens stay readable.
 ///
 /// Serialization is a flat JSON object (`to_json`/`FromStr`) carrying
 /// an enumeration-layout version, so frontiers can cross process
@@ -478,11 +487,15 @@ impl Solver {
     /// # Errors
     ///
     /// [`GameError::Unsupported`] when a resume frontier does not match
-    /// the query (different concept or instance) or the instance exceeds
-    /// a structural representation limit (BNE needs `n ≤ 64` and BSE
+    /// the query (different concept or instance, or a unit cursor
+    /// outside the scan — a forged token) or the instance exceeds a
+    /// structural representation limit (BNE needs `n ≤ 64` and BSE
     /// `n ≤ 11` for their 64-bit masks; k-BSE caps its materialized
-    /// coalition index at 2²⁰ units). Never
-    /// [`GameError::CheckTooLarge`]: running out of budget is a
+    /// coalition index at 2²⁰ units). The `n ≤ 64` BNE limit is the
+    /// *only* BNE size guard left: the branch-and-bound generator made
+    /// the scan evaluation-bound, so there is no raw-space refusal —
+    /// an instance that is too expensive simply exhausts its budget.
+    /// Never [`GameError::CheckTooLarge`]: running out of budget is a
     /// [`Verdict::Exhausted`], not an error.
     pub fn check(&self, query: &StabilityQuery) -> Result<Verdict, GameError> {
         self.check_with_threads(query, self.policy.threads, None)
@@ -649,12 +662,14 @@ impl Solver {
         let shed = pool.is_some() && budget.is_some_and(|b| counter.load(Ordering::Relaxed) >= b);
         let ctl = ScanCtl::new(counter, budget, deadline, cancel);
 
+        let resumed = query.resume.is_some();
         let ((outcome, stats), units_total) = match query.concept {
             Concept::Bne => {
                 if state.n() > 64 {
                     return Err(unsupported_size("BNE", state.n(), 64));
                 }
                 let scanner = bne::SolverScan::new(state);
+                validate_resume_unit(resumed, start_unit, scanner.units())?;
                 (
                     drive_or_shed(&scanner, threads, start_unit, start_pos, &ctl, shed),
                     scanner.units(),
@@ -678,6 +693,7 @@ impl Solver {
                     });
                 }
                 let scanner = kbse::SolverScan::new(state, k as usize);
+                validate_resume_unit(resumed, start_unit, scanner.units())?;
                 (
                     drive_or_shed(&scanner, threads, start_unit, start_pos, &ctl, shed),
                     scanner.units(),
@@ -688,6 +704,7 @@ impl Solver {
                     return Err(unsupported_size("BSE", state.n(), 11));
                 }
                 let scanner = bse::SolverScan::new(state);
+                validate_resume_unit(resumed, start_unit, scanner.units())?;
                 (
                     drive_or_shed(&scanner, threads, start_unit, start_pos, &ctl, shed),
                     scanner.units(),
@@ -754,6 +771,30 @@ fn drive_or_shed<S: UnitScanner>(
     } else {
         drive(scanner, threads, start_unit, start_pos, ctl)
     }
+}
+
+/// Rejects resume frontiers whose unit cursor lies outside the scan —
+/// the stability-query analogue of `round_robin::resume`'s forged-cursor
+/// rejection. A genuine frontier always names a unit strictly inside
+/// the scan (the drive only records stops there); a forged or
+/// bit-rotted one past the end would otherwise make the drive loop
+/// complete instantly and report **Stable without scanning anything**.
+///
+/// # Errors
+///
+/// [`GameError::Unsupported`] for an out-of-range unit on a resumed
+/// query.
+fn validate_resume_unit(resumed: bool, start_unit: u64, units: u64) -> Result<(), GameError> {
+    if resumed && start_unit >= units {
+        return Err(GameError::Unsupported {
+            reason: format!(
+                "frontier names unit {start_unit} of a scan with {units} \
+                 units — the token was forged or corrupted, restart the \
+                 scan instead of resuming"
+            ),
+        });
+    }
+    Ok(())
 }
 
 /// Hard cap on materialized k-BSE coalition units (≈ 50 MB of small

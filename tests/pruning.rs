@@ -161,6 +161,52 @@ fn restricted_kbse_serial_and_parallel_share_one_iterator() {
     });
 }
 
+/// The inequality-6 caps fed to the restricted refuter are
+/// exactness-preserving: wherever the restricted and unrestricted paths
+/// both apply, they agree. With a non-binding removal cap the restricted
+/// scan covers the full space, so its verdict must equal the exact
+/// checker's; with a binding cap it scans a subspace, so exact-stable
+/// forces restricted-none, an exact witness inside the cap forces a
+/// restricted find, and every restricted witness replays.
+#[test]
+fn restricted_caps_agree_with_the_unrestricted_path_where_both_apply() {
+    prop("restricted ineq-6 caps are exact", |rng| {
+        let g = random_instance(7, rng);
+        for alpha in alpha_grid(g.n()) {
+            for k in [2usize, 3] {
+                let exact = concepts::kbse::find_violation(&g, alpha, k).unwrap();
+                // Non-binding cap: the restricted space is the full
+                // space, so the verdicts must coincide.
+                let unrestricted = concepts::kbse::find_violation_restricted(&g, alpha, k, g.m());
+                assert_eq!(
+                    exact.is_some(),
+                    unrestricted.is_some(),
+                    "unbound restricted scan diverged at α = {alpha}, k = {k}"
+                );
+                // Binding cap: one-sided agreement on the shared space.
+                let capped = concepts::kbse::find_violation_restricted(&g, alpha, k, 1);
+                match &exact {
+                    None => assert!(
+                        capped.is_none(),
+                        "restricted refuted a stable instance at α = {alpha}, k = {k}"
+                    ),
+                    Some(Move::Coalition { remove_edges, .. }) if remove_edges.len() <= 1 => {
+                        assert!(
+                            capped.is_some(),
+                            "exact witness lies inside the cap but the capped \
+                             scan missed it at α = {alpha}, k = {k}"
+                        );
+                    }
+                    Some(_) => {}
+                }
+                if let Some(mv) = capped {
+                    assert!(delta::move_improves_all(&g, alpha, &mv).unwrap());
+                }
+            }
+        }
+    });
+}
+
 /// The pruned best response must still find the *optimal* feasible move:
 /// cross-check against a from-scratch unpruned enumeration in the
 /// scan's documented addition-mask-major order, so ties (distinct moves

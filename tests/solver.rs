@@ -148,16 +148,17 @@ fn parallel_unbudgeted_checks_match_sequential_witnesses() {
 
 #[test]
 fn check_too_large_is_unreachable_from_the_solver_path() {
-    // (a) An instance the legacy n ≤ 21 guard refuses outright — C40
-    // inside its Lemma 2.4 stability window — is simply *solved* by the
-    // solver: the pruning layer collapses the 40·2³⁹ raw space to a few
-    // hundred candidates.
+    // (a) An instance the legacy n ≤ 21 raw-space guard once refused
+    // outright — C40 inside its Lemma 2.4 stability window — is simply
+    // *solved*: the pruning layer collapses the 40·2³⁹ raw space to a
+    // few hundred candidates, and since the branch-and-bound generator
+    // landed even the convenience entry point runs it exactly (the
+    // default budget now meters evaluations, not the raw space).
     let cycle = generators::cycle(40);
     let alpha = Alpha::integer(370).unwrap();
-    assert!(matches!(
-        bncg::core::concepts::bne::find_violation(&cycle, alpha),
-        Err(GameError::CheckTooLarge { .. })
-    ));
+    assert!(bncg::core::concepts::bne::find_violation(&cycle, alpha)
+        .unwrap()
+        .is_none());
     let v = Solver::default()
         .check(&StabilityQuery::new(Concept::Bne, &cycle, alpha))
         .unwrap();
@@ -278,6 +279,21 @@ fn mismatched_frontiers_are_rejected_not_misapplied() {
             .parse()
             .unwrap();
     let wrong = StabilityQuery::on(Concept::Ps, &state).resume(forged);
+    assert!(matches!(
+        solver.check(&wrong),
+        Err(GameError::Unsupported { .. })
+    ));
+    // A forged token naming a unit outside the scan is rejected —
+    // mirroring round_robin's forged-cursor rejection. Before the check
+    // landed, the drive loop started past the last unit, completed
+    // instantly, and reported Stable without scanning anything.
+    let forged: Frontier = format!(
+        "{{\"v\":1,\"concept\":\"bne\",\"instance\":{},\"unit\":999,\"pos\":0,\"evals\":0}}",
+        state.fingerprint()
+    )
+    .parse()
+    .unwrap();
+    let wrong = StabilityQuery::on(Concept::Bne, &state).resume(forged);
     assert!(matches!(
         solver.check(&wrong),
         Err(GameError::Unsupported { .. })

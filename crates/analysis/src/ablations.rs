@@ -482,9 +482,67 @@ pub fn generator(report: &mut Report, quick: bool) -> Result<(), GameError> {
     Ok(())
 }
 
+/// Ablation 7: pruning work inside *trajectories*. Every round-robin
+/// best-response activation is a generated scan, and since the metered
+/// runner surfaces the verdicts' skip counters, whole dynamics runs
+/// report the fraction of their scanned move space that was actually
+/// visited — the per-scan numbers of Ablation 6, lifted to the
+/// trajectory level.
+///
+/// # Errors
+///
+/// Forwards engine errors from the metered runner (none expected).
+pub fn trajectory_pruning(report: &mut Report, quick: bool) -> Result<(), GameError> {
+    use bncg_core::solver::ExecPolicy;
+    use bncg_dynamics::round_robin;
+    let ns: Vec<usize> = if quick { vec![10] } else { vec![10, 12] };
+    let section = report.section("Ablation: pruning inside round-robin trajectories");
+    section.note(
+        "evals + skipped covers every best-response activation of the run; \
+         visited = evals / (evals + skipped) — the scan-level fractions of \
+         the generator ablation, lifted to whole trajectories",
+    );
+    let table = section.table(["start", "rounds", "moves", "evals", "skipped", "visited"]);
+    let alpha = Alpha::integer(2).expect("α");
+    let policy = ExecPolicy::default();
+    for n in ns {
+        let mut rng = bncg_graph::test_rng(0xAB1C + n as u64);
+        let instances = [
+            (format!("path{n}"), generators::path(n)),
+            (format!("tree{n}"), generators::random_tree(n, &mut rng)),
+        ];
+        for (name, g) in instances {
+            let out = round_robin::run_with_policy(&g, alpha, 200, &policy)?;
+            assert!(
+                !out.exhausted,
+                "an unbounded policy must finish the {name} trajectory"
+            );
+            let scanned = out.evals + out.skipped;
+            table.row([
+                name,
+                out.rounds.to_string(),
+                out.moves.to_string(),
+                out.evals.to_string(),
+                out.skipped.to_string(),
+                format!("{:.4}%", 100.0 * out.evals as f64 / scanned.max(1) as f64),
+            ]);
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trajectory_pruning_ablation_runs() {
+        let mut r = Report::new();
+        trajectory_pruning(&mut r, true).unwrap();
+        let text = r.render();
+        assert!(text.contains("round-robin trajectories"));
+        assert!(text.contains("path10"));
+    }
 
     #[test]
     fn pruning_ablation_runs_and_agrees() {

@@ -368,7 +368,8 @@ fn main() -> ExitCode {
                     .and_then(|()| bncg_analysis::ablations::parallel_scan(&mut r, quick))
                     .and_then(|()| bncg_analysis::ablations::incremental_engine(&mut r, quick))
                     .and_then(|()| bncg_analysis::ablations::pruning(&mut r, quick))
-                    .and_then(|()| bncg_analysis::ablations::generator(&mut r, quick)),
+                    .and_then(|()| bncg_analysis::ablations::generator(&mut r, quick))
+                    .and_then(|()| bncg_analysis::ablations::trajectory_pruning(&mut r, quick)),
                 _ => {
                     eprintln!("unknown command: {other}");
                     eprintln!("{}", usage());

@@ -85,5 +85,6 @@ pub fn run_all(quick: bool, policy: &ExecPolicy) -> Result<Report, GameError> {
     ablations::incremental_engine(&mut r, quick)?;
     ablations::pruning(&mut r, quick)?;
     ablations::generator(&mut r, quick)?;
+    ablations::trajectory_pruning(&mut r, quick)?;
     Ok(r)
 }

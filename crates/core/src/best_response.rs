@@ -26,7 +26,7 @@
 use crate::alpha::Alpha;
 use crate::candidates::NeighborhoodPruner;
 use crate::concepts::CheckBudget;
-use crate::cost::{agent_cost_with_buf, AgentCost};
+use crate::cost::{agent_cost_bits, agent_cost_with_buf, AgentCost};
 use crate::error::GameError;
 use crate::generator::{BranchScan, NeighborhoodOracle, Step};
 use crate::jsonio;
@@ -34,7 +34,7 @@ use crate::moves::Move;
 use crate::scan::{CtlLocal, ScanCtl};
 use crate::solver::ExecPolicy;
 use crate::state::GameState;
-use bncg_graph::Graph;
+use bncg_graph::{BitsetGraph, Graph};
 use std::fmt;
 use std::str::FromStr;
 use std::sync::atomic::AtomicU64;
@@ -209,6 +209,10 @@ pub enum BestResponseVerdict {
         response: BestResponse,
         /// Candidate evaluations across the whole resume chain.
         evals: u64,
+        /// Candidates certified-skipped without pricing **by this call**
+        /// (subtree skips plus leaf-filter skips; not carried across a
+        /// resume chain — the frontier token stays layout-stable).
+        skipped: u64,
         /// Wall-clock time of this call.
         elapsed: Duration,
     },
@@ -221,6 +225,8 @@ pub enum BestResponseVerdict {
         response: BestResponse,
         /// Resume token (carries the same best-so-far move).
         frontier: BestResponseFrontier,
+        /// Candidates certified-skipped without pricing by this call.
+        skipped: u64,
         /// Wall-clock time of this call.
         elapsed: Duration,
     },
@@ -230,6 +236,8 @@ pub enum BestResponseVerdict {
     Exhausted {
         /// Resume token.
         frontier: BestResponseFrontier,
+        /// Candidates certified-skipped without pricing by this call.
+        skipped: u64,
         /// Wall-clock time of this call.
         elapsed: Duration,
     },
@@ -263,6 +271,20 @@ impl BestResponseVerdict {
             BestResponseVerdict::Optimal { evals, .. } => *evals,
             BestResponseVerdict::ImprovedSoFar { frontier, .. }
             | BestResponseVerdict::Exhausted { frontier, .. } => frontier.evals,
+        }
+    }
+
+    /// Candidates certified-skipped without pricing **by this call** —
+    /// the subtree-skip and leaf-filter tallies the dynamics traces
+    /// aggregate into per-trajectory visited fractions. Per-slice, not
+    /// cumulative: frontiers do not serialize the counter, so a resumed
+    /// chain sums the slices itself.
+    #[must_use]
+    pub fn skipped(&self) -> u64 {
+        match self {
+            BestResponseVerdict::Optimal { skipped, .. }
+            | BestResponseVerdict::ImprovedSoFar { skipped, .. }
+            | BestResponseVerdict::Exhausted { skipped, .. } => *skipped,
         }
     }
 }
@@ -395,7 +417,7 @@ pub fn best_response_in(
     let ctl = ScanCtl::unbounded();
     let mut cl = CtlLocal::new(&ctl);
     let mut best = None;
-    let (stopped, _) = scan_best_response(state, u, 0, &mut best, &ctl, &mut cl);
+    let (stopped, _, _) = scan_best_response(state, u, 0, &mut best, &ctl, &mut cl);
     debug_assert!(stopped.is_none(), "unbounded controls never stop");
     Ok(into_response(state, u, best))
 }
@@ -502,6 +524,7 @@ fn metered(
                 cost: state.cost(u),
             },
             evals: prior_evals,
+            skipped: 0,
             elapsed: started.elapsed(),
         });
     }
@@ -516,13 +539,14 @@ fn metered(
     );
     let mut cl = CtlLocal::new(&ctl);
     let mut best = prior_best;
-    let (stopped, evals) = scan_best_response(state, u, start, &mut best, &ctl, &mut cl);
+    let (stopped, evals, skipped) = scan_best_response(state, u, start, &mut best, &ctl, &mut cl);
     let evals = prior_evals + evals;
     let elapsed = started.elapsed();
     Ok(match stopped {
         None => BestResponseVerdict::Optimal {
             response: into_response(state, u, best),
             evals,
+            skipped,
             elapsed,
         },
         Some(pos) => {
@@ -540,9 +564,14 @@ fn metered(
                         cost,
                     },
                     frontier,
+                    skipped,
                     elapsed,
                 },
-                None => BestResponseVerdict::Exhausted { frontier, elapsed },
+                None => BestResponseVerdict::Exhausted {
+                    frontier,
+                    skipped,
+                    elapsed,
+                },
             }
         }
     })
@@ -564,10 +593,20 @@ fn into_response(state: &GameState, u: u32, best: Option<(Move, AgentCost)>) -> 
 /// Scans agent `u`'s pruned candidate space in **addition-mask-major**
 /// enumeration order (`pos = (add_mask << nb) | rem_mask`) from position
 /// `start`, tracking the evolving argmin in `best` and polling `ctl`
-/// anytime-style. Returns `(Some(next_pos), evals)` when the control
-/// stopped the scan — every position strictly before `next_pos` has been
-/// priced against `best` — or `(None, evals)` when the space is
-/// complete.
+/// anytime-style. Returns `(Some(next_pos), evals, skipped)` when the
+/// control stopped the scan — every position strictly before `next_pos`
+/// has been priced against `best` — or `(None, evals, skipped)` when the
+/// space is complete; `skipped` counts the candidates certified away
+/// without pricing (subtree skips plus leaf-filter skips).
+///
+/// Leaf evaluation is **batched on the word-parallel bitset substrate**:
+/// the scan width is structurally ≤ 64, so the whole scratch state is one
+/// [`BitsetGraph`]. The current addition class stays applied across its
+/// run of consecutive leaves (addition-major order makes the run maximal)
+/// and each surviving leaf only toggles its removal edges — `O(1)` word
+/// flips — before pricing the center and the added partners with the
+/// frontier-BFS [`agent_cost_bits`] kernel. The scalar
+/// [`agent_cost_with_buf`] path remains the differential-test reference.
 ///
 /// Positions are *generated* by a [`BranchScan`], not iterated: the
 /// [`NeighborhoodOracle`] skips whole mask subtrees the pruning
@@ -600,7 +639,7 @@ fn scan_best_response(
     best: &mut Option<(Move, AgentCost)>,
     ctl: &ScanCtl,
     cl: &mut CtlLocal,
-) -> (Option<u64>, u64) {
+) -> (Option<u64>, u64, u64) {
     let g = state.graph();
     let alpha = state.alpha();
     let old = state.costs();
@@ -611,21 +650,23 @@ fn scan_best_response(
     let no = others.len();
     let total = 1u64 << (nb + no);
     if start >= total {
-        return (None, 0);
+        return (None, 0, 0);
     }
     let removal_only_prunable = pruner.removal_only_prunable();
     let bounds_active = pruner.active();
-    let mut scratch = g.clone();
-    let mut buf = Vec::new();
+    // The batched scratch state: the callers check the n ≤ 64 mask width
+    // before scanning, so the bitset substrate always exists here.
+    let mut bits = BitsetGraph::from_graph(g).expect("scan width checked: n ≤ 64");
     let mut removed: Vec<u32> = Vec::new();
     let mut added: Vec<u32> = Vec::new();
     let mut best_cost = best.as_ref().map_or(old[u as usize], |(_, c)| *c);
     let mut evals = 0u64;
+    let mut skipped = 0u64;
     let mut oracle = NeighborhoodOracle::new(state, &pruner, u, &others, nb as u32, 0, nb as u32);
     let mut scan = BranchScan::new(start, total);
-    // The addition class currently applied to the scratch graph, with
+    // The addition class currently applied to the bitset scratch, with
     // its streaming inequality-3 cap. (Early returns may leave the add
-    // edges applied; `scratch` is function-local and dropped.)
+    // edges applied; `bits` is function-local and dropped.)
     let mut cur_add = u64::MAX;
     let mut save_a = 0u64;
     loop {
@@ -633,9 +674,10 @@ fn scan_best_response(
             Step::Done => break,
             Step::Skipped { base, count } => {
                 // The identity (position 0) was never a candidate.
-                let skipped = count - u64::from(base == 0);
-                if cl.tick_skipped(ctl, skipped) {
-                    return (Some(scan.cursor()), evals);
+                let dead = count - u64::from(base == 0);
+                skipped += dead;
+                if cl.tick_skipped(ctl, dead) {
+                    return (Some(scan.cursor()), evals, skipped);
                 }
             }
             Step::Leaf(pos) => {
@@ -646,12 +688,12 @@ fn scan_best_response(
                 let rem_mask = pos & ((1u64 << nb) - 1);
                 if add_mask != cur_add {
                     for &v in &added {
-                        scratch.remove_edge(u, v).expect("restore added");
+                        bits.remove_edge(u, v);
                     }
                     added.clear();
                     for (i, &v) in others.iter().enumerate() {
                         if add_mask >> i & 1 == 1 {
-                            scratch.add_edge(u, v).expect("non-neighbor pair");
+                            bits.add_edge(u, v);
                             added.push(v);
                         }
                     }
@@ -664,8 +706,9 @@ fn scan_best_response(
                 }
                 if add_mask == 0 {
                     if removal_only_prunable {
+                        skipped += 1;
                         if cl.tick_skipped(ctl, 1) {
-                            return (Some(pos + 1), evals);
+                            return (Some(pos + 1), evals, skipped);
                         }
                         continue;
                     }
@@ -676,27 +719,27 @@ fn scan_best_response(
                         save_a,
                     )
                 {
+                    skipped += 1;
                     if cl.tick_skipped(ctl, 1) {
-                        return (Some(pos + 1), evals);
+                        return (Some(pos + 1), evals, skipped);
                     }
                     continue;
                 }
                 removed.clear();
                 for (i, &v) in neighbors.iter().enumerate() {
                     if rem_mask >> i & 1 == 1 {
-                        scratch.remove_edge(u, v).expect("neighbor edge");
+                        bits.remove_edge(u, v);
                         removed.push(v);
                     }
                 }
                 evals += 1;
-                let mine = agent_cost_with_buf(&scratch, u, &mut buf);
+                let mine = agent_cost_bits(&bits, u);
                 let feasible = mine.better_than(&best_cost, alpha)
-                    && added.iter().all(|&a| {
-                        agent_cost_with_buf(&scratch, a, &mut buf)
-                            .better_than(&old[a as usize], alpha)
-                    });
+                    && added
+                        .iter()
+                        .all(|&a| agent_cost_bits(&bits, a).better_than(&old[a as usize], alpha));
                 for &v in &removed {
-                    scratch.add_edge(u, v).expect("restore removed");
+                    bits.add_edge(u, v);
                 }
                 if feasible {
                     best_cost = mine;
@@ -710,12 +753,12 @@ fn scan_best_response(
                     ));
                 }
                 if cl.tick_eval(ctl) {
-                    return (Some(pos + 1), evals);
+                    return (Some(pos + 1), evals, skipped);
                 }
             }
         }
     }
-    (None, evals)
+    (None, evals, skipped)
 }
 
 #[cfg(test)]

@@ -5,6 +5,12 @@
 //! **fast engine** evaluates single-edge additions from a precomputed
 //! distance matrix and edge swaps on trees from component sums, avoiding
 //! the post-move BFS; property tests assert both engines agree.
+//!
+//! The batched exponential scans price surviving leaves through a third
+//! path — the word-parallel [`crate::cost::agent_cost_bits`] kernel on a
+//! toggled [`bncg_graph::BitsetGraph`] — which the tests here also pin
+//! against the matrix-based fast engine, closing the differential
+//! triangle between all three.
 
 use crate::alpha::Alpha;
 use crate::cost::{agent_cost, AgentCost};
@@ -212,6 +218,33 @@ mod tests {
                 let g2 = Move::BilateralAdd { u, v }.apply(&g).unwrap();
                 let slow = agent_cost(&g2, u);
                 assert_eq!(fast, slow, "fast add disagrees at ({u}, {v})");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_add_matches_bitset_kernel() {
+        // The matrix-based add engine and the word-parallel bitset
+        // kernel are independent fast paths; they must agree with each
+        // other on every candidate addition (and, via
+        // `fast_add_matches_generic_on_random_graphs`, with ground
+        // truth).
+        use crate::cost::agent_cost_bits;
+        use bncg_graph::BitsetGraph;
+        let mut rng = bncg_graph::test_rng(0xB1D5);
+        for _ in 0..10 {
+            let g = generators::random_connected(12, 0.2, &mut rng);
+            let d = DistanceMatrix::new(&g);
+            let mut bits = BitsetGraph::from_graph(&g).unwrap();
+            for (u, v) in g.non_edges() {
+                bits.add_edge(u, v);
+                let from_bits = agent_cost_bits(&bits, u);
+                bits.remove_edge(u, v);
+                assert_eq!(
+                    cost_after_add(&g, &d, u, v),
+                    from_bits,
+                    "bitset kernel disagrees with the add engine at ({u}, {v})"
+                );
             }
         }
     }

@@ -6,7 +6,7 @@
 //! applied to a graph state, producing the successor state.
 
 use crate::error::GameError;
-use bncg_graph::Graph;
+use bncg_graph::{BitsetGraph, Graph};
 use std::fmt;
 
 /// A strategy change in the bilateral game, annotated with the agents that
@@ -255,6 +255,39 @@ impl AppliedMove {
         }
     }
 
+    /// Replays the recorded toggles on a word-parallel bitset mirror of
+    /// the pre-move graph, so candidate pricing can run on the bitset
+    /// kernels without re-converting the whole adjacency per move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a toggled endpoint is out of the bitset's range.
+    pub fn redo_on_bits(&self, bits: &mut BitsetGraph) {
+        for &(u, v, added) in &self.toggles {
+            if added {
+                bits.add_edge(u, v);
+            } else {
+                bits.remove_edge(u, v);
+            }
+        }
+    }
+
+    /// Reverts the recorded toggles on the bitset mirror (inverse of
+    /// [`AppliedMove::redo_on_bits`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a toggled endpoint is out of the bitset's range.
+    pub fn undo_on_bits(&self, bits: &mut BitsetGraph) {
+        for &(u, v, added) in self.toggles.iter().rev() {
+            if added {
+                bits.remove_edge(u, v);
+            } else {
+                bits.add_edge(u, v);
+            }
+        }
+    }
+
     fn add(&mut self, g: &mut Graph, u: u32, v: u32) -> Result<(), GameError> {
         g.add_edge(u, v)
             .map_err(|e| GameError::InvalidMove(e.to_string()))?;
@@ -481,6 +514,25 @@ mod tests {
         assert!(g.has_edge(0, 4) && !g.has_edge(0, 1));
         applied.undo(&mut g);
         assert_eq!(g, g0);
+    }
+
+    #[test]
+    fn bitset_mirror_tracks_redo_and_undo() {
+        let g = generators::path(6);
+        let mut scratch = g.clone();
+        let mut bits = BitsetGraph::from_graph(&g).unwrap();
+        let mv = Move::Neighborhood {
+            center: 0,
+            remove: vec![1],
+            add: vec![3, 5],
+        };
+        let applied = mv.apply_in_place(&mut scratch).unwrap();
+        applied.redo_on_bits(&mut bits);
+        assert_eq!(bits, BitsetGraph::from_graph(&scratch).unwrap());
+        applied.undo(&mut scratch);
+        applied.undo_on_bits(&mut bits);
+        assert_eq!(scratch, g);
+        assert_eq!(bits, BitsetGraph::from_graph(&g).unwrap());
     }
 
     #[test]

@@ -29,6 +29,13 @@
 //! and a `Stopped` result's `(unit, pos)` frontier has every candidate
 //! strictly before it certified non-improving — resuming there can never
 //! skip or reorder a candidate.
+//!
+//! The control protocol is substrate-agnostic: workspaces now carry a
+//! per-thread [`bncg_graph::BitsetGraph`] whose toggled state is batched
+//! across consecutive leaves of one unit, which is safe precisely
+//! because a unit is owned by one worker end to end — the contract above
+//! never migrates a half-scanned unit, so no bitset state crosses
+//! threads.
 
 use crate::candidates::CandidateStats;
 use crate::moves::Move;
@@ -187,7 +194,8 @@ pub(crate) enum UnitOutcome {
 
 /// A unit-structured candidate scan (one per exponential concept).
 pub(crate) trait UnitScanner: Sync {
-    /// Per-thread scratch (scratch graph, dedup set, memo caches).
+    /// Per-thread scratch (scratch graph, bitset workspace, dedup set,
+    /// memo caches).
     type Ws: Send;
 
     /// Number of units in the scan.

@@ -68,11 +68,11 @@
 //! ```
 
 use crate::alpha::Alpha;
-use crate::cost::{agent_cost_from_matrix, agent_cost_with_buf, AgentCost, Ratio};
+use crate::cost::{agent_cost_bits, agent_cost_from_matrix, agent_cost_with_buf, AgentCost, Ratio};
 use crate::delta::{cost_after_add, tree_swap_costs};
 use crate::error::GameError;
 use crate::moves::Move;
-use bncg_graph::{DistanceMatrix, Graph};
+use bncg_graph::{BitsetGraph, DistanceMatrix, Graph};
 
 /// A game state with incrementally maintained distance and cost caches.
 ///
@@ -256,6 +256,7 @@ impl GameState {
         MoveEvaluator {
             state: self,
             scratch: self.g.clone(),
+            bits: BitsetGraph::from_graph(&self.g),
             buf: Vec::new(),
         }
     }
@@ -363,6 +364,10 @@ impl GameState {
 pub struct MoveEvaluator<'a> {
     state: &'a GameState,
     scratch: Graph,
+    /// Word-parallel mirror of the scratch graph, present iff `n ≤ 64`;
+    /// the generic path prices consenting agents on it via frontier BFS
+    /// instead of adjacency-list BFS.
+    bits: Option<BitsetGraph>,
     buf: Vec<u32>,
 }
 
@@ -465,21 +470,41 @@ impl MoveEvaluator<'_> {
                 // which prices the unreachability exactly.
             }
         }
-        // Generic path: apply to the scratch graph, BFS only the consenting
-        // agents (lazily when short-circuiting), undo.
+        // Generic path: apply to the scratch graph (full validation), BFS
+        // only the consenting agents (lazily when short-circuiting), undo.
+        // At n ≤ 64 the toggles are mirrored onto the bitset scratch and
+        // every agent is priced by the word-parallel frontier BFS; the
+        // adjacency-list BFS is the reference fallback above that.
         let applied = mv.apply_in_place(&mut self.scratch)?;
         let consenting = mv.consenting_agents();
         let mut deltas = Vec::with_capacity(consenting.len());
-        for a in consenting {
-            let d = AgentDelta {
-                agent: a,
-                before: state.costs[a as usize],
-                after: agent_cost_with_buf(&self.scratch, a, &mut self.buf),
-            };
-            let improves = d.after.better_than(&d.before, alpha);
-            deltas.push(d);
-            if short_circuit && !improves {
-                break;
+        if let Some(bits) = &mut self.bits {
+            applied.redo_on_bits(bits);
+            for a in consenting {
+                let d = AgentDelta {
+                    agent: a,
+                    before: state.costs[a as usize],
+                    after: agent_cost_bits(bits, a),
+                };
+                let improves = d.after.better_than(&d.before, alpha);
+                deltas.push(d);
+                if short_circuit && !improves {
+                    break;
+                }
+            }
+            applied.undo_on_bits(bits);
+        } else {
+            for a in consenting {
+                let d = AgentDelta {
+                    agent: a,
+                    before: state.costs[a as usize],
+                    after: agent_cost_with_buf(&self.scratch, a, &mut self.buf),
+                };
+                let improves = d.after.better_than(&d.before, alpha);
+                deltas.push(d);
+                if short_circuit && !improves {
+                    break;
+                }
             }
         }
         applied.undo(&mut self.scratch);

@@ -213,6 +213,14 @@ pub struct RoundRobinOutcome {
     pub checkpoint: Option<Checkpoint>,
     /// Candidate evaluations across the whole trajectory chain so far.
     pub evals: u64,
+    /// Candidate positions the pruning layer skipped inside **this
+    /// slice's** best-response scans (generator subtree kills plus
+    /// leaf-filter skips). Unlike `evals` this is not carried through
+    /// checkpoints — the resume token stays layout-stable — so a chain
+    /// reports per-slice counts; together with the slice's evals it
+    /// yields the visited fraction of the scanned move space. The
+    /// legacy (non-policy) path reports 0.
+    pub skipped: u64,
     /// The final state (of this slice; pass it back to [`resume`]).
     pub final_graph: Graph,
 }
@@ -360,6 +368,7 @@ fn run_legacy(
         exhausted: false,
         checkpoint: None,
         evals: 0,
+        skipped: 0,
         final_graph: state.graph().clone(),
     })
 }
@@ -442,6 +451,7 @@ fn run_metered(
 
     let mut history = Vec::new();
     let mut slice_evals = 0u64;
+    let mut slice_skipped = 0u64;
     let mut converged = false;
     let mut cycled = false;
     let mut checkpoint: Option<Checkpoint> = None;
@@ -523,6 +533,9 @@ fn run_metered(
                 None => best_response_with_policy(&state, u, &act_policy)?,
             };
             slice_evals += verdict.evals() - scan_prior;
+            // Verdict skip counts are per-call, so a resumed scan needs
+            // no prior subtraction.
+            slice_skipped += verdict.skipped();
             match verdict {
                 BestResponseVerdict::Optimal { response, .. } => {
                     if let Some(mv) = response.best {
@@ -569,6 +582,7 @@ fn run_metered(
         exhausted: checkpoint.is_some(),
         checkpoint,
         evals: evals_prior + slice_evals,
+        skipped: slice_skipped,
         history,
         converged,
         cycled,
@@ -673,6 +687,20 @@ mod tests {
         assert!(out.checkpoint.is_some());
         // The legacy path still errors on a sub-guard budget.
         assert!(run_with_budget(&generators::path(12), a("2"), 50, CheckBudget::new(10)).is_err());
+    }
+
+    #[test]
+    fn metered_runs_report_pruned_work() {
+        let out =
+            run_with_policy(&generators::path(10), a("2"), 100, &ExecPolicy::default()).unwrap();
+        assert!(out.converged);
+        assert!(out.evals > 0);
+        assert!(
+            out.skipped > 0,
+            "the pruning layer must skip part of the scanned move space"
+        );
+        // The legacy path does not meter skips.
+        assert_eq!(run(&generators::path(10), a("2"), 100).unwrap().skipped, 0);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! undirected graph and needs, beyond basic adjacency:
 //!
 //! * hop distances and distance sums ([`bfs_distances`], [`DistanceMatrix`]),
+//!   with word-parallel `u64`-bitset kernels for `n ≤ 64` ([`BitsetGraph`])
+//!   behind the same scalar-reference contract,
 //! * the rooted-tree machinery of the paper's Section 3.2 — layers,
 //!   subtree sizes, depths, and 1-medians ([`RootedTree`]),
 //! * the named topologies of the paper ([`generators`]): star and clique
@@ -33,6 +35,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+mod bitset;
 mod error;
 #[allow(clippy::module_inception)]
 mod graph;
@@ -45,6 +48,7 @@ pub mod generators;
 pub mod graph6;
 pub mod iso;
 
+pub use bitset::{BitsetGraph, BITSET_MAX_N};
 pub use error::GraphError;
 pub use graph::{fnv1a_u64, pair_index, Graph};
 pub use traversal::{bfs_distances, diameter, dist_sum_from, DistanceMatrix, UNREACHABLE};

@@ -4,6 +4,7 @@
 //! game layer translates `UNREACHABLE` into the paper's `M` constant
 //! (lexicographically dominant disconnection penalty).
 
+use crate::bitset::BitsetGraph;
 use crate::graph::Graph;
 
 /// Sentinel distance for unreachable pairs.
@@ -97,15 +98,24 @@ pub struct DistanceMatrix {
 }
 
 impl DistanceMatrix {
-    /// Computes the distance matrix with one BFS per node: `O(n·(n + m))`.
+    /// Computes the distance matrix with one BFS per node. For `n ≤ 64`
+    /// the rows come from the word-parallel [`BitsetGraph`] frontier BFS
+    /// (`O(n · diam · n)` word ops for the whole matrix); larger graphs
+    /// fall back to the scalar `O(n·(n + m))` adjacency-list BFS.
     #[must_use]
     pub fn new(g: &Graph) -> Self {
         let n = g.n();
         let mut d = vec![UNREACHABLE; n * n];
-        let mut row = Vec::new();
-        for u in 0..n as u32 {
-            bfs_distances(g, u, &mut row);
-            d[u as usize * n..(u as usize + 1) * n].copy_from_slice(&row);
+        if let Some(bits) = BitsetGraph::from_graph(g) {
+            for u in 0..n {
+                bits.write_distances(u as u32, &mut d[u * n..(u + 1) * n]);
+            }
+        } else {
+            let mut row = Vec::new();
+            for u in 0..n as u32 {
+                bfs_distances(g, u, &mut row);
+                d[u as usize * n..(u as usize + 1) * n].copy_from_slice(&row);
+            }
         }
         DistanceMatrix { n, d }
     }
@@ -305,10 +315,24 @@ impl DistanceMatrix {
 
     fn apply_edge_removal(&mut self, g: &Graph, u: u32, v: u32) -> Vec<u32> {
         let affected = self.removal_affected_sources(u, v);
-        let mut row = Vec::new();
-        for &s in &affected {
-            bfs_distances(g, s, &mut row);
-            self.d[s as usize * self.n..(s as usize + 1) * self.n].copy_from_slice(&row);
+        if affected.is_empty() {
+            return affected;
+        }
+        // The re-BFS of the affected sources is the delta-update hot
+        // spot; one bitset conversion amortizes over all of them.
+        if let Some(bits) = BitsetGraph::from_graph(g) {
+            for &s in &affected {
+                bits.write_distances(
+                    s,
+                    &mut self.d[s as usize * self.n..(s as usize + 1) * self.n],
+                );
+            }
+        } else {
+            let mut row = Vec::new();
+            for &s in &affected {
+                bfs_distances(g, s, &mut row);
+                self.d[s as usize * self.n..(s as usize + 1) * self.n].copy_from_slice(&row);
+            }
         }
         affected
     }

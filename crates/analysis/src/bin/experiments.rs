@@ -33,6 +33,16 @@
 //!              --alpha A (rational, e.g. 3/2)   --n N
 //!              --family star|path|cycle|clique|tree|gnp [--p P] [--seed S]
 //!              [--resume '<frontier json>'] to continue an exhausted scan
+//!   serve      the stability-checking daemon (line-delimited JSON over
+//!              TCP; see docs/PROTOCOL.md):
+//!              --port P (default 7421; 0 = ephemeral)  --workers N
+//!              --slice EVALS (per scheduling slice)
+//!              --grant EVALS (default per-tenant budget; unmetered if
+//!              omitted) — blocks until a `shutdown` request arrives
+//!   query      send request lines to a running daemon:
+//!              --addr HOST:PORT (default 127.0.0.1:7421)
+//!              --line '<json>' sends one request; without it, every
+//!              stdin line is sent and its response printed
 //!
 //! flags:
 //!   --quick        reduced instance sizes/samples for every report
@@ -68,7 +78,7 @@ use std::time::Duration;
 
 /// Flags that consume the following argument (needed to tell the command
 /// token apart from a flag value).
-const VALUE_FLAGS: [&str; 13] = [
+const VALUE_FLAGS: [&str; 19] = [
     "--threads",
     "--budget",
     "--deadline-ms",
@@ -82,6 +92,12 @@ const VALUE_FLAGS: [&str; 13] = [
     "--resume",
     "--rounds",
     "--graph6",
+    "--port",
+    "--workers",
+    "--slice",
+    "--grant",
+    "--addr",
+    "--line",
 ];
 
 /// `flag_value` with strict parsing: a present-but-unparsable or
@@ -147,7 +163,7 @@ fn command_token(args: &[String]) -> Option<String> {
 fn usage() -> &'static str {
     "try: all, table1, ps, bswe, bge, bne, 3bse, bse, fig1a..fig8, cycles, \
      prop316, prop322, dynamics, roundrobin, treesvgraphs, structure, \
-     windows, curve, ablations, check\n\
+     windows, curve, ablations, check, serve, query\n\
      flags: --quick, --json; --budget EVALS and --deadline-ms MS bound the \
      exponential-concept queries (check, the 3bse/bse rows of table1/all, \
      roundrobin, single dynamics trajectories); --batch-budget EVALS pools \
@@ -155,7 +171,9 @@ fn usage() -> &'static str {
      parallelizes the sweeps (polynomial rows complete eagerly and cannot \
      exhaust); `check` adds --concept, --alpha, --n, --family, --p, \
      --seed, --resume; `dynamics` with --family/--graph6/--n/--rounds/\
-     --resume runs one anytime round-robin trajectory"
+     --resume runs one anytime round-robin trajectory; `serve` starts the \
+     line-JSON daemon (--port, --workers, --slice, --grant) and `query` \
+     talks to one (--addr, --line or stdin)"
 }
 
 /// Builds the instance graph for the `check` command.
@@ -292,6 +310,81 @@ fn run_trajectory(args: &[String], policy: &ExecPolicy) -> Result<String, GameEr
     Ok(text)
 }
 
+/// The `serve` command: start the stability-checking daemon and block
+/// until a `shutdown` request arrives on the wire (docs/PROTOCOL.md has
+/// the request schemas).
+fn run_serve(args: &[String]) -> Result<String, GameError> {
+    let port: u16 = parsed_flag(args, "--port")?.unwrap_or(7421);
+    let mut scheduler = bncg_serve::SchedulerConfig::default();
+    if let Some(workers) = parsed_flag::<usize>(args, "--workers")? {
+        if workers == 0 {
+            return Err(GameError::Unsupported {
+                reason: "--workers must be at least 1".into(),
+            });
+        }
+        scheduler.workers = workers;
+    }
+    if let Some(slice) = parsed_flag::<u64>(args, "--slice")? {
+        scheduler.slice = slice.max(1);
+    }
+    if let Some(grant) = parsed_flag::<u64>(args, "--grant")? {
+        scheduler.default_grant = grant;
+    }
+    let server = bncg_serve::Server::start(bncg_serve::ServerConfig {
+        addr: format!("127.0.0.1:{port}"),
+        scheduler,
+    })
+    .map_err(|e| GameError::Unsupported {
+        reason: format!("cannot bind 127.0.0.1:{port}: {e}"),
+    })?;
+    println!("serving on {} (send a shutdown op to stop)", server.addr());
+    server.wait();
+    Ok("daemon stopped".into())
+}
+
+/// The `query` command: a line-oriented client for a running daemon.
+/// One request per line in, one response line out, in order.
+fn run_query(args: &[String]) -> Result<String, GameError> {
+    use std::io::{BufRead, BufReader, Write};
+    let addr = string_flag(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7421".into());
+    let sock = std::net::TcpStream::connect(&addr).map_err(|e| GameError::Unsupported {
+        reason: format!("cannot connect to {addr}: {e}"),
+    })?;
+    let mut reader = BufReader::new(sock.try_clone().map_err(|e| GameError::Unsupported {
+        reason: format!("cannot clone connection: {e}"),
+    })?);
+    let mut sock = sock;
+    let mut exchange = |line: &str| -> Result<String, GameError> {
+        sock.write_all(line.as_bytes())
+            .and_then(|()| sock.write_all(b"\n"))
+            .map_err(|e| GameError::Unsupported {
+                reason: format!("send failed: {e}"),
+            })?;
+        let mut response = String::new();
+        reader
+            .read_line(&mut response)
+            .map_err(|e| GameError::Unsupported {
+                reason: format!("receive failed: {e}"),
+            })?;
+        Ok(response.trim_end().to_string())
+    };
+    if let Some(line) = string_flag(args, "--line")? {
+        return exchange(&line);
+    }
+    let stdin = std::io::stdin();
+    let mut out = Vec::new();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| GameError::Unsupported {
+            reason: format!("stdin read failed: {e}"),
+        })?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(exchange(&line)?);
+    }
+    Ok(out.join("\n"))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -335,6 +428,8 @@ fn main() -> ExitCode {
         "all" => run_all(quick, &policy).map(render),
         "table1" => table1::full_table(quick, &policy).map(render),
         "check" => run_check(&args, &policy),
+        "serve" => run_serve(&args),
+        "query" => run_query(&args),
         "dynamics" if trajectory_mode => run_trajectory(&args, &policy),
         other => {
             let mut r = Report::new();

@@ -37,6 +37,13 @@
 //!   over the uninterrupted run (both exactness-checked first: the
 //!   metered scan must return the identical response, the chain the
 //!   identical final state),
+//! * the serving layer's time-slicing scheduler costs more than 25%
+//!   wall clock over running the same pinned mixed batch — an
+//!   evaluation-bound BNE check, a round-robin trajectory, and a
+//!   best-response scan — as direct one-shot calls
+//!   (`sched_slicing_overhead/mixed_batch`; every scheduler verdict is
+//!   exactness-asserted against its direct counterpart first, and the
+//!   check is forced through multiple slices),
 //! * the documented [`CheckBudget::default`] wall-clock meaning drifts
 //!   outside sanity (the gate derives `budget_default_seconds` from the
 //!   measured raw-reference evaluation rate — this is the calibration
@@ -64,6 +71,7 @@ use bncg_core::{
 };
 use bncg_dynamics::round_robin;
 use bncg_graph::{bfs_distances, generators, BitsetGraph, DistanceMatrix, UNREACHABLE};
+use bncg_serve::{QuerySpec, Scheduler, SchedulerConfig, Work};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
@@ -87,6 +95,13 @@ const METERED_BR_OVERHEAD_CEILING: f64 = 1.05;
 /// A sliced checkpoint-resume round-robin chain may cost at most this
 /// factor over the uninterrupted policy run.
 const RR_RESUME_OVERHEAD_CEILING: f64 = 1.10;
+/// Draining a mixed batch through the serving layer's time-slicing
+/// scheduler may cost at most this factor over the same batch as
+/// one-shot calls. The scheduler genuinely pays queue round-trips,
+/// frontier/checkpoint serialization at every slice boundary, and
+/// per-slice query setup, so the ceiling sits above the in-process
+/// resume kernels'.
+const SCHED_SLICING_OVERHEAD_CEILING: f64 = 1.25;
 /// A 4-slice generator resume chain may cost at most this factor over
 /// the uninterrupted scan. The chain genuinely pays per-slice query
 /// setup (pruner rebuild, O(n²)) that the µs-scale cycle24 scan cannot
@@ -582,6 +597,142 @@ fn main() -> std::process::ExitCode {
         RR_RESUME_OVERHEAD_CEILING,
     );
 
+    // Scheduler slicing overhead (ISSUE 7): draining a pinned mixed
+    // batch — the evaluation-bound cycle40 BNE check at α = 370 (the
+    // Lemma 2.4 stability window, 120 genuinely priced candidates), a
+    // 50-round path9 trajectory, and a path12 best-response scan —
+    // through a 1-worker time-slicing scheduler must stay within 25%
+    // of the same batch as direct one-shot calls. Exactness first:
+    // every scheduler verdict must match its direct counterpart, and
+    // the slice size is pinned small enough that the check provably
+    // runs as a multi-slice requeue chain rather than one shot.
+    let c40 = generators::cycle(40);
+    let a370 = Alpha::integer(370).expect("α");
+    let path9 = generators::path(9);
+    let path12 = generators::path(12);
+    let one_shot = Solver::new(ExecPolicy::default().with_threads(1));
+    let direct_check = one_shot
+        .check(&StabilityQuery::new(Concept::Bne, &c40, a370))
+        .unwrap();
+    let Verdict::Stable {
+        evals: c40_evals, ..
+    } = direct_check
+    else {
+        panic!("cycle40 at α = 370 must be BNE-stable, got {direct_check:?}");
+    };
+    assert!(c40_evals > 64, "cycle40 must out-price one 48-eval slice");
+    let direct_rr = round_robin::run(&path9, alpha2, 50).unwrap();
+    assert!(direct_rr.converged, "path9 round robin must converge");
+    let direct_br = best_response_in(&GameState::new(path12.clone(), alpha2), 0, budget()).unwrap();
+    assert!(
+        direct_br.best.is_some(),
+        "path12 agent 0 must have an improving response"
+    );
+    let next_id = std::cell::Cell::new(0u64);
+    let submit_to = |sched: &Scheduler, work: Work| {
+        next_id.set(next_id.get() + 1);
+        sched.submit_blocking(QuerySpec {
+            id: next_id.get(),
+            tenant: "gate".into(),
+            work,
+            resume: None,
+            deadline_ms: None,
+        })
+    };
+    let sched_batch = |sched: &Scheduler| {
+        [
+            submit_to(
+                sched,
+                Work::Check {
+                    concept: Concept::Bne,
+                    graph: c40.clone(),
+                    alpha: a370,
+                },
+            ),
+            submit_to(
+                sched,
+                Work::Trajectory {
+                    graph: path9.clone(),
+                    alpha: alpha2,
+                    rounds: 50,
+                },
+            ),
+            submit_to(
+                sched,
+                Work::BestResponse {
+                    agent: 0,
+                    graph: path12.clone(),
+                    alpha: alpha2,
+                },
+            ),
+        ]
+    };
+    let assert_batch_exact = |[check_line, traj_line, br_line]: &[String; 3]| {
+        assert!(
+            check_line.contains("\"verdict\":\"stable\"")
+                && check_line.contains(&format!("\"evals\":{c40_evals}")),
+            "scheduler check diverged from the direct solver: {check_line}"
+        );
+        assert!(
+            traj_line.contains("\"converged\":1")
+                && traj_line.contains(&format!("\"moves\":{}", direct_rr.moves)),
+            "scheduler trajectory diverged from the direct run: {traj_line}"
+        );
+        assert!(
+            br_line.contains("\"improving\":1"),
+            "scheduler best response diverged from the direct scan: {br_line}"
+        );
+    };
+    // Multi-slice proof on a fresh fine-grained scheduler: a 48-eval
+    // slice forces the 120-eval check through a requeue chain, and the
+    // chain's verdicts must still match the direct runs exactly.
+    let fine = Scheduler::start(SchedulerConfig {
+        workers: 1,
+        slice: 48,
+        default_grant: u64::MAX,
+    });
+    let proof = sched_batch(&fine);
+    assert!(
+        parse_json_number(&proof[0], "slices").is_some_and(|s| s >= 2.0),
+        "the 48-eval slice must requeue the 120-eval check: {}",
+        proof[0]
+    );
+    assert_batch_exact(&proof);
+    fine.stop();
+    // The timed scheduler runs production-sized slices (the best-response
+    // scan still requeues several times; µs-scale slices would measure
+    // the per-slice state rebuild, not the scheduling layer).
+    let timed = Scheduler::start(SchedulerConfig {
+        workers: 1,
+        slice: 512,
+        default_grant: u64::MAX,
+    });
+    assert_batch_exact(&sched_batch(&timed));
+    let sched_overhead = paired_overhead(
+        8,
+        &|| {
+            assert!(matches!(
+                one_shot
+                    .check(&StabilityQuery::new(Concept::Bne, black_box(&c40), a370))
+                    .unwrap(),
+                Verdict::Stable { .. }
+            ));
+            black_box(round_robin::run(black_box(&path9), alpha2, 50).unwrap());
+            black_box(
+                best_response_in(&GameState::new(path12.clone(), alpha2), 0, budget()).unwrap(),
+            );
+        },
+        &|| {
+            black_box(sched_batch(&timed));
+        },
+    );
+    timed.stop();
+    gate.check_overhead(
+        "sched_slicing_overhead/mixed_batch",
+        sched_overhead,
+        SCHED_SLICING_OVERHEAD_CEILING,
+    );
+
     // Serialize BENCH_ci.json.
     let mut json = String::from("{\n");
     for (i, (name, value)) in gate.results.iter().enumerate() {
@@ -638,6 +789,8 @@ fn main() -> std::process::ExitCode {
                 } else if name.contains("_overhead/") {
                     let ceiling = if name.starts_with("rr_resume_overhead/") {
                         RR_RESUME_OVERHEAD_CEILING
+                    } else if name.starts_with("sched_slicing_overhead/") {
+                        SCHED_SLICING_OVERHEAD_CEILING
                     } else if name.starts_with("generator_resume_overhead/") {
                         GENERATOR_RESUME_OVERHEAD_CEILING
                     } else if name.starts_with("metered_br_overhead/") {

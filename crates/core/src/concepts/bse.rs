@@ -382,6 +382,8 @@ impl TargetScan {
             }
             members.sort_unstable();
             members.dedup();
+            // Winning eval still counts toward the shared pool.
+            let _ = cl.tick_eval(ctl);
             return UnitOutcome::Found(Move::Coalition {
                 members,
                 remove_edges: self.rem.clone(),

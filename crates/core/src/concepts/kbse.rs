@@ -636,6 +636,8 @@ impl<'a> CoalitionScan<'a> {
                 }
                 stats.evaluated += 1;
                 if let Some(mv) = self.judge_edit_set(&rem, &add) {
+                    // Winning eval still counts toward the shared pool.
+                    let _ = cl.tick_eval(ctl);
                     return UnitOutcome::Found(mv);
                 }
                 if cl.tick_eval(ctl) {
@@ -810,6 +812,8 @@ impl<'a> CoalitionScan<'a> {
                         let verdict = self.judge_edit_set(&rem, &add);
                         self.rem_list = rem;
                         if let Some(mv) = verdict {
+                            // Winning eval still counts toward the pool.
+                            let _ = cl.tick_eval(ctl);
                             return UnitOutcome::Found(mv);
                         }
                         if cl.tick_eval(ctl) {

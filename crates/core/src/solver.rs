@@ -81,6 +81,7 @@ use crate::concepts::{bae, bge, bne, bse, bswe, kbse, ps, re, CheckBudget, Conce
 use crate::error::GameError;
 use crate::jsonio;
 use crate::moves::Move;
+use crate::pool::BudgetPool;
 use crate::scan::{drive, DriveOutcome, ScanCtl, UnitScanner};
 use crate::state::GameState;
 use bncg_graph::Graph;
@@ -534,6 +535,64 @@ impl Solver {
     ) -> Vec<Result<Verdict, GameError>> {
         let pool = self.policy.batch_budget.map(|_| pool);
         self.check_many_in(queries, pool)
+    }
+
+    /// Executes **one bounded time slice** of a query against a shared
+    /// [`BudgetPool`] — the scheduling primitive a serving layer
+    /// time-slices thousands of concurrent queries with.
+    ///
+    /// The slice runs under a batch-budget cap of
+    /// [`BudgetPool::slice_cap`]`(slice)` = `min(granted, used +
+    /// max(slice, 1))`, flushing its evaluations into the pool's
+    /// counter: one scan stop condition simultaneously bounds the slice
+    /// at roughly `slice` evaluations *and* guarantees the pool's grant
+    /// is never overrun (beyond the documented poll-quantum overshoot).
+    /// A query admitted against a pool that is already
+    /// [drained](BudgetPool::drained) or [expired](BudgetPool::expired)
+    /// returns [`Verdict::Exhausted`] with a **zero-work** frontier at
+    /// its resume cursor — load shedding, exactly the
+    /// [`ExecPolicy::batch_budget`] batch semantics. If the pool
+    /// carries an [expiry instant](BudgetPool::expires_at), the
+    /// remaining wall-clock is propagated into this slice's deadline
+    /// (tightening any per-query [`ExecPolicy::deadline`]).
+    ///
+    /// Because enumeration order is deterministic, a chain of
+    /// `check_sliced` calls — interleaved with slices of *other*
+    /// queries against the same pool — returns the identical verdict,
+    /// witness, and cumulative eval count an uninterrupted
+    /// [`Solver::check`] would (asserted by `tests/solver.rs` and the
+    /// `sched_slicing_overhead` gate kernel).
+    ///
+    /// Polynomial concepts complete eagerly within their first slice
+    /// and are not metered (they return before the shed logic, as in
+    /// every other entry point); fair-share layers charge them a flat
+    /// rate via [`BudgetPool::charge`] so they cannot bypass the pool.
+    ///
+    /// # Errors
+    ///
+    /// As [`Solver::check`]: mismatched or forged resume frontiers and
+    /// structural size limits. Running dry is a verdict, not an error.
+    pub fn check_sliced(
+        &self,
+        query: &StabilityQuery,
+        pool: &BudgetPool,
+        slice: u64,
+    ) -> Result<Verdict, GameError> {
+        // An expired pool admits nothing: cap the slice at the used
+        // count so the drained-pool shed path fires with zero work.
+        let cap = if pool.expired() {
+            pool.used()
+        } else {
+            pool.slice_cap(slice)
+        };
+        let mut policy = self.policy.clone();
+        policy.batch_budget = Some(cap);
+        if let Some(at) = pool.expires_at() {
+            let left = at.saturating_duration_since(Instant::now());
+            policy.deadline = Some(policy.deadline.map_or(left, |d| d.min(left)));
+        }
+        let threads = policy.threads;
+        Solver { policy }.check_with_threads(query, threads, Some(pool.counter()))
     }
 
     fn check_many_in(

@@ -12,6 +12,30 @@
 //! trajectory records every step so experiments can analyze convergence
 //! speed and the social-cost path.
 //!
+//! # Anytime runs and checkpoints
+//!
+//! Two policy-driven runners give the dynamics the solver's anytime
+//! contract:
+//!
+//! * [`run_with_policy`] drives the improving-move loop through the
+//!   [`Solver`] under an [`ExecPolicy`]; a budget, deadline, or cancel
+//!   stop ends the run with the partial trajectory intact and a
+//!   [`DynamicsCheckpoint`] carrying the interrupted check's scan
+//!   frontier. [`resume_with_policy`] continues from it, and a chain of
+//!   budgeted slices replays the **identical trajectory** an
+//!   uninterrupted run produces (the per-step checks are deterministic
+//!   first-violation scans, and a resumed frontier provably returns the
+//!   same witness).
+//! * [`round_robin::run_with_policy`] does the same for round-robin
+//!   best-response dynamics, with a run-level eval pool and
+//!   mid-activation [`round_robin::Checkpoint`]s.
+//!
+//! Both checkpoint tokens serialize as flat JSON via
+//! `to_json`/[`FromStr`] and cross process
+//! boundaries, which is what lets a serving layer (`bncg-serve`)
+//! time-slice thousands of concurrent trajectories through one worker
+//! pool by checkpointing and requeueing them.
+//!
 //! # Examples
 //!
 //! ```
@@ -32,11 +56,14 @@
 
 pub mod round_robin;
 
-use bncg_core::solver::{ExecPolicy, Solver, StabilityQuery, Verdict};
+use bncg_core::jsonio;
+use bncg_core::solver::{ExecPolicy, Frontier, Solver, StabilityQuery, Verdict};
 use bncg_core::{Alpha, Concept, GameError, GameState, Move};
 use bncg_graph::Graph;
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::fmt;
+use std::str::FromStr;
 
 /// How the next improving move is chosen among the violations of the
 /// concept.
@@ -51,22 +78,145 @@ pub enum SelectionRule {
     MostImproving,
 }
 
+/// The checkpoint layout version: tokens embed a solver [`Frontier`]
+/// whose positions are enumeration-layout-bound, so a layout bump there
+/// implies one here.
+const CHECKPOINT_LAYOUT: u64 = 1;
+
+/// A resumable snapshot of an interrupted improving-move trajectory —
+/// the [`run_with_policy`] analogue of [`round_robin::Checkpoint`].
+///
+/// Carries the **instance fingerprint** of the graph at interruption
+/// (the caller re-supplies the graph itself — typically
+/// [`Trajectory::final_graph`] — and a mismatch is rejected), the
+/// cumulative applied-**step** and candidate-**evaluation** counters,
+/// and — when the stop fired mid-scan — the interrupted stability
+/// check's solver [`Frontier`], so no certified work is repeated on
+/// resume.
+///
+/// Serialization is a flat JSON object (`to_json`/`FromStr`):
+/// `{"v":1,"instance":…,"steps":…,"evals":…,"scan":{…}}` where `scan`
+/// (optional, always last) is the embedded [`Frontier`] token. Tokens
+/// cross process boundaries like the solver's; a layout-version
+/// mismatch is rejected on parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DynamicsCheckpoint {
+    instance: u64,
+    steps: usize,
+    evals: u64,
+    scan: Option<Frontier>,
+}
+
+impl DynamicsCheckpoint {
+    /// Cumulative applied moves across the whole trajectory chain.
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Cumulative candidate evaluations across the whole chain.
+    #[must_use]
+    pub fn evals(&self) -> u64 {
+        self.evals
+    }
+
+    /// The interrupted check's scan frontier, if the stop fired
+    /// mid-scan (absent when the run deadline passed between steps).
+    #[must_use]
+    pub fn scan(&self) -> Option<&Frontier> {
+        self.scan.as_ref()
+    }
+
+    /// Serializes the checkpoint as a flat JSON object. The embedded
+    /// scan token is emitted **last** so the checkpoint's own fields win
+    /// the first-occurrence field extraction on parse (the two tokens
+    /// share key names like `instance` and `evals`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let scan = match &self.scan {
+            Some(f) => format!(",\"scan\":{}", f.to_json()),
+            None => String::new(),
+        };
+        format!(
+            "{{\"v\":{CHECKPOINT_LAYOUT},\"instance\":{},\"steps\":{},\
+             \"evals\":{}{scan}}}",
+            self.instance, self.steps, self.evals
+        )
+    }
+}
+
+impl fmt::Display for DynamicsCheckpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+impl FromStr for DynamicsCheckpoint {
+    type Err = GameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        // The scan object shares field names with the checkpoint, so
+        // strip it off before extracting the checkpoint's own fields.
+        let scan = match jsonio::object_field(s, "scan") {
+            Some(obj) => Some(obj.parse::<Frontier>()?),
+            None => None,
+        };
+        let head = match s.find("\"scan\"") {
+            Some(at) => &s[..at],
+            None => s,
+        };
+        let field = |key: &str| {
+            jsonio::u64_field(head, key).ok_or_else(|| GameError::Unsupported {
+                reason: format!("malformed dynamics checkpoint: missing or invalid {key:?}"),
+            })
+        };
+        let layout = field("v")?;
+        if layout != CHECKPOINT_LAYOUT {
+            return Err(GameError::Unsupported {
+                reason: format!(
+                    "dynamics checkpoint has layout version {layout}, this \
+                     build speaks version {CHECKPOINT_LAYOUT} — restart the \
+                     run instead of resuming"
+                ),
+            });
+        }
+        Ok(DynamicsCheckpoint {
+            instance: field("instance")?,
+            steps: field("steps")? as usize,
+            evals: field("evals")?,
+            scan,
+        })
+    }
+}
+
 /// A recorded dynamics run.
 #[derive(Debug, Clone)]
 pub struct Trajectory {
-    /// The applied moves, in order.
+    /// The moves applied **by this run call**, in order (an
+    /// uninterrupted run's `steps` is the full trajectory; in a resume
+    /// chain each slice reports its own segment and the checkpoint
+    /// carries the cumulative count).
     pub steps: Vec<Move>,
     /// Whether the run reached a stable state (vs. hitting the step cap).
     pub converged: bool,
     /// Whether a stability check exhausted its [`ExecPolicy`] (budget,
     /// deadline, or cancellation) before the run could converge — only
-    /// reachable through [`run_with_policy`]. Mutually exclusive with
-    /// `converged`.
+    /// reachable through [`run_with_policy`]/[`resume_with_policy`].
+    /// Mutually exclusive with `converged`.
     pub exhausted: bool,
+    /// The resume token — present exactly when `exhausted` is set. Pass
+    /// it with `final_graph` to [`resume_with_policy`] to continue the
+    /// trajectory.
+    pub checkpoint: Option<DynamicsCheckpoint>,
+    /// Candidate evaluations metered by the per-step stability checks
+    /// across the whole trajectory chain so far (0 on the non-policy
+    /// path and for polynomial concepts, whose checks are unmetered).
+    pub evals: u64,
     /// The final graph.
     pub final_graph: Graph,
-    /// Social cost after every step (including the initial state), as
-    /// `f64` for reporting; `None` entries mark disconnected states.
+    /// Social cost after every step of **this run call** (including its
+    /// starting state), as `f64` for reporting; `None` entries mark
+    /// disconnected states.
     pub cost_trace: Vec<Option<f64>>,
 }
 
@@ -116,7 +266,7 @@ pub fn run_with_rng<R: Rng + ?Sized>(
     max_steps: usize,
     rng: &mut R,
 ) -> Result<Trajectory, GameError> {
-    run_impl(start, alpha, concept, rule, max_steps, rng, None)
+    run_impl(start, alpha, concept, rule, max_steps, rng, None, None)
 }
 
 /// [`run`] under an explicit [`ExecPolicy`]: every per-step
@@ -128,8 +278,11 @@ pub fn run_with_rng<R: Rng + ?Sized>(
 /// run** (each step's check receives the remaining slice, matching
 /// [`round_robin::run_with_policy`]); the eval budget applies per step.
 /// A step stopped by the policy ends the run with `exhausted = true`
-/// instead of erroring — the anytime contract of the solver surface,
-/// lifted to dynamics.
+/// and a [`DynamicsCheckpoint`] carrying the interrupted check's scan
+/// frontier — the anytime contract of the solver surface, lifted to
+/// dynamics. Continue with [`resume_with_policy`]; a chain of budgeted
+/// slices replays the identical trajectory an uninterrupted run
+/// produces.
 /// Polynomial-concept steps complete eagerly (the solver does not meter
 /// them), so those runs are bounded by `max_steps`, not the policy.
 ///
@@ -155,9 +308,55 @@ pub fn run_with_policy(
         max_steps,
         &mut rng,
         Some(policy),
+        None,
     )
 }
 
+/// Continues an interrupted trajectory: `start` must be the interrupted
+/// run's `final_graph` (the checkpoint's instance fingerprint is
+/// validated against it) and `max_steps` the same cap — the
+/// checkpoint's step counter keeps counting against it. The policy's
+/// budget and deadline are granted afresh to this slice, and the
+/// checkpoint's scan frontier (if any) resumes the interrupted
+/// stability check exactly where it stopped, so no certified work is
+/// repeated.
+///
+/// # Errors
+///
+/// [`GameError::Unsupported`] when the checkpoint does not match
+/// `(start, alpha, concept)` or its cursor is out of range for this
+/// run; otherwise as [`run_with_policy`].
+pub fn resume_with_policy(
+    start: &Graph,
+    alpha: Alpha,
+    concept: Concept,
+    rule: SelectionRule,
+    max_steps: usize,
+    policy: &ExecPolicy,
+    checkpoint: &DynamicsCheckpoint,
+) -> Result<Trajectory, GameError> {
+    let mut rng = bncg_graph::test_rng(0x5eed);
+    run_impl(
+        start,
+        alpha,
+        concept,
+        rule,
+        max_steps,
+        &mut rng,
+        Some(policy),
+        Some(checkpoint),
+    )
+}
+
+/// One per-step check outcome on the policy path: either the
+/// deterministic next move (or `None` at an equilibrium), or a policy
+/// stop with the scan frontier to checkpoint.
+enum Step {
+    Next(Option<Move>),
+    Stopped(Option<Frontier>),
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_impl<R: Rng + ?Sized>(
     start: &Graph,
     alpha: Alpha,
@@ -166,6 +365,7 @@ fn run_impl<R: Rng + ?Sized>(
     max_steps: usize,
     rng: &mut R,
     policy: Option<&ExecPolicy>,
+    from: Option<&DynamicsCheckpoint>,
 ) -> Result<Trajectory, GameError> {
     // The policy deadline bounds the *run*, not each step: it is
     // anchored once here and each per-step check receives only the
@@ -174,50 +374,126 @@ fn run_impl<R: Rng + ?Sized>(
     let run_deadline = policy
         .and_then(|p| p.deadline)
         .map(|d| std::time::Instant::now() + d);
+    let mut state = GameState::new(start.clone(), alpha);
+
+    // Chain state: either fresh or rehydrated from the checkpoint.
+    let (steps_prior, evals_prior, mut pending) = match from {
+        Some(c) => {
+            if c.instance != state.fingerprint() {
+                return Err(GameError::Unsupported {
+                    reason: "dynamics checkpoint was issued for a different \
+                             state (pass the interrupted run's final_graph and \
+                             the same α)"
+                        .into(),
+                });
+            }
+            if c.steps > max_steps {
+                return Err(GameError::Unsupported {
+                    reason: format!(
+                        "dynamics checkpoint counts {} applied steps, past this \
+                         run's max_steps = {max_steps} — the token was forged \
+                         or the cap shrank",
+                        c.steps
+                    ),
+                });
+            }
+            // A frontier for the wrong concept would also be rejected by
+            // the solver's own resume validation, but failing here keeps
+            // the error message at the dynamics level.
+            if c.scan.as_ref().is_some_and(|f| f.concept() != concept) {
+                return Err(GameError::Unsupported {
+                    reason: "dynamics checkpoint's scan frontier belongs to a \
+                             different concept than this run's"
+                        .into(),
+                });
+            }
+            (c.steps, c.evals, c.scan)
+        }
+        None => (0, 0, None),
+    };
+
+    let mut slice_evals = 0u64;
+    // Minimum-progress guarantee (mirroring round_robin's): the
+    // deadline-passed early return is suppressed until this slice has
+    // attempted one check, so even an all-zero-deadline resume chain
+    // advances the frontier by at least one scan quantum per slice and
+    // terminates.
+    let mut attempted = false;
     // Resolves the next deterministic first-violation move: through the
     // solver when a policy is given (anytime semantics), through the
-    // guarded legacy entry point otherwise.
-    let next_first = |state: &GameState| -> Result<Result<Option<Move>, ()>, GameError> {
+    // guarded legacy entry point otherwise. `resume` carries the
+    // interrupted scan frontier on the first check of a resumed slice.
+    let mut next_first = |state: &GameState,
+                          resume: Option<Frontier>,
+                          slice_evals: &mut u64|
+     -> Result<Step, GameError> {
         match policy {
             Some(p) => {
                 let mut step_policy = p.clone();
                 if let Some(at) = run_deadline {
-                    match at.checked_duration_since(std::time::Instant::now()) {
-                        // Run deadline already passed: exhausted.
-                        None => return Ok(Err(())),
-                        Some(remaining) => step_policy.deadline = Some(remaining),
+                    let remaining = at.saturating_duration_since(std::time::Instant::now());
+                    if attempted && remaining.is_zero() {
+                        // Run deadline already passed between steps: stop
+                        // without starting a scan, keeping any pending
+                        // frontier for the checkpoint.
+                        return Ok(Step::Stopped(resume));
+                    }
+                    step_policy.deadline = Some(remaining);
+                }
+                attempted = true;
+                // Verdict eval counts are cumulative across a resumed
+                // query chain; delta-track against the frontier's prior.
+                let scan_prior = resume.as_ref().map_or(0, Frontier::evals);
+                let mut query = StabilityQuery::on(concept, state);
+                if let Some(f) = resume {
+                    query = query.resume(f);
+                }
+                match Solver::new(step_policy).check(&query)? {
+                    Verdict::Stable { evals, .. } => {
+                        *slice_evals += evals - scan_prior;
+                        Ok(Step::Next(None))
+                    }
+                    Verdict::Unstable { witness, evals, .. } => {
+                        *slice_evals += evals - scan_prior;
+                        Ok(Step::Next(Some(witness)))
+                    }
+                    Verdict::Exhausted { frontier, progress } => {
+                        *slice_evals += progress.evals_total - scan_prior;
+                        Ok(Step::Stopped(Some(frontier)))
                     }
                 }
-                match Solver::new(step_policy).check(&StabilityQuery::on(concept, state))? {
-                    Verdict::Stable { .. } => Ok(Ok(None)),
-                    Verdict::Unstable { witness, .. } => Ok(Ok(Some(witness))),
-                    Verdict::Exhausted { .. } => Ok(Err(())),
-                }
             }
-            None => Ok(Ok(concept.find_violation_in(state)?)),
+            None => Ok(Step::Next(concept.find_violation_in(state)?)),
         }
     };
-    let mut state = GameState::new(start.clone(), alpha);
     let mut steps = Vec::new();
     let mut cost_trace = vec![state.social_cost().ok().map(|c| c.as_f64())];
     let mut converged = false;
-    let mut exhausted = false;
+    let mut checkpoint: Option<DynamicsCheckpoint> = None;
     // For exponential concepts every rule reduces to the checker's
     // single deterministic violation (enumerate_violations_in falls back
     // to it), so the solver-routed path covers Random/MostImproving too
     // — without it they would hit the legacy guard the policy is meant
-    // to replace.
+    // to replace. (This also means every checkpointable check is
+    // deterministic, which is what makes resumed chains replay the
+    // identical trajectory.)
     let effective_rule = if concept.is_exponential() {
         SelectionRule::First
     } else {
         rule
     };
-    for _ in 0..max_steps {
+    let mut steps_done = steps_prior;
+    while steps_done < max_steps {
         let next = match effective_rule {
-            SelectionRule::First => match next_first(&state)? {
-                Ok(next) => next,
-                Err(()) => {
-                    exhausted = true;
+            SelectionRule::First => match next_first(&state, pending.take(), &mut slice_evals)? {
+                Step::Next(next) => next,
+                Step::Stopped(scan) => {
+                    checkpoint = Some(DynamicsCheckpoint {
+                        instance: state.fingerprint(),
+                        steps: steps_done,
+                        evals: evals_prior + slice_evals,
+                        scan,
+                    });
                     break;
                 }
             },
@@ -233,18 +509,30 @@ fn run_impl<R: Rng + ?Sized>(
         state.apply_move(&mv)?;
         cost_trace.push(state.social_cost().ok().map(|c| c.as_f64()));
         steps.push(mv);
+        steps_done += 1;
     }
-    if !converged && !exhausted {
-        match next_first(&state)? {
-            Ok(None) => converged = true,
-            Ok(Some(_)) => {}
-            Err(()) => exhausted = true,
+    if !converged && checkpoint.is_none() {
+        // The step cap fired: certify (or refute) stability of the final
+        // state so `converged` reflects it.
+        match next_first(&state, pending.take(), &mut slice_evals)? {
+            Step::Next(None) => converged = true,
+            Step::Next(Some(_)) => {}
+            Step::Stopped(scan) => {
+                checkpoint = Some(DynamicsCheckpoint {
+                    instance: state.fingerprint(),
+                    steps: steps_done,
+                    evals: evals_prior + slice_evals,
+                    scan,
+                });
+            }
         }
     }
     Ok(Trajectory {
         steps,
         converged,
-        exhausted,
+        exhausted: checkpoint.is_some(),
+        checkpoint,
+        evals: evals_prior + slice_evals,
         final_graph: state.graph().clone(),
         cost_trace,
     })
@@ -530,6 +818,128 @@ mod tests {
         assert!(t.exhausted);
         assert!(!t.converged);
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn exhausted_runs_carry_a_checkpoint_and_resume_identically() {
+        // The PR 4 leftover, closed: an exhausted policy run no longer
+        // discards the interrupted scan's frontier — it checkpoints, and
+        // a chain of budgeted slices replays the exact trajectory the
+        // uninterrupted run produces.
+        let start = generators::path(9);
+        let alpha = a("2");
+        let full = run_with_policy(
+            &start,
+            alpha,
+            Concept::Bne,
+            SelectionRule::First,
+            2_000,
+            &ExecPolicy::default(),
+        )
+        .unwrap();
+        assert!(full.converged);
+        assert!(full.evals > 0, "exponential checks are metered");
+
+        let tight = ExecPolicy::default().with_eval_budget(40);
+        let mut t = run_with_policy(
+            &start,
+            alpha,
+            Concept::Bne,
+            SelectionRule::First,
+            2_000,
+            &tight,
+        )
+        .unwrap();
+        let mut all_steps = t.steps.clone();
+        let mut slices = 1u32;
+        while let Some(ckpt) = t.checkpoint.take() {
+            // Round-trip the token through JSON every slice.
+            let parsed: DynamicsCheckpoint = ckpt.to_json().parse().unwrap();
+            assert_eq!(parsed, ckpt);
+            t = resume_with_policy(
+                &t.final_graph,
+                alpha,
+                Concept::Bne,
+                SelectionRule::First,
+                2_000,
+                &tight,
+                &parsed,
+            )
+            .unwrap();
+            all_steps.extend(t.steps.iter().cloned());
+            slices += 1;
+            assert!(slices < 100_000, "resume chain failed to terminate");
+        }
+        assert!(slices > 1, "a 40-eval budget must interrupt the P9 run");
+        assert!(t.converged && !t.exhausted);
+        assert_eq!(all_steps, full.steps);
+        assert_eq!(t.final_graph.fingerprint(), full.final_graph.fingerprint());
+        assert_eq!(t.evals, full.evals, "chains meter identical total work");
+    }
+
+    #[test]
+    fn zero_deadline_resume_chain_still_terminates() {
+        // Minimum-progress guarantee: each slice attempts one check
+        // before honoring the already-passed deadline, and that scan
+        // stops at its first poll with an advanced frontier.
+        let policy = ExecPolicy::default().with_deadline(std::time::Duration::ZERO);
+        let alpha = a("2");
+        let mut t = run_with_policy(
+            &generators::star(12),
+            alpha,
+            Concept::Bne,
+            SelectionRule::First,
+            100,
+            &policy,
+        )
+        .unwrap();
+        let mut slices = 1u32;
+        while let Some(ckpt) = t.checkpoint.take() {
+            t = resume_with_policy(
+                &t.final_graph,
+                alpha,
+                Concept::Bne,
+                SelectionRule::First,
+                100,
+                &policy,
+                &ckpt,
+            )
+            .unwrap();
+            slices += 1;
+            assert!(slices < 100_000, "zero-deadline chain must advance");
+        }
+        assert!(t.converged, "the star is a BNE at α = 2");
+    }
+
+    #[test]
+    fn mismatched_dynamics_checkpoints_are_rejected() {
+        let tight = ExecPolicy::default().with_eval_budget(5);
+        let t = run_with_policy(
+            &generators::path(9),
+            a("2"),
+            Concept::Bne,
+            SelectionRule::First,
+            2_000,
+            &tight,
+        )
+        .unwrap();
+        let ckpt = t.checkpoint.expect("a 5-eval budget exhausts");
+        // Wrong graph, wrong α, wrong concept: all rejected.
+        for (g, alpha, concept, cap) in [
+            (generators::star(9), a("2"), Concept::Bne, 2_000usize),
+            (generators::path(9), a("3"), Concept::Bne, 2_000),
+            (generators::path(9), a("2"), Concept::Bse, 2_000),
+        ] {
+            assert!(matches!(
+                resume_with_policy(&g, alpha, concept, SelectionRule::First, cap, &tight, &ckpt),
+                Err(GameError::Unsupported { .. })
+            ));
+        }
+        // Malformed and version-bumped tokens fail to parse.
+        assert!("{\"v\":1}".parse::<DynamicsCheckpoint>().is_err());
+        assert!("{\"v\":9,\"instance\":1,\"steps\":0,\"evals\":0}"
+            .parse::<DynamicsCheckpoint>()
+            .is_err());
     }
 
     #[test]

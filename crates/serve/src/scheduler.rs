@@ -1,0 +1,760 @@
+//! The time-slicing scheduler: a fixed worker pool interleaving
+//! thousands of resident queries through bounded evaluation slices.
+//!
+//! Every query runs as a sequence of **slices** — each slice is one
+//! budgeted call into the solver surface ([`Solver::check_sliced`],
+//! [`best_response_with_policy`], the dynamics runners) capped at the
+//! scheduler's per-slice evaluation quantum. A slice that completes its
+//! query responds; a slice stopped by the quantum requeues the job at
+//! the back of the run queue with the serialized frontier it produced,
+//! so the queue round-robins over whatever is resident and no query can
+//! monopolize a worker. Between slices nothing is held but the job
+//! struct itself: the solver's resume contract guarantees a sliced
+//! chain reaches the **identical** verdict, witness, and cumulative
+//! evaluation count an uninterrupted run produces.
+//!
+//! Fairness across *tenants* is budget-driven rather than queue-driven:
+//! before and after every slice the job's [`Tenant`] pool is consulted,
+//! and a drained (or expired) pool sheds the job with zero further work
+//! — carrying the resume token, so the shed work is suspended, not
+//! lost. An operator `grant` plus a resubmission with the token
+//! continues exactly where the shed happened.
+//!
+//! [`Solver::check_sliced`]: bncg_core::Solver::check_sliced
+//! [`best_response_with_policy`]: bncg_core::best_response_with_policy
+
+use crate::protocol::{error_response, render_edges, render_move, sanitize};
+use crate::tenant::{Tenant, TenantRegistry, TenantStats};
+use bncg_core::solver::{ExecPolicy, Solver, StabilityQuery, Verdict};
+use bncg_core::{
+    best_response_resume, best_response_with_policy, Alpha, BestResponseFrontier,
+    BestResponseVerdict, Concept, Frontier, GameState,
+};
+use bncg_dynamics::round_robin::{self, Checkpoint};
+use bncg_dynamics::{self as dynamics, DynamicsCheckpoint, SelectionRule};
+use bncg_graph::Graph;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Scheduler tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Worker threads draining the run queue. Each worker runs its
+    /// slices single-threaded — parallelism comes from concurrent
+    /// queries, not from sharding one query's scan.
+    pub workers: usize,
+    /// Candidate evaluations per slice. Smaller slices interleave more
+    /// fairly; larger slices amortize the per-slice state rebuild.
+    pub slice: u64,
+    /// Evaluations granted to tenants that first appear in a query
+    /// rather than in an explicit `grant`. The default is effectively
+    /// unmetered; multi-tenant operators set this low and fund tenants
+    /// explicitly.
+    pub default_grant: u64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            workers: 2,
+            slice: 2048,
+            default_grant: u64::MAX,
+        }
+    }
+}
+
+/// The game-theoretic payload of a query, decoupled from the wire
+/// protocol so embedders (tests, benchmarks) can submit work directly.
+#[derive(Debug, Clone)]
+pub enum Work {
+    /// A stability check (`op:"check"`).
+    Check {
+        /// The queried solution concept.
+        concept: Concept,
+        /// The instance graph.
+        graph: Graph,
+        /// Edge price α.
+        alpha: Alpha,
+    },
+    /// A best-response scan (`op:"best_response"`).
+    BestResponse {
+        /// The optimizing agent.
+        agent: u32,
+        /// The instance graph.
+        graph: Graph,
+        /// Edge price α.
+        alpha: Alpha,
+    },
+    /// Round-robin best-response dynamics (`op:"trajectory"`).
+    Trajectory {
+        /// The current graph (advances across requeued slices).
+        graph: Graph,
+        /// Edge price α.
+        alpha: Alpha,
+        /// Round cap.
+        rounds: usize,
+    },
+    /// Improving-move dynamics under a concept (`op:"dynamics"`).
+    Dynamics {
+        /// The concept whose violations drive the dynamics.
+        concept: Concept,
+        /// The current graph (advances across requeued slices).
+        graph: Graph,
+        /// Edge price α.
+        alpha: Alpha,
+        /// Step cap.
+        steps: usize,
+    },
+}
+
+impl Work {
+    /// The graph a shed response reports as `final_edges` — only the
+    /// dynamics ops, whose graph advances with the trajectory (a check's
+    /// graph is the client's own input, not worth echoing).
+    fn evolving_graph(&self) -> Option<&Graph> {
+        match self {
+            Work::Trajectory { graph, .. } | Work::Dynamics { graph, .. } => Some(graph),
+            Work::Check { .. } | Work::BestResponse { .. } => None,
+        }
+    }
+}
+
+/// One query as submitted: payload plus scheduling metadata.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Client correlation id, echoed in the response.
+    pub id: u64,
+    /// Tenant whose pool meters the work.
+    pub tenant: String,
+    /// The payload.
+    pub work: Work,
+    /// A resume token from an earlier shed response, verbatim.
+    pub resume: Option<String>,
+    /// Wall-clock allowance from submission, in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+/// A resident query: spec plus the scheduler's bookkeeping. The
+/// `respond` callback fires exactly once, with the final response line.
+struct Job {
+    id: u64,
+    tenant: Arc<Tenant>,
+    work: Work,
+    resume: Option<String>,
+    slices: u64,
+    deadline: Option<Instant>,
+    respond: Box<dyn FnOnce(String) + Send>,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    stop: AtomicBool,
+    slice: u64,
+    in_flight: AtomicU64,
+    tenants: TenantRegistry,
+}
+
+/// The worker pool plus run queue. See the module docs for the
+/// scheduling model.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    /// Starts the worker pool.
+    #[must_use]
+    pub fn start(cfg: SchedulerConfig) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            stop: AtomicBool::new(false),
+            slice: cfg.slice.max(1),
+            in_flight: AtomicU64::new(0),
+            tenants: TenantRegistry::new(cfg.default_grant),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Scheduler {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Enqueues a query; `respond` fires exactly once with the response
+    /// line (immediately, when the scheduler is already stopping).
+    pub fn submit(&self, spec: QuerySpec, respond: Box<dyn FnOnce(String) + Send>) {
+        if self.shared.stop.load(Ordering::Acquire) {
+            respond(error_response(
+                spec.id,
+                "shutdown",
+                "daemon is shutting down",
+                spec.resume.as_deref(),
+                None,
+            ));
+            return;
+        }
+        let job = Job {
+            id: spec.id,
+            tenant: self.shared.tenants.get_or_create(&spec.tenant),
+            work: spec.work,
+            resume: spec.resume,
+            slices: 0,
+            deadline: spec
+                .deadline_ms
+                .map(|ms| Instant::now() + Duration::from_millis(ms)),
+            respond,
+        };
+        self.shared
+            .queue
+            .lock()
+            .expect("no poisoning")
+            .push_back(job);
+        self.shared.available.notify_one();
+    }
+
+    /// [`submit`](Scheduler::submit) and block for the response line —
+    /// the convenience path for tests and benchmarks.
+    pub fn submit_blocking(&self, spec: QuerySpec) -> String {
+        let (tx, rx) = mpsc::channel();
+        self.submit(
+            spec,
+            Box::new(move |line| {
+                let _ = tx.send(line);
+            }),
+        );
+        rx.recv().expect("scheduler dropped the response")
+    }
+
+    /// Funds a tenant (see [`TenantRegistry::grant`]). Returns its new
+    /// total grant.
+    pub fn grant(&self, tenant: &str, evals: u64) -> u64 {
+        self.shared.tenants.grant(tenant, evals)
+    }
+
+    /// Queries resident right now: queued plus mid-slice.
+    #[must_use]
+    pub fn resident(&self) -> u64 {
+        let queued = self.shared.queue.lock().expect("no poisoning").len() as u64;
+        queued + self.shared.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Per-tenant accounting rows.
+    #[must_use]
+    pub fn tenants(&self) -> Vec<TenantStats> {
+        self.shared.tenants.snapshot()
+    }
+
+    /// Stops the pool: queued jobs still get slices, but unfinished work
+    /// is shed with its resume token instead of requeued, so the drain
+    /// is bounded by one slice per resident query. Idempotent; blocks
+    /// until every worker has exited.
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .expect("no poisoning")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("no poisoning");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.stop.load(Ordering::Acquire) {
+                    break None;
+                }
+                queue = shared.available.wait(queue).expect("no poisoning");
+            }
+        };
+        let Some(mut job) = job else { return };
+        shared.in_flight.fetch_add(1, Ordering::Relaxed);
+        job.slices += 1;
+        let requeue = match drive(shared, &mut job) {
+            SliceOutcome::Done(line) => {
+                (job.respond)(line);
+                None
+            }
+            SliceOutcome::Requeue => Some(job),
+        };
+        if let Some(job) = requeue {
+            shared.queue.lock().expect("no poisoning").push_back(job);
+            shared.available.notify_one();
+        }
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// What one slice left behind: a response line (the query is over) or a
+/// requeue order (the job's `resume` token has been advanced in place).
+enum SliceOutcome {
+    Done(String),
+    Requeue,
+}
+
+/// The uniform suspension response: `error` is `shed`/`deadline`/
+/// `shutdown`, the job's current resume token rides along, and the
+/// dynamics ops echo their advanced graph so the client can resume
+/// against it. Rendered fresh at each call site — after a slice the
+/// trajectory graph has moved.
+fn suspend(job: &Job, error: &str, reason: &str) -> SliceOutcome {
+    let final_edges = job.work.evolving_graph().map(render_edges);
+    SliceOutcome::Done(error_response(
+        job.id,
+        error,
+        reason,
+        job.resume.as_deref(),
+        final_edges.as_deref(),
+    ))
+}
+
+/// Admission control around one slice of work.
+fn drive(shared: &Shared, job: &mut Job) -> SliceOutcome {
+    if job.deadline.is_some_and(|d| Instant::now() >= d) {
+        return suspend(job, "deadline", "query deadline passed");
+    }
+    if !job.tenant.pool().admits() {
+        return suspend(job, "shed", "tenant budget pool is drained");
+    }
+    let left = job
+        .deadline
+        .map(|d| d.saturating_duration_since(Instant::now()));
+    let mut policy = ExecPolicy::default().with_threads(1);
+    policy.deadline = left;
+    match step(job, &policy, shared.slice) {
+        Ok(Stepped::Finished(line)) => SliceOutcome::Done(line),
+        Ok(Stepped::Suspended(token)) => {
+            job.resume = Some(token);
+            if shared.stop.load(Ordering::Acquire) {
+                return suspend(job, "shutdown", "daemon is shutting down");
+            }
+            if job.deadline.is_some_and(|d| Instant::now() >= d) {
+                return suspend(job, "deadline", "query deadline passed");
+            }
+            if !job.tenant.pool().admits() {
+                return suspend(job, "shed", "tenant budget pool is drained");
+            }
+            SliceOutcome::Requeue
+        }
+        Err(reason) => {
+            let error = if job.resume.is_some() {
+                "bad_resume"
+            } else {
+                "bad_request"
+            };
+            SliceOutcome::Done(error_response(
+                job.id,
+                error,
+                &sanitize(&reason),
+                None,
+                None,
+            ))
+        }
+    }
+}
+
+/// A slice's work result before scheduling policy is applied.
+enum Stepped {
+    /// The query completed — here is the `ok:1` response line.
+    Finished(String),
+    /// The slice quantum stopped the work — here is the fresh resume
+    /// token (the dynamics arms have also advanced their job's graph).
+    Suspended(String),
+}
+
+/// One budgeted slice of actual work. `Err` carries a human-readable
+/// reason for `bad_request`/`bad_resume` responses.
+fn step(job: &mut Job, policy: &ExecPolicy, slice: u64) -> Result<Stepped, String> {
+    let id = job.id;
+    let slices = job.slices;
+    let tenant = Arc::clone(&job.tenant);
+    let pool = tenant.pool();
+    let resume = job.resume.clone();
+    match &mut job.work {
+        Work::Check {
+            concept,
+            graph,
+            alpha,
+        } => {
+            let mut query = StabilityQuery::new(*concept, graph, *alpha);
+            if let Some(token) = &resume {
+                let frontier: Frontier = token.parse().map_err(|e| format!("{e}"))?;
+                query = query.resume(frontier);
+            }
+            let verdict = Solver::new(policy.clone())
+                .check_sliced(&query, pool, slice)
+                .map_err(|e| format!("{e}"))?;
+            match verdict {
+                Verdict::Stable { evals, .. } => {
+                    if evals == 0 {
+                        // Polynomial concepts complete unmetered; bill a
+                        // flat rate so drained tenants cannot freeride.
+                        pool.charge(1);
+                    }
+                    Ok(Stepped::Finished(format!(
+                        "{{\"id\":{id},\"ok\":1,\"op\":\"check\",\"verdict\":\"stable\",\
+                         \"evals\":{evals},\"slices\":{slices}}}"
+                    )))
+                }
+                Verdict::Unstable { witness, evals, .. } => {
+                    if evals == 0 {
+                        pool.charge(1);
+                    }
+                    Ok(Stepped::Finished(format!(
+                        "{{\"id\":{id},\"ok\":1,\"op\":\"check\",\"verdict\":\"unstable\",\
+                         \"witness\":{},\"evals\":{evals},\"slices\":{slices}}}",
+                        render_move(&witness)
+                    )))
+                }
+                Verdict::Exhausted { frontier, .. } => Ok(Stepped::Suspended(frontier.to_json())),
+            }
+        }
+        Work::BestResponse {
+            agent,
+            graph,
+            alpha,
+        } => {
+            let mut budgeted = policy.clone();
+            budgeted.eval_budget = Some(slice.min(pool.remaining().max(1)));
+            let state = GameState::new(graph.clone(), *alpha);
+            let (verdict, prior) = match &resume {
+                Some(token) => {
+                    let frontier: BestResponseFrontier =
+                        token.parse().map_err(|e| format!("{e}"))?;
+                    let prior = frontier.evals();
+                    (
+                        best_response_resume(&state, &budgeted, &frontier)
+                            .map_err(|e| format!("{e}"))?,
+                        prior,
+                    )
+                }
+                None => (
+                    best_response_with_policy(&state, *agent, &budgeted)
+                        .map_err(|e| format!("{e}"))?,
+                    0,
+                ),
+            };
+            // No batch-pool plumbing on the optimization surface — bill
+            // the slice's cumulative-eval delta by hand (min 1, so even
+            // no-op slices drain a finite pool and the shed fires).
+            pool.charge(verdict.evals().saturating_sub(prior).max(1));
+            match verdict {
+                BestResponseVerdict::Optimal {
+                    response, evals, ..
+                } => {
+                    let mv = match &response.best {
+                        Some(mv) => format!(",\"move\":{}", render_move(mv)),
+                        None => String::new(),
+                    };
+                    Ok(Stepped::Finished(format!(
+                        "{{\"id\":{id},\"ok\":1,\"op\":\"best_response\",\"improving\":{}{mv},\
+                         \"evals\":{evals},\"slices\":{slices}}}",
+                        u8::from(response.best.is_some())
+                    )))
+                }
+                BestResponseVerdict::ImprovedSoFar { frontier, .. }
+                | BestResponseVerdict::Exhausted { frontier, .. } => {
+                    Ok(Stepped::Suspended(frontier.to_json()))
+                }
+            }
+        }
+        Work::Trajectory {
+            graph,
+            alpha,
+            rounds,
+        } => {
+            let mut budgeted = policy.clone();
+            budgeted.eval_budget = Some(slice.min(pool.remaining().max(1)));
+            let (out, prior) = match &resume {
+                Some(token) => {
+                    let ckpt: Checkpoint = token.parse().map_err(|e| format!("{e}"))?;
+                    let prior = ckpt.evals();
+                    (
+                        round_robin::resume(graph, *alpha, *rounds, &budgeted, &ckpt)
+                            .map_err(|e| format!("{e}"))?,
+                        prior,
+                    )
+                }
+                None => (
+                    round_robin::run_with_policy(graph, *alpha, *rounds, &budgeted)
+                        .map_err(|e| format!("{e}"))?,
+                    0,
+                ),
+            };
+            pool.charge(out.evals.saturating_sub(prior).max(1));
+            *graph = out.final_graph.clone();
+            match out.checkpoint {
+                Some(ckpt) => Ok(Stepped::Suspended(ckpt.to_json())),
+                None => Ok(Stepped::Finished(format!(
+                    "{{\"id\":{id},\"ok\":1,\"op\":\"trajectory\",\"converged\":{},\
+                     \"cycled\":{},\"rounds\":{},\"moves\":{},\"evals\":{},\
+                     \"slices\":{slices},\"final_edges\":{}}}",
+                    u8::from(out.converged),
+                    u8::from(out.cycled),
+                    out.rounds,
+                    out.moves,
+                    out.evals,
+                    render_edges(&out.final_graph)
+                ))),
+            }
+        }
+        Work::Dynamics {
+            concept,
+            graph,
+            alpha,
+            steps,
+        } => {
+            let mut budgeted = policy.clone();
+            budgeted.eval_budget = Some(slice.min(pool.remaining().max(1)));
+            let (traj, prior_evals, prior_steps) = match &resume {
+                Some(token) => {
+                    let ckpt: DynamicsCheckpoint = token.parse().map_err(|e| format!("{e}"))?;
+                    let (pe, ps) = (ckpt.evals(), ckpt.steps());
+                    (
+                        dynamics::resume_with_policy(
+                            graph,
+                            *alpha,
+                            *concept,
+                            SelectionRule::First,
+                            *steps,
+                            &budgeted,
+                            &ckpt,
+                        )
+                        .map_err(|e| format!("{e}"))?,
+                        pe,
+                        ps,
+                    )
+                }
+                None => (
+                    dynamics::run_with_policy(
+                        graph,
+                        *alpha,
+                        *concept,
+                        SelectionRule::First,
+                        *steps,
+                        &budgeted,
+                    )
+                    .map_err(|e| format!("{e}"))?,
+                    0,
+                    0,
+                ),
+            };
+            pool.charge(traj.evals.saturating_sub(prior_evals).max(1));
+            let steps_total = prior_steps + traj.len();
+            *graph = traj.final_graph.clone();
+            match traj.checkpoint {
+                Some(ckpt) => Ok(Stepped::Suspended(ckpt.to_json())),
+                None => Ok(Stepped::Finished(format!(
+                    "{{\"id\":{id},\"ok\":1,\"op\":\"dynamics\",\"converged\":{},\
+                     \"steps\":{steps_total},\"evals\":{},\"slices\":{slices},\
+                     \"final_edges\":{}}}",
+                    u8::from(traj.converged),
+                    traj.evals,
+                    render_edges(&traj.final_graph)
+                ))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_core::jsonio;
+    use bncg_graph::generators;
+
+    fn spec(id: u64, tenant: &str, work: Work) -> QuerySpec {
+        QuerySpec {
+            id,
+            tenant: tenant.into(),
+            work,
+            resume: None,
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn sliced_check_matches_direct_solver_run() {
+        let sched = Scheduler::start(SchedulerConfig {
+            workers: 1,
+            slice: 64,
+            default_grant: u64::MAX,
+        });
+        // C40 at α = 370 is BNE-stable with ~120 genuinely priced
+        // candidates (see tests/solver.rs) — enough to straddle slices.
+        let g = generators::cycle(40);
+        let alpha = Alpha::integer(370).unwrap();
+        let line = sched.submit_blocking(spec(
+            9,
+            "t",
+            Work::Check {
+                concept: Concept::Bne,
+                graph: g.clone(),
+                alpha,
+            },
+        ));
+        let direct = Solver::default()
+            .check(&StabilityQuery::new(Concept::Bne, &g, alpha))
+            .unwrap();
+        assert_eq!(jsonio::u64_field(&line, "ok"), Some(1), "{line}");
+        let verdict = jsonio::str_field(&line, "verdict").unwrap();
+        match direct {
+            Verdict::Stable { evals, .. } => {
+                assert_eq!(verdict, "stable");
+                assert_eq!(jsonio::u64_field(&line, "evals"), Some(evals));
+            }
+            Verdict::Unstable { evals, .. } => {
+                assert_eq!(verdict, "unstable");
+                assert_eq!(jsonio::u64_field(&line, "evals"), Some(evals));
+            }
+            Verdict::Exhausted { .. } => panic!("unbudgeted run cannot exhaust"),
+        }
+        assert!(
+            jsonio::u64_field(&line, "slices").unwrap() > 1,
+            "a 64-eval slice must requeue the C40 BNE scan: {line}"
+        );
+        sched.stop();
+    }
+
+    #[test]
+    fn drained_tenant_sheds_with_resume_token() {
+        let sched = Scheduler::start(SchedulerConfig {
+            workers: 1,
+            slice: 32,
+            default_grant: 40,
+        });
+        let g = generators::cycle(40);
+        let alpha = Alpha::integer(370).unwrap();
+        let line = sched.submit_blocking(spec(
+            1,
+            "poor",
+            Work::Check {
+                concept: Concept::Bne,
+                graph: g.clone(),
+                alpha,
+            },
+        ));
+        assert_eq!(jsonio::u64_field(&line, "ok"), Some(0), "{line}");
+        assert_eq!(jsonio::str_field(&line, "error"), Some("shed"));
+        let token = jsonio::object_field(&line, "resume")
+            .expect("shed responses carry the resume token")
+            .to_string();
+        // Topping the tenant up and resubmitting with the shed token
+        // completes the scan with the cumulative eval count intact.
+        sched.grant("poor", u64::MAX - 40);
+        let line = sched.submit_blocking(QuerySpec {
+            id: 2,
+            tenant: "poor".into(),
+            work: Work::Check {
+                concept: Concept::Bne,
+                graph: g.clone(),
+                alpha,
+            },
+            resume: Some(token),
+            deadline_ms: None,
+        });
+        assert_eq!(jsonio::u64_field(&line, "ok"), Some(1), "{line}");
+        let direct = Solver::default()
+            .check(&StabilityQuery::new(Concept::Bne, &g, alpha))
+            .unwrap();
+        let direct_evals = match direct {
+            Verdict::Stable { evals, .. } | Verdict::Unstable { evals, .. } => evals,
+            Verdict::Exhausted { .. } => panic!("unbudgeted run cannot exhaust"),
+        };
+        assert_eq!(
+            jsonio::u64_field(&line, "evals"),
+            Some(direct_evals),
+            "resumed chain must report the uninterrupted cumulative evals"
+        );
+        sched.stop();
+    }
+
+    #[test]
+    fn trajectory_advances_its_graph_across_slices() {
+        let sched = Scheduler::start(SchedulerConfig {
+            workers: 2,
+            slice: 16,
+            default_grant: u64::MAX,
+        });
+        let g = generators::path(9);
+        let alpha = Alpha::integer(2).unwrap();
+        let line = sched.submit_blocking(spec(
+            3,
+            "t",
+            Work::Trajectory {
+                graph: g.clone(),
+                alpha,
+                rounds: 100,
+            },
+        ));
+        assert_eq!(jsonio::u64_field(&line, "ok"), Some(1), "{line}");
+        assert_eq!(jsonio::u64_field(&line, "converged"), Some(1));
+        assert!(jsonio::u64_field(&line, "slices").unwrap() > 1);
+        let direct = round_robin::run(&g, alpha, 100).unwrap();
+        let edges = jsonio::u64_list_field(&line, "final_edges").unwrap();
+        let final_graph = Graph::from_edges(
+            g.n(),
+            edges.iter().map(|&p| crate::protocol::unpack_edge(p)),
+        )
+        .unwrap();
+        assert_eq!(final_graph, direct.final_graph);
+        assert_eq!(jsonio::u64_field(&line, "moves"), Some(direct.moves as u64));
+        sched.stop();
+    }
+
+    #[test]
+    fn bad_resume_tokens_are_rejected_not_run() {
+        let sched = Scheduler::start(SchedulerConfig::default());
+        let line = sched.submit_blocking(QuerySpec {
+            id: 4,
+            tenant: "t".into(),
+            work: Work::Check {
+                concept: Concept::Bne,
+                graph: generators::path(5),
+                alpha: Alpha::integer(2).unwrap(),
+            },
+            resume: Some("{\"v\":99,\"concept\":\"bne\"}".into()),
+            deadline_ms: None,
+        });
+        assert_eq!(jsonio::u64_field(&line, "ok"), Some(0));
+        assert_eq!(jsonio::str_field(&line, "error"), Some("bad_resume"));
+        sched.stop();
+    }
+
+    #[test]
+    fn submit_after_stop_answers_shutdown() {
+        let sched = Scheduler::start(SchedulerConfig::default());
+        sched.stop();
+        let line = sched.submit_blocking(spec(
+            5,
+            "t",
+            Work::Check {
+                concept: Concept::Re,
+                graph: generators::path(4),
+                alpha: Alpha::integer(1).unwrap(),
+            },
+        ));
+        assert_eq!(jsonio::str_field(&line, "error"), Some("shutdown"));
+        sched.stop();
+    }
+}

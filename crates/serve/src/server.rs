@@ -1,0 +1,305 @@
+//! The TCP front end: a line-in/line-out adapter between sockets and
+//! the [`Scheduler`].
+//!
+//! One accept-loop thread spawns a detached reader per connection. Each
+//! request line is parsed ([`protocol::parse_request`]) and either
+//! answered inline (the control ops: `grant`, `stats`, `shutdown`) or
+//! submitted to the scheduler with a callback that writes the response
+//! line back on the same socket. Responses are correlated by `id`, not
+//! by order — a long check submitted first can answer after a short one
+//! submitted later, which is the whole point of the slicing scheduler.
+//!
+//! [`protocol::parse_request`]: crate::protocol::parse_request
+
+use crate::protocol::{self, error_response, BadRequest, Request};
+use crate::scheduler::{QuerySpec, Scheduler, SchedulerConfig, Work};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Longest accepted request line, in bytes. A 1024-node dense graph
+/// packs into well under this; anything longer is a protocol error, not
+/// a buffering obligation.
+pub const MAX_LINE: u64 = 1 << 20;
+
+/// Server configuration: where to listen plus the scheduler knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address. The default asks the OS for an ephemeral localhost
+    /// port — read it back from [`Server::addr`].
+    pub addr: String,
+    /// The scheduler underneath.
+    pub scheduler: SchedulerConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            scheduler: SchedulerConfig::default(),
+        }
+    }
+}
+
+/// A running daemon. Dropping it does **not** stop it — call
+/// [`Server::stop`] (or send the `shutdown` op) and then
+/// [`Server::wait`].
+pub struct Server {
+    local: SocketAddr,
+    scheduler: Arc<Scheduler>,
+    stop: Arc<AtomicBool>,
+    accept: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Binds, starts the scheduler and the accept loop, and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local = listener.local_addr()?;
+        let scheduler = Arc::new(Scheduler::start(cfg.scheduler));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let scheduler = Arc::clone(&scheduler);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(conn) = conn else { continue };
+                    let scheduler = Arc::clone(&scheduler);
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || serve_connection(&conn, &scheduler, &stop));
+                }
+            })
+        };
+        Ok(Server {
+            local,
+            scheduler,
+            stop,
+            accept: Mutex::new(Some(accept)),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// The scheduler, for embedders that mix wire and direct submission.
+    #[must_use]
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// Stops accepting, drains the scheduler (resident queries get one
+    /// more slice and are shed with resume tokens), and joins the accept
+    /// loop. Idempotent.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        // The accept loop blocks in `incoming()`; poke it awake with a
+        // throwaway connection so it observes the flag.
+        let _ = TcpStream::connect(self.local);
+        if let Some(handle) = self.accept.lock().expect("no poisoning").take() {
+            let _ = handle.join();
+        }
+        self.scheduler.stop();
+    }
+
+    /// Blocks until the daemon has been stopped (by [`Server::stop`] or
+    /// a `shutdown` request).
+    pub fn wait(&self) {
+        if let Some(handle) = self.accept.lock().expect("no poisoning").take() {
+            let _ = handle.join();
+        }
+        self.scheduler.stop();
+    }
+}
+
+/// Writes one response line to the shared socket. Failures are ignored:
+/// a client that hung up forfeits its remaining responses.
+fn write_line(out: &Mutex<TcpStream>, line: &str) {
+    let mut sock = out.lock().expect("no poisoning");
+    let _ = sock.write_all(line.as_bytes());
+    let _ = sock.write_all(b"\n");
+    let _ = sock.flush();
+}
+
+fn serve_connection(conn: &TcpStream, scheduler: &Arc<Scheduler>, stop: &Arc<AtomicBool>) {
+    let Ok(write_half) = conn.try_clone() else {
+        return;
+    };
+    let out = Arc::new(Mutex::new(write_half));
+    let mut reader = BufReader::new(conn);
+    loop {
+        // `take` caps the read so a client cannot grow one line without
+        // bound; a line hitting the cap exactly is indistinguishable
+        // from a truncated one and is rejected below as unparseable.
+        let mut line = String::new();
+        match (&mut reader).take(MAX_LINE).read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match protocol::parse_request(line) {
+            Err(BadRequest { id, reason }) => {
+                write_line(
+                    &out,
+                    &error_response(id, "bad_request", &reason, None, None),
+                );
+            }
+            Ok(request) => dispatch(request, conn.local_addr().ok(), scheduler, stop, &out),
+        }
+    }
+}
+
+fn dispatch(
+    request: Request,
+    listener: Option<SocketAddr>,
+    scheduler: &Arc<Scheduler>,
+    stop: &Arc<AtomicBool>,
+    out: &Arc<Mutex<TcpStream>>,
+) {
+    let id = request.id();
+    let query = match request {
+        Request::Grant { id, tenant, evals } => {
+            let total = scheduler.grant(&tenant, evals);
+            write_line(
+                out,
+                &format!(
+                    "{{\"id\":{id},\"ok\":1,\"op\":\"grant\",\"tenant\":\"{tenant}\",\
+                     \"granted\":{total}}}"
+                ),
+            );
+            return;
+        }
+        Request::Stats { id } => {
+            let rows: Vec<String> = scheduler
+                .tenants()
+                .iter()
+                .map(|t| {
+                    format!(
+                        "{{\"tenant\":\"{}\",\"granted\":{},\"used\":{}}}",
+                        t.name, t.granted, t.used
+                    )
+                })
+                .collect();
+            write_line(
+                out,
+                &format!(
+                    "{{\"id\":{id},\"ok\":1,\"op\":\"stats\",\"resident\":{},\
+                     \"tenants\":[{}]}}",
+                    scheduler.resident(),
+                    rows.join(",")
+                ),
+            );
+            return;
+        }
+        Request::Shutdown { id } => {
+            write_line(
+                out,
+                &format!("{{\"id\":{id},\"ok\":1,\"op\":\"shutdown\"}}"),
+            );
+            stop.store(true, Ordering::Release);
+            scheduler.stop();
+            // The accept loop blocks in `incoming()`; our end of this
+            // connection shares the listener's address, so a throwaway
+            // connect to it wakes the loop to observe the stop flag.
+            if let Some(addr) = listener {
+                let _ = TcpStream::connect(addr);
+            }
+            return;
+        }
+        Request::Check {
+            id,
+            tenant,
+            concept,
+            alpha,
+            graph,
+            resume,
+            deadline_ms,
+        } => QuerySpec {
+            id,
+            tenant,
+            work: Work::Check {
+                concept,
+                graph,
+                alpha,
+            },
+            resume,
+            deadline_ms,
+        },
+        Request::BestResponse {
+            id,
+            tenant,
+            agent,
+            alpha,
+            graph,
+            resume,
+            deadline_ms,
+        } => QuerySpec {
+            id,
+            tenant,
+            work: Work::BestResponse {
+                agent,
+                graph,
+                alpha,
+            },
+            resume,
+            deadline_ms,
+        },
+        Request::Trajectory {
+            id,
+            tenant,
+            alpha,
+            graph,
+            rounds,
+            resume,
+            deadline_ms,
+        } => QuerySpec {
+            id,
+            tenant,
+            work: Work::Trajectory {
+                graph,
+                alpha,
+                rounds,
+            },
+            resume,
+            deadline_ms,
+        },
+        Request::Dynamics {
+            id,
+            tenant,
+            concept,
+            alpha,
+            graph,
+            steps,
+            resume,
+            deadline_ms,
+        } => QuerySpec {
+            id,
+            tenant,
+            work: Work::Dynamics {
+                concept,
+                graph,
+                alpha,
+                steps,
+            },
+            resume,
+            deadline_ms,
+        },
+    };
+    debug_assert_eq!(query.id, id);
+    let out = Arc::clone(out);
+    scheduler.submit(query, Box::new(move |line| write_line(&out, &line)));
+}

@@ -1,0 +1,142 @@
+//! Per-tenant fair-share accounting: one long-lived
+//! [`BudgetPool`] per tenant name, shared by every query that names the
+//! tenant.
+//!
+//! The registry is the daemon's admission-control substrate: the
+//! scheduler checks a job's pool before every slice and sheds with zero
+//! work once it drains or expires, so one tenant exhausting its grant
+//! never slows another tenant's queries — the multi-tenant
+//! generalization of [`ExecPolicy::batch_budget`]'s single anonymous
+//! batch pool.
+//!
+//! [`ExecPolicy::batch_budget`]: bncg_core::ExecPolicy::batch_budget
+
+use bncg_core::BudgetPool;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// One tenant: a name and its lifetime budget pool.
+#[derive(Debug)]
+pub struct Tenant {
+    name: String,
+    pool: BudgetPool,
+}
+
+impl Tenant {
+    /// The tenant's registered name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tenant's budget pool (admission, metering, top-ups).
+    #[must_use]
+    pub fn pool(&self) -> &BudgetPool {
+        &self.pool
+    }
+}
+
+/// A point-in-time accounting row from [`TenantRegistry::snapshot`].
+#[derive(Debug, Clone)]
+pub struct TenantStats {
+    /// Tenant name.
+    pub name: String,
+    /// Lifetime evaluations granted.
+    pub granted: u64,
+    /// Lifetime evaluations consumed.
+    pub used: u64,
+}
+
+/// The daemon's tenant table. Tenants materialize on first use with the
+/// registry's default grant; [`TenantRegistry::grant`] funds them
+/// explicitly.
+#[derive(Debug)]
+pub struct TenantRegistry {
+    default_grant: u64,
+    tenants: Mutex<HashMap<String, Arc<Tenant>>>,
+}
+
+impl TenantRegistry {
+    /// A registry whose implicitly created tenants start with
+    /// `default_grant` evaluations.
+    #[must_use]
+    pub fn new(default_grant: u64) -> Self {
+        TenantRegistry {
+            default_grant,
+            tenants: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The tenant named `name`, created with the default grant if it
+    /// does not exist yet.
+    pub fn get_or_create(&self, name: &str) -> Arc<Tenant> {
+        let mut map = self.tenants.lock().expect("no poisoning");
+        Arc::clone(map.entry(name.to_string()).or_insert_with(|| {
+            Arc::new(Tenant {
+                name: name.to_string(),
+                pool: BudgetPool::new(self.default_grant),
+            })
+        }))
+    }
+
+    /// Funds `name` with `evals` evaluations: an unknown tenant is
+    /// created with **exactly** that grant (not default + `evals`, so
+    /// operators can provision tight pools below a generous default); an
+    /// existing tenant is topped up. Returns the tenant's new total
+    /// grant.
+    pub fn grant(&self, name: &str, evals: u64) -> u64 {
+        let mut map = self.tenants.lock().expect("no poisoning");
+        match map.get(name) {
+            Some(tenant) => tenant.pool.top_up(evals),
+            None => {
+                map.insert(
+                    name.to_string(),
+                    Arc::new(Tenant {
+                        name: name.to_string(),
+                        pool: BudgetPool::new(evals),
+                    }),
+                );
+                evals
+            }
+        }
+    }
+
+    /// Accounting rows for every registered tenant, sorted by name (a
+    /// deterministic order for the `stats` response).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<TenantStats> {
+        let map = self.tenants.lock().expect("no poisoning");
+        let mut rows: Vec<TenantStats> = map
+            .values()
+            .map(|t| TenantStats {
+                name: t.name.clone(),
+                granted: t.pool.granted(),
+                used: t.pool.used(),
+            })
+            .collect();
+        rows.sort_by(|a, b| a.name.cmp(&b.name));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_creates_exact_and_tops_up() {
+        let reg = TenantRegistry::new(1000);
+        assert_eq!(reg.grant("alice", 50), 50, "explicit create, no default");
+        assert_eq!(reg.grant("alice", 25), 75);
+        let implicit = reg.get_or_create("bob");
+        assert_eq!(implicit.pool().granted(), 1000);
+        assert_eq!(reg.grant("bob", 1), 1001);
+        // get_or_create returns the same pool, not a fresh one.
+        reg.get_or_create("alice").pool().charge(10);
+        let rows = reg.snapshot();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "alice");
+        assert_eq!(rows[0].used, 10);
+        assert_eq!(rows[0].granted, 75);
+    }
+}

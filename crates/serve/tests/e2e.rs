@@ -1,0 +1,313 @@
+//! End-to-end daemon tests: a real TCP server on an ephemeral port,
+//! concurrent clients from multiple tenants, and the two contracts the
+//! serving layer exists for —
+//!
+//! 1. **exactness through the scheduler**: every verdict delivered over
+//!    the wire equals a direct in-process `Solver`/dynamics run on the
+//!    same instance, slicing and interleaving notwithstanding;
+//! 2. **fair-share isolation**: a tenant draining its budget pool gets
+//!    shed (with a resume token), while another tenant's concurrent
+//!    queries all complete.
+
+use bncg_core::jsonio;
+use bncg_core::solver::{Solver, StabilityQuery, Verdict};
+use bncg_core::{Alpha, Concept};
+use bncg_dynamics::round_robin;
+use bncg_graph::{generators, Graph};
+use bncg_serve::protocol::{pack_edge, render_edges, unpack_edge};
+use bncg_serve::scheduler::SchedulerConfig;
+use bncg_serve::server::{Server, ServerConfig};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// One client connection: send request lines, collect response lines
+/// keyed by id (responses arrive in completion order, not send order).
+struct Client {
+    sock: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(server: &Server) -> Client {
+        let sock = TcpStream::connect(server.addr()).expect("connect");
+        let reader = BufReader::new(sock.try_clone().expect("clone"));
+        Client { sock, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.sock.write_all(line.as_bytes()).expect("send");
+        self.sock.write_all(b"\n").expect("send");
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("recv");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        line.trim().to_string()
+    }
+
+    /// Receives `count` responses and indexes them by id.
+    fn collect(&mut self, count: usize) -> HashMap<u64, String> {
+        let mut by_id = HashMap::new();
+        for _ in 0..count {
+            let line = self.recv();
+            let id = jsonio::u64_field(&line, "id").expect("response id");
+            assert!(by_id.insert(id, line).is_none(), "duplicate response id");
+        }
+        by_id
+    }
+}
+
+fn check_line(id: u64, tenant: &str, concept: &str, alpha: &str, g: &Graph) -> String {
+    format!(
+        "{{\"id\":{id},\"op\":\"check\",\"tenant\":\"{tenant}\",\"concept\":\"{concept}\",\
+         \"alpha\":\"{alpha}\",\"n\":{},\"edges\":{}}}",
+        g.n(),
+        render_edges(g)
+    )
+}
+
+fn small_server() -> Server {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        scheduler: SchedulerConfig {
+            workers: 2,
+            slice: 256,
+            default_grant: u64::MAX,
+        },
+    })
+    .expect("bind")
+}
+
+#[test]
+fn concurrent_mixed_queries_match_direct_runs() {
+    let server = small_server();
+    let alpha = Alpha::integer(2).unwrap();
+    let mut alice = Client::connect(&server);
+    let mut bob = Client::connect(&server);
+
+    // Alice: a batch of checks across the concept ladder plus a C40 BNE
+    // scan that needs multiple 256-eval slices.
+    let instances: Vec<(u64, Concept, Alpha, Graph)> = vec![
+        (1, Concept::Ps, alpha, generators::path(6)),
+        (2, Concept::Re, alpha, generators::path(6)),
+        (3, Concept::Bne, alpha, generators::star(12)),
+        (
+            4,
+            Concept::Bne,
+            Alpha::integer(370).unwrap(),
+            generators::cycle(40),
+        ),
+        (5, Concept::KBse(2), alpha, generators::cycle(6)),
+    ];
+    for (id, concept, a, g) in &instances {
+        alice.send(&check_line(
+            *id,
+            "alice",
+            &concept.token(),
+            &format!("{a}"),
+            g,
+        ));
+    }
+    // Bob: a trajectory and a best response, interleaved with Alice's
+    // checks on the same two workers.
+    let start = generators::path(9);
+    bob.send(&format!(
+        "{{\"id\":10,\"op\":\"trajectory\",\"tenant\":\"bob\",\"alpha\":\"2\",\
+         \"n\":{},\"edges\":{},\"rounds\":100}}",
+        start.n(),
+        render_edges(&start)
+    ));
+    let br_graph = generators::path(12);
+    bob.send(&format!(
+        "{{\"id\":11,\"op\":\"best_response\",\"tenant\":\"bob\",\"agent\":0,\
+         \"alpha\":\"2\",\"n\":{},\"edges\":{}}}",
+        br_graph.n(),
+        render_edges(&br_graph)
+    ));
+
+    let alice_responses = alice.collect(instances.len());
+    let bob_responses = bob.collect(2);
+
+    // Every check verdict equals the direct solver run.
+    for (id, concept, a, g) in &instances {
+        let line = &alice_responses[id];
+        assert_eq!(jsonio::u64_field(line, "ok"), Some(1), "{line}");
+        let direct = Solver::default()
+            .check(&StabilityQuery::new(*concept, g, *a))
+            .unwrap();
+        let expect = match direct {
+            Verdict::Stable { .. } => "stable",
+            Verdict::Unstable { .. } => "unstable",
+            Verdict::Exhausted { .. } => unreachable!("unbudgeted"),
+        };
+        assert_eq!(
+            jsonio::str_field(line, "verdict"),
+            Some(expect),
+            "id {id}: {line}"
+        );
+    }
+    // The C40 scan (120 priced candidates) cannot fit one 256-slice...
+    // it can. But the slice accounting must still be reported.
+    assert!(jsonio::u64_field(&alice_responses[&4], "slices").unwrap() >= 1);
+
+    // Bob's trajectory equals the direct round-robin run.
+    let line = &bob_responses[&10];
+    assert_eq!(jsonio::u64_field(line, "ok"), Some(1), "{line}");
+    let direct = round_robin::run(&start, alpha, 100).unwrap();
+    assert_eq!(
+        jsonio::u64_field(line, "converged"),
+        Some(u64::from(direct.converged))
+    );
+    assert_eq!(jsonio::u64_field(line, "moves"), Some(direct.moves as u64));
+    let wire_edges = jsonio::u64_list_field(line, "final_edges").unwrap();
+    let wire_graph =
+        Graph::from_edges(start.n(), wire_edges.iter().map(|&p| unpack_edge(p))).unwrap();
+    assert_eq!(wire_graph, direct.final_graph);
+
+    // Bob's best response found the improving move a path end has.
+    let line = &bob_responses[&11];
+    assert_eq!(jsonio::u64_field(line, "ok"), Some(1), "{line}");
+    assert_eq!(jsonio::u64_field(line, "improving"), Some(1));
+
+    server.stop();
+}
+
+#[test]
+fn drained_tenant_sheds_while_others_complete() {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        scheduler: SchedulerConfig {
+            workers: 2,
+            slice: 64,
+            default_grant: u64::MAX,
+        },
+    })
+    .expect("bind");
+    let mut ops = Client::connect(&server);
+    let mut mallory = Client::connect(&server);
+    let mut alice = Client::connect(&server);
+
+    // Fund mallory with a pool far below the C40 scan's 120 evals.
+    ops.send("{\"id\":1,\"op\":\"grant\",\"tenant\":\"mallory\",\"evals\":50}");
+    let line = ops.recv();
+    assert_eq!(jsonio::u64_field(&line, "ok"), Some(1), "{line}");
+    assert_eq!(jsonio::u64_field(&line, "granted"), Some(50));
+
+    let big = generators::cycle(40);
+    let alpha_big = "370";
+    mallory.send(&check_line(20, "mallory", "bne", alpha_big, &big));
+    for id in 30..35 {
+        alice.send(&check_line(id, "alice", "bne", alpha_big, &big));
+    }
+
+    // Mallory is shed with a resume token…
+    let line = mallory.recv();
+    assert_eq!(jsonio::u64_field(&line, "ok"), Some(0), "{line}");
+    assert_eq!(jsonio::str_field(&line, "error"), Some("shed"));
+    let token = jsonio::object_field(&line, "resume")
+        .expect("shed carries the frontier")
+        .to_string();
+
+    // …while every one of Alice's identical queries completes exactly.
+    for (_, line) in alice.collect(5) {
+        assert_eq!(jsonio::u64_field(&line, "ok"), Some(1), "{line}");
+        assert_eq!(jsonio::str_field(&line, "verdict"), Some("stable"));
+        assert_eq!(jsonio::u64_field(&line, "evals"), Some(120));
+    }
+
+    // An operator top-up plus the shed token finishes Mallory's scan
+    // with the cumulative eval count intact — shed work is suspended,
+    // never lost.
+    ops.send("{\"id\":2,\"op\":\"grant\",\"tenant\":\"mallory\",\"evals\":1000}");
+    ops.recv();
+    mallory.send(&format!(
+        "{{\"id\":21,\"op\":\"check\",\"tenant\":\"mallory\",\"concept\":\"bne\",\
+         \"alpha\":\"370\",\"n\":40,\"edges\":{},\"resume\":{token}}}",
+        render_edges(&big)
+    ));
+    let line = mallory.recv();
+    assert_eq!(jsonio::u64_field(&line, "ok"), Some(1), "{line}");
+    assert_eq!(jsonio::str_field(&line, "verdict"), Some("stable"));
+    assert_eq!(jsonio::u64_field(&line, "evals"), Some(120));
+
+    // Stats reflect both tenants' accounting.
+    ops.send("{\"id\":3,\"op\":\"stats\"}");
+    let line = ops.recv();
+    assert_eq!(jsonio::u64_field(&line, "ok"), Some(1), "{line}");
+    assert!(line.contains("\"tenant\":\"mallory\""), "{line}");
+    assert!(line.contains("\"tenant\":\"alice\""), "{line}");
+
+    server.stop();
+}
+
+#[test]
+fn malformed_lines_get_structured_errors_and_shutdown_drains() {
+    let server = small_server();
+    let mut client = Client::connect(&server);
+
+    client.send("this is not json");
+    let line = client.recv();
+    assert_eq!(jsonio::u64_field(&line, "ok"), Some(0));
+    assert_eq!(jsonio::str_field(&line, "error"), Some("bad_request"));
+
+    client.send("{\"id\":8,\"op\":\"check\",\"concept\":\"bogus\",\"alpha\":\"2\",\"n\":4}");
+    let line = client.recv();
+    assert_eq!(jsonio::u64_field(&line, "id"), Some(8));
+    assert_eq!(jsonio::str_field(&line, "error"), Some("bad_request"));
+
+    // A graph over the node ceiling is refused before any work happens.
+    client.send(&format!(
+        "{{\"id\":9,\"op\":\"check\",\"concept\":\"re\",\"alpha\":\"1\",\"n\":{}}}",
+        bncg_serve::protocol::MAX_N + 1
+    ));
+    let line = client.recv();
+    assert_eq!(jsonio::str_field(&line, "error"), Some("bad_request"));
+
+    client.send("{\"id\":99,\"op\":\"shutdown\"}");
+    let line = client.recv();
+    assert_eq!(jsonio::u64_field(&line, "ok"), Some(1));
+    server.wait();
+
+    // The daemon is gone: new queries cannot reach it.
+    assert!(
+        TcpStream::connect(server.addr())
+            .map(|mut s| {
+                // Accept-loop raced shut: even if the OS still accepts,
+                // writes on the dead daemon see EOF promptly.
+                let _ = s.write_all(b"{\"id\":1,\"op\":\"stats\"}\n");
+                let mut buf = String::new();
+                BufReader::new(s)
+                    .read_line(&mut buf)
+                    .map(|n| n == 0)
+                    .unwrap_or(true)
+            })
+            .unwrap_or(true),
+        "daemon must not answer after shutdown"
+    );
+}
+
+#[test]
+fn deadline_zero_answers_promptly() {
+    let server = small_server();
+    let mut client = Client::connect(&server);
+    let big = generators::cycle(40);
+    client.send(&format!(
+        "{{\"id\":40,\"op\":\"check\",\"tenant\":\"dl\",\"concept\":\"bne\",\
+         \"alpha\":\"370\",\"n\":40,\"edges\":{},\"deadline_ms\":0}}",
+        render_edges(&big)
+    ));
+    let line = client.recv();
+    assert_eq!(jsonio::u64_field(&line, "ok"), Some(0), "{line}");
+    assert_eq!(jsonio::str_field(&line, "error"), Some("deadline"));
+    server.stop();
+}
+
+#[test]
+fn packed_edge_layout_is_stable() {
+    // The wire format commits to (u << 32) | v — a client-visible
+    // contract documented in docs/PROTOCOL.md.
+    assert_eq!(pack_edge(1, 2), 4294967298);
+    assert_eq!(unpack_edge(4294967298), (1, 2));
+}

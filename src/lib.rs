@@ -10,6 +10,7 @@
 //! | [`core`] | `bncg-core` | the game: exact costs, the incremental [`core::GameState`] evaluation engine, the eight solution concepts, unilateral NCG, theorem bounds |
 //! | [`constructions`] | `bncg-constructions` | stretched trees, figure witnesses, conjecture/Venn searches |
 //! | [`dynamics`] | `bncg-dynamics` | improving-move and round-robin dynamics running on one persistent engine state |
+//! | [`serve`] | `bncg-serve` | the stability-checking daemon: line-JSON over TCP, time-slicing scheduler, per-tenant fair-share budget pools |
 //! | [`analysis`] | `bncg-analysis` | the experiment harness regenerating every table and figure |
 //!
 //! # The solver surface
@@ -68,3 +69,4 @@ pub use bncg_constructions as constructions;
 pub use bncg_core as core;
 pub use bncg_dynamics as dynamics;
 pub use bncg_graph as graph;
+pub use bncg_serve as serve;

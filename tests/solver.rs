@@ -493,3 +493,139 @@ fn verdicts_carry_work_accounting() {
         v => panic!("the star is in BNE at α = 2, got {v:?}"),
     }
 }
+
+/// The serving layer's slice primitive (ISSUE 7): a chain of
+/// `check_sliced` calls against one long-lived `BudgetPool` must land on
+/// the identical verdict, witness, and cumulative eval count as one
+/// uninterrupted run — at any slice quantum — and a drained pool must
+/// shed with zero further work while keeping the frontier resumable.
+#[test]
+fn sliced_chains_match_one_shot_runs() {
+    use bncg::core::BudgetPool;
+    prop("check_sliced == check", |rng| {
+        let g = random_instance(9, rng);
+        let alpha = Alpha::integer(2).unwrap();
+        let state = GameState::new(g, alpha);
+        for concept in [Concept::Bne, Concept::KBse(2)] {
+            let reference = Solver::default()
+                .check(&StabilityQuery::on(concept, &state))
+                .unwrap();
+            for slice in [1u64, 17, 100_000] {
+                let pool = BudgetPool::new(u64::MAX);
+                let solver = Solver::default();
+                let mut resume: Option<Frontier> = None;
+                let mut slices = 0u32;
+                let verdict = loop {
+                    let mut query = StabilityQuery::on(concept, &state);
+                    if let Some(f) = resume {
+                        query = query.resume(f);
+                    }
+                    match solver.check_sliced(&query, &pool, slice).unwrap() {
+                        Verdict::Exhausted { frontier, .. } => {
+                            resume = Some(frontier);
+                            slices += 1;
+                            assert!(slices < 100_000, "chain failed to terminate");
+                        }
+                        conclusive => break conclusive,
+                    }
+                };
+                assert_eq!(verdict.witness(), reference.witness(), "slice {slice}");
+                assert_eq!(verdict.is_stable(), reference.is_stable());
+                match (&verdict, &reference) {
+                    (
+                        Verdict::Stable { evals, .. },
+                        Verdict::Stable {
+                            evals: ref_evals, ..
+                        },
+                    )
+                    | (
+                        Verdict::Unstable { evals, .. },
+                        Verdict::Unstable {
+                            evals: ref_evals, ..
+                        },
+                    ) => assert_eq!(
+                        evals, ref_evals,
+                        "cumulative evals diverged at slice {slice}"
+                    ),
+                    _ => unreachable!(),
+                }
+                // The pool metered exactly the chain's priced candidates.
+                assert_eq!(
+                    pool.used(),
+                    verdict.frontier().map_or_else(
+                        || match verdict {
+                            Verdict::Stable { evals, .. } | Verdict::Unstable { evals, .. } =>
+                                evals,
+                            Verdict::Exhausted { .. } => unreachable!(),
+                        },
+                        |_| unreachable!(),
+                    )
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn drained_and_expired_pools_shed_sliced_checks_with_zero_work() {
+    use bncg::core::BudgetPool;
+    use std::time::Instant;
+    let g = generators::cycle(40);
+    let alpha = Alpha::integer(370).unwrap();
+    let state = GameState::new(g, alpha);
+
+    // Drain a 30-eval pool mid-scan (the C40 check prices ~120).
+    let pool = BudgetPool::new(30);
+    let first = Solver::default()
+        .check_sliced(&StabilityQuery::on(Concept::Bne, &state), &pool, 1_000)
+        .unwrap();
+    let Verdict::Exhausted { frontier, .. } = first else {
+        panic!("a 30-eval pool cannot complete the C40 scan, got {first:?}")
+    };
+    assert!(pool.drained(), "the slice must charge the pool as it scans");
+    let used_at_shed = pool.used();
+
+    // Every further slice is a zero-work shed: same frontier evals, no
+    // new pool usage — the admission-control invariant the daemon's
+    // fair-share layer is built on.
+    let again = Solver::default()
+        .check_sliced(
+            &StabilityQuery::on(Concept::Bne, &state).resume(frontier),
+            &pool,
+            1_000,
+        )
+        .unwrap();
+    let Verdict::Exhausted {
+        frontier: stalled, ..
+    } = again
+    else {
+        panic!("drained pool must shed, got {again:?}")
+    };
+    assert_eq!(stalled.evals(), frontier.evals(), "zero work after drain");
+    assert_eq!(pool.used(), used_at_shed);
+
+    // Topping up resumes to the one-shot verdict with cumulative evals.
+    pool.top_up(u64::MAX - 30);
+    let done = Solver::default()
+        .check_sliced(
+            &StabilityQuery::on(Concept::Bne, &state).resume(stalled),
+            &pool,
+            u64::MAX,
+        )
+        .unwrap();
+    match done {
+        Verdict::Stable { evals, .. } => assert_eq!(evals, 120),
+        v => panic!("C40 at α = 370 is BNE-stable, got {v:?}"),
+    }
+
+    // An expired pool sheds regardless of remaining budget.
+    let expired = BudgetPool::new(u64::MAX).with_expiry(Instant::now());
+    let shed = Solver::default()
+        .check_sliced(&StabilityQuery::on(Concept::Bne, &state), &expired, 1_000)
+        .unwrap();
+    assert!(
+        matches!(shed, Verdict::Exhausted { .. }),
+        "expired pools shed, got {shed:?}"
+    );
+    assert_eq!(expired.used(), 0, "expiry shed does zero work");
+}

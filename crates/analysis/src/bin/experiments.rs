@@ -39,10 +39,21 @@
 //!              --slice EVALS (per scheduling slice)
 //!              --grant EVALS (default per-tenant budget; unmetered if
 //!              omitted) — blocks until a `shutdown` request arrives
+//!              --atlas DIR serves `atlas_lookup` hits from a
+//!              precomputed corpus at zero solver cost
 //!   query      send request lines to a running daemon:
 //!              --addr HOST:PORT (default 127.0.0.1:7421)
 //!              --line '<json>' sends one request; without it, every
 //!              stdin line is sent and its response printed
+//!   atlas      the precomputed stability corpus (docs/ARCHITECTURE.md):
+//!              atlas build --dir DIR [--max-n N] [--step-limit K]
+//!                resumable canonical walk; --batch-budget pools one
+//!                eval budget over the WHOLE atlas (resume included)
+//!              atlas query --dir DIR --concept C --alpha A
+//!                (--graph6 G6 | --family F --n N [--p P] [--seed S])
+//!              atlas verify --dir DIR [--sample K] [--seed S]
+//!                [--max-n N] — replays stored entries against a live
+//!                solver and demands exact verdict/witness equality
 //!
 //! flags:
 //!   --quick        reduced instance sizes/samples for every report
@@ -58,6 +69,10 @@
 //!   --batch-budget E  one shared eval pool for a whole enumeration
 //!                  sweep (Table 1 rows, `all`): instances past the
 //!                  drained pool are load-shed into the exhausted count
+//!   --atlas DIR    consult a precomputed stability corpus before the
+//!                  solver (table1 rows, `all`): stored verdicts are
+//!                  served at zero solver cost and never touch the
+//!                  shared pool
 //!
 //! The solver flags apply to the commands that execute stability
 //! queries: `check`, the Table 1 enumeration sweeps (via
@@ -69,16 +84,20 @@
 //! fixed constructions and ignore the solver flags entirely.
 //! ```
 
-use bncg_analysis::{dynamics_exp, figures, propositions, report::Report, run_all, table1};
+use bncg_analysis::{
+    dynamics_exp, figures, propositions, report::Report, run_all_with_atlas, table1,
+};
+use bncg_atlas::{Atlas, BuildSpec, Cursor, DiskBacking, DynAtlas, MemoryBacking};
 use bncg_core::solver::{ExecPolicy, Frontier, Solver, StabilityQuery, Verdict};
 use bncg_core::{Alpha, Concept, GameError};
 use bncg_dynamics::round_robin;
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
 /// Flags that consume the following argument (needed to tell the command
 /// token apart from a flag value).
-const VALUE_FLAGS: [&str; 19] = [
+const VALUE_FLAGS: [&str; 24] = [
     "--threads",
     "--budget",
     "--deadline-ms",
@@ -98,6 +117,11 @@ const VALUE_FLAGS: [&str; 19] = [
     "--grant",
     "--addr",
     "--line",
+    "--atlas",
+    "--dir",
+    "--max-n",
+    "--sample",
+    "--step-limit",
 ];
 
 /// `flag_value` with strict parsing: a present-but-unparsable or
@@ -144,8 +168,11 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
     None
 }
 
-fn command_token(args: &[String]) -> Option<String> {
+/// The `index`-th positional (non-flag) token: 0 is the command, 1 the
+/// subcommand (`atlas build`).
+fn positional_token(args: &[String], index: usize) -> Option<String> {
     let mut skip_next = false;
+    let mut seen = 0;
     for a in args {
         if skip_next {
             skip_next = false;
@@ -155,25 +182,34 @@ fn command_token(args: &[String]) -> Option<String> {
             skip_next = VALUE_FLAGS.contains(&a.as_str()) && !a.contains('=');
             continue;
         }
-        return Some(a.clone());
+        if seen == index {
+            return Some(a.clone());
+        }
+        seen += 1;
     }
     None
+}
+
+fn command_token(args: &[String]) -> Option<String> {
+    positional_token(args, 0)
 }
 
 fn usage() -> &'static str {
     "try: all, table1, ps, bswe, bge, bne, 3bse, bse, fig1a..fig8, cycles, \
      prop316, prop322, dynamics, roundrobin, treesvgraphs, structure, \
-     windows, curve, ablations, check, serve, query\n\
+     windows, curve, ablations, check, serve, query, atlas\n\
      flags: --quick, --json; --budget EVALS and --deadline-ms MS bound the \
      exponential-concept queries (check, the 3bse/bse rows of table1/all, \
      roundrobin, single dynamics trajectories); --batch-budget EVALS pools \
      one eval budget across a whole enumeration sweep; --threads N \
      parallelizes the sweeps (polynomial rows complete eagerly and cannot \
-     exhaust); `check` adds --concept, --alpha, --n, --family, --p, \
+     exhaust); --atlas DIR serves sweep verdicts from a precomputed \
+     corpus; `check` adds --concept, --alpha, --n, --family, --p, \
      --seed, --resume; `dynamics` with --family/--graph6/--n/--rounds/\
      --resume runs one anytime round-robin trajectory; `serve` starts the \
-     line-JSON daemon (--port, --workers, --slice, --grant) and `query` \
-     talks to one (--addr, --line or stdin)"
+     line-JSON daemon (--port, --workers, --slice, --grant, --atlas) and \
+     `query` talks to one (--addr, --line or stdin); `atlas \
+     build|query|verify --dir DIR` maintains the corpus itself"
 }
 
 /// Builds the instance graph for the `check` command.
@@ -330,9 +366,17 @@ fn run_serve(args: &[String]) -> Result<String, GameError> {
     if let Some(grant) = parsed_flag::<u64>(args, "--grant")? {
         scheduler.default_grant = grant;
     }
+    let atlas = match load_atlas(args)? {
+        Some(atlas) => {
+            println!("atlas loaded: {} records", atlas.len());
+            std::sync::Arc::new(bncg_serve::AtlasService::with_atlas(atlas))
+        }
+        None => std::sync::Arc::new(bncg_serve::AtlasService::empty()),
+    };
     let server = bncg_serve::Server::start(bncg_serve::ServerConfig {
         addr: format!("127.0.0.1:{port}"),
         scheduler,
+        atlas,
     })
     .map_err(|e| GameError::Unsupported {
         reason: format!("cannot bind 127.0.0.1:{port}: {e}"),
@@ -340,6 +384,110 @@ fn run_serve(args: &[String]) -> Result<String, GameError> {
     println!("serving on {} (send a shutdown op to stop)", server.addr());
     server.wait();
     Ok("daemon stopped".into())
+}
+
+/// Loads the corpus named by `--atlas DIR` (for the sweep commands and
+/// the daemon), if the flag is present.
+fn load_atlas(args: &[String]) -> Result<Option<DynAtlas>, GameError> {
+    let Some(dir) = string_flag(args, "--atlas")? else {
+        return Ok(None);
+    };
+    let backing = DiskBacking::open(Path::new(&dir))?;
+    let boxed: Box<dyn MemoryBacking + Send + Sync> = Box::new(backing);
+    Atlas::open(boxed).map(Some)
+}
+
+/// The `atlas` command: build, probe, or differentially verify the
+/// disk-resident corpus behind `--atlas` / the daemon's `atlas_lookup`.
+fn run_atlas(args: &[String], policy: &ExecPolicy) -> Result<String, GameError> {
+    let dir = string_flag(args, "--dir")?.ok_or_else(|| GameError::Unsupported {
+        reason: "atlas needs --dir DIR (the corpus directory)".into(),
+    })?;
+    let sub = positional_token(args, 1).unwrap_or_else(|| "build".into());
+    match sub.as_str() {
+        "build" => {
+            let max_n: u32 = parsed_flag(args, "--max-n")?.unwrap_or(8);
+            let step_limit: Option<u64> = parsed_flag(args, "--step-limit")?;
+            let budget = policy.batch_budget.unwrap_or(u64::MAX);
+            let spec = BuildSpec::standard(max_n);
+            let backing = DiskBacking::open(Path::new(&dir))?;
+            let mut atlas = Atlas::open(backing)?;
+            let report = bncg_atlas::build(&mut atlas, &spec, budget, step_limit)?;
+            let cursor = Cursor::of_atlas(&atlas, &spec);
+            Ok(format!(
+                "atlas build in {dir} (spec n ≤ {max_n})\n\
+                 appended: {}\nskipped (resume prefix): {}\n\
+                 evals charged: {} (pool at {})\nrederived torn tail: {}\n\
+                 status: {}\ncursor: {cursor}",
+                report.appended,
+                report.skipped,
+                report.evals_charged,
+                report.pool_used,
+                report.rederived_tail,
+                if report.complete {
+                    "complete".to_string()
+                } else {
+                    "interrupted (rerun the same command to resume)".to_string()
+                },
+            ))
+        }
+        "query" => {
+            let concept: Concept = string_flag(args, "--concept")?
+                .unwrap_or_else(|| "bne".into())
+                .parse()?;
+            let alpha: Alpha = string_flag(args, "--alpha")?
+                .unwrap_or_else(|| "2".into())
+                .parse()?;
+            let g = match string_flag(args, "--graph6")? {
+                Some(code) => {
+                    bncg_graph::graph6::decode(&code).map_err(|e| GameError::Unsupported {
+                        reason: format!("invalid --graph6 token: {e}"),
+                    })?
+                }
+                None => {
+                    let n: usize = parsed_flag(args, "--n")?.unwrap_or(6);
+                    let p: f64 = parsed_flag(args, "--p")?.unwrap_or(0.3);
+                    let seed: u64 = parsed_flag(args, "--seed")?.unwrap_or(0xB2C6);
+                    let family = string_flag(args, "--family")?.unwrap_or_else(|| "path".into());
+                    build_graph(&family, n, p, seed)?
+                }
+            };
+            let backing = DiskBacking::open(Path::new(&dir))?;
+            let atlas = Atlas::open(backing)?;
+            let head = format!(
+                "atlas query {concept} at α = {alpha} on n = {} ({} records in {dir})",
+                g.n(),
+                atlas.len()
+            );
+            Ok(match atlas.lookup(&g, concept, alpha)? {
+                None => format!("{head}\nmiss: not in the corpus (fall back to `check`)"),
+                Some(hit) => {
+                    let mut text = format!("{head}\nhit: {}", hit.record);
+                    if let Some(witness) = &hit.witness {
+                        text.push_str(&format!("\nwitness (query labels): {witness}"));
+                    }
+                    text
+                }
+            })
+        }
+        "verify" => {
+            let sample: u64 = parsed_flag(args, "--sample")?.unwrap_or(64);
+            let seed: u64 = parsed_flag(args, "--seed")?.unwrap_or(0xA71A5);
+            let max_n: u32 = parsed_flag(args, "--max-n")?.unwrap_or(8);
+            let backing = DiskBacking::open(Path::new(&dir))?;
+            let atlas = Atlas::open(backing)?;
+            let report = bncg_atlas::verify_atlas(&atlas, sample, seed, max_n)?;
+            Ok(format!(
+                "atlas verify in {dir} (sample {sample}, seed {seed}, n ≤ {max_n})\n\
+                 eligible: {}\nreplayed: {} (all matched the live solver exactly)\n\
+                 skipped exhausted: {}",
+                report.eligible, report.replayed, report.skipped_exhausted
+            ))
+        }
+        other => Err(GameError::Unsupported {
+            reason: format!("unknown atlas subcommand {other:?}; try build, query, or verify"),
+        }),
+    }
 }
 
 /// The `query` command: a line-oriented client for a running daemon.
@@ -423,23 +571,34 @@ fn main() -> ExitCode {
             args.iter().any(|a| a == f || a.starts_with(&prefixed))
         });
 
+    // The sweep commands consult `--atlas DIR` when present; loading it
+    // up front keeps one corpus open across all six Table 1 rows.
+    let atlas = match load_atlas(&args) {
+        Ok(atlas) => atlas,
+        Err(e) => {
+            eprintln!("cannot load --atlas corpus: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     let render = |r: Report| if json { r.to_json() } else { r.render() };
     let result = match command.as_str() {
-        "all" => run_all(quick, &policy).map(render),
-        "table1" => table1::full_table(quick, &policy).map(render),
+        "all" => run_all_with_atlas(quick, &policy, atlas.as_ref()).map(render),
+        "table1" => table1::full_table_with_atlas(quick, &policy, atlas.as_ref()).map(render),
         "check" => run_check(&args, &policy),
         "serve" => run_serve(&args),
         "query" => run_query(&args),
+        "atlas" => run_atlas(&args, &policy),
         "dynamics" if trajectory_mode => run_trajectory(&args, &policy),
         other => {
             let mut r = Report::new();
             let run = match other {
-                "ps" => table1::row_ps(&mut r, quick, &policy),
-                "bswe" => table1::row_bswe(&mut r, quick, &policy),
+                "ps" => table1::row_ps(&mut r, quick, &policy, atlas.as_ref()),
+                "bswe" => table1::row_bswe(&mut r, quick, &policy, atlas.as_ref()),
                 "bge" => table1::row_bge(&mut r, quick),
                 "bne" => table1::row_bne(&mut r, quick),
-                "3bse" => table1::row_3bse(&mut r, quick, &policy),
-                "bse" => table1::row_bse(&mut r, quick, &policy),
+                "3bse" => table1::row_3bse(&mut r, quick, &policy, atlas.as_ref()),
+                "bse" => table1::row_bse(&mut r, quick, &policy, atlas.as_ref()),
                 "fig1a" => figures::fig1a(&mut r, quick),
                 "fig1b" => figures::fig1b(&mut r, quick),
                 "fig2" => figures::fig2(&mut r, quick),

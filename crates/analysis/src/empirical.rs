@@ -18,8 +18,9 @@
 //! enumeration into the `exhausted` count — the shape Table 1's partial
 //! rows surface.
 
+use bncg_atlas::DynAtlas;
 use bncg_core::solver::{ExecPolicy, Solver, StabilityQuery, Verdict};
-use bncg_core::{Alpha, Concept, GameError, GameState};
+use bncg_core::{social_cost_ratio, Alpha, Concept, GameError, GameState};
 use bncg_graph::{enumerate, Graph};
 use std::sync::atomic::AtomicU64;
 
@@ -43,6 +44,9 @@ pub struct PoaPoint {
     /// Instances whose check exhausted the execution policy (excluded
     /// from `max_rho`; always 0 under an unbounded policy).
     pub exhausted: usize,
+    /// Instances whose verdict came from the precomputed atlas at zero
+    /// solver cost (always 0 when no atlas was supplied).
+    pub atlas_hits: usize,
 }
 
 /// Exhaustive PoA over all free trees on `n` nodes.
@@ -66,7 +70,7 @@ pub fn tree_poa_with(
     policy: &ExecPolicy,
 ) -> Result<PoaPoint, GameError> {
     let trees = enumerate::free_trees(n).map_err(GameError::Graph)?;
-    poa_over(trees, n, alpha, concept, policy)
+    poa_over(&trees, n, alpha, concept, policy, None)
 }
 
 /// Exhaustive PoA over all connected graphs on `n` nodes.
@@ -90,15 +94,40 @@ pub fn graph_poa_with(
     policy: &ExecPolicy,
 ) -> Result<PoaPoint, GameError> {
     let graphs = enumerate::connected_graphs(n).map_err(GameError::Graph)?;
-    poa_over(graphs, n, alpha, concept, policy)
+    poa_over(&graphs, n, alpha, concept, policy, None)
+}
+
+/// A conclusive per-instance verdict, whatever produced it.
+enum Resolved {
+    Stable,
+    Unstable,
+    Exhausted,
 }
 
 fn poa_over(
-    instances: Vec<Graph>,
+    instances: &[Graph],
     n: usize,
     alpha: Alpha,
     concept: Concept,
     policy: &ExecPolicy,
+    atlas: Option<&DynAtlas>,
+) -> Result<PoaPoint, GameError> {
+    // One eval pool for the *whole sweep*: chunking bounds resident
+    // state, not the budget scope, so the pool outlives every
+    // `check_many_pooled` call and the batch budget means "this much
+    // work for the entire enumeration".
+    let pool = AtomicU64::new(0);
+    poa_over_pooled(instances, n, alpha, concept, policy, &pool, atlas)
+}
+
+fn poa_over_pooled(
+    instances: &[Graph],
+    n: usize,
+    alpha: Alpha,
+    concept: Concept,
+    policy: &ExecPolicy,
+    pool: &AtomicU64,
+    atlas: Option<&DynAtlas>,
 ) -> Result<PoaPoint, GameError> {
     let total = instances.len();
     // One engine state per instance serves the checker and the
@@ -110,37 +139,68 @@ fn poa_over(
     // bounding the resident set.
     let solver = Solver::new(policy.clone());
     let chunk_size = (policy.threads.max(1) * 16).max(64);
-    // One eval pool for the *whole sweep*: chunking bounds resident
-    // state, not the budget scope, so the pool outlives every
-    // `check_many_pooled` call and the batch budget means "this much
-    // work for the entire enumeration".
-    let pool = AtomicU64::new(0);
     let mut stable_count = 0usize;
     let mut exhausted = 0usize;
+    let mut atlas_hits = 0usize;
     let mut best: Option<(f64, Graph)> = None;
     for chunk in instances.chunks(chunk_size) {
-        let states: Vec<GameState> = chunk
-            .iter()
-            .map(|g| GameState::new(g.clone(), alpha))
-            .collect();
-        let queries: Vec<StabilityQuery> = states
-            .iter()
-            .map(|s| StabilityQuery::on(concept, s))
-            .collect();
-        let verdicts = solver.check_many_pooled(&queries, &pool);
-        for (state, verdict) in states.iter().zip(verdicts) {
-            match verdict? {
-                Verdict::Unstable { .. } => continue,
-                Verdict::Exhausted { .. } => {
+        // First pass: conclusive stored verdicts answer at zero solver
+        // cost — the shared eval pool is never touched for a hit.
+        let mut resolved: Vec<Option<Resolved>> = Vec::with_capacity(chunk.len());
+        let mut live: Vec<usize> = Vec::new();
+        for (i, g) in chunk.iter().enumerate() {
+            let hit = atlas
+                .and_then(|a| a.lookup(g, concept, alpha).ok().flatten())
+                .and_then(|h| h.record.verdict.is_stable());
+            match hit {
+                Some(true) => {
+                    atlas_hits += 1;
+                    resolved.push(Some(Resolved::Stable));
+                }
+                Some(false) => {
+                    atlas_hits += 1;
+                    resolved.push(Some(Resolved::Unstable));
+                }
+                None => {
+                    live.push(i);
+                    resolved.push(None);
+                }
+            }
+        }
+        // Second pass: the misses run through one pooled solver batch.
+        if !live.is_empty() {
+            let states: Vec<GameState> = live
+                .iter()
+                .map(|&i| GameState::new(chunk[i].clone(), alpha))
+                .collect();
+            let queries: Vec<StabilityQuery> = states
+                .iter()
+                .map(|s| StabilityQuery::on(concept, s))
+                .collect();
+            let verdicts = solver.check_many_pooled(&queries, pool);
+            for (&i, verdict) in live.iter().zip(verdicts) {
+                resolved[i] = Some(match verdict? {
+                    Verdict::Stable { .. } => Resolved::Stable,
+                    Verdict::Unstable { .. } => Resolved::Unstable,
+                    Verdict::Exhausted { .. } => Resolved::Exhausted,
+                });
+            }
+        }
+        // Merge in enumeration order so the worst-witness tie-break is
+        // independent of where each verdict came from.
+        for (g, outcome) in chunk.iter().zip(resolved) {
+            match outcome.expect("every instance resolved") {
+                Resolved::Unstable => continue,
+                Resolved::Exhausted => {
                     exhausted += 1;
                     continue;
                 }
-                Verdict::Stable { .. } => {}
+                Resolved::Stable => {}
             }
             stable_count += 1;
-            let rho = state.social_cost_ratio()?.as_f64();
+            let rho = social_cost_ratio(g, alpha)?.as_f64();
             if best.as_ref().is_none_or(|(b, _)| rho > *b) {
-                best = Some((rho, state.graph().clone()));
+                best = Some((rho, g.clone()));
             }
         }
     }
@@ -157,10 +217,12 @@ fn poa_over(
         stable_count,
         total,
         exhausted,
+        atlas_hits,
     })
 }
 
-/// A sweep of [`tree_poa`] over an α grid.
+/// A sweep of [`tree_poa`] over an α grid (parallel across the grid,
+/// see [`tree_poa_grid`]).
 ///
 /// # Errors
 ///
@@ -170,10 +232,77 @@ pub fn tree_poa_sweep(
     alphas: &[Alpha],
     concept: Concept,
 ) -> Result<Vec<PoaPoint>, GameError> {
-    alphas
-        .iter()
-        .map(|&alpha| tree_poa(n, alpha, concept))
-        .collect()
+    tree_poa_grid(n, alphas, concept, &ExecPolicy::default(), None)
+}
+
+/// Exhaustive tree PoA over a whole α grid at once: the instances are
+/// enumerated a single time and each α point runs on its own scoped
+/// thread. All points share **one** batch-budget pool (when the policy
+/// carries one) — the budget bounds the entire grid's work, and which
+/// points shed is a race between the sweeps, exactly like competing
+/// tenants on one pool. Per-point results are otherwise deterministic
+/// and identical to serial [`tree_poa_with`] calls. A supplied atlas
+/// answers stored instances at zero solver cost ([`PoaPoint::atlas_hits`]).
+///
+/// # Errors
+///
+/// Forwards the enumeration guard and solver errors.
+pub fn tree_poa_grid(
+    n: usize,
+    alphas: &[Alpha],
+    concept: Concept,
+    policy: &ExecPolicy,
+    atlas: Option<&DynAtlas>,
+) -> Result<Vec<PoaPoint>, GameError> {
+    let trees = enumerate::free_trees(n).map_err(GameError::Graph)?;
+    poa_grid(&trees, n, alphas, concept, policy, atlas)
+}
+
+/// [`tree_poa_grid`] over all connected graphs instead of trees.
+///
+/// # Errors
+///
+/// Forwards the enumeration guard and solver errors.
+pub fn graph_poa_grid(
+    n: usize,
+    alphas: &[Alpha],
+    concept: Concept,
+    policy: &ExecPolicy,
+    atlas: Option<&DynAtlas>,
+) -> Result<Vec<PoaPoint>, GameError> {
+    let graphs = enumerate::connected_graphs(n).map_err(GameError::Graph)?;
+    poa_grid(&graphs, n, alphas, concept, policy, atlas)
+}
+
+fn poa_grid(
+    instances: &[Graph],
+    n: usize,
+    alphas: &[Alpha],
+    concept: Concept,
+    policy: &ExecPolicy,
+    atlas: Option<&DynAtlas>,
+) -> Result<Vec<PoaPoint>, GameError> {
+    // One pool spans every α point — a batch budget means "this much
+    // work for the whole grid", matching the single-sweep semantics.
+    let pool = AtomicU64::new(0);
+    // The grid threads multiply against the solver's inner pool, so
+    // split the configured worker count across the α points instead of
+    // oversubscribing by |grid| × threads.
+    let mut inner = policy.clone();
+    inner.threads = (policy.threads.max(1) / alphas.len().max(1)).max(1);
+    let (inner, pool) = (&inner, &pool);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = alphas
+            .iter()
+            .map(|&alpha| {
+                s.spawn(move || poa_over_pooled(instances, n, alpha, concept, inner, pool, atlas))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("α sweep thread panicked"))
+            .collect()
+    })
 }
 
 #[cfg(test)]
@@ -283,6 +412,77 @@ mod tests {
         let full = tree_poa(10, a("2"), Concept::Bne).unwrap();
         assert!(point.stable_count <= full.stable_count);
         assert_eq!(full.exhausted, 0);
+    }
+
+    #[test]
+    fn grid_sweep_matches_serial_points_exactly() {
+        // One scoped thread per α, shared pool unbudgeted: every point
+        // must equal its serial counterpart bit for bit.
+        let alphas: Vec<Alpha> = ["1", "2", "8"].map(a).to_vec();
+        let grid = tree_poa_grid(8, &alphas, Concept::Bne, &ExecPolicy::default(), None).unwrap();
+        assert_eq!(grid.len(), alphas.len());
+        for (point, &alpha) in grid.iter().zip(&alphas) {
+            let serial = tree_poa(8, alpha, Concept::Bne).unwrap();
+            assert_eq!(point.alpha, alpha);
+            assert_eq!(point.max_rho, serial.max_rho);
+            assert_eq!(point.stable_count, serial.stable_count);
+            assert_eq!(point.worst, serial.worst);
+            assert_eq!(point.exhausted, 0);
+            assert_eq!(point.atlas_hits, 0);
+        }
+    }
+
+    #[test]
+    fn grid_shares_one_batch_budget_pool() {
+        // A tiny pool spans the whole α grid: the three concurrent
+        // sweeps drain it together, so shedding shows up across the
+        // grid's total rather than per point.
+        let alphas: Vec<Alpha> = ["2", "4", "8"].map(a).to_vec();
+        let policy = ExecPolicy::default().with_batch_budget(5);
+        let grid = tree_poa_grid(10, &alphas, Concept::Bne, &policy, None).unwrap();
+        let exhausted: usize = grid.iter().map(|p| p.exhausted).sum();
+        assert!(exhausted > 0, "a 5-eval pool must shed most of the grid");
+        for point in &grid {
+            assert_eq!(point.total, 106);
+        }
+    }
+
+    #[test]
+    fn atlas_hits_serve_sweeps_at_zero_solver_cost() {
+        use bncg_atlas::{build, AlphaSpec, Atlas, BuildSpec, MemoryBacking, RamBacking};
+        // A corpus covering every connected class at n ≤ 7 for BNE at
+        // α = 2 — trees included.
+        let spec = BuildSpec {
+            max_n: 7,
+            grid: vec![AlphaSpec::Fixed(a("2"))],
+            concepts: vec![Concept::Bne],
+        };
+        let backing: Box<dyn MemoryBacking + Send + Sync> = Box::new(RamBacking::new());
+        let mut atlas = Atlas::open(backing).unwrap();
+        build(&mut atlas, &spec, 10_000_000, None).unwrap();
+
+        // Under a 1-eval budget the unaided sweep sheds almost
+        // everything; the atlas-backed sweep touches the pool for
+        // nothing and completes conclusively.
+        let policy = ExecPolicy::default().with_batch_budget(1);
+        let starved = tree_poa_with(7, a("2"), Concept::Bne, &policy).unwrap();
+        assert!(starved.exhausted > 0, "the starved sweep must shed");
+        let served = poa_grid(
+            &enumerate::free_trees(7).unwrap(),
+            7,
+            &[a("2")],
+            Concept::Bne,
+            &policy,
+            Some(&atlas),
+        )
+        .unwrap()
+        .remove(0);
+        assert_eq!(served.atlas_hits, served.total);
+        assert_eq!(served.exhausted, 0);
+        let unbudgeted = tree_poa(7, a("2"), Concept::Bne).unwrap();
+        assert_eq!(served.max_rho, unbudgeted.max_rho);
+        assert_eq!(served.stable_count, unbudgeted.stable_count);
+        assert_eq!(served.worst, unbudgeted.worst);
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod structure;
 pub mod table1;
 pub mod windows_exp;
 
+use bncg_atlas::DynAtlas;
 use bncg_core::solver::ExecPolicy;
 use bncg_core::GameError;
 use report::Report;
@@ -54,13 +55,28 @@ use report::Report;
 ///
 /// Forwards the first failing runner's error.
 pub fn run_all(quick: bool, policy: &ExecPolicy) -> Result<Report, GameError> {
+    run_all_with_atlas(quick, policy, None)
+}
+
+/// [`run_all`] with an optional precomputed stability atlas: the
+/// Table 1 enumeration sweeps consult it first and serve stored
+/// verdicts at zero solver cost.
+///
+/// # Errors
+///
+/// Forwards the first failing runner's error.
+pub fn run_all_with_atlas(
+    quick: bool,
+    policy: &ExecPolicy,
+    atlas: Option<&DynAtlas>,
+) -> Result<Report, GameError> {
     let mut r = Report::new();
-    table1::row_ps(&mut r, quick, policy)?;
-    table1::row_bswe(&mut r, quick, policy)?;
+    table1::row_ps(&mut r, quick, policy, atlas)?;
+    table1::row_bswe(&mut r, quick, policy, atlas)?;
     table1::row_bge(&mut r, quick)?;
     table1::row_bne(&mut r, quick)?;
-    table1::row_3bse(&mut r, quick, policy)?;
-    table1::row_bse(&mut r, quick, policy)?;
+    table1::row_3bse(&mut r, quick, policy, atlas)?;
+    table1::row_bse(&mut r, quick, policy, atlas)?;
     figures::fig1a(&mut r, quick)?;
     figures::fig1b(&mut r, quick)?;
     figures::fig2(&mut r, quick)?;

@@ -14,6 +14,7 @@
 
 use crate::empirical;
 use crate::report::{fnum, Report};
+use bncg_atlas::DynAtlas;
 use bncg_constructions::stretched::{
     lemma_3_11_certificate, theorem_3_10_instance, theorem_3_12_i_instance,
 };
@@ -38,6 +39,21 @@ fn note_batch_budget(section: &mut crate::report::Section, policy: &ExecPolicy) 
             "batch budget: each α sweep drains one shared pool of {b} \
              candidate evaluations; instances past the pool are counted \
              as exhausted (load shedding), not checked"
+        ));
+    }
+}
+
+/// Notes how much of a sweep the precomputed atlas absorbed, when any
+/// of it. Hits are served at zero solver cost — they never touch the
+/// sweep's eval pool — so a partially-hit budgeted row sheds strictly
+/// less than an unaided one.
+fn note_atlas_hits(section: &mut crate::report::Section, points: &[empirical::PoaPoint]) {
+    let hits: usize = points.iter().map(|p| p.atlas_hits).sum();
+    if hits > 0 {
+        let total: usize = points.iter().map(|p| p.total).sum();
+        section.note(format!(
+            "atlas: {hits}/{total} verdicts served from the precomputed \
+             corpus at zero solver cost"
         ));
     }
 }
@@ -73,11 +89,18 @@ fn rho_cell(point: &empirical::PoaPoint) -> String {
 /// # Errors
 ///
 /// Forwards enumeration/checker guards.
-pub fn row_ps(report: &mut Report, quick: bool, policy: &ExecPolicy) -> Result<(), GameError> {
+pub fn row_ps(
+    report: &mut Report,
+    quick: bool,
+    policy: &ExecPolicy,
+    atlas: Option<&DynAtlas>,
+) -> Result<(), GameError> {
     let n = if quick { 9 } else { 10 };
-    let alphas: Vec<i64> = vec![1, 2, 4, 8, 16, 32, 64, 128];
+    let alphas: Vec<Alpha> = [1, 2, 4, 8, 16, 32, 64, 128].map(alpha_int).to_vec();
+    let points = empirical::tree_poa_grid(n, &alphas, Concept::Ps, policy, atlas)?;
     let section = report.section(format!("Table 1 / PS on trees (exhaustive, n = {n})"));
     section.note("paper: PoA = Θ(min{√α, n/√α}); the measured curve should rise then fall with the crossover near α ≈ n²ish scale");
+    note_atlas_hits(section, &points);
     let table = section.table([
         "α",
         "PoA(PS)",
@@ -85,9 +108,8 @@ pub fn row_ps(report: &mut Report, quick: bool, policy: &ExecPolicy) -> Result<(
         "stable trees",
         "worst tree (graph6)",
     ]);
-    for v in alphas {
-        let alpha = alpha_int(v);
-        let point = empirical::tree_poa_with(n, alpha, Concept::Ps, policy)?;
+    for point in &points {
+        let alpha = point.alpha;
         let witness = point
             .worst
             .as_ref()
@@ -95,9 +117,9 @@ pub fn row_ps(report: &mut Report, quick: bool, policy: &ExecPolicy) -> Result<(
             .unwrap_or("–".into());
         table.row([
             alpha.to_string(),
-            rho_cell(&point),
+            rho_cell(point),
             fnum(bounds::ps_poa_envelope(alpha, n)),
-            stable_cell(&point),
+            stable_cell(point),
             witness,
         ]);
     }
@@ -110,25 +132,31 @@ pub fn row_ps(report: &mut Report, quick: bool, policy: &ExecPolicy) -> Result<(
 ///
 /// Forwards enumeration/checker guards; fails loudly if the theorem's
 /// bound were violated.
-pub fn row_bswe(report: &mut Report, quick: bool, policy: &ExecPolicy) -> Result<(), GameError> {
+pub fn row_bswe(
+    report: &mut Report,
+    quick: bool,
+    policy: &ExecPolicy,
+    atlas: Option<&DynAtlas>,
+) -> Result<(), GameError> {
     let n = if quick { 9 } else { 10 };
-    let alphas: Vec<i64> = vec![1, 2, 4, 8, 16, 32, 64, 128];
+    let alphas: Vec<Alpha> = [1, 2, 4, 8, 16, 32, 64, 128].map(alpha_int).to_vec();
+    let points = empirical::tree_poa_grid(n, &alphas, Concept::Bswe, policy, atlas)?;
     let section = report.section(format!("Table 1 / BSwE on trees (exhaustive, n = {n})"));
     section
         .note("paper: PoA = Θ(log α); Theorem 3.6 upper bound 2 + 2·log₂ α checked on every point");
+    note_atlas_hits(section, &points);
     let table = section.table(["α", "PoA(BSwE)", "2 + 2log₂α", "stable trees"]);
-    for v in alphas {
-        let alpha = alpha_int(v);
-        let point = empirical::tree_poa_with(n, alpha, Concept::Bswe, policy)?;
+    for point in &points {
+        let alpha = point.alpha;
         let bound = bounds::theorem_3_6_bound(alpha);
         if let Some(rho) = point.max_rho {
             assert!(rho <= bound + 1e-9, "Theorem 3.6 violated at α = {alpha}");
         }
         table.row([
             alpha.to_string(),
-            rho_cell(&point),
+            rho_cell(point),
             fnum(bound),
-            stable_cell(&point),
+            stable_cell(point),
         ]);
     }
     Ok(())
@@ -344,24 +372,33 @@ pub fn bne_n24_instances() -> Vec<(&'static str, Graph, Alpha, bool)> {
 /// # Errors
 ///
 /// Forwards enumeration/checker guards.
-pub fn row_3bse(report: &mut Report, quick: bool, policy: &ExecPolicy) -> Result<(), GameError> {
+pub fn row_3bse(
+    report: &mut Report,
+    quick: bool,
+    policy: &ExecPolicy,
+    atlas: Option<&DynAtlas>,
+) -> Result<(), GameError> {
     let n = if quick { 8 } else { 9 };
-    let alphas: Vec<i64> = vec![1, 2, 4, 8, 16, 32];
+    let alphas: Vec<Alpha> = [1, 2, 4, 8, 16, 32].map(alpha_int).to_vec();
+    let threes = empirical::tree_poa_grid(n, &alphas, Concept::KBse(3), policy, atlas)?;
+    let twos = empirical::tree_poa_grid(n, &alphas, Concept::KBse(2), policy, atlas)?;
     let section = report.section(format!("Table 1 / 3-BSE on trees (exhaustive, n = {n})"));
     section.note("paper: PoA ≤ 25 (Theorem 3.15); 2-BSE column shows the strictly weaker concept (Ω(log α) via Prop 3.7 + Theorem 3.10)");
     note_batch_budget(section, policy);
+    note_atlas_hits(section, &threes);
     let table = section.table(["α", "PoA(3-BSE)", "PoA(2-BSE)", "bound(3-BSE)"]);
-    for v in alphas {
-        let alpha = alpha_int(v);
-        let three = empirical::tree_poa_with(n, alpha, Concept::KBse(3), policy)?;
-        let two = empirical::tree_poa_with(n, alpha, Concept::KBse(2), policy)?;
+    for (three, two) in threes.iter().zip(&twos) {
         if let Some(rho) = three.max_rho {
-            assert!(rho <= 25.0 + 1e-9, "Theorem 3.15 violated at α = {v}");
+            assert!(
+                rho <= 25.0 + 1e-9,
+                "Theorem 3.15 violated at α = {}",
+                three.alpha
+            );
         }
         table.row([
-            alpha.to_string(),
-            rho_cell(&three),
-            rho_cell(&two),
+            three.alpha.to_string(),
+            rho_cell(three),
+            rho_cell(two),
             fnum(bounds::theorem_3_15_bound()),
         ]);
     }
@@ -374,17 +411,25 @@ pub fn row_3bse(report: &mut Report, quick: bool, policy: &ExecPolicy) -> Result
 /// # Errors
 ///
 /// Forwards enumeration/checker guards.
-pub fn row_bse(report: &mut Report, quick: bool, policy: &ExecPolicy) -> Result<(), GameError> {
+pub fn row_bse(
+    report: &mut Report,
+    quick: bool,
+    policy: &ExecPolicy,
+    atlas: Option<&DynAtlas>,
+) -> Result<(), GameError> {
     // (a) Exact general-graph BSE PoA at tiny n.
     let n = if quick { 5 } else { 6 };
+    let alphas: Vec<Alpha> = ["1/2", "1", "3/2", "2", "4", "8", "16"]
+        .map(|s| s.parse().expect("grid α"))
+        .to_vec();
+    let points = empirical::graph_poa_grid(n, &alphas, Concept::Bse, policy, atlas)?;
     let section = report.section(format!("Table 1 / BSE on general graphs (exact, n = {n})"));
     section.note("paper: Θ(1) for α ≤ n^{1−ε} and α ≥ n·log n; the exact tiny-n PoA stays near 1 across the grid");
     note_batch_budget(section, policy);
+    note_atlas_hits(section, &points);
     let table = section.table(["α", "PoA(BSE)", "stable graphs"]);
-    for s in ["1/2", "1", "3/2", "2", "4", "8", "16"] {
-        let alpha: Alpha = s.parse().expect("grid α");
-        let point = empirical::graph_poa_with(n, alpha, Concept::Bse, policy)?;
-        table.row([alpha.to_string(), rho_cell(&point), stable_cell(&point)]);
+    for point in &points {
+        table.row([point.alpha.to_string(), rho_cell(point), stable_cell(point)]);
     }
 
     // (b) Lemma 3.18 regimes: worst-agent normalized cost of almost
@@ -472,13 +517,28 @@ fn push_dary_row(
 ///
 /// Forwards the per-row errors.
 pub fn full_table(quick: bool, policy: &ExecPolicy) -> Result<Report, GameError> {
+    full_table_with_atlas(quick, policy, None)
+}
+
+/// [`full_table`] with an optional precomputed atlas: enumeration
+/// sweeps consult it first and serve stored verdicts at zero solver
+/// cost, noting the hit share per section.
+///
+/// # Errors
+///
+/// Forwards the per-row errors.
+pub fn full_table_with_atlas(
+    quick: bool,
+    policy: &ExecPolicy,
+    atlas: Option<&DynAtlas>,
+) -> Result<Report, GameError> {
     let mut report = Report::new();
-    row_ps(&mut report, quick, policy)?;
-    row_bswe(&mut report, quick, policy)?;
+    row_ps(&mut report, quick, policy, atlas)?;
+    row_bswe(&mut report, quick, policy, atlas)?;
     row_bge(&mut report, quick)?;
     row_bne(&mut report, quick)?;
-    row_3bse(&mut report, quick, policy)?;
-    row_bse(&mut report, quick, policy)?;
+    row_3bse(&mut report, quick, policy, atlas)?;
+    row_bse(&mut report, quick, policy, atlas)?;
     Ok(report)
 }
 
@@ -490,11 +550,12 @@ mod tests {
     fn ps_and_bswe_rows_render() {
         let mut r = Report::new();
         let policy = ExecPolicy::default().with_threads(2);
-        row_ps(&mut r, true, &policy).unwrap();
-        row_bswe(&mut r, true, &policy).unwrap();
+        row_ps(&mut r, true, &policy, None).unwrap();
+        row_bswe(&mut r, true, &policy, None).unwrap();
         let text = r.render();
         assert!(text.contains("PS on trees"));
         assert!(text.contains("BSwE on trees"));
+        assert!(!text.contains("atlas:"), "no atlas, no hit note");
     }
 
     #[test]
@@ -505,11 +566,50 @@ mod tests {
         // the (false-there) note.
         let mut r = Report::new();
         let policy = ExecPolicy::default().with_batch_budget(100_000);
-        row_3bse(&mut r, true, &policy).unwrap();
+        row_3bse(&mut r, true, &policy, None).unwrap();
         assert!(r.render().contains("batch budget"));
         let mut r = Report::new();
-        row_ps(&mut r, true, &policy).unwrap();
+        row_ps(&mut r, true, &policy, None).unwrap();
         assert!(!r.render().contains("batch budget"));
+    }
+
+    #[test]
+    fn bse_row_consumes_an_atlas_when_present() {
+        use bncg_atlas::{build, AlphaSpec, Atlas, BuildSpec, MemoryBacking, RamBacking};
+        // Cover exactly the BSE row's tiny-n sweep (n = 5 in quick
+        // mode) for two of its grid α values; the row must serve those
+        // from the corpus and note the hit share.
+        let spec = BuildSpec {
+            max_n: 5,
+            grid: vec![
+                AlphaSpec::Fixed(Alpha::from_ratio(1, 2).unwrap()),
+                AlphaSpec::Fixed(Alpha::integer(2).unwrap()),
+            ],
+            concepts: vec![Concept::Bse],
+        };
+        let backing: Box<dyn MemoryBacking + Send + Sync> = Box::new(RamBacking::new());
+        let mut atlas = Atlas::open(backing).unwrap();
+        build(&mut atlas, &spec, 10_000_000, None).unwrap();
+
+        let mut with = Report::new();
+        row_bse(&mut with, true, &ExecPolicy::default(), Some(&atlas)).unwrap();
+        let text = with.render();
+        assert!(text.contains("atlas:"), "hit note must render: {text}");
+
+        let mut without = Report::new();
+        row_bse(&mut without, true, &ExecPolicy::default(), None).unwrap();
+        // Served verdicts change provenance, never the table itself.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.contains("atlas:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            strip(&text),
+            strip(&without.render()),
+            "atlas-backed row must render the identical table"
+        );
     }
 
     #[test]
@@ -522,7 +622,7 @@ mod tests {
     #[test]
     fn bse_regime_rows_respect_bounds() {
         let mut r = Report::new();
-        row_bse(&mut r, true, &ExecPolicy::default()).unwrap();
+        row_bse(&mut r, true, &ExecPolicy::default(), None).unwrap();
         let text = r.render();
         assert!(text.contains("Lemma 3.18"));
         assert!(text.contains("α = n·log n"));

@@ -1,0 +1,198 @@
+//! Differential verification: replay a seeded sample of stored entries
+//! against the live [`Solver`] and demand exact agreement.
+//!
+//! Every conclusive atlas record is a claim ("this canonical graph is
+//! (un)stable under this concept at this α, with this witness"). The
+//! verifier decodes the stored key back to its representative graph,
+//! re-runs the identical sequential check, and compares verdict,
+//! witness, and eval count byte-for-byte. `exhausted` records make no
+//! stability claim and are skipped (counted, so a fully-exhausted
+//! corpus cannot masquerade as verified).
+//!
+//! Sampling uses an inline LCG so the suite is reproducible from a
+//! seed without a `rand` dependency in the library.
+
+use crate::atlas::Atlas;
+use crate::backing::MemoryBacking;
+use crate::key;
+use crate::record::{AtlasRecord, StoredVerdict};
+use bncg_core::{ExecPolicy, GameError, Solver, StabilityQuery, Verdict};
+
+/// What a verification pass covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Conclusive records eligible for replay (after the `max_n` cut).
+    pub eligible: u64,
+    /// Records actually replayed (`min(sample, eligible)` distinct).
+    pub replayed: u64,
+    /// Exhausted records within the `max_n` cut, skipped by design.
+    pub skipped_exhausted: u64,
+}
+
+/// Replays up to `sample` distinct stored entries with `n ≤ max_n`
+/// against a live sequential solver, seeded by `seed`.
+///
+/// # Errors
+///
+/// [`GameError::Unsupported`] describing the first divergence found
+/// (stored verdict, witness, or eval count differing from the live
+/// check), or any storage/solver error. `Ok` means every replayed
+/// entry matched exactly.
+pub fn verify<B: MemoryBacking>(
+    atlas: &Atlas<B>,
+    sample: u64,
+    seed: u64,
+    max_n: u32,
+) -> Result<VerifyReport, GameError> {
+    let mut eligible: Vec<u64> = Vec::new();
+    let mut skipped_exhausted = 0u64;
+    atlas.for_each_record(&mut |i, rec| {
+        if rec.n > max_n {
+            return;
+        }
+        if matches!(rec.verdict, StoredVerdict::Exhausted(_)) {
+            skipped_exhausted += 1;
+        } else {
+            eligible.push(i);
+        }
+    })?;
+
+    // Seeded partial Fisher–Yates over the eligible indices: the first
+    // `sample` positions form a uniform distinct sample.
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        state >> 11
+    };
+    let take = usize::try_from(sample.min(eligible.len() as u64)).unwrap_or(usize::MAX);
+    for pos in 0..take {
+        let j = pos + (next() as usize) % (eligible.len() - pos);
+        eligible.swap(pos, j);
+    }
+
+    let solver = Solver::new(ExecPolicy::default().with_threads(1));
+    for &at in &eligible[..take] {
+        let rec = atlas.record(at)?;
+        replay(&solver, at, &rec)?;
+    }
+    Ok(VerifyReport {
+        eligible: eligible.len() as u64,
+        replayed: take as u64,
+        skipped_exhausted,
+    })
+}
+
+/// Re-checks one record and demands exact agreement.
+fn replay(solver: &Solver, at: u64, rec: &AtlasRecord) -> Result<(), GameError> {
+    let g = key::graph_of_key(&rec.key)?;
+    let verdict = solver.check(&StabilityQuery::new(rec.concept, &g, rec.alpha))?;
+    let diverged = |what: &str| {
+        Err(GameError::Unsupported {
+            reason: format!(
+                "atlas record {at} diverges from the live check ({what}): \
+                 key {}, {}, α={}, stored {:?} vs live {verdict:?}",
+                rec.key,
+                rec.concept.token(),
+                rec.alpha,
+                rec.verdict
+            ),
+        })
+    };
+    match (&rec.verdict, &verdict) {
+        (StoredVerdict::Stable, Verdict::Stable { evals, .. }) => {
+            if *evals != rec.evals {
+                return diverged("eval count");
+            }
+        }
+        (StoredVerdict::Unstable(stored), Verdict::Unstable { witness, evals, .. }) => {
+            if stored != witness {
+                return diverged("witness");
+            }
+            if *evals != rec.evals {
+                return diverged("eval count");
+            }
+        }
+        (StoredVerdict::Exhausted(_), _) => {
+            return Err(GameError::Unsupported {
+                reason: format!("atlas record {at} is exhausted; it cannot be replayed"),
+            })
+        }
+        _ => return diverged("verdict"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backing::RamBacking;
+    use crate::builder::{build, AlphaSpec, BuildSpec};
+    use bncg_core::{Alpha, Concept, Move};
+
+    fn built_atlas() -> Atlas<RamBacking> {
+        let spec = BuildSpec {
+            max_n: 4,
+            grid: vec![AlphaSpec::Fixed(Alpha::integer(2).unwrap()), AlphaSpec::N],
+            concepts: vec![Concept::Re, Concept::Bswe, Concept::Bne],
+        };
+        let mut atlas = Atlas::open(RamBacking::new()).unwrap();
+        build(&mut atlas, &spec, 100_000, None).unwrap();
+        atlas
+    }
+
+    #[test]
+    fn a_faithful_corpus_verifies_clean() {
+        let atlas = built_atlas();
+        let report = verify(&atlas, u64::MAX, 7, 4).unwrap();
+        assert_eq!(report.replayed, report.eligible);
+        assert_eq!(report.skipped_exhausted, 0);
+        assert!(report.eligible > 0);
+    }
+
+    #[test]
+    fn sampling_is_seed_stable_and_bounded() {
+        let atlas = built_atlas();
+        let r1 = verify(&atlas, 5, 99, 4).unwrap();
+        let r2 = verify(&atlas, 5, 99, 4).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(r1.replayed, 5);
+        // The n cut excludes everything above it.
+        let r3 = verify(&atlas, u64::MAX, 99, 3).unwrap();
+        assert!(r3.eligible < r1.eligible);
+    }
+
+    #[test]
+    fn a_tampered_record_is_caught() {
+        let atlas = built_atlas();
+        // Copy the corpus but swap one stored witness for a move the
+        // builder's concepts never produce — the replay must notice.
+        let mut witness_tampered = RamBacking::new();
+        let mut changed = false;
+        atlas
+            .backing()
+            .for_each_line(&mut |_, line| {
+                let line = if !changed && line.contains("\"verdict\":\"unstable\"") {
+                    changed = true;
+                    let rec: AtlasRecord = line.parse().unwrap();
+                    AtlasRecord {
+                        verdict: StoredVerdict::Unstable(Move::Coalition {
+                            members: vec![0, 1],
+                            remove_edges: vec![],
+                            add_edges: vec![],
+                        }),
+                        ..rec
+                    }
+                    .to_string()
+                } else {
+                    line.to_string()
+                };
+                witness_tampered.append_line(&line).unwrap();
+            })
+            .unwrap();
+        assert!(changed, "the built corpus should contain unstable entries");
+        let bad = Atlas::open(witness_tampered).unwrap();
+        assert!(verify(&bad, u64::MAX, 7, 4).is_err());
+    }
+}

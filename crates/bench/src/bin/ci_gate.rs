@@ -37,6 +37,13 @@
 //!   over the uninterrupted run (both exactness-checked first: the
 //!   metered scan must return the identical response, the chain the
 //!   identical final state),
+//! * the stability atlas is dishonest or pointless: a 128-record seeded
+//!   sample of the real builder's n ≤ 8 corpus must replay exactly
+//!   against a live solver, the pinned K4,4 BSE record's relabeled
+//!   witness must improve every deviator on the query-labeled graph,
+//!   and the hit path (canonicalize + probe + relabel) must beat the
+//!   live coalition scan by the 100× floor
+//!   (`atlas_lookup_vs_live/n8_grid`),
 //! * the serving layer's time-slicing scheduler costs more than 25%
 //!   wall clock over running the same pinned mixed batch — an
 //!   evaluation-bound BNE check, a round-robin trajectory, and a
@@ -108,6 +115,9 @@ const SCHED_SLICING_OVERHEAD_CEILING: f64 = 1.25;
 /// amortize, so the ceiling sits above the metered kernels' ~1.0
 /// (measured: ~1.09).
 const GENERATOR_RESUME_OVERHEAD_CEILING: f64 = 1.30;
+/// Serving a stored atlas verdict (canonicalize + probe + relabel) must
+/// beat recomputing the pinned expensive live check by this factor.
+const ATLAS_HIT_SPEEDUP_FLOOR: f64 = 100.0;
 const CALIBRATION_KEY: &str = "calibration/substrate_bfs";
 
 /// The machine-speed yardstick: ~100 ms of all-pairs BFS matrix builds on
@@ -733,6 +743,97 @@ fn main() -> std::process::ExitCode {
         SCHED_SLICING_OVERHEAD_CEILING,
     );
 
+    // Atlas lookup vs live (ISSUE 8): the precomputed corpus must (a) be
+    // honest — a seeded sample of stored verdicts replays exactly against
+    // a live solver — and (b) earn its disk: serving a stored verdict
+    // (canonicalize, probe, relabel the witness) must beat recomputing it
+    // live by the 100× floor. The corpus is the real builder's n ≤ 8 walk
+    // over the polynomial-and-BNE concepts; the latency instance is the
+    // pinned K4,4 under full-coalition BSE at α = 1/2 — a dense class
+    // whose live scan runs ~10⁵ candidate coalitions before finding its
+    // witness, stored via the same canonical-derivation path the builder
+    // uses (check the canonical representative, key by safe graph6).
+    {
+        use bncg_atlas::{
+            build as build_atlas, key::instance_key, verify_atlas, AlphaSpec, Atlas, AtlasRecord,
+            BuildSpec, RamBacking, StoredVerdict,
+        };
+        let half = Alpha::from_ratio(1, 2).expect("α");
+        let spec = BuildSpec {
+            max_n: 8,
+            grid: vec![
+                AlphaSpec::Fixed(half),
+                AlphaSpec::Fixed(Alpha::integer(2).expect("α")),
+                AlphaSpec::N,
+            ],
+            concepts: vec![Concept::Ps, Concept::Bne],
+        };
+        let mut atlas = Atlas::open(RamBacking::new()).expect("RAM atlas");
+        let report = build_atlas(&mut atlas, &spec, u64::MAX, None).expect("corpus build");
+        assert!(report.complete, "the n ≤ 8 corpus walk must complete");
+        let verified = verify_atlas(&atlas, 128, 0xA71A5, 8).expect("stored verdicts must replay");
+        assert_eq!(verified.replayed, 128, "differential sample came up short");
+
+        let mut k44 = bncg_graph::Graph::new(8);
+        for u in 0..4u32 {
+            for v in 4..8u32 {
+                k44.add_edge(u, v).expect("simple edge");
+            }
+        }
+        let (safe, canon, _) = instance_key(&k44).expect("keyable instance");
+        let one_shot = Solver::new(ExecPolicy::default().with_threads(1));
+        let live_check = || {
+            one_shot
+                .check(&StabilityQuery::new(Concept::Bse, &canon, half))
+                .expect("live BSE check")
+        };
+        let live_verdict = live_check();
+        let (stored, evals) = StoredVerdict::of_verdict(&live_verdict);
+        assert!(
+            matches!(stored, StoredVerdict::Unstable(_)),
+            "K4,4 at α = 1/2 must be BSE-unstable, got {live_verdict:?}"
+        );
+        atlas
+            .append(&AtlasRecord {
+                key: safe,
+                n: 8,
+                concept: Concept::Bse,
+                alpha: half,
+                verdict: stored,
+                evals,
+            })
+            .expect("append the pinned record");
+        // End-to-end exactness through the hit path: the lookup must
+        // surface the stored verdict with the witness relabeled into the
+        // *query's* labels, and that witness must genuinely improve
+        // every deviator on the query graph.
+        let hit = atlas
+            .lookup(&k44, Concept::Bse, half)
+            .expect("lookup")
+            .expect("the just-stored record must hit");
+        let witness = hit.witness.expect("unstable hit carries a witness");
+        assert!(
+            bncg_core::delta::move_improves_all(&k44, half, &witness).expect("replayable witness"),
+            "relabeled witness does not improve all deviators on the query graph"
+        );
+        let hit_lat = median_secs(5, || {
+            let hit = atlas
+                .lookup(black_box(&k44), Concept::Bse, half)
+                .expect("lookup")
+                .expect("hit");
+            black_box(hit);
+        });
+        let live_lat = median_secs(3, || {
+            black_box(live_check());
+        });
+        gate.record("atlas_hit/k44_bse", hit_lat);
+        gate.check_speedup_floor(
+            "atlas_lookup_vs_live/n8_grid",
+            live_lat / hit_lat.max(1e-12),
+            ATLAS_HIT_SPEEDUP_FLOOR,
+        );
+    }
+
     // Serialize BENCH_ci.json.
     let mut json = String::from("{\n");
     for (i, (name, value)) in gate.results.iter().enumerate() {
@@ -777,6 +878,14 @@ fn main() -> std::process::ExitCode {
                         format!("{value:.1}x"),
                         format!("{:.2}", value / BITSET_SPEEDUP_FLOOR),
                         status(*value >= BITSET_SPEEDUP_FLOOR),
+                    ]
+                } else if name.starts_with("atlas_lookup_vs_live/") {
+                    [
+                        name.clone(),
+                        format!("≥ {ATLAS_HIT_SPEEDUP_FLOOR:.0}x floor"),
+                        format!("{value:.0}x"),
+                        format!("{:.2}", value / ATLAS_HIT_SPEEDUP_FLOOR),
+                        status(*value >= ATLAS_HIT_SPEEDUP_FLOOR),
                     ]
                 } else if name.contains("_speedup/") || name.starts_with("generator_vs_dense/") {
                     [

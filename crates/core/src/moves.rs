@@ -98,6 +98,165 @@ impl Move {
         }
     }
 
+    /// Renders the move in the repo's flat escape-free JSON dialect
+    /// ([`crate::jsonio`]) — the wire format the daemon's responses and
+    /// the atlas's stored witnesses share. Vertex pairs travel packed one
+    /// per u64 as `(u << 32) | v`, never as nested arrays.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        use crate::jsonio::render_u64_list;
+        let pack = |u: u32, v: u32| (u64::from(u) << 32) | u64::from(v);
+        match self {
+            Move::Remove { agent, target } => {
+                format!("{{\"kind\":\"remove\",\"agent\":{agent},\"target\":{target}}}")
+            }
+            Move::BilateralAdd { u, v } => {
+                format!("{{\"kind\":\"add\",\"u\":{u},\"v\":{v}}}")
+            }
+            Move::Swap { agent, old, new } => {
+                format!("{{\"kind\":\"swap\",\"agent\":{agent},\"old\":{old},\"new\":{new}}}")
+            }
+            Move::Neighborhood {
+                center,
+                remove,
+                add,
+            } => {
+                let rem: Vec<u64> = remove.iter().map(|&v| u64::from(v)).collect();
+                let add: Vec<u64> = add.iter().map(|&v| u64::from(v)).collect();
+                format!(
+                    "{{\"kind\":\"neighborhood\",\"center\":{center},\"remove\":{},\"add\":{}}}",
+                    render_u64_list(&rem),
+                    render_u64_list(&add)
+                )
+            }
+            Move::Coalition {
+                members,
+                remove_edges,
+                add_edges,
+            } => {
+                let mem: Vec<u64> = members.iter().map(|&v| u64::from(v)).collect();
+                let rem: Vec<u64> = remove_edges.iter().map(|&(u, v)| pack(u, v)).collect();
+                let add: Vec<u64> = add_edges.iter().map(|&(u, v)| pack(u, v)).collect();
+                format!(
+                    "{{\"kind\":\"coalition\",\"members\":{},\"remove_edges\":{},\"add_edges\":{}}}",
+                    render_u64_list(&mem),
+                    render_u64_list(&rem),
+                    render_u64_list(&add)
+                )
+            }
+        }
+    }
+
+    /// Parses a move rendered by [`Move::render_json`]. The inverse holds
+    /// exactly: `parse_json(render_json(m)) == Ok(m)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::Unsupported`] on an unknown `kind` or missing
+    /// fields — stored witnesses are replayed, so a silently defaulted
+    /// field would replay the wrong move.
+    pub fn parse_json(json: &str) -> Result<Move, GameError> {
+        use crate::jsonio::{str_field, u64_field, u64_list_field};
+        let missing = |field: &str| GameError::Unsupported {
+            reason: format!("move object is missing '{field}'"),
+        };
+        let vertex = |field: &str| -> Result<u32, GameError> {
+            let raw = u64_field(json, field).ok_or_else(|| missing(field))?;
+            u32::try_from(raw).map_err(|_| GameError::Unsupported {
+                reason: format!("move field '{field}' is not a vertex id"),
+            })
+        };
+        let vertex_list = |field: &str| -> Result<Vec<u32>, GameError> {
+            u64_list_field(json, field)
+                .ok_or_else(|| missing(field))?
+                .into_iter()
+                .map(|raw| {
+                    u32::try_from(raw).map_err(|_| GameError::Unsupported {
+                        reason: format!("move field '{field}' holds a non-vertex value"),
+                    })
+                })
+                .collect()
+        };
+        let unpack = |p: u64| ((p >> 32) as u32, (p & u32::MAX as u64) as u32);
+        let edge_list = |field: &str| -> Result<Vec<(u32, u32)>, GameError> {
+            Ok(u64_list_field(json, field)
+                .ok_or_else(|| missing(field))?
+                .into_iter()
+                .map(unpack)
+                .collect())
+        };
+        match str_field(json, "kind").ok_or_else(|| missing("kind"))? {
+            "remove" => Ok(Move::Remove {
+                agent: vertex("agent")?,
+                target: vertex("target")?,
+            }),
+            "add" => Ok(Move::BilateralAdd {
+                u: vertex("u")?,
+                v: vertex("v")?,
+            }),
+            "swap" => Ok(Move::Swap {
+                agent: vertex("agent")?,
+                old: vertex("old")?,
+                new: vertex("new")?,
+            }),
+            "neighborhood" => Ok(Move::Neighborhood {
+                center: vertex("center")?,
+                remove: vertex_list("remove")?,
+                add: vertex_list("add")?,
+            }),
+            "coalition" => Ok(Move::Coalition {
+                members: vertex_list("members")?,
+                remove_edges: edge_list("remove_edges")?,
+                add_edges: edge_list("add_edges")?,
+            }),
+            other => Err(GameError::Unsupported {
+                reason: format!("unknown move kind {other:?}"),
+            }),
+        }
+    }
+
+    /// The move with every vertex id mapped through `map` (`map[old]` is
+    /// the new id). Used to translate a witness found on a canonical
+    /// representative back to the labels of an isomorphic query graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a vertex id of the move is outside `map`.
+    #[must_use]
+    pub fn relabeled(&self, map: &[u32]) -> Move {
+        let m = |v: u32| map[v as usize];
+        match self {
+            Move::Remove { agent, target } => Move::Remove {
+                agent: m(*agent),
+                target: m(*target),
+            },
+            Move::BilateralAdd { u, v } => Move::BilateralAdd { u: m(*u), v: m(*v) },
+            Move::Swap { agent, old, new } => Move::Swap {
+                agent: m(*agent),
+                old: m(*old),
+                new: m(*new),
+            },
+            Move::Neighborhood {
+                center,
+                remove,
+                add,
+            } => Move::Neighborhood {
+                center: m(*center),
+                remove: remove.iter().map(|&v| m(v)).collect(),
+                add: add.iter().map(|&v| m(v)).collect(),
+            },
+            Move::Coalition {
+                members,
+                remove_edges,
+                add_edges,
+            } => Move::Coalition {
+                members: members.iter().map(|&v| m(v)).collect(),
+                remove_edges: remove_edges.iter().map(|&(u, v)| (m(u), m(v))).collect(),
+                add_edges: add_edges.iter().map(|&(u, v)| (m(u), m(v))).collect(),
+            },
+        }
+    }
+
     /// Validates the move against a graph state and returns the successor
     /// state.
     ///
@@ -545,5 +704,86 @@ mod tests {
         let s = m.to_string();
         assert!(s.contains("swap"));
         assert!(s.contains('1') && s.contains('0') && s.contains('2'));
+    }
+
+    fn wire_samples() -> Vec<Move> {
+        vec![
+            Move::Remove {
+                agent: 3,
+                target: 7,
+            },
+            Move::BilateralAdd { u: 0, v: 9 },
+            Move::Swap {
+                agent: 2,
+                old: 1,
+                new: 5,
+            },
+            Move::Neighborhood {
+                center: 4,
+                remove: vec![1, 2],
+                add: vec![6, 8, 9],
+            },
+            Move::Neighborhood {
+                center: 0,
+                remove: vec![],
+                add: vec![3],
+            },
+            Move::Coalition {
+                members: vec![0, 2, 5],
+                remove_edges: vec![(0, 1), (2, 4)],
+                add_edges: vec![(0, 5)],
+            },
+            Move::Coalition {
+                members: vec![1, 2],
+                remove_edges: vec![],
+                add_edges: vec![(1, 2)],
+            },
+        ]
+    }
+
+    #[test]
+    fn wire_json_round_trips() {
+        for mv in wire_samples() {
+            let json = mv.render_json();
+            assert_eq!(
+                Move::parse_json(&json).unwrap(),
+                mv,
+                "round-trip failed for {json}"
+            );
+        }
+    }
+
+    #[test]
+    fn wire_json_rejects_malformed_objects() {
+        assert!(Move::parse_json("{}").is_err());
+        assert!(Move::parse_json("{\"kind\":\"teleport\"}").is_err());
+        assert!(Move::parse_json("{\"kind\":\"add\",\"u\":0}").is_err());
+        assert!(Move::parse_json("{\"kind\":\"neighborhood\",\"center\":1}").is_err());
+    }
+
+    #[test]
+    fn relabeling_maps_every_vertex() {
+        // map: 0→4, 1→3, 2→2, 3→1, 4→0, 5→5, …
+        let map = [4, 3, 2, 1, 0, 5, 6, 7, 8, 9];
+        let relabeled: Vec<Move> = wire_samples().iter().map(|m| m.relabeled(&map)).collect();
+        assert_eq!(
+            relabeled[0],
+            Move::Remove {
+                agent: 1,
+                target: 7
+            }
+        );
+        assert_eq!(relabeled[1], Move::BilateralAdd { u: 4, v: 9 });
+        assert_eq!(
+            relabeled[3],
+            Move::Neighborhood {
+                center: 0,
+                remove: vec![3, 2],
+                add: vec![6, 8, 9],
+            }
+        );
+        // An involution applied twice is the identity.
+        let back: Vec<Move> = relabeled.iter().map(|m| m.relabeled(&map)).collect();
+        assert_eq!(back, wire_samples());
     }
 }

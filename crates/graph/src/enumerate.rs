@@ -239,6 +239,88 @@ pub fn connected_graphs_with_edges(n: usize, m: usize) -> Result<Vec<Graph>, Gra
         .collect())
 }
 
+/// Maximum `n` supported by [`graph_classes`] / [`connected_graph_classes`].
+/// The vertex-extension walk is polynomial in the *class counts* rather
+/// than the `2^{n(n−1)/2}` mask space, but the counts themselves explode
+/// past this point (12 005 168 classes at n = 10).
+pub const MAX_GRAPH_CLASS_NODES: usize = 10;
+
+/// All graphs on `n` nodes up to isomorphism — connected or not — as
+/// **canonical representatives** ([`crate::iso::canonical_form`]), sorted
+/// by `(m, canonical graph6 key)`.
+///
+/// Built by vertex extension: every graph on `k + 1` nodes arises from a
+/// graph on `k` nodes by adding one vertex with some neighbor subset, so
+/// each level is generated from the previous level's classes and
+/// deduplicated by canonical key. Unlike [`connected_graphs`]' mask scan
+/// (capped at `n = 7`), this reaches `n = 10`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::TooLarge`] if `n > MAX_GRAPH_CLASS_NODES`.
+pub fn graph_classes(n: usize) -> Result<Vec<Graph>, GraphError> {
+    if n > MAX_GRAPH_CLASS_NODES {
+        return Err(GraphError::TooLarge {
+            requested: n,
+            max: MAX_GRAPH_CLASS_NODES,
+        });
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let mut level = vec![Graph::new(1)];
+    for k in 1..n {
+        let mut seen = std::collections::HashSet::new();
+        let mut next = Vec::new();
+        for parent in &level {
+            for mask in 0u32..1u32 << k {
+                let mut g = Graph::new(k + 1);
+                for (u, v) in parent.edges() {
+                    g.add_edge(u, v).expect("parent edges are simple");
+                }
+                for u in 0..k as u32 {
+                    if mask >> u & 1 == 1 {
+                        g.add_edge(u, k as u32)
+                            .expect("new-vertex edges are simple");
+                    }
+                }
+                let (canon, _) = crate::iso::canonical_form(&g);
+                let key = crate::graph6::encode(&canon).expect("n ≤ 10 encodes");
+                if seen.insert(key) {
+                    next.push(canon);
+                }
+            }
+        }
+        level = next;
+    }
+    level.sort_by_key(|g| (g.m(), crate::graph6::encode(g).expect("n ≤ 10 encodes")));
+    Ok(level)
+}
+
+/// All **connected** graphs on `n` nodes up to isomorphism, as canonical
+/// representatives sorted by `(m, canonical graph6 key)` — the atlas
+/// enumeration order. Same classes as [`connected_graphs`] where both are
+/// defined, but reaches `n = 10` ([`MAX_GRAPH_CLASS_NODES`]).
+///
+/// # Errors
+///
+/// Returns [`GraphError::TooLarge`] if `n > MAX_GRAPH_CLASS_NODES`.
+///
+/// # Examples
+///
+/// ```
+/// use bncg_graph::enumerate::connected_graph_classes;
+///
+/// assert_eq!(connected_graph_classes(5)?.len(), 21);
+/// # Ok::<(), bncg_graph::GraphError>(())
+/// ```
+pub fn connected_graph_classes(n: usize) -> Result<Vec<Graph>, GraphError> {
+    Ok(graph_classes(n)?
+        .into_iter()
+        .filter(Graph::is_connected)
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,5 +427,79 @@ mod tests {
         assert_eq!(free_trees(1).unwrap().len(), 1);
         assert_eq!(connected_graphs(1).unwrap().len(), 1);
         assert!(connected_graphs(0).unwrap().is_empty());
+    }
+
+    /// OEIS A000088: graphs on n nodes up to isomorphism (n = 0..8).
+    const ALL_GRAPH_COUNTS: [usize; 9] = [1, 1, 2, 4, 11, 34, 156, 1044, 12346];
+    /// OEIS A001349: connected graphs on n nodes (n = 0..8).
+    const CONNECTED_CLASS_COUNTS: [usize; 9] = [1, 1, 1, 2, 6, 21, 112, 853, 11117];
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn graph_class_counts_match_oeis() {
+        for n in 1..=7 {
+            assert_eq!(
+                graph_classes(n).unwrap().len(),
+                ALL_GRAPH_COUNTS[n],
+                "all-graph class count mismatch at n = {n}"
+            );
+            assert_eq!(
+                connected_graph_classes(n).unwrap().len(),
+                CONNECTED_CLASS_COUNTS[n],
+                "connected class count mismatch at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn graph_class_counts_match_oeis_at_n8() {
+        // The extension level 7 → 8 canonicalizes ~134k graphs; kept as
+        // its own test so the cheap counts above stay fast.
+        assert_eq!(graph_classes(8).unwrap().len(), ALL_GRAPH_COUNTS[8]);
+        assert_eq!(
+            connected_graph_classes(8).unwrap().len(),
+            CONNECTED_CLASS_COUNTS[8]
+        );
+    }
+
+    #[test]
+    fn graph_classes_match_mask_scan() {
+        // Same isomorphism classes as the 2^{n(n−1)/2} mask scan where
+        // both enumerations are defined.
+        for n in 1..=6 {
+            let by_extension: std::collections::BTreeSet<String> = connected_graph_classes(n)
+                .unwrap()
+                .iter()
+                .map(crate::iso::canonical_key)
+                .collect();
+            let by_mask: std::collections::BTreeSet<String> = connected_graphs(n)
+                .unwrap()
+                .iter()
+                .map(crate::iso::canonical_key)
+                .collect();
+            assert_eq!(by_extension, by_mask, "class mismatch at n = {n}");
+        }
+    }
+
+    #[test]
+    fn graph_classes_are_canonical_and_ordered() {
+        let classes = connected_graph_classes(6).unwrap();
+        let mut keys = Vec::new();
+        for g in &classes {
+            // Each representative is its own canonical form…
+            assert_eq!(crate::iso::canonical_form(g).0, *g);
+            keys.push((g.m(), crate::graph6::encode(g).unwrap()));
+        }
+        // …and the list is strictly sorted by (m, key): a deterministic,
+        // duplicate-free enumeration order (the atlas build order).
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn graph_class_size_guard_fires() {
+        assert!(matches!(
+            graph_classes(MAX_GRAPH_CLASS_NODES + 1),
+            Err(GraphError::TooLarge { .. })
+        ));
     }
 }

@@ -157,6 +157,27 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_over_every_enumerated_class() {
+        // decode ∘ encode = id over every connected isomorphism class up
+        // to n = 8 (11 117 + 853 + … graphs) — the atlas keys each class
+        // by its canonical graph6 string, so the round-trip must be
+        // exact on exactly this population. n = 8 rides in the same
+        // sweep as the smaller sizes; the enumeration is the slow part,
+        // the codec is microseconds.
+        for n in 1..=8usize {
+            let classes = crate::enumerate::connected_graph_classes(n).unwrap();
+            for g in &classes {
+                let enc = encode(g).unwrap();
+                assert_eq!(
+                    decode(&enc).unwrap(),
+                    *g,
+                    "decode ∘ encode diverged on an n = {n} class ({enc:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn decode_rejects_garbage() {
         assert!(decode("").is_err());
         assert!(decode("\u{7f}").is_err());

@@ -292,6 +292,223 @@ impl CanonicalSet {
     }
 }
 
+/// Iteratively refined, isomorphism-invariant node colors: initial colors
+/// are the sorted distance-frequency profiles (the [`invariant_fingerprint`]
+/// ingredient), then 1-WL refinement — a node's new color is its old color
+/// plus the sorted multiset of neighbor colors — runs to a fixpoint. Color
+/// *ids* are assigned by sorting the underlying signatures, so two
+/// isomorphic graphs end with the identical id-per-orbit assignment.
+fn refined_colors(g: &Graph) -> Vec<u32> {
+    let n = g.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    let d = DistanceMatrix::new(g);
+    let mut profiles: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for u in 0..n as u32 {
+        let mut freq = vec![0u32; n + 1];
+        for &dist in d.row(u) {
+            let idx = if dist == crate::traversal::UNREACHABLE {
+                n
+            } else {
+                dist as usize
+            };
+            freq[idx] += 1;
+        }
+        profiles.push(freq);
+    }
+    let assign = |keys: &[Vec<u32>]| -> Vec<u32> {
+        let mut sorted: Vec<&Vec<u32>> = keys.iter().collect();
+        sorted.sort();
+        sorted.dedup();
+        keys.iter()
+            .map(|k| sorted.binary_search(&k).expect("key present") as u32)
+            .collect()
+    };
+    let mut colors = assign(&profiles);
+    loop {
+        let signatures: Vec<Vec<u32>> = (0..n as u32)
+            .map(|u| {
+                let mut sig = vec![colors[u as usize]];
+                let mut nb: Vec<u32> = g.neighbors(u).iter().map(|&v| colors[v as usize]).collect();
+                nb.sort_unstable();
+                sig.extend(nb);
+                sig
+            })
+            .collect();
+        let next = assign(&signatures);
+        let classes = |c: &[u32]| c.iter().copied().max().map_or(0, |m| m + 1);
+        if classes(&next) == classes(&colors) {
+            return next;
+        }
+        colors = next;
+    }
+}
+
+/// Whether unplaced vertices `u` and `v` are interchangeable by the
+/// transposition `(u v)`: their neighborhoods agree once each other is
+/// excluded (true twins share an edge, false twins do not — both make the
+/// swap an automorphism, so branching on one of them suffices).
+fn are_twins(g: &Graph, u: u32, v: u32) -> bool {
+    let strip = |w: u32, other: u32| -> Vec<u32> {
+        let mut nb: Vec<u32> = g
+            .neighbors(w)
+            .iter()
+            .copied()
+            .filter(|&x| x != other)
+            .collect();
+        nb.sort_unstable();
+        nb
+    };
+    strip(u, v) == strip(v, u)
+}
+
+/// A canonical labeling of `g`: returns the canonical representative of
+/// `g`'s isomorphism class together with the permutation that produces it
+/// (`perm[u]` is the canonical label of node `u`, i.e.
+/// `g.relabeled(&perm)` equals the returned graph).
+///
+/// The representative minimizes the graph6 bit order (the column-major
+/// upper triangle) over all labelings consistent with the refined color
+/// classes — an isomorphism-invariant restriction, so two isomorphic
+/// graphs always map to the *same* representative, which is what makes
+/// [`canonical_key`] usable as an exact atlas/dedup key. The search is a
+/// class-blocked branch-and-bound: positions are filled class by class,
+/// only minimum-column candidates are branched (ties only), and unplaced
+/// twins are pruned (swapping them is an automorphism). Intended for the
+/// enumeration sizes (`n ≲ 11`); highly symmetric graphs branch along
+/// their automorphism orbits, which stays small at these sizes.
+///
+/// # Examples
+///
+/// ```
+/// use bncg_graph::{generators, iso::canonical_form};
+///
+/// let g = generators::cycle(6);
+/// let h = g.relabeled(&[3, 1, 5, 0, 4, 2]);
+/// assert_eq!(canonical_form(&g).0, canonical_form(&h).0);
+/// ```
+#[must_use]
+pub fn canonical_form(g: &Graph) -> (Graph, Vec<u32>) {
+    let n = g.n();
+    if n == 0 {
+        return (Graph::new(0), Vec::new());
+    }
+    let colors = refined_colors(g);
+    // Position k is filled from the k-th color class in color-id order
+    // (sizes and ids are isomorphism-invariant, so this schedule is too).
+    let mut schedule: Vec<u32> = Vec::with_capacity(n);
+    let classes = colors.iter().copied().max().expect("n > 0") + 1;
+    for c in 0..classes {
+        for _ in colors.iter().filter(|&&x| x == c) {
+            schedule.push(c);
+        }
+    }
+
+    struct Search<'a> {
+        g: &'a Graph,
+        colors: &'a [u32],
+        schedule: &'a [u32],
+        placed: Vec<u32>,
+        cols: Vec<u32>,
+        best: Option<(Vec<u32>, Vec<u32>)>, // (columns, placement)
+    }
+
+    impl Search<'_> {
+        /// The column-`k` bits of placing `w` next: adjacency to the
+        /// placed prefix, row 0 most significant (graph6 bit order).
+        fn column(&self, w: u32) -> u32 {
+            let k = self.placed.len();
+            let mut col = 0u32;
+            for (i, &p) in self.placed.iter().enumerate() {
+                if self.g.has_edge(p, w) {
+                    col |= 1 << (k - 1 - i);
+                }
+            }
+            col
+        }
+
+        fn run(&mut self) {
+            let k = self.placed.len();
+            if k == self.schedule.len() {
+                let better = match &self.best {
+                    None => true,
+                    Some((cols, _)) => self.cols < *cols,
+                };
+                if better {
+                    self.best = Some((self.cols.clone(), self.placed.clone()));
+                }
+                return;
+            }
+            let class = self.schedule[k];
+            let mut ties: Vec<u32> = Vec::new();
+            let mut min_col = u32::MAX;
+            for w in 0..self.g.n() as u32 {
+                if self.colors[w as usize] != class || self.placed.contains(&w) {
+                    continue;
+                }
+                let col = self.column(w);
+                match col.cmp(&min_col) {
+                    std::cmp::Ordering::Less => {
+                        min_col = col;
+                        ties.clear();
+                        ties.push(w);
+                    }
+                    std::cmp::Ordering::Equal => ties.push(w),
+                    std::cmp::Ordering::Greater => {}
+                }
+            }
+            // Prefix-equal against the incumbent: a worse column can never
+            // recover, an equal one must keep searching.
+            if let Some((best_cols, _)) = &self.best {
+                if self.cols[..k] == best_cols[..k] && min_col > best_cols[k] {
+                    return;
+                }
+            }
+            let mut branched: Vec<u32> = Vec::new();
+            for w in ties {
+                if branched.iter().any(|&u| are_twins(self.g, u, w)) {
+                    continue;
+                }
+                branched.push(w);
+                self.placed.push(w);
+                self.cols.push(min_col);
+                self.run();
+                self.cols.pop();
+                self.placed.pop();
+            }
+        }
+    }
+
+    let mut search = Search {
+        g,
+        colors: &colors,
+        schedule: &schedule,
+        placed: Vec::with_capacity(n),
+        cols: Vec::with_capacity(n),
+        best: None,
+    };
+    search.run();
+    let (_, placement) = search.best.expect("every class schedule completes");
+    let mut perm = vec![0u32; n];
+    for (pos, &w) in placement.iter().enumerate() {
+        perm[w as usize] = pos as u32;
+    }
+    (g.relabeled(&perm), perm)
+}
+
+/// The canonical graph6 key of `g`'s isomorphism class: two graphs share
+/// the key iff they are isomorphic. This is the atlas key format.
+///
+/// # Panics
+///
+/// Panics if `n` exceeds the graph6 encoder's limit (far above the
+/// enumeration sizes this is meant for).
+#[must_use]
+pub fn canonical_key(g: &Graph) -> String {
+    crate::graph6::encode(&canonical_form(g).0).expect("enumeration-sized graph encodes")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -394,5 +611,88 @@ mod tests {
         assert!(are_isomorphic(&Graph::new(0), &Graph::new(0)));
         assert!(are_isomorphic(&Graph::new(3), &Graph::new(3)));
         assert!(!are_isomorphic(&Graph::new(3), &Graph::new(4)));
+    }
+
+    #[test]
+    fn canonical_form_is_isomorphism_invariant() {
+        let mut rng = crate::test_rng(53);
+        for n in [1usize, 2, 5, 8, 9] {
+            for _ in 0..12 {
+                let g = generators::random_connected(n, 0.35, &mut rng);
+                let perm = generators::random_permutation(n, &mut rng);
+                let h = g.relabeled(&perm);
+                let (cg, _) = canonical_form(&g);
+                let (ch, _) = canonical_form(&h);
+                assert_eq!(
+                    cg.edges().collect::<Vec<_>>(),
+                    ch.edges().collect::<Vec<_>>(),
+                    "relabeled copies must share the canonical representative (n = {n})"
+                );
+                assert_eq!(canonical_key(&g), canonical_key(&h));
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_form_permutation_produces_the_representative() {
+        let mut rng = crate::test_rng(59);
+        for _ in 0..20 {
+            let g = generators::random_connected(8, 0.3, &mut rng);
+            let (cg, perm) = canonical_form(&g);
+            assert_eq!(g.relabeled(&perm), cg);
+            assert!(are_isomorphic(&g, &cg));
+        }
+    }
+
+    #[test]
+    fn canonical_form_handles_symmetric_and_disconnected_graphs() {
+        // Highly symmetric: the complete graph (all vertices twins) and
+        // the Petersen graph (vertex-transitive, no twins — the branch
+        // search must follow its automorphism orbits).
+        let k7 = generators::clique(7);
+        assert_eq!(canonical_form(&k7).0, k7);
+        let petersen = Graph::from_edges(
+            10,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 0),
+                (0, 5),
+                (1, 6),
+                (2, 7),
+                (3, 8),
+                (4, 9),
+                (5, 7),
+                (7, 9),
+                (9, 6),
+                (6, 8),
+                (8, 5),
+            ],
+        )
+        .unwrap();
+        let scrambled = petersen.relabeled(&[7, 2, 9, 0, 4, 1, 8, 3, 6, 5]);
+        assert_eq!(canonical_key(&petersen), canonical_key(&scrambled));
+        // Disconnected graphs canonicalize too (the vertex-extension
+        // enumeration walks through them).
+        let two_triangles =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap();
+        let swapped = two_triangles.relabeled(&[3, 4, 5, 0, 1, 2]);
+        assert_eq!(canonical_key(&two_triangles), canonical_key(&swapped));
+        assert_ne!(
+            canonical_key(&two_triangles),
+            canonical_key(&generators::cycle(6))
+        );
+    }
+
+    #[test]
+    fn canonical_keys_separate_all_small_classes() {
+        // Every pair of non-isomorphic connected graphs on 6 nodes gets a
+        // distinct key: 112 classes, 112 keys.
+        let classes = crate::enumerate::connected_graphs(6).unwrap();
+        let keys: std::collections::HashSet<String> = classes.iter().map(canonical_key).collect();
+        assert_eq!(keys.len(), classes.len());
+        assert_eq!(keys.len(), 112);
     }
 }

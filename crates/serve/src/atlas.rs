@@ -1,0 +1,246 @@
+//! Atlas-backed serving: the daemon-side half of the `atlas_lookup` op.
+//!
+//! The daemon optionally holds a precomputed stability corpus
+//! ([`bncg_atlas::DynAtlas`]). An `atlas_lookup` request canonicalizes
+//! the query graph, probes the corpus, and — on a **conclusive** hit —
+//! answers inline with the stored verdict at **zero solver cost**: no
+//! scheduler submission, no slice, and not a single candidate
+//! evaluation charged to the tenant's pool (`"evals":0,"slices":0`,
+//! `"source":"atlas"`). Anything else — no atlas loaded, instance above
+//! the enumeration ceiling, class not stored, or only an `exhausted`
+//! record on file — is a **miss**: the request falls through to a
+//! scheduled live check whose response carries `"source":"live"`.
+//!
+//! Hit and miss counters feed the `stats` op so operators can see what
+//! share of lookup traffic the corpus is absorbing.
+
+use crate::protocol::render_move;
+use bncg_atlas::DynAtlas;
+use bncg_core::{Alpha, Concept};
+use bncg_graph::enumerate::MAX_GRAPH_CLASS_NODES;
+use bncg_graph::Graph;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The daemon's view of the (optional) stability corpus, plus serving
+/// counters. Shared read-only across connection threads — the atlas is
+/// immutable once loaded, so lookups need no lock.
+pub struct AtlasService {
+    atlas: Option<DynAtlas>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl fmt::Debug for AtlasService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AtlasService")
+            .field("loaded", &self.atlas.is_some())
+            .field("records", &self.atlas.as_ref().map_or(0, DynAtlas::len))
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl Default for AtlasService {
+    fn default() -> Self {
+        AtlasService::empty()
+    }
+}
+
+impl AtlasService {
+    /// A service with no corpus: every lookup misses through to a live
+    /// check. This is the default daemon configuration.
+    #[must_use]
+    pub fn empty() -> Self {
+        AtlasService {
+            atlas: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A service answering from `atlas`.
+    #[must_use]
+    pub fn with_atlas(atlas: DynAtlas) -> Self {
+        AtlasService {
+            atlas: Some(atlas),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether a corpus is loaded.
+    #[must_use]
+    pub fn loaded(&self) -> bool {
+        self.atlas.is_some()
+    }
+
+    /// Lookups answered from the corpus since startup.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that fell through to a live check since startup.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Tries to answer an `atlas_lookup` from the corpus. `Some` is the
+    /// complete response line (a hit — the caller writes it and is
+    /// done); `None` is a miss (the caller submits the equivalent live
+    /// check). Counters are bumped either way.
+    #[must_use]
+    pub fn try_answer(
+        &self,
+        id: u64,
+        concept: Concept,
+        graph: &Graph,
+        alpha: Alpha,
+    ) -> Option<String> {
+        match self.probe(id, concept, graph, alpha) {
+            Some(line) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(line)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn probe(&self, id: u64, concept: Concept, graph: &Graph, alpha: Alpha) -> Option<String> {
+        let atlas = self.atlas.as_ref()?;
+        // Canonicalization cost grows with n!-shaped search; above the
+        // enumeration ceiling the corpus cannot contain the class
+        // anyway, so don't even canonicalize.
+        if graph.n() > MAX_GRAPH_CLASS_NODES {
+            return None;
+        }
+        // A lookup error (unkeyable graph, torn index) degrades to a
+        // miss: the live path still produces a correct answer.
+        let hit = atlas.lookup(graph, concept, alpha).ok().flatten()?;
+        match hit.record.verdict.is_stable()? {
+            true => Some(format!(
+                "{{\"id\":{id},\"ok\":1,\"op\":\"atlas_lookup\",\"source\":\"atlas\",\
+                 \"verdict\":\"stable\",\"evals\":0,\"slices\":0}}"
+            )),
+            false => {
+                let witness = hit.witness?;
+                Some(format!(
+                    "{{\"id\":{id},\"ok\":1,\"op\":\"atlas_lookup\",\"source\":\"atlas\",\
+                     \"verdict\":\"unstable\",\"witness\":{},\"evals\":0,\"slices\":0}}",
+                    render_move(&witness)
+                ))
+            }
+        }
+    }
+}
+
+/// Rewrites a live `check` response line into `atlas_lookup` shape: the
+/// op field becomes `atlas_lookup` and `"source":"live"` is added, so
+/// fall-through responses are distinguishable from corpus hits while
+/// carrying the identical verdict payload. Error responses (shed, bad
+/// request) have no op field and pass through unchanged.
+#[must_use]
+pub fn relabel_live_response(line: &str) -> String {
+    line.replacen(
+        "\"op\":\"check\"",
+        "\"op\":\"atlas_lookup\",\"source\":\"live\"",
+        1,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_atlas::{build, Atlas, BuildSpec, MemoryBacking, RamBacking};
+    use bncg_core::jsonio;
+    use bncg_graph::generators;
+
+    fn service_n4() -> AtlasService {
+        let mut atlas = Atlas::open(RamBacking::new()).unwrap();
+        build(&mut atlas, &BuildSpec::standard(4), 1_000_000, None).unwrap();
+        // Re-open over a type-erased backing, as the daemon would.
+        let mut boxed: Box<dyn MemoryBacking + Send + Sync> = Box::new(RamBacking::new());
+        atlas
+            .backing()
+            .for_each_line(&mut |_, line| boxed.append_line(line).unwrap())
+            .unwrap();
+        AtlasService::with_atlas(Atlas::open(boxed).unwrap())
+    }
+
+    #[test]
+    fn conclusive_hits_answer_inline_with_zero_cost() {
+        let svc = service_n4();
+        let g = generators::path(4);
+        let line = svc
+            .try_answer(7, Concept::Bae, &g, Alpha::from_ratio(1, 2).unwrap())
+            .expect("P4 BAE at α=1/2 is in the standard n≤4 grid");
+        assert_eq!(jsonio::u64_field(&line, "id"), Some(7));
+        assert_eq!(jsonio::str_field(&line, "source"), Some("atlas"));
+        assert_eq!(jsonio::str_field(&line, "verdict"), Some("unstable"));
+        assert_eq!(jsonio::u64_field(&line, "evals"), Some(0));
+        assert!(jsonio::object_field(&line, "witness").is_some());
+        assert_eq!((svc.hits(), svc.misses()), (1, 0));
+    }
+
+    #[test]
+    fn off_grid_and_oversize_queries_miss() {
+        let svc = service_n4();
+        // α = 7 is not on the standard grid for n = 4.
+        let g = generators::path(4);
+        assert!(svc
+            .try_answer(1, Concept::Bae, &g, Alpha::integer(7).unwrap())
+            .is_none());
+        // n = 5 is beyond the built ceiling.
+        assert!(svc
+            .try_answer(
+                2,
+                Concept::Bae,
+                &generators::path(5),
+                Alpha::integer(2).unwrap()
+            )
+            .is_none());
+        // n far beyond the enumeration ceiling short-circuits.
+        assert!(svc
+            .try_answer(
+                3,
+                Concept::Re,
+                &generators::path(64),
+                Alpha::integer(2).unwrap()
+            )
+            .is_none());
+        assert_eq!((svc.hits(), svc.misses()), (0, 3));
+    }
+
+    #[test]
+    fn empty_service_always_misses() {
+        let svc = AtlasService::empty();
+        assert!(!svc.loaded());
+        assert!(svc
+            .try_answer(
+                1,
+                Concept::Re,
+                &generators::path(4),
+                Alpha::integer(2).unwrap()
+            )
+            .is_none());
+        assert_eq!((svc.hits(), svc.misses()), (0, 1));
+    }
+
+    #[test]
+    fn live_responses_are_relabeled() {
+        let live = "{\"id\":3,\"ok\":1,\"op\":\"check\",\"verdict\":\"stable\",\
+                    \"evals\":12,\"slices\":2}";
+        let out = relabel_live_response(live);
+        assert_eq!(jsonio::str_field(&out, "op"), Some("atlas_lookup"));
+        assert_eq!(jsonio::str_field(&out, "source"), Some("live"));
+        assert_eq!(jsonio::u64_field(&out, "evals"), Some(12));
+        let shed = "{\"id\":3,\"ok\":0,\"error\":\"shed\",\"reason\":\"x\"}";
+        assert_eq!(relabel_live_response(shed), shed);
+    }
+}

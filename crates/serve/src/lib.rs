@@ -60,11 +60,13 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod atlas;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;
 pub mod tenant;
 
+pub use atlas::AtlasService;
 pub use protocol::{parse_request, BadRequest, Request};
 pub use scheduler::{QuerySpec, Scheduler, SchedulerConfig, Work};
 pub use server::{Server, ServerConfig};

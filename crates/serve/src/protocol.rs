@@ -118,6 +118,27 @@ pub enum Request {
         /// Per-query wall-clock allowance in milliseconds.
         deadline_ms: Option<u64>,
     },
+    /// `op:"atlas_lookup"` — a stability query answered from the
+    /// precomputed atlas when the instance's canonical class is stored
+    /// (zero solver cost), falling through to a scheduled live check
+    /// otherwise. Same payload as `check`.
+    AtlasLookup {
+        /// Client-chosen correlation id (echoed in the response).
+        id: u64,
+        /// Tenant whose budget pool meters a live fall-through.
+        tenant: String,
+        /// The queried solution concept.
+        concept: Concept,
+        /// Edge price α.
+        alpha: Alpha,
+        /// The instance graph.
+        graph: Graph,
+        /// A previously returned resume token, verbatim (only a live
+        /// fall-through ever emits one).
+        resume: Option<String>,
+        /// Per-query wall-clock allowance in milliseconds.
+        deadline_ms: Option<u64>,
+    },
     /// `op:"grant"` — control plane: create the tenant with exactly
     /// `evals` granted, or top an existing tenant up by `evals`.
     Grant {
@@ -151,6 +172,7 @@ impl Request {
             | Request::BestResponse { id, .. }
             | Request::Trajectory { id, .. }
             | Request::Dynamics { id, .. }
+            | Request::AtlasLookup { id, .. }
             | Request::Grant { id, .. }
             | Request::Stats { id }
             | Request::Shutdown { id } => *id,
@@ -261,6 +283,15 @@ pub fn parse_request(line: &str) -> Result<Request, BadRequest> {
             resume,
             deadline_ms,
         }),
+        "atlas_lookup" => Ok(Request::AtlasLookup {
+            id,
+            tenant: tenant()?,
+            concept: concept()?,
+            alpha: alpha()?,
+            graph: graph()?,
+            resume,
+            deadline_ms,
+        }),
         "grant" => Ok(Request::Grant {
             id,
             tenant: tenant()?,
@@ -321,48 +352,12 @@ pub fn render_edges(g: &Graph) -> String {
 }
 
 /// Renders a witness [`Move`] as a JSON object (`witness`/`move`
-/// response fields). Edge pairs are packed like the wire arrays.
+/// response fields). Edge pairs are packed like the wire arrays. This is
+/// [`Move::render_json`] — the atlas stores witnesses in the identical
+/// format, so a stored verdict serves byte-for-byte like a live one.
 #[must_use]
 pub fn render_move(mv: &Move) -> String {
-    match mv {
-        Move::Remove { agent, target } => {
-            format!("{{\"kind\":\"remove\",\"agent\":{agent},\"target\":{target}}}")
-        }
-        Move::BilateralAdd { u, v } => {
-            format!("{{\"kind\":\"add\",\"u\":{u},\"v\":{v}}}")
-        }
-        Move::Swap { agent, old, new } => {
-            format!("{{\"kind\":\"swap\",\"agent\":{agent},\"old\":{old},\"new\":{new}}}")
-        }
-        Move::Neighborhood {
-            center,
-            remove,
-            add,
-        } => {
-            let rem: Vec<u64> = remove.iter().map(|&v| u64::from(v)).collect();
-            let add: Vec<u64> = add.iter().map(|&v| u64::from(v)).collect();
-            format!(
-                "{{\"kind\":\"neighborhood\",\"center\":{center},\"remove\":{},\"add\":{}}}",
-                jsonio::render_u64_list(&rem),
-                jsonio::render_u64_list(&add)
-            )
-        }
-        Move::Coalition {
-            members,
-            remove_edges,
-            add_edges,
-        } => {
-            let mem: Vec<u64> = members.iter().map(|&v| u64::from(v)).collect();
-            let rem: Vec<u64> = remove_edges.iter().map(|&(u, v)| pack_edge(u, v)).collect();
-            let add: Vec<u64> = add_edges.iter().map(|&(u, v)| pack_edge(u, v)).collect();
-            format!(
-                "{{\"kind\":\"coalition\",\"members\":{},\"remove_edges\":{},\"add_edges\":{}}}",
-                jsonio::render_u64_list(&mem),
-                jsonio::render_u64_list(&rem),
-                jsonio::render_u64_list(&add)
-            )
-        }
-    }
+    mv.render_json()
 }
 
 /// Makes free text (error reasons) safe for the escape-free wire format:

@@ -254,6 +254,18 @@ impl Scheduler {
         self.shared.tenants.snapshot()
     }
 
+    /// Queued (not yet mid-slice) jobs per tenant name — the `stats`
+    /// op's per-tenant queue depth. One pass under the queue lock.
+    #[must_use]
+    pub fn queue_depths(&self) -> std::collections::HashMap<String, u64> {
+        let queue = self.shared.queue.lock().expect("no poisoning");
+        let mut depths = std::collections::HashMap::new();
+        for job in queue.iter() {
+            *depths.entry(job.tenant.name().to_string()).or_insert(0) += 1;
+        }
+        depths
+    }
+
     /// Stops the pool: queued jobs still get slices, but unfinished work
     /// is shed with its resume token instead of requeued, so the drain
     /// is bounded by one slice per resident query. Idempotent; blocks

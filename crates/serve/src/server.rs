@@ -11,6 +11,7 @@
 //!
 //! [`protocol::parse_request`]: crate::protocol::parse_request
 
+use crate::atlas::{relabel_live_response, AtlasService};
 use crate::protocol::{self, error_response, BadRequest, Request};
 use crate::scheduler::{QuerySpec, Scheduler, SchedulerConfig, Work};
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -32,6 +33,10 @@ pub struct ServerConfig {
     pub addr: String,
     /// The scheduler underneath.
     pub scheduler: SchedulerConfig,
+    /// The (optional) precomputed stability corpus behind the
+    /// `atlas_lookup` op. Defaults to empty: every lookup falls through
+    /// to a live check.
+    pub atlas: Arc<AtlasService>,
 }
 
 impl Default for ServerConfig {
@@ -39,6 +44,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             scheduler: SchedulerConfig::default(),
+            atlas: Arc::new(AtlasService::empty()),
         }
     }
 }
@@ -49,6 +55,7 @@ impl Default for ServerConfig {
 pub struct Server {
     local: SocketAddr,
     scheduler: Arc<Scheduler>,
+    atlas: Arc<AtlasService>,
     stop: Arc<AtomicBool>,
     accept: Mutex<Option<JoinHandle<()>>>,
 }
@@ -63,9 +70,11 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local = listener.local_addr()?;
         let scheduler = Arc::new(Scheduler::start(cfg.scheduler));
+        let atlas = cfg.atlas;
         let stop = Arc::new(AtomicBool::new(false));
         let accept = {
             let scheduler = Arc::clone(&scheduler);
+            let atlas = Arc::clone(&atlas);
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
                 for conn in listener.incoming() {
@@ -74,14 +83,16 @@ impl Server {
                     }
                     let Ok(conn) = conn else { continue };
                     let scheduler = Arc::clone(&scheduler);
+                    let atlas = Arc::clone(&atlas);
                     let stop = Arc::clone(&stop);
-                    std::thread::spawn(move || serve_connection(&conn, &scheduler, &stop));
+                    std::thread::spawn(move || serve_connection(&conn, &scheduler, &atlas, &stop));
                 }
             })
         };
         Ok(Server {
             local,
             scheduler,
+            atlas,
             stop,
             accept: Mutex::new(Some(accept)),
         })
@@ -97,6 +108,13 @@ impl Server {
     #[must_use]
     pub fn scheduler(&self) -> &Scheduler {
         &self.scheduler
+    }
+
+    /// The atlas service behind `atlas_lookup`, for embedders and tests
+    /// inspecting hit/miss counters.
+    #[must_use]
+    pub fn atlas(&self) -> &AtlasService {
+        &self.atlas
     }
 
     /// Stops accepting, drains the scheduler (resident queries get one
@@ -132,7 +150,12 @@ fn write_line(out: &Mutex<TcpStream>, line: &str) {
     let _ = sock.flush();
 }
 
-fn serve_connection(conn: &TcpStream, scheduler: &Arc<Scheduler>, stop: &Arc<AtomicBool>) {
+fn serve_connection(
+    conn: &TcpStream,
+    scheduler: &Arc<Scheduler>,
+    atlas: &Arc<AtlasService>,
+    stop: &Arc<AtomicBool>,
+) {
     let Ok(write_half) = conn.try_clone() else {
         return;
     };
@@ -158,7 +181,14 @@ fn serve_connection(conn: &TcpStream, scheduler: &Arc<Scheduler>, stop: &Arc<Ato
                     &error_response(id, "bad_request", &reason, None, None),
                 );
             }
-            Ok(request) => dispatch(request, conn.local_addr().ok(), scheduler, stop, &out),
+            Ok(request) => dispatch(
+                request,
+                conn.local_addr().ok(),
+                scheduler,
+                atlas,
+                stop,
+                &out,
+            ),
         }
     }
 }
@@ -167,6 +197,7 @@ fn dispatch(
     request: Request,
     listener: Option<SocketAddr>,
     scheduler: &Arc<Scheduler>,
+    atlas: &Arc<AtlasService>,
     stop: &Arc<AtomicBool>,
     out: &Arc<Mutex<TcpStream>>,
 ) {
@@ -184,13 +215,17 @@ fn dispatch(
             return;
         }
         Request::Stats { id } => {
+            let depths = scheduler.queue_depths();
             let rows: Vec<String> = scheduler
                 .tenants()
                 .iter()
                 .map(|t| {
                     format!(
-                        "{{\"tenant\":\"{}\",\"granted\":{},\"used\":{}}}",
-                        t.name, t.granted, t.used
+                        "{{\"tenant\":\"{}\",\"granted\":{},\"used\":{},\"queued\":{}}}",
+                        t.name,
+                        t.granted,
+                        t.used,
+                        depths.get(&t.name).copied().unwrap_or(0)
                     )
                 })
                 .collect();
@@ -198,8 +233,10 @@ fn dispatch(
                 out,
                 &format!(
                     "{{\"id\":{id},\"ok\":1,\"op\":\"stats\",\"resident\":{},\
-                     \"tenants\":[{}]}}",
+                     \"atlas_hits\":{},\"atlas_misses\":{},\"tenants\":[{}]}}",
                     scheduler.resident(),
+                    atlas.hits(),
+                    atlas.misses(),
                     rows.join(",")
                 ),
             );
@@ -218,6 +255,40 @@ fn dispatch(
             if let Some(addr) = listener {
                 let _ = TcpStream::connect(addr);
             }
+            return;
+        }
+        Request::AtlasLookup {
+            id,
+            tenant,
+            concept,
+            alpha,
+            graph,
+            resume,
+            deadline_ms,
+        } => {
+            // Fresh queries may hit the corpus; a resume token means a
+            // live fall-through is already in flight — continue it.
+            if resume.is_none() {
+                if let Some(line) = atlas.try_answer(id, concept, &graph, alpha) {
+                    write_line(out, &line);
+                    return;
+                }
+            }
+            let out = Arc::clone(out);
+            scheduler.submit(
+                QuerySpec {
+                    id,
+                    tenant,
+                    work: Work::Check {
+                        concept,
+                        graph,
+                        alpha,
+                    },
+                    resume,
+                    deadline_ms,
+                },
+                Box::new(move |line| write_line(&out, &relabel_live_response(&line))),
+            );
             return;
         }
         Request::Check {

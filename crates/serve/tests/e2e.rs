@@ -76,6 +76,7 @@ fn small_server() -> Server {
             slice: 256,
             default_grant: u64::MAX,
         },
+        ..ServerConfig::default()
     })
     .expect("bind")
 }
@@ -183,6 +184,7 @@ fn drained_tenant_sheds_while_others_complete() {
             slice: 64,
             default_grant: u64::MAX,
         },
+        ..ServerConfig::default()
     })
     .expect("bind");
     let mut ops = Client::connect(&server);

@@ -10,7 +10,8 @@
 //! | [`core`] | `bncg-core` | the game: exact costs, the incremental [`core::GameState`] evaluation engine, the eight solution concepts, unilateral NCG, theorem bounds |
 //! | [`constructions`] | `bncg-constructions` | stretched trees, figure witnesses, conjecture/Venn searches |
 //! | [`dynamics`] | `bncg-dynamics` | improving-move and round-robin dynamics running on one persistent engine state |
-//! | [`serve`] | `bncg-serve` | the stability-checking daemon: line-JSON over TCP, time-slicing scheduler, per-tenant fair-share budget pools |
+//! | [`atlas`] | `bncg-atlas` | the precomputed stability corpus: pluggable RAM/disk backings, the resumable canonical build walk, differential verification |
+//! | [`serve`] | `bncg-serve` | the stability-checking daemon: line-JSON over TCP, time-slicing scheduler, per-tenant fair-share budget pools, atlas-backed `atlas_lookup` |
 //! | [`analysis`] | `bncg-analysis` | the experiment harness regenerating every table and figure |
 //!
 //! # The solver surface
@@ -65,6 +66,7 @@
 #![warn(missing_docs)]
 
 pub use bncg_analysis as analysis;
+pub use bncg_atlas as atlas;
 pub use bncg_constructions as constructions;
 pub use bncg_core as core;
 pub use bncg_dynamics as dynamics;

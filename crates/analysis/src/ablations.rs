@@ -7,7 +7,8 @@
 
 use crate::report::{fnum, Report};
 use bncg_core::{
-    agent_cost, agent_cost_from_matrix, concepts, delta, Alpha, GameError, GameState, Move,
+    agent_cost, agent_cost_from_matrix, concepts, delta, Alpha, CostModelSpec, GameError,
+    GameState, Move,
 };
 use bncg_graph::{generators, DistanceMatrix};
 use std::time::Instant;
@@ -531,6 +532,89 @@ pub fn trajectory_pruning(report: &mut Report, quick: bool) -> Result<(), GameEr
     Ok(())
 }
 
+/// Ablation 8: the pluggable cost-model layer's soundness capability.
+/// The same BNE scans run under every model; distance-linear models
+/// (`sum_distances`, `generalized:id`) keep the proven candidate
+/// filters and must agree verdict-for-verdict, while non-linear models
+/// run filter-free (`pruned = 0`) — correct by construction, slower by
+/// measurement.
+///
+/// # Errors
+///
+/// Forwards solver errors (none expected on these pinned instances).
+pub fn cost_models(report: &mut Report, quick: bool) -> Result<(), GameError> {
+    use bncg_core::solver::{ExecPolicy, Solver, StabilityQuery, Verdict};
+    let n = if quick { 12 } else { 16 };
+    let models: [CostModelSpec; 4] = [
+        CostModelSpec::SumDistances,
+        CostModelSpec::Generalized(bncg_core::Utility::Identity),
+        CostModelSpec::Generalized(bncg_core::Utility::Capped(2)),
+        CostModelSpec::AdversaryRobust,
+    ];
+    let instances = [
+        ("star", generators::star(n)),
+        ("path", generators::path(n)),
+        ("cycle", generators::cycle(n)),
+    ];
+    let alpha = Alpha::integer(2).expect("α");
+    let section = report.section(format!(
+        "Ablation: cost models and filter soundness (BNE, n = {n})"
+    ));
+    section.note(
+        "distance-linear models (sum_distances, generalized:id) keep the          proven pruning filters and must agree exactly; non-linear models          run the identical scan filter-free (pruned = 0)",
+    );
+    let table = section.table([
+        "instance",
+        "model",
+        "verdict",
+        "evals",
+        "pruned",
+        "time (ms)",
+    ]);
+    let solver = Solver::new(ExecPolicy::default().with_threads(1));
+    for (name, g) in &instances {
+        let mut default_stable: Option<bool> = None;
+        for model in models {
+            let t0 = Instant::now();
+            let verdict = solver.check(
+                &StabilityQuery::new(bncg_core::Concept::Bne, g, alpha).with_cost_model(model),
+            )?;
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            let (stable, evals, pruned) = match &verdict {
+                Verdict::Stable { evals, pruned, .. } => (true, *evals, *pruned),
+                Verdict::Unstable { evals, .. } => (false, *evals, 0),
+                Verdict::Exhausted { .. } => unreachable!("unbudgeted scan"),
+            };
+            match default_stable {
+                None => default_stable = Some(stable),
+                Some(base) => {
+                    // generalized:id prices identically to the default
+                    // model, so its verdict is pinned to it; the other
+                    // models merely report theirs.
+                    assert!(
+                        model != CostModelSpec::Generalized(bncg_core::Utility::Identity)
+                            || stable == base,
+                        "generalized:id diverged from sum_distances on {name}"
+                    );
+                }
+            }
+            assert!(
+                model.distance_linear() || pruned == 0,
+                "a non-linear model must run filter-free on {name}"
+            );
+            table.row([
+                (*name).to_string(),
+                model.token(),
+                if stable { "stable" } else { "unstable" }.to_string(),
+                evals.to_string(),
+                pruned.to_string(),
+                fnum(ms),
+            ]);
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -579,6 +663,15 @@ mod tests {
         let mut r = Report::new();
         delta_engines(&mut r, true).unwrap();
         assert!(r.render().contains("fast delta engines"));
+    }
+
+    #[test]
+    fn cost_model_ablation_runs_and_agrees() {
+        let mut r = Report::new();
+        cost_models(&mut r, true).unwrap();
+        let text = r.render();
+        assert!(text.contains("cost models"));
+        assert!(text.contains("adversary_robust"));
     }
 
     #[test]

@@ -73,6 +73,13 @@
 //!                  solver (table1 rows, `all`): stored verdicts are
 //!                  served at zero solver cost and never touch the
 //!                  shared pool
+//!   --cost-model M price agents under a non-default cost model:
+//!                  sum_distances (default), generalized[:id|:cap<k>|:quad],
+//!                  or adversary_robust. Applies to table1 and its sweep
+//!                  rows (paper bounds become reference values), check,
+//!                  single dynamics trajectories, and ablations; the
+//!                  atlas serves default-model verdicts only, so
+//!                  non-default sweeps always run live
 //!
 //! The solver flags apply to the commands that execute stability
 //! queries: `check`, the Table 1 enumeration sweeps (via
@@ -89,7 +96,7 @@ use bncg_analysis::{
 };
 use bncg_atlas::{Atlas, BuildSpec, Cursor, DiskBacking, DynAtlas, MemoryBacking};
 use bncg_core::solver::{ExecPolicy, Frontier, Solver, StabilityQuery, Verdict};
-use bncg_core::{Alpha, Concept, GameError};
+use bncg_core::{Alpha, Concept, CostModelSpec, GameError};
 use bncg_dynamics::round_robin;
 use std::path::Path;
 use std::process::ExitCode;
@@ -97,8 +104,9 @@ use std::time::Duration;
 
 /// Flags that consume the following argument (needed to tell the command
 /// token apart from a flag value).
-const VALUE_FLAGS: [&str; 24] = [
+const VALUE_FLAGS: [&str; 25] = [
     "--threads",
+    "--cost-model",
     "--budget",
     "--deadline-ms",
     "--batch-budget",
@@ -204,7 +212,9 @@ fn usage() -> &'static str {
      one eval budget across a whole enumeration sweep; --threads N \
      parallelizes the sweeps (polynomial rows complete eagerly and cannot \
      exhaust); --atlas DIR serves sweep verdicts from a precomputed \
-     corpus; `check` adds --concept, --alpha, --n, --family, --p, \
+     corpus; --cost-model M prices agents under a non-default model \
+     (table1/ps/bswe/3bse/bse, check, dynamics trajectories, ablations); \
+     `check` adds --concept, --alpha, --n, --family, --p, \
      --seed, --resume; `dynamics` with --family/--graph6/--n/--rounds/\
      --resume runs one anytime round-robin trajectory; `serve` starts the \
      line-JSON daemon (--port, --workers, --slice, --grant, --atlas) and \
@@ -235,7 +245,11 @@ fn build_graph(family: &str, n: usize, p: f64, seed: u64) -> Result<bncg_graph::
 
 /// The `check` command: one solver query, printable end to end — the
 /// service-shaped surface (budget in, verdict or resume token out).
-fn run_check(args: &[String], policy: &ExecPolicy) -> Result<String, GameError> {
+fn run_check(
+    args: &[String],
+    policy: &ExecPolicy,
+    model: CostModelSpec,
+) -> Result<String, GameError> {
     let concept: Concept = string_flag(args, "--concept")?
         .unwrap_or_else(|| "bne".into())
         .parse()?;
@@ -253,16 +267,19 @@ fn run_check(args: &[String], policy: &ExecPolicy) -> Result<String, GameError> 
     let family = string_flag(args, "--family")?.unwrap_or_else(|| "gnp".into());
     let g = build_graph(&family, n, p, seed)?;
 
-    let mut query = StabilityQuery::new(concept, &g, alpha);
+    let mut query = StabilityQuery::new(concept, &g, alpha).with_cost_model(model);
     if let Some(token) = string_flag(args, "--resume")? {
         let frontier: Frontier = token.parse()?;
         query = query.resume(frontier);
     }
     let verdict = Solver::new(policy.clone()).check(&query)?;
-    let head = format!(
+    let mut head = format!(
         "check {concept} on {family} (n = {n}, α = {alpha}, {} edges)",
         g.m()
     );
+    if !model.is_default() {
+        head.push_str(&format!(" under {}", model.token()));
+    }
     Ok(match verdict {
         Verdict::Stable {
             evals,
@@ -291,7 +308,11 @@ fn run_check(args: &[String], policy: &ExecPolicy) -> Result<String, GameError> 
 /// exhaustion the final state is printed as graph6 so the follow-up
 /// `--resume` invocation can name the exact interrupted state (the
 /// checkpoint's fingerprint validation rejects anything else).
-fn run_trajectory(args: &[String], policy: &ExecPolicy) -> Result<String, GameError> {
+fn run_trajectory(
+    args: &[String],
+    policy: &ExecPolicy,
+    model: CostModelSpec,
+) -> Result<String, GameError> {
     let alpha: Alpha = string_flag(args, "--alpha")?
         .unwrap_or_else(|| "2".into())
         .parse()?;
@@ -314,9 +335,9 @@ fn run_trajectory(args: &[String], policy: &ExecPolicy) -> Result<String, GameEr
     let out = match string_flag(args, "--resume")? {
         Some(token) => {
             let checkpoint: round_robin::Checkpoint = token.parse()?;
-            round_robin::resume(&g, alpha, rounds, policy, &checkpoint)?
+            round_robin::resume_under(&g, alpha, model, rounds, policy, &checkpoint)?
         }
-        None => round_robin::run_with_policy(&g, alpha, rounds, policy)?,
+        None => round_robin::run_with_policy_under(&g, alpha, model, rounds, policy)?,
     };
     let status = if out.converged {
         "converged (BNE reached)"
@@ -560,6 +581,39 @@ fn main() -> ExitCode {
         }
     }
     let command = command_token(&args).unwrap_or_else(|| "all".into());
+    let model: CostModelSpec = match string_flag(&args, "--cost-model") {
+        Ok(Some(token)) => match token.parse() {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("invalid --cost-model: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Ok(None) => CostModelSpec::SumDistances,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The flag applies to the commands that price agents: a non-default
+    // model on any other command is an error, never silently dropped.
+    let model_aware = [
+        "table1",
+        "ps",
+        "bswe",
+        "3bse",
+        "bse",
+        "check",
+        "dynamics",
+        "ablations",
+    ];
+    if !model.is_default() && !model_aware.contains(&command.as_str()) {
+        eprintln!(
+            "--cost-model applies to: {}; `{command}` prices under the default model only",
+            model_aware.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
 
     // `dynamics` doubles as the single-trajectory anytime runner when
     // any instance-selecting flag is present; bare `dynamics` keeps its
@@ -584,21 +638,21 @@ fn main() -> ExitCode {
     let render = |r: Report| if json { r.to_json() } else { r.render() };
     let result = match command.as_str() {
         "all" => run_all_with_atlas(quick, &policy, atlas.as_ref()).map(render),
-        "table1" => table1::full_table_with_atlas(quick, &policy, atlas.as_ref()).map(render),
-        "check" => run_check(&args, &policy),
+        "table1" => table1::full_table_under(quick, &policy, atlas.as_ref(), model).map(render),
+        "check" => run_check(&args, &policy, model),
         "serve" => run_serve(&args),
         "query" => run_query(&args),
         "atlas" => run_atlas(&args, &policy),
-        "dynamics" if trajectory_mode => run_trajectory(&args, &policy),
+        "dynamics" if trajectory_mode => run_trajectory(&args, &policy, model),
         other => {
             let mut r = Report::new();
             let run = match other {
-                "ps" => table1::row_ps(&mut r, quick, &policy, atlas.as_ref()),
-                "bswe" => table1::row_bswe(&mut r, quick, &policy, atlas.as_ref()),
+                "ps" => table1::row_ps_under(&mut r, quick, &policy, atlas.as_ref(), model),
+                "bswe" => table1::row_bswe_under(&mut r, quick, &policy, atlas.as_ref(), model),
                 "bge" => table1::row_bge(&mut r, quick),
                 "bne" => table1::row_bne(&mut r, quick),
-                "3bse" => table1::row_3bse(&mut r, quick, &policy, atlas.as_ref()),
-                "bse" => table1::row_bse(&mut r, quick, &policy, atlas.as_ref()),
+                "3bse" => table1::row_3bse_under(&mut r, quick, &policy, atlas.as_ref(), model),
+                "bse" => table1::row_bse_under(&mut r, quick, &policy, atlas.as_ref(), model),
                 "fig1a" => figures::fig1a(&mut r, quick),
                 "fig1b" => figures::fig1b(&mut r, quick),
                 "fig2" => figures::fig2(&mut r, quick),
@@ -623,7 +677,8 @@ fn main() -> ExitCode {
                     .and_then(|()| bncg_analysis::ablations::incremental_engine(&mut r, quick))
                     .and_then(|()| bncg_analysis::ablations::pruning(&mut r, quick))
                     .and_then(|()| bncg_analysis::ablations::generator(&mut r, quick))
-                    .and_then(|()| bncg_analysis::ablations::trajectory_pruning(&mut r, quick)),
+                    .and_then(|()| bncg_analysis::ablations::trajectory_pruning(&mut r, quick))
+                    .and_then(|()| bncg_analysis::ablations::cost_models(&mut r, quick)),
                 _ => {
                     eprintln!("unknown command: {other}");
                     eprintln!("{}", usage());

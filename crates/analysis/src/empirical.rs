@@ -20,7 +20,7 @@
 
 use bncg_atlas::DynAtlas;
 use bncg_core::solver::{ExecPolicy, Solver, StabilityQuery, Verdict};
-use bncg_core::{social_cost_ratio, Alpha, Concept, GameError, GameState};
+use bncg_core::{social_cost_ratio, Alpha, Concept, CostModelSpec, GameError, GameState};
 use bncg_graph::{enumerate, Graph};
 use std::sync::atomic::AtomicU64;
 
@@ -47,6 +47,9 @@ pub struct PoaPoint {
     /// Instances whose verdict came from the precomputed atlas at zero
     /// solver cost (always 0 when no atlas was supplied).
     pub atlas_hits: usize,
+    /// The cost model every stability check and social-cost evaluation
+    /// priced under.
+    pub model: CostModelSpec,
 }
 
 /// Exhaustive PoA over all free trees on `n` nodes.
@@ -70,7 +73,15 @@ pub fn tree_poa_with(
     policy: &ExecPolicy,
 ) -> Result<PoaPoint, GameError> {
     let trees = enumerate::free_trees(n).map_err(GameError::Graph)?;
-    poa_over(&trees, n, alpha, concept, policy, None)
+    poa_over(
+        &trees,
+        n,
+        alpha,
+        concept,
+        CostModelSpec::SumDistances,
+        policy,
+        None,
+    )
 }
 
 /// Exhaustive PoA over all connected graphs on `n` nodes.
@@ -94,7 +105,15 @@ pub fn graph_poa_with(
     policy: &ExecPolicy,
 ) -> Result<PoaPoint, GameError> {
     let graphs = enumerate::connected_graphs(n).map_err(GameError::Graph)?;
-    poa_over(&graphs, n, alpha, concept, policy, None)
+    poa_over(
+        &graphs,
+        n,
+        alpha,
+        concept,
+        CostModelSpec::SumDistances,
+        policy,
+        None,
+    )
 }
 
 /// A conclusive per-instance verdict, whatever produced it.
@@ -109,6 +128,7 @@ fn poa_over(
     n: usize,
     alpha: Alpha,
     concept: Concept,
+    model: CostModelSpec,
     policy: &ExecPolicy,
     atlas: Option<&DynAtlas>,
 ) -> Result<PoaPoint, GameError> {
@@ -117,14 +137,16 @@ fn poa_over(
     // `check_many_pooled` call and the batch budget means "this much
     // work for the entire enumeration".
     let pool = AtomicU64::new(0);
-    poa_over_pooled(instances, n, alpha, concept, policy, &pool, atlas)
+    poa_over_pooled(instances, n, alpha, concept, model, policy, &pool, atlas)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn poa_over_pooled(
     instances: &[Graph],
     n: usize,
     alpha: Alpha,
     concept: Concept,
+    model: CostModelSpec,
     policy: &ExecPolicy,
     pool: &AtomicU64,
     atlas: Option<&DynAtlas>,
@@ -149,7 +171,10 @@ fn poa_over_pooled(
         let mut resolved: Vec<Option<Resolved>> = Vec::with_capacity(chunk.len());
         let mut live: Vec<usize> = Vec::new();
         for (i, g) in chunk.iter().enumerate() {
+            // The corpus stores default-model verdicts only, so any
+            // other model goes straight to the live solver.
             let hit = atlas
+                .filter(|_| model.is_default())
                 .and_then(|a| a.lookup(g, concept, alpha).ok().flatten())
                 .and_then(|h| h.record.verdict.is_stable());
             match hit {
@@ -171,7 +196,7 @@ fn poa_over_pooled(
         if !live.is_empty() {
             let states: Vec<GameState> = live
                 .iter()
-                .map(|&i| GameState::new(chunk[i].clone(), alpha))
+                .map(|&i| GameState::with_cost_model(chunk[i].clone(), alpha, model))
                 .collect();
             let queries: Vec<StabilityQuery> = states
                 .iter()
@@ -198,7 +223,16 @@ fn poa_over_pooled(
                 Resolved::Stable => {}
             }
             stable_count += 1;
-            let rho = social_cost_ratio(g, alpha)?.as_f64();
+            let rho = if model.is_default() {
+                social_cost_ratio(g, alpha)?.as_f64()
+            } else {
+                // Model-aware ρ: the model's social cost against the
+                // *default* optimum — a fixed positive scale at fixed
+                // n, so comparisons over one instance set are sound.
+                GameState::with_cost_model(g.clone(), alpha, model)
+                    .social_cost_ratio()?
+                    .as_f64()
+            };
             if best.as_ref().is_none_or(|(b, _)| rho > *b) {
                 best = Some((rho, g.clone()));
             }
@@ -218,6 +252,7 @@ fn poa_over_pooled(
         total,
         exhausted,
         atlas_hits,
+        model,
     })
 }
 
@@ -254,8 +289,34 @@ pub fn tree_poa_grid(
     policy: &ExecPolicy,
     atlas: Option<&DynAtlas>,
 ) -> Result<Vec<PoaPoint>, GameError> {
+    tree_poa_grid_under(
+        n,
+        alphas,
+        concept,
+        CostModelSpec::SumDistances,
+        policy,
+        atlas,
+    )
+}
+
+/// [`tree_poa_grid`] pricing every stability check and social cost
+/// under an explicit [`CostModelSpec`]. The default model reproduces
+/// [`tree_poa_grid`] exactly; a non-default model bypasses the atlas
+/// (the corpus stores default-model verdicts only).
+///
+/// # Errors
+///
+/// Forwards the enumeration guard and solver errors.
+pub fn tree_poa_grid_under(
+    n: usize,
+    alphas: &[Alpha],
+    concept: Concept,
+    model: CostModelSpec,
+    policy: &ExecPolicy,
+    atlas: Option<&DynAtlas>,
+) -> Result<Vec<PoaPoint>, GameError> {
     let trees = enumerate::free_trees(n).map_err(GameError::Graph)?;
-    poa_grid(&trees, n, alphas, concept, policy, atlas)
+    poa_grid(&trees, n, alphas, concept, model, policy, atlas)
 }
 
 /// [`tree_poa_grid`] over all connected graphs instead of trees.
@@ -270,15 +331,41 @@ pub fn graph_poa_grid(
     policy: &ExecPolicy,
     atlas: Option<&DynAtlas>,
 ) -> Result<Vec<PoaPoint>, GameError> {
-    let graphs = enumerate::connected_graphs(n).map_err(GameError::Graph)?;
-    poa_grid(&graphs, n, alphas, concept, policy, atlas)
+    graph_poa_grid_under(
+        n,
+        alphas,
+        concept,
+        CostModelSpec::SumDistances,
+        policy,
+        atlas,
+    )
 }
 
+/// [`graph_poa_grid`] under an explicit [`CostModelSpec`] (see
+/// [`tree_poa_grid_under`]).
+///
+/// # Errors
+///
+/// Forwards the enumeration guard and solver errors.
+pub fn graph_poa_grid_under(
+    n: usize,
+    alphas: &[Alpha],
+    concept: Concept,
+    model: CostModelSpec,
+    policy: &ExecPolicy,
+    atlas: Option<&DynAtlas>,
+) -> Result<Vec<PoaPoint>, GameError> {
+    let graphs = enumerate::connected_graphs(n).map_err(GameError::Graph)?;
+    poa_grid(&graphs, n, alphas, concept, model, policy, atlas)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn poa_grid(
     instances: &[Graph],
     n: usize,
     alphas: &[Alpha],
     concept: Concept,
+    model: CostModelSpec,
     policy: &ExecPolicy,
     atlas: Option<&DynAtlas>,
 ) -> Result<Vec<PoaPoint>, GameError> {
@@ -295,7 +382,9 @@ fn poa_grid(
         let handles: Vec<_> = alphas
             .iter()
             .map(|&alpha| {
-                s.spawn(move || poa_over_pooled(instances, n, alpha, concept, inner, pool, atlas))
+                s.spawn(move || {
+                    poa_over_pooled(instances, n, alpha, concept, model, inner, pool, atlas)
+                })
             })
             .collect();
         handles
@@ -472,6 +561,7 @@ mod tests {
             7,
             &[a("2")],
             Concept::Bne,
+            CostModelSpec::SumDistances,
             &policy,
             Some(&atlas),
         )
@@ -483,6 +573,51 @@ mod tests {
         assert_eq!(served.max_rho, unbudgeted.max_rho);
         assert_eq!(served.stable_count, unbudgeted.stable_count);
         assert_eq!(served.worst, unbudgeted.worst);
+    }
+
+    #[test]
+    fn identity_generalized_model_reproduces_the_default_sweep() {
+        // Generalized(Identity) prices distance exactly like the
+        // default model, so verdicts, counts, and ρ must coincide even
+        // though the scan runs through the generic pricing arm.
+        let id = CostModelSpec::Generalized(bncg_core::Utility::Identity);
+        let base = tree_poa_grid(8, &[a("2")], Concept::Bne, &ExecPolicy::default(), None).unwrap();
+        let under =
+            tree_poa_grid_under(8, &[a("2")], Concept::Bne, id, &ExecPolicy::default(), None)
+                .unwrap();
+        assert_eq!(base[0].stable_count, under[0].stable_count);
+        assert_eq!(base[0].max_rho, under[0].max_rho);
+        assert_eq!(base[0].worst, under[0].worst);
+        assert_eq!(under[0].model, id);
+    }
+
+    #[test]
+    fn non_default_model_sweeps_bypass_the_atlas() {
+        use bncg_atlas::{build, AlphaSpec, Atlas, BuildSpec, MemoryBacking, RamBacking};
+        let spec = BuildSpec {
+            max_n: 6,
+            grid: vec![AlphaSpec::Fixed(a("2"))],
+            concepts: vec![Concept::Bne],
+        };
+        let backing: Box<dyn MemoryBacking + Send + Sync> = Box::new(RamBacking::new());
+        let mut atlas = Atlas::open(backing).unwrap();
+        build(&mut atlas, &spec, 10_000_000, None).unwrap();
+        let capped = CostModelSpec::Generalized(bncg_core::Utility::Capped(2));
+        let under = tree_poa_grid_under(
+            6,
+            &[a("2")],
+            Concept::Bne,
+            capped,
+            &ExecPolicy::default(),
+            Some(&atlas),
+        )
+        .unwrap();
+        // Every verdict must come from the live solver: the corpus
+        // stores default-model verdicts, which a capped model cannot
+        // reuse.
+        assert_eq!(under[0].atlas_hits, 0);
+        assert_eq!(under[0].exhausted, 0);
+        assert!(under[0].stable_count > 0, "the star is stable at α = 2");
     }
 
     #[test]

@@ -102,5 +102,6 @@ pub fn run_all_with_atlas(
     ablations::pruning(&mut r, quick)?;
     ablations::generator(&mut r, quick)?;
     ablations::trajectory_pruning(&mut r, quick)?;
+    ablations::cost_models(&mut r, quick)?;
     Ok(r)
 }

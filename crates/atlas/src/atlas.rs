@@ -246,6 +246,7 @@ mod tests {
                 n: 5,
                 concept,
                 alpha: a,
+                model: bncg_core::CostModelSpec::SumDistances,
                 verdict: StoredVerdict::Unstable(canon_witness),
                 evals: 0,
             })
@@ -279,6 +280,7 @@ mod tests {
                 n: 5,
                 concept: Concept::Bne,
                 alpha: alpha("2"),
+                model: bncg_core::CostModelSpec::SumDistances,
                 verdict: StoredVerdict::Exhausted(
                     "{\"concept\":\"bne\",\"unit\":0,\"mask\":0,\"evals\":9}".to_string(),
                 ),
@@ -315,6 +317,7 @@ mod tests {
                         n: 6,
                         concept: c,
                         alpha: alpha("3"),
+                        model: bncg_core::CostModelSpec::SumDistances,
                         verdict: StoredVerdict::Stable,
                         evals: 10 * (i as u64 + 1),
                     }

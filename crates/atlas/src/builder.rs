@@ -23,7 +23,9 @@ use crate::atlas::Atlas;
 use crate::backing::MemoryBacking;
 use crate::key;
 use crate::record::{AtlasRecord, StoredVerdict};
-use bncg_core::{jsonio, Alpha, Concept, ExecPolicy, GameError, Solver, StabilityQuery};
+use bncg_core::{
+    jsonio, Alpha, Concept, CostModelSpec, ExecPolicy, GameError, Solver, StabilityQuery,
+};
 use bncg_graph::{enumerate, graph6};
 use std::fmt;
 use std::str::FromStr;
@@ -303,6 +305,7 @@ pub fn build<B: MemoryBacking>(
                         n,
                         concept: *concept,
                         alpha: *alpha,
+                        model: CostModelSpec::SumDistances,
                         verdict: stored,
                         evals,
                     })?;

@@ -17,7 +17,7 @@
 //! [`crate::Atlas::lookup`] relabels them back to the query's labels.
 
 use bncg_core::solver::Frontier;
-use bncg_core::{jsonio, Alpha, Concept, GameError, Move, Verdict};
+use bncg_core::{jsonio, Alpha, Concept, CostModelSpec, GameError, Move, Verdict};
 use std::fmt;
 use std::str::FromStr;
 
@@ -75,6 +75,10 @@ pub struct AtlasRecord {
     pub concept: Concept,
     /// The exact edge price.
     pub alpha: Alpha,
+    /// The cost model the verdict was priced under. Elided on the wire
+    /// and in index keys when it is the default, so every pre-existing
+    /// corpus line (all default-model) parses and indexes unchanged.
+    pub model: CostModelSpec,
     /// The stored outcome.
     pub verdict: StoredVerdict,
     /// Candidate evaluations the build charged for this entry (0 for
@@ -93,6 +97,9 @@ impl fmt::Display for AtlasRecord {
             self.concept.token(),
             self.alpha
         )?;
+        if !self.model.is_default() {
+            write!(f, "\"cost_model\":\"{}\",", self.model.token())?;
+        }
         match &self.verdict {
             StoredVerdict::Stable => {
                 write!(f, "\"verdict\":\"stable\",\"evals\":{}}}", self.evals)
@@ -127,6 +134,10 @@ impl FromStr for AtlasRecord {
         let alpha: Alpha = jsonio::str_field(line, "alpha")
             .ok_or_else(|| missing("alpha"))?
             .parse()?;
+        let model = match jsonio::str_field(line, "cost_model") {
+            None => CostModelSpec::SumDistances,
+            Some(t) => t.parse()?,
+        };
         let evals = jsonio::u64_field(line, "evals").ok_or_else(|| missing("evals"))?;
         let verdict = match jsonio::str_field(line, "verdict").ok_or_else(|| missing("verdict"))? {
             "stable" => StoredVerdict::Stable,
@@ -149,6 +160,7 @@ impl FromStr for AtlasRecord {
             n: u32::try_from(n).map_err(|_| missing("n"))?,
             concept,
             alpha,
+            model,
             verdict,
             evals,
         })
@@ -157,11 +169,18 @@ impl FromStr for AtlasRecord {
 
 impl AtlasRecord {
     /// The composite index key identifying this entry within the atlas:
-    /// `"{key}|{concept token}|{alpha}"`. `|` cannot occur in any of the
-    /// three components, so the composite is collision-free.
+    /// `"{key}|{concept token}|{alpha}"`, with `|{cost model token}`
+    /// appended only for non-default models — default-model keys are
+    /// byte-identical to every pre-existing corpus index. `|` cannot
+    /// occur in any component, so the composite is collision-free.
     #[must_use]
     pub fn index_key(&self) -> String {
-        index_key(&self.key, self.concept, self.alpha)
+        let mut key = index_key(&self.key, self.concept, self.alpha);
+        if !self.model.is_default() {
+            key.push('|');
+            key.push_str(&self.model.token());
+        }
+        key
     }
 
     /// Reconstructs the frontier token of an exhausted entry.
@@ -198,6 +217,7 @@ mod tests {
                 n: 6,
                 concept: Concept::Bswe,
                 alpha: Alpha::from_ratio(3, 2).unwrap(),
+                model: CostModelSpec::SumDistances,
                 verdict: StoredVerdict::Stable,
                 evals: 0,
             },
@@ -206,6 +226,7 @@ mod tests {
                 n: 6,
                 concept: Concept::Bne,
                 alpha: Alpha::integer(2).unwrap(),
+                model: CostModelSpec::Generalized(bncg_core::Utility::Capped(2)),
                 verdict: StoredVerdict::Unstable(Move::Neighborhood {
                     center: 1,
                     remove: vec![0],
@@ -241,6 +262,7 @@ mod tests {
             n: 9,
             concept: Concept::Bse,
             alpha: Alpha::integer(3).unwrap(),
+            model: CostModelSpec::SumDistances,
             verdict: stored,
             evals,
         };
@@ -273,5 +295,26 @@ mod tests {
         let recs = samples();
         assert_ne!(recs[0].index_key(), recs[1].index_key());
         assert_eq!(recs[0].index_key(), "EFz-|bswe|3/2");
+        assert_eq!(recs[1].index_key(), "EFz-|bne|2|generalized:cap2");
+    }
+
+    #[test]
+    fn default_model_lines_stay_byte_identical_and_legacy_lines_parse() {
+        let rec = &samples()[0];
+        assert!(
+            !rec.to_string().contains("cost_model"),
+            "default-model records must serialize without the field"
+        );
+        // A corpus line written before the field existed.
+        let legacy = "{\"key\":\"E\",\"n\":6,\"concept\":\"bne\",\"alpha\":\"2\",\
+                      \"verdict\":\"stable\",\"evals\":4}";
+        let parsed: AtlasRecord = legacy.parse().unwrap();
+        assert_eq!(parsed.model, CostModelSpec::SumDistances);
+        // Non-default records round-trip through their line form.
+        let rec = &samples()[1];
+        assert!(rec
+            .to_string()
+            .contains("\"cost_model\":\"generalized:cap2\""));
+        assert_eq!(rec.to_string().parse::<AtlasRecord>().unwrap(), *rec);
     }
 }

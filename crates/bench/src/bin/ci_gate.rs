@@ -74,7 +74,7 @@ use bncg_bench::pruning_kernels::{budget, instances};
 use bncg_core::solver::{ExecPolicy, Solver, StabilityQuery, Verdict};
 use bncg_core::{
     best_response_in, best_response_with_policy, concepts, Alpha, BestResponseVerdict, CheckBudget,
-    Concept, GameState,
+    Concept, CostModelSpec, GameState, Utility,
 };
 use bncg_dynamics::round_robin;
 use bncg_graph::{bfs_distances, generators, BitsetGraph, DistanceMatrix, UNREACHABLE};
@@ -118,6 +118,13 @@ const GENERATOR_RESUME_OVERHEAD_CEILING: f64 = 1.30;
 /// Serving a stored atlas verdict (canonicalize + probe + relabel) must
 /// beat recomputing the pinned expensive live check by this factor.
 const ATLAS_HIT_SPEEDUP_FLOOR: f64 = 100.0;
+/// The trait-dispatched `generalized:id` model — the identical
+/// objective through the generic `CostModel` arm instead of the default
+/// model's monomorphic fast paths — may cost at most this factor on the
+/// hot scan path (ISSUE 9's acceptance ceiling). Both sides share the
+/// solver facade and the same pruning decisions, so the ratio isolates
+/// pure dispatch.
+const COST_MODEL_DISPATCH_CEILING: f64 = 1.05;
 const CALIBRATION_KEY: &str = "calibration/substrate_bfs";
 
 /// The machine-speed yardstick: ~100 ms of all-pairs BFS matrix builds on
@@ -528,6 +535,96 @@ fn main() -> std::process::ExitCode {
         gate.check_overhead(key, overhead, ceiling);
     }
 
+    // Cost-model dispatch overhead (ISSUE 9): `generalized:id` is the
+    // paper's objective routed through the generic `CostModel` arm
+    // instead of the default model's monomorphic fast paths, so pairing
+    // it against the default on the same facade isolates what a
+    // pluggable model pays per scan. Exactness first: identity utility
+    // is distance-linear, so verdict, priced stream, and pruning
+    // decisions must all coincide — only then is the ratio a dispatch
+    // measurement rather than a work difference.
+    let star16_id = GameState::with_cost_model(
+        generators::star(16),
+        Alpha::integer(2).expect("α"),
+        CostModelSpec::Generalized(Utility::Identity),
+    );
+    let mono_v = solver
+        .check(&StabilityQuery::on(Concept::Bne, star16))
+        .unwrap();
+    let dispatched_v = solver
+        .check(&StabilityQuery::on(Concept::Bne, &star16_id))
+        .unwrap();
+    match (&mono_v, &dispatched_v) {
+        (
+            Verdict::Stable {
+                evals: e1,
+                pruned: p1,
+                ..
+            },
+            Verdict::Stable {
+                evals: e2,
+                pruned: p2,
+                ..
+            },
+        ) => {
+            assert_eq!(e1, e2, "generalized:id priced a different candidate stream");
+            assert_eq!(p1, p2, "generalized:id pruned differently than the default");
+        }
+        other => panic!("star16 at α = 2 must be BNE-stable under both models: {other:?}"),
+    }
+    let dispatch_overhead = paired_overhead(
+        256,
+        &|| {
+            let v = solver
+                .check(&StabilityQuery::on(Concept::Bne, black_box(star16)))
+                .unwrap();
+            assert!(matches!(v, Verdict::Stable { .. }));
+        },
+        &|| {
+            let v = solver
+                .check(&StabilityQuery::on(Concept::Bne, black_box(&star16_id)))
+                .unwrap();
+            assert!(matches!(v, Verdict::Stable { .. }));
+        },
+    );
+    gate.check_overhead(
+        "cost_model_dispatch/bne_star16",
+        dispatch_overhead,
+        COST_MODEL_DISPATCH_CEILING,
+    );
+
+    // Generalized-utility smoke kernel: a genuinely non-linear model on
+    // the wall-clock ledger. `generalized:cap2` on the pinned path12 at
+    // α = 2 runs filter-free (the proven bounds are sum-of-distances
+    // theorems — `pruned` must be exactly 0) and flips the instance's
+    // verdict to stable: capping the per-hop utility at 2 removes the
+    // incentive to shorten long distances, which is the whole point of
+    // the pluggable layer. The pinned eval count keeps the kernel's
+    // workload honest across refactors.
+    let path12_cap = GameState::with_cost_model(
+        generators::path(12),
+        Alpha::integer(2).expect("α"),
+        CostModelSpec::Generalized(Utility::Capped(2)),
+    );
+    let cap_v = solver
+        .check(&StabilityQuery::on(Concept::Bne, &path12_cap))
+        .unwrap();
+    let Verdict::Stable { pruned, evals, .. } = cap_v else {
+        panic!("path12 at α = 2 must be BNE-stable under generalized:cap2, got {cap_v:?}");
+    };
+    assert_eq!(pruned, 0, "a non-linear model must run filter-free");
+    assert!(
+        evals > 10_000,
+        "the filter-free scan must price the full candidate stream (got {evals})"
+    );
+    let generalized_smoke = median_secs(5, || {
+        let v = solver
+            .check(&StabilityQuery::on(Concept::Bne, &path12_cap))
+            .unwrap();
+        assert!(matches!(v, Verdict::Stable { .. }));
+    });
+    gate.record("cost_model_generalized/bne_path12", generalized_smoke);
+
     // The engine_vs_naive representative: 50 rounds of engine-backed
     // round-robin dynamics on path16 (the PR 1 headline kernel).
     let path = generators::path(16);
@@ -657,6 +754,7 @@ fn main() -> std::process::ExitCode {
                     concept: Concept::Bne,
                     graph: c40.clone(),
                     alpha: a370,
+                    cost_model: bncg_core::CostModelSpec::SumDistances,
                 },
             ),
             submit_to(
@@ -665,6 +763,7 @@ fn main() -> std::process::ExitCode {
                     graph: path9.clone(),
                     alpha: alpha2,
                     rounds: 50,
+                    cost_model: bncg_core::CostModelSpec::SumDistances,
                 },
             ),
             submit_to(
@@ -673,6 +772,7 @@ fn main() -> std::process::ExitCode {
                     agent: 0,
                     graph: path12.clone(),
                     alpha: alpha2,
+                    cost_model: bncg_core::CostModelSpec::SumDistances,
                 },
             ),
         ]
@@ -799,6 +899,7 @@ fn main() -> std::process::ExitCode {
                 n: 8,
                 concept: Concept::Bse,
                 alpha: half,
+                model: bncg_core::CostModelSpec::SumDistances,
                 verdict: stored,
                 evals,
             })
@@ -894,6 +995,14 @@ fn main() -> std::process::ExitCode {
                         format!("{value:.1}x"),
                         format!("{:.2}", value / SPEEDUP_FLOOR),
                         status(*value >= SPEEDUP_FLOOR),
+                    ]
+                } else if name.starts_with("cost_model_dispatch/") {
+                    [
+                        name.clone(),
+                        format!("≤ {COST_MODEL_DISPATCH_CEILING:.2}x ceiling"),
+                        format!("{value:.3}x"),
+                        format!("{:.2}", value / COST_MODEL_DISPATCH_CEILING),
+                        status(*value <= COST_MODEL_DISPATCH_CEILING),
                     ]
                 } else if name.contains("_overhead/") {
                     let ceiling = if name.starts_with("rr_resume_overhead/") {

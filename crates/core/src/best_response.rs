@@ -26,7 +26,7 @@
 use crate::alpha::Alpha;
 use crate::candidates::NeighborhoodPruner;
 use crate::concepts::CheckBudget;
-use crate::cost::{agent_cost_bits, agent_cost_with_buf, AgentCost};
+use crate::cost::AgentCost;
 use crate::error::GameError;
 use crate::generator::{BranchScan, NeighborhoodOracle, Step};
 use crate::jsonio;
@@ -320,36 +320,11 @@ pub fn best_response(g: &Graph, alpha: Alpha, u: u32) -> Result<BestResponse, Ga
     best_response_in(&GameState::new(g.clone(), alpha), u, CheckBudget::default())
 }
 
-/// [`best_response`] with an explicit work budget.
-///
-/// # Errors
-///
-/// Same as [`best_response`].
-#[deprecated(
-    since = "0.2.0",
-    note = "route through `best_response_with_policy` with an `ExecPolicy` \
-            eval budget; budget overruns become a resumable \
-            `BestResponseVerdict` there instead of erroring"
-)]
-pub fn best_response_with_budget(
-    g: &Graph,
-    alpha: Alpha,
-    u: u32,
-    budget: CheckBudget,
-) -> Result<BestResponse, GameError> {
-    let n = g.n();
-    if u as usize >= n {
-        return Err(GameError::NodeOutOfRange { node: u, n });
-    }
-    check_enumeration_budget(n, budget)?;
-    best_response_in(&GameState::new(g.clone(), alpha), u, budget)
-}
-
-/// The legacy size guard shared by the wrapper and the engine path:
-/// `2^{n−1}` candidates must fit the budget before any heavy work starts
-/// (the metered path has no such guard — it scans anytime-style and
-/// returns a resumable verdict instead).
-fn check_enumeration_budget(n: usize, budget: CheckBudget) -> Result<(), GameError> {
+/// The legacy size guard shared by the compat wrapper and the engine
+/// path: `2^{n−1}` candidates must fit the budget before any heavy work
+/// starts (the metered path has no such guard — it scans anytime-style
+/// and returns a resumable verdict instead).
+pub(crate) fn check_enumeration_budget(n: usize, budget: CheckBudget) -> Result<(), GameError> {
     if n <= 1 {
         return Ok(());
     }
@@ -461,7 +436,7 @@ pub fn best_response_with_policy(
 /// # Errors
 ///
 /// [`GameError::Unsupported`] when the frontier was issued for a
-/// different instance (graph or α differ), names an out-of-range agent,
+/// different instance (graph, α, or cost model differ), names an out-of-range agent,
 /// or carries a best-so-far move that does not apply to the state.
 pub fn best_response_resume(
     state: &GameState,
@@ -471,7 +446,7 @@ pub fn best_response_resume(
     if frontier.instance != state.fingerprint() {
         return Err(GameError::Unsupported {
             reason: "best-response frontier was issued for a different \
-                     instance (graph or α differ)"
+                     instance (graph, α, or cost model differ)"
                 .into(),
         });
     }
@@ -496,7 +471,7 @@ pub fn best_response_resume(
                         .into(),
                 })?;
             let mut buf = Vec::new();
-            let cost = agent_cost_with_buf(&g2, u, &mut buf);
+            let cost = state.price_scalar(&g2, u, &mut buf);
             Some((mv.clone(), cost))
         }
     };
@@ -604,9 +579,10 @@ fn into_response(state: &GameState, u: u32, best: Option<(Move, AgentCost)>) -> 
 /// [`BitsetGraph`]. The current addition class stays applied across its
 /// run of consecutive leaves (addition-major order makes the run maximal)
 /// and each surviving leaf only toggles its removal edges — `O(1)` word
-/// flips — before pricing the center and the added partners with the
-/// frontier-BFS [`agent_cost_bits`] kernel. The scalar
-/// [`agent_cost_with_buf`] path remains the differential-test reference.
+/// flips — before pricing the center and the added partners through the
+/// state's [`GameState::price_bits`] (frontier-BFS kernel routed through
+/// the state's cost model). The scalar [`GameState::price_scalar`] path
+/// remains the differential-test reference.
 ///
 /// Positions are *generated* by a [`BranchScan`], not iterated: the
 /// [`NeighborhoodOracle`] skips whole mask subtrees the pruning
@@ -733,11 +709,13 @@ fn scan_best_response(
                     }
                 }
                 evals += 1;
-                let mine = agent_cost_bits(&bits, u);
+                let mine = state.price_bits(&bits, u);
                 let feasible = mine.better_than(&best_cost, alpha)
-                    && added
-                        .iter()
-                        .all(|&a| agent_cost_bits(&bits, a).better_than(&old[a as usize], alpha));
+                    && added.iter().all(|&a| {
+                        state
+                            .price_bits(&bits, a)
+                            .better_than(&old[a as usize], alpha)
+                    });
                 for &v in &removed {
                     bits.add_edge(u, v);
                 }
@@ -829,7 +807,12 @@ mod tests {
             Err(GameError::CheckTooLarge { .. })
         ));
         assert!(matches!(
-            best_response_with_budget(&generators::path(8), a("1"), 0, CheckBudget::new(10)),
+            crate::compat::best_response_with_budget(
+                &generators::path(8),
+                a("1"),
+                0,
+                CheckBudget::new(10)
+            ),
             Err(GameError::CheckTooLarge { .. })
         ));
         assert!(matches!(

@@ -117,6 +117,7 @@
 
 use crate::alpha::Alpha;
 use crate::cost::AgentCost;
+use crate::cost_model::{filter_sound, CostModelSpec, FilterId};
 use crate::state::GameState;
 use bncg_graph::DistanceMatrix;
 
@@ -177,8 +178,10 @@ impl CandidateStats {
 #[derive(Debug)]
 pub struct NeighborhoodPruner {
     alpha: Alpha,
-    /// Whether every agent reaches every other — the gate for all bounds.
-    connected: bool,
+    /// Whether every agent reaches every other **and** the state's cost
+    /// model is one inequalities 2/3/4 are proven for
+    /// ([`filter_sound`]) — the gate for all bounds.
+    active: bool,
     is_tree: bool,
     alpha_le_one: bool,
     /// `spread2[x] = Σ_w max(0, d(x, w) − 2)` (inequality 2).
@@ -187,13 +190,17 @@ pub struct NeighborhoodPruner {
 
 impl NeighborhoodPruner {
     /// Builds the pruner from a state's cached matrix and costs: `O(n²)`.
+    /// Consults the model-soundness capability: under a cost model the
+    /// neighborhood bounds are not proven for, the pruner constructs
+    /// inactive and the scan runs filter-free.
     #[must_use]
     pub fn new(state: &GameState) -> Self {
         let n = state.n();
         let connected = state.costs().iter().all(|c| c.unreachable == 0);
+        let active = connected && filter_sound(FilterId::NeighborhoodBounds, state.cost_model());
         let mut spread2 = Vec::with_capacity(n);
         for u in 0..n as u32 {
-            let s2 = if connected {
+            let s2 = if active {
                 state
                     .distances()
                     .row(u)
@@ -208,17 +215,18 @@ impl NeighborhoodPruner {
         let alpha = state.alpha();
         NeighborhoodPruner {
             alpha,
-            connected,
+            active,
             is_tree: state.is_tree(),
             alpha_le_one: alpha.cmp_ratio(1, 1) != std::cmp::Ordering::Greater,
             spread2,
         }
     }
 
-    /// Whether the bounds may be applied at all (connected state).
+    /// Whether the bounds may be applied at all (connected state, and a
+    /// cost model the inequalities are proven for).
     #[must_use]
     pub fn active(&self) -> bool {
-        self.connected
+        self.active
     }
 
     /// Inequality 2: can `partner` ever strictly improve from gaining the
@@ -226,7 +234,7 @@ impl NeighborhoodPruner {
     /// `false` is a proof of impossibility; `true` is no claim.
     #[must_use]
     pub fn partner_may_consent(&self, state: &GameState, partner: u32, center: u32) -> bool {
-        if !self.connected {
+        if !self.active {
             return true;
         }
         let d_pc = u64::from(state.distances().dist(partner, center));
@@ -258,14 +266,14 @@ impl NeighborhoodPruner {
     /// this state (`α ≤ 1`, or a tree where any removal disconnects)?
     #[must_use]
     pub fn removal_only_prunable(&self) -> bool {
-        self.connected && (self.alpha_le_one || self.is_tree)
+        self.active && (self.alpha_le_one || self.is_tree)
     }
 
     /// Inequality 3: the removal-independent cap `save_A` on the center's
     /// distance saving for the added set `A` (`O(|A|·n)`).
     #[must_use]
     pub fn center_add_cap(&self, state: &GameState, center: u32, added: &[u32]) -> u64 {
-        debug_assert!(self.connected);
+        debug_assert!(self.active);
         let dist = state.distances();
         let row_c = dist.row(center);
         let mut save = 0u64;
@@ -291,7 +299,7 @@ impl NeighborhoodPruner {
     /// specialization to neighborhood moves).
     #[must_use]
     pub fn center_class_prunable(&self, nr: u32, na: u32, save_a: u64) -> bool {
-        if !self.connected {
+        if !self.active {
             return false;
         }
         let num = i128::from(self.alpha.num());
@@ -369,7 +377,9 @@ impl CenterCapCache {
 #[derive(Debug)]
 pub struct EditSetPruner {
     alpha: Alpha,
-    connected: bool,
+    /// Connected state **and** a cost model inequalities 1/4/6 are
+    /// proven for ([`filter_sound`]).
+    active: bool,
     is_tree: bool,
     alpha_le_one: bool,
     slack: Vec<u64>,
@@ -382,15 +392,18 @@ pub struct EditSetPruner {
 
 impl EditSetPruner {
     /// Builds the pruner from the pre-move costs (`costs[x].dist` is the
-    /// distance sum `D(x)`).
+    /// distance sum `D(x)` — which is only the case under a
+    /// distance-linear `model`; the soundness capability deactivates
+    /// the bounds otherwise).
     #[must_use]
-    pub fn new(alpha: Alpha, costs: &[AgentCost], is_tree: bool) -> Self {
+    pub fn new(alpha: Alpha, costs: &[AgentCost], is_tree: bool, model: CostModelSpec) -> Self {
         let n = costs.len();
         let connected = costs.iter().all(|c| c.unreachable == 0);
+        let active = connected && filter_sound(FilterId::EditSetBounds, model);
         let floor = n.saturating_sub(1) as u64;
         EditSetPruner {
             alpha,
-            connected,
+            active,
             is_tree,
             alpha_le_one: alpha.cmp_ratio(1, 1) != std::cmp::Ordering::Greater,
             slack: costs.iter().map(|c| c.dist.saturating_sub(floor)).collect(),
@@ -403,20 +416,26 @@ impl EditSetPruner {
     /// Convenience constructor from a state.
     #[must_use]
     pub fn from_state(state: &GameState) -> Self {
-        EditSetPruner::new(state.alpha(), state.costs(), state.is_tree())
+        EditSetPruner::new(
+            state.alpha(),
+            state.costs(),
+            state.is_tree(),
+            state.cost_model(),
+        )
     }
 
-    /// Whether the bounds may be applied at all (connected state).
+    /// Whether the bounds may be applied at all (connected state, and a
+    /// cost model the inequalities are proven for).
     #[must_use]
     pub fn active(&self) -> bool {
-        self.connected
+        self.active
     }
 
     /// Inequality 4: are all pure-removal edit sets non-improving from
     /// this state (`α ≤ 1`, or a tree where any removal disconnects)?
     #[must_use]
     pub fn removal_only_prunable(&self) -> bool {
-        self.connected && (self.alpha_le_one || self.is_tree)
+        self.active && (self.alpha_le_one || self.is_tree)
     }
 
     /// Inequality 1 for one agent, given its net edge delta: `true` is
@@ -440,7 +459,7 @@ impl EditSetPruner {
     /// the pure-removal rules apply. Exactness-preserving (see the
     /// [module docs](self)); `false` is no claim.
     pub fn prunable(&mut self, rem: &[(u32, u32)], add: &[(u32, u32)]) -> bool {
-        if !self.connected {
+        if !self.active {
             return false;
         }
         if add.is_empty() && !rem.is_empty() && (self.alpha_le_one || self.is_tree) {
@@ -789,6 +808,40 @@ mod tests {
         let state = GameState::new(cyc, a("4"));
         let mut pruner = EditSetPruner::from_state(&state);
         assert!(!pruner.prunable(&[e], &[]));
+    }
+
+    #[test]
+    fn unsound_model_disables_inequality_bounds_but_not_dedup() {
+        // Connected state, but priced under a model the inequality
+        // proofs do not cover: every bound must report inactive, so the
+        // scans run filter-free instead of silently wrong. The Zobrist
+        // dedup is model-free and unaffected.
+        use crate::cost_model::{filter_sound, CostModelSpec, FilterId, Utility};
+        let g = generators::cycle(8);
+        for model in [
+            CostModelSpec::Generalized(Utility::Quadratic),
+            CostModelSpec::AdversaryRobust,
+        ] {
+            let state = GameState::with_cost_model(g.clone(), a("1/2"), model);
+            let pruner = NeighborhoodPruner::new(&state);
+            assert!(!pruner.active(), "{model}: neighborhood bounds must be off");
+            assert!(!pruner.removal_only_prunable());
+            assert!(pruner.partner_may_consent(&state, 3, 0));
+            let mut ep = EditSetPruner::from_state(&state);
+            assert!(!ep.active(), "{model}: edit-set bounds must be off");
+            let e = g.edges().next().unwrap();
+            assert!(!ep.prunable(&[e], &[]));
+            assert!(filter_sound(FilterId::EditDedup, model));
+        }
+        // The identity utility is the paper's objective on the generic
+        // dispatch path: every proof carries over and the bounds stay on.
+        let state = GameState::with_cost_model(
+            g.clone(),
+            a("1/2"),
+            CostModelSpec::Generalized(Utility::Identity),
+        );
+        assert!(NeighborhoodPruner::new(&state).active());
+        assert!(EditSetPruner::from_state(&state).active());
     }
 
     #[test]

@@ -1,0 +1,334 @@
+//! Deprecated compatibility shims, consolidated in one place.
+//!
+//! The PR 3 solver redesign turned every exponential check into a
+//! [`crate::solver::StabilityQuery`] under an
+//! [`crate::solver::ExecPolicy`], and the per-concept budgeted/parallel
+//! entry points that predate it became thin deprecated wrappers scattered
+//! across `concepts::bne`, `concepts::kbse`, `concepts::bse`,
+//! `best_response`, and `Concept` itself. This module is their single
+//! retirement home: the wrappers behave exactly as before — including the
+//! legacy **raw-space pre-guard** that refuses oversized instances with
+//! [`GameError::CheckTooLarge`] before any work starts, which the solver
+//! surface deliberately does not have (it scans anytime-style and returns
+//! a resumable `Verdict::Exhausted` instead).
+//!
+//! # Removal policy
+//!
+//! Everything in this module is frozen: shims keep compiling and keep
+//! their exact legacy semantics (guards, witnesses, panics) until the
+//! next breaking release, at which point the whole module is deleted at
+//! once. Nothing new is ever added here, and no other module may depend
+//! on it except the differential tests that pin the legacy behavior.
+//! Migrate to [`crate::solver::Solver`] (stability checks) or
+//! [`crate::best_response_with_policy`] (optimization) — every shim's
+//! deprecation note names its replacement.
+
+use crate::alpha::Alpha;
+use crate::best_response::BestResponse;
+use crate::concepts::{CheckBudget, Concept};
+use crate::error::GameError;
+use crate::moves::Move;
+use crate::solver::{legacy_guard, solve_to_completion, ExecPolicy, Solver, StabilityQuery};
+use crate::state::GameState;
+use bncg_graph::Graph;
+
+/// Runs the concept's scan sharded over `threads` std scoped threads
+/// (centers for BNE, coalitions for k-BSE, target-graph ranges for BSE)
+/// behind the legacy default-budget size guard. Verdict and witness equal
+/// the sequential scan; polynomial concepts run sequentially.
+///
+/// # Errors
+///
+/// Same as [`Concept::find_violation`].
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+#[deprecated(
+    since = "0.2.0",
+    note = "route through `bncg_core::solver::Solver` with \
+            `ExecPolicy::default().with_threads(n)`"
+)]
+pub fn find_violation_in_parallel(
+    concept: Concept,
+    state: &GameState,
+    threads: usize,
+) -> Result<Option<Move>, GameError> {
+    assert!(threads > 0, "need at least one worker thread");
+    if !concept.is_exponential() {
+        return concept.find_violation_in(state);
+    }
+    if legacy_guard(concept, state, CheckBudget::default())? {
+        return Ok(None);
+    }
+    Solver::new(ExecPolicy::default().with_threads(threads))
+        .check(&StabilityQuery::on(concept, state))?
+        .into_violation()
+}
+
+/// [`crate::best_response`] with an explicit work budget.
+///
+/// # Errors
+///
+/// Same as [`crate::best_response`].
+#[deprecated(
+    since = "0.2.0",
+    note = "route through `best_response_with_policy` with an `ExecPolicy` \
+            eval budget; budget overruns become a resumable \
+            `BestResponseVerdict` there instead of erroring"
+)]
+pub fn best_response_with_budget(
+    g: &Graph,
+    alpha: Alpha,
+    u: u32,
+    budget: CheckBudget,
+) -> Result<BestResponse, GameError> {
+    let n = g.n();
+    if u as usize >= n {
+        return Err(GameError::NodeOutOfRange { node: u, n });
+    }
+    crate::best_response::check_enumeration_budget(n, budget)?;
+    crate::best_response::best_response_in(&GameState::new(g.clone(), alpha), u, budget)
+}
+
+/// Legacy budgeted/parallel BNE entry points.
+pub mod bne {
+    use super::*;
+    use crate::concepts::bne::check_budget;
+
+    /// Exact BNE check with an explicit work budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::CheckTooLarge`] if `n·2^{n−1}` exceeds
+    /// `budget.max_evals`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "route through `bncg_core::solver::Solver` with an `ExecPolicy` \
+                eval budget; budget overruns become `Verdict::Exhausted` there"
+    )]
+    pub fn find_violation_with_budget(
+        g: &Graph,
+        alpha: Alpha,
+        budget: CheckBudget,
+    ) -> Result<Option<Move>, GameError> {
+        check_budget(g.n(), budget)?;
+        solve_to_completion(Concept::Bne, &GameState::new(g.clone(), alpha))
+    }
+
+    /// Exact BNE check against a caller-maintained [`GameState`], behind
+    /// the legacy raw-space pre-guard.
+    ///
+    /// # Errors
+    ///
+    /// Same guard as [`find_violation_with_budget`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "route through `bncg_core::solver::Solver` with a \
+                `StabilityQuery::on(Concept::Bne, state)` query"
+    )]
+    pub fn find_violation_in_with_budget(
+        state: &GameState,
+        budget: CheckBudget,
+    ) -> Result<Option<Move>, GameError> {
+        if legacy_guard(Concept::Bne, state, budget)? {
+            return Ok(None);
+        }
+        solve_to_completion(Concept::Bne, state)
+    }
+
+    /// Parallel exact BNE check behind the legacy pre-guard. Verdict
+    /// **and** witness equal the sequential scan's.
+    ///
+    /// # Errors
+    ///
+    /// Same guard as [`find_violation_with_budget`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "route through `bncg_core::solver::Solver` with \
+                `ExecPolicy::default().with_threads(n)`"
+    )]
+    pub fn find_violation_in_parallel(
+        state: &GameState,
+        budget: CheckBudget,
+        threads: usize,
+    ) -> Result<Option<Move>, GameError> {
+        assert!(threads > 0, "need at least one worker thread");
+        if legacy_guard(Concept::Bne, state, budget)? {
+            return Ok(None);
+        }
+        Solver::new(ExecPolicy::default().with_threads(threads))
+            .check(&StabilityQuery::on(Concept::Bne, state))?
+            .into_violation()
+    }
+}
+
+/// Legacy budgeted/parallel BSE entry points.
+pub mod bse {
+    use super::*;
+    use crate::concepts::bse::check_budget;
+
+    /// Exact BSE check with an explicit work budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::CheckTooLarge`] if `2^{C(n,2)}` exceeds
+    /// `budget.max_evals`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "route through `bncg_core::solver::Solver` with an `ExecPolicy` \
+                eval budget; budget overruns become `Verdict::Exhausted` there"
+    )]
+    pub fn find_violation_with_budget(
+        g: &Graph,
+        alpha: Alpha,
+        budget: CheckBudget,
+    ) -> Result<Option<Move>, GameError> {
+        if g.n() <= 1 {
+            return Ok(None);
+        }
+        check_budget(g.n(), budget)?;
+        solve_to_completion(Concept::Bse, &GameState::new(g.clone(), alpha))
+    }
+
+    /// Exact BSE check against a caller-maintained [`GameState`], behind
+    /// the legacy raw-space pre-guard.
+    ///
+    /// # Errors
+    ///
+    /// Same guard as [`find_violation_with_budget`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "route through `bncg_core::solver::Solver` with a \
+                `StabilityQuery::on(Concept::Bse, state)` query"
+    )]
+    pub fn find_violation_in_with_budget(
+        state: &GameState,
+        budget: CheckBudget,
+    ) -> Result<Option<Move>, GameError> {
+        if legacy_guard(Concept::Bse, state, budget)? {
+            return Ok(None);
+        }
+        solve_to_completion(Concept::Bse, state)
+    }
+
+    /// Parallel exact BSE check behind the legacy pre-guard. Verdict
+    /// **and** witness equal the sequential scan's.
+    ///
+    /// # Errors
+    ///
+    /// Same guard as [`find_violation_with_budget`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "route through `bncg_core::solver::Solver` with \
+                `ExecPolicy::default().with_threads(n)`"
+    )]
+    pub fn find_violation_in_parallel(
+        state: &GameState,
+        budget: CheckBudget,
+        threads: usize,
+    ) -> Result<Option<Move>, GameError> {
+        assert!(threads > 0, "need at least one worker thread");
+        if legacy_guard(Concept::Bse, state, budget)? {
+            return Ok(None);
+        }
+        Solver::new(ExecPolicy::default().with_threads(threads))
+            .check(&StabilityQuery::on(Concept::Bse, state))?
+            .into_violation()
+    }
+}
+
+/// Legacy budgeted/parallel k-BSE entry points.
+pub mod kbse {
+    use super::*;
+    use crate::concepts::kbse::check_budget;
+
+    /// Exact k-BSE check with an explicit work budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::CheckTooLarge`] if the total number of
+    /// candidate moves exceeds `budget.max_evals`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "route through `bncg_core::solver::Solver` with an `ExecPolicy` \
+                eval budget; budget overruns become `Verdict::Exhausted` there"
+    )]
+    pub fn find_violation_with_budget(
+        g: &Graph,
+        alpha: Alpha,
+        k: usize,
+        budget: CheckBudget,
+    ) -> Result<Option<Move>, GameError> {
+        if g.n() <= 1 || k == 0 {
+            return Ok(None);
+        }
+        check_budget(g, k, budget)?;
+        solve_to_completion(
+            Concept::KBse(k.min(u32::MAX as usize) as u32),
+            &GameState::new(g.clone(), alpha),
+        )
+    }
+
+    /// Exact k-BSE check against a caller-maintained [`GameState`],
+    /// behind the legacy raw-space pre-guard.
+    ///
+    /// # Errors
+    ///
+    /// Same guard as [`find_violation_with_budget`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "route through `bncg_core::solver::Solver` with a \
+                `StabilityQuery::on(Concept::KBse(k), state)` query"
+    )]
+    pub fn find_violation_in_with_budget(
+        state: &GameState,
+        k: usize,
+        budget: CheckBudget,
+    ) -> Result<Option<Move>, GameError> {
+        let concept = Concept::KBse(k.min(u32::MAX as usize) as u32);
+        if legacy_guard(concept, state, budget)? {
+            return Ok(None);
+        }
+        solve_to_completion(concept, state)
+    }
+
+    /// Parallel exact k-BSE check behind the legacy pre-guard. Verdict
+    /// **and** witness equal the sequential scan's.
+    ///
+    /// # Errors
+    ///
+    /// Same guard as [`find_violation_with_budget`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "route through `bncg_core::solver::Solver` with \
+                `ExecPolicy::default().with_threads(n)`"
+    )]
+    pub fn find_violation_in_parallel(
+        state: &GameState,
+        k: usize,
+        budget: CheckBudget,
+        threads: usize,
+    ) -> Result<Option<Move>, GameError> {
+        assert!(threads > 0, "need at least one worker thread");
+        let concept = Concept::KBse(k.min(u32::MAX as usize) as u32);
+        if legacy_guard(concept, state, budget)? {
+            return Ok(None);
+        }
+        Solver::new(ExecPolicy::default().with_threads(threads))
+            .check(&StabilityQuery::on(concept, state))?
+            .into_violation()
+    }
+}

@@ -25,12 +25,12 @@
 use crate::alpha::Alpha;
 use crate::candidates::{CandidateStats, EditSetPruner};
 use crate::concepts::{CheckBudget, Concept};
-use crate::cost::agent_cost;
+use crate::cost_model::CostModel;
 use crate::error::GameError;
 use crate::generator::{BranchScan, EditOracle, Step};
 use crate::moves::Move;
 use crate::scan::{CtlLocal, ScanCtl, UnitOutcome, UnitScanner};
-use crate::solver::{legacy_guard, solve_to_completion, ExecPolicy, Solver, StabilityQuery};
+use crate::solver::solve_to_completion;
 use crate::state::GameState;
 use bncg_graph::Graph;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -62,29 +62,6 @@ pub fn find_violation(g: &Graph, alpha: Alpha) -> Result<Option<Move>, GameError
     solve_to_completion(Concept::Bse, &GameState::new(g.clone(), alpha))
 }
 
-/// Exact BSE check with an explicit work budget.
-///
-/// # Errors
-///
-/// Returns [`GameError::CheckTooLarge`] if `2^{C(n,2)}` exceeds
-/// `budget.max_evals`.
-#[deprecated(
-    since = "0.2.0",
-    note = "route through `bncg_core::solver::Solver` with an `ExecPolicy` \
-            eval budget; budget overruns become `Verdict::Exhausted` there"
-)]
-pub fn find_violation_with_budget(
-    g: &Graph,
-    alpha: Alpha,
-    budget: CheckBudget,
-) -> Result<Option<Move>, GameError> {
-    if g.n() <= 1 {
-        return Ok(None);
-    }
-    check_budget(g.n(), budget)?;
-    solve_to_completion(Concept::Bse, &GameState::new(g.clone(), alpha))
-}
-
 /// The legacy size guard (the solver path exhausts instead).
 pub(crate) fn check_budget(n: usize, budget: CheckBudget) -> Result<(), GameError> {
     let pairs = n * (n - 1) / 2;
@@ -99,27 +76,6 @@ pub(crate) fn check_budget(n: usize, budget: CheckBudget) -> Result<(), GameErro
     Ok(())
 }
 
-/// Exact BSE check against a caller-maintained [`GameState`], through the
-/// edit-set pruning layer (see the [module docs](self)).
-///
-/// # Errors
-///
-/// Same guard as [`find_violation_with_budget`].
-#[deprecated(
-    since = "0.2.0",
-    note = "route through `bncg_core::solver::Solver` with a \
-            `StabilityQuery::on(Concept::Bse, state)` query"
-)]
-pub fn find_violation_in_with_budget(
-    state: &GameState,
-    budget: CheckBudget,
-) -> Result<Option<Move>, GameError> {
-    if legacy_guard(Concept::Bse, state, budget)? {
-        return Ok(None);
-    }
-    solve_to_completion(Concept::Bse, state)
-}
-
 /// The direct engine-path full scan, reporting how much of the target
 /// space the pruning layer skipped. This is the sequential scan the
 /// solver drives; the perf gate measures it as the facade-overhead
@@ -127,7 +83,7 @@ pub fn find_violation_in_with_budget(
 ///
 /// # Errors
 ///
-/// Same guard as [`find_violation_with_budget`].
+/// The legacy raw-space pre-guard against `budget`.
 pub fn find_violation_in_with_stats(
     state: &GameState,
     budget: CheckBudget,
@@ -151,37 +107,6 @@ pub fn find_violation_in_with_stats(
         }
     }
     Ok((None, stats))
-}
-
-/// Parallel exact BSE check: the target-graph mask space is sharded in
-/// fixed-size chunks across `threads` std scoped threads, with an
-/// atomic lowest-violating-chunk race for deterministic early exit.
-/// Verdict **and** witness equal the sequential scan's.
-///
-/// # Errors
-///
-/// Same guard as [`find_violation_with_budget`].
-///
-/// # Panics
-///
-/// Panics if `threads == 0`.
-#[deprecated(
-    since = "0.2.0",
-    note = "route through `bncg_core::solver::Solver` with \
-            `ExecPolicy::default().with_threads(n)`"
-)]
-pub fn find_violation_in_parallel(
-    state: &GameState,
-    budget: CheckBudget,
-    threads: usize,
-) -> Result<Option<Move>, GameError> {
-    assert!(threads > 0, "need at least one worker thread");
-    if legacy_guard(Concept::Bse, state, budget)? {
-        return Ok(None);
-    }
-    Solver::new(ExecPolicy::default().with_threads(threads))
-        .check(&StabilityQuery::on(Concept::Bse, state))?
-        .into_violation()
 }
 
 /// Fixed shard size of the target-mask space: frontier positions stay
@@ -341,6 +266,7 @@ impl TargetScan {
             }
             stats.evaluated += 1;
             let target = Graph::from_bitmask(n, mask).expect("n ≤ 11 here");
+            let model = state.cost_model();
             // Lazily computed improving-agent memo over touched nodes.
             let mut improving: Vec<Option<bool>> = vec![None; n];
             let mut improves = |w: u32, target: &Graph| -> bool {
@@ -348,7 +274,7 @@ impl TargetScan {
                 if let Some(v) = *slot {
                     return v;
                 }
-                let v = agent_cost(target, w).better_than(&old[w as usize], alpha);
+                let v = model.cost(target, w).better_than(&old[w as usize], alpha);
                 *slot = Some(v);
                 v
             };
@@ -400,7 +326,7 @@ impl TargetScan {
 ///
 /// # Errors
 ///
-/// Same guard as [`find_violation_with_budget`].
+/// The legacy raw-space pre-guard against `budget`.
 pub fn find_violation_in_reference(
     state: &GameState,
     budget: CheckBudget,
@@ -418,6 +344,7 @@ pub fn find_violation_in_reference(
     let pair_list: Vec<(u32, u32)> = (0..n as u32)
         .flat_map(|u| (u + 1..n as u32).map(move |v| (u, v)))
         .collect();
+    let model = state.cost_model();
     for mask in 0u64..1u64 << pairs {
         if mask == current {
             continue;
@@ -430,7 +357,7 @@ pub fn find_violation_in_reference(
             if let Some(v) = *slot {
                 return v;
             }
-            let v = agent_cost(target, w).better_than(&old[w as usize], alpha);
+            let v = model.cost(target, w).better_than(&old[w as usize], alpha);
             *slot = Some(v);
             v
         };
@@ -592,7 +519,8 @@ mod tests {
             for alpha in ["1/2", "1", "2", "8"] {
                 let state = GameState::new(g.clone(), a(alpha));
                 let budget = CheckBudget::default();
-                let pruned = find_violation_in_with_budget(&state, budget).unwrap();
+                let pruned =
+                    crate::compat::bse::find_violation_in_with_budget(&state, budget).unwrap();
                 let reference = find_violation_in_reference(&state, budget).unwrap();
                 assert_eq!(pruned, reference, "witness mismatch at α = {alpha}");
             }
@@ -608,9 +536,12 @@ mod tests {
             for alpha in ["1/2", "2"] {
                 let state = GameState::new(g.clone(), a(alpha));
                 let budget = CheckBudget::default();
-                let seq = find_violation_in_with_budget(&state, budget).unwrap();
+                let seq =
+                    crate::compat::bse::find_violation_in_with_budget(&state, budget).unwrap();
                 for threads in [2usize, 4] {
-                    let par = find_violation_in_parallel(&state, budget, threads).unwrap();
+                    let par =
+                        crate::compat::bse::find_violation_in_parallel(&state, budget, threads)
+                            .unwrap();
                     assert_eq!(seq, par, "threads = {threads}");
                 }
             }

@@ -37,12 +37,13 @@ use crate::candidates::{
 };
 use crate::combinatorics::{bounded_subsets, combinations};
 use crate::concepts::{CheckBudget, Concept};
-use crate::cost::{agent_cost_from_matrix, agent_cost_with_buf, AgentCost};
+use crate::cost::{agent_cost_from_matrix, AgentCost};
+use crate::cost_model::{CostModel, CostModelSpec};
 use crate::error::GameError;
 use crate::generator::{BranchScan, IncidentInterval, RemovalIntervalOracle, Step};
 use crate::moves::Move;
 use crate::scan::{CtlLocal, ScanCtl, UnitOutcome, UnitScanner};
-use crate::solver::{legacy_guard, solve_to_completion, ExecPolicy, Solver, StabilityQuery};
+use crate::solver::solve_to_completion;
 use crate::state::GameState;
 use bncg_graph::{DistanceMatrix, Graph};
 use std::collections::HashSet;
@@ -73,33 +74,6 @@ pub fn find_violation(g: &Graph, alpha: Alpha, k: usize) -> Result<Option<Move>,
         return Ok(None);
     }
     check_budget(g, k, CheckBudget::default())?;
-    solve_to_completion(
-        Concept::KBse(k.min(u32::MAX as usize) as u32),
-        &GameState::new(g.clone(), alpha),
-    )
-}
-
-/// Exact k-BSE check with an explicit work budget.
-///
-/// # Errors
-///
-/// Returns [`GameError::CheckTooLarge`] if the total number of candidate
-/// moves exceeds `budget.max_evals`.
-#[deprecated(
-    since = "0.2.0",
-    note = "route through `bncg_core::solver::Solver` with an `ExecPolicy` \
-            eval budget; budget overruns become `Verdict::Exhausted` there"
-)]
-pub fn find_violation_with_budget(
-    g: &Graph,
-    alpha: Alpha,
-    k: usize,
-    budget: CheckBudget,
-) -> Result<Option<Move>, GameError> {
-    if g.n() <= 1 || k == 0 {
-        return Ok(None);
-    }
-    check_budget(g, k, budget)?;
     solve_to_completion(
         Concept::KBse(k.min(u32::MAX as usize) as u32),
         &GameState::new(g.clone(), alpha),
@@ -137,29 +111,6 @@ pub(crate) fn check_budget(g: &Graph, k: usize, budget: CheckBudget) -> Result<(
     Ok(())
 }
 
-/// Exact k-BSE check against a caller-maintained [`GameState`], through
-/// the shared pruned candidate iterator (see the [module docs](self)).
-///
-/// # Errors
-///
-/// Same guard as [`find_violation_with_budget`].
-#[deprecated(
-    since = "0.2.0",
-    note = "route through `bncg_core::solver::Solver` with a \
-            `StabilityQuery::on(Concept::KBse(k), state)` query"
-)]
-pub fn find_violation_in_with_budget(
-    state: &GameState,
-    k: usize,
-    budget: CheckBudget,
-) -> Result<Option<Move>, GameError> {
-    let concept = Concept::KBse(k.min(u32::MAX as usize) as u32);
-    if legacy_guard(concept, state, budget)? {
-        return Ok(None);
-    }
-    solve_to_completion(concept, state)
-}
-
 /// The direct engine-path full scan, reporting how much of the raw
 /// candidate space was pruned or deduplicated away. This is the
 /// sequential scan the solver drives; the perf gate measures it as the
@@ -167,7 +118,7 @@ pub fn find_violation_in_with_budget(
 ///
 /// # Errors
 ///
-/// Same guard as [`find_violation_with_budget`].
+/// The legacy raw-space pre-guard against `budget`.
 pub fn find_violation_in_with_stats(
     state: &GameState,
     k: usize,
@@ -184,6 +135,7 @@ pub fn find_violation_in_with_stats(
     let mut scan = CoalitionScan::new(
         g,
         state.alpha(),
+        state.cost_model(),
         state.costs(),
         state.is_tree(),
         k,
@@ -201,40 +153,6 @@ pub fn find_violation_in_with_stats(
         }
     }
     Ok((None, stats))
-}
-
-/// Parallel exact k-BSE check: coalitions are sharded across `threads`
-/// std scoped threads, each scanning the shared pruned candidate stream
-/// with its own scratch state, with an atomic first-violation index
-/// propagating early exit. Verdict **and** witness equal the sequential
-/// scan's.
-///
-/// # Errors
-///
-/// Same guard as [`find_violation_with_budget`].
-///
-/// # Panics
-///
-/// Panics if `threads == 0`.
-#[deprecated(
-    since = "0.2.0",
-    note = "route through `bncg_core::solver::Solver` with \
-            `ExecPolicy::default().with_threads(n)`"
-)]
-pub fn find_violation_in_parallel(
-    state: &GameState,
-    k: usize,
-    budget: CheckBudget,
-    threads: usize,
-) -> Result<Option<Move>, GameError> {
-    assert!(threads > 0, "need at least one worker thread");
-    let concept = Concept::KBse(k.min(u32::MAX as usize) as u32);
-    if legacy_guard(concept, state, budget)? {
-        return Ok(None);
-    }
-    Solver::new(ExecPolicy::default().with_threads(threads))
-        .check(&StabilityQuery::on(concept, state))?
-        .into_violation()
 }
 
 /// The solver's k-BSE unit scanner: one unit per coalition in the
@@ -278,6 +196,7 @@ impl<'a> UnitScanner for SolverScan<'a> {
         CoalitionScan::new(
             self.state.graph(),
             self.state.alpha(),
+            self.state.cost_model(),
             self.state.costs(),
             self.state.is_tree(),
             self.k,
@@ -336,7 +255,15 @@ pub fn find_violation_restricted(
     let old: Vec<AgentCost> = (0..n as u32)
         .map(|u| agent_cost_from_matrix(g, &dist, u))
         .collect();
-    let mut scan = CoalitionScan::new(g, alpha, &old, g.is_tree(), k, Some(&dist));
+    let mut scan = CoalitionScan::new(
+        g,
+        alpha,
+        CostModelSpec::SumDistances,
+        &old,
+        g.is_tree(),
+        k,
+        Some(&dist),
+    );
     let mut stats = CandidateStats::default();
     let ctl = ScanCtl::unbounded();
     let mut cl = CtlLocal::new(&ctl);
@@ -411,7 +338,8 @@ fn parallel_coalition_scan(
     threads: usize,
 ) -> Option<Move> {
     if threads == 1 || coalitions.len() < 2 {
-        let mut scan = CoalitionScan::new(g, alpha, old, is_tree, k, dist);
+        let mut scan =
+            CoalitionScan::new(g, alpha, CostModelSpec::SumDistances, old, is_tree, k, dist);
         let mut stats = CandidateStats::default();
         let ctl = ScanCtl::unbounded();
         let mut cl = CtlLocal::new(&ctl);
@@ -431,7 +359,15 @@ fn parallel_coalition_scan(
             let best_idx = &best_idx;
             let best = &best;
             scope.spawn(move || {
-                let mut scan = CoalitionScan::new(g, alpha, old, is_tree, k, dist);
+                let mut scan = CoalitionScan::new(
+                    g,
+                    alpha,
+                    CostModelSpec::SumDistances,
+                    old,
+                    is_tree,
+                    k,
+                    dist,
+                );
                 let mut stats = CandidateStats::default();
                 let ctl = ScanCtl::unbounded();
                 let mut cl = CtlLocal::new(&ctl);
@@ -486,6 +422,7 @@ fn parallel_coalition_scan(
 pub(crate) struct CoalitionScan<'a> {
     g: &'a Graph,
     alpha: Alpha,
+    model: CostModelSpec,
     old: &'a [AgentCost],
     k: usize,
     dist: Option<&'a DistanceMatrix>,
@@ -507,9 +444,11 @@ pub(crate) struct CoalitionScan<'a> {
 }
 
 impl<'a> CoalitionScan<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         g: &'a Graph,
         alpha: Alpha,
+        model: CostModelSpec,
         old: &'a [AgentCost],
         is_tree: bool,
         k: usize,
@@ -518,12 +457,13 @@ impl<'a> CoalitionScan<'a> {
         CoalitionScan {
             g,
             alpha,
+            model,
             old,
             k,
             dist,
             scratch: g.clone(),
             buf: Vec::new(),
-            pruner: EditSetPruner::new(alpha, old, is_tree),
+            pruner: EditSetPruner::new(alpha, old, is_tree, model),
             seen: HashSet::new(),
             min_gamma: Vec::new(),
             add_caps: Vec::new(),
@@ -857,12 +797,14 @@ impl<'a> CoalitionScan<'a> {
             self.scratch.add_edge(u, v).expect("addable non-edge");
         }
         let mut memo: Vec<(u32, bool)> = Vec::new();
+        let model = self.model;
         let mut improves = |x: u32, scratch: &Graph, buf: &mut Vec<u32>| -> bool {
             if let Some(&(_, s)) = memo.iter().find(|&&(y, _)| y == x) {
                 return s;
             }
-            let s =
-                agent_cost_with_buf(scratch, x, buf).better_than(&self.old[x as usize], self.alpha);
+            let s = model
+                .cost_scalar(scratch, x, buf)
+                .better_than(&self.old[x as usize], self.alpha);
             memo.push((x, s));
             s
         };
@@ -952,7 +894,7 @@ fn cover_removals(
 ///
 /// # Errors
 ///
-/// Same guard as [`find_violation_with_budget`].
+/// The legacy raw-space pre-guard against `budget`.
 pub fn find_violation_in_reference(
     state: &GameState,
     k: usize,
@@ -966,6 +908,7 @@ pub fn find_violation_in_reference(
     check_budget(g, k, budget)?;
     let k = k.min(n);
     let alpha = state.alpha();
+    let model = state.cost_model();
     let old = state.costs();
     let mut scratch = g.clone();
     let mut buf = Vec::new();
@@ -975,6 +918,7 @@ pub fn find_violation_in_reference(
             if let Some(mv) = scan_coalition_moves(
                 &mut scratch,
                 alpha,
+                model,
                 old,
                 &coalition,
                 &removable,
@@ -1011,9 +955,11 @@ fn coalition_move_space(g: &Graph, coalition: &[u32]) -> MoveSpace {
 }
 
 /// Full mask scan over a single coalition's move space (reference path).
+#[allow(clippy::too_many_arguments)]
 fn scan_coalition_moves(
     scratch: &mut Graph,
     alpha: Alpha,
+    model: CostModelSpec,
     old: &[AgentCost],
     coalition: &[u32],
     removable: &[(u32, u32)],
@@ -1035,7 +981,9 @@ fn scan_coalition_moves(
                 .filter(|&i| add_mask >> i & 1 == 1)
                 .map(|i| addable[i])
                 .collect();
-            if let Some(mv) = eval_coalition_move(scratch, alpha, old, coalition, &rem, &add, buf) {
+            if let Some(mv) =
+                eval_coalition_move(scratch, alpha, model, old, coalition, &rem, &add, buf)
+            {
                 return Some(mv);
             }
         }
@@ -1045,9 +993,11 @@ fn scan_coalition_moves(
 
 /// Applies a coalition move in place, checks every member improves, and
 /// restores the graph (reference path).
+#[allow(clippy::too_many_arguments)]
 fn eval_coalition_move(
     scratch: &mut Graph,
     alpha: Alpha,
+    model: CostModelSpec,
     old: &[AgentCost],
     coalition: &[u32],
     rem: &[(u32, u32)],
@@ -1060,9 +1010,11 @@ fn eval_coalition_move(
     for &(u, v) in add {
         scratch.add_edge(u, v).expect("addable pair is a non-edge");
     }
-    let improving = coalition
-        .iter()
-        .all(|&w| agent_cost_with_buf(scratch, w, buf).better_than(&old[w as usize], alpha));
+    let improving = coalition.iter().all(|&w| {
+        model
+            .cost_scalar(scratch, w, buf)
+            .better_than(&old[w as usize], alpha)
+    });
     for &(u, v) in add {
         scratch.remove_edge(u, v).expect("restore added");
     }
@@ -1178,7 +1130,9 @@ mod tests {
                 let state = GameState::new(g.clone(), a(alpha));
                 for k in [1usize, 2, 3] {
                     let budget = CheckBudget::default();
-                    let pruned = find_violation_in_with_budget(&state, k, budget).unwrap();
+                    let pruned =
+                        crate::compat::kbse::find_violation_in_with_budget(&state, k, budget)
+                            .unwrap();
                     let reference = find_violation_in_reference(&state, k, budget).unwrap();
                     assert_eq!(
                         pruned.is_some(),
@@ -1237,9 +1191,12 @@ mod tests {
             for alpha in ["1", "4"] {
                 let state = GameState::new(g.clone(), a(alpha));
                 let budget = CheckBudget::default();
-                let seq = find_violation_in_with_budget(&state, 3, budget).unwrap();
+                let seq =
+                    crate::compat::kbse::find_violation_in_with_budget(&state, 3, budget).unwrap();
                 for threads in [2usize, 4] {
-                    let par = find_violation_in_parallel(&state, 3, budget, threads).unwrap();
+                    let par =
+                        crate::compat::kbse::find_violation_in_parallel(&state, 3, budget, threads)
+                            .unwrap();
                     assert_eq!(seq, par);
                 }
             }
@@ -1280,7 +1237,7 @@ mod tests {
         // A dense graph with a huge coalition move space.
         let g = generators::clique(16);
         assert!(matches!(
-            find_violation_with_budget(&g, a("1"), 3, CheckBudget::new(1000)),
+            crate::compat::kbse::find_violation_with_budget(&g, a("1"), 3, CheckBudget::new(1000)),
             Err(GameError::CheckTooLarge { .. })
         ));
     }

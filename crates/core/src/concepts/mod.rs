@@ -27,7 +27,7 @@ pub mod re;
 use crate::alpha::Alpha;
 use crate::error::GameError;
 use crate::moves::Move;
-use crate::solver::{legacy_guard, solve_to_completion, ExecPolicy, Solver, StabilityQuery};
+use crate::solver::{legacy_guard, solve_to_completion};
 use crate::state::GameState;
 use bncg_graph::Graph;
 use std::fmt;
@@ -138,8 +138,8 @@ impl Concept {
     ///
     /// The exponential checkers (BNE, k-BSE, BSE) return
     /// [`GameError::CheckTooLarge`] when the instance exceeds the default
-    /// [`CheckBudget`]; call the per-module `find_violation_with_budget`
-    /// for explicit control.
+    /// [`CheckBudget`]; route through [`crate::solver::Solver`] with an
+    /// [`crate::solver::ExecPolicy`] eval budget for explicit control.
     pub fn find_violation(&self, g: &Graph, alpha: Alpha) -> Result<Option<Move>, GameError> {
         // Cheap structural shortcut: trees are in RE unconditionally, so
         // the RE checker never needs the engine's caches built.
@@ -178,42 +178,6 @@ impl Concept {
                 solve_to_completion(*self, state)
             }
         }
-    }
-
-    /// [`Concept::find_violation_in`] with the exponential checkers' scan
-    /// sharded over `threads` std scoped threads (centers for BNE,
-    /// coalitions for k-BSE, target-graph ranges for BSE) over the pruned
-    /// candidate stream, with first-violation early exit through an atomic
-    /// index. Verdict and witness equal the sequential scan; polynomial
-    /// concepts run sequentially (their scans are too cheap to shard).
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Concept::find_violation`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads == 0`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "route through `bncg_core::solver::Solver` with \
-                `ExecPolicy::default().with_threads(n)`"
-    )]
-    pub fn find_violation_in_parallel(
-        &self,
-        state: &GameState,
-        threads: usize,
-    ) -> Result<Option<Move>, GameError> {
-        assert!(threads > 0, "need at least one worker thread");
-        if !self.is_exponential() {
-            return self.find_violation_in(state);
-        }
-        if legacy_guard(*self, state, CheckBudget::default())? {
-            return Ok(None);
-        }
-        Solver::new(ExecPolicy::default().with_threads(threads))
-            .check(&StabilityQuery::on(*self, state))?
-            .into_violation()
     }
 
     /// Whether `g` is stable for this concept at price `alpha`.

@@ -78,6 +78,7 @@
 use crate::alpha::Alpha;
 use crate::candidates::CandidateStats;
 use crate::concepts::{bae, bge, bne, bse, bswe, kbse, ps, re, CheckBudget, Concept};
+use crate::cost_model::CostModelSpec;
 use crate::error::GameError;
 use crate::jsonio;
 use crate::moves::Move;
@@ -450,6 +451,31 @@ impl<'a> StabilityQuery<'a> {
         self
     }
 
+    /// Re-prices the query under `model`. Defaults to the state's own
+    /// model ([`CostModelSpec::SumDistances`] for states built with
+    /// [`GameState::new`]), so every existing query is unchanged. A
+    /// borrowed state whose model already matches is kept as-is; any
+    /// other case rebuilds an owned state under `model` — the cache
+    /// rebuild is the honest price of re-pricing, since every cached
+    /// per-agent cost depends on the model.
+    #[must_use]
+    pub fn with_cost_model(mut self, model: CostModelSpec) -> Self {
+        if self.state().cost_model() != model {
+            let (g, alpha) = {
+                let s = self.state();
+                (s.graph().clone(), s.alpha())
+            };
+            self.state = QueryState::Owned(Box::new(GameState::with_cost_model(g, alpha, model)));
+        }
+        self
+    }
+
+    /// The cost model the query prices moves under.
+    #[must_use]
+    pub fn cost_model(&self) -> CostModelSpec {
+        self.state().cost_model()
+    }
+
     /// The queried concept.
     #[must_use]
     pub fn concept(&self) -> Concept {
@@ -672,7 +698,7 @@ impl Solver {
                 if f.instance != state.fingerprint() {
                     return Err(GameError::Unsupported {
                         reason: "frontier was issued for a different instance \
-                                 (graph or α differ)"
+                                 (graph, α, or cost model differ)"
                             .into(),
                     });
                 }

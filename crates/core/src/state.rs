@@ -68,7 +68,8 @@
 //! ```
 
 use crate::alpha::Alpha;
-use crate::cost::{agent_cost_bits, agent_cost_from_matrix, agent_cost_with_buf, AgentCost, Ratio};
+use crate::cost::{AgentCost, Ratio};
+use crate::cost_model::{CostModel, CostModelSpec};
 use crate::delta::{cost_after_add, tree_swap_costs};
 use crate::error::GameError;
 use crate::moves::Move;
@@ -81,6 +82,7 @@ use bncg_graph::{BitsetGraph, DistanceMatrix, Graph};
 pub struct GameState {
     g: Graph,
     alpha: Alpha,
+    model: CostModelSpec,
     dist: DistanceMatrix,
     costs: Vec<AgentCost>,
     is_tree: bool,
@@ -119,17 +121,31 @@ impl MoveDelta {
 }
 
 impl GameState {
-    /// Builds the state and its caches: one BFS per node, `O(n·(n+m))`.
+    /// Builds the state and its caches under the default
+    /// [`CostModelSpec::SumDistances`] objective: one BFS per node,
+    /// `O(n·(n+m))`.
     #[must_use]
     pub fn new(g: Graph, alpha: Alpha) -> Self {
+        GameState::with_cost_model(g, alpha, CostModelSpec::SumDistances)
+    }
+
+    /// Builds the state and its caches pricing agents under `model`.
+    /// The default model is byte-identical to [`GameState::new`]; a
+    /// non-default model changes what the cost cache holds (and
+    /// therefore every stability verdict), folds its tag into
+    /// [`GameState::fingerprint`], and disables the evaluation fast
+    /// paths that are proven only for the paper's objective.
+    #[must_use]
+    pub fn with_cost_model(g: Graph, alpha: Alpha, model: CostModelSpec) -> Self {
         let dist = DistanceMatrix::new(&g);
         let costs = (0..g.n() as u32)
-            .map(|u| agent_cost_from_matrix(&g, &dist, u))
+            .map(|u| model.cost_matrix(&g, &dist, u))
             .collect();
         let is_tree = g.is_tree();
         GameState {
             g,
             alpha,
+            model,
             dist,
             costs,
             is_tree,
@@ -145,13 +161,15 @@ impl GameState {
     #[must_use]
     pub fn with_matrix(g: Graph, alpha: Alpha, dist: DistanceMatrix) -> Self {
         assert_eq!(g.n(), dist.n(), "graph/matrix dimension mismatch");
+        let model = CostModelSpec::SumDistances;
         let costs = (0..g.n() as u32)
-            .map(|u| agent_cost_from_matrix(&g, &dist, u))
+            .map(|u| model.cost_matrix(&g, &dist, u))
             .collect();
         let is_tree = g.is_tree();
         GameState {
             g,
             alpha,
+            model,
             dist,
             costs,
             is_tree,
@@ -168,6 +186,38 @@ impl GameState {
     #[must_use]
     pub fn alpha(&self) -> Alpha {
         self.alpha
+    }
+
+    /// The cost model agents are priced under.
+    #[must_use]
+    pub fn cost_model(&self) -> CostModelSpec {
+        self.model
+    }
+
+    /// Prices agent `u` on a bitset mirror of some candidate graph
+    /// under this state's model — the routed form of
+    /// [`crate::agent_cost_bits`] the scan loops call.
+    #[inline]
+    #[must_use]
+    pub fn price_bits(&self, bits: &BitsetGraph, u: u32) -> AgentCost {
+        self.model.cost_bits(bits, u)
+    }
+
+    /// Prices agent `u` on a scratch graph under this state's model —
+    /// the routed form of [`crate::agent_cost`] (with a caller-owned
+    /// BFS buffer).
+    #[inline]
+    #[must_use]
+    pub fn price_scalar(&self, g: &Graph, u: u32, buf: &mut Vec<u32>) -> AgentCost {
+        self.model.cost_scalar(g, u, buf)
+    }
+
+    /// Prices agent `u` from a distance matrix under this state's model
+    /// — the routed form of [`crate::agent_cost_from_matrix`].
+    #[inline]
+    #[must_use]
+    pub fn price_matrix(&self, g: &Graph, d: &DistanceMatrix, u: u32) -> AgentCost {
+        self.model.cost_matrix(g, d, u)
     }
 
     /// Number of agents.
@@ -215,7 +265,16 @@ impl GameState {
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
         let h = bncg_graph::fnv1a_u64(self.g.fingerprint(), self.alpha.num() as u64);
-        bncg_graph::fnv1a_u64(h, self.alpha.den() as u64)
+        let h = bncg_graph::fnv1a_u64(h, self.alpha.den() as u64);
+        if self.model.is_default() {
+            // The default model contributes nothing, so fingerprints —
+            // and every serialized resume token, checkpoint, and atlas
+            // key built on them — are unchanged from the pre-trait
+            // engine.
+            h
+        } else {
+            bncg_graph::fnv1a_u64(h, self.model.fingerprint_tag())
+        }
     }
 
     /// Social cost of the state from the cached matrix, without any BFS.
@@ -224,6 +283,21 @@ impl GameState {
     ///
     /// Returns [`GameError::Disconnected`] for disconnected states.
     pub fn social_cost(&self) -> Result<Ratio, GameError> {
+        if !self.model.is_default() {
+            // Generic arm: Σ_u of the model's finite per-agent cost.
+            // For the adversary model this is K× the expected social
+            // cost — a fixed positive scale at fixed n, so ratios over
+            // a common instance set are unaffected.
+            if self.costs.iter().any(|c| c.unreachable > 0) {
+                return Err(GameError::Disconnected);
+            }
+            let total: i128 = self
+                .costs
+                .iter()
+                .map(|c| self.alpha.cost_key(c.edges, c.dist))
+                .sum();
+            return Ok(Ratio::new(total, i128::from(self.alpha.den())));
+        }
         let total = self.dist.total_distance().ok_or(GameError::Disconnected)?;
         let edges_paid = 2 * self.g.m() as u64;
         Ok(Ratio::new(
@@ -347,9 +421,20 @@ impl GameState {
             affected[u as usize] = true;
             affected[v as usize] = true;
         }
-        for (s, touched) in affected.iter().enumerate() {
-            if *touched {
-                self.costs[s] = agent_cost_from_matrix(&self.g, &self.dist, s as u32);
+        if self.model.is_default() {
+            for (s, touched) in affected.iter().enumerate() {
+                if *touched {
+                    self.costs[s] = self.model.cost_matrix(&self.g, &self.dist, s as u32);
+                }
+            }
+        } else {
+            // The affected-agents-only refresh is a sum-of-distances
+            // theorem: under the adversary model an edge toggle changes
+            // every agent's scenario set even where distance rows are
+            // untouched, and generalized utilities share the cache, so
+            // non-default models refresh the whole cost vector.
+            for s in 0..self.g.n() {
+                self.costs[s] = self.model.cost_matrix(&self.g, &self.dist, s as u32);
             }
         }
         self.is_tree =
@@ -408,66 +493,72 @@ impl MoveEvaluator<'_> {
     fn eval(&mut self, mv: &Move, short_circuit: bool) -> Result<MoveDelta, GameError> {
         let state = self.state;
         let alpha = state.alpha;
-        // Fast path 1: single bilateral addition, priced straight from the
-        // cached matrix with no graph mutation at all.
-        if let Move::BilateralAdd { u, v } = *mv {
-            let n = state.g.n();
-            if u as usize >= n {
-                return Err(GameError::NodeOutOfRange { node: u, n });
-            }
-            if v as usize >= n {
-                return Err(GameError::NodeOutOfRange { node: v, n });
-            }
-            if u == v || state.g.has_edge(u, v) {
-                return Err(GameError::InvalidMove(format!(
-                    "cannot add existing or degenerate edge {{{u}, {v}}}"
-                )));
-            }
-            let mut deltas = Vec::with_capacity(2);
-            for (a, b) in [(u, v), (v, u)] {
-                let d = AgentDelta {
-                    agent: a,
-                    before: state.costs[a as usize],
-                    after: cost_after_add(&state.g, &state.dist, a, b),
-                };
-                let improves = d.after.better_than(&d.before, alpha);
-                deltas.push(d);
-                if short_circuit && !improves {
-                    break;
+        // The matrix-delta fast paths below are sum-of-distances
+        // theorems; non-default models take the generic
+        // apply/price/undo path for every move shape.
+        if state.model.is_default() {
+            // Fast path 1: single bilateral addition, priced straight from
+            // the cached matrix with no graph mutation at all.
+            if let Move::BilateralAdd { u, v } = *mv {
+                let n = state.g.n();
+                if u as usize >= n {
+                    return Err(GameError::NodeOutOfRange { node: u, n });
                 }
+                if v as usize >= n {
+                    return Err(GameError::NodeOutOfRange { node: v, n });
+                }
+                if u == v || state.g.has_edge(u, v) {
+                    return Err(GameError::InvalidMove(format!(
+                        "cannot add existing or degenerate edge {{{u}, {v}}}"
+                    )));
+                }
+                let mut deltas = Vec::with_capacity(2);
+                for (a, b) in [(u, v), (v, u)] {
+                    let d = AgentDelta {
+                        agent: a,
+                        before: state.costs[a as usize],
+                        after: cost_after_add(&state.g, &state.dist, a, b),
+                    };
+                    let improves = d.after.better_than(&d.before, alpha);
+                    deltas.push(d);
+                    if short_circuit && !improves {
+                        break;
+                    }
+                }
+                return Ok(finish(deltas, alpha));
             }
-            return Ok(finish(deltas, alpha));
-        }
-        // Fast path 2: swaps on trees via component sums over the cached
-        // matrix (`O(n)` per candidate instead of two BFS runs; the pair
-        // comes from one pass, so there is nothing to short-circuit).
-        if let Move::Swap { agent, old, new } = *mv {
-            if state.is_tree
-                && state.g.has_edge(agent, old)
-                && new != agent
-                && (new as usize) < state.g.n()
-                && !state.g.has_edge(agent, new)
-                && old != new
-            {
-                if let Some((c_agent, c_new)) =
-                    tree_swap_costs(&state.g, &state.dist, agent, old, new)
+            // Fast path 2: swaps on trees via component sums over the
+            // cached matrix (`O(n)` per candidate instead of two BFS runs;
+            // the pair comes from one pass, so there is nothing to
+            // short-circuit).
+            if let Move::Swap { agent, old, new } = *mv {
+                if state.is_tree
+                    && state.g.has_edge(agent, old)
+                    && new != agent
+                    && (new as usize) < state.g.n()
+                    && !state.g.has_edge(agent, new)
+                    && old != new
                 {
-                    let deltas = vec![
-                        AgentDelta {
-                            agent,
-                            before: state.costs[agent as usize],
-                            after: c_agent,
-                        },
-                        AgentDelta {
-                            agent: new,
-                            before: state.costs[new as usize],
-                            after: c_new,
-                        },
-                    ];
-                    return Ok(finish(deltas, alpha));
+                    if let Some((c_agent, c_new)) =
+                        tree_swap_costs(&state.g, &state.dist, agent, old, new)
+                    {
+                        let deltas = vec![
+                            AgentDelta {
+                                agent,
+                                before: state.costs[agent as usize],
+                                after: c_agent,
+                            },
+                            AgentDelta {
+                                agent: new,
+                                before: state.costs[new as usize],
+                                after: c_new,
+                            },
+                        ];
+                        return Ok(finish(deltas, alpha));
+                    }
+                    // Disconnecting swap: fall through to the generic
+                    // engine, which prices the unreachability exactly.
                 }
-                // Disconnecting swap: fall through to the generic engine,
-                // which prices the unreachability exactly.
             }
         }
         // Generic path: apply to the scratch graph (full validation), BFS
@@ -484,7 +575,7 @@ impl MoveEvaluator<'_> {
                 let d = AgentDelta {
                     agent: a,
                     before: state.costs[a as usize],
-                    after: agent_cost_bits(bits, a),
+                    after: state.model.cost_bits(bits, a),
                 };
                 let improves = d.after.better_than(&d.before, alpha);
                 deltas.push(d);
@@ -498,7 +589,7 @@ impl MoveEvaluator<'_> {
                 let d = AgentDelta {
                     agent: a,
                     before: state.costs[a as usize],
-                    after: agent_cost_with_buf(&self.scratch, a, &mut self.buf),
+                    after: state.model.cost_scalar(&self.scratch, a, &mut self.buf),
                 };
                 let improves = d.after.better_than(&d.before, alpha);
                 deltas.push(d);

@@ -58,7 +58,7 @@ pub mod round_robin;
 
 use bncg_core::jsonio;
 use bncg_core::solver::{ExecPolicy, Frontier, Solver, StabilityQuery, Verdict};
-use bncg_core::{Alpha, Concept, GameError, GameState, Move};
+use bncg_core::{Alpha, Concept, CostModelSpec, GameError, GameState, Move};
 use bncg_graph::Graph;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -266,7 +266,17 @@ pub fn run_with_rng<R: Rng + ?Sized>(
     max_steps: usize,
     rng: &mut R,
 ) -> Result<Trajectory, GameError> {
-    run_impl(start, alpha, concept, rule, max_steps, rng, None, None)
+    run_impl(
+        start,
+        alpha,
+        CostModelSpec::SumDistances,
+        concept,
+        rule,
+        max_steps,
+        rng,
+        None,
+        None,
+    )
 }
 
 /// [`run`] under an explicit [`ExecPolicy`]: every per-step
@@ -299,10 +309,41 @@ pub fn run_with_policy(
     max_steps: usize,
     policy: &ExecPolicy,
 ) -> Result<Trajectory, GameError> {
+    run_with_policy_under(
+        start,
+        alpha,
+        CostModelSpec::SumDistances,
+        concept,
+        rule,
+        max_steps,
+        policy,
+    )
+}
+
+/// [`run_with_policy`] pricing every step under an explicit
+/// [`CostModelSpec`] — the default model reproduces [`run_with_policy`]
+/// exactly. Checkpoints are model-bound: the instance fingerprint folds
+/// a non-default model's tag, so a token issued under one model cannot
+/// resume a run under another.
+///
+/// # Errors
+///
+/// Same as [`run_with_policy`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_policy_under(
+    start: &Graph,
+    alpha: Alpha,
+    model: CostModelSpec,
+    concept: Concept,
+    rule: SelectionRule,
+    max_steps: usize,
+    policy: &ExecPolicy,
+) -> Result<Trajectory, GameError> {
     let mut rng = bncg_graph::test_rng(0x5eed);
     run_impl(
         start,
         alpha,
+        model,
         concept,
         rule,
         max_steps,
@@ -335,10 +376,41 @@ pub fn resume_with_policy(
     policy: &ExecPolicy,
     checkpoint: &DynamicsCheckpoint,
 ) -> Result<Trajectory, GameError> {
+    resume_with_policy_under(
+        start,
+        alpha,
+        CostModelSpec::SumDistances,
+        concept,
+        rule,
+        max_steps,
+        policy,
+        checkpoint,
+    )
+}
+
+/// [`resume_with_policy`] under an explicit [`CostModelSpec`]; the model
+/// must be the interrupted run's (the checkpoint's fingerprint check
+/// enforces this).
+///
+/// # Errors
+///
+/// Same as [`resume_with_policy`].
+#[allow(clippy::too_many_arguments)]
+pub fn resume_with_policy_under(
+    start: &Graph,
+    alpha: Alpha,
+    model: CostModelSpec,
+    concept: Concept,
+    rule: SelectionRule,
+    max_steps: usize,
+    policy: &ExecPolicy,
+    checkpoint: &DynamicsCheckpoint,
+) -> Result<Trajectory, GameError> {
     let mut rng = bncg_graph::test_rng(0x5eed);
     run_impl(
         start,
         alpha,
+        model,
         concept,
         rule,
         max_steps,
@@ -360,6 +432,7 @@ enum Step {
 fn run_impl<R: Rng + ?Sized>(
     start: &Graph,
     alpha: Alpha,
+    model: CostModelSpec,
     concept: Concept,
     rule: SelectionRule,
     max_steps: usize,
@@ -374,7 +447,7 @@ fn run_impl<R: Rng + ?Sized>(
     let run_deadline = policy
         .and_then(|p| p.deadline)
         .map(|d| std::time::Instant::now() + d);
-    let mut state = GameState::new(start.clone(), alpha);
+    let mut state = GameState::with_cost_model(start.clone(), alpha, model);
 
     // Chain state: either fresh or rehydrated from the checkpoint.
     let (steps_prior, evals_prior, mut pending) = match from {

@@ -33,7 +33,7 @@ use bncg_core::jsonio;
 use bncg_core::solver::ExecPolicy;
 use bncg_core::{
     best_response_in, best_response_resume, best_response_with_policy, BestResponseFrontier,
-    BestResponseVerdict, CheckBudget, GameError, GameState, Move,
+    BestResponseVerdict, CheckBudget, CostModelSpec, GameError, GameState, Move,
 };
 use bncg_graph::Graph;
 use std::collections::HashSet;
@@ -294,7 +294,32 @@ pub fn run_with_policy(
     max_rounds: usize,
     policy: &ExecPolicy,
 ) -> Result<RoundRobinOutcome, GameError> {
-    run_metered(start, alpha, max_rounds, policy, None)
+    run_metered(
+        start,
+        alpha,
+        CostModelSpec::SumDistances,
+        max_rounds,
+        policy,
+        None,
+    )
+}
+
+/// [`run_with_policy`] pricing every activation under an explicit
+/// [`CostModelSpec`] — the default model reproduces [`run_with_policy`]
+/// exactly. Checkpoints are model-bound through the instance
+/// fingerprint.
+///
+/// # Errors
+///
+/// Same as [`run_with_policy`].
+pub fn run_with_policy_under(
+    start: &Graph,
+    alpha: bncg_core::Alpha,
+    model: CostModelSpec,
+    max_rounds: usize,
+    policy: &ExecPolicy,
+) -> Result<RoundRobinOutcome, GameError> {
+    run_metered(start, alpha, model, max_rounds, policy, None)
 }
 
 /// Continues an interrupted trajectory: `start` must be the interrupted
@@ -315,7 +340,32 @@ pub fn resume(
     policy: &ExecPolicy,
     checkpoint: &Checkpoint,
 ) -> Result<RoundRobinOutcome, GameError> {
-    run_metered(start, alpha, max_rounds, policy, Some(checkpoint))
+    run_metered(
+        start,
+        alpha,
+        CostModelSpec::SumDistances,
+        max_rounds,
+        policy,
+        Some(checkpoint),
+    )
+}
+
+/// [`resume`] under an explicit [`CostModelSpec`]; the model must be
+/// the interrupted run's (the checkpoint's fingerprint check enforces
+/// this).
+///
+/// # Errors
+///
+/// Same as [`resume`].
+pub fn resume_under(
+    start: &Graph,
+    alpha: bncg_core::Alpha,
+    model: CostModelSpec,
+    max_rounds: usize,
+    policy: &ExecPolicy,
+    checkpoint: &Checkpoint,
+) -> Result<RoundRobinOutcome, GameError> {
+    run_metered(start, alpha, model, max_rounds, policy, Some(checkpoint))
 }
 
 /// The legacy guarded loop: unmetered scans under the per-activation
@@ -377,11 +427,12 @@ fn run_legacy(
 fn run_metered(
     start: &Graph,
     alpha: bncg_core::Alpha,
+    model: CostModelSpec,
     max_rounds: usize,
     policy: &ExecPolicy,
     from: Option<&Checkpoint>,
 ) -> Result<RoundRobinOutcome, GameError> {
-    let mut state = GameState::new(start.clone(), alpha);
+    let mut state = GameState::with_cost_model(start.clone(), alpha, model);
     let n = start.n() as u32;
     let run_deadline = policy.deadline.map(|d| Instant::now() + d);
     // A zero budget still makes progress (mirroring `ScanCtl::new`'s

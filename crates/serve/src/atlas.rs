@@ -16,7 +16,7 @@
 
 use crate::protocol::render_move;
 use bncg_atlas::DynAtlas;
-use bncg_core::{Alpha, Concept};
+use bncg_core::{Alpha, Concept, CostModelSpec};
 use bncg_graph::enumerate::MAX_GRAPH_CLASS_NODES;
 use bncg_graph::Graph;
 use std::fmt;
@@ -91,7 +91,9 @@ impl AtlasService {
     /// Tries to answer an `atlas_lookup` from the corpus. `Some` is the
     /// complete response line (a hit — the caller writes it and is
     /// done); `None` is a miss (the caller submits the equivalent live
-    /// check). Counters are bumped either way.
+    /// check). Counters are bumped either way. The corpus is built
+    /// under the default cost model only, so a non-default
+    /// `cost_model` is a counted miss without probing the index.
     #[must_use]
     pub fn try_answer(
         &self,
@@ -99,7 +101,12 @@ impl AtlasService {
         concept: Concept,
         graph: &Graph,
         alpha: Alpha,
+        cost_model: CostModelSpec,
     ) -> Option<String> {
+        if !cost_model.is_default() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
         match self.probe(id, concept, graph, alpha) {
             Some(line) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -178,7 +185,13 @@ mod tests {
         let svc = service_n4();
         let g = generators::path(4);
         let line = svc
-            .try_answer(7, Concept::Bae, &g, Alpha::from_ratio(1, 2).unwrap())
+            .try_answer(
+                7,
+                Concept::Bae,
+                &g,
+                Alpha::from_ratio(1, 2).unwrap(),
+                CostModelSpec::SumDistances,
+            )
             .expect("P4 BAE at α=1/2 is in the standard n≤4 grid");
         assert_eq!(jsonio::u64_field(&line, "id"), Some(7));
         assert_eq!(jsonio::str_field(&line, "source"), Some("atlas"));
@@ -194,7 +207,13 @@ mod tests {
         // α = 7 is not on the standard grid for n = 4.
         let g = generators::path(4);
         assert!(svc
-            .try_answer(1, Concept::Bae, &g, Alpha::integer(7).unwrap())
+            .try_answer(
+                1,
+                Concept::Bae,
+                &g,
+                Alpha::integer(7).unwrap(),
+                CostModelSpec::SumDistances,
+            )
             .is_none());
         // n = 5 is beyond the built ceiling.
         assert!(svc
@@ -202,7 +221,8 @@ mod tests {
                 2,
                 Concept::Bae,
                 &generators::path(5),
-                Alpha::integer(2).unwrap()
+                Alpha::integer(2).unwrap(),
+                CostModelSpec::SumDistances,
             )
             .is_none());
         // n far beyond the enumeration ceiling short-circuits.
@@ -211,10 +231,29 @@ mod tests {
                 3,
                 Concept::Re,
                 &generators::path(64),
-                Alpha::integer(2).unwrap()
+                Alpha::integer(2).unwrap(),
+                CostModelSpec::SumDistances,
             )
             .is_none());
         assert_eq!((svc.hits(), svc.misses()), (0, 3));
+    }
+
+    #[test]
+    fn non_default_cost_model_is_a_counted_miss() {
+        let svc = service_n4();
+        // P4 BAE at α=1/2 is a corpus hit under the default model; any
+        // other model must fall through to live without probing.
+        let g = generators::path(4);
+        assert!(svc
+            .try_answer(
+                9,
+                Concept::Bae,
+                &g,
+                Alpha::from_ratio(1, 2).unwrap(),
+                "generalized:cap2".parse().unwrap(),
+            )
+            .is_none());
+        assert_eq!((svc.hits(), svc.misses()), (0, 1));
     }
 
     #[test]
@@ -226,7 +265,8 @@ mod tests {
                 1,
                 Concept::Re,
                 &generators::path(4),
-                Alpha::integer(2).unwrap()
+                Alpha::integer(2).unwrap(),
+                CostModelSpec::SumDistances,
             )
             .is_none());
         assert_eq!((svc.hits(), svc.misses()), (0, 1));

@@ -26,7 +26,7 @@
 //! [`round_robin::Checkpoint`]: bncg_dynamics::round_robin::Checkpoint
 //! [`DynamicsCheckpoint`]: bncg_dynamics::DynamicsCheckpoint
 
-use bncg_core::{jsonio, Alpha, Concept, Move};
+use bncg_core::{jsonio, Alpha, Concept, CostModelSpec, Move};
 use bncg_graph::Graph;
 
 /// Tenant used when a request omits the `tenant` field.
@@ -53,6 +53,9 @@ pub enum Request {
         concept: Concept,
         /// Edge price α.
         alpha: Alpha,
+        /// Cost model the query prices moves under (absent field on the
+        /// wire → [`CostModelSpec::SumDistances`]).
+        cost_model: CostModelSpec,
         /// The instance graph.
         graph: Graph,
         /// A previously returned resume token, verbatim.
@@ -71,6 +74,8 @@ pub enum Request {
         agent: u32,
         /// Edge price α.
         alpha: Alpha,
+        /// Cost model the query prices moves under.
+        cost_model: CostModelSpec,
         /// The instance graph.
         graph: Graph,
         /// A previously returned resume token, verbatim.
@@ -87,6 +92,8 @@ pub enum Request {
         tenant: String,
         /// Edge price α.
         alpha: Alpha,
+        /// Cost model the dynamics price activations under.
+        cost_model: CostModelSpec,
         /// The starting graph (on resume: the `final_edges` of the shed
         /// response the token came from).
         graph: Graph,
@@ -108,6 +115,8 @@ pub enum Request {
         concept: Concept,
         /// Edge price α.
         alpha: Alpha,
+        /// Cost model the dynamics price moves under.
+        cost_model: CostModelSpec,
         /// The starting graph (on resume: the `final_edges` of the shed
         /// response the token came from).
         graph: Graph,
@@ -131,6 +140,10 @@ pub enum Request {
         concept: Concept,
         /// Edge price α.
         alpha: Alpha,
+        /// Cost model the query prices moves under. A non-default model
+        /// always falls through to a live check — the atlas corpus is
+        /// priced under the default model only.
+        cost_model: CostModelSpec,
         /// The instance graph.
         graph: Graph,
         /// A previously returned resume token, verbatim (only a live
@@ -241,6 +254,14 @@ pub fn parse_request(line: &str) -> Result<Request, BadRequest> {
             .map_err(|e| bad(format!("bad \"concept\": {e}")))
     };
     let graph = || parse_graph(&head).map_err(&bad);
+    let cost_model = || -> Result<CostModelSpec, BadRequest> {
+        match jsonio::str_field(&head, "cost_model") {
+            None => Ok(CostModelSpec::SumDistances),
+            Some(t) => t
+                .parse()
+                .map_err(|e| bad(format!("bad \"cost_model\": {e}"))),
+        }
+    };
     let deadline_ms = jsonio::u64_field(&head, "deadline_ms");
     match op.as_str() {
         "check" => Ok(Request::Check {
@@ -248,6 +269,7 @@ pub fn parse_request(line: &str) -> Result<Request, BadRequest> {
             tenant: tenant()?,
             concept: concept()?,
             alpha: alpha()?,
+            cost_model: cost_model()?,
             graph: graph()?,
             resume,
             deadline_ms,
@@ -260,6 +282,7 @@ pub fn parse_request(line: &str) -> Result<Request, BadRequest> {
             )
             .map_err(|_| bad("\"agent\" overflows u32".into()))?,
             alpha: alpha()?,
+            cost_model: cost_model()?,
             graph: graph()?,
             resume,
             deadline_ms,
@@ -268,6 +291,7 @@ pub fn parse_request(line: &str) -> Result<Request, BadRequest> {
             id,
             tenant: tenant()?,
             alpha: alpha()?,
+            cost_model: cost_model()?,
             graph: graph()?,
             rounds: jsonio::u64_field(&head, "rounds").unwrap_or(100) as usize,
             resume,
@@ -278,6 +302,7 @@ pub fn parse_request(line: &str) -> Result<Request, BadRequest> {
             tenant: tenant()?,
             concept: concept()?,
             alpha: alpha()?,
+            cost_model: cost_model()?,
             graph: graph()?,
             steps: jsonio::u64_field(&head, "steps").unwrap_or(1000) as usize,
             resume,
@@ -288,6 +313,7 @@ pub fn parse_request(line: &str) -> Result<Request, BadRequest> {
             tenant: tenant()?,
             concept: concept()?,
             alpha: alpha()?,
+            cost_model: cost_model()?,
             graph: graph()?,
             resume,
             deadline_ms,
@@ -424,6 +450,7 @@ mod tests {
             tenant,
             concept,
             alpha,
+            cost_model,
             graph,
             resume,
             deadline_ms,
@@ -435,9 +462,26 @@ mod tests {
         assert_eq!(tenant, "acme");
         assert_eq!(concept, Concept::Bne);
         assert_eq!(alpha, "3/2".parse().unwrap());
+        assert_eq!(cost_model, CostModelSpec::SumDistances);
         assert_eq!(graph, g);
         assert!(resume.is_none());
         assert!(deadline_ms.is_none());
+    }
+
+    #[test]
+    fn cost_model_field_parses_and_defaults() {
+        let line = "{\"id\":2,\"op\":\"check\",\"concept\":\"bne\",\"alpha\":\"2\",\
+                    \"cost_model\":\"generalized:cap2\",\"n\":3,\"edges\":[1,4294967298]}";
+        let Request::Check { cost_model, .. } = parse_request(line).unwrap() else {
+            panic!("wrong op")
+        };
+        assert_eq!(cost_model.token(), "generalized:cap2");
+        let err = parse_request(
+            "{\"id\":2,\"op\":\"check\",\"concept\":\"bne\",\"alpha\":\"2\",\
+             \"cost_model\":\"bogus\",\"n\":3,\"edges\":[1]}",
+        )
+        .unwrap_err();
+        assert!(err.reason.contains("cost_model"), "{:?}", err.reason);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::tenant::{Tenant, TenantRegistry, TenantStats};
 use bncg_core::solver::{ExecPolicy, Solver, StabilityQuery, Verdict};
 use bncg_core::{
     best_response_resume, best_response_with_policy, Alpha, BestResponseFrontier,
-    BestResponseVerdict, Concept, Frontier, GameState,
+    BestResponseVerdict, Concept, CostModelSpec, Frontier, GameState,
 };
 use bncg_dynamics::round_robin::{self, Checkpoint};
 use bncg_dynamics::{self as dynamics, DynamicsCheckpoint, SelectionRule};
@@ -79,6 +79,8 @@ pub enum Work {
         graph: Graph,
         /// Edge price α.
         alpha: Alpha,
+        /// The cost model the check prices agents under.
+        cost_model: CostModelSpec,
     },
     /// A best-response scan (`op:"best_response"`).
     BestResponse {
@@ -88,6 +90,8 @@ pub enum Work {
         graph: Graph,
         /// Edge price α.
         alpha: Alpha,
+        /// The cost model the scan prices the agent under.
+        cost_model: CostModelSpec,
     },
     /// Round-robin best-response dynamics (`op:"trajectory"`).
     Trajectory {
@@ -97,6 +101,8 @@ pub enum Work {
         alpha: Alpha,
         /// Round cap.
         rounds: usize,
+        /// The cost model every activation prices under.
+        cost_model: CostModelSpec,
     },
     /// Improving-move dynamics under a concept (`op:"dynamics"`).
     Dynamics {
@@ -108,6 +114,8 @@ pub enum Work {
         alpha: Alpha,
         /// Step cap.
         steps: usize,
+        /// The cost model the violation scans price under.
+        cost_model: CostModelSpec,
     },
 }
 
@@ -407,8 +415,10 @@ fn step(job: &mut Job, policy: &ExecPolicy, slice: u64) -> Result<Stepped, Strin
             concept,
             graph,
             alpha,
+            cost_model,
         } => {
-            let mut query = StabilityQuery::new(*concept, graph, *alpha);
+            let mut query =
+                StabilityQuery::new(*concept, graph, *alpha).with_cost_model(*cost_model);
             if let Some(token) = &resume {
                 let frontier: Frontier = token.parse().map_err(|e| format!("{e}"))?;
                 query = query.resume(frontier);
@@ -445,10 +455,11 @@ fn step(job: &mut Job, policy: &ExecPolicy, slice: u64) -> Result<Stepped, Strin
             agent,
             graph,
             alpha,
+            cost_model,
         } => {
             let mut budgeted = policy.clone();
             budgeted.eval_budget = Some(slice.min(pool.remaining().max(1)));
-            let state = GameState::new(graph.clone(), *alpha);
+            let state = GameState::with_cost_model(graph.clone(), *alpha, *cost_model);
             let (verdict, prior) = match &resume {
                 Some(token) => {
                     let frontier: BestResponseFrontier =
@@ -494,6 +505,7 @@ fn step(job: &mut Job, policy: &ExecPolicy, slice: u64) -> Result<Stepped, Strin
             graph,
             alpha,
             rounds,
+            cost_model,
         } => {
             let mut budgeted = policy.clone();
             budgeted.eval_budget = Some(slice.min(pool.remaining().max(1)));
@@ -502,14 +514,27 @@ fn step(job: &mut Job, policy: &ExecPolicy, slice: u64) -> Result<Stepped, Strin
                     let ckpt: Checkpoint = token.parse().map_err(|e| format!("{e}"))?;
                     let prior = ckpt.evals();
                     (
-                        round_robin::resume(graph, *alpha, *rounds, &budgeted, &ckpt)
-                            .map_err(|e| format!("{e}"))?,
+                        round_robin::resume_under(
+                            graph,
+                            *alpha,
+                            *cost_model,
+                            *rounds,
+                            &budgeted,
+                            &ckpt,
+                        )
+                        .map_err(|e| format!("{e}"))?,
                         prior,
                     )
                 }
                 None => (
-                    round_robin::run_with_policy(graph, *alpha, *rounds, &budgeted)
-                        .map_err(|e| format!("{e}"))?,
+                    round_robin::run_with_policy_under(
+                        graph,
+                        *alpha,
+                        *cost_model,
+                        *rounds,
+                        &budgeted,
+                    )
+                    .map_err(|e| format!("{e}"))?,
                     0,
                 ),
             };
@@ -535,6 +560,7 @@ fn step(job: &mut Job, policy: &ExecPolicy, slice: u64) -> Result<Stepped, Strin
             graph,
             alpha,
             steps,
+            cost_model,
         } => {
             let mut budgeted = policy.clone();
             budgeted.eval_budget = Some(slice.min(pool.remaining().max(1)));
@@ -543,9 +569,10 @@ fn step(job: &mut Job, policy: &ExecPolicy, slice: u64) -> Result<Stepped, Strin
                     let ckpt: DynamicsCheckpoint = token.parse().map_err(|e| format!("{e}"))?;
                     let (pe, ps) = (ckpt.evals(), ckpt.steps());
                     (
-                        dynamics::resume_with_policy(
+                        dynamics::resume_with_policy_under(
                             graph,
                             *alpha,
+                            *cost_model,
                             *concept,
                             SelectionRule::First,
                             *steps,
@@ -558,9 +585,10 @@ fn step(job: &mut Job, policy: &ExecPolicy, slice: u64) -> Result<Stepped, Strin
                     )
                 }
                 None => (
-                    dynamics::run_with_policy(
+                    dynamics::run_with_policy_under(
                         graph,
                         *alpha,
+                        *cost_model,
                         *concept,
                         SelectionRule::First,
                         *steps,
@@ -623,6 +651,7 @@ mod tests {
                 concept: Concept::Bne,
                 graph: g.clone(),
                 alpha,
+                cost_model: CostModelSpec::SumDistances,
             },
         ));
         let direct = Solver::default()
@@ -664,6 +693,7 @@ mod tests {
                 concept: Concept::Bne,
                 graph: g.clone(),
                 alpha,
+                cost_model: CostModelSpec::SumDistances,
             },
         ));
         assert_eq!(jsonio::u64_field(&line, "ok"), Some(0), "{line}");
@@ -681,6 +711,7 @@ mod tests {
                 concept: Concept::Bne,
                 graph: g.clone(),
                 alpha,
+                cost_model: CostModelSpec::SumDistances,
             },
             resume: Some(token),
             deadline_ms: None,
@@ -717,6 +748,7 @@ mod tests {
                 graph: g.clone(),
                 alpha,
                 rounds: 100,
+                cost_model: CostModelSpec::SumDistances,
             },
         ));
         assert_eq!(jsonio::u64_field(&line, "ok"), Some(1), "{line}");
@@ -744,6 +776,7 @@ mod tests {
                 concept: Concept::Bne,
                 graph: generators::path(5),
                 alpha: Alpha::integer(2).unwrap(),
+                cost_model: CostModelSpec::SumDistances,
             },
             resume: Some("{\"v\":99,\"concept\":\"bne\"}".into()),
             deadline_ms: None,
@@ -764,6 +797,7 @@ mod tests {
                 concept: Concept::Re,
                 graph: generators::path(4),
                 alpha: Alpha::integer(1).unwrap(),
+                cost_model: CostModelSpec::SumDistances,
             },
         ));
         assert_eq!(jsonio::str_field(&line, "error"), Some("shutdown"));

@@ -263,13 +263,14 @@ fn dispatch(
             concept,
             alpha,
             graph,
+            cost_model,
             resume,
             deadline_ms,
         } => {
             // Fresh queries may hit the corpus; a resume token means a
             // live fall-through is already in flight — continue it.
             if resume.is_none() {
-                if let Some(line) = atlas.try_answer(id, concept, &graph, alpha) {
+                if let Some(line) = atlas.try_answer(id, concept, &graph, alpha, cost_model) {
                     write_line(out, &line);
                     return;
                 }
@@ -283,6 +284,7 @@ fn dispatch(
                         concept,
                         graph,
                         alpha,
+                        cost_model,
                     },
                     resume,
                     deadline_ms,
@@ -297,6 +299,7 @@ fn dispatch(
             concept,
             alpha,
             graph,
+            cost_model,
             resume,
             deadline_ms,
         } => QuerySpec {
@@ -306,6 +309,7 @@ fn dispatch(
                 concept,
                 graph,
                 alpha,
+                cost_model,
             },
             resume,
             deadline_ms,
@@ -316,6 +320,7 @@ fn dispatch(
             agent,
             alpha,
             graph,
+            cost_model,
             resume,
             deadline_ms,
         } => QuerySpec {
@@ -325,6 +330,7 @@ fn dispatch(
                 agent,
                 graph,
                 alpha,
+                cost_model,
             },
             resume,
             deadline_ms,
@@ -335,6 +341,7 @@ fn dispatch(
             alpha,
             graph,
             rounds,
+            cost_model,
             resume,
             deadline_ms,
         } => QuerySpec {
@@ -344,6 +351,7 @@ fn dispatch(
                 graph,
                 alpha,
                 rounds,
+                cost_model,
             },
             resume,
             deadline_ms,
@@ -355,6 +363,7 @@ fn dispatch(
             alpha,
             graph,
             steps,
+            cost_model,
             resume,
             deadline_ms,
         } => QuerySpec {
@@ -365,6 +374,7 @@ fn dispatch(
                 graph,
                 alpha,
                 steps,
+                cost_model,
             },
             resume,
             deadline_ms,

@@ -55,7 +55,8 @@ fn bne_pruned_equals_unpruned_with_identical_witness() {
         let g = random_instance(14, rng);
         for alpha in alpha_grid(g.n()) {
             let state = GameState::new(g.clone(), alpha);
-            let pruned = concepts::bne::find_violation_in_with_budget(&state, budget).unwrap();
+            let pruned =
+                bncg::core::compat::bne::find_violation_in_with_budget(&state, budget).unwrap();
             let raw = concepts::bne::find_violation_in_reference(&state, budget).unwrap();
             // Shared enumeration order + sound filters ⇒ identical first
             // violation, hence identical first-violation cost delta.
@@ -74,7 +75,8 @@ fn bse_pruned_equals_unpruned_with_identical_witness() {
         let g = random_instance(6, rng);
         for alpha in alpha_grid(g.n()) {
             let state = GameState::new(g.clone(), alpha);
-            let pruned = concepts::bse::find_violation_in_with_budget(&state, budget).unwrap();
+            let pruned =
+                bncg::core::compat::bse::find_violation_in_with_budget(&state, budget).unwrap();
             let raw = concepts::bse::find_violation_in_reference(&state, budget).unwrap();
             assert_eq!(pruned, raw, "BSE witness diverged at α = {alpha}");
             if let Some(mv) = pruned {
@@ -93,7 +95,8 @@ fn kbse_pruned_equals_unpruned_verdict_and_both_witnesses_replay() {
             let state = GameState::new(g.clone(), alpha);
             for k in [2usize, 3] {
                 let pruned =
-                    concepts::kbse::find_violation_in_with_budget(&state, k, budget).unwrap();
+                    bncg::core::compat::kbse::find_violation_in_with_budget(&state, k, budget)
+                        .unwrap();
                 let raw = concepts::kbse::find_violation_in_reference(&state, k, budget).unwrap();
                 assert_eq!(
                     pruned.is_some(),
@@ -121,23 +124,27 @@ fn parallel_scans_match_sequential_witnesses() {
         let g = random_instance(8, rng);
         let alpha = Alpha::integer(2).unwrap();
         let state = GameState::new(g.clone(), alpha);
-        let bne = concepts::bne::find_violation_in_with_budget(&state, budget).unwrap();
-        let kbse = concepts::kbse::find_violation_in_with_budget(&state, 3, budget).unwrap();
+        let bne = bncg::core::compat::bne::find_violation_in_with_budget(&state, budget).unwrap();
+        let kbse =
+            bncg::core::compat::kbse::find_violation_in_with_budget(&state, 3, budget).unwrap();
         for threads in [2usize, 3] {
             assert_eq!(
                 bne,
-                concepts::bne::find_violation_in_parallel(&state, budget, threads).unwrap()
+                bncg::core::compat::bne::find_violation_in_parallel(&state, budget, threads)
+                    .unwrap()
             );
             assert_eq!(
                 kbse,
-                concepts::kbse::find_violation_in_parallel(&state, 3, budget, threads).unwrap()
+                bncg::core::compat::kbse::find_violation_in_parallel(&state, 3, budget, threads)
+                    .unwrap()
             );
         }
         if g.n() <= 6 {
-            let bse = concepts::bse::find_violation_in_with_budget(&state, budget).unwrap();
+            let bse =
+                bncg::core::compat::bse::find_violation_in_with_budget(&state, budget).unwrap();
             assert_eq!(
                 bse,
-                concepts::bse::find_violation_in_parallel(&state, budget, 4).unwrap()
+                bncg::core::compat::bse::find_violation_in_parallel(&state, budget, 4).unwrap()
             );
         }
     });

@@ -41,6 +41,8 @@
 //!              omitted) — blocks until a `shutdown` request arrives
 //!              --atlas DIR serves `atlas_lookup` hits from a
 //!              precomputed corpus at zero solver cost
+//!              --journal DIR persists tenant grants/weights to
+//!              DIR/grants.jsonl and replays them on restart
 //!   query      send request lines to a running daemon:
 //!              --addr HOST:PORT (default 127.0.0.1:7421)
 //!              --line '<json>' sends one request; without it, every
@@ -104,7 +106,7 @@ use std::time::Duration;
 
 /// Flags that consume the following argument (needed to tell the command
 /// token apart from a flag value).
-const VALUE_FLAGS: [&str; 25] = [
+const VALUE_FLAGS: [&str; 26] = [
     "--threads",
     "--cost-model",
     "--budget",
@@ -123,6 +125,7 @@ const VALUE_FLAGS: [&str; 25] = [
     "--workers",
     "--slice",
     "--grant",
+    "--journal",
     "--addr",
     "--line",
     "--atlas",
@@ -217,7 +220,8 @@ fn usage() -> &'static str {
      `check` adds --concept, --alpha, --n, --family, --p, \
      --seed, --resume; `dynamics` with --family/--graph6/--n/--rounds/\
      --resume runs one anytime round-robin trajectory; `serve` starts the \
-     line-JSON daemon (--port, --workers, --slice, --grant, --atlas) and \
+     line-JSON daemon (--port, --workers, --slice, --grant, --atlas, \
+     --journal) and \
      `query` talks to one (--addr, --line or stdin); `atlas \
      build|query|verify --dir DIR` maintains the corpus itself"
 }
@@ -386,6 +390,9 @@ fn run_serve(args: &[String]) -> Result<String, GameError> {
     }
     if let Some(grant) = parsed_flag::<u64>(args, "--grant")? {
         scheduler.default_grant = grant;
+    }
+    if let Some(dir) = string_flag(args, "--journal")? {
+        scheduler.journal = Some(std::path::PathBuf::from(dir));
     }
     let atlas = match load_atlas(args)? {
         Some(atlas) => {

@@ -51,6 +51,14 @@
 //!   (`sched_slicing_overhead/mixed_batch`; every scheduler verdict is
 //!   exactness-asserted against its direct counterpart first, and the
 //!   check is forced through multiple slices),
+//! * weighted round-robin dispatch fails to bound a light tenant's
+//!   delay behind a 100-query heavy flood (asserted machine-independent;
+//!   the light query's latency is also budgeted as
+//!   `sched_fairness/mixed_tenants`), or 500 idle connections parked on
+//!   the readiness-loop front end push the wire cost of the pinned
+//!   mixed batch past the scheduler ceiling
+//!   (`idle_conns_overhead/mixed_batch_500`; exactness-asserted through
+//!   the wire first),
 //! * the documented [`CheckBudget::default`] wall-clock meaning drifts
 //!   outside sanity (the gate derives `budget_default_seconds` from the
 //!   measured raw-reference evaluation rate — this is the calibration
@@ -800,7 +808,9 @@ fn main() -> std::process::ExitCode {
         workers: 1,
         slice: 48,
         default_grant: u64::MAX,
-    });
+        journal: None,
+    })
+    .expect("ungated scheduler start");
     let proof = sched_batch(&fine);
     assert!(
         parse_json_number(&proof[0], "slices").is_some_and(|s| s >= 2.0),
@@ -816,7 +826,9 @@ fn main() -> std::process::ExitCode {
         workers: 1,
         slice: 512,
         default_grant: u64::MAX,
-    });
+        journal: None,
+    })
+    .expect("ungated scheduler start");
     assert_batch_exact(&sched_batch(&timed));
     let sched_overhead = paired_overhead(
         8,
@@ -842,6 +854,219 @@ fn main() -> std::process::ExitCode {
         sched_overhead,
         SCHED_SLICING_OVERHEAD_CEILING,
     );
+
+    // Weighted fairness (PR 10): a heavy tenant flooding a 1-worker
+    // scheduler with 100 multi-slice scans must not be able to delay a
+    // light tenant's single cheap query behind the flood. The
+    // machine-independent bound is asserted directly (the light query
+    // completes after a bounded number of heavy completions — FIFO
+    // would put all 100 first); the light query's wall-clock latency is
+    // also recorded as a budgeted kernel so scheduling-layer latency
+    // regressions show against the baseline.
+    {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let fair = Scheduler::start(SchedulerConfig {
+            workers: 1,
+            slice: 48,
+            default_grant: u64::MAX,
+            journal: None,
+        })
+        .expect("ungated scheduler start");
+        let p5 = generators::path(5);
+        let heavy_done = Arc::new(AtomicU64::new(0));
+        let mut light_lats = Vec::new();
+        let mut worst_heavy_before_light = 0u64;
+        for trial in 0..5u64 {
+            for k in 0..100u64 {
+                let done = Arc::clone(&heavy_done);
+                fair.submit(
+                    QuerySpec {
+                        id: trial * 1000 + k + 1,
+                        tenant: "heavy".into(),
+                        work: Work::Check {
+                            concept: Concept::Bne,
+                            graph: c40.clone(),
+                            alpha: a370,
+                            cost_model: CostModelSpec::SumDistances,
+                        },
+                        resume: None,
+                        deadline_ms: None,
+                    },
+                    Box::new(move |_| {
+                        done.fetch_add(1, Ordering::SeqCst);
+                    }),
+                );
+            }
+            let before = heavy_done.load(Ordering::SeqCst);
+            // Snapshot the heavy count inside the response callback:
+            // reading it after a blocking recv() would also count jobs
+            // the worker drained during this thread's wakeup latency.
+            let at_light = Arc::new(AtomicU64::new(0));
+            let (tx, rx) = std::sync::mpsc::channel::<String>();
+            let t = Instant::now();
+            {
+                let done = Arc::clone(&heavy_done);
+                let at_light = Arc::clone(&at_light);
+                fair.submit(
+                    QuerySpec {
+                        id: trial * 1000 + 999,
+                        tenant: "light".into(),
+                        work: Work::Check {
+                            concept: Concept::Ps,
+                            graph: p5.clone(),
+                            alpha: alpha2,
+                            cost_model: CostModelSpec::SumDistances,
+                        },
+                        resume: None,
+                        deadline_ms: None,
+                    },
+                    Box::new(move |line| {
+                        at_light.store(done.load(Ordering::SeqCst), Ordering::SeqCst);
+                        let _ = tx.send(line);
+                    }),
+                );
+            }
+            let light = rx.recv().expect("light response");
+            light_lats.push(t.elapsed().as_secs_f64());
+            assert!(
+                light.contains("\"verdict\":\"unstable\""),
+                "light P5 check diverged: {light}"
+            );
+            worst_heavy_before_light =
+                worst_heavy_before_light.max(at_light.load(Ordering::SeqCst) - before);
+            // Drain the flood before the next trial so trials measure
+            // the same contention shape.
+            while heavy_done.load(Ordering::SeqCst) < (trial + 1) * 100 {
+                std::thread::yield_now();
+            }
+        }
+        fair.stop();
+        assert!(
+            worst_heavy_before_light <= 8,
+            "light tenant waited behind {worst_heavy_before_light} heavy \
+             completions — round-robin dispatch is not bounding its delay"
+        );
+        println!("sched_fairness: worst heavy-before-light = {worst_heavy_before_light}");
+        light_lats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        gate.record(
+            "sched_fairness/mixed_tenants",
+            light_lats[light_lats.len() / 2],
+        );
+    }
+
+    // Idle-connection overhead (PR 10): the readiness-loop front end
+    // claims an idle connection costs buffers, not threads. Draining
+    // the pinned mixed batch (×4) over the wire of a daemon with 500
+    // idle sockets parked on it must stay within the scheduler ceiling
+    // of the same wire batch on an otherwise-identical unloaded daemon
+    // — the poll-set scan over the idle fds must be noise against real
+    // solver work. (The wire + scheduler cost itself is gated above by
+    // `sched_slicing_overhead/mixed_batch`.)
+    {
+        use bncg_serve::protocol::render_edges;
+        use bncg_serve::server::{Server, ServerConfig};
+        use std::cell::RefCell;
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpStream;
+        let daemon = || {
+            Server::start(ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                scheduler: SchedulerConfig {
+                    workers: 1,
+                    slice: 512,
+                    default_grant: u64::MAX,
+                    journal: None,
+                },
+                ..ServerConfig::default()
+            })
+            .expect("daemon start")
+        };
+        let bare_server = daemon();
+        let idle_server = daemon();
+        let idle: Vec<TcpStream> = (0..500)
+            .map(|_| TcpStream::connect(idle_server.addr()).expect("idle connect"))
+            .collect();
+        let client = |server: &Server| {
+            let sock = TcpStream::connect(server.addr()).expect("active connect");
+            sock.set_nodelay(true).expect("nodelay");
+            let reader = BufReader::new(sock.try_clone().expect("clone"));
+            RefCell::new((sock, reader))
+        };
+        let mut batch = String::new();
+        for rep in 0..4u64 {
+            let base = rep * 10;
+            batch.push_str(&format!(
+                "{{\"id\":{},\"op\":\"check\",\"concept\":\"bne\",\"alpha\":\"370\",\
+                 \"n\":40,\"edges\":{}}}\n",
+                base + 1,
+                render_edges(&c40)
+            ));
+            batch.push_str(&format!(
+                "{{\"id\":{},\"op\":\"trajectory\",\"alpha\":\"2\",\"n\":9,\
+                 \"edges\":{},\"rounds\":50}}\n",
+                base + 2,
+                render_edges(&path9)
+            ));
+            batch.push_str(&format!(
+                "{{\"id\":{},\"op\":\"best_response\",\"agent\":0,\"alpha\":\"2\",\
+                 \"n\":12,\"edges\":{}}}\n",
+                base + 3,
+                render_edges(&path12)
+            ));
+        }
+        let bare = client(&bare_server);
+        let loaded = client(&idle_server);
+        let run_batch = |wire: &RefCell<(TcpStream, BufReader<TcpStream>)>| {
+            let (sock, reader) = &mut *wire.borrow_mut();
+            sock.write_all(batch.as_bytes()).expect("send batch");
+            let mut line = String::new();
+            for _ in 0..12 {
+                line.clear();
+                reader.read_line(&mut line).expect("recv");
+                assert!(line.contains("\"ok\":1"), "wire batch failed: {line}");
+            }
+        };
+        // Exactness through the wire first: the loaded daemon's
+        // verdicts on one batch must match the direct runs.
+        {
+            let (sock, reader) = &mut *loaded.borrow_mut();
+            sock.write_all(batch.as_bytes()).expect("send batch");
+            let mut line = String::new();
+            for _ in 0..12 {
+                line.clear();
+                reader.read_line(&mut line).expect("recv");
+                let id = parse_json_number(&line, "id").expect("id") as u64 % 10;
+                match id {
+                    1 => assert!(
+                        line.contains("\"verdict\":\"stable\"")
+                            && line.contains(&format!("\"evals\":{c40_evals}")),
+                        "wire check diverged: {line}"
+                    ),
+                    2 => assert!(
+                        line.contains("\"converged\":1")
+                            && line.contains(&format!("\"moves\":{}", direct_rr.moves)),
+                        "wire trajectory diverged: {line}"
+                    ),
+                    _ => assert!(line.contains("\"improving\":1"), "wire BR diverged: {line}"),
+                }
+            }
+        }
+        // Warm both wire paths (connection buffers, scheduler caches)
+        // before timing, and use enough iterations per paired sample
+        // that one scheduling hiccup cannot dominate a ~10ms batch.
+        run_batch(&bare);
+        run_batch(&loaded);
+        let idle_overhead = paired_overhead(4, &|| run_batch(&bare), &|| run_batch(&loaded));
+        drop(idle);
+        bare_server.stop();
+        idle_server.stop();
+        gate.check_overhead(
+            "idle_conns_overhead/mixed_batch_500",
+            idle_overhead,
+            SCHED_SLICING_OVERHEAD_CEILING,
+        );
+    }
 
     // Atlas lookup vs live (ISSUE 8): the precomputed corpus must (a) be
     // honest — a seeded sample of stored verdicts replays exactly against
@@ -1007,7 +1232,9 @@ fn main() -> std::process::ExitCode {
                 } else if name.contains("_overhead/") {
                     let ceiling = if name.starts_with("rr_resume_overhead/") {
                         RR_RESUME_OVERHEAD_CEILING
-                    } else if name.starts_with("sched_slicing_overhead/") {
+                    } else if name.starts_with("sched_slicing_overhead/")
+                        || name.starts_with("idle_conns_overhead/")
+                    {
                         SCHED_SLICING_OVERHEAD_CEILING
                     } else if name.starts_with("generator_resume_overhead/") {
                         GENERATOR_RESUME_OVERHEAD_CEILING

@@ -19,13 +19,23 @@
 //! equal an uninterrupted run's (the property the `serve` end-to-end
 //! tests and the `sched_slicing_overhead` CI kernel pin down).
 //!
-//! Fairness across clients is budget-driven: every query names a
-//! **tenant**, each tenant owns a [`BudgetPool`], and a drained pool
-//! sheds that tenant's queries with **zero further work** — carrying
-//! their resume tokens, so shed work is suspended rather than lost
-//! ([`tenant`]). This generalizes the solver's single-batch
-//! [`ExecPolicy::batch_budget`] pool to many long-lived, top-uppable
-//! pools with admission control.
+//! Fairness across clients is two-layered. **Budget** caps total
+//! compute: every query names a **tenant**, each tenant owns a
+//! [`BudgetPool`], and a drained pool sheds that tenant's queries with
+//! **zero further work** — carrying their resume tokens, so shed work
+//! is suspended rather than lost ([`tenant`]). **Weight** shapes
+//! latency: tenants hold per-tenant queues drained by weighted
+//! deficit round-robin, so a tenant with ten thousand queued checks
+//! delays another tenant's single query by at most one round of
+//! slices, and a weight set via `grant` skews throughput
+//! proportionally ([`scheduler`]). Grants and weights are journaled
+//! append-only ([`journal`]) and replayed on restart.
+//!
+//! The front end is a single **readiness loop** ([`server`], over the
+//! `poll(2)` substrate in [`reactor`]): non-blocking sockets, one
+//! thread for every connection, per-connection buffers with
+//! backpressure. Queries submitted with `"stream":1` additionally emit
+//! a `progress` frame per requeued slice before the final line.
 //!
 //! The wire format ([`protocol`]) is the repo's escape-free flat-JSON
 //! dialect — the same [`bncg_core::jsonio`] toolkit the resume tokens
@@ -61,13 +71,16 @@
 #![warn(clippy::all)]
 
 pub mod atlas;
+pub mod journal;
 pub mod protocol;
+pub mod reactor;
 pub mod scheduler;
 pub mod server;
 pub mod tenant;
 
 pub use atlas::AtlasService;
-pub use protocol::{parse_request, BadRequest, Request};
+pub use journal::{GrantEvent, GrantJournal};
+pub use protocol::{parse_request, BadRequest, Request, TenantRow};
 pub use scheduler::{QuerySpec, Scheduler, SchedulerConfig, Work};
 pub use server::{Server, ServerConfig};
 pub use tenant::{Tenant, TenantRegistry, TenantStats};

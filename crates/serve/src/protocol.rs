@@ -62,6 +62,9 @@ pub enum Request {
         resume: Option<String>,
         /// Per-query wall-clock allowance in milliseconds.
         deadline_ms: Option<u64>,
+        /// `"stream":1` — emit a `progress` frame per requeued slice
+        /// before the final response line.
+        stream: bool,
     },
     /// `op:"best_response"` — the best feasible neighborhood move of
     /// `agent`.
@@ -82,6 +85,8 @@ pub enum Request {
         resume: Option<String>,
         /// Per-query wall-clock allowance in milliseconds.
         deadline_ms: Option<u64>,
+        /// `"stream":1` — emit a `progress` frame per requeued slice.
+        stream: bool,
     },
     /// `op:"trajectory"` — round-robin best-response dynamics from the
     /// instance, for at most `rounds` rounds.
@@ -103,6 +108,9 @@ pub enum Request {
         resume: Option<String>,
         /// Per-query wall-clock allowance in milliseconds.
         deadline_ms: Option<u64>,
+        /// `"stream":1` — emit a `progress` frame per requeued slice
+        /// (round, moves, evals so far) before the final line.
+        stream: bool,
     },
     /// `op:"dynamics"` — improving-move dynamics under `concept`
     /// (deterministic first-violation rule), for at most `steps` moves.
@@ -126,6 +134,9 @@ pub enum Request {
         resume: Option<String>,
         /// Per-query wall-clock allowance in milliseconds.
         deadline_ms: Option<u64>,
+        /// `"stream":1` — emit a `progress` frame per requeued slice
+        /// (steps, evals so far) before the final line.
+        stream: bool,
     },
     /// `op:"atlas_lookup"` — a stability query answered from the
     /// precomputed atlas when the instance's canonical class is stored
@@ -151,16 +162,24 @@ pub enum Request {
         resume: Option<String>,
         /// Per-query wall-clock allowance in milliseconds.
         deadline_ms: Option<u64>,
+        /// `"stream":1` — emit a `progress` frame per requeued slice of
+        /// a live fall-through (an atlas hit answers in one frame).
+        stream: bool,
     },
-    /// `op:"grant"` — control plane: create the tenant with exactly
-    /// `evals` granted, or top an existing tenant up by `evals`.
+    /// `op:"grant"` — control plane: fund a tenant and/or set its
+    /// scheduling weight. `evals` creates the tenant with exactly that
+    /// grant (or tops an existing tenant up); `weight` is absolute. At
+    /// least one of the two must be present.
     Grant {
         /// Client-chosen correlation id.
         id: u64,
-        /// The tenant to fund.
+        /// The tenant to fund or reweight.
         tenant: String,
-        /// Evaluations to grant.
-        evals: u64,
+        /// Evaluations to grant, when present.
+        evals: Option<u64>,
+        /// Deficit round-robin weight to store (clamped to ≥ 1), when
+        /// present.
+        weight: Option<u64>,
     },
     /// `op:"stats"` — control plane: queue depth and per-tenant
     /// accounting.
@@ -263,6 +282,7 @@ pub fn parse_request(line: &str) -> Result<Request, BadRequest> {
         }
     };
     let deadline_ms = jsonio::u64_field(&head, "deadline_ms");
+    let stream = jsonio::u64_field(&head, "stream").unwrap_or(0) != 0;
     match op.as_str() {
         "check" => Ok(Request::Check {
             id,
@@ -273,6 +293,7 @@ pub fn parse_request(line: &str) -> Result<Request, BadRequest> {
             graph: graph()?,
             resume,
             deadline_ms,
+            stream,
         }),
         "best_response" => Ok(Request::BestResponse {
             id,
@@ -286,6 +307,7 @@ pub fn parse_request(line: &str) -> Result<Request, BadRequest> {
             graph: graph()?,
             resume,
             deadline_ms,
+            stream,
         }),
         "trajectory" => Ok(Request::Trajectory {
             id,
@@ -296,6 +318,7 @@ pub fn parse_request(line: &str) -> Result<Request, BadRequest> {
             rounds: jsonio::u64_field(&head, "rounds").unwrap_or(100) as usize,
             resume,
             deadline_ms,
+            stream,
         }),
         "dynamics" => Ok(Request::Dynamics {
             id,
@@ -307,6 +330,7 @@ pub fn parse_request(line: &str) -> Result<Request, BadRequest> {
             steps: jsonio::u64_field(&head, "steps").unwrap_or(1000) as usize,
             resume,
             deadline_ms,
+            stream,
         }),
         "atlas_lookup" => Ok(Request::AtlasLookup {
             id,
@@ -317,17 +341,31 @@ pub fn parse_request(line: &str) -> Result<Request, BadRequest> {
             graph: graph()?,
             resume,
             deadline_ms,
+            stream,
         }),
-        "grant" => Ok(Request::Grant {
-            id,
-            tenant: tenant()?,
-            evals: jsonio::u64_field(&head, "evals")
-                .ok_or_else(|| bad("missing \"evals\"".into()))?,
-        }),
+        "grant" => {
+            let evals = jsonio::u64_field(&head, "evals");
+            let weight = jsonio::u64_field(&head, "weight");
+            if evals.is_none() && weight.is_none() {
+                return Err(bad("grant needs \"evals\" and/or \"weight\"".into()));
+            }
+            Ok(Request::Grant {
+                id,
+                tenant: tenant()?,
+                evals,
+                weight,
+            })
+        }
         "stats" => Ok(Request::Stats { id }),
         "shutdown" => Ok(Request::Shutdown { id }),
         other => Err(bad(format!("unknown op {other:?}"))),
     }
+}
+
+/// Whether `name` fits the wire protocol's tenant alphabet (used by the
+/// grants journal to refuse names that would corrupt the line format).
+pub(crate) fn valid_tenant_name(name: &str) -> bool {
+    validate_tenant(name).is_ok()
 }
 
 fn validate_tenant(name: &str) -> Result<(), String> {
@@ -404,6 +442,64 @@ pub fn sanitize(text: &str) -> String {
         .collect()
 }
 
+/// One per-tenant row of the `stats` response: pool accounting merged
+/// with the scheduler's queue-side view.
+#[derive(Debug, Clone)]
+pub struct TenantRow {
+    /// Tenant name (sanitized before rendering).
+    pub name: String,
+    /// Lifetime evaluations granted.
+    pub granted: u64,
+    /// Lifetime evaluations consumed.
+    pub used: u64,
+    /// Deficit round-robin weight.
+    pub weight: u64,
+    /// Jobs queued (not currently running a slice).
+    pub queued: u64,
+    /// Jobs mid-slice right now.
+    pub in_flight: u64,
+    /// Cumulative milliseconds this tenant's jobs have spent queued
+    /// (summed over every dispatch, so it only grows).
+    pub waited_ms: u64,
+}
+
+/// Renders one `stats` tenant row. The name passes through
+/// [`sanitize`] — a hostile registered name can garble *its own* label
+/// but cannot break the response line's structure.
+#[must_use]
+pub fn render_tenant_row(row: &TenantRow) -> String {
+    format!(
+        "{{\"tenant\":\"{}\",\"granted\":{},\"used\":{},\"weight\":{},\
+         \"queued\":{},\"in_flight\":{},\"waited_ms\":{}}}",
+        sanitize(&row.name),
+        row.granted,
+        row.used,
+        row.weight,
+        row.queued,
+        row.in_flight,
+        row.waited_ms
+    )
+}
+
+/// Renders one streaming `progress` frame from a job's freshly
+/// serialized resume token. The token is the scheduler's own
+/// checkpoint, so the frame reports exactly what a shed would resume
+/// from: cumulative `evals`, plus whichever of `round`/`moves`/`steps`
+/// the op's checkpoint carries. Distinguished from the final line by
+/// `"progress":1`; correlated by `id` like every response.
+#[must_use]
+pub fn progress_frame(id: u64, op: &str, slices: u64, token: &str) -> String {
+    let mut out =
+        format!("{{\"id\":{id},\"ok\":1,\"op\":\"{op}\",\"progress\":1,\"slices\":{slices}");
+    for key in ["evals", "round", "moves", "steps"] {
+        if let Some(v) = jsonio::u64_field(token, key) {
+            out.push_str(&format!(",\"{key}\":{v}"));
+        }
+    }
+    out.push('}');
+    out
+}
+
 /// Renders the uniform error response:
 /// `{"id":…,"ok":0,"error":…,"reason":…}` plus, when partial work
 /// exists, the `resume` token (and for trajectory ops the
@@ -454,6 +550,7 @@ mod tests {
             graph,
             resume,
             deadline_ms,
+            stream,
         } = parse_request(&line).unwrap()
         else {
             panic!("wrong op")
@@ -466,6 +563,72 @@ mod tests {
         assert_eq!(graph, g);
         assert!(resume.is_none());
         assert!(deadline_ms.is_none());
+        assert!(!stream);
+    }
+
+    #[test]
+    fn stream_flag_and_grant_weight_parse() {
+        let line = "{\"id\":4,\"op\":\"trajectory\",\"alpha\":\"2\",\"n\":3,\
+                    \"edges\":[1,4294967298],\"stream\":1}";
+        let Request::Trajectory { stream, .. } = parse_request(line).unwrap() else {
+            panic!("wrong op")
+        };
+        assert!(stream);
+        let Request::Grant { evals, weight, .. } =
+            parse_request("{\"id\":5,\"op\":\"grant\",\"tenant\":\"a\",\"weight\":3}").unwrap()
+        else {
+            panic!("wrong op")
+        };
+        assert_eq!(evals, None);
+        assert_eq!(weight, Some(3));
+        let Request::Grant { evals, weight, .. } =
+            parse_request("{\"id\":5,\"op\":\"grant\",\"tenant\":\"a\",\"evals\":10,\"weight\":2}")
+                .unwrap()
+        else {
+            panic!("wrong op")
+        };
+        assert_eq!(evals, Some(10));
+        assert_eq!(weight, Some(2));
+    }
+
+    #[test]
+    fn hostile_tenant_names_cannot_break_stats_rows() {
+        // Registered through an embedder (the wire rejects these at
+        // parse time), a hostile name must not yield an unparseable or
+        // field-spoofing row.
+        let row = TenantRow {
+            name: "evil\",\"granted\":999999,\"x\":\"".into(),
+            granted: 7,
+            used: 2,
+            weight: 1,
+            queued: 0,
+            in_flight: 0,
+            waited_ms: 0,
+        };
+        let json = render_tenant_row(&row);
+        assert_eq!(jsonio::u64_field(&json, "granted"), Some(7), "{json}");
+        assert_eq!(jsonio::u64_field(&json, "used"), Some(2));
+        assert_eq!(json.matches('{').count(), 1, "one object only: {json}");
+        assert_eq!(json.matches('"').count() % 2, 0, "quotes must balance");
+    }
+
+    #[test]
+    fn progress_frames_extract_checkpoint_counters() {
+        let token = "{\"v\":1,\"instance\":9,\"round\":3,\"agent\":2,\"moved\":1,\
+                     \"moves\":5,\"evals\":480,\"seen\":[],\
+                     \"scan\":{\"v\":1,\"agent\":2,\"instance\":9,\"pos\":7,\"evals\":12,\"best\":0}}";
+        let frame = progress_frame(11, "trajectory", 4, token);
+        assert_eq!(jsonio::u64_field(&frame, "id"), Some(11));
+        assert_eq!(jsonio::u64_field(&frame, "progress"), Some(1));
+        assert_eq!(jsonio::u64_field(&frame, "slices"), Some(4));
+        assert_eq!(
+            jsonio::u64_field(&frame, "evals"),
+            Some(480),
+            "the checkpoint's own cumulative evals, not the nested scan's: {frame}"
+        );
+        assert_eq!(jsonio::u64_field(&frame, "round"), Some(3));
+        assert_eq!(jsonio::u64_field(&frame, "moves"), Some(5));
+        assert_eq!(jsonio::str_field(&frame, "op"), Some("trajectory"));
     }
 
     #[test]

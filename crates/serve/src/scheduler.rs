@@ -1,29 +1,52 @@
 //! The time-slicing scheduler: a fixed worker pool interleaving
-//! thousands of resident queries through bounded evaluation slices.
+//! thousands of resident queries through bounded evaluation slices,
+//! dispatched across tenants by **weighted deficit round-robin**.
 //!
 //! Every query runs as a sequence of **slices** — each slice is one
 //! budgeted call into the solver surface ([`Solver::check_sliced`],
 //! [`best_response_with_policy`], the dynamics runners) capped at the
 //! scheduler's per-slice evaluation quantum. A slice that completes its
 //! query responds; a slice stopped by the quantum requeues the job at
-//! the back of the run queue with the serialized frontier it produced,
-//! so the queue round-robins over whatever is resident and no query can
-//! monopolize a worker. Between slices nothing is held but the job
-//! struct itself: the solver's resume contract guarantees a sliced
-//! chain reaches the **identical** verdict, witness, and cumulative
+//! the back of **its tenant's own queue** with the serialized frontier
+//! it produced. Between slices nothing is held but the job struct
+//! itself: the solver's resume contract guarantees a sliced chain
+//! reaches the **identical** verdict, witness, and cumulative
 //! evaluation count an uninterrupted run produces.
 //!
-//! Fairness across *tenants* is budget-driven rather than queue-driven:
-//! before and after every slice the job's [`Tenant`] pool is consulted,
-//! and a drained (or expired) pool sheds the job with zero further work
-//! — carrying the resume token, so the shed work is suspended, not
-//! lost. An operator `grant` plus a resubmission with the token
-//! continues exactly where the shed happened.
+//! ## Dispatch: weighted deficit round-robin
+//!
+//! Jobs queue per tenant, and a single active list rotates over the
+//! tenants that have queued work. When a tenant reaches the front with
+//! an empty deficit, the deficit refills to the tenant's **weight**
+//! (default 1, set via the extended `grant` op); every dispatched slice
+//! costs one deficit, and the tenant keeps the front only while deficit
+//! remains. Slices are unit-cost, so a weight-w tenant receives w
+//! consecutive slices per rotation. The fairness bound follows
+//! directly: a tenant with 10,000 queued checks cannot delay another
+//! tenant's single query by more than one full rotation — the sum of
+//! the *other* active tenants' weights, independent of queue depth (the
+//! `sched_fairness` CI kernel pins this down).
+//!
+//! Fairness in *volume* stays budget-driven: before and after every
+//! slice the job's [`Tenant`] pool is consulted, and a drained (or
+//! expired) pool sheds the job with zero further work — carrying the
+//! resume token, so the shed work is suspended, not lost. An operator
+//! `grant` plus a resubmission with the token continues exactly where
+//! the shed happened. Weight shapes *latency* under contention; the
+//! pool caps *total computation*.
+//!
+//! Grants and weights are durable when the scheduler is given a journal
+//! path ([`crate::journal`]): each control action appends one line to
+//! `grants.jsonl` before it is applied, and a restart replays the
+//! journal, so provisioned tenants survive the daemon.
 //!
 //! [`Solver::check_sliced`]: bncg_core::Solver::check_sliced
 //! [`best_response_with_policy`]: bncg_core::best_response_with_policy
 
-use crate::protocol::{error_response, render_edges, render_move, sanitize};
+use crate::journal::{GrantEvent, GrantJournal};
+use crate::protocol::{
+    error_response, progress_frame, render_edges, render_move, sanitize, TenantRow,
+};
 use crate::tenant::{Tenant, TenantRegistry, TenantStats};
 use bncg_core::solver::{ExecPolicy, Solver, StabilityQuery, Verdict};
 use bncg_core::{
@@ -33,8 +56,10 @@ use bncg_core::{
 use bncg_dynamics::round_robin::{self, Checkpoint};
 use bncg_dynamics::{self as dynamics, DynamicsCheckpoint, SelectionRule};
 use bncg_graph::Graph;
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -43,7 +68,7 @@ use std::time::{Duration, Instant};
 /// Scheduler tuning knobs.
 #[derive(Debug, Clone)]
 pub struct SchedulerConfig {
-    /// Worker threads draining the run queue. Each worker runs its
+    /// Worker threads draining the run queues. Each worker runs its
     /// slices single-threaded — parallelism comes from concurrent
     /// queries, not from sharding one query's scan.
     pub workers: usize,
@@ -55,6 +80,10 @@ pub struct SchedulerConfig {
     /// unmetered; multi-tenant operators set this low and fund tenants
     /// explicitly.
     pub default_grant: u64,
+    /// Where to journal grants and weights (a file path, or a directory
+    /// under which `grants.jsonl` is used). `None` disables
+    /// persistence: grants live and die with the process.
+    pub journal: Option<PathBuf>,
 }
 
 impl Default for SchedulerConfig {
@@ -63,6 +92,7 @@ impl Default for SchedulerConfig {
             workers: 2,
             slice: 2048,
             default_grant: u64::MAX,
+            journal: None,
         }
     }
 }
@@ -129,6 +159,16 @@ impl Work {
             Work::Check { .. } | Work::BestResponse { .. } => None,
         }
     }
+
+    /// The wire op name, echoed in progress frames.
+    fn op(&self) -> &'static str {
+        match self {
+            Work::Check { .. } => "check",
+            Work::BestResponse { .. } => "best_response",
+            Work::Trajectory { .. } => "trajectory",
+            Work::Dynamics { .. } => "dynamics",
+        }
+    }
 }
 
 /// One query as submitted: payload plus scheduling metadata.
@@ -147,7 +187,9 @@ pub struct QuerySpec {
 }
 
 /// A resident query: spec plus the scheduler's bookkeeping. The
-/// `respond` callback fires exactly once, with the final response line.
+/// `respond` callback fires exactly once, with the final response line;
+/// `progress` (streaming submissions only) fires once per requeued
+/// slice, always before `respond`.
 struct Job {
     id: u64,
     tenant: Arc<Tenant>,
@@ -155,36 +197,139 @@ struct Job {
     resume: Option<String>,
     slices: u64,
     deadline: Option<Instant>,
+    enqueued: Instant,
+    progress: Option<Box<dyn Fn(String) + Send>>,
     respond: Box<dyn FnOnce(String) + Send>,
 }
 
-struct Shared {
-    queue: Mutex<VecDeque<Job>>,
-    available: Condvar,
-    stop: AtomicBool,
-    slice: u64,
-    in_flight: AtomicU64,
-    tenants: TenantRegistry,
+/// One tenant's slot in the run state: its queue plus the deficit
+/// round-robin and accounting counters. Slots persist after the queue
+/// drains — `waited_ms` is cumulative for the `stats` op.
+#[derive(Default)]
+struct TenantQueue {
+    jobs: VecDeque<Job>,
+    /// Slices this tenant may still dispatch before rotating to the
+    /// back of the active list. Refilled to the tenant's weight when it
+    /// reaches the front empty; reset when the queue drains so deficit
+    /// never accumulates across idle periods.
+    deficit: u64,
+    /// Jobs currently mid-slice on a worker. Incremented under the same
+    /// lock as the pop, so every resident job is counted in exactly one
+    /// of `jobs`/`in_flight` at all times.
+    in_flight: u64,
+    /// Cumulative microseconds jobs of this tenant spent queued, summed
+    /// at each dispatch.
+    waited_us: u64,
 }
 
-/// The worker pool plus run queue. See the module docs for the
-/// scheduling model.
+impl TenantQueue {
+    fn depth(&self) -> u64 {
+        self.jobs.len() as u64 + self.in_flight
+    }
+}
+
+/// Everything the dispatch decision reads, under one lock: the
+/// per-tenant queues, the rotation order, and the stop flag (checked
+/// under this same lock by `submit`, closing the submit/stop race).
+struct RunState {
+    queues: HashMap<String, TenantQueue>,
+    /// Tenant names with non-empty `jobs`, in dispatch order. Invariant:
+    /// a name is listed exactly once iff its queue holds jobs.
+    active: VecDeque<String>,
+    stopping: bool,
+}
+
+struct Shared {
+    state: Mutex<RunState>,
+    available: Condvar,
+    /// Mirror of `RunState::stopping` for lock-free mid-slice checks.
+    stop: AtomicBool,
+    slice: u64,
+    tenants: TenantRegistry,
+    journal: Option<Mutex<GrantJournal>>,
+}
+
+/// The worker pool plus per-tenant run queues. See the module docs for
+/// the scheduling model.
 pub struct Scheduler {
     shared: Arc<Shared>,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
+/// Pops the next job per weighted deficit round-robin. Caller holds the
+/// state lock; wait and in-flight accounting happen here, under it.
+fn pop_next(state: &mut RunState) -> Option<Job> {
+    let name = state.active.pop_front()?;
+    let q = state
+        .queues
+        .get_mut(&name)
+        .expect("active tenants have queues");
+    if q.deficit == 0 {
+        q.deficit = q.jobs.front().map_or(1, |j| j.tenant.weight()).max(1);
+    }
+    q.deficit -= 1;
+    let job = q.jobs.pop_front().expect("active tenants have queued jobs");
+    q.in_flight += 1;
+    q.waited_us += u64::try_from(job.enqueued.elapsed().as_micros()).unwrap_or(u64::MAX);
+    if q.jobs.is_empty() {
+        q.deficit = 0;
+    } else if q.deficit > 0 {
+        state.active.push_front(name);
+    } else {
+        state.active.push_back(name);
+    }
+    Some(job)
+}
+
+/// Enqueues at the back of the job's tenant queue. Caller holds the
+/// state lock.
+fn enqueue(state: &mut RunState, job: Job) {
+    let name = job.tenant.name().to_string();
+    let q = state.queues.entry(name.clone()).or_default();
+    if q.jobs.is_empty() {
+        state.active.push_back(name);
+    }
+    q.jobs.push_back(job);
+}
+
 impl Scheduler {
-    /// Starts the worker pool.
-    #[must_use]
-    pub fn start(cfg: SchedulerConfig) -> Self {
+    /// Starts the worker pool; when the config names a journal, opens
+    /// it and replays every recorded grant and weight first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal open/replay I/O failures. A journal-less
+    /// config cannot fail.
+    pub fn start(cfg: SchedulerConfig) -> io::Result<Self> {
+        let tenants = TenantRegistry::new(cfg.default_grant);
+        let journal = match &cfg.journal {
+            None => None,
+            Some(path) => {
+                let (journal, events) = GrantJournal::open(path)?;
+                for event in events {
+                    match event {
+                        GrantEvent::Grant { tenant, evals } => {
+                            tenants.grant(&tenant, evals);
+                        }
+                        GrantEvent::Weight { tenant, weight } => {
+                            tenants.set_weight(&tenant, weight);
+                        }
+                    }
+                }
+                Some(Mutex::new(journal))
+            }
+        };
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
+            state: Mutex::new(RunState {
+                queues: HashMap::new(),
+                active: VecDeque::new(),
+                stopping: false,
+            }),
             available: Condvar::new(),
             stop: AtomicBool::new(false),
             slice: cfg.slice.max(1),
-            in_flight: AtomicU64::new(0),
-            tenants: TenantRegistry::new(cfg.default_grant),
+            tenants,
+            journal,
         });
         let workers = (0..cfg.workers.max(1))
             .map(|_| {
@@ -192,25 +337,36 @@ impl Scheduler {
                 std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
-        Scheduler {
+        Ok(Scheduler {
             shared,
             workers: Mutex::new(workers),
-        }
+        })
     }
 
     /// Enqueues a query; `respond` fires exactly once with the response
     /// line (immediately, when the scheduler is already stopping).
     pub fn submit(&self, spec: QuerySpec, respond: Box<dyn FnOnce(String) + Send>) {
-        if self.shared.stop.load(Ordering::Acquire) {
-            respond(error_response(
-                spec.id,
-                "shutdown",
-                "daemon is shutting down",
-                spec.resume.as_deref(),
-                None,
-            ));
-            return;
-        }
+        self.submit_inner(spec, None, respond);
+    }
+
+    /// [`submit`](Scheduler::submit), plus a `progress` callback fired
+    /// once per requeued slice — each call carries one streaming
+    /// `progress` frame, and every frame precedes the final line.
+    pub fn submit_with_progress(
+        &self,
+        spec: QuerySpec,
+        progress: Box<dyn Fn(String) + Send>,
+        respond: Box<dyn FnOnce(String) + Send>,
+    ) {
+        self.submit_inner(spec, Some(progress), respond);
+    }
+
+    fn submit_inner(
+        &self,
+        spec: QuerySpec,
+        progress: Option<Box<dyn Fn(String) + Send>>,
+        respond: Box<dyn FnOnce(String) + Send>,
+    ) {
         let job = Job {
             id: spec.id,
             tenant: self.shared.tenants.get_or_create(&spec.tenant),
@@ -220,14 +376,33 @@ impl Scheduler {
             deadline: spec
                 .deadline_ms
                 .map(|ms| Instant::now() + Duration::from_millis(ms)),
+            enqueued: Instant::now(),
+            progress,
             respond,
         };
-        self.shared
-            .queue
-            .lock()
-            .expect("no poisoning")
-            .push_back(job);
-        self.shared.available.notify_one();
+        // The stop check happens under the same lock as the enqueue:
+        // either the job lands before `stop()` drains (and is shed by
+        // the drain), or it observes `stopping` and answers here. No
+        // window where a job slips into a queue no worker will visit.
+        let rejected = {
+            let mut state = self.shared.state.lock().expect("no poisoning");
+            if state.stopping {
+                Some(job)
+            } else {
+                enqueue(&mut state, job);
+                None
+            }
+        };
+        match rejected {
+            None => self.shared.available.notify_one(),
+            Some(job) => (job.respond)(error_response(
+                job.id,
+                "shutdown",
+                "daemon is shutting down",
+                job.resume.as_deref(),
+                None,
+            )),
+        }
     }
 
     /// [`submit`](Scheduler::submit) and block for the response line —
@@ -243,43 +418,100 @@ impl Scheduler {
         rx.recv().expect("scheduler dropped the response")
     }
 
-    /// Funds a tenant (see [`TenantRegistry::grant`]). Returns its new
-    /// total grant.
+    /// Funds a tenant (see [`TenantRegistry::grant`]), journaling the
+    /// event first when persistence is on. Returns its new total grant.
     pub fn grant(&self, tenant: &str, evals: u64) -> u64 {
+        if let Some(journal) = &self.shared.journal {
+            let _ = journal
+                .lock()
+                .expect("no poisoning")
+                .record_grant(tenant, evals);
+        }
         self.shared.tenants.grant(tenant, evals)
     }
 
-    /// Queries resident right now: queued plus mid-slice.
-    #[must_use]
-    pub fn resident(&self) -> u64 {
-        let queued = self.shared.queue.lock().expect("no poisoning").len() as u64;
-        queued + self.shared.in_flight.load(Ordering::Relaxed)
+    /// Sets a tenant's deficit round-robin weight (clamped to ≥ 1),
+    /// journaling the stored value when persistence is on. Returns the
+    /// weight as stored.
+    pub fn set_weight(&self, tenant: &str, weight: u64) -> u64 {
+        let stored = self.shared.tenants.set_weight(tenant, weight);
+        if let Some(journal) = &self.shared.journal {
+            let _ = journal
+                .lock()
+                .expect("no poisoning")
+                .record_weight(tenant, stored);
+        }
+        stored
     }
 
-    /// Per-tenant accounting rows.
+    /// The tenant registry, for embedders reading pool state directly.
+    #[must_use]
+    pub fn registry(&self) -> &TenantRegistry {
+        &self.shared.tenants
+    }
+
+    /// Queries resident right now: queued plus mid-slice, read in one
+    /// pass under the state lock — a dispatched-but-uncounted window
+    /// does not exist.
+    #[must_use]
+    pub fn resident(&self) -> u64 {
+        let state = self.shared.state.lock().expect("no poisoning");
+        state.queues.values().map(TenantQueue::depth).sum()
+    }
+
+    /// Per-tenant accounting rows (pool side only; see
+    /// [`Scheduler::tenant_rows`] for the merged `stats` view).
     #[must_use]
     pub fn tenants(&self) -> Vec<TenantStats> {
         self.shared.tenants.snapshot()
     }
 
-    /// Queued (not yet mid-slice) jobs per tenant name — the `stats`
-    /// op's per-tenant queue depth. One pass under the queue lock.
+    /// The `stats` op's merged per-tenant rows: pool accounting plus
+    /// queue depth, in-flight count, weight, and cumulative wait — one
+    /// pass under the state lock, sorted by name.
     #[must_use]
-    pub fn queue_depths(&self) -> std::collections::HashMap<String, u64> {
-        let queue = self.shared.queue.lock().expect("no poisoning");
-        let mut depths = std::collections::HashMap::new();
-        for job in queue.iter() {
-            *depths.entry(job.tenant.name().to_string()).or_insert(0) += 1;
-        }
-        depths
+    pub fn tenant_rows(&self) -> Vec<TenantRow> {
+        let stats = self.shared.tenants.snapshot();
+        let state = self.shared.state.lock().expect("no poisoning");
+        stats
+            .into_iter()
+            .map(|t| {
+                let q = state.queues.get(&t.name);
+                TenantRow {
+                    queued: q.map_or(0, |q| q.jobs.len() as u64),
+                    in_flight: q.map_or(0, |q| q.in_flight),
+                    waited_ms: q.map_or(0, |q| q.waited_us / 1000),
+                    name: t.name,
+                    granted: t.granted,
+                    used: t.used,
+                    weight: t.weight,
+                }
+            })
+            .collect()
+    }
+
+    /// Resident jobs per tenant name — queued **plus mid-slice**, so a
+    /// busy daemon never reports idle. One pass under the state lock.
+    #[must_use]
+    pub fn queue_depths(&self) -> HashMap<String, u64> {
+        let state = self.shared.state.lock().expect("no poisoning");
+        state
+            .queues
+            .iter()
+            .filter(|(_, q)| q.depth() > 0)
+            .map(|(name, q)| (name.clone(), q.depth()))
+            .collect()
     }
 
     /// Stops the pool: queued jobs still get slices, but unfinished work
     /// is shed with its resume token instead of requeued, so the drain
-    /// is bounded by one slice per resident query. Idempotent; blocks
-    /// until every worker has exited.
+    /// is bounded by one slice per resident query. Jobs that race into
+    /// the queue as the workers exit are shed here, after the join —
+    /// every accepted `respond` callback still fires. Idempotent;
+    /// blocks until every worker has exited.
     pub fn stop(&self) {
         self.shared.stop.store(true, Ordering::Release);
+        self.shared.state.lock().expect("no poisoning").stopping = true;
         self.shared.available.notify_all();
         let handles: Vec<_> = self
             .workers
@@ -290,38 +522,63 @@ impl Scheduler {
         for h in handles {
             let _ = h.join();
         }
+        let leftovers: Vec<Job> = {
+            let mut state = self.shared.state.lock().expect("no poisoning");
+            state.active.clear();
+            state
+                .queues
+                .values_mut()
+                .flat_map(|q| q.jobs.drain(..))
+                .collect()
+        };
+        for job in leftovers {
+            let line = shed_line(&job, "shutdown", "daemon is shutting down");
+            (job.respond)(line);
+        }
     }
 }
 
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut queue = shared.queue.lock().expect("no poisoning");
+            let mut state = shared.state.lock().expect("no poisoning");
             loop {
-                if let Some(job) = queue.pop_front() {
+                if let Some(job) = pop_next(&mut state) {
                     break Some(job);
                 }
-                if shared.stop.load(Ordering::Acquire) {
+                if state.stopping {
                     break None;
                 }
-                queue = shared.available.wait(queue).expect("no poisoning");
+                state = shared.available.wait(state).expect("no poisoning");
             }
         };
         let Some(mut job) = job else { return };
-        shared.in_flight.fetch_add(1, Ordering::Relaxed);
         job.slices += 1;
-        let requeue = match drive(shared, &mut job) {
+        match drive(shared, &mut job) {
             SliceOutcome::Done(line) => {
+                // Respond before decrementing in-flight: the job stays
+                // visible in `resident()` until its answer is delivered.
+                let tenant = Arc::clone(&job.tenant);
                 (job.respond)(line);
-                None
+                let mut state = shared.state.lock().expect("no poisoning");
+                let q = state.queues.entry(tenant.name().to_string()).or_default();
+                q.in_flight = q.in_flight.saturating_sub(1);
             }
-            SliceOutcome::Requeue => Some(job),
-        };
-        if let Some(job) = requeue {
-            shared.queue.lock().expect("no poisoning").push_back(job);
-            shared.available.notify_one();
+            SliceOutcome::Requeue => {
+                job.enqueued = Instant::now();
+                let mut state = shared.state.lock().expect("no poisoning");
+                {
+                    let q = state
+                        .queues
+                        .entry(job.tenant.name().to_string())
+                        .or_default();
+                    q.in_flight = q.in_flight.saturating_sub(1);
+                }
+                enqueue(&mut state, job);
+                drop(state);
+                shared.available.notify_one();
+            }
         }
-        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -332,20 +589,24 @@ enum SliceOutcome {
     Requeue,
 }
 
-/// The uniform suspension response: `error` is `shed`/`deadline`/
+/// The uniform suspension line: `error` is `shed`/`deadline`/
 /// `shutdown`, the job's current resume token rides along, and the
 /// dynamics ops echo their advanced graph so the client can resume
 /// against it. Rendered fresh at each call site — after a slice the
 /// trajectory graph has moved.
-fn suspend(job: &Job, error: &str, reason: &str) -> SliceOutcome {
+fn shed_line(job: &Job, error: &str, reason: &str) -> String {
     let final_edges = job.work.evolving_graph().map(render_edges);
-    SliceOutcome::Done(error_response(
+    error_response(
         job.id,
         error,
         reason,
         job.resume.as_deref(),
         final_edges.as_deref(),
-    ))
+    )
+}
+
+fn suspend(job: &Job, error: &str, reason: &str) -> SliceOutcome {
+    SliceOutcome::Done(shed_line(job, error, reason))
 }
 
 /// Admission control around one slice of work.
@@ -373,6 +634,10 @@ fn drive(shared: &Shared, job: &mut Job) -> SliceOutcome {
             }
             if !job.tenant.pool().admits() {
                 return suspend(job, "shed", "tenant budget pool is drained");
+            }
+            if let Some(emit) = &job.progress {
+                let token = job.resume.as_deref().expect("just set");
+                emit(progress_frame(job.id, job.work.op(), job.slices, token));
             }
             SliceOutcome::Requeue
         }
@@ -622,6 +887,7 @@ mod tests {
     use super::*;
     use bncg_core::jsonio;
     use bncg_graph::generators;
+    use std::sync::atomic::AtomicU64;
 
     fn spec(id: u64, tenant: &str, work: Work) -> QuerySpec {
         QuerySpec {
@@ -633,13 +899,32 @@ mod tests {
         }
     }
 
+    fn check_c40(tenant: &str, id: u64) -> QuerySpec {
+        spec(
+            id,
+            tenant,
+            Work::Check {
+                concept: Concept::Bne,
+                graph: generators::cycle(40),
+                alpha: Alpha::integer(370).unwrap(),
+                cost_model: CostModelSpec::SumDistances,
+            },
+        )
+    }
+
+    fn start(workers: usize, slice: u64, default_grant: u64) -> Scheduler {
+        Scheduler::start(SchedulerConfig {
+            workers,
+            slice,
+            default_grant,
+            journal: None,
+        })
+        .expect("journal-less start cannot fail")
+    }
+
     #[test]
     fn sliced_check_matches_direct_solver_run() {
-        let sched = Scheduler::start(SchedulerConfig {
-            workers: 1,
-            slice: 64,
-            default_grant: u64::MAX,
-        });
+        let sched = start(1, 64, u64::MAX);
         // C40 at α = 370 is BNE-stable with ~120 genuinely priced
         // candidates (see tests/solver.rs) — enough to straddle slices.
         let g = generators::cycle(40);
@@ -679,11 +964,7 @@ mod tests {
 
     #[test]
     fn drained_tenant_sheds_with_resume_token() {
-        let sched = Scheduler::start(SchedulerConfig {
-            workers: 1,
-            slice: 32,
-            default_grant: 40,
-        });
+        let sched = start(1, 32, 40);
         let g = generators::cycle(40);
         let alpha = Alpha::integer(370).unwrap();
         let line = sched.submit_blocking(spec(
@@ -734,11 +1015,7 @@ mod tests {
 
     #[test]
     fn trajectory_advances_its_graph_across_slices() {
-        let sched = Scheduler::start(SchedulerConfig {
-            workers: 2,
-            slice: 16,
-            default_grant: u64::MAX,
-        });
+        let sched = start(2, 16, u64::MAX);
         let g = generators::path(9);
         let alpha = Alpha::integer(2).unwrap();
         let line = sched.submit_blocking(spec(
@@ -768,7 +1045,7 @@ mod tests {
 
     #[test]
     fn bad_resume_tokens_are_rejected_not_run() {
-        let sched = Scheduler::start(SchedulerConfig::default());
+        let sched = Scheduler::start(SchedulerConfig::default()).unwrap();
         let line = sched.submit_blocking(QuerySpec {
             id: 4,
             tenant: "t".into(),
@@ -788,7 +1065,7 @@ mod tests {
 
     #[test]
     fn submit_after_stop_answers_shutdown() {
-        let sched = Scheduler::start(SchedulerConfig::default());
+        let sched = Scheduler::start(SchedulerConfig::default()).unwrap();
         sched.stop();
         let line = sched.submit_blocking(spec(
             5,
@@ -802,5 +1079,255 @@ mod tests {
         ));
         assert_eq!(jsonio::str_field(&line, "error"), Some("shutdown"));
         sched.stop();
+    }
+
+    #[test]
+    fn submit_racing_stop_always_answers() {
+        // Regression: `submit` used to check the stop flag before taking
+        // the queue lock; a `stop()` landing in between left the job
+        // queued forever after the workers exited, and the response
+        // never fired. Loop the race — every submission must answer.
+        for round in 0..60 {
+            let sched = Arc::new(start(1, 64, u64::MAX));
+            let (tx, rx) = mpsc::channel::<String>();
+            let submitter = {
+                let sched = Arc::clone(&sched);
+                std::thread::spawn(move || {
+                    for id in 0..8 {
+                        let tx = tx.clone();
+                        sched.submit(
+                            spec(
+                                id,
+                                "racer",
+                                Work::Check {
+                                    concept: Concept::Re,
+                                    graph: generators::path(4),
+                                    alpha: Alpha::integer(1).unwrap(),
+                                    cost_model: CostModelSpec::SumDistances,
+                                },
+                            ),
+                            Box::new(move |line| {
+                                let _ = tx.send(line);
+                            }),
+                        );
+                        if id == round % 8 {
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            };
+            sched.stop();
+            submitter.join().unwrap();
+            for _ in 0..8 {
+                let line = rx
+                    .recv_timeout(Duration::from_secs(20))
+                    .expect("a submission raced stop() and its response never fired");
+                assert!(
+                    jsonio::u64_field(&line, "id").is_some(),
+                    "responses must be well-formed: {line}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resident_counts_jobs_through_the_dispatch_window() {
+        // Regression: between `pop_front` and the in-flight increment a
+        // job was counted nowhere, so `resident()` (and the stats rows)
+        // could report a busy daemon idle. The count now moves under the
+        // pop lock and only drops after the response is delivered, so
+        // while the response channel is empty, resident() ≥ 1 always.
+        let sched = start(1, 1, u64::MAX);
+        // A single round can complete before the first sample lands;
+        // repeat until at least one mid-flight sample is observed.
+        let mut samples = 0u64;
+        for round in 0..200 {
+            let (tx, rx) = mpsc::channel::<String>();
+            sched.submit(
+                check_c40("busy", round),
+                Box::new(move |line| {
+                    let _ = tx.send(line);
+                }),
+            );
+            loop {
+                let resident = sched.resident();
+                match rx.try_recv() {
+                    Err(mpsc::TryRecvError::Empty) => {
+                        assert!(
+                            resident >= 1,
+                            "job unanswered but resident()=0 after {samples} samples"
+                        );
+                        samples += 1;
+                    }
+                    Ok(_) => break,
+                    Err(e) => panic!("{e}"),
+                }
+            }
+            if samples > 0 {
+                break;
+            }
+        }
+        assert!(samples > 0, "no round straddled a sample point");
+        sched.stop();
+        assert_eq!(sched.resident(), 0);
+    }
+
+    #[test]
+    fn weighted_drr_bounds_light_tenant_delay() {
+        // One worker, a heavy tenant with a deep queue, then one light
+        // query: deficit round-robin must answer the light tenant after
+        // a bounded number of heavy completions, regardless of depth.
+        let sched = start(1, 512, u64::MAX);
+        let heavy_done = Arc::new(AtomicU64::new(0));
+        // Park the worker so the heavy queue builds before dispatch
+        // order is decided, then count heavy completions.
+        let gate = sched.submit_blocking(check_c40("heavy", 0));
+        assert_eq!(jsonio::u64_field(&gate, "ok"), Some(1));
+        let (heavy_tx, heavy_rx) = mpsc::channel::<String>();
+        for id in 1..=40 {
+            let done = Arc::clone(&heavy_done);
+            let tx = heavy_tx.clone();
+            sched.submit(
+                check_c40("heavy", id),
+                Box::new(move |line| {
+                    done.fetch_add(1, Ordering::SeqCst);
+                    let _ = tx.send(line);
+                }),
+            );
+        }
+        let (light_tx, light_rx) = mpsc::channel::<(String, u64)>();
+        {
+            let done = Arc::clone(&heavy_done);
+            sched.submit(
+                check_c40("light", 100),
+                Box::new(move |line| {
+                    let _ = light_tx.send((line, done.load(Ordering::SeqCst)));
+                }),
+            );
+        }
+        let (line, heavy_before_light) = light_rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("light tenant response");
+        assert_eq!(jsonio::u64_field(&line, "ok"), Some(1), "{line}");
+        // Each C40 check is one 512-eval slice; equal weights mean the
+        // rotation reaches "light" after at most a couple of heavy
+        // slices — never after the whole 40-deep heavy queue.
+        assert!(
+            heavy_before_light <= 5,
+            "light query waited behind {heavy_before_light} of 40 heavy queries"
+        );
+        for _ in 0..40 {
+            let _ = heavy_rx.recv_timeout(Duration::from_secs(60)).unwrap();
+        }
+        sched.stop();
+    }
+
+    #[test]
+    fn weights_skew_dispatch_toward_heavier_tenants() {
+        let sched = start(1, 512, u64::MAX);
+        sched.set_weight("fat", 4);
+        // Park the worker on a warmup so both queues build up first.
+        let gate = sched.submit_blocking(check_c40("warmup", 0));
+        assert_eq!(jsonio::u64_field(&gate, "ok"), Some(1));
+        let order: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+        let (tx, rx) = mpsc::channel::<()>();
+        for id in 0..8 {
+            for (tenant, tag) in [("fat", "fat"), ("thin", "thin")] {
+                let order = Arc::clone(&order);
+                let tx = tx.clone();
+                sched.submit(
+                    check_c40(tenant, 200 + id),
+                    Box::new(move |_| {
+                        order.lock().unwrap().push(tag);
+                        let _ = tx.send(());
+                    }),
+                );
+            }
+        }
+        for _ in 0..16 {
+            rx.recv_timeout(Duration::from_secs(120)).unwrap();
+        }
+        let order = order.lock().unwrap();
+        let fat_in_first_five = order.iter().take(5).filter(|t| **t == "fat").count();
+        assert!(
+            fat_in_first_five >= 3,
+            "weight-4 tenant must dominate early dispatch: {order:?}"
+        );
+        sched.stop();
+    }
+
+    #[test]
+    fn streaming_progress_precedes_identical_final_line() {
+        let sched = start(1, 16, u64::MAX);
+        let g = generators::path(9);
+        let alpha = Alpha::integer(2).unwrap();
+        let work = Work::Trajectory {
+            graph: g.clone(),
+            alpha,
+            rounds: 100,
+            cost_model: CostModelSpec::SumDistances,
+        };
+        let frames: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let (tx, rx) = mpsc::channel::<String>();
+        {
+            let frames = Arc::clone(&frames);
+            sched.submit_with_progress(
+                spec(31, "s", work.clone()),
+                Box::new(move |frame| frames.lock().unwrap().push(frame)),
+                Box::new(move |line| {
+                    let _ = tx.send(line);
+                }),
+            );
+        }
+        let streamed = rx.recv_timeout(Duration::from_secs(60)).unwrap();
+        let frames = frames.lock().unwrap();
+        assert!(!frames.is_empty(), "a 16-eval slice must requeue P9");
+        let mut last_evals = 0;
+        for frame in frames.iter() {
+            assert_eq!(jsonio::u64_field(frame, "id"), Some(31), "{frame}");
+            assert_eq!(jsonio::u64_field(frame, "progress"), Some(1));
+            let evals = jsonio::u64_field(frame, "evals").unwrap();
+            assert!(evals >= last_evals, "evals must be monotone: {frames:?}");
+            last_evals = evals;
+        }
+        // The final line is byte-identical to a non-streaming run up to
+        // the id — streaming never perturbs the work itself.
+        let plain = sched.submit_blocking(spec(31, "s", work));
+        assert_eq!(streamed, plain);
+        assert!(
+            jsonio::u64_field(&streamed, "evals").unwrap() >= last_evals,
+            "final evals cannot fall below the last progress frame"
+        );
+        sched.stop();
+    }
+
+    #[test]
+    fn grants_and_weights_replay_from_journal() {
+        let dir = std::env::temp_dir().join(format!("bncg-sched-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = SchedulerConfig {
+            workers: 1,
+            slice: 256,
+            default_grant: 1000,
+            journal: Some(dir.clone()),
+        };
+        let sched = Scheduler::start(cfg.clone()).unwrap();
+        sched.grant("alice", 50);
+        sched.grant("alice", 25);
+        sched.set_weight("alice", 6);
+        sched.grant("bob", 9000);
+        sched.stop();
+        drop(sched);
+        let sched = Scheduler::start(cfg).unwrap();
+        let rows = sched.tenant_rows();
+        let alice = rows.iter().find(|r| r.name == "alice").unwrap();
+        assert_eq!(alice.granted, 75, "grant events replay cumulatively");
+        assert_eq!(alice.weight, 6);
+        let bob = rows.iter().find(|r| r.name == "bob").unwrap();
+        assert_eq!(bob.granted, 9000);
+        assert_eq!(bob.weight, 1);
+        sched.stop();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

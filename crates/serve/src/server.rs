@@ -1,29 +1,63 @@
-//! The TCP front end: a line-in/line-out adapter between sockets and
-//! the [`Scheduler`].
+//! The TCP front end: a single readiness loop multiplexing every
+//! connection over the [`reactor`]'s `poll(2)` substrate.
 //!
-//! One accept-loop thread spawns a detached reader per connection. Each
-//! request line is parsed ([`protocol::parse_request`]) and either
-//! answered inline (the control ops: `grant`, `stats`, `shutdown`) or
-//! submitted to the scheduler with a callback that writes the response
-//! line back on the same socket. Responses are correlated by `id`, not
-//! by order — a long check submitted first can answer after a short one
-//! submitted later, which is the whole point of the slicing scheduler.
+//! One event-loop thread owns the listener and every connection. Each
+//! socket is non-blocking; the loop polls for readability, frames
+//! request lines out of per-connection read buffers, and either answers
+//! inline (the control ops: `grant`, `stats`, `shutdown`) or submits to
+//! the scheduler with a callback that appends the response to the
+//! connection's **outbox** and wakes the loop through a self-pipe.
+//! Responses are correlated by `id`, not by order — a long check
+//! submitted first can answer after a short one submitted later, which
+//! is the whole point of the slicing scheduler. An idle connection
+//! costs two byte buffers and one `pollfd` entry; thousands of them
+//! cost bytes, not threads.
 //!
-//! [`protocol::parse_request`]: crate::protocol::parse_request
+//! **Framing.** A request line longer than [`MAX_LINE`] is answered
+//! with exactly one `bad_request` and then discarded *through its
+//! terminating newline* — the oversized line's tail is never parsed as
+//! follow-on requests, and the connection stays consistent.
+//!
+//! **Backpressure.** A connection whose buffered responses exceed a
+//! high-water mark stops being polled for reads until the client drains
+//! its side, so a client that stops reading cannot balloon the daemon's
+//! memory with pipelined queries.
+//!
+//! **Shutdown.** The wire `shutdown` op (or [`Server::stop`]) signals a
+//! small supervisor thread: it stops the scheduler — resident queries
+//! get one more slice and are shed with resume tokens, their responses
+//! flowing through the still-running event loop — then tells the loop
+//! to flush and exit.
+//!
+//! [`reactor`]: crate::reactor
 
 use crate::atlas::{relabel_live_response, AtlasService};
 use crate::protocol::{self, error_response, BadRequest, Request};
+use crate::reactor::{self, PollFd, WakeReceiver, Waker, POLLIN, POLLOUT};
 use crate::scheduler::{QuerySpec, Scheduler, SchedulerConfig, Work};
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Longest accepted request line, in bytes. A 1024-node dense graph
 /// packs into well under this; anything longer is a protocol error, not
 /// a buffering obligation.
-pub const MAX_LINE: u64 = 1 << 20;
+pub const MAX_LINE: usize = 1 << 20;
+
+/// Buffered-response ceiling per connection before the loop stops
+/// reading from it (resumes as the client drains).
+const HIGH_WATER: usize = 1 << 20;
+
+/// Per-read scratch size in the event loop.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Poll timeout: a liveness backstop so control-flag transitions are
+/// observed even if a wakeup is lost; every hot path wakes explicitly.
+const POLL_TICK_MS: i32 = 500;
 
 /// Server configuration: where to listen plus the scheduler knobs.
 #[derive(Debug, Clone)]
@@ -49,6 +83,260 @@ impl Default for ServerConfig {
     }
 }
 
+/// Shutdown coordination between the wire, the event loop, and the
+/// supervisor thread.
+struct Control {
+    /// Set by the `shutdown` op or [`Server::stop`]; the supervisor
+    /// waits on it.
+    shutdown: Mutex<bool>,
+    cv: Condvar,
+    /// Stop accepting new connections (set with `shutdown`).
+    draining: AtomicBool,
+    /// Set by the supervisor once the scheduler has drained: the event
+    /// loop flushes and exits.
+    exit: AtomicBool,
+}
+
+impl Control {
+    fn new() -> Control {
+        Control {
+            shutdown: Mutex::new(false),
+            cv: Condvar::new(),
+            draining: AtomicBool::new(false),
+            exit: AtomicBool::new(false),
+        }
+    }
+
+    fn request_shutdown(&self) {
+        self.draining.store(true, Ordering::Release);
+        *self.shutdown.lock().expect("no poisoning") = true;
+        self.cv.notify_all();
+    }
+
+    fn await_shutdown(&self) {
+        let mut flagged = self.shutdown.lock().expect("no poisoning");
+        while !*flagged {
+            flagged = self.cv.wait(flagged).expect("no poisoning");
+        }
+    }
+}
+
+/// The cross-thread half of a connection: scheduler callbacks push
+/// response lines here; the event loop drains it to the socket.
+struct ConnShared {
+    outbox: Mutex<Vec<u8>>,
+    /// Mirror of the outbox length, maintained under the outbox lock —
+    /// lets the event loop size 500 idle connections' poll entries with
+    /// one relaxed load each instead of 500 lock acquisitions per
+    /// wakeup.
+    queued: AtomicUsize,
+    /// Once set, pushed lines are dropped — the client hung up and
+    /// forfeited its remaining responses.
+    closed: AtomicBool,
+    waker: Arc<Waker>,
+}
+
+impl ConnShared {
+    fn push_line(&self, line: &str) {
+        if self.closed.load(Ordering::Acquire) {
+            return;
+        }
+        {
+            let mut out = self.outbox.lock().expect("no poisoning");
+            out.reserve(line.len() + 1);
+            out.extend_from_slice(line.as_bytes());
+            out.push(b'\n');
+            self.queued.store(out.len(), Ordering::Release);
+        }
+        self.waker.wake();
+    }
+}
+
+/// One connection, owned by the event loop.
+struct Conn {
+    stream: TcpStream,
+    shared: Arc<ConnShared>,
+    /// Bytes of the current (incomplete) request line.
+    read_buf: Vec<u8>,
+    /// Response bytes claimed from the outbox, partially written.
+    pending: Vec<u8>,
+    /// Mid-oversized-line: drop input until the next `\n`.
+    discarding: bool,
+    /// Read side finished (EOF or error): flush and drop.
+    eof: bool,
+    /// Write side failed hard: drop immediately.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, waker: Arc<Waker>) -> Conn {
+        Conn {
+            stream,
+            shared: Arc::new(ConnShared {
+                outbox: Mutex::new(Vec::new()),
+                queued: AtomicUsize::new(0),
+                closed: AtomicBool::new(false),
+                waker,
+            }),
+            read_buf: Vec::new(),
+            pending: Vec::new(),
+            discarding: false,
+            eof: false,
+            dead: false,
+        }
+    }
+
+    /// Response bytes not yet on the wire (outbox plus claimed).
+    /// Lock-free: the poll-set build and the liveness check run this
+    /// for every connection on every wakeup.
+    fn buffered(&self) -> usize {
+        self.pending.len() + self.shared.queued.load(Ordering::Acquire)
+    }
+
+    fn finished(&self) -> bool {
+        self.dead || (self.eof && self.buffered() == 0)
+    }
+
+    /// Drains the socket's readable bytes into request lines.
+    fn read_ready(
+        &mut self,
+        scheduler: &Arc<Scheduler>,
+        atlas: &Arc<AtlasService>,
+        ctl: &Arc<Control>,
+    ) {
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    return;
+                }
+                Ok(k) => {
+                    self.ingest(&chunk[..k], scheduler, atlas, ctl);
+                    if k < chunk.len() {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.eof = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Frames `bytes` into lines, enforcing [`MAX_LINE`]: an oversized
+    /// line gets exactly one `bad_request` and is discarded through its
+    /// terminating newline — its tail is never parsed as requests.
+    fn ingest(
+        &mut self,
+        bytes: &[u8],
+        scheduler: &Arc<Scheduler>,
+        atlas: &Arc<AtlasService>,
+        ctl: &Arc<Control>,
+    ) {
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            if self.discarding {
+                match rest.iter().position(|&b| b == b'\n') {
+                    Some(nl) => {
+                        self.discarding = false;
+                        rest = &rest[nl + 1..];
+                    }
+                    None => return,
+                }
+                continue;
+            }
+            match rest.iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    if self.read_buf.len() + nl > MAX_LINE {
+                        self.reject_oversized();
+                    } else {
+                        self.read_buf.extend_from_slice(&rest[..nl]);
+                        let line = std::mem::take(&mut self.read_buf);
+                        handle_line(&line, &self.shared, scheduler, atlas, ctl);
+                    }
+                    rest = &rest[nl + 1..];
+                }
+                None => {
+                    if self.read_buf.len() + rest.len() > MAX_LINE {
+                        self.reject_oversized();
+                        self.discarding = true;
+                        return;
+                    }
+                    self.read_buf.extend_from_slice(rest);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn reject_oversized(&mut self) {
+        self.read_buf.clear();
+        // The line's id is untrusted (it may sit in the truncated tail),
+        // so the response carries id 0 like any unreadable request.
+        self.shared.push_line(&error_response(
+            0,
+            "bad_request",
+            &format!("request line exceeds {MAX_LINE} bytes"),
+            None,
+            None,
+        ));
+    }
+
+    /// Pushes buffered response bytes to the socket until it would
+    /// block (or everything is out).
+    fn flush(&mut self) {
+        loop {
+            if self.pending.is_empty() {
+                if self.shared.queued.load(Ordering::Acquire) == 0 {
+                    return;
+                }
+                let mut out = self.shared.outbox.lock().expect("no poisoning");
+                std::mem::swap(&mut self.pending, &mut *out);
+                self.shared.queued.store(0, Ordering::Release);
+                if self.pending.is_empty() {
+                    return;
+                }
+            }
+            let mut written = 0;
+            while written < self.pending.len() {
+                match self.stream.write(&self.pending[written..]) {
+                    Ok(0) => {
+                        self.dead = true;
+                        break;
+                    }
+                    Ok(k) => written += k,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        self.dead = true;
+                        break;
+                    }
+                }
+            }
+            self.pending.drain(..written);
+            if self.dead || !self.pending.is_empty() {
+                return;
+            }
+        }
+    }
+
+    /// Exit-path flush: briefly blocking with a timeout so the
+    /// `shutdown`/shed responses reach well-behaved clients before
+    /// their sockets close.
+    fn final_flush(&mut self) {
+        let _ = self.stream.set_nonblocking(false);
+        let _ = self.stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let outbox = std::mem::take(&mut *self.shared.outbox.lock().expect("no poisoning"));
+        let _ = self.stream.write_all(&self.pending);
+        let _ = self.stream.write_all(&outbox);
+        let _ = self.stream.flush();
+    }
+}
+
 /// A running daemon. Dropping it does **not** stop it — call
 /// [`Server::stop`] (or send the `shutdown` op) and then
 /// [`Server::wait`].
@@ -56,45 +344,53 @@ pub struct Server {
     local: SocketAddr,
     scheduler: Arc<Scheduler>,
     atlas: Arc<AtlasService>,
-    stop: Arc<AtomicBool>,
-    accept: Mutex<Option<JoinHandle<()>>>,
+    ctl: Arc<Control>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Server {
-    /// Binds, starts the scheduler and the accept loop, and returns.
+    /// Binds, starts the scheduler, the event loop, and the shutdown
+    /// supervisor, and returns.
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates bind, self-pipe, and grants-journal failures.
     pub fn start(cfg: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local = listener.local_addr()?;
-        let scheduler = Arc::new(Scheduler::start(cfg.scheduler));
+        let scheduler = Arc::new(Scheduler::start(cfg.scheduler)?);
         let atlas = cfg.atlas;
-        let stop = Arc::new(AtomicBool::new(false));
-        let accept = {
+        let ctl = Arc::new(Control::new());
+        let (waker, wake_rx) = reactor::waker()?;
+        let waker = Arc::new(waker);
+        let event = {
             let scheduler = Arc::clone(&scheduler);
             let atlas = Arc::clone(&atlas);
-            let stop = Arc::clone(&stop);
+            let ctl = Arc::clone(&ctl);
+            let waker = Arc::clone(&waker);
             std::thread::spawn(move || {
-                for conn in listener.incoming() {
-                    if stop.load(Ordering::Acquire) {
-                        break;
-                    }
-                    let Ok(conn) = conn else { continue };
-                    let scheduler = Arc::clone(&scheduler);
-                    let atlas = Arc::clone(&atlas);
-                    let stop = Arc::clone(&stop);
-                    std::thread::spawn(move || serve_connection(&conn, &scheduler, &atlas, &stop));
-                }
+                event_loop(&listener, &scheduler, &atlas, &ctl, &waker, &wake_rx);
+            })
+        };
+        let supervisor = {
+            let scheduler = Arc::clone(&scheduler);
+            let ctl = Arc::clone(&ctl);
+            let waker = Arc::clone(&waker);
+            std::thread::spawn(move || {
+                ctl.await_shutdown();
+                // Drain with the event loop still flushing: every shed
+                // response lands in an outbox and goes out before exit.
+                scheduler.stop();
+                ctl.exit.store(true, Ordering::Release);
+                waker.wake();
             })
         };
         Ok(Server {
             local,
             scheduler,
             atlas,
-            stop,
-            accept: Mutex::new(Some(accept)),
+            ctl,
+            threads: Mutex::new(vec![event, supervisor]),
         })
     }
 
@@ -118,143 +414,232 @@ impl Server {
     }
 
     /// Stops accepting, drains the scheduler (resident queries get one
-    /// more slice and are shed with resume tokens), and joins the accept
-    /// loop. Idempotent.
+    /// more slice and are shed with resume tokens), flushes, and joins
+    /// both service threads. Idempotent.
     pub fn stop(&self) {
-        self.stop.store(true, Ordering::Release);
-        // The accept loop blocks in `incoming()`; poke it awake with a
-        // throwaway connection so it observes the flag.
-        let _ = TcpStream::connect(self.local);
-        if let Some(handle) = self.accept.lock().expect("no poisoning").take() {
-            let _ = handle.join();
-        }
-        self.scheduler.stop();
+        self.ctl.request_shutdown();
+        self.wait();
     }
 
     /// Blocks until the daemon has been stopped (by [`Server::stop`] or
     /// a `shutdown` request).
     pub fn wait(&self) {
-        if let Some(handle) = self.accept.lock().expect("no poisoning").take() {
-            let _ = handle.join();
+        let handles: Vec<_> = self
+            .threads
+            .lock()
+            .expect("no poisoning")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
         }
-        self.scheduler.stop();
     }
 }
 
-/// Writes one response line to the shared socket. Failures are ignored:
-/// a client that hung up forfeits its remaining responses.
-fn write_line(out: &Mutex<TcpStream>, line: &str) {
-    let mut sock = out.lock().expect("no poisoning");
-    let _ = sock.write_all(line.as_bytes());
-    let _ = sock.write_all(b"\n");
-    let _ = sock.flush();
-}
-
-fn serve_connection(
-    conn: &TcpStream,
+fn event_loop(
+    listener: &TcpListener,
     scheduler: &Arc<Scheduler>,
     atlas: &Arc<AtlasService>,
-    stop: &Arc<AtomicBool>,
+    ctl: &Arc<Control>,
+    waker: &Arc<Waker>,
+    wake_rx: &WakeReceiver,
 ) {
-    let Ok(write_half) = conn.try_clone() else {
-        return;
-    };
-    let out = Arc::new(Mutex::new(write_half));
-    let mut reader = BufReader::new(conn);
+    let _ = listener.set_nonblocking(true);
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut fds: Vec<PollFd> = Vec::new();
     loop {
-        // `take` caps the read so a client cannot grow one line without
-        // bound; a line hitting the cap exactly is indistinguishable
-        // from a truncated one and is rejected below as unparseable.
-        let mut line = String::new();
-        match (&mut reader).take(MAX_LINE).read_line(&mut line) {
-            Ok(0) | Err(_) => return,
-            Ok(_) => {}
+        if ctl.exit.load(Ordering::Acquire) {
+            break;
         }
-        let line = line.trim();
-        if line.is_empty() {
+        fds.clear();
+        fds.push(PollFd::new(wake_rx.fd(), POLLIN));
+        let accepting = !ctl.draining.load(Ordering::Acquire);
+        if accepting {
+            fds.push(PollFd::new(listener.as_raw_fd(), POLLIN));
+        }
+        let base = fds.len();
+        for conn in &conns {
+            let buffered = conn.buffered();
+            let mut events = 0i16;
+            if !conn.eof && buffered < HIGH_WATER {
+                events |= POLLIN;
+            }
+            if buffered > 0 {
+                events |= POLLOUT;
+            }
+            fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+        }
+        if reactor::wait(&mut fds, POLL_TICK_MS).is_err() {
+            // poll(2) itself failing (ENOMEM) leaves no way to serve;
+            // treat it as a shutdown request.
+            ctl.request_shutdown();
             continue;
         }
-        match protocol::parse_request(line) {
-            Err(BadRequest { id, reason }) => {
-                write_line(
-                    &out,
-                    &error_response(id, "bad_request", &reason, None, None),
-                );
-            }
-            Ok(request) => dispatch(
-                request,
-                conn.local_addr().ok(),
-                scheduler,
-                atlas,
-                stop,
-                &out,
-            ),
+        if fds[0].wants_read() {
+            wake_rx.drain();
         }
+        if accepting && fds[1].wants_read() {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(true);
+                        let _ = stream.set_nodelay(true);
+                        conns.push(Conn::new(stream, Arc::clone(waker)));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => break,
+                }
+            }
+        }
+        // Connections accepted this round sit past the polled prefix
+        // and are served on the next pass.
+        let polled = fds.len() - base;
+        for (i, conn) in conns.iter_mut().enumerate().take(polled) {
+            let pfd = &fds[base + i];
+            if pfd.events & POLLIN != 0 && pfd.wants_read() {
+                conn.read_ready(scheduler, atlas, ctl);
+            }
+        }
+        // Opportunistic flush for every connection: cheap when empty,
+        // and it picks up outbox pushes that arrived between polls.
+        for conn in &mut conns {
+            conn.flush();
+        }
+        let mut i = 0;
+        while i < conns.len() {
+            if conns[i].finished() {
+                conns[i].shared.closed.store(true, Ordering::Release);
+                conns.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+    for conn in &mut conns {
+        conn.final_flush();
+        conn.shared.closed.store(true, Ordering::Release);
+    }
+}
+
+fn handle_line(
+    raw: &[u8],
+    sink: &Arc<ConnShared>,
+    scheduler: &Arc<Scheduler>,
+    atlas: &Arc<AtlasService>,
+    ctl: &Arc<Control>,
+) {
+    let Ok(text) = std::str::from_utf8(raw) else {
+        sink.push_line(&error_response(
+            0,
+            "bad_request",
+            "request line is not valid UTF-8",
+            None,
+            None,
+        ));
+        return;
+    };
+    let line = text.trim();
+    if line.is_empty() {
+        return;
+    }
+    match protocol::parse_request(line) {
+        Err(BadRequest { id, reason }) => {
+            sink.push_line(&error_response(id, "bad_request", &reason, None, None));
+        }
+        Ok(request) => dispatch(request, scheduler, atlas, ctl, sink),
+    }
+}
+
+/// Submits solver work, wiring streaming and (for atlas fall-throughs)
+/// response relabeling into the connection outbox.
+fn submit(
+    scheduler: &Arc<Scheduler>,
+    sink: &Arc<ConnShared>,
+    spec: QuerySpec,
+    stream: bool,
+    relabel: bool,
+) {
+    let finish = {
+        let sink = Arc::clone(sink);
+        Box::new(move |line: String| {
+            if relabel {
+                sink.push_line(&relabel_live_response(&line));
+            } else {
+                sink.push_line(&line);
+            }
+        })
+    };
+    if stream {
+        let sink = Arc::clone(sink);
+        scheduler.submit_with_progress(
+            spec,
+            Box::new(move |frame: String| {
+                if relabel {
+                    sink.push_line(&relabel_live_response(&frame));
+                } else {
+                    sink.push_line(&frame);
+                }
+            }),
+            finish,
+        );
+    } else {
+        scheduler.submit(spec, finish);
     }
 }
 
 fn dispatch(
     request: Request,
-    listener: Option<SocketAddr>,
     scheduler: &Arc<Scheduler>,
     atlas: &Arc<AtlasService>,
-    stop: &Arc<AtomicBool>,
-    out: &Arc<Mutex<TcpStream>>,
+    ctl: &Arc<Control>,
+    sink: &Arc<ConnShared>,
 ) {
-    let id = request.id();
-    let query = match request {
-        Request::Grant { id, tenant, evals } => {
-            let total = scheduler.grant(&tenant, evals);
-            write_line(
-                out,
-                &format!(
-                    "{{\"id\":{id},\"ok\":1,\"op\":\"grant\",\"tenant\":\"{tenant}\",\
-                     \"granted\":{total}}}"
-                ),
-            );
+    let (spec, stream, relabel) = match request {
+        Request::Grant {
+            id,
+            tenant,
+            evals,
+            weight,
+        } => {
+            if let Some(evals) = evals {
+                scheduler.grant(&tenant, evals);
+            }
+            if let Some(weight) = weight {
+                scheduler.set_weight(&tenant, weight);
+            }
+            let t = scheduler.registry().get_or_create(&tenant);
+            // The echoed name passes through `sanitize` like every
+            // free-text field: a hostile embedder-registered name must
+            // not be able to spoof response fields.
+            sink.push_line(&format!(
+                "{{\"id\":{id},\"ok\":1,\"op\":\"grant\",\"tenant\":\"{}\",\
+                 \"granted\":{},\"weight\":{}}}",
+                protocol::sanitize(&tenant),
+                t.pool().granted(),
+                t.weight()
+            ));
             return;
         }
         Request::Stats { id } => {
-            let depths = scheduler.queue_depths();
             let rows: Vec<String> = scheduler
-                .tenants()
+                .tenant_rows()
                 .iter()
-                .map(|t| {
-                    format!(
-                        "{{\"tenant\":\"{}\",\"granted\":{},\"used\":{},\"queued\":{}}}",
-                        t.name,
-                        t.granted,
-                        t.used,
-                        depths.get(&t.name).copied().unwrap_or(0)
-                    )
-                })
+                .map(protocol::render_tenant_row)
                 .collect();
-            write_line(
-                out,
-                &format!(
-                    "{{\"id\":{id},\"ok\":1,\"op\":\"stats\",\"resident\":{},\
-                     \"atlas_hits\":{},\"atlas_misses\":{},\"tenants\":[{}]}}",
-                    scheduler.resident(),
-                    atlas.hits(),
-                    atlas.misses(),
-                    rows.join(",")
-                ),
-            );
+            sink.push_line(&format!(
+                "{{\"id\":{id},\"ok\":1,\"op\":\"stats\",\"resident\":{},\
+                 \"atlas_hits\":{},\"atlas_misses\":{},\"tenants\":[{}]}}",
+                scheduler.resident(),
+                atlas.hits(),
+                atlas.misses(),
+                rows.join(",")
+            ));
             return;
         }
         Request::Shutdown { id } => {
-            write_line(
-                out,
-                &format!("{{\"id\":{id},\"ok\":1,\"op\":\"shutdown\"}}"),
-            );
-            stop.store(true, Ordering::Release);
-            scheduler.stop();
-            // The accept loop blocks in `incoming()`; our end of this
-            // connection shares the listener's address, so a throwaway
-            // connect to it wakes the loop to observe the stop flag.
-            if let Some(addr) = listener {
-                let _ = TcpStream::connect(addr);
-            }
+            sink.push_line(&format!("{{\"id\":{id},\"ok\":1,\"op\":\"shutdown\"}}"));
+            ctl.request_shutdown();
             return;
         }
         Request::AtlasLookup {
@@ -266,17 +651,17 @@ fn dispatch(
             cost_model,
             resume,
             deadline_ms,
+            stream,
         } => {
             // Fresh queries may hit the corpus; a resume token means a
             // live fall-through is already in flight — continue it.
             if resume.is_none() {
                 if let Some(line) = atlas.try_answer(id, concept, &graph, alpha, cost_model) {
-                    write_line(out, &line);
+                    sink.push_line(&line);
                     return;
                 }
             }
-            let out = Arc::clone(out);
-            scheduler.submit(
+            (
                 QuerySpec {
                     id,
                     tenant,
@@ -289,9 +674,9 @@ fn dispatch(
                     resume,
                     deadline_ms,
                 },
-                Box::new(move |line| write_line(&out, &relabel_live_response(&line))),
-            );
-            return;
+                stream,
+                true,
+            )
         }
         Request::Check {
             id,
@@ -302,18 +687,23 @@ fn dispatch(
             cost_model,
             resume,
             deadline_ms,
-        } => QuerySpec {
-            id,
-            tenant,
-            work: Work::Check {
-                concept,
-                graph,
-                alpha,
-                cost_model,
+            stream,
+        } => (
+            QuerySpec {
+                id,
+                tenant,
+                work: Work::Check {
+                    concept,
+                    graph,
+                    alpha,
+                    cost_model,
+                },
+                resume,
+                deadline_ms,
             },
-            resume,
-            deadline_ms,
-        },
+            stream,
+            false,
+        ),
         Request::BestResponse {
             id,
             tenant,
@@ -323,18 +713,23 @@ fn dispatch(
             cost_model,
             resume,
             deadline_ms,
-        } => QuerySpec {
-            id,
-            tenant,
-            work: Work::BestResponse {
-                agent,
-                graph,
-                alpha,
-                cost_model,
+            stream,
+        } => (
+            QuerySpec {
+                id,
+                tenant,
+                work: Work::BestResponse {
+                    agent,
+                    graph,
+                    alpha,
+                    cost_model,
+                },
+                resume,
+                deadline_ms,
             },
-            resume,
-            deadline_ms,
-        },
+            stream,
+            false,
+        ),
         Request::Trajectory {
             id,
             tenant,
@@ -344,18 +739,23 @@ fn dispatch(
             cost_model,
             resume,
             deadline_ms,
-        } => QuerySpec {
-            id,
-            tenant,
-            work: Work::Trajectory {
-                graph,
-                alpha,
-                rounds,
-                cost_model,
+            stream,
+        } => (
+            QuerySpec {
+                id,
+                tenant,
+                work: Work::Trajectory {
+                    graph,
+                    alpha,
+                    rounds,
+                    cost_model,
+                },
+                resume,
+                deadline_ms,
             },
-            resume,
-            deadline_ms,
-        },
+            stream,
+            false,
+        ),
         Request::Dynamics {
             id,
             tenant,
@@ -366,21 +766,24 @@ fn dispatch(
             cost_model,
             resume,
             deadline_ms,
-        } => QuerySpec {
-            id,
-            tenant,
-            work: Work::Dynamics {
-                concept,
-                graph,
-                alpha,
-                steps,
-                cost_model,
+            stream,
+        } => (
+            QuerySpec {
+                id,
+                tenant,
+                work: Work::Dynamics {
+                    concept,
+                    graph,
+                    alpha,
+                    steps,
+                    cost_model,
+                },
+                resume,
+                deadline_ms,
             },
-            resume,
-            deadline_ms,
-        },
+            stream,
+            false,
+        ),
     };
-    debug_assert_eq!(query.id, id);
-    let out = Arc::clone(out);
-    scheduler.submit(query, Box::new(move |line| write_line(&out, &line)));
+    submit(scheduler, sink, spec, stream, relabel);
 }

@@ -9,17 +9,28 @@
 //! generalization of [`ExecPolicy::batch_budget`]'s single anonymous
 //! batch pool.
 //!
+//! Alongside the pool each tenant carries a scheduling **weight**
+//! (default 1): the deficit round-robin dispatcher in
+//! [`crate::scheduler`] refills a tenant's slice deficit by its weight,
+//! so a weight-3 tenant receives three slices for every one a weight-1
+//! tenant gets while both have queued work. The pool bounds *how much*
+//! a tenant may compute in total; the weight shapes *how soon* it gets
+//! its share when the daemon is saturated.
+//!
 //! [`ExecPolicy::batch_budget`]: bncg_core::ExecPolicy::batch_budget
 
 use bncg_core::BudgetPool;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// One tenant: a name and its lifetime budget pool.
+/// One tenant: a name, its lifetime budget pool, and its scheduling
+/// weight.
 #[derive(Debug)]
 pub struct Tenant {
     name: String,
     pool: BudgetPool,
+    weight: AtomicU64,
 }
 
 impl Tenant {
@@ -34,6 +45,18 @@ impl Tenant {
     pub fn pool(&self) -> &BudgetPool {
         &self.pool
     }
+
+    /// The tenant's deficit round-robin weight (≥ 1).
+    #[must_use]
+    pub fn weight(&self) -> u64 {
+        self.weight.load(Ordering::Relaxed)
+    }
+
+    /// Sets the weight; zero is clamped to 1 so a tenant with queued
+    /// work always makes progress.
+    pub fn set_weight(&self, weight: u64) {
+        self.weight.store(weight.max(1), Ordering::Relaxed);
+    }
 }
 
 /// A point-in-time accounting row from [`TenantRegistry::snapshot`].
@@ -45,6 +68,8 @@ pub struct TenantStats {
     pub granted: u64,
     /// Lifetime evaluations consumed.
     pub used: u64,
+    /// Deficit round-robin weight.
+    pub weight: u64,
 }
 
 /// The daemon's tenant table. Tenants materialize on first use with the
@@ -67,16 +92,22 @@ impl TenantRegistry {
         }
     }
 
+    fn fresh(name: &str, grant: u64) -> Arc<Tenant> {
+        Arc::new(Tenant {
+            name: name.to_string(),
+            pool: BudgetPool::new(grant),
+            weight: AtomicU64::new(1),
+        })
+    }
+
     /// The tenant named `name`, created with the default grant if it
     /// does not exist yet.
     pub fn get_or_create(&self, name: &str) -> Arc<Tenant> {
         let mut map = self.tenants.lock().expect("no poisoning");
-        Arc::clone(map.entry(name.to_string()).or_insert_with(|| {
-            Arc::new(Tenant {
-                name: name.to_string(),
-                pool: BudgetPool::new(self.default_grant),
-            })
-        }))
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Self::fresh(name, self.default_grant)),
+        )
     }
 
     /// Funds `name` with `evals` evaluations: an unknown tenant is
@@ -89,16 +120,19 @@ impl TenantRegistry {
         match map.get(name) {
             Some(tenant) => tenant.pool.top_up(evals),
             None => {
-                map.insert(
-                    name.to_string(),
-                    Arc::new(Tenant {
-                        name: name.to_string(),
-                        pool: BudgetPool::new(evals),
-                    }),
-                );
+                map.insert(name.to_string(), Self::fresh(name, evals));
                 evals
             }
         }
+    }
+
+    /// Sets `name`'s scheduling weight (clamped to ≥ 1), creating the
+    /// tenant with the default grant if needed. Returns the weight as
+    /// stored.
+    pub fn set_weight(&self, name: &str, weight: u64) -> u64 {
+        let tenant = self.get_or_create(name);
+        tenant.set_weight(weight);
+        tenant.weight()
     }
 
     /// Accounting rows for every registered tenant, sorted by name (a
@@ -112,6 +146,7 @@ impl TenantRegistry {
                 name: t.name.clone(),
                 granted: t.pool.granted(),
                 used: t.pool.used(),
+                weight: t.weight(),
             })
             .collect();
         rows.sort_by(|a, b| a.name.cmp(&b.name));
@@ -138,5 +173,20 @@ mod tests {
         assert_eq!(rows[0].name, "alice");
         assert_eq!(rows[0].used, 10);
         assert_eq!(rows[0].granted, 75);
+    }
+
+    #[test]
+    fn weights_default_to_one_and_clamp_at_one() {
+        let reg = TenantRegistry::new(100);
+        assert_eq!(reg.get_or_create("a").weight(), 1);
+        assert_eq!(reg.set_weight("a", 7), 7);
+        assert_eq!(reg.get_or_create("a").weight(), 7);
+        assert_eq!(reg.set_weight("a", 0), 1, "zero weight clamps to 1");
+        // set_weight on an unknown tenant creates it with the default
+        // grant — weight and funding are orthogonal controls.
+        assert_eq!(reg.set_weight("new", 3), 3);
+        assert_eq!(reg.get_or_create("new").pool().granted(), 100);
+        let rows = reg.snapshot();
+        assert_eq!(rows.iter().find(|r| r.name == "new").unwrap().weight, 3);
     }
 }

@@ -68,6 +68,26 @@ fn check_line(id: u64, tenant: &str, concept: &str, alpha: &str, g: &Graph) -> S
     )
 }
 
+/// Splits the flat per-tenant row objects out of a `stats` response's
+/// `"tenants":[…]` array (rows are escape-free and unnested, so
+/// brace-matching is trivial).
+fn tenant_rows(stats: &str) -> Vec<String> {
+    let marker = "\"tenants\":[";
+    let Some(open) = stats.find(marker) else {
+        return Vec::new();
+    };
+    let body = &stats[open + marker.len()..];
+    let end = body.find(']').unwrap_or(body.len());
+    let mut rows = Vec::new();
+    let mut rest = &body[..end];
+    while let Some(lb) = rest.find('{') {
+        let rb = rest[lb..].find('}').expect("flat row") + lb;
+        rows.push(rest[lb..=rb].to_string());
+        rest = &rest[rb + 1..];
+    }
+    rows
+}
+
 fn small_server() -> Server {
     Server::start(ServerConfig {
         addr: "127.0.0.1:0".into(),
@@ -75,6 +95,7 @@ fn small_server() -> Server {
             workers: 2,
             slice: 256,
             default_grant: u64::MAX,
+            journal: None,
         },
         ..ServerConfig::default()
     })
@@ -183,6 +204,7 @@ fn drained_tenant_sheds_while_others_complete() {
             workers: 2,
             slice: 64,
             default_grant: u64::MAX,
+            journal: None,
         },
         ..ServerConfig::default()
     })
@@ -304,6 +326,252 @@ fn deadline_zero_answers_promptly() {
     assert_eq!(jsonio::u64_field(&line, "ok"), Some(0), "{line}");
     assert_eq!(jsonio::str_field(&line, "error"), Some("deadline"));
     server.stop();
+}
+
+#[test]
+fn oversized_line_tail_is_never_parsed_as_requests() {
+    // Regression: the old front end read a request line through a
+    // `take(MAX_LINE)` cap and left the oversized line's tail in the
+    // stream, where it was parsed as follow-on requests — a client
+    // (or proxy) could smuggle requests inside an overlong line. The
+    // readiness loop answers `bad_request` exactly once and discards
+    // through the terminating newline.
+    let server = small_server();
+    let mut client = Client::connect(&server);
+
+    let mut line = vec![b'x'; bncg_serve::server::MAX_LINE + 64];
+    // A perfectly valid request sits in the tail beyond the cap; it
+    // must never be answered.
+    line.extend_from_slice(b"{\"id\":666,\"op\":\"stats\"}");
+    line.push(b'\n');
+    client.sock.write_all(&line).expect("send oversized");
+
+    client.send("{\"id\":700,\"op\":\"stats\"}");
+    let first = client.recv();
+    assert_eq!(jsonio::u64_field(&first, "id"), Some(0), "{first}");
+    assert_eq!(jsonio::str_field(&first, "error"), Some("bad_request"));
+    let second = client.recv();
+    assert_eq!(
+        jsonio::u64_field(&second, "id"),
+        Some(700),
+        "the smuggled id 666 must not be answered: {second}"
+    );
+    assert_eq!(jsonio::u64_field(&second, "ok"), Some(1));
+
+    server.stop();
+}
+
+#[test]
+fn hostile_tenant_names_are_rejected_at_parse() {
+    let server = small_server();
+    let mut client = Client::connect(&server);
+    // A name that would break the escape-free response format never
+    // reaches the registry: the restricted alphabet rejects it.
+    client.send("{\"id\":12,\"op\":\"grant\",\"tenant\":\"e vil\",\"evals\":5}");
+    let line = client.recv();
+    assert_eq!(jsonio::u64_field(&line, "id"), Some(12));
+    assert_eq!(jsonio::str_field(&line, "error"), Some("bad_request"));
+    // A grant carrying neither evals nor weight is meaningless.
+    client.send("{\"id\":13,\"op\":\"grant\",\"tenant\":\"ok\"}");
+    let line = client.recv();
+    assert_eq!(jsonio::str_field(&line, "error"), Some("bad_request"));
+    server.stop();
+}
+
+#[test]
+fn weighted_round_robin_isolates_light_tenant_over_the_wire() {
+    // One worker, a tiny quantum, and a heavy tenant flooding the
+    // daemon with multi-slice scans: a light tenant's single cheap
+    // query must complete while the flood is still mostly resident.
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        scheduler: SchedulerConfig {
+            workers: 1,
+            slice: 8,
+            default_grant: u64::MAX,
+            journal: None,
+        },
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let mut client = Client::connect(&server);
+
+    // One write delivers the whole batch: 100 multi-slice heavy scans,
+    // then the light query — so the light query is enqueued while the
+    // flood is resident, regardless of wire latencies. Responses come
+    // back in completion order.
+    let big = generators::cycle(40);
+    let mut batch = String::new();
+    for id in 100..200 {
+        batch.push_str(&check_line(id, "heavy", "bne", "370", &big));
+        batch.push('\n');
+    }
+    // P5 at α = 2 is the quickstart instance: unstable, one slice.
+    batch.push_str(&check_line(7, "light", "ps", "2", &generators::path(5)));
+    batch.push('\n');
+    client.sock.write_all(batch.as_bytes()).expect("send batch");
+
+    let mut light_position = None;
+    for position in 0..101 {
+        let line = client.recv();
+        let id = jsonio::u64_field(&line, "id").expect("id");
+        assert_eq!(jsonio::u64_field(&line, "ok"), Some(1), "{line}");
+        if id == 7 {
+            assert_eq!(jsonio::str_field(&line, "verdict"), Some("unstable"));
+            light_position = Some(position);
+        } else {
+            // Fairness reorders; it never drops or corrupts.
+            assert_eq!(jsonio::str_field(&line, "verdict"), Some("stable"));
+            assert_eq!(jsonio::u64_field(&line, "evals"), Some(120));
+        }
+    }
+    // FIFO would answer the light query dead last (position 100);
+    // round-robin dispatch answers it within one round of the tenants
+    // active at its enqueue, i.e. near the front of the stream.
+    let position = light_position.expect("light response");
+    assert!(
+        position <= 20,
+        "light query answered at completion position {position} of 101 \
+         — the heavy flood delayed it like FIFO would"
+    );
+
+    // The stats rows expose the scheduling-side accounting.
+    client.send("{\"id\":8,\"op\":\"stats\"}");
+    let stats = client.recv();
+    let tenants = tenant_rows(&stats);
+    let heavy_row = tenants
+        .iter()
+        .find(|r| jsonio::str_field(r, "tenant") == Some("heavy"))
+        .expect("heavy row");
+    assert_eq!(jsonio::u64_field(heavy_row, "weight"), Some(1), "{stats}");
+    assert_eq!(jsonio::u64_field(heavy_row, "used"), Some(12000), "{stats}");
+    assert!(
+        jsonio::u64_field(heavy_row, "waited_ms").is_some(),
+        "{stats}"
+    );
+    server.stop();
+}
+
+#[test]
+fn streaming_emits_progress_frames_then_the_identical_final_line() {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        scheduler: SchedulerConfig {
+            workers: 1,
+            slice: 16,
+            default_grant: u64::MAX,
+            journal: None,
+        },
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let mut client = Client::connect(&server);
+    let start = generators::path(9);
+    let request = format!(
+        "{{\"id\":31,\"op\":\"trajectory\",\"tenant\":\"s\",\"alpha\":\"2\",\
+         \"n\":{},\"edges\":{},\"rounds\":100",
+        start.n(),
+        render_edges(&start)
+    );
+
+    client.send(&format!("{request},\"stream\":1}}"));
+    let mut frames = Vec::new();
+    let streamed_final = loop {
+        let line = client.recv();
+        assert_eq!(jsonio::u64_field(&line, "id"), Some(31), "{line}");
+        if jsonio::u64_field(&line, "progress") == Some(1) {
+            frames.push(line);
+        } else {
+            break line;
+        }
+    };
+    assert!(
+        !frames.is_empty(),
+        "a multi-slice trajectory must emit progress frames"
+    );
+    let mut last_evals = 0;
+    for frame in &frames {
+        assert_eq!(jsonio::str_field(frame, "op"), Some("trajectory"));
+        assert_eq!(jsonio::u64_field(frame, "ok"), Some(1), "{frame}");
+        let evals = jsonio::u64_field(frame, "evals").expect("frame evals");
+        assert!(evals > last_evals, "evals must be monotone: {frame}");
+        last_evals = evals;
+    }
+    assert!(
+        jsonio::u64_field(&streamed_final, "evals").unwrap() >= last_evals,
+        "{streamed_final}"
+    );
+
+    // The same request without the flag produces a byte-identical
+    // final line: streaming adds visibility, it never perturbs the
+    // resume chain.
+    client.send(&format!("{request}}}"));
+    let plain = client.recv();
+    assert_eq!(streamed_final, plain);
+    server.stop();
+}
+
+#[test]
+fn grants_and_weights_survive_a_daemon_restart() {
+    let dir = std::env::temp_dir().join(format!("bncg-e2e-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let journaled = || {
+        Server::start(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            scheduler: SchedulerConfig {
+                workers: 1,
+                slice: 256,
+                default_grant: 0,
+                journal: Some(dir.clone()),
+            },
+            ..ServerConfig::default()
+        })
+        .expect("bind")
+    };
+
+    let server = journaled();
+    let mut ops = Client::connect(&server);
+    ops.send("{\"id\":1,\"op\":\"grant\",\"tenant\":\"alice\",\"evals\":50,\"weight\":3}");
+    let line = ops.recv();
+    assert_eq!(jsonio::u64_field(&line, "granted"), Some(50), "{line}");
+    assert_eq!(jsonio::u64_field(&line, "weight"), Some(3), "{line}");
+    ops.send("{\"id\":2,\"op\":\"grant\",\"tenant\":\"alice\",\"evals\":25}");
+    let line = ops.recv();
+    assert_eq!(jsonio::u64_field(&line, "granted"), Some(75), "{line}");
+    server.stop();
+    drop(server);
+
+    // A crash mid-append leaves a torn tail; replay must ignore it.
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("grants.jsonl"))
+            .unwrap();
+        f.write_all(b"{\"tenant\":\"mallory\",\"evals\":9999")
+            .unwrap();
+    }
+
+    let server = journaled();
+    let mut ops = Client::connect(&server);
+    ops.send("{\"id\":3,\"op\":\"stats\"}");
+    let stats = ops.recv();
+    let tenants = tenant_rows(&stats);
+    let alice = tenants
+        .iter()
+        .find(|r| jsonio::str_field(r, "tenant") == Some("alice"))
+        .unwrap_or_else(|| panic!("alice must replay from the journal: {stats}"));
+    assert_eq!(jsonio::u64_field(alice, "granted"), Some(75), "{stats}");
+    assert_eq!(jsonio::u64_field(alice, "weight"), Some(3), "{stats}");
+    assert!(
+        !tenants
+            .iter()
+            .any(|r| jsonio::str_field(r, "tenant") == Some("mallory")),
+        "torn tail must not replay: {stats}"
+    );
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

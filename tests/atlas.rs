@@ -219,6 +219,7 @@ fn served_atlas_hits_charge_the_tenant_pool_nothing() {
             workers: 1,
             slice: 256,
             default_grant: 10_000,
+            journal: None,
         },
         atlas: Arc::new(AtlasService::with_atlas(Atlas::open(boxed).unwrap())),
         ..ServerConfig::default()
